@@ -1,0 +1,19 @@
+//! Bench target regenerating the beyond-paper ablation suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tms_core::flow::experiments::ablations;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    let scale = tms_bench::bench_scale();
+    group.bench_function("regenerate", |b| {
+        b.iter(|| black_box(ablations::run(&scale)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench target regenerating Figure 3: placement irregularity at CF 1.5 vs 1.0.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tms_core::flow::experiments::fig3;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    // seeded driver; no scale struct needed
+    group.bench_function("regenerate", |b| {
+        b.iter(|| black_box(fig3::run(tms_bench::BENCH_SEED)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

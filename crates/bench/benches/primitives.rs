@@ -1,0 +1,141 @@
+//! Microbenchmarks of the substrate hot paths: packing, quick placement,
+//! detailed placement, PBlock generation, minimal-CF search, SA stitching
+//! and random-forest training.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tms_core::device::{Device, Rect};
+use tms_core::estimator::{build_dataset, to_ml_dataset, FeatureSet, LabelConfig};
+use tms_core::ml::{ForestConfig, RandomForest};
+use tms_core::pblock::{min_feasible_cf, CfSearch, PBlockGenerator};
+use tms_core::place::{place_in_region, quick_place, PlacementModel};
+use tms_core::rtlgen::{Generator, MixedParams};
+use tms_core::stitch::{stitch, MacroBlock, StitchConfig, StitchProblem};
+use tms_core::synth::pack;
+
+fn module(luts: u32) -> tms_core::netlist::Netlist {
+    MixedParams {
+        luts,
+        ffs: luts,
+        control_sets: 8,
+        carry_chains: (luts / 200 + 1, 24),
+        lutrams: luts / 16,
+        srls: 0,
+        brams: 0,
+        dsps: 0,
+        depth: 6,
+    }
+    .generate(7)
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack");
+    for luts in [100u32, 1_000, 5_000] {
+        let stats = module(luts).stats();
+        group.bench_with_input(BenchmarkId::from_parameter(luts), &stats, |b, s| {
+            b.iter(|| black_box(pack(s)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_place(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detailed_place");
+    let dev = Device::xc7z020();
+    let model = PlacementModel::default();
+    for luts in [100u32, 1_000, 5_000] {
+        let nl = module(luts);
+        let stats = nl.stats();
+        let packing = pack(&stats);
+        let side = ((packing.required_slices as f64).sqrt() * 1.4).ceil() as u32;
+        let region = Rect::new(0, 0, side.min(80), (side + 10).min(150));
+        group.bench_with_input(BenchmarkId::from_parameter(luts), &luts, |b, _| {
+            b.iter(|| black_box(place_in_region(&stats, &packing, &dev, &region, &model, 1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pblock_and_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pblock");
+    let dev = Device::xc7z020();
+    let gen = PBlockGenerator::new(&dev, true);
+    let model = PlacementModel::default();
+    let nl = module(1_000);
+    let stats = nl.stats();
+    let packing = pack(&stats);
+    let shape = quick_place(&stats, &packing);
+    group.bench_function("generate", |b| {
+        b.iter(|| black_box(gen.generate(&shape, 1.2)));
+    });
+    group.bench_function("min_cf_search", |b| {
+        b.iter(|| {
+            black_box(min_feasible_cf(
+                &gen,
+                &stats,
+                &packing,
+                &shape,
+                &model,
+                &CfSearch::default(),
+                1,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_stitch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stitch");
+    group.sample_size(10);
+    let dev = Device::xc7z020();
+    let sig = dev.signature(0, 3);
+    let blk = MacroBlock {
+        name: "b".into(),
+        signature: sig,
+        width: 3,
+        height: 12,
+        used_slices: 27,
+        irregularity: 0.25,
+    };
+    let mut problem = StitchProblem::new(vec![blk]);
+    let ids: Vec<u32> = (0..120).map(|_| problem.add_instance(0)).collect();
+    for pair in ids.windows(2) {
+        problem.add_net(pair, 1.0);
+    }
+    for moves in [5_000u64, 20_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(moves), &moves, |b, &m| {
+            let cfg = StitchConfig { max_moves: m, ..StitchConfig::standard(1) };
+            b.iter(|| black_box(stitch(&dev, &problem, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_labelling_and_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    let dev = Device::xc7z020();
+    let modules = tms_core::rtlgen::standard_sweep(
+        &tms_core::rtlgen::SweepConfig { target_modules: 80, max_luts: 2_000, min_luts: 2 },
+        1,
+    );
+    group.bench_function("label_80_modules", |b| {
+        b.iter(|| black_box(build_dataset(&modules, &dev, &LabelConfig::default())));
+    });
+    let labelled = build_dataset(&modules, &dev, &LabelConfig::default());
+    let ds = to_ml_dataset(&labelled, FeatureSet::All);
+    group.bench_function("forest_fit_60_trees", |b| {
+        b.iter(|| black_box(RandomForest::fit(&ds, &ForestConfig::small(1))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pack,
+    bench_place,
+    bench_pblock_and_search,
+    bench_stitch,
+    bench_labelling_and_forest
+);
+criterion_main!(benches);

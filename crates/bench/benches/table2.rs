@@ -1,0 +1,19 @@
+//! Bench target regenerating Table II: estimator relative error per feature set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tms_core::flow::experiments::table2;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    let scale = tms_bench::bench_scale();
+    group.bench_function("regenerate", |b| {
+        b.iter(|| black_box(table2::run(&scale)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

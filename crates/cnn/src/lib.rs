@@ -1,0 +1,41 @@
+//! # tms-cnn — the cnvW1A1 block design
+//!
+//! The paper's application scenario (Section III): the *cnvW1A1* binarised
+//! convolutional network from the BNN-PYNQ project, exported from a
+//! FINN-style monolithic circuit into a **block design** suitable for the
+//! RapidWright flow. The partitioning granularity is chosen below layer
+//! level — separate blocks for the matrix-vector-activation units (MVAU),
+//! the sliding-window units, the activations, the max-pool units and the
+//! weight storage — so that the network's regularity turns into block
+//! *reuse*:
+//!
+//! * 9 convolutional / fully connected layers plus 2 max-pool layers;
+//! * **175 block instances of only 74 unique modules**;
+//! * layers 1–2 share one MVAU configuration (48 identical instances),
+//!   layers 3–4 another (20 identical instances); `mvau_18` has 4
+//!   instances; `weights_14` is the largest block of the design.
+//!
+//! Since the real BNN-PYNQ netlists are Vivado IP, each module's netlist is
+//! synthesised here from a role-specific resource recipe (XNOR-popcount
+//! MVAUs are LUT+carry heavy, sliding windows are LUTRAM/SRL heavy, weight
+//! ROMs are LUT-ROM heavy with BRAM for the large layers) — the statistics
+//! the downstream flow consumes are the same ones the paper's modules
+//! exhibit.
+//!
+//! ```
+//! use tms_cnn::cnvw1a1;
+//!
+//! let design = cnvw1a1(7);
+//! assert_eq!(design.instance_count(), 175);
+//! assert_eq!(design.unique_count(), 74);
+//! assert!(design.find_module("weights_14").is_some());
+//! assert_eq!(design.instances_of("mvau_18"), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod role;
+
+pub use design::{cnvw1a1, CnvDesign, CnvModule};
+pub use role::{synth_module, ModuleRole};

@@ -1,0 +1,148 @@
+//! Per-site capacities of the 7-series fabric model.
+//!
+//! The numbers mirror the description in Section V-E of the paper: *"A slice
+//! of the 7-series device contains four LUTs, one carry chain segment, and
+//! eight FFs."* The control-set limit implements Section V-B: flip-flops in
+//! one slice are organised in two groups of four, and each group shares one
+//! control set (clock / reset / enable combination), so at most two distinct
+//! control sets coexist per slice.
+
+/// LUT6 elements per slice.
+pub const LUTS_PER_SLICE: u32 = 4;
+
+/// Flip-flops per slice.
+pub const FFS_PER_SLICE: u32 = 8;
+
+/// Carry bits provided by the single CARRY4 segment of a slice.
+pub const CARRY_BITS_PER_SLICE: u32 = 4;
+
+/// Maximum number of distinct control sets whose flip-flops can share one
+/// slice (two groups of four FFs, one control set each).
+pub const CONTROL_SETS_PER_SLICE: u32 = 2;
+
+/// LUTRAM/SRL-capable LUTs per M-type slice.
+pub const LUTRAM_PER_M_SLICE: u32 = 4;
+
+/// Rows of CLB fabric spanned by one RAMB36 block RAM site.
+pub const RAMB36_ROWS: u32 = 5;
+
+/// Rows of CLB fabric spanned by one DSP48 site.
+pub const DSP48_ROWS: u32 = 2;
+
+/// Height of one clock region, in slice rows.
+pub const CLOCK_REGION_ROWS: u32 = 50;
+
+/// Aggregate capacity of a rectangular region of fabric, produced by
+/// [`crate::Device::capacity_in`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SliceCapacity {
+    /// L-type slices inside the region.
+    pub l_slices: u32,
+    /// M-type slices inside the region.
+    pub m_slices: u32,
+    /// RAMB36 sites fully inside the region.
+    pub bram36: u32,
+    /// DSP48 sites fully inside the region.
+    pub dsp48: u32,
+    /// Clock distribution columns crossed by the region.
+    pub clock_columns: u32,
+}
+
+impl SliceCapacity {
+    /// Total slices of either type.
+    #[inline]
+    pub fn slices(&self) -> u32 {
+        self.l_slices + self.m_slices
+    }
+
+    /// Total LUT capacity of the region.
+    #[inline]
+    pub fn luts(&self) -> u64 {
+        u64::from(self.slices()) * u64::from(LUTS_PER_SLICE)
+    }
+
+    /// Total flip-flop capacity of the region.
+    #[inline]
+    pub fn ffs(&self) -> u64 {
+        u64::from(self.slices()) * u64::from(FFS_PER_SLICE)
+    }
+
+    /// Total carry-bit capacity of the region.
+    #[inline]
+    pub fn carry_bits(&self) -> u64 {
+        u64::from(self.slices()) * u64::from(CARRY_BITS_PER_SLICE)
+    }
+
+    /// LUTRAM-capable LUTs in the region (M slices only).
+    #[inline]
+    pub fn lutram_luts(&self) -> u64 {
+        u64::from(self.m_slices) * u64::from(LUTRAM_PER_M_SLICE)
+    }
+
+    /// Component-wise sum with another capacity.
+    pub fn saturating_add(&self, other: &SliceCapacity) -> SliceCapacity {
+        SliceCapacity {
+            l_slices: self.l_slices.saturating_add(other.l_slices),
+            m_slices: self.m_slices.saturating_add(other.m_slices),
+            bram36: self.bram36.saturating_add(other.bram36),
+            dsp48: self.dsp48.saturating_add(other.dsp48),
+            clock_columns: self.clock_columns.saturating_add(other.clock_columns),
+        }
+    }
+
+    /// True when every component of `need` fits into `self`.
+    pub fn covers(&self, need: &SliceCapacity) -> bool {
+        self.l_slices + self.m_slices >= need.l_slices + need.m_slices
+            && self.m_slices >= need.m_slices
+            && self.bram36 >= need.bram36
+            && self.dsp48 >= need.dsp48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(l: u32, m: u32, b: u32, d: u32) -> SliceCapacity {
+        SliceCapacity { l_slices: l, m_slices: m, bram36: b, dsp48: d, clock_columns: 0 }
+    }
+
+    #[test]
+    fn derived_totals() {
+        let c = cap(10, 6, 2, 1);
+        assert_eq!(c.slices(), 16);
+        assert_eq!(c.luts(), 64);
+        assert_eq!(c.ffs(), 128);
+        assert_eq!(c.carry_bits(), 64);
+        assert_eq!(c.lutram_luts(), 24);
+    }
+
+    #[test]
+    fn covers_respects_m_slices() {
+        // M demand can only be served by M slices, but L demand may spill
+        // onto M slices (an M slice is a superset of an L slice).
+        let have = cap(0, 10, 0, 0);
+        assert!(have.covers(&cap(5, 5, 0, 0)));
+        assert!(have.covers(&cap(10, 0, 0, 0)));
+        assert!(!have.covers(&cap(0, 11, 0, 0)));
+
+        let have = cap(10, 0, 0, 0);
+        assert!(!have.covers(&cap(0, 1, 0, 0)));
+    }
+
+    #[test]
+    fn covers_respects_hard_blocks() {
+        let have = cap(100, 100, 2, 2);
+        assert!(have.covers(&cap(0, 0, 2, 2)));
+        assert!(!have.covers(&cap(0, 0, 3, 0)));
+        assert!(!have.covers(&cap(0, 0, 0, 3)));
+    }
+
+    #[test]
+    fn saturating_add_components() {
+        let a = cap(1, 2, 3, 4);
+        let b = cap(10, 20, 30, 40);
+        let s = a.saturating_add(&b);
+        assert_eq!(s, cap(11, 22, 33, 44));
+    }
+}

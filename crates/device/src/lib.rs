@@ -1,0 +1,51 @@
+//! # tms-device — column-based FPGA fabric model
+//!
+//! This crate models the resource geometry of AMD/Xilinx 7-series (Zynq-7000)
+//! devices at the granularity the paper's experiments need:
+//!
+//! * the fabric is a left-to-right sequence of **columns**, each column a
+//!   vertical stack of sites of one [`ColumnKind`] (CLB-L, CLB-M, block RAM,
+//!   DSP, or clock distribution);
+//! * a CLB column stacks one **slice** per row; a slice holds 4 LUT6s,
+//!   8 flip-flops and one 4-bit carry segment (`CARRY4`);
+//! * M-type slices (SLICEM) additionally support distributed RAM (LUTRAM)
+//!   and shift registers (SRL);
+//! * block RAM and DSP sites span several rows (RAMB36 ≈ 5 CLB rows,
+//!   DSP48 ≈ 2 CLB rows in this model);
+//! * the fabric is divided vertically into **clock regions** of
+//!   [`CLOCK_REGION_ROWS`] rows.
+//!
+//! Two devices are provided, mirroring the paper's evaluation targets:
+//! [`Device::xc7z020`] (the board the cnvW1A1 network almost fills) and
+//! [`Device::xc7z045`] (used for the full-flow estimator-impact experiment).
+//!
+//! Everything downstream — packing, PBlock construction, relocation legality
+//! in the stitcher — consumes this geometry. In particular the stitcher's
+//! rule that *"PBlocks can be relocated only on columns having the same
+//! resource type"* is implemented here as [`Device::matching_anchors`] over
+//! [`ColumnSignature`]s.
+//!
+//! ```
+//! use tms_device::{Device, ColumnKind};
+//!
+//! let dev = Device::xc7z020();
+//! assert!(dev.slice_count() > 13_000);
+//! let sig = dev.signature(0, 6);
+//! // the leftmost six columns can at least anchor at x = 0
+//! assert!(dev.matching_anchors(&sig).contains(&0));
+//! assert_eq!(dev.column(0).kind, dev.columns()[0].kind);
+//! let _ = ColumnKind::ClbM;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod device;
+mod proptests;
+pub mod geom;
+pub mod kinds;
+
+pub use capacity::{SliceCapacity, CARRY_BITS_PER_SLICE, CLOCK_REGION_ROWS, CONTROL_SETS_PER_SLICE, FFS_PER_SLICE, LUTRAM_PER_M_SLICE, LUTS_PER_SLICE, RAMB36_ROWS, DSP48_ROWS};
+pub use device::{Column, ColumnSignature, Device, DeviceName};
+pub use geom::Rect;
+pub use kinds::ColumnKind;

@@ -1,0 +1,60 @@
+//! Preview of the Table II reproduction: label a sweep, train every
+//! estimator on every feature set, print mean relative errors.
+
+use tms_device::Device;
+use tms_estimator::{build_dataset, to_ml_dataset, CfEstimator, EstimatorKind, FeatureSet, LabelConfig};
+use tms_ml::Dataset;
+use tms_rtlgen::{standard_sweep, SweepConfig};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let modules = standard_sweep(&SweepConfig { target_modules: n, max_luts: 5_000, min_luts: 2 }, 2024);
+    let dev = Device::xc7z020();
+    let labelled = build_dataset(&modules, &dev, &LabelConfig::default());
+    println!("labelled {}/{}", labelled.len(), modules.len());
+
+    // Cap per bin like Figure 8 (75 per 0.02 bin, scaled to sample size).
+    let cap = (75 * n / 2000).max(10);
+    let full = to_ml_dataset(&labelled, FeatureSet::All);
+    let capped = full.cap_per_bin(0.02, cap, 7);
+    println!("after cap: {} samples, label range {:.2}..{:.2}", capped.len(),
+        capped.targets.iter().cloned().fold(f64::MAX, f64::min),
+        capped.targets.iter().cloned().fold(f64::MIN, f64::max));
+
+    let project = |set: FeatureSet| -> Dataset {
+        let idx: Vec<usize> = set.indices().to_vec();
+        // capped is in All-order (15 features).
+        Dataset::new(
+            set.names(),
+            capped.features.iter().map(|r| idx.iter().map(|&i| r[i]).collect()).collect(),
+            capped.targets.clone(),
+        )
+    };
+
+    for set in FeatureSet::TABLE2 {
+        let ds = project(set);
+        let (train, test) = ds.split(0.8, 42);
+        for kind in EstimatorKind::TABLE2 {
+            if kind == EstimatorKind::NeuralNetwork && set != FeatureSet::All {
+                continue; // paper feeds the NN all features only
+            }
+            let est = CfEstimator::train(kind, &train, 1);
+            println!("{:>14} | {:>10} | err {:.2}%", kind.label(), set.label(),
+                est.mean_relative_error(&test) * 100.0);
+        }
+    }
+    // Linear regression on its nine inputs.
+    let ds9 = project(FeatureSet::LinRegNine);
+    let (tr, te) = ds9.split(0.8, 42);
+    let lin = CfEstimator::train(EstimatorKind::LinearRegression, &tr, 0);
+    println!("{:>14} | {:>10} | err {:.2}%", "Linear Regr.", "nine", lin.mean_relative_error(&te) * 100.0);
+
+    // Feature importance of the DT on Additional (Figure 9 headline).
+    let add = project(FeatureSet::Additional);
+    let dt = CfEstimator::train(EstimatorKind::DecisionTree, &add, 0);
+    if let Some(imp) = dt.feature_importance() {
+        for (n, v) in add.feature_names.iter().zip(imp) {
+            println!("DT importance {n:>14}: {v:.3}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Data-set labelling: minimal-CF search over generated modules.
+
+use crate::features::{FeatureSet, ModuleFeatures};
+use rayon::prelude::*;
+use tms_device::Device;
+use tms_ml::Dataset;
+use tms_pblock::{min_feasible_cf, CfSearch, PBlockGenerator};
+use tms_place::{detail::module_key, quick_place, PlacementModel};
+use tms_rtlgen::GeneratedModule;
+use tms_synth::pack;
+
+/// Labelling configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LabelConfig {
+    /// The minimal-CF search (paper: start 0.9, step 0.02).
+    pub search: CfSearch,
+    /// Placement-model constants.
+    pub model: PlacementModel,
+    /// Seed for placer jitter.
+    pub seed: u64,
+}
+
+impl Default for LabelConfig {
+    fn default() -> Self {
+        LabelConfig { search: CfSearch::default(), model: PlacementModel::default(), seed: 2024 }
+    }
+}
+
+/// One labelled training sample.
+#[derive(Debug, Clone)]
+pub struct LabelledModule {
+    /// Module name.
+    pub name: String,
+    /// Generator family label.
+    pub kind: &'static str,
+    /// Extracted features.
+    pub features: ModuleFeatures,
+    /// The label: minimal feasible correction factor.
+    pub min_cf: f64,
+    /// Tool runs the labelling search needed.
+    pub label_attempts: u32,
+    /// Optimistic slice estimate (Figure 1 input).
+    pub est_slices: u32,
+    /// LUT sites, for size-stratified analyses.
+    pub lut_sites: u32,
+}
+
+/// Label one module; `None` when no CF in the search range places it.
+pub fn label_module(
+    module: &GeneratedModule,
+    gen: &PBlockGenerator<'_>,
+    cfg: &LabelConfig,
+) -> Option<LabelledModule> {
+    let stats = module.netlist.stats();
+    let packing = pack(&stats);
+    let shape = quick_place(&stats, &packing);
+    let key = module_key(module.netlist.name(), cfg.seed);
+    let found =
+        min_feasible_cf(gen, &stats, &packing, &shape, &cfg.model, &cfg.search, key)?;
+    Some(LabelledModule {
+        name: module.netlist.name().to_string(),
+        kind: module.kind.label(),
+        features: ModuleFeatures::extract(&stats, &packing, &shape),
+        min_cf: found.cf,
+        label_attempts: found.attempts,
+        est_slices: shape.est_slices,
+        lut_sites: stats.counts.lut_sites(),
+    })
+}
+
+/// Label a whole sweep in parallel (Rayon); modules that cannot place in
+/// the search range are dropped, mirroring the paper's filtering.
+pub fn build_dataset(
+    modules: &[GeneratedModule],
+    device: &Device,
+    cfg: &LabelConfig,
+) -> Vec<LabelledModule> {
+    let gen = PBlockGenerator::new(device, true);
+    modules
+        .par_iter()
+        .filter_map(|m| label_module(m, &gen, cfg))
+        .collect()
+}
+
+/// Convert labelled modules to an ML data set under a feature set.
+pub fn to_ml_dataset(labelled: &[LabelledModule], set: FeatureSet) -> Dataset {
+    Dataset::new(
+        set.names(),
+        labelled.iter().map(|m| m.features.select(set)).collect(),
+        labelled.iter().map(|m| m.min_cf).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_rtlgen::{standard_sweep, SweepConfig};
+
+    fn small_labelled() -> Vec<LabelledModule> {
+        let modules = standard_sweep(&SweepConfig { target_modules: 40, max_luts: 1_000, min_luts: 2 }, 3);
+        let dev = Device::xc7z020();
+        build_dataset(&modules, &dev, &LabelConfig::default())
+    }
+
+    #[test]
+    fn labels_most_modules() {
+        let labelled = small_labelled();
+        assert!(labelled.len() >= 35, "only {} labelled", labelled.len());
+        for m in &labelled {
+            assert!(m.min_cf >= 0.9 - 1e-9);
+            assert!(m.min_cf <= 3.0 + 1e-9);
+            assert!(m.label_attempts >= 1);
+        }
+    }
+
+    #[test]
+    fn datasets_project_consistently() {
+        let labelled = small_labelled();
+        for set in FeatureSet::TABLE2 {
+            let ds = to_ml_dataset(&labelled, set);
+            assert_eq!(ds.len(), labelled.len());
+            assert_eq!(ds.dims(), set.indices().len());
+            assert_eq!(ds.targets[0], labelled[0].min_cf);
+        }
+    }
+
+    #[test]
+    fn labelling_is_deterministic() {
+        let modules =
+            standard_sweep(&SweepConfig { target_modules: 12, max_luts: 800, min_luts: 2 }, 9);
+        let dev = Device::xc7z020();
+        let a = build_dataset(&modules, &dev, &LabelConfig::default());
+        let b = build_dataset(&modules, &dev, &LabelConfig::default());
+        let cfs_a: Vec<f64> = a.iter().map(|m| m.min_cf).collect();
+        let cfs_b: Vec<f64> = b.iter().map(|m| m.min_cf).collect();
+        assert_eq!(cfs_a, cfs_b);
+    }
+}

@@ -1,0 +1,192 @@
+//! The uniform CF-estimator wrapper over the four learner families.
+
+use tms_ml::{
+    metrics, Dataset, ForestConfig, LinearRegression, Mlp, MlpConfig, RandomForest,
+    RegressionTree, Regressor, TreeConfig,
+};
+
+/// The four estimator families of Section VI-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum EstimatorKind {
+    /// Ordinary least squares on nine inputs.
+    LinearRegression,
+    /// Shallow feed-forward network (25 hidden neurons, ReLU, Adam).
+    NeuralNetwork,
+    /// Single CART tree of depth 20.
+    DecisionTree,
+    /// 1,000-tree random forest.
+    RandomForest,
+}
+
+impl EstimatorKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EstimatorKind::LinearRegression => "Linear Regression",
+            EstimatorKind::NeuralNetwork => "Neural Network",
+            EstimatorKind::DecisionTree => "Decision Tree",
+            EstimatorKind::RandomForest => "Random Forest",
+        }
+    }
+
+    /// The learner families of Table II (the linear model is reported
+    /// separately in the paper's text).
+    pub const TABLE2: [EstimatorKind; 3] = [
+        EstimatorKind::DecisionTree,
+        EstimatorKind::RandomForest,
+        EstimatorKind::NeuralNetwork,
+    ];
+}
+
+enum Model {
+    LinReg(LinearRegression),
+    Nn(Mlp),
+    Tree(RegressionTree),
+    Forest(RandomForest),
+}
+
+/// A trained correction-factor estimator.
+pub struct CfEstimator {
+    kind: EstimatorKind,
+    model: Model,
+}
+
+impl CfEstimator {
+    /// Train an estimator of `kind` on `train`. Hyper-parameters follow the
+    /// paper: depth-20 trees, 1,000-tree forest, 25 hidden neurons.
+    pub fn train(kind: EstimatorKind, train: &Dataset, seed: u64) -> CfEstimator {
+        let model = match kind {
+            EstimatorKind::LinearRegression => Model::LinReg(LinearRegression::fit(train, 1e-8)),
+            EstimatorKind::NeuralNetwork => {
+                Model::Nn(Mlp::fit(train, &MlpConfig { seed, ..MlpConfig::default() }))
+            }
+            EstimatorKind::DecisionTree => {
+                Model::Tree(RegressionTree::fit(train, &TreeConfig::default()))
+            }
+            EstimatorKind::RandomForest => {
+                Model::Forest(RandomForest::fit(train, &ForestConfig { seed, ..ForestConfig::default() }))
+            }
+        };
+        CfEstimator { kind, model }
+    }
+
+    /// Train with a reduced forest/epoch budget, for tests and benches.
+    pub fn train_small(kind: EstimatorKind, train: &Dataset, seed: u64) -> CfEstimator {
+        let model = match kind {
+            EstimatorKind::LinearRegression => Model::LinReg(LinearRegression::fit(train, 1e-8)),
+            EstimatorKind::NeuralNetwork => Model::Nn(Mlp::fit(
+                train,
+                &MlpConfig { epochs: 120, seed, ..MlpConfig::default() },
+            )),
+            EstimatorKind::DecisionTree => {
+                Model::Tree(RegressionTree::fit(train, &TreeConfig::default()))
+            }
+            EstimatorKind::RandomForest => {
+                Model::Forest(RandomForest::fit(train, &ForestConfig::small(seed)))
+            }
+        };
+        CfEstimator { kind, model }
+    }
+
+    /// Which family this estimator belongs to.
+    pub fn kind(&self) -> EstimatorKind {
+        self.kind
+    }
+
+    /// Predict a CF for one feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        match &self.model {
+            Model::LinReg(m) => m.predict(x),
+            Model::Nn(m) => m.predict(x),
+            Model::Tree(m) => m.predict(x),
+            Model::Forest(m) => m.predict(x),
+        }
+    }
+
+    /// Predict a batch.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Mean relative error on a labelled data set (Table II metric).
+    pub fn mean_relative_error(&self, data: &Dataset) -> f64 {
+        metrics::mean_relative_error(&self.predict_all(&data.features), &data.targets)
+    }
+
+    /// Median absolute relative error (Section VIII metric).
+    pub fn median_relative_error(&self, data: &Dataset) -> f64 {
+        metrics::median_relative_error(&self.predict_all(&data.features), &data.targets)
+    }
+
+    /// Feature importances (tree and forest only).
+    pub fn feature_importance(&self) -> Option<&[f64]> {
+        match &self.model {
+            Model::Tree(t) => Some(t.feature_importance()),
+            Model::Forest(f) => Some(f.feature_importance()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthetic CF-like data: target driven by a carry ratio plus noise.
+    fn cf_like(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let carry_ratio = rng.gen_range(0.0..0.8);
+                let density = rng.gen_range(0.33..1.0);
+                vec![carry_ratio, density, rng.gen_range(0.0..1.0)]
+            })
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 0.95 + 0.5 * x[0] + 0.25 * (x[1] - 0.33) + rng.gen_range(-0.02..0.02))
+            .collect();
+        Dataset::new(vec!["Carry/All".into(), "Density".into(), "noise".into()], xs, ys)
+    }
+
+    #[test]
+    fn every_family_trains_and_predicts() {
+        let ds = cf_like(600, 1);
+        let (train, test) = ds.split(0.8, 3);
+        for kind in [
+            EstimatorKind::LinearRegression,
+            EstimatorKind::NeuralNetwork,
+            EstimatorKind::DecisionTree,
+            EstimatorKind::RandomForest,
+        ] {
+            let est = CfEstimator::train_small(kind, &train, 5);
+            let err = est.mean_relative_error(&test);
+            assert!(err < 0.08, "{}: err = {err}", kind.label());
+            assert_eq!(est.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn importance_only_for_trees() {
+        let ds = cf_like(300, 2);
+        let tree = CfEstimator::train_small(EstimatorKind::DecisionTree, &ds, 0);
+        let lin = CfEstimator::train_small(EstimatorKind::LinearRegression, &ds, 0);
+        assert!(tree.feature_importance().is_some());
+        assert!(lin.feature_importance().is_none());
+        // The informative carry ratio dominates.
+        let imp = tree.feature_importance().unwrap();
+        assert!(imp[0] > 0.5, "importance = {imp:?}");
+    }
+
+    #[test]
+    fn median_is_robust_against_mean() {
+        let ds = cf_like(400, 3);
+        let (train, test) = ds.split(0.8, 1);
+        let est = CfEstimator::train_small(EstimatorKind::DecisionTree, &train, 0);
+        let med = est.median_relative_error(&test);
+        let mean = est.mean_relative_error(&test);
+        assert!(med <= mean * 1.5 + 1e-9);
+    }
+}

@@ -1,0 +1,253 @@
+//! Feature extraction and the four feature sets of Section VII.
+
+use tms_netlist::NetlistStats;
+use tms_place::ShapeReport;
+use tms_synth::PackingReport;
+
+/// The full feature vector computed for every module. Individual feature
+/// sets are projections of this vector.
+///
+/// Index layout (see [`ModuleFeatures::ALL_NAMES`]):
+/// `0..6` classical absolute features, `6..9` placement (shape-report)
+/// features, `9..15` hand-crafted relative features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleFeatures {
+    values: Vec<f64>,
+}
+
+impl ModuleFeatures {
+    /// Names of all features, aligned with the vector layout.
+    pub const ALL_NAMES: [&'static str; 15] = [
+        // Classical (absolute) features.
+        "LUTs",
+        "CLBMs",
+        "FFs",
+        "ControlSets",
+        "Carry",
+        "MaxFanout",
+        // Placement features from the quick-placement shape report.
+        "ShapeArea",
+        "ShapeW",
+        "ShapeH",
+        // Hand-crafted relative ("Additional") features.
+        "Carry/All",
+        "M/All",
+        "FF/All",
+        "Density",
+        "CS/FFs",
+        "Fanout/Cells",
+    ];
+
+    /// Extract the full feature vector of a module.
+    pub fn extract(
+        stats: &NetlistStats,
+        packing: &PackingReport,
+        shape: &ShapeReport,
+    ) -> ModuleFeatures {
+        let all = f64::from(packing.required_slices.max(1));
+        let (w, h) = shape.nominal_dims();
+        let values = vec![
+            f64::from(stats.counts.lut_sites()),
+            f64::from(packing.m_slices),
+            f64::from(stats.counts.ffs),
+            f64::from(stats.control_sets),
+            f64::from(stats.counts.carry_bits),
+            f64::from(stats.max_fanout),
+            f64::from(shape.shape_area),
+            f64::from(w),
+            f64::from(h),
+            f64::from(packing.carry_slices) / all,
+            f64::from(packing.m_slices) / all,
+            f64::from(packing.ff_slices) / all,
+            packing.density,
+            f64::from(stats.control_sets) / f64::from(stats.counts.ffs.max(1)),
+            f64::from(stats.max_fanout) / f64::from(stats.cell_count.max(1)),
+        ];
+        ModuleFeatures { values }
+    }
+
+    /// The raw full vector.
+    pub fn raw(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Project onto a feature set.
+    pub fn select(&self, set: FeatureSet) -> Vec<f64> {
+        set.indices().iter().map(|&i| self.values[i]).collect()
+    }
+}
+
+/// The feature sets compared in Table II, plus the nine-input selection the
+/// paper feeds its linear regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum FeatureSet {
+    /// Absolute counts: LUTs, CLBMs, FFs, control sets, carry, max fanout.
+    Classical,
+    /// Classical plus the quick-placement shape features ("Classical*").
+    ClassicalPlus,
+    /// The hand-crafted size-invariant relative features ("Additional").
+    Additional,
+    /// Everything.
+    All,
+    /// The paper's nine-input linear-regression selection: max fanout,
+    /// control sets, density, M ratio, carry ratio, and four shape values.
+    LinRegNine,
+}
+
+impl FeatureSet {
+    /// Indices into the full vector.
+    pub fn indices(self) -> &'static [usize] {
+        match self {
+            FeatureSet::Classical => &[0, 1, 2, 3, 4, 5],
+            FeatureSet::ClassicalPlus => &[0, 1, 2, 3, 4, 5, 6, 7, 8],
+            FeatureSet::Additional => &[9, 10, 11, 12, 13, 14],
+            FeatureSet::All => &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14],
+            FeatureSet::LinRegNine => &[5, 3, 12, 10, 9, 6, 7, 8, 14],
+        }
+    }
+
+    /// Feature names of this set.
+    pub fn names(self) -> Vec<String> {
+        self.indices()
+            .iter()
+            .map(|&i| ModuleFeatures::ALL_NAMES[i].to_string())
+            .collect()
+    }
+
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureSet::Classical => "Classical",
+            FeatureSet::ClassicalPlus => "Classical*",
+            FeatureSet::Additional => "Additional",
+            FeatureSet::All => "All",
+            FeatureSet::LinRegNine => "LinReg-9",
+        }
+    }
+
+    /// The four sets of Table II, in paper order.
+    pub const TABLE2: [FeatureSet; 4] = [
+        FeatureSet::Classical,
+        FeatureSet::ClassicalPlus,
+        FeatureSet::Additional,
+        FeatureSet::All,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_netlist::{ControlSet, NetlistBuilder};
+    use tms_place::quick_place;
+    use tms_synth::pack;
+
+    fn feats(build: impl FnOnce(&mut NetlistBuilder)) -> ModuleFeatures {
+        let mut b = NetlistBuilder::new("f");
+        build(&mut b);
+        let stats = b.finish().stats();
+        let packing = pack(&stats);
+        let shape = quick_place(&stats, &packing);
+        ModuleFeatures::extract(&stats, &packing, &shape)
+    }
+
+    #[test]
+    fn vector_width_matches_names() {
+        let f = feats(|b| {
+            b.lut(4);
+        });
+        assert_eq!(f.raw().len(), ModuleFeatures::ALL_NAMES.len());
+    }
+
+    #[test]
+    fn classical_features_are_absolute_counts() {
+        let f = feats(|b| {
+            let cs1 = ControlSet::new(0, 1, 0);
+            let cs2 = ControlSet::new(0, 2, 0);
+            for _ in 0..100 {
+                b.lut(6);
+            }
+            for _ in 0..50 {
+                b.ff(cs1);
+            }
+            for _ in 0..30 {
+                b.ff(cs2);
+            }
+            b.carry_chain(16);
+        });
+        let v = f.select(FeatureSet::Classical);
+        assert_eq!(v[0], 100.0); // LUTs
+        assert_eq!(v[2], 80.0); // FFs
+        assert_eq!(v[3], 2.0); // control sets
+        assert_eq!(v[4], 16.0); // carry bits
+    }
+
+    #[test]
+    fn relative_features_are_size_invariant() {
+        // Two modules identical up to 4x scale: relative features match.
+        let small = feats(|b| {
+            let cs = ControlSet::basic();
+            for _ in 0..80 {
+                b.lut(6);
+            }
+            for _ in 0..160 {
+                b.ff(cs);
+            }
+            b.carry_chain(40);
+        });
+        let large = feats(|b| {
+            let cs = ControlSet::basic();
+            for _ in 0..320 {
+                b.lut(6);
+            }
+            for _ in 0..640 {
+                b.ff(cs);
+            }
+            b.carry_chain(80);
+            b.carry_chain(80);
+        });
+        let s = small.select(FeatureSet::Additional);
+        let l = large.select(FeatureSet::Additional);
+        for (i, (a, b)) in s.iter().zip(&l).enumerate() {
+            // CS/FFs and Fanout/Cells shrink with size; the slice-ratio
+            // features (carry, m, ff, density) must be nearly equal.
+            if i < 4 {
+                assert!(
+                    (a - b).abs() < 0.12,
+                    "feature {i}: {a} vs {b} not size-invariant"
+                );
+            }
+        }
+        // In contrast the classical features differ by ~4x.
+        let sc = small.select(FeatureSet::Classical);
+        let lc = large.select(FeatureSet::Classical);
+        assert!(lc[0] / sc[0] > 3.0);
+    }
+
+    #[test]
+    fn linreg_has_nine_inputs() {
+        assert_eq!(FeatureSet::LinRegNine.indices().len(), 9);
+        assert_eq!(FeatureSet::LinRegNine.names().len(), 9);
+    }
+
+    #[test]
+    fn table2_sets_are_distinct_projections() {
+        let f = feats(|b| {
+            for _ in 0..64 {
+                b.lut(5);
+            }
+            b.carry_chain(8);
+        });
+        let widths: Vec<usize> = FeatureSet::TABLE2
+            .iter()
+            .map(|s| f.select(*s).len())
+            .collect();
+        assert_eq!(widths, vec![6, 9, 6, 15]);
+        assert_eq!(FeatureSet::All.indices().len(), 15);
+    }
+
+    #[test]
+    fn empty_module_extracts_safely() {
+        let f = feats(|_| {});
+        assert!(f.raw().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,44 @@
+//! # tms-estimator — the learned PBlock correction-factor estimator
+//!
+//! This crate assembles the paper's second contribution: replacing
+//! RapidWright's constant correction factor (CF = 1.5) with a model trained
+//! to predict the *minimal feasible* CF of a module from its post-synthesis
+//! statistics and quick-placement shape report.
+//!
+//! * [`features`] — the feature sets of Section VII: **Classical** (absolute
+//!   LUT/CLBM/FF/control-set/carry counts plus maximum fanout),
+//!   **Classical\*** (adds the quick-placement shape features), the
+//!   hand-crafted size-invariant **Additional** relative features
+//!   (Carry/All, M/All, density, …) that win in the paper, and **All**.
+//! * [`dataset`] — the labelling pipeline: run every generated module
+//!   through synthesis → packing → quick placement → minimal-CF search
+//!   (0.9 + k·0.02), then flatten the label distribution with the ≤75-per-
+//!   bin cap of Figure 8.
+//! * [`estimator`] — a uniform [`CfEstimator`] over the four learner
+//!   families of `tms-ml`, with the train/evaluate plumbing used by the
+//!   Table II reproduction.
+//!
+//! ```no_run
+//! use tms_device::Device;
+//! use tms_estimator::{build_dataset, to_ml_dataset, CfEstimator, EstimatorKind, FeatureSet, LabelConfig};
+//! use tms_rtlgen::{standard_sweep, SweepConfig};
+//!
+//! let modules = standard_sweep(&SweepConfig::small(), 1);
+//! let dev = Device::xc7z020();
+//! let labelled = build_dataset(&modules, &dev, &LabelConfig::default());
+//! let ds = to_ml_dataset(&labelled, FeatureSet::Additional);
+//! let (train, test) = ds.split(0.8, 7);
+//! let est = CfEstimator::train(EstimatorKind::RandomForest, &train, 1);
+//! let err = est.mean_relative_error(&test);
+//! assert!(err < 0.2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod estimator;
+pub mod features;
+
+pub use dataset::{build_dataset, label_module, to_ml_dataset, LabelConfig, LabelledModule};
+pub use estimator::{CfEstimator, EstimatorKind};
+pub use features::{FeatureSet, ModuleFeatures};

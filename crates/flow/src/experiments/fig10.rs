@@ -1,0 +1,147 @@
+//! Figure 10: predicted versus actual (minimal) correction factor on the
+//! held-out test set, per estimator and feature set.
+
+use super::common::{capped_all_features, labelled_sweep, project, Scale};
+use core::fmt;
+use tms_device::Device;
+use tms_estimator::{EstimatorKind, FeatureSet};
+use tms_ml::metrics;
+
+/// One scatter series.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig10Series {
+    /// Estimator family.
+    pub kind: EstimatorKind,
+    /// Feature set it was trained on.
+    pub set: FeatureSet,
+    /// `(actual, predicted)` pairs over the test split, sorted by actual.
+    pub pairs: Vec<(f64, f64)>,
+    /// Mean relative error of the series.
+    pub error: f64,
+}
+
+impl Fig10Series {
+    /// Mean relative error restricted to high actual CFs (> threshold) —
+    /// where the paper observes the classical features falling behind.
+    pub fn high_cf_error(&self, threshold: f64) -> f64 {
+        let (pred, actual): (Vec<f64>, Vec<f64>) = self
+            .pairs
+            .iter()
+            .filter(|(a, _)| *a > threshold)
+            .map(|&(a, p)| (p, a))
+            .unzip();
+        metrics::mean_relative_error(&pred, &actual)
+    }
+}
+
+/// The Figure 10 reproduction.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig10 {
+    /// Scatter series for DT/RF on Classical and Additional, NN on All.
+    pub series: Vec<Fig10Series>,
+}
+
+impl Fig10 {
+    /// Find one series.
+    pub fn series_for(&self, kind: EstimatorKind, set: FeatureSet) -> Option<&Fig10Series> {
+        self.series.iter().find(|s| s.kind == kind && s.set == set)
+    }
+}
+
+/// Run the Figure 10 experiment.
+pub fn run(scale: &Scale) -> Fig10 {
+    let dev = Device::xc7z020();
+    let labelled = labelled_sweep(scale, &dev);
+    let all = capped_all_features(&labelled, scale);
+    let (train_all, test_all) = all.split(0.8, scale.seed ^ 42);
+
+    let combos = [
+        (EstimatorKind::DecisionTree, FeatureSet::Classical),
+        (EstimatorKind::DecisionTree, FeatureSet::Additional),
+        (EstimatorKind::RandomForest, FeatureSet::Classical),
+        (EstimatorKind::RandomForest, FeatureSet::Additional),
+        (EstimatorKind::NeuralNetwork, FeatureSet::All),
+    ];
+    let series = combos
+        .iter()
+        .map(|&(kind, set)| {
+            let train = project(&train_all, set);
+            let test = project(&test_all, set);
+            let est = scale.train(kind, &train, scale.seed);
+            let preds = est.predict_all(&test.features);
+            let mut pairs: Vec<(f64, f64)> =
+                test.targets.iter().copied().zip(preds.iter().copied()).collect();
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            Fig10Series {
+                kind,
+                set,
+                error: metrics::mean_relative_error(&preds, &test.targets),
+                pairs,
+            }
+        })
+        .collect();
+    Fig10 { series }
+}
+
+impl fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 10 — predicted vs actual minimal CF (test split)")?;
+        for s in &self.series {
+            writeln!(
+                f,
+                "{:>14} / {:<10}: err {:.1}%, high-CF(>1.2) err {:.1}%  ({} points)",
+                s.kind.label(),
+                s.set.label(),
+                s.error * 100.0,
+                s.high_cf_error(1.2) * 100.0,
+                s.pairs.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additional_features_help_on_high_cfs() {
+        // The paper's Figure 10 observation: the relative features perform
+        // visibly better on high correction factors.
+        let fig = run(&Scale::quick());
+        let rf_classical = fig
+            .series_for(EstimatorKind::RandomForest, FeatureSet::Classical)
+            .unwrap();
+        let rf_additional = fig
+            .series_for(EstimatorKind::RandomForest, FeatureSet::Additional)
+            .unwrap();
+        assert!(
+            rf_additional.error <= rf_classical.error * 1.05,
+            "additional {:.3} vs classical {:.3}",
+            rf_additional.error,
+            rf_classical.error
+        );
+    }
+
+    #[test]
+    fn pairs_are_sorted_and_plausible() {
+        let fig = run(&Scale::quick());
+        for s in &fig.series {
+            assert!(!s.pairs.is_empty());
+            for w in s.pairs.windows(2) {
+                assert!(w[0].0 <= w[1].0);
+            }
+            for &(a, p) in &s.pairs {
+                assert!((0.8..=2.5).contains(&a));
+                assert!(p.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = format!("{}", run(&Scale::quick()));
+        assert!(s.contains("predicted vs actual"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 12: random-forest feature importance when the cnvW1A1 modules
+//! are the test set (trained on the generated sweep, all features).
+
+use super::common::{capped_all_features, label_cnv, labelled_sweep, project, Scale};
+use core::fmt;
+use tms_cnn::cnvw1a1;
+use tms_device::Device;
+use tms_estimator::{EstimatorKind, FeatureSet};
+use tms_ml::metrics;
+
+/// The Figure 12 reproduction.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig12 {
+    /// `(feature name, importance)` of the forest, summing to 1.
+    pub importances: Vec<(String, f64)>,
+    /// Mean relative error of the forest on the cnvW1A1 test set.
+    pub cnv_error: f64,
+}
+
+impl Fig12 {
+    /// Importance of one feature.
+    pub fn importance_of(&self, name: &str) -> Option<f64> {
+        self.importances.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Combined share of the relative (Additional) features.
+    pub fn relative_share(&self) -> f64 {
+        ["Carry/All", "M/All", "FF/All", "Density", "CS/FFs", "Fanout/Cells"]
+            .iter()
+            .filter_map(|n| self.importance_of(n))
+            .sum()
+    }
+}
+
+/// Run the Figure 12 experiment.
+pub fn run(scale: &Scale) -> Fig12 {
+    let dev = Device::xc7z020();
+    let labelled = labelled_sweep(scale, &dev);
+    let all = capped_all_features(&labelled, scale);
+    let train = project(&all, FeatureSet::All);
+    let est = scale.train(EstimatorKind::RandomForest, &train, scale.seed);
+    let importances: Vec<(String, f64)> = train
+        .feature_names
+        .iter()
+        .cloned()
+        .zip(est.feature_importance().expect("forest importance").iter().copied())
+        .collect();
+
+    let design = cnvw1a1(scale.seed);
+    let labels = label_cnv(&design, &dev, scale.seed);
+    let (pred, actual): (Vec<f64>, Vec<f64>) = labels
+        .iter()
+        .map(|l| (est.predict(&l.features.select(FeatureSet::All)), l.min_cf))
+        .unzip();
+    Fig12 { importances, cnv_error: metrics::mean_relative_error(&pred, &actual) }
+}
+
+impl fmt::Display for Fig12 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 12 — RF feature importance (cnvW1A1 as test set, err {:.1}%)",
+            self.cnv_error * 100.0
+        )?;
+        for (name, v) in &self.importances {
+            let bar = "#".repeat((v * 50.0).round() as usize);
+            writeln!(f, "  {name:>14}: {v:.3} {bar}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carry_ratio_remains_the_top_feature() {
+        // The paper: Carry/All makes up ~0.4 of the decision even when all
+        // features are available.
+        let fig = run(&Scale::quick());
+        let carry = fig.importance_of("Carry/All").unwrap();
+        assert!(carry > 0.2, "Carry/All = {carry:.3}");
+        let max = fig.importances.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+        assert!((carry - max).abs() < 1e-9, "Carry/All should dominate");
+    }
+
+    #[test]
+    fn relative_features_dominate() {
+        let fig = run(&Scale::quick());
+        assert!(fig.relative_share() > 0.5, "relative share = {:.3}", fig.relative_share());
+        let total: f64 = fig.importances.iter().map(|&(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cnv_error_is_bounded() {
+        let fig = run(&Scale::quick());
+        assert!(fig.cnv_error < 0.30, "cnv error = {:.3}", fig.cnv_error);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = format!("{}", run(&Scale::quick()));
+        assert!(s.contains("Figure 12"));
+    }
+}

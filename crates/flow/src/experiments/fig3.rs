@@ -1,0 +1,136 @@
+//! Figure 3: placement shape/irregularity of `weights_14` and `mvau_18`
+//! at a constant CF of 1.5 versus the tight CF of 1.0.
+
+use core::fmt;
+use tms_cnn::cnvw1a1;
+use tms_device::Device;
+use tms_pblock::PBlockGenerator;
+use tms_place::{detail::module_key, place_in_region, quick_place, PlacementModel};
+use tms_synth::pack;
+
+/// One placement-shape measurement.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig3Row {
+    /// Module name.
+    pub module: String,
+    /// Correction factor.
+    pub cf: f64,
+    /// PBlock width in columns.
+    pub width: u32,
+    /// PBlock height in rows.
+    pub height: u32,
+    /// Slices occupied.
+    pub used_slices: u32,
+    /// Dead-area fraction of the PBlock — the irregularity the stitcher
+    /// later fights against.
+    pub irregularity: f64,
+}
+
+/// The Figure 3 reproduction.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig3 {
+    /// Rows for each `(module, CF)` pair.
+    pub rows: Vec<Fig3Row>,
+}
+
+impl Fig3 {
+    /// Look up a row.
+    pub fn row(&self, module: &str, cf: f64) -> Option<&Fig3Row> {
+        self.rows
+            .iter()
+            .find(|r| r.module == module && (r.cf - cf).abs() < 1e-9)
+    }
+}
+
+/// Run the Figure 3 experiment.
+pub fn run(seed: u64) -> Fig3 {
+    let design = cnvw1a1(seed);
+    let dev = Device::xc7z020();
+    let gen = PBlockGenerator::new(&dev, true);
+    let model = PlacementModel::default();
+    let mut rows = Vec::new();
+    for name in super::table1::MODULES {
+        let module = design.find_module(name).expect("module exists");
+        let stats = module.netlist.stats();
+        let packing = pack(&stats);
+        let shape = quick_place(&stats, &packing);
+        let key = module_key(name, seed);
+        for cf in [1.5, 1.0] {
+            let pblock = gen.generate(&shape, cf).expect("pblock");
+            let placement =
+                place_in_region(&stats, &packing, &dev, &pblock.rect, &model, key).expect("placeable");
+            rows.push(Fig3Row {
+                module: name.to_string(),
+                cf,
+                width: pblock.rect.w,
+                height: pblock.rect.h,
+                used_slices: placement.used_slices,
+                irregularity: placement.irregularity,
+            });
+        }
+    }
+    Fig3 { rows }
+}
+
+impl fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 3 — implemented blocks at CF 1.5 vs 1.0 (simulated)")?;
+        writeln!(
+            f,
+            "{:<12} | {:>5} | {:>9} | {:>7} | {:>12}",
+            "module", "CF", "PBlock", "slices", "irregularity"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<12} | {:>5.2} | {:>4}x{:<4} | {:>7} | {:>11.1}%",
+                r.module,
+                r.cf,
+                r.width,
+                r.height,
+                r.used_slices,
+                r.irregularity * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_cf_is_more_regular() {
+        let fig = run(1);
+        for name in super::super::table1::MODULES {
+            let loose = fig.row(name, 1.5).unwrap();
+            let tight = fig.row(name, 1.0).unwrap();
+            assert!(
+                tight.irregularity < loose.irregularity,
+                "{name}: tight {:.2} !< loose {:.2}",
+                tight.irregularity,
+                loose.irregularity
+            );
+        }
+    }
+
+    #[test]
+    fn tight_pblock_is_smaller() {
+        let fig = run(1);
+        for name in super::super::table1::MODULES {
+            let loose = fig.row(name, 1.5).unwrap();
+            let tight = fig.row(name, 1.0).unwrap();
+            assert!(
+                u64::from(tight.width) * u64::from(tight.height)
+                    < u64::from(loose.width) * u64::from(loose.height)
+            );
+        }
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = format!("{}", run(1));
+        assert!(s.contains("irregularity"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 4: distribution of the optimal (minimal feasible) CF over the
+//! blocks of the cnvW1A1 design, at 0.02 resolution.
+
+use super::common::{ascii_histogram, label_cnv};
+use core::fmt;
+use tms_cnn::cnvw1a1;
+use tms_device::Device;
+
+/// The Figure 4 reproduction.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig4 {
+    /// `(CF bin lower edge, block count)` at 0.02 resolution.
+    pub histogram: Vec<(f64, usize)>,
+    /// Highest minimal CF over all blocks (paper: 1.68 — this is where the
+    /// constant-CF flow must operate).
+    pub max_cf: f64,
+    /// Number of blocks labelled.
+    pub blocks: usize,
+}
+
+/// Run the Figure 4 experiment on the xc7z020.
+pub fn run(seed: u64) -> Fig4 {
+    let design = cnvw1a1(seed);
+    let dev = Device::xc7z020();
+    let labels = label_cnv(&design, &dev, seed);
+    let mut counts: std::collections::BTreeMap<i64, usize> = std::collections::BTreeMap::new();
+    let mut max_cf: f64 = 0.0;
+    for l in &labels {
+        *counts.entry((l.min_cf / 0.02).round() as i64).or_insert(0) += 1;
+        max_cf = max_cf.max(l.min_cf);
+    }
+    Fig4 {
+        histogram: counts.into_iter().map(|(b, c)| (b as f64 * 0.02, c)).collect(),
+        max_cf,
+        blocks: labels.len(),
+    }
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 4 — optimal CF distribution over {} cnvW1A1 blocks (max CF {:.2})",
+            self.blocks, self.max_cf
+        )?;
+        write!(f, "{}", ascii_histogram(&self.histogram, 40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_spans_the_papers_range() {
+        let fig = run(1);
+        assert!(fig.blocks >= 70);
+        // The paper's max is 1.68; ours must land in the same regime.
+        assert!(
+            (1.2..=2.2).contains(&fig.max_cf),
+            "max CF = {:.2}",
+            fig.max_cf
+        );
+        // Low-CF blocks exist (small or BRAM-driven modules, paper: < 0.7).
+        let min_bin = fig.histogram.first().unwrap().0;
+        assert!(min_bin < 0.95, "lowest CF bin = {min_bin}");
+        // Counts add up.
+        let total: usize = fig.histogram.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, fig.blocks);
+    }
+
+    #[test]
+    fn display_renders_histogram() {
+        let s = format!("{}", run(1));
+        assert!(s.contains("Figure 4"));
+        assert!(s.contains('#'));
+    }
+}

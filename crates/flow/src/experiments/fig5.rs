@@ -1,0 +1,143 @@
+//! Figure 5: the fully placed-and-routed cnvW1A1 under (a) the AMD-style
+//! flat flow, (b) RW with the constant worst-case CF, (c) RW with each
+//! block's minimal feasible CF.
+
+use super::common::{label_cnv, Scale};
+use crate::amd::{run_amd_flow, AmdFlowConfig};
+use crate::rwflow::{run_rw_flow, CfPolicy, RwFlowConfig};
+use core::fmt;
+use tms_cnn::cnvw1a1;
+use tms_device::Device;
+use tms_pblock::CfSearch;
+use tms_place::PlacementModel;
+
+/// The Figure 5 reproduction.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig5 {
+    /// Flat-flow slice utilisation (paper: 99.98%).
+    pub amd_utilization: f64,
+    /// Whether the flat flow placed everything.
+    pub amd_fully_placed: bool,
+    /// The constant CF used for (b): the design's worst minimal CF.
+    pub constant_cf: f64,
+    /// Unplaced blocks with the constant CF (paper: 68 of 175).
+    pub unplaced_constant: usize,
+    /// Unplaced blocks with per-module minimal CFs (paper: 52 of 175).
+    pub unplaced_minimal: usize,
+    /// Total block instances (175).
+    pub instances: usize,
+    /// Relative gain in *placed* blocks of minimal over constant
+    /// (paper: ≈15%).
+    pub placed_gain: f64,
+    /// Dead cells locked inside placed footprints, constant CF.
+    pub wasted_constant: u64,
+    /// Dead cells locked inside placed footprints, minimal CF.
+    pub wasted_minimal: u64,
+    /// ASCII fabric map of the constant-CF placement (Figure 5b).
+    pub render_constant: String,
+    /// ASCII fabric map of the minimal-CF placement (Figure 5c).
+    pub render_minimal: String,
+}
+
+/// Run the Figure 5 experiment on the xc7z020.
+pub fn run(scale: &Scale) -> Fig5 {
+    let design = cnvw1a1(scale.seed);
+    let dev = Device::xc7z020();
+
+    let amd = run_amd_flow(&design, &dev, &AmdFlowConfig { seed: scale.seed, ..Default::default() });
+
+    // The constant-CF flow must use the worst minimal CF so every module
+    // still implements (Section IV).
+    let labels = label_cnv(&design, &dev, scale.seed);
+    let constant_cf = labels.iter().map(|l| l.min_cf).fold(0.9, f64::max);
+
+    let mk_cfg = |policy| RwFlowConfig {
+        policy,
+        use_shape_report: true,
+        model: PlacementModel::default(),
+        stitch: scale.stitch_config(scale.seed),
+        seed: scale.seed,
+    };
+    let constant = run_rw_flow(&design, &dev, &mk_cfg(CfPolicy::Constant(constant_cf)));
+    let minimal = run_rw_flow(&design, &dev, &mk_cfg(CfPolicy::Minimal(CfSearch::wide())));
+
+    let placed_const = constant.stitch.placed_count;
+    let placed_min = minimal.stitch.placed_count;
+    let render = |flow: &crate::rwflow::RwFlowResult| {
+        crate::render::render_stitched(&dev, &flow.problem, &flow.stitch, 89, 40)
+    };
+    let render_constant = render(&constant);
+    let render_minimal = render(&minimal);
+    Fig5 {
+        amd_utilization: amd.placement.utilization,
+        amd_fully_placed: amd.placement.fully_placed,
+        constant_cf,
+        unplaced_constant: constant.stitch.unplaced_count + constant.failed.len(),
+        unplaced_minimal: minimal.stitch.unplaced_count + minimal.failed.len(),
+        instances: design.instance_count(),
+        placed_gain: (placed_min as f64 - placed_const as f64) / placed_const.max(1) as f64,
+        wasted_constant: constant.stitch.wasted_cells(&constant.problem),
+        wasted_minimal: minimal.stitch.wasted_cells(&minimal.problem),
+        render_constant,
+        render_minimal,
+    }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 5 — placed cnvW1A1 on xc7z020 (simulated)")?;
+        writeln!(
+            f,
+            "a) AMD flat      : fully placed = {} at {:.2}% slice utilisation",
+            self.amd_fully_placed,
+            self.amd_utilization * 100.0
+        )?;
+        writeln!(
+            f,
+            "b) RW CF = {:.2} : {} of {} blocks unplaced, {} wasted cells",
+            self.constant_cf, self.unplaced_constant, self.instances, self.wasted_constant
+        )?;
+        writeln!(
+            f,
+            "c) RW minimal CF : {} of {} blocks unplaced, {} wasted cells",
+            self.unplaced_minimal, self.instances, self.wasted_minimal
+        )?;
+        writeln!(f, "placed-block gain of (c) over (b): {:.1}%", self.placed_gain * 100.0)?;
+        writeln!(f, "\nconstant-CF fabric (b):\n{}", self.render_constant)?;
+        writeln!(f, "minimal-CF fabric (c):\n{}", self.render_minimal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_cf_places_more_blocks_than_constant() {
+        let fig = run(&Scale::quick());
+        // The flat tool fits the whole design; RW does not (Section III).
+        assert!(fig.amd_fully_placed);
+        assert!(fig.unplaced_constant > 0, "constant CF should leave blocks unplaced");
+        assert!(
+            fig.unplaced_minimal < fig.unplaced_constant,
+            "minimal {} !< constant {}",
+            fig.unplaced_minimal,
+            fig.unplaced_constant
+        );
+        assert!(fig.placed_gain > 0.0);
+        assert_eq!(fig.instances, 175);
+    }
+
+    #[test]
+    fn constant_cf_matches_fig4_maximum() {
+        let fig = run(&Scale::quick());
+        let fig4 = super::super::fig4::run(Scale::quick().seed);
+        assert!((fig.constant_cf - fig4.max_cf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = format!("{}", run(&Scale::quick()));
+        assert!(s.contains("unplaced"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 7: design-space coverage of the generated RTL data set
+//! (LUT / FF / carry usage of every module).
+
+use super::common::{sweep_modules, Scale};
+use core::fmt;
+
+/// One data-set point of the 3-D coverage plot.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct CoveragePoint {
+    /// LUT sites.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+    /// Carry bits.
+    pub carry: u32,
+}
+
+/// The Figure 7 reproduction.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig7 {
+    /// One point per generated module.
+    pub points: Vec<CoveragePoint>,
+    /// Largest LUT count (paper: ≈5,000, 11% of the device).
+    pub max_luts: u32,
+    /// Modules dominated by each resource class (LUT / FF / carry).
+    pub class_counts: (usize, usize, usize),
+}
+
+/// Run the Figure 7 experiment.
+pub fn run(scale: &Scale) -> Fig7 {
+    let modules = sweep_modules(scale);
+    let points: Vec<CoveragePoint> = modules
+        .iter()
+        .map(|m| {
+            let c = m.netlist.stats().counts;
+            CoveragePoint { luts: c.lut_sites(), ffs: c.ffs, carry: c.carry_bits }
+        })
+        .collect();
+    let max_luts = points.iter().map(|p| p.luts).max().unwrap_or(0);
+    let mut class_counts = (0usize, 0usize, 0usize);
+    for p in &points {
+        // Dominance in slice terms: 4 LUTs vs 8 FFs vs 4 carry per slice.
+        let l = p.luts / 4;
+        let f = p.ffs / 8;
+        let c = p.carry / 4;
+        if l >= f && l >= c {
+            class_counts.0 += 1;
+        } else if f >= l && f >= c {
+            class_counts.1 += 1;
+        } else {
+            class_counts.2 += 1;
+        }
+    }
+    Fig7 { points, max_luts, class_counts }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 7 — data-set coverage: {} modules, max {} LUTs",
+            self.points.len(),
+            self.max_luts
+        )?;
+        writeln!(
+            f,
+            "dominant class: LUT {} | FF {} | carry {}",
+            self.class_counts.0, self.class_counts.1, self.class_counts.2
+        )?;
+        // Coarse 2-D projection (LUTs vs FFs) as a density grid.
+        let mut grid = [[0u32; 10]; 8];
+        let max_l = self.max_luts.max(1);
+        let max_f = self.points.iter().map(|p| p.ffs).max().unwrap_or(1).max(1);
+        for p in &self.points {
+            let x = ((p.luts as u64 * 9) / max_l as u64) as usize;
+            let y = ((p.ffs as u64 * 7) / max_f as u64) as usize;
+            grid[y][x] += 1;
+        }
+        writeln!(f, "density (x: LUTs 0..{max_l}, y: FFs 0..{max_f}):")?;
+        for row in grid.iter().rev() {
+            for &c in row {
+                let ch = match c {
+                    0 => ' ',
+                    1..=2 => '.',
+                    3..=9 => 'o',
+                    _ => '#',
+                };
+                write!(f, "{ch}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_spans_all_three_classes() {
+        let fig = run(&Scale::quick());
+        assert_eq!(fig.points.len(), Scale::quick().dataset_modules);
+        let (l, f, c) = fig.class_counts;
+        assert!(l > 0 && f > 0 && c > 0, "classes = {:?}", fig.class_counts);
+    }
+
+    #[test]
+    fn max_size_respects_the_papers_bound() {
+        let fig = run(&Scale::quick());
+        assert!(fig.max_luts <= 5_000);
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let s = format!("{}", run(&Scale::quick()));
+        assert!(s.contains("density"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 8: distribution of the minimal-CF labels before and after the
+//! per-bin cap that flattens the training set.
+
+use super::common::{ascii_histogram, capped_all_features, labelled_sweep, Scale};
+use core::fmt;
+use tms_device::Device;
+use tms_estimator::{to_ml_dataset, FeatureSet};
+
+/// The Figure 8 reproduction.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig8 {
+    /// Raw label histogram at 0.02 resolution.
+    pub before: Vec<(f64, usize)>,
+    /// Histogram after the ≤cap-per-bin filter.
+    pub after: Vec<(f64, usize)>,
+    /// Samples before filtering (paper: ≈2,000).
+    pub total_before: usize,
+    /// Samples after filtering (paper: ≈1,500).
+    pub total_after: usize,
+    /// The cap applied.
+    pub cap: usize,
+}
+
+/// Run the Figure 8 experiment.
+pub fn run(scale: &Scale) -> Fig8 {
+    let dev = Device::xc7z020();
+    let labelled = labelled_sweep(scale, &dev);
+    let full = to_ml_dataset(&labelled, FeatureSet::All);
+    let capped = capped_all_features(&labelled, scale);
+    Fig8 {
+        before: full.target_histogram(0.02),
+        after: capped.target_histogram(0.02),
+        total_before: full.len(),
+        total_after: capped.len(),
+        cap: scale.bin_cap,
+    }
+}
+
+impl fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 8 — CF label distribution: {} samples filtered to {} (cap {} per 0.02 bin)",
+            self.total_before, self.total_after, self.cap
+        )?;
+        write!(f, "{}", ascii_histogram(&self.after, 40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_reduces_and_flattens() {
+        let fig = run(&Scale::quick());
+        assert!(fig.total_after < fig.total_before);
+        assert!(fig.after.iter().all(|&(_, c)| c <= fig.cap));
+        // The dominant raw bin is clipped.
+        let max_before = fig.before.iter().map(|&(_, c)| c).max().unwrap();
+        assert!(max_before > fig.cap);
+    }
+
+    #[test]
+    fn labels_start_at_the_search_floor() {
+        let fig = run(&Scale::quick());
+        let first = fig.after.first().unwrap().0;
+        assert!((0.89..=1.0).contains(&first), "first bin = {first}");
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = format!("{}", run(&Scale::quick()));
+        assert!(s.contains("Figure 8"));
+    }
+}

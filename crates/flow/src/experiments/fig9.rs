@@ -1,0 +1,123 @@
+//! Figure 9: feature importance of a single decision tree, per feature set.
+
+use super::common::{capped_all_features, labelled_sweep, project, Scale};
+use core::fmt;
+use tms_device::Device;
+use tms_estimator::{EstimatorKind, FeatureSet};
+
+/// Importances of one feature set.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig9Set {
+    /// The feature set.
+    pub set: FeatureSet,
+    /// `(feature name, importance)`, importances summing to 1.
+    pub importances: Vec<(String, f64)>,
+}
+
+impl Fig9Set {
+    /// Importance of a named feature.
+    pub fn importance_of(&self, name: &str) -> Option<f64> {
+        self.importances
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// The Figure 9 reproduction.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig9 {
+    /// One entry per feature set of Table II.
+    pub sets: Vec<Fig9Set>,
+}
+
+impl Fig9 {
+    /// Importances of one feature set.
+    pub fn set(&self, set: FeatureSet) -> Option<&Fig9Set> {
+        self.sets.iter().find(|s| s.set == set)
+    }
+}
+
+/// Run the Figure 9 experiment.
+pub fn run(scale: &Scale) -> Fig9 {
+    let dev = Device::xc7z020();
+    let labelled = labelled_sweep(scale, &dev);
+    let all = capped_all_features(&labelled, scale);
+    let (train_all, _) = all.split(0.8, scale.seed ^ 42);
+    let sets = FeatureSet::TABLE2
+        .iter()
+        .map(|&set| {
+            let train = project(&train_all, set);
+            let est = scale.train(EstimatorKind::DecisionTree, &train, scale.seed);
+            let imp = est.feature_importance().expect("trees expose importance");
+            Fig9Set {
+                set,
+                importances: train
+                    .feature_names
+                    .iter()
+                    .cloned()
+                    .zip(imp.iter().copied())
+                    .collect(),
+            }
+        })
+        .collect();
+    Fig9 { sets }
+}
+
+impl fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 9 — decision-tree feature importance per feature set")?;
+        for s in &self.sets {
+            writeln!(f, "[{}]", s.set.label())?;
+            for (name, v) in &s.importances {
+                let bar = "#".repeat((v * 50.0).round() as usize);
+                writeln!(f, "  {name:>14}: {v:.3} {bar}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn importances_sum_to_one_per_set() {
+        let fig = run(&Scale::quick());
+        assert_eq!(fig.sets.len(), 4);
+        for s in &fig.sets {
+            let total: f64 = s.importances.iter().map(|&(_, v)| v).sum();
+            assert!((total - 1.0).abs() < 1e-6, "{}: sum = {total}", s.set.label());
+        }
+    }
+
+    #[test]
+    fn carry_ratio_dominates_additional_features() {
+        // The paper's headline: Carry/All holds ~0.5 of the decision for
+        // the Additional set and stays dominant with all features.
+        let fig = run(&Scale::quick());
+        let add = fig.set(FeatureSet::Additional).unwrap();
+        let carry = add.importance_of("Carry/All").unwrap();
+        assert!(carry > 0.25, "Carry/All importance = {carry:.3}");
+        let max = add.importances.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+        assert!((carry - max).abs() < 1e-9, "Carry/All should be the top feature");
+    }
+
+    #[test]
+    fn relative_features_dominate_the_all_set() {
+        let fig = run(&Scale::quick());
+        let all = fig.set(FeatureSet::All).unwrap();
+        let relative: f64 = ["Carry/All", "M/All", "FF/All", "Density", "CS/FFs", "Fanout/Cells"]
+            .iter()
+            .filter_map(|n| all.importance_of(n))
+            .sum();
+        assert!(relative > 0.5, "relative share = {relative:.3}");
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = format!("{}", run(&Scale::quick()));
+        assert!(s.contains("Carry/All"));
+    }
+}

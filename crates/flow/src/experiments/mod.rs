@@ -1,0 +1,34 @@
+//! One driver per table / figure of the paper's evaluation.
+//!
+//! | Driver | Paper artefact |
+//! |---|---|
+//! | [`table1`] | Table I — slices & longest path at CF 1.5 vs 1.0 vs AMD |
+//! | [`fig3`] | Figure 3 — placement irregularity at CF 1.5 vs 1.0 |
+//! | [`fig4`] | Figure 4 — distribution of optimal CF over cnvW1A1 blocks |
+//! | [`fig5`] | Figure 5 — AMD vs RW CF 1.68 vs RW minimal-CF placement |
+//! | [`fig7`] | Figure 7 — data-set design-space coverage |
+//! | [`fig8`] | Figure 8 — CF label distribution after per-bin capping |
+//! | [`table2`] | Table II — estimator relative errors per feature set |
+//! | [`fig9`] | Figure 9 — decision-tree feature importances |
+//! | [`fig10`] | Figure 10 — predicted vs actual CF |
+//! | [`fig11`] | Figure 11 — estimated vs actual CF on cnvW1A1 |
+//! | [`fig12`] | Figure 12 — RF feature importance, cnvW1A1 as test set |
+//! | [`fig13`] | Figure 13 / §VIII — estimator impact on the full flow |
+//! | [`resolution`] | §VI-C — CF search-resolution study |
+//! | [`ablations`] | beyond-paper ablations of the design choices |
+
+pub mod ablations;
+pub mod common;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod resolution;
+pub mod table1;
+pub mod table2;

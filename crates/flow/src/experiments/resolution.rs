@@ -1,0 +1,147 @@
+//! Section VI-C: the CF search-resolution study.
+//!
+//! The paper observes that designs under ≈100 LUTs need no step below 0.1
+//! (column snapping quantises the PBlock anyway), while ≈2,500-LUT designs
+//! need 0.03 or finer; 0.02 is chosen because 85% of the data set is below
+//! that size.
+
+use core::fmt;
+use tms_device::Device;
+use tms_pblock::{resolution_study, PBlockGenerator, ResolutionPoint, STANDARD_STEPS};
+use tms_place::{quick_place, PlacementModel};
+use tms_rtlgen::{Generator, MixedParams};
+use tms_synth::pack;
+
+/// Resolution sweep of one module size.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ResolutionRow {
+    /// Module label.
+    pub module: String,
+    /// LUT sites of the module.
+    pub lut_sites: u32,
+    /// One point per search step.
+    pub points: Vec<ResolutionPoint>,
+}
+
+impl ResolutionRow {
+    /// Relative PBlock-size spread between the coarsest and finest step —
+    /// the sensitivity measure of Section VI-C.
+    pub fn pblock_sensitivity(&self) -> f64 {
+        let sizes: Vec<f64> = self
+            .points
+            .iter()
+            .filter_map(|p| p.pblock_slices)
+            .map(f64::from)
+            .collect();
+        if sizes.len() < 2 {
+            return 0.0;
+        }
+        let max = sizes.iter().copied().fold(f64::MIN, f64::max);
+        let min = sizes.iter().copied().fold(f64::MAX, f64::min);
+        (max - min) / min.max(1.0)
+    }
+}
+
+/// The resolution study over a small and a large module.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Resolution {
+    /// One row per module size.
+    pub rows: Vec<ResolutionRow>,
+}
+
+/// Run the study with representative ≈100-LUT and ≈2,500-LUT modules.
+pub fn run(seed: u64) -> Resolution {
+    let dev = Device::xc7z020();
+    let gen = PBlockGenerator::new(&dev, true);
+    let model = PlacementModel::default();
+
+    let sizes = [(100u32, "small_100_luts"), (2_500, "large_2500_luts")];
+    let rows = sizes
+        .iter()
+        .map(|&(luts, label)| {
+            let params = MixedParams {
+                luts,
+                ffs: luts,
+                control_sets: 8,
+                carry_chains: (luts / 400 + 1, 24),
+                lutrams: luts / 16,
+                srls: 0,
+                brams: 0,
+                dsps: 0,
+                depth: 6,
+            };
+            let nl = params.generate(seed);
+            let stats = nl.stats();
+            let packing = pack(&stats);
+            let shape = quick_place(&stats, &packing);
+            let points =
+                resolution_study(&gen, &stats, &packing, &shape, &model, &STANDARD_STEPS, seed);
+            ResolutionRow { module: label.to_string(), lut_sites: stats.counts.lut_sites(), points }
+        })
+        .collect();
+    Resolution { rows }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Section VI-C — CF search-resolution study")?;
+        for r in &self.rows {
+            writeln!(f, "[{} — {} LUT sites]", r.module, r.lut_sites)?;
+            for p in &r.points {
+                match (p.found_cf, p.pblock_slices) {
+                    (Some(cf), Some(s)) => writeln!(
+                        f,
+                        "  step {:>5.2}: CF {:.2}, PBlock {s} slices, {} runs",
+                        p.step, cf, p.attempts
+                    )?,
+                    _ => writeln!(f, "  step {:>5.2}: infeasible", p.step)?,
+                }
+            }
+            writeln!(f, "  PBlock-size sensitivity: {:.1}%", r.pblock_sensitivity() * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_modules_are_more_resolution_sensitive() {
+        let r = run(7);
+        assert_eq!(r.rows.len(), 2);
+        let small = &r.rows[0];
+        let large = &r.rows[1];
+        assert!(small.lut_sites < 200);
+        assert!(large.lut_sites > 2_000);
+        // The Section VI-C observation, in relative PBlock terms.
+        assert!(
+            large.pblock_sensitivity() >= small.pblock_sensitivity() * 0.8,
+            "large {:.3} vs small {:.3}",
+            large.pblock_sensitivity(),
+            small.pblock_sensitivity()
+        );
+    }
+
+    #[test]
+    fn finer_steps_never_find_a_looser_cf() {
+        let r = run(7);
+        for row in &r.rows {
+            let mut last = f64::MAX;
+            for p in &row.points {
+                // points are ordered coarse -> fine
+                if let Some(cf) = p.found_cf {
+                    assert!(cf <= last + 1e-9, "{}: step {} found {cf}", row.module, p.step);
+                    last = cf;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = format!("{}", run(7));
+        assert!(s.contains("resolution study"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Table I: slices and longest path of `mvau_18` / `weights_14` under the
+//! RW flow at CF 1.5 versus CF 1.0, against the AMD-style flat baseline.
+
+use crate::amd::{run_amd_flow, AmdFlowConfig};
+use core::fmt;
+use tms_cnn::cnvw1a1;
+use tms_device::Device;
+use tms_pblock::PBlockGenerator;
+use tms_place::{detail::module_key, place_in_region, quick_place, PlacementModel};
+use tms_synth::pack;
+use tms_timing::{estimate, TimingModel};
+
+/// The two modules the paper examines.
+pub const MODULES: [&str; 2] = ["mvau_18", "weights_14"];
+
+/// One `(module, CF)` measurement.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table1Row {
+    /// Module name.
+    pub module: String,
+    /// Correction factor used.
+    pub cf: f64,
+    /// Slices occupied by the placed module.
+    pub slices: u32,
+    /// Longest-path estimate in nanoseconds.
+    pub longest_path_ns: f64,
+}
+
+/// The full Table I reproduction.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table1 {
+    /// RW measurements at CF 1.5 and 1.0 for both modules.
+    pub rows: Vec<Table1Row>,
+    /// Per-instance slice usage under the flat baseline (the vendor tool
+    /// implements each instance separately).
+    pub amd_instances: Vec<(String, Vec<u32>)>,
+}
+
+impl Table1 {
+    /// Look up a row.
+    pub fn row(&self, module: &str, cf: f64) -> Option<&Table1Row> {
+        self.rows
+            .iter()
+            .find(|r| r.module == module && (r.cf - cf).abs() < 1e-9)
+    }
+}
+
+/// Run the Table I experiment.
+pub fn run(seed: u64) -> Table1 {
+    let design = cnvw1a1(seed);
+    let dev = Device::xc7z020();
+    let gen = PBlockGenerator::new(&dev, true);
+    let model = PlacementModel::default();
+    let tm = TimingModel::default();
+
+    let mut rows = Vec::new();
+    for name in MODULES {
+        let module = design.find_module(name).expect("module exists");
+        let stats = module.netlist.stats();
+        let packing = pack(&stats);
+        let shape = quick_place(&stats, &packing);
+        let key = module_key(name, seed);
+        for cf in [1.5, 1.0] {
+            let pblock = gen.generate(&shape, cf).expect("pblock");
+            let placement = place_in_region(&stats, &packing, &dev, &pblock.rect, &model, key)
+                .expect("Table I CFs are feasible for these modules");
+            let timing = estimate(&stats, &placement, &dev, &tm);
+            rows.push(Table1Row {
+                module: name.to_string(),
+                cf,
+                slices: placement.used_slices,
+                longest_path_ns: timing.longest_path_ns,
+            });
+        }
+    }
+
+    let amd = run_amd_flow(&design, &dev, &AmdFlowConfig { seed, ..AmdFlowConfig::default() });
+    let amd_instances = MODULES
+        .iter()
+        .map(|&m| (m.to_string(), amd.instances_of(m)))
+        .collect();
+
+    Table1 { rows, amd_instances }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I — synthesis results of the cnvW1A1 (simulated)")?;
+        writeln!(f, "{:<12} | {:>8} | {:>8} | {:>12}", "module", "CF", "slices", "path (ns)")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<12} | {:>8.2} | {:>8} | {:>12.3}",
+                r.module, r.cf, r.slices, r.longest_path_ns
+            )?;
+        }
+        for (m, sizes) in &self.amd_instances {
+            let list: Vec<String> = sizes.iter().map(|s| s.to_string()).collect();
+            writeln!(f, "{m:<12} | AMD flat | {}", list.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_the_paper_shape() {
+        let t = run(1);
+        assert_eq!(t.rows.len(), 4);
+        for name in MODULES {
+            let loose = t.row(name, 1.5).unwrap();
+            let tight = t.row(name, 1.0).unwrap();
+            // Tighter PBlock: fewer slices, worse timing (Table I).
+            assert!(
+                tight.slices < loose.slices,
+                "{name}: {} !< {}",
+                tight.slices,
+                loose.slices
+            );
+            assert!(
+                tight.longest_path_ns > loose.longest_path_ns,
+                "{name}: timing should degrade when tight"
+            );
+        }
+    }
+
+    #[test]
+    fn magnitudes_are_in_the_papers_ballpark() {
+        let t = run(1);
+        let w14_tight = t.row("weights_14", 1.0).unwrap();
+        assert!((1_000..1_900).contains(&w14_tight.slices), "{}", w14_tight.slices);
+        let mvau_tight = t.row("mvau_18", 1.0).unwrap();
+        assert!((20..60).contains(&mvau_tight.slices), "{}", mvau_tight.slices);
+        // AMD sits between the tight and loose RW numbers for weights_14.
+        let amd_w14 = &t.amd_instances.iter().find(|(m, _)| m == "weights_14").unwrap().1;
+        let w14_loose = t.row("weights_14", 1.5).unwrap();
+        assert!(amd_w14[0] > w14_tight.slices);
+        assert!(amd_w14[0] < w14_loose.slices + 200);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let t = run(1);
+        let s = format!("{t}");
+        assert!(s.contains("mvau_18"));
+        assert!(s.contains("weights_14"));
+        assert!(s.contains("AMD flat"));
+    }
+}

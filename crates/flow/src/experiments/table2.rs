@@ -1,0 +1,158 @@
+//! Table II: relative error of the proposed estimators per feature set,
+//! plus the linear-regression baseline of Section VII.
+
+use super::common::{capped_all_features, labelled_sweep, project, Scale};
+use core::fmt;
+use tms_device::Device;
+use tms_estimator::{EstimatorKind, FeatureSet};
+
+/// One cell of Table II.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table2Cell {
+    /// Estimator family.
+    pub kind: EstimatorKind,
+    /// Feature set.
+    pub set: FeatureSet,
+    /// Mean relative error on the held-out 20%.
+    pub error: f64,
+}
+
+/// The Table II reproduction.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table2 {
+    /// DT and RF errors per feature set; NN on all features.
+    pub cells: Vec<Table2Cell>,
+    /// Linear-regression error on its nine inputs (paper: 9.4%).
+    pub linreg_error: f64,
+    /// Training / test sample counts.
+    pub train_samples: usize,
+    /// Held-out samples.
+    pub test_samples: usize,
+}
+
+impl Table2 {
+    /// Look up one cell.
+    pub fn error(&self, kind: EstimatorKind, set: FeatureSet) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.kind == kind && c.set == set)
+            .map(|c| c.error)
+    }
+}
+
+/// Run the Table II experiment.
+pub fn run(scale: &Scale) -> Table2 {
+    let dev = Device::xc7z020();
+    let labelled = labelled_sweep(scale, &dev);
+    let all = capped_all_features(&labelled, scale);
+    let (train_all, test_all) = all.split(0.8, scale.seed ^ 42);
+
+    let mut cells = Vec::new();
+    for set in FeatureSet::TABLE2 {
+        let train = project(&train_all, set);
+        let test = project(&test_all, set);
+        for kind in [EstimatorKind::DecisionTree, EstimatorKind::RandomForest] {
+            let est = scale.train(kind, &train, scale.seed);
+            cells.push(Table2Cell { kind, set, error: est.mean_relative_error(&test) });
+        }
+        if set == FeatureSet::All {
+            // The paper feeds the NN all features to get its best result.
+            let est = scale.train(EstimatorKind::NeuralNetwork, &train, scale.seed);
+            cells.push(Table2Cell {
+                kind: EstimatorKind::NeuralNetwork,
+                set,
+                error: est.mean_relative_error(&test),
+            });
+        }
+    }
+
+    let train9 = project(&train_all, FeatureSet::LinRegNine);
+    let test9 = project(&test_all, FeatureSet::LinRegNine);
+    let lin = scale.train(EstimatorKind::LinearRegression, &train9, scale.seed);
+    Table2 {
+        cells,
+        linreg_error: lin.mean_relative_error(&test9),
+        train_samples: train_all.len(),
+        test_samples: test_all.len(),
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table II — relative error of the proposed estimators ({} train / {} test)",
+            self.train_samples, self.test_samples
+        )?;
+        write!(f, "{:<22}", "features")?;
+        for set in FeatureSet::TABLE2 {
+            write!(f, " | {:>10}", set.label())?;
+        }
+        writeln!(f)?;
+        for kind in [EstimatorKind::DecisionTree, EstimatorKind::RandomForest, EstimatorKind::NeuralNetwork] {
+            write!(f, "{:<22}", format!("{} error", kind.label()))?;
+            for set in FeatureSet::TABLE2 {
+                match self.error(kind, set) {
+                    Some(e) => write!(f, " | {:>9.1}%", e * 100.0)?,
+                    None => write!(f, " | {:>10}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "linear regression (nine inputs): {:.1}%", self.linreg_error * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reproduces_the_paper_ordering() {
+        let t = run(&Scale::quick());
+        let dt_classical = t.error(EstimatorKind::DecisionTree, FeatureSet::Classical).unwrap();
+        let rf_classical = t.error(EstimatorKind::RandomForest, FeatureSet::Classical).unwrap();
+        let rf_additional = t.error(EstimatorKind::RandomForest, FeatureSet::Additional).unwrap();
+        // RF beats a single DT (ensembling).
+        assert!(rf_classical < dt_classical);
+        // The hand-crafted relative features beat the raw classical ones.
+        assert!(
+            rf_additional < rf_classical,
+            "additional {rf_additional:.3} !< classical {rf_classical:.3}"
+        );
+        // Everything is single-/low-double-digit percent.
+        for c in &t.cells {
+            assert!(c.error < 0.20, "{} {}: {:.3}", c.kind.label(), c.set.label(), c.error);
+        }
+    }
+
+    #[test]
+    fn linreg_is_the_weakest_family() {
+        let t = run(&Scale::quick());
+        let best = t
+            .cells
+            .iter()
+            .map(|c| c.error)
+            .fold(f64::MAX, f64::min);
+        assert!(
+            t.linreg_error > best,
+            "linreg {:.3} should exceed the best learner {:.3}",
+            t.linreg_error,
+            best
+        );
+    }
+
+    #[test]
+    fn nn_reported_on_all_features_only() {
+        let t = run(&Scale::quick());
+        assert!(t.error(EstimatorKind::NeuralNetwork, FeatureSet::All).is_some());
+        assert!(t.error(EstimatorKind::NeuralNetwork, FeatureSet::Classical).is_none());
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let s = format!("{}", run(&Scale::quick()));
+        assert!(s.contains("Classical*"));
+        assert!(s.contains("linear regression"));
+    }
+}

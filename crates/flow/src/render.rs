@@ -1,0 +1,161 @@
+//! ASCII rendering of placements — the pictures behind Figures 5 and 13.
+//!
+//! The paper's Figures 3, 5 and 13 are screenshots of the placed fabric;
+//! this module draws the equivalent view of a [`tms_stitch::StitchResult`]:
+//! every placed macro covers its footprint with a letter (cycling per
+//! unique module), dead fabric stays `·`, and clock columns show as `|`.
+//! Down-sampling keeps the aspect ratio of the device.
+
+use tms_device::{ColumnKind, Device};
+use tms_stitch::{StitchProblem, StitchResult};
+
+/// Character palette for macro footprints.
+const PALETTE: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+/// Render a stitched placement as an ASCII fabric map of at most
+/// `max_cols × max_rows` characters.
+pub fn render_stitched(
+    device: &Device,
+    problem: &StitchProblem,
+    result: &StitchResult,
+    max_cols: usize,
+    max_rows: usize,
+) -> String {
+    let w = device.width() as usize;
+    let h = device.rows() as usize;
+    // Paint the full-resolution grid first.
+    let mut grid = vec![0u32; w * h]; // 0 free, else module index + 1
+    for (inst, pos) in result.positions.iter().enumerate() {
+        let Some((x, y)) = pos else { continue };
+        let module = problem.instances[inst] as u32;
+        let b = problem.block_of(inst as u32);
+        for yy in *y..y + b.height {
+            for xx in *x..x + b.width {
+                grid[yy as usize * w + xx as usize] = module + 1;
+            }
+        }
+    }
+
+    let out_w = max_cols.clamp(8, w.max(8)).min(w);
+    let out_h = max_rows.clamp(4, h.max(4)).min(h);
+    let mut out = String::with_capacity((out_w + 1) * (out_h + 2));
+    // Top-of-fabric first (row indices grow upward).
+    for oy in (0..out_h).rev() {
+        let y0 = oy * h / out_h;
+        for ox in 0..out_w {
+            let x0 = ox * w / out_w;
+            // Majority vote over the sampled cell's footprint region: take
+            // the value at the representative point (cheap and adequate).
+            let v = grid[y0 * w + x0];
+            let ch = if v == 0 {
+                match device.column(x0 as u32).kind {
+                    ColumnKind::Clock => '|',
+                    ColumnKind::Bram => ':',
+                    ColumnKind::Dsp => ';',
+                    _ => '\u{b7}', // ·
+                }
+            } else {
+                PALETTE[(v as usize - 1) % PALETTE.len()] as char
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a cost trace as a one-line sparkline (`min..max` normalised over
+/// eight block heights).
+pub fn render_cost_trace(trace: &[(u64, f64)], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if trace.is_empty() || width == 0 {
+        return String::new();
+    }
+    let lo = trace.iter().map(|&(_, c)| c).fold(f64::MAX, f64::min);
+    let hi = trace.iter().map(|&(_, c)| c).fold(f64::MIN, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let n = trace.len();
+    (0..width.min(n))
+        .map(|i| {
+            let (_, c) = trace[i * n / width.min(n)];
+            let level = ((c - lo) / span * 7.0).round() as usize;
+            BARS[level.min(7)]
+        })
+        .collect()
+}
+
+/// Fabric utilisation summary line for a rendered placement.
+pub fn coverage_line(device: &Device, problem: &StitchProblem, result: &StitchResult) -> String {
+    let fabric = u64::from(device.width()) * u64::from(device.rows());
+    let covered = result.placed_area(problem);
+    let wasted = result.wasted_cells(problem);
+    format!(
+        "{} / {} blocks placed, {:.1}% fabric covered, {:.1}% of covered area is PBlock waste",
+        result.placed_count,
+        result.positions.len(),
+        covered as f64 / fabric as f64 * 100.0,
+        if covered == 0 { 0.0 } else { wasted as f64 / covered as f64 * 100.0 }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_stitch::{stitch, MacroBlock, StitchConfig};
+
+    fn stitched() -> (Device, StitchProblem, StitchResult) {
+        let dev = Device::xc7z020();
+        let blk = MacroBlock {
+            name: "m".into(),
+            signature: dev.signature(0, 3),
+            width: 3,
+            height: 10,
+            used_slices: 24,
+            irregularity: 0.2,
+        };
+        let mut p = StitchProblem::new(vec![blk]);
+        let ids: Vec<u32> = (0..12).map(|_| p.add_instance(0)).collect();
+        for pair in ids.windows(2) {
+            p.add_net(pair, 1.0);
+        }
+        let r = stitch(&dev, &p, &StitchConfig::fast(3));
+        (dev, p, r)
+    }
+
+    #[test]
+    fn render_has_requested_shape() {
+        let (dev, p, r) = stitched();
+        let s = render_stitched(&dev, &p, &r, 60, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 20);
+        assert!(lines.iter().all(|l| l.chars().count() == 60));
+    }
+
+    #[test]
+    fn placed_blocks_appear_in_the_render() {
+        let (dev, p, r) = stitched();
+        assert_eq!(r.unplaced_count, 0);
+        let s =
+            render_stitched(&dev, &p, &r, dev.width() as usize, dev.rows() as usize);
+        let painted = s.chars().filter(|c| *c == 'a').count();
+        // 12 blocks × 30 cells each.
+        assert_eq!(painted, 360);
+    }
+
+    #[test]
+    fn sparkline_is_monotone_friendly() {
+        let trace: Vec<(u64, f64)> = (0..100).map(|i| (i, 1000.0 - 9.0 * i as f64)).collect();
+        let s = render_cost_trace(&trace, 40);
+        assert_eq!(s.chars().count(), 40);
+        assert!(s.starts_with('█'));
+        assert!(s.ends_with('▁'));
+        assert_eq!(render_cost_trace(&[], 40), "");
+    }
+
+    #[test]
+    fn coverage_line_reports_counts() {
+        let (dev, p, r) = stitched();
+        let line = coverage_line(&dev, &p, &r);
+        assert!(line.contains("12 / 12 blocks placed"), "{line}");
+    }
+}

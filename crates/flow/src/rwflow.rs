@@ -1,0 +1,304 @@
+//! The RapidWright-style pre-implement-and-stitch flow.
+
+use rayon::prelude::*;
+use tms_cnn::CnvDesign;
+use tms_device::Device;
+use tms_pblock::{guided_search, min_feasible_cf, CfSearch, PBlock, PBlockGenerator};
+use tms_place::{detail::module_key, place_in_region, quick_place, Placement, PlacementModel};
+use tms_stitch::{stitch, MacroBlock, StitchConfig, StitchProblem, StitchResult};
+use tms_synth::pack;
+use tms_timing::{estimate, TimingModel, TimingReport};
+
+/// How the flow chooses each module's correction factor.
+pub enum CfPolicy<'a> {
+    /// One constant CF for every module (RapidWright default: 1.5).
+    Constant(f64),
+    /// Search the minimal feasible CF per module (the labelling procedure).
+    Minimal(CfSearch),
+    /// Estimator-guided (Section VIII): predict, then recover from
+    /// underestimates with +0.1 coarse steps and a 0.02 refinement.
+    Guided {
+        /// Returns the predicted CF for a module name.
+        predict: &'a (dyn Fn(&str) -> f64 + Sync),
+        /// Abort threshold.
+        max_cf: f64,
+    },
+}
+
+/// Flow configuration.
+pub struct RwFlowConfig<'a> {
+    /// CF selection policy.
+    pub policy: CfPolicy<'a>,
+    /// Honour the carry-chain shape report when building PBlocks.
+    pub use_shape_report: bool,
+    /// Placement-model constants.
+    pub model: PlacementModel,
+    /// Stitcher schedule.
+    pub stitch: StitchConfig,
+    /// Seed for placer jitter.
+    pub seed: u64,
+}
+
+impl<'a> RwFlowConfig<'a> {
+    /// RapidWright's stock behaviour: constant CF 1.5, shape report on.
+    pub fn rapidwright_default(seed: u64) -> Self {
+        RwFlowConfig {
+            policy: CfPolicy::Constant(1.5),
+            use_shape_report: true,
+            model: PlacementModel::default(),
+            stitch: StitchConfig::standard(seed),
+            seed,
+        }
+    }
+}
+
+/// One pre-implemented module.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ImplementedModule {
+    /// Module name.
+    pub name: String,
+    /// The CF its PBlock was built with.
+    pub cf: f64,
+    /// The PBlock.
+    pub pblock: PBlock,
+    /// The detailed placement inside it.
+    pub placement: Placement,
+    /// Longest-path estimate of the placed module.
+    pub timing: TimingReport,
+    /// Place-and-route attempts (tool runs) spent on this module.
+    pub attempts: u32,
+    /// Whether the first attempted CF was already feasible.
+    pub first_try: bool,
+}
+
+/// Result of the full RW-style flow.
+pub struct RwFlowResult {
+    /// Successfully pre-implemented unique modules.
+    pub implemented: Vec<ImplementedModule>,
+    /// Modules with no feasible CF under the policy (flow would stop).
+    pub failed: Vec<String>,
+    /// The stitched design.
+    pub stitch: StitchResult,
+    /// The stitch problem (instances and footprints), for reporting.
+    pub problem: StitchProblem,
+    /// Total place-and-route tool runs across all modules.
+    pub total_tool_runs: u32,
+}
+
+impl RwFlowResult {
+    /// Find an implemented module by name.
+    pub fn module(&self, name: &str) -> Option<&ImplementedModule> {
+        self.implemented.iter().find(|m| m.name == name)
+    }
+
+    /// Fraction of modules whose first attempted CF was feasible
+    /// (Section VIII: 52.7% for the NN estimator).
+    pub fn first_try_rate(&self) -> f64 {
+        if self.implemented.is_empty() {
+            return 0.0;
+        }
+        self.implemented.iter().filter(|m| m.first_try).count() as f64
+            / self.implemented.len() as f64
+    }
+}
+
+/// Run the flow: pre-implement every unique module under the CF policy,
+/// then replicate and stitch.
+pub fn run_rw_flow(design: &CnvDesign, device: &Device, cfg: &RwFlowConfig<'_>) -> RwFlowResult {
+    let gen = PBlockGenerator::new(device, cfg.use_shape_report);
+    let timing_model = TimingModel::default();
+
+    // Pre-implement unique modules in parallel.
+    let per_module: Vec<(usize, Result<ImplementedModule, String>)> = design
+        .modules
+        .par_iter()
+        .enumerate()
+        .map(|(idx, m)| {
+            let stats = m.netlist.stats();
+            let packing = pack(&stats);
+            let shape = quick_place(&stats, &packing);
+            let key = module_key(&m.name, cfg.seed);
+            let outcome = match &cfg.policy {
+                CfPolicy::Constant(cf) => gen
+                    .generate(&shape, *cf)
+                    .ok_or_else(|| "no PBlock".to_string())
+                    .and_then(|pblock| {
+                        place_in_region(&stats, &packing, device, &pblock.rect, &cfg.model, key)
+                            .map(|placement| (*cf, pblock, placement, 1u32, true))
+                            .map_err(|e| e.to_string())
+                    }),
+                CfPolicy::Minimal(search) => {
+                    min_feasible_cf(&gen, &stats, &packing, &shape, &cfg.model, search, key)
+                        .map(|r| (r.cf, r.pblock, r.placement, r.attempts, r.attempts == 1))
+                        .ok_or_else(|| "no feasible CF".to_string())
+                }
+                CfPolicy::Guided { predict, max_cf } => {
+                    let predicted = predict(&m.name);
+                    guided_search(
+                        &gen, &stats, &packing, &shape, &cfg.model, predicted, *max_cf, key,
+                    )
+                    .map(|r| (r.cf, r.pblock, r.placement, r.attempts, r.first_try))
+                    .ok_or_else(|| "no feasible CF".to_string())
+                }
+            };
+            let result = outcome.map(|(cf, pblock, placement, attempts, first_try)| {
+                let timing = estimate(&stats, &placement, device, &timing_model);
+                ImplementedModule {
+                    name: m.name.clone(),
+                    cf,
+                    pblock,
+                    placement,
+                    timing,
+                    attempts,
+                    first_try,
+                }
+            });
+            (idx, result)
+        })
+        .collect();
+
+    let mut implemented = Vec::new();
+    let mut failed = Vec::new();
+    let mut total_tool_runs = 0;
+    // Map design-module index -> stitch-module index (implemented only).
+    let mut stitch_index: Vec<Option<usize>> = vec![None; design.modules.len()];
+    let mut macros: Vec<MacroBlock> = Vec::new();
+    for (idx, result) in per_module {
+        match result {
+            Ok(impl_mod) => {
+                total_tool_runs += impl_mod.attempts;
+                stitch_index[idx] = Some(macros.len());
+                macros.push(MacroBlock {
+                    name: impl_mod.name.clone(),
+                    signature: impl_mod.pblock.signature.clone(),
+                    width: impl_mod.pblock.rect.w,
+                    height: impl_mod.pblock.rect.h,
+                    used_slices: impl_mod.placement.used_slices,
+                    irregularity: impl_mod.placement.irregularity,
+                });
+                implemented.push(impl_mod);
+            }
+            Err(why) => {
+                total_tool_runs += 1;
+                failed.push(format!("{}: {why}", design.modules[idx].name));
+            }
+        }
+    }
+
+    // Build the stitch problem over instances of implemented modules.
+    let mut problem = StitchProblem::new(macros);
+    // design instance id -> stitch instance id (None if module failed).
+    let mut inst_map: Vec<Option<u32>> = Vec::with_capacity(design.instances.len());
+    for (midx, _) in &design.instances {
+        inst_map.push(stitch_index[*midx].map(|s| problem.add_instance(s)));
+    }
+    for (ends, weight) in &design.nets {
+        let mapped: Vec<u32> = ends
+            .iter()
+            .filter_map(|&e| inst_map[e as usize])
+            .collect();
+        if mapped.len() >= 2 {
+            problem.add_net(&mapped, *weight);
+        }
+    }
+
+    let stitch_result = stitch(device, &problem, &cfg.stitch);
+    RwFlowResult {
+        implemented,
+        failed,
+        stitch: stitch_result,
+        problem,
+        total_tool_runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_cnn::cnvw1a1;
+
+    fn quick_cfg(policy: CfPolicy<'_>, seed: u64) -> RwFlowConfig<'_> {
+        RwFlowConfig {
+            policy,
+            use_shape_report: true,
+            model: PlacementModel::deterministic(),
+            stitch: StitchConfig::fast(seed),
+            seed,
+        }
+    }
+
+    #[test]
+    fn worst_case_constant_cf_implements_every_module() {
+        // The design's worst minimal CF is ≈1.70 (paper: 1.68); a constant
+        // CF at/above it must implement every module.
+        let design = cnvw1a1(1);
+        let dev = Device::xc7z020();
+        let r = run_rw_flow(&design, &dev, &quick_cfg(CfPolicy::Constant(1.72), 1));
+        assert!(r.failed.is_empty(), "failed: {:?}", r.failed);
+        assert_eq!(r.implemented.len(), 74);
+        assert_eq!(r.total_tool_runs, 74);
+        assert_eq!(r.problem.instances.len(), 175);
+    }
+
+    #[test]
+    fn minimal_cf_uses_tighter_pblocks_than_constant() {
+        let design = cnvw1a1(1);
+        let dev = Device::xc7z020();
+        let constant = run_rw_flow(&design, &dev, &quick_cfg(CfPolicy::Constant(1.72), 1));
+        let minimal = run_rw_flow(
+            &design,
+            &dev,
+            &quick_cfg(CfPolicy::Minimal(CfSearch::wide()), 1),
+        );
+        assert!(minimal.failed.is_empty(), "failed: {:?}", minimal.failed);
+        let area = |r: &RwFlowResult| r.problem.total_area();
+        assert!(
+            area(&minimal) < area(&constant),
+            "minimal {} !< constant {}",
+            area(&minimal),
+            area(&constant)
+        );
+        // And therefore fewer unplaced blocks (the Figure 5 effect).
+        assert!(
+            minimal.stitch.unplaced_count <= constant.stitch.unplaced_count,
+            "minimal {} > constant {}",
+            minimal.stitch.unplaced_count,
+            constant.stitch.unplaced_count
+        );
+    }
+
+    #[test]
+    fn guided_policy_counts_first_tries() {
+        let design = cnvw1a1(1);
+        let dev = Device::xc7z020();
+        let predict = |_: &str| 1.3;
+        let r = run_rw_flow(
+            &design,
+            &dev,
+            &quick_cfg(CfPolicy::Guided { predict: &predict, max_cf: 3.0 }, 1),
+        );
+        assert!(r.failed.is_empty());
+        let rate = r.first_try_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(rate > 0.3, "rate = {rate}");
+    }
+
+    #[test]
+    fn too_small_constant_cf_fails_some_modules() {
+        let design = cnvw1a1(1);
+        let dev = Device::xc7z020();
+        let r = run_rw_flow(&design, &dev, &quick_cfg(CfPolicy::Constant(0.9), 1));
+        assert!(!r.failed.is_empty(), "CF 0.9 should not fit every module");
+    }
+
+    #[test]
+    fn module_lookup_and_timing() {
+        let design = cnvw1a1(1);
+        let dev = Device::xc7z020();
+        let r = run_rw_flow(&design, &dev, &quick_cfg(CfPolicy::Constant(1.68), 1));
+        let w14 = r.module("weights_14").expect("implemented");
+        assert!(w14.timing.longest_path_ns > 0.0);
+        assert!(w14.placement.used_slices > 500);
+        assert!(r.module("nope").is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Random forest: bagged CART trees with feature subsampling.
+
+use crate::data::Dataset;
+use crate::tree::{RegressionTree, TreeConfig};
+use crate::Regressor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Forest hyper-parameters. The paper combines "the predictions of 1000
+/// decision-trees (each with a depth of 20)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration.
+    pub tree: TreeConfig,
+    /// Features sampled per node; `0` means ⌈d/3⌉ (the regression default).
+    pub mtry: usize,
+    /// Seed for bootstrap and feature sampling.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig { n_trees: 1000, tree: TreeConfig::default(), mtry: 0, seed: 0 }
+    }
+}
+
+impl ForestConfig {
+    /// A smaller forest for tests and quick benches.
+    pub fn small(seed: u64) -> Self {
+        ForestConfig { n_trees: 60, tree: TreeConfig::default(), mtry: 0, seed }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    importance: Vec<f64>,
+}
+
+impl RandomForest {
+    /// Fit `cfg.n_trees` trees on bootstrap resamples, in parallel.
+    pub fn fit(data: &Dataset, cfg: &ForestConfig) -> RandomForest {
+        assert!(!data.is_empty(), "cannot fit on an empty data set");
+        let n = data.len();
+        let d = data.dims();
+        let mtry = if cfg.mtry == 0 { d.div_ceil(3) } else { cfg.mtry };
+        let trees: Vec<RegressionTree> = (0..cfg.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng =
+                    StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+                let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                RegressionTree::fit_on(data, rows, &cfg.tree, Some(mtry), &mut rng)
+            })
+            .collect();
+        let mut importance = vec![0.0; d];
+        for t in &trees {
+            for (acc, v) in importance.iter_mut().zip(t.feature_importance()) {
+                *acc += v;
+            }
+        }
+        let total: f64 = importance.iter().sum();
+        if total > 0.0 {
+            for v in &mut importance {
+                *v /= total;
+            }
+        }
+        RandomForest { trees, importance }
+    }
+
+    /// Averaged, normalised feature importances (sum to 1).
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest holds no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Regressor for RandomForest {
+    fn predict(&self, x: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mean_relative_error;
+
+    fn ratio_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                vec![
+                    rng.gen_range(1.0..100.0),
+                    rng.gen_range(1.0..100.0),
+                    rng.gen_range(0.0..1.0), // noise
+                ]
+            })
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 0.9 + 0.8 * x[0] / (x[0] + x[1]) + rng.gen_range(-0.06..0.06))
+            .collect();
+        Dataset::new(vec!["carry".into(), "rest".into(), "noise".into()], xs, ys)
+    }
+
+    #[test]
+    fn forest_beats_generalisation_of_single_tree() {
+        let ds = ratio_data(1200, 7);
+        let (train, test) = ds.split(0.8, 2);
+        let tree = RegressionTree::fit(&train, &TreeConfig::default());
+        // Pure bagging (mtry = d) so the comparison isolates variance
+        // reduction, which is what lets the forest beat one deep tree on
+        // noisy labels.
+        let forest = RandomForest::fit(&train, &ForestConfig { mtry: 3, ..ForestConfig::small(3) });
+        let e_tree = mean_relative_error(&tree.predict_all(&test.features), &test.targets);
+        let e_forest = mean_relative_error(&forest.predict_all(&test.features), &test.targets);
+        assert!(
+            e_forest < e_tree,
+            "forest {e_forest:.4} should beat tree {e_tree:.4}"
+        );
+    }
+
+    #[test]
+    fn importance_prefers_informative_features() {
+        let ds = ratio_data(800, 9);
+        let forest = RandomForest::fit(&ds, &ForestConfig::small(1));
+        let imp = forest.feature_importance();
+        assert!(imp[0] + imp[1] > 0.9, "importance = {imp:?}");
+        assert!(imp[2] < 0.1);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = ratio_data(200, 4);
+        let cfg = ForestConfig { n_trees: 16, ..ForestConfig::small(5) };
+        let a = RandomForest::fit(&ds, &cfg);
+        let b = RandomForest::fit(&ds, &cfg);
+        let x = &ds.features[0];
+        assert_eq!(a.predict(x), b.predict(x));
+        assert_eq!(a.feature_importance(), b.feature_importance());
+    }
+
+    #[test]
+    fn tree_count_matches_config() {
+        let ds = ratio_data(100, 8);
+        let f = RandomForest::fit(&ds, &ForestConfig { n_trees: 12, ..ForestConfig::small(0) });
+        assert_eq!(f.len(), 12);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn prediction_is_in_target_range() {
+        let ds = ratio_data(500, 10);
+        let f = RandomForest::fit(&ds, &ForestConfig::small(2));
+        for x in ds.features.iter().take(50) {
+            let p = f.predict(x);
+            assert!((0.8..=1.8).contains(&p), "p = {p}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Ordinary least squares via the normal equations.
+
+use crate::data::Dataset;
+use crate::Regressor;
+
+/// A fitted linear model `y = w · x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+}
+
+impl LinearRegression {
+    /// Fit by solving `(XᵀX + ridge·I) w = Xᵀy` with Gaussian elimination.
+    /// `ridge` keeps the system well-posed on collinear features; the
+    /// paper's nine-input regressor corresponds to `ridge ≈ 1e-8`.
+    pub fn fit(data: &Dataset, ridge: f64) -> LinearRegression {
+        let n = data.len();
+        let d = data.dims();
+        assert!(n > 0, "cannot fit on an empty data set");
+        // Augmented design matrix with a trailing 1 for the intercept.
+        let dim = d + 1;
+        let mut xtx = vec![vec![0.0f64; dim]; dim];
+        let mut xty = vec![0.0f64; dim];
+        for (row, &y) in data.features.iter().zip(&data.targets) {
+            for i in 0..dim {
+                let xi = if i < d { row[i] } else { 1.0 };
+                xty[i] += xi * y;
+                for j in 0..dim {
+                    let xj = if j < d { row[j] } else { 1.0 };
+                    xtx[i][j] += xi * xj;
+                }
+            }
+        }
+        for (i, r) in xtx.iter_mut().enumerate() {
+            r[i] += ridge.max(0.0);
+        }
+        let sol = solve(xtx, xty);
+        LinearRegression { weights: sol[..d].to_vec(), bias: sol[d] }
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.weights.len());
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(x)
+                .map(|(w, v)| w * v)
+                .sum::<f64>()
+    }
+}
+
+/// Gaussian elimination with partial pivoting. Singular pivots (possible on
+/// degenerate features with ridge = 0) resolve to zero coefficients.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..n {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        if a[piv][col].abs() < 1e-12 {
+            continue;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let diag = a[col][col];
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let factor = a[r][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            let (pivot_row, other_row) = if r < col {
+                let (lo, hi) = a.split_at_mut(col);
+                (&hi[0], &mut lo[r])
+            } else {
+                let (lo, hi) = a.split_at_mut(r);
+                (&lo[col], &mut hi[0])
+            };
+            for (o, p) in other_row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *o -= factor * p;
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    (0..n)
+        .map(|i| if a[i][i].abs() < 1e-12 { 0.0 } else { b[i] / a[i][i] })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_exact_linear_law() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 0.5).collect();
+        let ds = Dataset::new(vec!["a".into(), "b".into()], xs, ys);
+        let m = LinearRegression::fit(&ds, 0.0);
+        assert!((m.weights[0] - 3.0).abs() < 1e-8);
+        assert!((m.weights[1] + 2.0).abs() < 1e-8);
+        assert!((m.bias - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn noisy_fit_is_near_truth() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<Vec<f64>> = (0..2000).map(|_| vec![rng.gen_range(0.0..1.0)]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.5 * x[0] + 1.0 + rng.gen_range(-0.05..0.05))
+            .collect();
+        let ds = Dataset::new(vec!["x".into()], xs, ys);
+        let m = LinearRegression::fit(&ds, 1e-8);
+        assert!((m.weights[0] - 1.5).abs() < 0.02, "{:?}", m);
+    }
+
+    #[test]
+    fn collinear_features_do_not_explode() {
+        // Second feature is an exact copy of the first.
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![f64::from(i), f64::from(i)]).collect();
+        let ys: Vec<f64> = (0..50).map(|i| f64::from(i) * 2.0).collect();
+        let ds = Dataset::new(vec!["a".into(), "b".into()], xs, ys);
+        let m = LinearRegression::fit(&ds, 1e-6);
+        let pred = m.predict(&[10.0, 10.0]);
+        assert!((pred - 20.0).abs() < 0.01, "pred = {pred}");
+        assert!(m.weights.iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn constant_target_yields_bias_only() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![f64::from(i)]).collect();
+        let ds = Dataset::new(vec!["x".into()], xs, vec![7.0; 20]);
+        let m = LinearRegression::fit(&ds, 1e-9);
+        assert!((m.predict(&[100.0]) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        LinearRegression::fit(&Dataset::new(vec!["x".into()], vec![], vec![]), 0.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! CART regression tree with impurity-based feature importance.
+
+use crate::data::Dataset;
+use crate::Regressor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Tree hyper-parameters. The paper uses a depth of 20.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples in a leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 20, min_samples_leaf: 2, min_samples_split: 4 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(f64),
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    importance: Vec<f64>,
+    dims: usize,
+}
+
+impl RegressionTree {
+    /// Fit on the full feature set (deterministic).
+    pub fn fit(data: &Dataset, cfg: &TreeConfig) -> RegressionTree {
+        let idx: Vec<usize> = (0..data.len()).collect();
+        Self::fit_on(data, idx, cfg, None, &mut StdRng::seed_from_u64(0))
+    }
+
+    /// Fit on a sample of rows, optionally sampling `mtry` features per
+    /// node (used by the random forest).
+    pub fn fit_on(
+        data: &Dataset,
+        rows: Vec<usize>,
+        cfg: &TreeConfig,
+        mtry: Option<usize>,
+        rng: &mut StdRng,
+    ) -> RegressionTree {
+        assert!(!rows.is_empty(), "cannot fit a tree on no rows");
+        let dims = data.dims();
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            importance: vec![0.0; dims],
+            dims,
+        };
+        tree.build(data, rows, cfg, mtry, rng, 0);
+        // Normalise importances to sum 1 (the paper's convention).
+        let total: f64 = tree.importance.iter().sum();
+        if total > 0.0 {
+            for v in &mut tree.importance {
+                *v /= total;
+            }
+        }
+        tree
+    }
+
+    /// Per-feature importance (summing to 1, or all-zero for a stump).
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn build(
+        &mut self,
+        data: &Dataset,
+        rows: Vec<usize>,
+        cfg: &TreeConfig,
+        mtry: Option<usize>,
+        rng: &mut StdRng,
+        depth: usize,
+    ) -> usize {
+        let n = rows.len();
+        let mean = rows.iter().map(|&i| data.targets[i]).sum::<f64>() / n as f64;
+        let sse: f64 = rows
+            .iter()
+            .map(|&i| (data.targets[i] - mean) * (data.targets[i] - mean))
+            .sum();
+        let node_id = self.nodes.len();
+        self.nodes.push(Node::Leaf(mean));
+        if depth >= cfg.max_depth || n < cfg.min_samples_split || sse <= 1e-12 {
+            return node_id;
+        }
+
+        // Candidate features for this node.
+        let mut feats: Vec<usize> = (0..self.dims).collect();
+        if let Some(m) = mtry {
+            feats.shuffle(rng);
+            feats.truncate(m.clamp(1, self.dims));
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        let mut sorted = rows.clone();
+        for &f in &feats {
+            sorted.sort_by(|&a, &b| {
+                data.features[a][f]
+                    .partial_cmp(&data.features[b][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            // Prefix sums over the sorted order.
+            let mut sum_left = 0.0;
+            let mut sq_left = 0.0;
+            let total_sum: f64 = sorted.iter().map(|&i| data.targets[i]).sum();
+            let total_sq: f64 = sorted.iter().map(|&i| data.targets[i] * data.targets[i]).sum();
+            for k in 0..n - 1 {
+                let y = data.targets[sorted[k]];
+                sum_left += y;
+                sq_left += y * y;
+                let nl = k + 1;
+                let nr = n - nl;
+                if nl < cfg.min_samples_leaf || nr < cfg.min_samples_leaf {
+                    continue;
+                }
+                let v_here = data.features[sorted[k]][f];
+                let v_next = data.features[sorted[k + 1]][f];
+                if v_next <= v_here {
+                    continue; // no threshold separates equal values
+                }
+                let sse_left = sq_left - sum_left * sum_left / nl as f64;
+                let sum_right = total_sum - sum_left;
+                let sse_right = (total_sq - sq_left) - sum_right * sum_right / nr as f64;
+                let gain = sse - sse_left - sse_right;
+                if gain > best.map_or(1e-12, |(_, _, g)| g) {
+                    best = Some((f, (v_here + v_next) / 2.0, gain));
+                }
+            }
+        }
+
+        let Some((feature, threshold, gain)) = best else {
+            return node_id;
+        };
+        self.importance[feature] += gain;
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+            .into_iter()
+            .partition(|&i| data.features[i][feature] <= threshold);
+        let left = self.build(data, left_rows, cfg, mtry, rng, depth + 1);
+        let right = self.build(data, right_rows, cfg, mtry, rng, depth + 1);
+        self.nodes[node_id] = Node::Split { feature, threshold, left, right };
+        node_id
+    }
+}
+
+impl Regressor for RegressionTree {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut id = 0;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf(v) => return *v,
+                Node::Split { feature, threshold, left, right } => {
+                    id = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mean_relative_error;
+    use rand::Rng;
+
+    fn step_data(n: usize) -> Dataset {
+        // y = 1 if x0 < 0.5 else 2; feature 1 is pure noise.
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| if x[0] < 0.5 { 1.0 } else { 2.0 }).collect();
+        Dataset::new(vec!["signal".into(), "noise".into()], xs, ys)
+    }
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let ds = step_data(300);
+        let t = RegressionTree::fit(&ds, &TreeConfig::default());
+        let preds = t.predict_all(&ds.features);
+        assert!(mean_relative_error(&preds, &ds.targets) < 1e-9);
+    }
+
+    #[test]
+    fn importance_identifies_the_signal_feature() {
+        let ds = step_data(400);
+        let t = RegressionTree::fit(&ds, &TreeConfig::default());
+        let imp = t.feature_importance();
+        assert!(imp[0] > 0.95, "importance = {imp:?}");
+        let total: f64 = imp.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_limit_bounds_the_tree() {
+        let ds = step_data(400);
+        let stump = RegressionTree::fit(
+            &ds,
+            &TreeConfig { max_depth: 1, ..TreeConfig::default() },
+        );
+        // One split, two leaves.
+        assert!(stump.node_count() <= 3);
+    }
+
+    #[test]
+    fn zero_depth_is_a_mean_leaf() {
+        let ds = step_data(100);
+        let t = RegressionTree::fit(&ds, &TreeConfig { max_depth: 0, ..TreeConfig::default() });
+        let mean = ds.targets.iter().sum::<f64>() / ds.len() as f64;
+        assert!((t.predict(&[0.1, 0.1]) - mean).abs() < 1e-12);
+        assert!(t.feature_importance().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn constant_target_never_splits() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![f64::from(i)]).collect();
+        let ds = Dataset::new(vec!["x".into()], xs, vec![3.0; 50]);
+        let t = RegressionTree::fit(&ds, &TreeConfig::default());
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[25.0]), 3.0);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let ds = step_data(20);
+        let t = RegressionTree::fit(
+            &ds,
+            &TreeConfig { min_samples_leaf: 10, max_depth: 20, min_samples_split: 2 },
+        );
+        // With 20 samples and 10-per-leaf, only one split is possible.
+        assert!(t.node_count() <= 3);
+    }
+
+    #[test]
+    fn learns_smooth_function_approximately() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let xs: Vec<Vec<f64>> = (0..2000).map(|_| vec![rng.gen_range(0.0..3.0)]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + (x[0]).sin() * 0.3).collect();
+        let ds = Dataset::new(vec!["x".into()], xs, ys);
+        let (train, test) = ds.split(0.8, 1);
+        let t = RegressionTree::fit(&train, &TreeConfig::default());
+        let preds = t.predict_all(&test.features);
+        assert!(mean_relative_error(&preds, &test.targets) < 0.02);
+    }
+}

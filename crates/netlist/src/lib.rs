@@ -1,0 +1,48 @@
+//! # tms-netlist — structural netlists at slice-primitive granularity
+//!
+//! The estimator in the paper consumes **post-synthesis** information:
+//! resource counts (LUTs, FFs, carry elements, LUTRAMs, block RAMs),
+//! control-set counts, fanout statistics and the carry-chain shapes from the
+//! quick placement. This crate provides the netlist representation those
+//! numbers are computed from.
+//!
+//! A [`Netlist`] is a set of [`CellKind`] cells connected by [`Net`]s. Cells
+//! are the primitives that map one-to-one onto slice resources:
+//! LUT6s, flip-flops (tagged with their [`ControlSet`]), carry bits (tagged
+//! with their chain), LUTRAM/SRL LUTs (which require M-type slices), and the
+//! hard blocks RAMB36 / DSP48.
+//!
+//! [`NetlistStats`] derives every feature the downstream estimator uses:
+//! resource counts, number of distinct control sets, fanout maximum and
+//! distribution, combinational logic depth, and the carry-chain length
+//! profile.
+//!
+//! ```
+//! use tms_netlist::{NetlistBuilder, ControlSet};
+//!
+//! let mut b = NetlistBuilder::new("adder8");
+//! let cs = ControlSet::new(0, 1, 0);
+//! let chain = b.carry_chain(8);
+//! let regs: Vec<_> = (0..8).map(|_| b.ff(cs)).collect();
+//! for (bit, reg) in chain.iter().zip(&regs) {
+//!     b.connect(*bit, &[*reg]);
+//! }
+//! let nl = b.finish();
+//! let stats = nl.stats();
+//! assert_eq!(stats.counts.carry_bits, 8);
+//! assert_eq!(stats.counts.ffs, 8);
+//! assert_eq!(stats.control_sets, 1);
+//! assert_eq!(stats.carry_chains, vec![8]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cell;
+pub mod netlist;
+pub mod stats;
+
+pub use builder::NetlistBuilder;
+pub use cell::{CellId, CellKind, ControlSet};
+pub use netlist::{Net, NetId, Netlist};
+pub use stats::{NetlistStats, ResourceCounts};

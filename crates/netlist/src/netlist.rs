@@ -1,0 +1,223 @@
+//! The netlist container: cells plus connecting nets.
+
+use crate::cell::{CellId, CellKind};
+use crate::stats::NetlistStats;
+
+/// Index of a net within its [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NetId(pub u32);
+
+/// A net: one driver (or a primary input when `driver` is `None`) fanning
+/// out to zero or more sink cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Driving cell; `None` models a primary input or external source.
+    pub driver: Option<CellId>,
+    /// Sink cells. The net's fanout is `sinks.len()`.
+    pub sinks: Vec<CellId>,
+}
+
+impl Net {
+    /// Fanout of the net.
+    #[inline]
+    pub fn fanout(&self) -> u32 {
+        self.sinks.len() as u32
+    }
+}
+
+/// A structural netlist: the unit the flow synthesises, packs, places and
+/// sizes a PBlock for. Corresponds to one *module/block* of the RapidWright
+/// block design.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    cells: Vec<CellKind>,
+    nets: Vec<Net>,
+}
+
+impl Netlist {
+    pub(crate) fn from_parts(name: String, cells: Vec<CellKind>, nets: Vec<Net>) -> Self {
+        Netlist { name, cells, nets }
+    }
+
+    /// Module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The same netlist under a new module name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Netlist {
+        self.name = name.into();
+        self
+    }
+
+    /// All cells, indexable by [`CellId`].
+    pub fn cells(&self) -> &[CellKind] {
+        &self.cells
+    }
+
+    /// All nets, indexable by [`NetId`].
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The kind of a given cell.
+    pub fn cell(&self, id: CellId) -> CellKind {
+        self.cells[id.index()]
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Compute the derived statistics (resource counts, control sets,
+    /// fanout profile, logic depth, carry chains). O(cells + nets).
+    pub fn stats(&self) -> NetlistStats {
+        NetlistStats::compute(self)
+    }
+
+    /// Longest combinational path measured in LUT/carry levels.
+    ///
+    /// Sequential cells (FFs, RAMs, DSPs) act as path endpoints. The graph
+    /// is traversed in topological order over the combinational subgraph;
+    /// any combinational cycle (which a well-formed design does not have)
+    /// contributes no additional depth rather than hanging.
+    pub fn logic_depth(&self) -> u32 {
+        let n = self.cells.len();
+        if n == 0 {
+            return 0;
+        }
+        // Build combinational adjacency: driver -> sinks where both ends
+        // are combinational (paths launched from sequential cells start at
+        // depth 0 on their first combinational sink).
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut indeg: Vec<u32> = vec![0; n];
+        for net in &self.nets {
+            let Some(driver) = net.driver else { continue };
+            if !self.cells[driver.index()].is_combinational() {
+                continue;
+            }
+            for &sink in &net.sinks {
+                if self.cells[sink.index()].is_combinational() {
+                    adj[driver.index()].push(sink.0);
+                    indeg[sink.index()] += 1;
+                }
+            }
+        }
+        let mut depth: Vec<u32> = self
+            .cells
+            .iter()
+            .map(|c| u32::from(c.is_combinational()))
+            .collect();
+        let mut queue: Vec<u32> = (0..n as u32)
+            .filter(|&i| indeg[i as usize] == 0 && self.cells[i as usize].is_combinational())
+            .collect();
+        let mut best = depth.iter().copied().max().unwrap_or(0);
+        while let Some(u) = queue.pop() {
+            let du = depth[u as usize];
+            best = best.max(du);
+            // Split borrow: take the adjacency list out while updating depth.
+            let neighbours = std::mem::take(&mut adj[u as usize]);
+            for v in neighbours {
+                if depth[v as usize] < du + 1 {
+                    depth[v as usize] = du + 1;
+                }
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::NetlistBuilder;
+    use crate::cell::ControlSet;
+
+    #[test]
+    fn empty_netlist() {
+        let nl = NetlistBuilder::new("empty").finish();
+        assert_eq!(nl.cell_count(), 0);
+        assert_eq!(nl.net_count(), 0);
+        assert_eq!(nl.logic_depth(), 0);
+        assert_eq!(nl.name(), "empty");
+    }
+
+    #[test]
+    fn depth_counts_lut_levels() {
+        let mut b = NetlistBuilder::new("chain");
+        let cs = ControlSet::basic();
+        let src = b.ff(cs);
+        let l1 = b.lut(4);
+        let l2 = b.lut(4);
+        let l3 = b.lut(4);
+        let dst = b.ff(cs);
+        b.connect(src, &[l1]);
+        b.connect(l1, &[l2]);
+        b.connect(l2, &[l3]);
+        b.connect(l3, &[dst]);
+        let nl = b.finish();
+        assert_eq!(nl.logic_depth(), 3);
+    }
+
+    #[test]
+    fn depth_takes_longest_branch() {
+        let mut b = NetlistBuilder::new("diamond");
+        let a = b.lut(2);
+        let short = b.lut(2);
+        let long1 = b.lut(2);
+        let long2 = b.lut(2);
+        let join = b.lut(2);
+        b.connect(a, &[short, long1]);
+        b.connect(long1, &[long2]);
+        b.connect(short, &[join]);
+        b.connect(long2, &[join]);
+        let nl = b.finish();
+        // a -> long1 -> long2 -> join = 4 LUT levels.
+        assert_eq!(nl.logic_depth(), 4);
+    }
+
+    #[test]
+    fn sequential_cells_cut_paths() {
+        let mut b = NetlistBuilder::new("cut");
+        let cs = ControlSet::basic();
+        let l1 = b.lut(2);
+        let ff = b.ff(cs);
+        let l2 = b.lut(2);
+        b.connect(l1, &[ff]);
+        b.connect(ff, &[l2]);
+        let nl = b.finish();
+        assert_eq!(nl.logic_depth(), 1);
+    }
+
+    #[test]
+    fn combinational_cycle_does_not_hang() {
+        let mut b = NetlistBuilder::new("cycle");
+        let l1 = b.lut(2);
+        let l2 = b.lut(2);
+        b.connect(l1, &[l2]);
+        b.connect(l2, &[l1]);
+        let nl = b.finish();
+        // Both cells are in a cycle; they still count one level each at most.
+        assert!(nl.logic_depth() <= 2);
+    }
+
+    #[test]
+    fn fanout_reflects_sink_count() {
+        let mut b = NetlistBuilder::new("fan");
+        let d = b.lut(1);
+        let sinks: Vec<_> = (0..7).map(|_| b.lut(1)).collect();
+        b.connect(d, &sinks);
+        let nl = b.finish();
+        assert_eq!(nl.nets()[0].fanout(), 7);
+    }
+}

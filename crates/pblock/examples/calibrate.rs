@@ -1,0 +1,82 @@
+//! Calibration harness: labels a sweep with minimal CFs and prints the
+//! distribution, so the placement-model constants can be tuned to the
+//! paper's reported CF range (≈0.7 .. 1.7, bulk around 0.9-1.3).
+
+use rayon::prelude::*;
+use tms_device::Device;
+use tms_pblock::{min_feasible_cf, CfSearch, PBlockGenerator};
+use tms_place::{quick_place, PlacementModel};
+use tms_rtlgen::{standard_sweep, SweepConfig};
+use tms_synth::pack;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let cfg = SweepConfig { target_modules: n, max_luts: 5_000, min_luts: 2 };
+    let modules = standard_sweep(&cfg, 2024);
+    let dev = Device::xc7z020();
+    let gen = PBlockGenerator::new(&dev, true);
+    let model = PlacementModel::default();
+    let search = CfSearch { start: 0.5, step: 0.02, max: 3.0 };
+
+    let results: Vec<(String, &'static str, u32, f64)> = modules
+        .par_iter()
+        .filter_map(|m| {
+            let stats = m.netlist.stats();
+            let packing = pack(&stats);
+            let shape = quick_place(&stats, &packing);
+            let key = tms_place::detail::module_key(m.netlist.name(), 99);
+            min_feasible_cf(&gen, &stats, &packing, &shape, &model, &search, key).map(|r| {
+                (
+                    m.netlist.name().to_string(),
+                    m.kind.label(),
+                    stats.counts.lut_sites(),
+                    r.cf,
+                )
+            })
+        })
+        .collect();
+
+    let mut hist = vec![0u32; 40];
+    for (_, _, _, cf) in &results {
+        let b = (((cf - 0.5) / 0.05) as usize).min(39);
+        hist[b] += 1;
+    }
+    println!("labelled {}/{} modules", results.len(), modules.len());
+    for (i, c) in hist.iter().enumerate() {
+        if *c > 0 {
+            let lo = 0.5 + i as f64 * 0.05;
+            println!("cf [{:.2},{:.2}): {:4} {}", lo, lo + 0.05, c, "#".repeat((*c as usize).min(80)));
+        }
+    }
+    // Per-family medians.
+    for fam in ["shift", "lutram", "carry", "lfsr", "mixed"] {
+        let mut cfs: Vec<f64> = results
+            .iter()
+            .filter(|(_, k, _, _)| *k == fam)
+            .map(|&(_, _, _, cf)| cf)
+            .collect();
+        if cfs.is_empty() {
+            continue;
+        }
+        cfs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = cfs[cfs.len() / 2];
+        let max = cfs[cfs.len() - 1];
+        println!("{fam:>7}: n={:4} median={med:.2} max={max:.2}", cfs.len());
+    }
+    // Size correlation.
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    for &(_, _, sites, cf) in &results {
+        if sites < 300 {
+            small.push(cf);
+        } else if sites > 2000 {
+            large.push(cf);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("mean cf small(<300 luts)={:.3} n={}, large(>2000)={:.3} n={}",
+        mean(&small), small.len(), mean(&large), large.len());
+}

@@ -1,0 +1,298 @@
+//! The Figure-1 PBlock generator.
+
+use tms_device::{ColumnKind, ColumnSignature, Device, Rect, SliceCapacity, RAMB36_ROWS, DSP48_ROWS};
+use tms_place::ShapeReport;
+
+/// A concrete rectangular area constraint for one module's implementation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PBlock {
+    /// Location and extent on the pre-implementation device (anchored at
+    /// row 0; the stitcher relocates it later).
+    pub rect: Rect,
+    /// Column-kind sequence under the rectangle — the relocation signature.
+    pub signature: ColumnSignature,
+    /// Resource capacity inside the rectangle.
+    pub capacity: SliceCapacity,
+    /// The correction factor this PBlock was generated for.
+    pub cf: f64,
+    /// The slice target `⌈estimate · cf⌉` the generator satisfied.
+    pub target_slices: u32,
+}
+
+impl PBlock {
+    /// Slack between provided and targeted slices (column snapping).
+    pub fn slack_slices(&self) -> u32 {
+        self.capacity.slices().saturating_sub(self.target_slices)
+    }
+}
+
+/// Per-column prefix sums for O(1) window-capacity queries.
+struct Prefix {
+    l: Vec<u32>,
+    m: Vec<u32>,
+    bram_cols: Vec<u32>,
+    dsp_cols: Vec<u32>,
+    clock_cols: Vec<u32>,
+}
+
+impl Prefix {
+    fn build(device: &Device) -> Prefix {
+        let w = device.width() as usize;
+        let mut l = vec![0u32; w + 1];
+        let mut m = vec![0u32; w + 1];
+        let mut bram_cols = vec![0u32; w + 1];
+        let mut dsp_cols = vec![0u32; w + 1];
+        let mut clock_cols = vec![0u32; w + 1];
+        for (i, col) in device.columns().iter().enumerate() {
+            l[i + 1] = l[i] + u32::from(col.kind == ColumnKind::ClbL);
+            m[i + 1] = m[i] + u32::from(col.kind == ColumnKind::ClbM);
+            bram_cols[i + 1] = bram_cols[i] + u32::from(col.kind == ColumnKind::Bram);
+            dsp_cols[i + 1] = dsp_cols[i] + u32::from(col.kind == ColumnKind::Dsp);
+            clock_cols[i + 1] = clock_cols[i] + u32::from(col.kind == ColumnKind::Clock);
+        }
+        Prefix { l, m, bram_cols, dsp_cols, clock_cols }
+    }
+
+    /// Capacity of the window `[x0, x0+w) × [0, h)`.
+    fn window(&self, x0: u32, w: u32, h: u32) -> SliceCapacity {
+        let (a, b) = (x0 as usize, (x0 + w) as usize);
+        SliceCapacity {
+            l_slices: (self.l[b] - self.l[a]) * h,
+            m_slices: (self.m[b] - self.m[a]) * h,
+            bram36: (self.bram_cols[b] - self.bram_cols[a]) * (h / RAMB36_ROWS),
+            dsp48: (self.dsp_cols[b] - self.dsp_cols[a]) * (h / DSP48_ROWS),
+            clock_columns: self.clock_cols[b] - self.clock_cols[a],
+        }
+    }
+}
+
+/// Generates PBlocks on a fixed device per Figure 1.
+pub struct PBlockGenerator<'d> {
+    device: &'d Device,
+    prefix: Prefix,
+    /// Whether the carry-chain shape report constrains the height.
+    /// Disabling this reproduces the Section V-C failure mode.
+    pub use_shape_report: bool,
+}
+
+impl<'d> PBlockGenerator<'d> {
+    /// Create a generator for `device`.
+    pub fn new(device: &'d Device, use_shape_report: bool) -> Self {
+        PBlockGenerator { device, prefix: Prefix::build(device), use_shape_report }
+    }
+
+    /// The device PBlocks are generated on.
+    pub fn device(&self) -> &Device {
+        self.device
+    }
+
+    /// Generate the PBlock for `shape` at correction factor `cf`.
+    ///
+    /// Returns `None` when no rectangle on the device can satisfy the slice
+    /// target and hard demand (module too large for the part).
+    pub fn generate(&self, shape: &ShapeReport, cf: f64) -> Option<PBlock> {
+        let cf = cf.max(0.0);
+        let target = (f64::from(shape.est_slices) * cf).ceil() as u32;
+        let demand = shape.demand;
+
+        if target == 0 && demand == SliceCapacity::default() {
+            // Degenerate one-tile PBlock.
+            return self.freeze(Rect::new(0, 0, 1, 1), cf, 0);
+        }
+
+        let rows = self.device.rows();
+        let mut h = ((f64::from(target) / shape.aspect).sqrt().ceil() as u32).max(1);
+        if self.use_shape_report {
+            h = h.max(shape.min_height);
+        }
+        // BRAM/DSP sites only count in whole spans: round the height up so
+        // a module with hard blocks is not starved by alignment.
+        if demand.bram36 > 0 {
+            h = h.max(RAMB36_ROWS);
+        }
+        if demand.dsp48 > 0 {
+            h = h.max(DSP48_ROWS);
+        }
+        h = h.min(rows);
+
+        loop {
+            if let Some((x0, w)) = self.best_window(target, &demand, h) {
+                return self.freeze(Rect::new(x0, 0, w, h), cf, target);
+            }
+            if h >= rows {
+                return None;
+            }
+            // Full width was insufficient at this height: grow the height.
+            h = (h + (h / 4).max(1)).min(rows);
+        }
+    }
+
+    /// Minimal-width window at height `h` covering target and demand;
+    /// ties broken towards the leftmost x. Monotonicity of coverage in `w`
+    /// admits a two-pointer sweep.
+    fn best_window(&self, target: u32, demand: &SliceCapacity, h: u32) -> Option<(u32, u32)> {
+        let width = self.device.width();
+        let ok = |x0: u32, w: u32| {
+            let cap = self.prefix.window(x0, w, h);
+            cap.slices() >= target
+                && cap.m_slices >= demand.m_slices
+                && cap.bram36 >= demand.bram36
+                && cap.dsp48 >= demand.dsp48
+        };
+        let mut best: Option<(u32, u32)> = None;
+        let mut w = 1u32;
+        for x0 in 0..width {
+            if x0 + w > width {
+                break;
+            }
+            // Grow until this window works, then try shrinking from the left
+            // at the next x0 (classic minimal-window sweep).
+            while x0 + w <= width && !ok(x0, w) {
+                w += 1;
+            }
+            if x0 + w > width {
+                break;
+            }
+            match best {
+                Some((_, bw)) if bw <= w => {}
+                _ => best = Some((x0, w)),
+            }
+            // Try a narrower window at subsequent positions.
+            if w > 1 {
+                w -= 1;
+            }
+        }
+        best
+    }
+
+    fn freeze(&self, rect: Rect, cf: f64, target: u32) -> Option<PBlock> {
+        let capacity = self.device.capacity_in(&rect);
+        let signature = self.device.signature(rect.x, rect.w);
+        Some(PBlock { rect, signature, capacity, cf, target_slices: target })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_device::Device;
+    use tms_netlist::{ControlSet, NetlistBuilder};
+    use tms_place::quick_place;
+    use tms_synth::pack;
+
+    fn shape(build: impl FnOnce(&mut NetlistBuilder)) -> ShapeReport {
+        let mut b = NetlistBuilder::new("g");
+        build(&mut b);
+        let stats = b.finish().stats();
+        let packing = pack(&stats);
+        quick_place(&stats, &packing)
+    }
+
+    #[test]
+    fn pblock_covers_target_and_demand() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let s = shape(|b| {
+            for _ in 0..400 {
+                b.lut(6);
+            }
+            for _ in 0..30 {
+                b.lutram(ControlSet::basic());
+            }
+            b.bram();
+        });
+        let p = gen.generate(&s, 1.2).expect("feasible pblock");
+        assert!(p.capacity.slices() >= p.target_slices);
+        assert!(p.capacity.m_slices >= s.demand.m_slices);
+        assert!(p.capacity.bram36 >= 1);
+        assert_eq!(p.signature.width(), p.rect.w);
+    }
+
+    #[test]
+    fn higher_cf_never_shrinks_the_pblock() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let s = shape(|b| {
+            for _ in 0..800 {
+                b.lut(5);
+            }
+        });
+        let mut last_area = 0;
+        for cf10 in [8u32, 10, 12, 15, 20] {
+            let cf = f64::from(cf10) / 10.0;
+            let p = gen.generate(&s, cf).unwrap();
+            assert!(
+                p.capacity.slices() + 60 >= last_area,
+                "slices dropped sharply at cf {cf}: {} < {last_area}",
+                p.capacity.slices()
+            );
+            last_area = last_area.max(p.capacity.slices());
+        }
+    }
+
+    #[test]
+    fn shape_report_enforces_chain_height() {
+        let dev = Device::xc7z020();
+        let with = PBlockGenerator::new(&dev, true);
+        let without = PBlockGenerator::new(&dev, false);
+        let s = shape(|b| {
+            b.carry_chain(120); // 30 slices tall
+        });
+        let p_with = with.generate(&s, 1.0).unwrap();
+        assert!(p_with.rect.h >= 30);
+        let p_without = without.generate(&s, 1.0).unwrap();
+        // Ignoring the report yields a square-ish block too short for the
+        // chain — the Section V-C wrong-shape failure.
+        assert!(p_without.rect.h < 30);
+    }
+
+    #[test]
+    fn impossible_demand_returns_none() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let s = shape(|b| {
+            for _ in 0..200 {
+                b.bram(); // more BRAM than the device has columns for
+            }
+        });
+        assert!(gen.generate(&s, 1.0).is_none());
+    }
+
+    #[test]
+    fn degenerate_module_gets_unit_pblock() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let s = shape(|_| {});
+        let p = gen.generate(&s, 1.0).unwrap();
+        assert_eq!(p.rect.area(), 1);
+    }
+
+    #[test]
+    fn prefix_window_matches_device_capacity() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        for (x0, w, h) in [(0u32, 5u32, 10u32), (10, 8, 25), (30, 20, 50), (0, 89, 150)] {
+            let fast = gen.prefix.window(x0, w, h);
+            let slow = dev.capacity_in(&Rect::new(x0, 0, w, h));
+            assert_eq!(fast, slow, "window ({x0},{w},{h})");
+        }
+    }
+
+    #[test]
+    fn bram_module_pblock_contains_excess_slices() {
+        // The Figure-4 CF<0.7 mechanism: BRAM-driven PBlocks carry far more
+        // slices than the logic needs, so tiny CFs stay feasible.
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let s = shape(|b| {
+            for _ in 0..12 {
+                b.bram();
+            }
+            for _ in 0..20 {
+                b.lut(4);
+            }
+        });
+        let p = gen.generate(&s, 0.5).unwrap();
+        assert!(p.capacity.slices() > 4 * p.target_slices);
+    }
+}

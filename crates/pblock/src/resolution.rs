@@ -1,0 +1,126 @@
+//! The Section VI-C search-resolution study.
+
+use crate::generator::PBlockGenerator;
+use crate::search::{min_feasible_cf, CfSearch};
+use tms_netlist::NetlistStats;
+use tms_place::{PlacementModel, ShapeReport};
+use tms_synth::PackingReport;
+
+/// One row of the resolution study: the CF the search settles on (and the
+/// PBlock it buys) at a given step size.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ResolutionPoint {
+    /// Search step used.
+    pub step: f64,
+    /// CF found at this resolution (`None` if the search failed).
+    pub found_cf: Option<f64>,
+    /// PBlock slice capacity at the found CF.
+    pub pblock_slices: Option<u32>,
+    /// Tool runs spent.
+    pub attempts: u32,
+}
+
+/// Sweep the CF search step for one module, reproducing the observation of
+/// Section VI-C: small modules (≈100 LUTs) are insensitive to steps below
+/// 0.1 because column snapping quantises the PBlock anyway, while ≈2,500-LUT
+/// modules need steps of 0.03 or finer.
+pub fn resolution_study(
+    gen: &PBlockGenerator<'_>,
+    stats: &NetlistStats,
+    packing: &PackingReport,
+    shape: &ShapeReport,
+    model: &PlacementModel,
+    steps: &[f64],
+    seed: u64,
+) -> Vec<ResolutionPoint> {
+    steps
+        .iter()
+        .map(|&step| {
+            let search = CfSearch { start: 0.9, step, max: 3.0 };
+            match min_feasible_cf(gen, stats, packing, shape, model, &search, seed) {
+                Some(r) => ResolutionPoint {
+                    step,
+                    found_cf: Some(r.cf),
+                    pblock_slices: Some(r.pblock.capacity.slices()),
+                    attempts: r.attempts,
+                },
+                None => ResolutionPoint { step, found_cf: None, pblock_slices: None, attempts: 0 },
+            }
+        })
+        .collect()
+}
+
+/// Standard steps the study sweeps.
+pub const STANDARD_STEPS: [f64; 4] = [0.1, 0.05, 0.02, 0.01];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_device::Device;
+    use tms_netlist::{ControlSet, NetlistBuilder};
+    use tms_place::quick_place;
+    use tms_synth::pack;
+
+    fn prepared(
+        luts: u32,
+        ffs: u32,
+        ncs: u16,
+    ) -> (NetlistStats, PackingReport, ShapeReport) {
+        let mut b = NetlistBuilder::new("r");
+        for _ in 0..luts {
+            b.lut(6);
+        }
+        for i in 0..ffs {
+            b.ff(ControlSet::new(0, (i as u16 % ncs) + 1, 0));
+        }
+        let stats = b.finish().stats();
+        let packing = pack(&stats);
+        let shape = quick_place(&stats, &packing);
+        (stats, packing, shape)
+    }
+
+    #[test]
+    fn coarser_steps_cost_fewer_attempts_but_looser_cf() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let (stats, packing, shape) = prepared(2000, 3000, 30);
+        let model = PlacementModel::deterministic();
+        let pts = resolution_study(&gen, &stats, &packing, &shape, &model, &STANDARD_STEPS, 1);
+        assert_eq!(pts.len(), 4);
+        let coarse = &pts[0];
+        let fine = &pts[2];
+        let (c, f) = (coarse.found_cf.unwrap(), fine.found_cf.unwrap());
+        assert!(c >= f - 1e-9, "coarse {c} vs fine {f}");
+        assert!(fine.attempts >= coarse.attempts);
+    }
+
+    #[test]
+    fn small_modules_are_insensitive_to_resolution() {
+        // Column snapping floors the PBlock for ~100-LUT modules, so the
+        // step size barely changes the PBlock actually produced.
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let (stats, packing, shape) = prepared(100, 100, 1);
+        let model = PlacementModel::deterministic();
+        let pts = resolution_study(&gen, &stats, &packing, &shape, &model, &[0.1, 0.02], 1);
+        let a = pts[0].pblock_slices.unwrap() as f64;
+        let b = pts[1].pblock_slices.unwrap() as f64;
+        assert!((a - b).abs() / b < 0.35, "pblock sizes {a} vs {b}");
+    }
+
+    #[test]
+    fn infeasible_module_yields_empty_points() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let mut b = NetlistBuilder::new("huge");
+        for _ in 0..400 {
+            b.bram();
+        }
+        let stats = b.finish().stats();
+        let packing = pack(&stats);
+        let shape = quick_place(&stats, &packing);
+        let model = PlacementModel::deterministic();
+        let pts = resolution_study(&gen, &stats, &packing, &shape, &model, &[0.1], 1);
+        assert!(pts[0].found_cf.is_none());
+    }
+}

@@ -1,0 +1,326 @@
+//! Correction-factor searches: dataset labelling and the estimator loop.
+
+use crate::generator::{PBlock, PBlockGenerator};
+use tms_netlist::NetlistStats;
+use tms_place::{place_in_region, PlaceError, Placement, PlacementModel};
+use tms_synth::PackingReport;
+
+/// Parameters of the linear minimal-CF search (Section VII: start 0.9,
+/// resolution 0.02).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CfSearch {
+    /// First CF attempted.
+    pub start: f64,
+    /// Search resolution.
+    pub step: f64,
+    /// Give up beyond this CF.
+    pub max: f64,
+}
+
+impl Default for CfSearch {
+    fn default() -> Self {
+        CfSearch { start: 0.9, step: 0.02, max: 3.0 }
+    }
+}
+
+impl CfSearch {
+    /// The wider search the cnvW1A1 analysis uses (Figure 4 shows minimal
+    /// CFs below 0.7, so labelling starts lower than 0.9).
+    pub fn wide() -> Self {
+        CfSearch { start: 0.5, step: 0.02, max: 3.0 }
+    }
+}
+
+/// A successful CF search outcome.
+#[derive(Debug, Clone)]
+pub struct CfResult {
+    /// The minimal feasible correction factor found.
+    pub cf: f64,
+    /// The PBlock generated at that CF.
+    pub pblock: PBlock,
+    /// The detailed placement inside it.
+    pub placement: Placement,
+    /// Place-and-route attempts spent (tool runs).
+    pub attempts: u32,
+}
+
+/// One place-and-route attempt at a given CF.
+fn attempt(
+    gen: &PBlockGenerator<'_>,
+    stats: &NetlistStats,
+    packing: &PackingReport,
+    shape: &tms_place::ShapeReport,
+    model: &PlacementModel,
+    cf: f64,
+    seed: u64,
+) -> Result<(PBlock, Placement), Option<PlaceError>> {
+    let Some(pblock) = gen.generate(shape, cf) else {
+        return Err(None);
+    };
+    match place_in_region(stats, packing, gen.device(), &pblock.rect, model, seed) {
+        Ok(p) => Ok((pblock, p)),
+        Err(e) => Err(Some(e)),
+    }
+}
+
+/// Find the minimal feasible CF by linear search (the labelling procedure
+/// of Section VII). Returns `None` when no CF up to `search.max` places.
+#[allow(clippy::too_many_arguments)]
+pub fn min_feasible_cf(
+    gen: &PBlockGenerator<'_>,
+    stats: &NetlistStats,
+    packing: &PackingReport,
+    shape: &tms_place::ShapeReport,
+    model: &PlacementModel,
+    search: &CfSearch,
+    seed: u64,
+) -> Option<CfResult> {
+    let steps = ((search.max - search.start) / search.step).round() as u32;
+    for i in 0..=steps {
+        let cf = search.start + f64::from(i) * search.step;
+        if let Ok((pblock, placement)) = attempt(gen, stats, packing, shape, model, cf, seed) {
+            return Some(CfResult { cf, pblock, placement, attempts: i + 1 });
+        }
+    }
+    None
+}
+
+/// Outcome of the estimator-guided search of Section VIII.
+#[derive(Debug, Clone)]
+pub struct GuidedResult {
+    /// The feasible CF settled on.
+    pub cf: f64,
+    /// The PBlock at that CF.
+    pub pblock: PBlock,
+    /// The placement inside it.
+    pub placement: Placement,
+    /// Tool runs spent in total.
+    pub attempts: u32,
+    /// Whether the predicted CF was feasible on the very first run.
+    pub first_try: bool,
+}
+
+/// The Section VIII procedure: run the predicted CF; when it underestimates,
+/// "increment the correction factor by 0.1 and when a feasible correction
+/// factor is found, the last interval is searched with a resolution of
+/// 0.02". Returns `None` when nothing up to `max_cf` places.
+#[allow(clippy::too_many_arguments)]
+pub fn guided_search(
+    gen: &PBlockGenerator<'_>,
+    stats: &NetlistStats,
+    packing: &PackingReport,
+    shape: &tms_place::ShapeReport,
+    model: &PlacementModel,
+    predicted_cf: f64,
+    max_cf: f64,
+    seed: u64,
+) -> Option<GuidedResult> {
+    const COARSE: f64 = 0.1;
+    const FINE: f64 = 0.02;
+    let mut attempts = 1;
+    if let Ok((pblock, placement)) =
+        attempt(gen, stats, packing, shape, model, predicted_cf, seed)
+    {
+        return Some(GuidedResult { cf: predicted_cf, pblock, placement, attempts, first_try: true });
+    }
+    // Coarse ascent.
+    let mut lo = predicted_cf;
+    let mut found: Option<(f64, PBlock, Placement)> = None;
+    let mut cf = predicted_cf + COARSE;
+    while cf <= max_cf + 1e-9 {
+        attempts += 1;
+        if let Ok((pblock, placement)) = attempt(gen, stats, packing, shape, model, cf, seed) {
+            found = Some((cf, pblock, placement));
+            break;
+        }
+        lo = cf;
+        cf += COARSE;
+    }
+    let (coarse_cf, mut best_pblock, mut best_placement) = found?;
+    // Fine search of the last interval (lo, coarse_cf).
+    let mut best_cf = coarse_cf;
+    let mut fine = lo + FINE;
+    while fine < coarse_cf - 1e-9 {
+        attempts += 1;
+        if let Ok((pblock, placement)) = attempt(gen, stats, packing, shape, model, fine, seed) {
+            best_cf = fine;
+            best_pblock = pblock;
+            best_placement = placement;
+            break;
+        }
+        fine += FINE;
+    }
+    Some(GuidedResult {
+        cf: best_cf,
+        pblock: best_pblock,
+        placement: best_placement,
+        attempts,
+        first_try: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_device::Device;
+    use tms_netlist::{ControlSet, NetlistBuilder};
+    use tms_place::quick_place;
+    use tms_synth::pack;
+
+    fn prepared(
+        build: impl FnOnce(&mut NetlistBuilder),
+    ) -> (NetlistStats, PackingReport, tms_place::ShapeReport) {
+        let mut b = NetlistBuilder::new("s");
+        build(&mut b);
+        let stats = b.finish().stats();
+        let packing = pack(&stats);
+        let shape = quick_place(&stats, &packing);
+        (stats, packing, shape)
+    }
+
+    #[test]
+    fn min_cf_found_for_plain_logic() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let (stats, packing, shape) = prepared(|b| {
+            let cs = ControlSet::basic();
+            for _ in 0..600 {
+                b.lut(6);
+            }
+            for _ in 0..600 {
+                b.ff(cs);
+            }
+        });
+        let model = PlacementModel::deterministic();
+        let r = min_feasible_cf(&gen, &stats, &packing, &shape, &model, &CfSearch::default(), 1)
+            .expect("feasible");
+        assert!((0.9..=2.0).contains(&r.cf), "cf = {}", r.cf);
+        // One attempt per step up to the found CF.
+        let expected = ((r.cf - 0.9) / 0.02).round() as u32 + 1;
+        assert_eq!(r.attempts, expected);
+    }
+
+    #[test]
+    fn min_cf_is_minimal() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let (stats, packing, shape) = prepared(|b| {
+            for i in 0..900u16 {
+                b.ff(ControlSet::new(0, i % 24 + 1, 0));
+            }
+            for _ in 0..300 {
+                b.lut(5);
+            }
+        });
+        let model = PlacementModel::deterministic();
+        let search = CfSearch::default();
+        let r = min_feasible_cf(&gen, &stats, &packing, &shape, &model, &search, 1).unwrap();
+        if r.cf > search.start + 1e-9 {
+            // The step below the found CF must fail.
+            let below = r.cf - search.step;
+            let pb = gen.generate(&shape, below).unwrap();
+            assert!(
+                place_in_region(&stats, &packing, &dev, &pb.rect, &model, 1).is_err(),
+                "cf {below} should be infeasible"
+            );
+        }
+    }
+
+    #[test]
+    fn guided_first_try_when_prediction_is_generous() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let (stats, packing, shape) = prepared(|b| {
+            for _ in 0..400 {
+                b.lut(6);
+            }
+        });
+        let model = PlacementModel::deterministic();
+        let r = guided_search(&gen, &stats, &packing, &shape, &model, 2.0, 3.0, 1).unwrap();
+        assert!(r.first_try);
+        assert_eq!(r.attempts, 1);
+        assert_eq!(r.cf, 2.0);
+    }
+
+    #[test]
+    fn guided_recovers_from_underestimate() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let (stats, packing, shape) = prepared(|b| {
+            let cs = ControlSet::basic();
+            for _ in 0..800 {
+                b.lut(6);
+            }
+            for _ in 0..1200 {
+                b.ff(cs);
+            }
+        });
+        let model = PlacementModel::deterministic();
+        let min =
+            min_feasible_cf(&gen, &stats, &packing, &shape, &model, &CfSearch::default(), 1)
+                .unwrap();
+        // Predict clearly below the minimum.
+        let predicted = (min.cf - 0.3).max(0.1);
+        let r = guided_search(&gen, &stats, &packing, &shape, &model, predicted, 3.0, 1).unwrap();
+        assert!(!r.first_try);
+        assert!(r.cf >= min.cf - 0.021, "guided cf {} << min {}", r.cf, min.cf);
+        assert!(r.cf <= min.cf + 0.1 + 1e-9, "guided cf {} too loose vs {}", r.cf, min.cf);
+        assert!(r.attempts >= 2);
+    }
+
+    #[test]
+    fn impossible_module_returns_none() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let (stats, packing, shape) = prepared(|b| {
+            for _ in 0..500 {
+                b.bram();
+            }
+        });
+        let model = PlacementModel::deterministic();
+        assert!(min_feasible_cf(
+            &gen, &stats, &packing, &shape, &model, &CfSearch::default(), 1
+        )
+        .is_none());
+        assert!(guided_search(&gen, &stats, &packing, &shape, &model, 1.0, 3.0, 1).is_none());
+    }
+
+    #[test]
+    fn search_attempts_track_distance_from_start() {
+        // A module needing a high CF costs proportionally more tool runs
+        // when started from a constant low CF — the Section VIII effect.
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let (stats, packing, shape) = prepared(|b| {
+            for i in 0..2000u16 {
+                b.ff(ControlSet::new(0, i % 40 + 1, 0));
+            }
+            for _ in 0..500 {
+                b.lut(6);
+            }
+        });
+        let model = PlacementModel::deterministic();
+        let from_low = min_feasible_cf(
+            &gen,
+            &stats,
+            &packing,
+            &shape,
+            &model,
+            &CfSearch { start: 0.9, step: 0.02, max: 3.0 },
+            1,
+        )
+        .unwrap();
+        let guided = guided_search(
+            &gen,
+            &stats,
+            &packing,
+            &shape,
+            &model,
+            from_low.cf - 0.05,
+            3.0,
+            1,
+        )
+        .unwrap();
+        assert!(guided.attempts < from_low.attempts);
+    }
+}

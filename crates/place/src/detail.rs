@@ -1,0 +1,373 @@
+//! Detailed intra-PBlock placement: the feasibility oracle whose failures
+//! define the minimal correction factor.
+
+use crate::model::{name_hash, PlacementModel};
+use core::fmt;
+use tms_device::{Device, Rect, SliceCapacity};
+use tms_netlist::NetlistStats;
+use tms_synth::PackingReport;
+
+/// Why a module could not be placed and routed inside a region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaceError {
+    /// The region reaches outside the device fabric.
+    RegionOffDevice,
+    /// Some resource class is short: `need` versus `have`.
+    InsufficientResources {
+        /// Packed demand.
+        need: SliceCapacity,
+        /// Region capacity.
+        have: SliceCapacity,
+    },
+    /// A carry chain is taller than the region.
+    ChainTooTall {
+        /// Chain height in slices.
+        chain: u32,
+        /// Region height in rows.
+        height: u32,
+    },
+    /// Carry chains fit individually but could not be packed into the
+    /// region's CLB columns.
+    ChainPackingFailed,
+    /// Routing demand exceeded capacity.
+    Congested {
+        /// Demand / capacity ratio (> 1).
+        congestion: f64,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::RegionOffDevice => write!(f, "region outside device"),
+            PlaceError::InsufficientResources { need, have } => write!(
+                f,
+                "insufficient resources: need {} slices ({} M, {} BRAM, {} DSP), have {} ({} M, {} BRAM, {} DSP)",
+                need.slices(), need.m_slices, need.bram36, need.dsp48,
+                have.slices(), have.m_slices, have.bram36, have.dsp48
+            ),
+            PlaceError::ChainTooTall { chain, height } => {
+                write!(f, "carry chain of {chain} slices exceeds region height {height}")
+            }
+            PlaceError::ChainPackingFailed => write!(f, "carry chains do not pack into columns"),
+            PlaceError::Congested { congestion } => {
+                write!(f, "routing congestion {congestion:.2} > 1")
+            }
+        }
+    }
+}
+
+/// A successful detailed placement inside a region.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Placement {
+    /// The region placed into.
+    pub region: Rect,
+    /// Capacity of the region.
+    pub capacity: SliceCapacity,
+    /// Packed slice demand of the module.
+    pub required_slices: u32,
+    /// Slices actually occupied: the placer spreads into loose regions
+    /// (Table I: looser PBlocks use *more* slices).
+    pub used_slices: u32,
+    /// Utilisation = required / capacity.
+    pub utilization: f64,
+    /// Routing demand / capacity at the final placement (≤ 1).
+    pub congestion: f64,
+    /// Placement irregularity in [0, 1): the dead-area fraction of the
+    /// region, i.e. how non-rectangular the occupied logic is (Figure 3).
+    pub irregularity: f64,
+}
+
+/// Geometric-mid representative fanout of histogram bucket `b`
+/// (`[2^b, 2^(b+1))`).
+#[inline]
+fn bucket_fanout(b: usize) -> f64 {
+    (1u64 << b) as f64 * 1.5
+}
+
+/// Attempt a detailed placement of the packed module into `region`.
+///
+/// `seed` keys the reproducible placer jitter; mix the module name in via
+/// [`module_key`] so distinct modules see independent noise.
+pub fn place_in_region(
+    stats: &NetlistStats,
+    packing: &PackingReport,
+    device: &Device,
+    region: &Rect,
+    model: &PlacementModel,
+    seed: u64,
+) -> Result<Placement, PlaceError> {
+    let bounds = device.bounds();
+    if !bounds.contains(region) {
+        return Err(PlaceError::RegionOffDevice);
+    }
+    let capacity = device.capacity_in(region);
+    if !capacity.covers(&packing.demand) {
+        return Err(PlaceError::InsufficientResources {
+            need: packing.demand,
+            have: capacity,
+        });
+    }
+
+    // Carry chains: first-fit decreasing into the region's CLB columns,
+    // each offering `region.h` vertically contiguous slices.
+    if let Some(&tallest) = packing.chain_slices.first() {
+        if tallest > region.h {
+            return Err(PlaceError::ChainTooTall { chain: tallest, height: region.h });
+        }
+        let clb_cols = (region.x..region.right())
+            .filter(|&x| device.column(x).kind.is_clb())
+            .count();
+        let mut free = vec![region.h; clb_cols];
+        for &chain in &packing.chain_slices {
+            match free.iter_mut().find(|f| **f >= chain) {
+                Some(slot) => *slot -= chain,
+                None => return Err(PlaceError::ChainPackingFailed),
+            }
+        }
+    }
+
+    let required = packing.required_slices;
+    if required == 0 {
+        return Ok(Placement {
+            region: *region,
+            capacity,
+            required_slices: 0,
+            used_slices: 0,
+            utilization: 0.0,
+            congestion: 0.0,
+            irregularity: 0.0,
+        });
+    }
+    let total = f64::from(capacity.slices());
+    let u = f64::from(required) / total;
+
+    // Routing model: per-occupied-slice wire demand versus track capacity.
+    let s_occ = f64::from(required);
+    let mut weighted_nets = 0.0;
+    for (b, &count) in stats.fanout_histogram.iter().enumerate() {
+        if count > 0 {
+            let f = bucket_fanout(b).min(s_occ * 8.0);
+            weighted_nets += f64::from(count) * f.powf(model.fanout_exp);
+        }
+    }
+    let lambda_f = weighted_nets / s_occ;
+    let mean_len = model.base_span * s_occ.powf(model.rent_exp);
+    // Density congestion kicks in superlinearly: balanced LUT/FF/carry
+    // demand (density → 1) hurts overlay packing much more than a mild
+    // imbalance (Section V-E).
+    let excess = (packing.density - 1.0 / 3.0).max(0.0) * 1.5;
+    let dens_mult = 1.0 + model.density_gamma * excess * excess;
+    let demand = lambda_f * mean_len * dens_mult * model.detour(u);
+    let cap_per_occ = model.tracks_per_slice / u * model.jitter(seed);
+    let congestion = demand / cap_per_occ;
+    if congestion > 1.0 {
+        return Err(PlaceError::Congested { congestion });
+    }
+
+    let used = ((s_occ * (1.0 + model.spread_alpha * (1.0 - u))).ceil() as u32)
+        .min(capacity.slices());
+    Ok(Placement {
+        region: *region,
+        capacity,
+        required_slices: required,
+        used_slices: used,
+        utilization: u,
+        congestion,
+        irregularity: 1.0 - f64::from(required) / total,
+    })
+}
+
+/// Mix a module's name into a seed so per-module jitter is independent.
+pub fn module_key(name: &str, seed: u64) -> u64 {
+    name_hash(name) ^ seed.rotate_left(17)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_device::ColumnKind;
+    use tms_netlist::{ControlSet, NetlistBuilder};
+    use tms_synth::pack;
+
+    fn module(build: impl FnOnce(&mut NetlistBuilder)) -> (NetlistStats, PackingReport) {
+        let mut b = NetlistBuilder::new("m");
+        build(&mut b);
+        let stats = b.finish().stats();
+        let packing = pack(&stats);
+        (stats, packing)
+    }
+
+    fn try_place(
+        (stats, packing): &(NetlistStats, PackingReport),
+        region: Rect,
+    ) -> Result<Placement, PlaceError> {
+        let dev = Device::xc7z020();
+        place_in_region(stats, packing, &dev, &region, &PlacementModel::deterministic(), 7)
+    }
+
+    #[test]
+    fn region_off_device_is_rejected() {
+        let m = module(|b| {
+            b.lut(4);
+        });
+        let dev = Device::xc7z020();
+        let r = Rect::new(dev.width() - 1, 0, 5, 5);
+        let err = try_place(&m, r).unwrap_err();
+        assert_eq!(err, PlaceError::RegionOffDevice);
+    }
+
+    #[test]
+    fn insufficient_slices_reported() {
+        let m = module(|b| {
+            for _ in 0..4000 {
+                b.lut(6);
+            }
+        });
+        let err = try_place(&m, Rect::new(0, 0, 4, 4)).unwrap_err();
+        assert!(matches!(err, PlaceError::InsufficientResources { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_m_slices_reported() {
+        let m = module(|b| {
+            for _ in 0..8 {
+                b.lutram(ControlSet::basic());
+            }
+        });
+        let dev = Device::xc7z020();
+        // Find a window of two pure-L columns.
+        let x = (0..dev.width() - 2)
+            .find(|&x| {
+                dev.column(x).kind == ColumnKind::ClbL && dev.column(x + 1).kind == ColumnKind::ClbL
+            })
+            .unwrap();
+        let err = try_place(&m, Rect::new(x, 0, 2, 10)).unwrap_err();
+        assert!(matches!(err, PlaceError::InsufficientResources { .. }), "{err}");
+    }
+
+    #[test]
+    fn chain_taller_than_region_fails() {
+        let m = module(|b| {
+            b.carry_chain(40); // 10 slices tall
+        });
+        let err = try_place(&m, Rect::new(0, 0, 8, 8)).unwrap_err();
+        assert_eq!(err, PlaceError::ChainTooTall { chain: 10, height: 8 });
+        // A region tall enough succeeds.
+        assert!(try_place(&m, Rect::new(0, 0, 4, 12)).is_ok());
+    }
+
+    #[test]
+    fn many_chains_can_exhaust_columns() {
+        let m = module(|b| {
+            for _ in 0..12 {
+                b.carry_chain(36); // 9 slices each
+            }
+        });
+        // Two CLB columns of height 10 hold at most two 9-slice chains.
+        let err = try_place(&m, Rect::new(0, 0, 2, 10)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PlaceError::ChainPackingFailed | PlaceError::InsufficientResources { .. }
+            ),
+            "{err}"
+        );
+        // A wide region packs them one per column.
+        assert!(try_place(&m, Rect::new(0, 0, 16, 12)).is_ok());
+    }
+
+    #[test]
+    fn congestion_appears_when_region_tightens() {
+        let m = module(|b| {
+            let cs = ControlSet::basic();
+            let driver = b.lut(1);
+            let mut sinks = Vec::new();
+            for _ in 0..2000 {
+                b.lut(6);
+            }
+            for _ in 0..4000 {
+                sinks.push(b.ff(cs));
+            }
+            b.connect(driver, &sinks);
+            // Dense local wiring.
+            for i in 0..2000u32 {
+                let a = tms_netlist::CellId(1 + i);
+                let z = tms_netlist::CellId(1 + (i * 7 + 3) % 2000);
+                b.connect(a, &[z]);
+            }
+        });
+        let required = m.1.required_slices;
+        // Exactly-sized region: utilisation ≈ 1 so detour explodes.
+        let side = (required as f64).sqrt().ceil() as u32;
+        let tight = try_place(&m, Rect::new(0, 0, side, side + 1));
+        let loose = try_place(&m, Rect::new(0, 0, side * 2, side * 2));
+        assert!(loose.is_ok(), "loose failed: {loose:?}");
+        if let Err(e) = tight {
+            assert!(matches!(e, PlaceError::Congested { .. } | PlaceError::InsufficientResources { .. }), "{e}");
+        } else {
+            // If even the tight region routed, congestion must be higher.
+            assert!(tight.unwrap().congestion > loose.unwrap().congestion);
+        }
+    }
+
+    #[test]
+    fn looser_region_uses_more_slices() {
+        // The Table-I effect: CF 1.5 placement occupies more slices than CF 1.
+        let m = module(|b| {
+            let cs = ControlSet::basic();
+            for _ in 0..800 {
+                b.lut(6);
+            }
+            for _ in 0..800 {
+                b.ff(cs);
+            }
+        });
+        let tight = try_place(&m, Rect::new(0, 0, 15, 15)).unwrap();
+        let loose = try_place(&m, Rect::new(0, 0, 22, 22)).unwrap();
+        assert!(loose.used_slices > tight.used_slices);
+        assert!(loose.irregularity > tight.irregularity);
+        assert!(loose.utilization < tight.utilization);
+    }
+
+    #[test]
+    fn empty_module_places_trivially() {
+        let m = module(|_| {});
+        let p = try_place(&m, Rect::new(0, 0, 1, 1)).unwrap();
+        assert_eq!(p.used_slices, 0);
+        assert_eq!(p.congestion, 0.0);
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_region_width() {
+        let m = module(|b| {
+            let cs = ControlSet::new(0, 1, 0);
+            for _ in 0..600 {
+                b.lut(5);
+            }
+            for _ in 0..900 {
+                b.ff(cs);
+            }
+            b.carry_chain(24);
+        });
+        let dev = Device::xc7z020();
+        let model = PlacementModel::deterministic();
+        let mut feasible_seen = false;
+        for w in 4..40 {
+            let ok =
+                place_in_region(&m.0, &m.1, &dev, &Rect::new(0, 0, w, 20), &model, 3).is_ok();
+            if feasible_seen {
+                assert!(ok, "feasibility regressed at width {w}");
+            }
+            feasible_seen |= ok;
+        }
+        assert!(feasible_seen);
+    }
+
+    #[test]
+    fn module_key_mixes_name_and_seed() {
+        assert_ne!(module_key("a", 1), module_key("b", 1));
+        assert_ne!(module_key("a", 1), module_key("a", 2));
+        assert_eq!(module_key("a", 1), module_key("a", 1));
+    }
+}

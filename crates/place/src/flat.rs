@@ -1,0 +1,179 @@
+//! The monolithic "AMD EDA"-style baseline placer.
+//!
+//! The paper compiles the whole cnvW1A1 with the vendor flow as the
+//! reference point of Table I and Figure 5a: the flat tool places the full
+//! design (99.98% of the xc7z020's slices) because it is free to interleave
+//! the cells of different modules — there are no PBlock walls to waste area
+//! against. The cost is that every instance is implemented separately
+//! (Table I's footnote: "AMD EDA implements each of them"), with slightly
+//! different slice counts per instance, and nothing is reusable.
+
+use crate::model::{name_hash, PlacementModel};
+use tms_device::{Device, SliceCapacity};
+use tms_synth::PackingReport;
+
+/// Flat-compile packing overhead: a flat placer under full-device pressure
+/// packs close to, but not exactly at, the theoretical minimum.
+const FLAT_OVERHEAD: f64 = 1.06;
+
+/// One module of the flat design, with its instance count.
+#[derive(Debug, Clone)]
+pub struct FlatModule {
+    /// Module name.
+    pub name: String,
+    /// Packed demand of one instance.
+    pub packing: PackingReport,
+    /// Number of instances in the design.
+    pub instances: u32,
+}
+
+/// Result of the flat baseline compile.
+#[derive(Debug, Clone)]
+pub struct FlatPlacement {
+    /// Total slices occupied across all instances.
+    pub total_used: u32,
+    /// Device slice capacity.
+    pub device_slices: u32,
+    /// `total_used / device_slices`.
+    pub utilization: f64,
+    /// Whether every instance was placed.
+    pub fully_placed: bool,
+    /// Slices used by each placed instance: `(module name, instance index,
+    /// slices)`. Distinct instances of one module differ slightly — each is
+    /// implemented separately by the flat tool.
+    pub per_instance_used: Vec<(String, u32, u32)>,
+}
+
+impl FlatPlacement {
+    /// Used-slice counts of all instances of `name`.
+    pub fn instances_of(&self, name: &str) -> Vec<u32> {
+        self.per_instance_used
+            .iter()
+            .filter(|(n, _, _)| n == name)
+            .map(|&(_, _, s)| s)
+            .collect()
+    }
+}
+
+/// Run the flat baseline placement of a multi-module design.
+///
+/// Succeeds (`fully_placed`) when the summed demand — including the
+/// per-instance packing overhead — fits the device's slice, M-slice, BRAM
+/// and DSP capacities. Per-instance used-slice counts carry a small
+/// deterministic jitter, reproducing the separate implementations the
+/// vendor tool produces for identical instances.
+pub fn flat_place(
+    modules: &[FlatModule],
+    device: &Device,
+    model: &PlacementModel,
+    seed: u64,
+) -> FlatPlacement {
+    let mut per_instance_used = Vec::new();
+    let mut demand = SliceCapacity::default();
+    let mut total_used: u64 = 0;
+    for m in modules {
+        for inst in 0..m.instances {
+            let key = name_hash(&m.name) ^ u64::from(inst).wrapping_mul(0xA24B_AED4_963E_E407) ^ seed;
+            let jitter = model.jitter(key);
+            let used = (f64::from(m.packing.required_slices) * FLAT_OVERHEAD * jitter).round() as u32;
+            let used = used.max(m.packing.required_slices.min(1));
+            per_instance_used.push((m.name.clone(), inst, used));
+            total_used += u64::from(used);
+            // Hard demands accumulate per instance.
+            demand = demand.saturating_add(&SliceCapacity {
+                l_slices: used.saturating_sub(m.packing.m_slices),
+                m_slices: m.packing.m_slices,
+                bram36: m.packing.demand.bram36,
+                dsp48: m.packing.demand.dsp48,
+                clock_columns: 0,
+            });
+        }
+    }
+    let cap = device.full_capacity();
+    let device_slices = cap.slices();
+    let fully_placed = cap.covers(&demand);
+    FlatPlacement {
+        total_used: total_used.min(u64::from(u32::MAX)) as u32,
+        device_slices,
+        utilization: total_used as f64 / f64::from(device_slices.max(1)),
+        fully_placed,
+        per_instance_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_netlist::{ControlSet, NetlistBuilder};
+    use tms_synth::pack;
+
+    fn flat_module(name: &str, luts: u32, instances: u32) -> FlatModule {
+        let mut b = NetlistBuilder::new(name);
+        let cs = ControlSet::basic();
+        for _ in 0..luts {
+            b.lut(6);
+        }
+        for _ in 0..luts {
+            b.ff(cs);
+        }
+        FlatModule {
+            name: name.to_string(),
+            packing: pack(&b.finish().stats()),
+            instances,
+        }
+    }
+
+    #[test]
+    fn small_design_places_fully() {
+        let dev = Device::xc7z020();
+        let design = vec![flat_module("a", 400, 4), flat_module("b", 100, 2)];
+        let r = flat_place(&design, &dev, &PlacementModel::default(), 1);
+        assert!(r.fully_placed);
+        assert_eq!(r.per_instance_used.len(), 6);
+        assert!(r.utilization < 0.2);
+    }
+
+    #[test]
+    fn oversubscribed_design_fails() {
+        let dev = Device::xc7z020();
+        // 60k+ slices of demand on a 13k device.
+        let design = vec![flat_module("big", 120_000, 2)];
+        let r = flat_place(&design, &dev, &PlacementModel::default(), 1);
+        assert!(!r.fully_placed);
+        assert!(r.utilization > 1.0);
+    }
+
+    #[test]
+    fn instances_differ_slightly_like_the_vendor_tool() {
+        let dev = Device::xc7z020();
+        let design = vec![flat_module("mvau", 120, 4)];
+        let r = flat_place(&design, &dev, &PlacementModel::default(), 1);
+        let sizes = r.instances_of("mvau");
+        assert_eq!(sizes.len(), 4);
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max > min, "instances should differ: {sizes:?}");
+        // ... but only within the jitter band.
+        assert!(f64::from(max - min) / f64::from(min) < 0.15);
+    }
+
+    #[test]
+    fn flat_overhead_is_applied() {
+        let dev = Device::xc7z020();
+        let m = flat_module("x", 1000, 1);
+        let required = m.packing.required_slices;
+        let r = flat_place(&[m], &dev, &PlacementModel::deterministic(), 0);
+        let used = r.per_instance_used[0].2;
+        assert!(used > required);
+        assert!(f64::from(used) < f64::from(required) * 1.10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let dev = Device::xc7z020();
+        let design = vec![flat_module("a", 300, 3)];
+        let r1 = flat_place(&design, &dev, &PlacementModel::default(), 9);
+        let r2 = flat_place(&design, &dev, &PlacementModel::default(), 9);
+        assert_eq!(r1.per_instance_used, r2.per_instance_used);
+    }
+}

@@ -1,0 +1,55 @@
+//! # tms-place — quick placement, detailed intra-PBlock placement, flat baseline
+//!
+//! Three placement engines sit in this crate:
+//!
+//! * [`quick_place`] — the fast placement RapidWright runs right after
+//!   synthesis (Figure 1). It yields a [`ShapeReport`]: the optimistic slice
+//!   estimate, the target aspect ratio, and the carry-chain height floor the
+//!   PBlock generator must respect.
+//! * [`place_in_region`] — the detailed place-and-route feasibility check
+//!   inside a candidate PBlock rectangle. This is where the paper's minimal
+//!   correction factor *emerges*: the placer fails on missing resources, on
+//!   carry chains taller than the region, and on routing congestion computed
+//!   from fanout, density and utilisation (Section V). On success it reports
+//!   utilisation, the number of actually occupied slices (which shrinks as
+//!   the PBlock tightens — Table I), and a placement-irregularity measure
+//!   (Figure 3).
+//! * [`flat_place`] — the monolithic "AMD EDA"-style baseline that places a
+//!   whole multi-module design without PBlocks (Table I, Figure 5a).
+//!
+//! The congestion physics is collected in [`PlacementModel`], with
+//! calibrated defaults; everything is deterministic given the model and a
+//! seed.
+//!
+//! ```
+//! use tms_device::{Device, Rect};
+//! use tms_netlist::{NetlistBuilder, ControlSet};
+//! use tms_place::{quick_place, place_in_region, PlacementModel};
+//! use tms_synth::pack;
+//!
+//! let mut b = NetlistBuilder::new("m");
+//! for _ in 0..64 { b.lut(4); }
+//! let nl = b.finish();
+//! let stats = nl.stats();
+//! let packing = pack(&stats);
+//! let shape = quick_place(&stats, &packing);
+//! assert!(shape.est_slices >= 16);
+//!
+//! let dev = Device::xc7z020();
+//! // A generous region: placement must succeed.
+//! let region = Rect::new(0, 0, 10, 10);
+//! let model = PlacementModel::default();
+//! assert!(place_in_region(&stats, &packing, &dev, &region, &model, 1).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod detail;
+pub mod flat;
+pub mod model;
+pub mod quick;
+
+pub use detail::{place_in_region, PlaceError, Placement};
+pub use flat::{flat_place, FlatModule, FlatPlacement};
+pub use model::PlacementModel;
+pub use quick::{quick_place, ShapeReport};

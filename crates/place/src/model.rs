@@ -1,0 +1,130 @@
+//! The congestion/routability physics shared by the placement engines.
+
+/// Tunable constants of the placement model.
+///
+/// The defaults are calibrated so that, over the standard data-set sweep,
+/// the minimal feasible correction factor spans ≈0.7 .. 1.7 with the bulk
+/// between 0.9 and 1.3 — the range reported in the paper (Figures 4 and 8).
+/// All randomness ("placer nondeterminism") enters through a single
+/// seed-keyed jitter on routing capacity, so a given `(module, seed)` pair
+/// is perfectly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementModel {
+    /// Routing tracks contributed per slice of PBlock area.
+    pub tracks_per_slice: f64,
+    /// Wire demand grows as `fanout^fanout_exp` per net.
+    pub fanout_exp: f64,
+    /// Detour blow-up `1 / (1 - u)^detour_exp` as utilisation u → 1.
+    pub detour_exp: f64,
+    /// Base length scale of a net spanning one slice.
+    pub base_span: f64,
+    /// Rent-style growth of mean net length with occupied area:
+    /// `len ≈ base_span · slices^rent_exp`.
+    pub rent_exp: f64,
+    /// Extra congestion per unit of packing density (Section V-E).
+    pub density_gamma: f64,
+    /// Relative amplitude of the capacity jitter emulating placer noise.
+    pub noise: f64,
+    /// How far the placer spreads into available area when the region is
+    /// loose: occupied ≈ required · (1 + spread_alpha · (1 − u)).
+    pub spread_alpha: f64,
+}
+
+impl Default for PlacementModel {
+    fn default() -> Self {
+        PlacementModel {
+            tracks_per_slice: 40.0,
+            fanout_exp: 0.62,
+            detour_exp: 0.35,
+            base_span: 0.75,
+            rent_exp: 0.12,
+            density_gamma: 0.9,
+            noise: 0.04,
+            spread_alpha: 0.35,
+        }
+    }
+}
+
+impl PlacementModel {
+    /// A noise-free variant for tests that need exact reproducibility
+    /// across seeds.
+    pub fn deterministic() -> Self {
+        PlacementModel { noise: 0.0, ..PlacementModel::default() }
+    }
+
+    /// Detour factor at utilisation `u` (clamped just below 1).
+    pub fn detour(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 0.995);
+        (1.0 - u).powf(-self.detour_exp)
+    }
+
+    /// Deterministic capacity jitter in `[1 - noise, 1 + noise]`, keyed by
+    /// an arbitrary 64-bit identity (module-name hash mixed with the seed).
+    pub fn jitter(&self, key: u64) -> f64 {
+        // SplitMix64 finaliser: decorrelates consecutive keys.
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        1.0 + self.noise * (2.0 * unit - 1.0)
+    }
+}
+
+/// Stable 64-bit hash of a module name (FNV-1a), used to key jitter.
+pub(crate) fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detour_is_monotone_and_bounded() {
+        let m = PlacementModel::default();
+        let mut last = 0.0;
+        for i in 0..100 {
+            let u = i as f64 / 100.0;
+            let d = m.detour(u);
+            assert!(d >= 1.0 - 1e-9);
+            assert!(d >= last);
+            last = d;
+        }
+        assert!(m.detour(1.5).is_finite(), "clamped near 1");
+    }
+
+    #[test]
+    fn jitter_within_amplitude_and_deterministic() {
+        let m = PlacementModel::default();
+        for key in 0..1000u64 {
+            let j = m.jitter(key);
+            assert!((1.0 - m.noise..=1.0 + m.noise).contains(&j));
+            assert_eq!(j, m.jitter(key));
+        }
+    }
+
+    #[test]
+    fn jitter_decorrelates_consecutive_keys() {
+        let m = PlacementModel::default();
+        let mean: f64 = (0..10_000).map(|k| m.jitter(k)).sum::<f64>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.005, "mean = {mean}");
+    }
+
+    #[test]
+    fn deterministic_model_has_unit_jitter() {
+        let m = PlacementModel::deterministic();
+        assert_eq!(m.jitter(42), 1.0);
+    }
+
+    #[test]
+    fn name_hash_distinguishes_names() {
+        assert_ne!(name_hash("mvau_18"), name_hash("mvau_19"));
+        assert_eq!(name_hash("a"), name_hash("a"));
+    }
+}

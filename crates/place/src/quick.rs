@@ -1,0 +1,139 @@
+//! The quick placement of Figure 1: estimate + shape report.
+
+use tms_device::SliceCapacity;
+use tms_netlist::NetlistStats;
+use tms_synth::{optimistic_slice_estimate, PackingReport};
+
+/// The shape report RapidWright derives from synthesis plus a fast
+/// placement, consumed by the PBlock generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeReport {
+    /// Optimistic slice estimate (the quantity the CF multiplies).
+    pub est_slices: u32,
+    /// Target aspect ratio (width / height) of the PBlock.
+    pub aspect: f64,
+    /// Minimum PBlock height in slices, set by the tallest carry chain.
+    /// Ignoring this is the failure mode Section V-C warns about.
+    pub min_height: u32,
+    /// Hard resource demand the PBlock must cover regardless of CF.
+    pub demand: SliceCapacity,
+    /// Estimated bounding-box area of the quick placement, in slices.
+    /// This is the paper's "placement feature" (Classical* feature set).
+    pub shape_area: u32,
+}
+
+impl ShapeReport {
+    /// The width/height the estimate corresponds to at CF = 1.
+    pub fn nominal_dims(&self) -> (u32, u32) {
+        let h = ((self.est_slices as f64 / self.aspect).sqrt().ceil() as u32)
+            .max(self.min_height)
+            .max(1);
+        let w = (self.est_slices as f64 / h as f64).ceil() as u32;
+        (w.max(1), h)
+    }
+}
+
+/// Run the quick placement: derive the estimate and shape constraints.
+///
+/// The aspect ratio is held constant (Section VI-C: "the constant PBlocks
+/// aspect ratio (W/L in Figure 1)"); the fast placement's bounding box is
+/// modelled as the estimate inflated by the detached-cell scatter a real
+/// quick placement exhibits.
+pub fn quick_place(stats: &NetlistStats, packing: &PackingReport) -> ShapeReport {
+    let est_slices = optimistic_slice_estimate(stats);
+    // Hard demand: M slices and hard blocks are not negotiable; the slice
+    // *count* is what the correction factor scales.
+    let demand = SliceCapacity {
+        l_slices: 0,
+        m_slices: packing.m_slices,
+        bram36: stats.counts.bram36,
+        dsp48: stats.counts.dsp48,
+        clock_columns: 0,
+    };
+    // Quick placements scatter ~15% beyond the packed area.
+    let shape_area = ((packing.required_slices as f64) * 1.15).ceil() as u32;
+    ShapeReport {
+        est_slices,
+        aspect: 1.0,
+        min_height: packing.tallest_chain(),
+        demand,
+        shape_area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_netlist::{ControlSet, NetlistBuilder};
+    use tms_synth::pack;
+
+    fn shape_of(build: impl FnOnce(&mut NetlistBuilder)) -> ShapeReport {
+        let mut b = NetlistBuilder::new("q");
+        build(&mut b);
+        let stats = b.finish().stats();
+        let packing = pack(&stats);
+        quick_place(&stats, &packing)
+    }
+
+    #[test]
+    fn estimate_matches_optimistic_packing() {
+        let s = shape_of(|b| {
+            for _ in 0..100 {
+                b.lut(6);
+            }
+        });
+        assert_eq!(s.est_slices, 25);
+        assert_eq!(s.min_height, 0);
+        assert!(s.shape_area >= 25);
+    }
+
+    #[test]
+    fn carry_chain_sets_min_height() {
+        let s = shape_of(|b| {
+            b.carry_chain(40); // 10 slices tall
+        });
+        assert_eq!(s.min_height, 10);
+        let (w, h) = s.nominal_dims();
+        assert!(h >= 10);
+        assert!(w >= 1);
+    }
+
+    #[test]
+    fn nominal_dims_cover_estimate() {
+        let s = shape_of(|b| {
+            let cs = ControlSet::basic();
+            for _ in 0..333 {
+                b.lut(5);
+            }
+            for _ in 0..100 {
+                b.ff(cs);
+            }
+        });
+        let (w, h) = s.nominal_dims();
+        assert!(w * h >= s.est_slices, "{w}x{h} < {}", s.est_slices);
+    }
+
+    #[test]
+    fn hard_demand_passes_through() {
+        let s = shape_of(|b| {
+            for _ in 0..6 {
+                b.bram();
+            }
+            b.dsp();
+            for _ in 0..8 {
+                b.lutram(ControlSet::basic());
+            }
+        });
+        assert_eq!(s.demand.bram36, 6);
+        assert_eq!(s.demand.dsp48, 1);
+        assert_eq!(s.demand.m_slices, 2);
+    }
+
+    #[test]
+    fn empty_module_has_degenerate_dims() {
+        let s = shape_of(|_| {});
+        assert_eq!(s.est_slices, 0);
+        let (w, h) = s.nominal_dims();
+        assert_eq!((w, h), (1, 1));
+    }
+}

@@ -1,0 +1,186 @@
+//! The channel grid: per-cell horizontal/vertical track bookkeeping.
+
+/// Usage counters of one routing cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChannelUsage {
+    /// Horizontal tracks in use.
+    pub h: u32,
+    /// Vertical tracks in use.
+    pub v: u32,
+    /// Accumulated history cost (PathFinder negotiation).
+    pub history: f64,
+}
+
+/// A `width × height` grid of routing cells with uniform capacities.
+#[derive(Debug, Clone)]
+pub struct ChannelGrid {
+    width: u32,
+    height: u32,
+    h_cap: u32,
+    v_cap: u32,
+    cells: Vec<ChannelUsage>,
+}
+
+impl ChannelGrid {
+    /// An empty grid.
+    pub fn new(width: u32, height: u32, h_cap: u32, v_cap: u32) -> Self {
+        ChannelGrid {
+            width,
+            height,
+            h_cap,
+            v_cap,
+            cells: vec![ChannelUsage::default(); (width * height) as usize],
+        }
+    }
+
+    /// Grid width in cells.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height in cells.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn idx(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        (y * self.width + x) as usize
+    }
+
+    /// Usage of one cell.
+    pub fn usage(&self, x: u32, y: u32) -> ChannelUsage {
+        self.cells[self.idx(x, y)]
+    }
+
+    /// Negotiated cost of crossing cell `(x, y)` in the given direction:
+    /// base 1, plus history, plus a quadratic penalty once the channel is
+    /// at or beyond capacity.
+    pub fn cost(&self, x: u32, y: u32, horizontal: bool, pressure: f64) -> f64 {
+        let u = self.cells[self.idx(x, y)];
+        let (used, cap) = if horizontal { (u.h, self.h_cap) } else { (u.v, self.v_cap) };
+        let over = (used + 1).saturating_sub(cap) as f64;
+        1.0 + u.history + pressure * over * over
+    }
+
+    /// Occupy one track through the cell.
+    pub fn occupy(&mut self, x: u32, y: u32, horizontal: bool) {
+        let i = self.idx(x, y);
+        if horizontal {
+            self.cells[i].h += 1;
+        } else {
+            self.cells[i].v += 1;
+        }
+    }
+
+    /// Release one track through the cell.
+    pub fn release(&mut self, x: u32, y: u32, horizontal: bool) {
+        let i = self.idx(x, y);
+        if horizontal {
+            self.cells[i].h = self.cells[i].h.saturating_sub(1);
+        } else {
+            self.cells[i].v = self.cells[i].v.saturating_sub(1);
+        }
+    }
+
+    /// Whether the cell is overused in either direction.
+    pub fn overused(&self, x: u32, y: u32) -> bool {
+        let u = self.cells[self.idx(x, y)];
+        u.h > self.h_cap || u.v > self.v_cap
+    }
+
+    /// Add history cost to every currently-overused cell (end of a
+    /// negotiation iteration).
+    pub fn accumulate_history(&mut self, increment: f64) -> usize {
+        let mut over = 0;
+        let (h_cap, v_cap) = (self.h_cap, self.v_cap);
+        for c in &mut self.cells {
+            if c.h > h_cap || c.v > v_cap {
+                c.history += increment;
+                over += 1;
+            }
+        }
+        over
+    }
+
+    /// Coordinates and usage of overused cells (up to `limit`).
+    pub fn overflow_hotspots(&self, limit: usize) -> Vec<(u32, u32, u32, u32)> {
+        let mut out = Vec::new();
+        'outer: for y in 0..self.height {
+            for x in 0..self.width {
+                let u = self.cells[self.idx(x, y)];
+                if u.h > self.h_cap || u.v > self.v_cap {
+                    out.push((x, y, u.h, u.v));
+                    if out.len() >= limit {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of overused cells.
+    pub fn overflow_count(&self) -> usize {
+        let (h_cap, v_cap) = (self.h_cap, self.v_cap);
+        self.cells.iter().filter(|c| c.h > h_cap || c.v > v_cap).count()
+    }
+
+    /// Peak utilisation over all cells: `max(used / cap)` per direction.
+    pub fn peak_utilization(&self) -> f64 {
+        let mut peak = 0.0f64;
+        for c in &self.cells {
+            peak = peak.max(f64::from(c.h) / f64::from(self.h_cap.max(1)));
+            peak = peak.max(f64::from(c.v) / f64::from(self.v_cap.max(1)));
+        }
+        peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupy_release_roundtrip() {
+        let mut g = ChannelGrid::new(4, 4, 2, 2);
+        g.occupy(1, 2, true);
+        g.occupy(1, 2, true);
+        g.occupy(1, 2, false);
+        assert_eq!(g.usage(1, 2).h, 2);
+        assert_eq!(g.usage(1, 2).v, 1);
+        assert!(!g.overused(1, 2));
+        g.occupy(1, 2, true);
+        assert!(g.overused(1, 2));
+        g.release(1, 2, true);
+        assert!(!g.overused(1, 2));
+        // Releasing an empty cell saturates at zero.
+        g.release(0, 0, false);
+        assert_eq!(g.usage(0, 0).v, 0);
+    }
+
+    #[test]
+    fn cost_grows_with_congestion_and_history() {
+        let mut g = ChannelGrid::new(2, 2, 1, 1);
+        let base = g.cost(0, 0, true, 5.0);
+        assert_eq!(base, 1.0);
+        g.occupy(0, 0, true); // at capacity: next track overflows
+        assert!(g.cost(0, 0, true, 5.0) > base);
+        let over = g.accumulate_history(0.5);
+        assert_eq!(over, 0, "at capacity is not over capacity");
+        g.occupy(0, 0, true);
+        assert_eq!(g.accumulate_history(0.5), 1);
+        assert!(g.cost(0, 0, true, 5.0) > 6.0);
+    }
+
+    #[test]
+    fn peak_utilization_tracks_worst_cell() {
+        let mut g = ChannelGrid::new(3, 3, 4, 4);
+        assert_eq!(g.peak_utilization(), 0.0);
+        g.occupy(2, 2, false);
+        g.occupy(2, 2, false);
+        assert!((g.peak_utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(g.overflow_count(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # tms-route — negotiated global routing of stitched designs
+//!
+//! The last step of the RapidWright flow "connects [the placed macros] to
+//! obtain a full bitstream". This crate models that inter-block routing
+//! stage with a PathFinder-style negotiated global router on a coarse
+//! channel grid:
+//!
+//! * the fabric is a grid of routing cells, each with a horizontal and a
+//!   vertical track capacity ([`RouterConfig`]);
+//! * every inter-block net becomes a set of two-pin connections (a chain
+//!   over its pins, sorted for locality), each routed as an L-shape or a
+//!   Z-shape through the cheaper channel;
+//! * congestion is negotiated: overused cells accumulate history cost and
+//!   their nets are ripped up and rerouted until no cell is overused or the
+//!   iteration budget runs out.
+//!
+//! The router quantifies the paper's Section V-D observation at design
+//! scale: tighter, more regular macro placements leave more contiguous
+//! channel capacity, so the same net set routes with less wirelength and
+//! less overflow (see the `routing` integration test and the
+//! estimator-impact claims).
+//!
+//! ```
+//! use tms_device::Device;
+//! use tms_stitch::{stitch, MacroBlock, StitchProblem, StitchConfig};
+//! use tms_route::{route_stitched, RouterConfig};
+//!
+//! let dev = Device::xc7z020();
+//! let blk = MacroBlock { name: "b".into(), signature: dev.signature(0, 3),
+//!                        width: 3, height: 10, used_slices: 25, irregularity: 0.1 };
+//! let mut p = StitchProblem::new(vec![blk]);
+//! let a = p.add_instance(0);
+//! let b = p.add_instance(0);
+//! p.add_net(&[a, b], 4.0);
+//! let placed = stitch(&dev, &p, &StitchConfig::fast(1));
+//! let report = route_stitched(&dev, &p, &placed, &RouterConfig::default());
+//! assert!(report.fully_routed);
+//! assert!(report.total_wirelength > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod router;
+
+pub use grid::{ChannelGrid, ChannelUsage};
+pub use router::{route_stitched, RouteReport, RouterConfig};

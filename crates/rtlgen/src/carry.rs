@@ -1,0 +1,108 @@
+//! The carry-chain generator: a sum of squares with parametrizable widths.
+
+use crate::sweep::GeneratorKind;
+use crate::Generator;
+use tms_netlist::{ControlSet, Netlist, NetlistBuilder};
+
+/// Parameters of the sum-of-squares generator.
+///
+/// Models the paper's third generator. Each term squares a `data_width`-bit
+/// input with a LUT-based partial-product array feeding a `2·data_width`-bit
+/// carry chain; an accumulator chain of `2·data_width + ⌈log2 terms⌉` bits
+/// sums the terms. Registers capture the products and the accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarryParams {
+    /// Input operand width in bits.
+    pub data_width: u32,
+    /// Number of squared terms accumulated.
+    pub terms: u32,
+}
+
+impl CarryParams {
+    fn product_width(&self) -> u32 {
+        2 * self.data_width
+    }
+
+    fn acc_width(&self) -> u32 {
+        self.product_width() + 32u32.saturating_sub(self.terms.max(1).leading_zeros())
+    }
+}
+
+impl Generator for CarryParams {
+    fn generate(&self, seed: u64) -> Netlist {
+        let name = format!("carry_w{}_t{}_s{seed}", self.data_width, self.terms);
+        let mut b = NetlistBuilder::new(name);
+        let cs = ControlSet::new(0, 1, 0);
+        let w = self.data_width.max(1);
+
+        for _ in 0..self.terms.max(1) {
+            // Partial products: roughly w²/2 LUTs for an unsigned square.
+            let pp: Vec<_> = (0..(w * w / 2).max(1)).map(|_| b.lut(5)).collect();
+            let chain = b.carry_chain(self.product_width().max(2));
+            // Partial products feed the chain bits round-robin.
+            for (i, &lut) in pp.iter().enumerate() {
+                let bit = chain[i % chain.len()];
+                b.connect(lut, &[bit]);
+            }
+            // Product register.
+            let regs: Vec<_> = (0..self.product_width().max(2)).map(|_| b.ff(cs)).collect();
+            for (c, r) in chain.iter().zip(&regs) {
+                b.connect(*c, &[*r]);
+            }
+            // Registered product feeds the accumulator below via nets from
+            // the last chain bit (carry out).
+        }
+        // Accumulator chain summing all terms.
+        let acc_chain = b.carry_chain(self.acc_width().max(2));
+        let acc_regs: Vec<_> = (0..self.acc_width().max(2)).map(|_| b.ff(cs)).collect();
+        for (c, r) in acc_chain.iter().zip(&acc_regs) {
+            b.connect(*c, &[*r]);
+        }
+        b.finish()
+    }
+
+    fn family(&self) -> GeneratorKind {
+        GeneratorKind::Carry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_per_term_plus_accumulator() {
+        let p = CarryParams { data_width: 8, terms: 4 };
+        let s = p.generate(0).stats();
+        assert_eq!(s.carry_chains.len(), 5);
+        // Term chains are 16 bits; the accumulator is wider.
+        assert_eq!(s.longest_carry_chain(), p.acc_width());
+    }
+
+    #[test]
+    fn carry_bits_grow_with_width() {
+        let narrow = CarryParams { data_width: 4, terms: 2 }.generate(0).stats();
+        let wide = CarryParams { data_width: 16, terms: 2 }.generate(0).stats();
+        assert!(wide.counts.carry_bits > narrow.counts.carry_bits);
+        assert!(wide.counts.luts > narrow.counts.luts);
+    }
+
+    #[test]
+    fn single_control_set() {
+        let s = CarryParams { data_width: 8, terms: 3 }.generate(0).stats();
+        assert_eq!(s.control_sets, 1);
+    }
+
+    #[test]
+    fn acc_width_accounts_for_term_growth() {
+        assert_eq!(CarryParams { data_width: 8, terms: 1 }.acc_width(), 17);
+        assert_eq!(CarryParams { data_width: 8, terms: 4 }.acc_width(), 19);
+    }
+
+    #[test]
+    fn minimum_sizes_are_safe() {
+        let s = CarryParams { data_width: 0, terms: 0 }.generate(0).stats();
+        assert!(s.counts.carry_bits >= 2);
+        assert!(s.counts.ffs >= 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! A DSP-datapath generator: hard multipliers with BRAM coefficient
+//! storage and pipeline registers.
+//!
+//! The paper's data set stops at LUT-fabric resources because the cnvW1A1
+//! is binarised (XNOR popcount needs no DSP48). This extension generator
+//! covers the fixed-point CNN variants that *do* map MACs onto DSP slices,
+//! so estimators trained for larger, DSP-rich parts see that corner of the
+//! design space. It is not part of [`crate::standard_sweep`] — the paper's
+//! data-set composition is preserved — but can be mixed in by callers
+//! targeting such designs.
+
+use crate::sweep::GeneratorKind;
+use crate::Generator;
+use tms_netlist::{ControlSet, Netlist, NetlistBuilder};
+
+/// Parameters of the DSP MAC-pipeline generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DspPipeParams {
+    /// Parallel MAC lanes (one DSP48 each).
+    pub lanes: u32,
+    /// Pipeline stages of registers per lane.
+    pub stages: u32,
+    /// Coefficient words per lane; every 1,024 words adds a RAMB36.
+    pub coeffs: u32,
+}
+
+impl DspPipeParams {
+    /// RAMB36 blocks the coefficient storage needs.
+    pub fn bram_count(&self) -> u32 {
+        (self.lanes * self.coeffs).div_ceil(1_024).max(1)
+    }
+}
+
+impl Generator for DspPipeParams {
+    fn generate(&self, seed: u64) -> Netlist {
+        let name = format!(
+            "dsp_n{}_p{}_c{}_s{seed}",
+            self.lanes, self.stages, self.coeffs
+        );
+        let mut b = NetlistBuilder::new(name);
+        let cs = ControlSet::new(0, 1, 1);
+        // Coefficient storage shared by the lanes.
+        let brams: Vec<_> = (0..self.bram_count()).map(|_| b.bram()).collect();
+        for lane in 0..self.lanes.max(1) {
+            let dsp = b.dsp();
+            // Address/control LUTs per lane.
+            let addr: Vec<_> = (0..6).map(|_| b.lut(4)).collect();
+            for &a in &addr {
+                b.connect(a, &[dsp]);
+            }
+            // Coefficients feed the multiplier.
+            let bram = brams[(lane % brams.len() as u32) as usize];
+            b.connect(bram, &[dsp]);
+            // Output pipeline: stages of 48-bit registers.
+            let mut prev = dsp;
+            for _ in 0..self.stages {
+                let regs: Vec<_> = (0..48).map(|_| b.ff(cs)).collect();
+                b.connect(prev, &[regs[0]]);
+                for w in regs.windows(2) {
+                    b.connect(w[0], &[w[1]]);
+                }
+                prev = *regs.last().unwrap();
+            }
+        }
+        b.finish()
+    }
+
+    fn family(&self) -> GeneratorKind {
+        GeneratorKind::DspPipe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsp_and_bram_counts() {
+        let p = DspPipeParams { lanes: 8, stages: 2, coeffs: 512 };
+        let s = p.generate(0).stats();
+        assert_eq!(s.counts.dsp48, 8);
+        assert_eq!(s.counts.bram36, p.bram_count());
+        assert_eq!(s.counts.bram36, 4);
+        assert_eq!(s.counts.ffs, 8 * 2 * 48);
+    }
+
+    #[test]
+    fn tiny_pipe_still_has_one_bram() {
+        let p = DspPipeParams { lanes: 1, stages: 0, coeffs: 16 };
+        let s = p.generate(1).stats();
+        assert_eq!(s.counts.bram36, 1);
+        assert_eq!(s.counts.dsp48, 1);
+        assert_eq!(s.counts.ffs, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = DspPipeParams { lanes: 4, stages: 3, coeffs: 256 };
+        assert_eq!(p.generate(9).stats(), p.generate(9).stats());
+    }
+
+    #[test]
+    fn family_label() {
+        let p = DspPipeParams { lanes: 1, stages: 1, coeffs: 1 };
+        assert_eq!(p.family(), GeneratorKind::DspPipe);
+        assert_eq!(GeneratorKind::DspPipe.label(), "dsp");
+    }
+}

@@ -1,0 +1,109 @@
+//! The LFSR generator: FFs, LUTs, carry and shift registers combined.
+
+use crate::sweep::GeneratorKind;
+use crate::Generator;
+use tms_netlist::{ControlSet, Netlist, NetlistBuilder};
+
+/// Parameters of the linear-feedback shift-register generator.
+///
+/// Models the paper's fourth generator, which *"aims to use FFs, LUTs,
+/// carry, and shift registers and is implemented as multiple LFSRs"*. Each
+/// instance is a `width`-bit LFSR (FF chain plus XOR feedback LUTs), an
+/// SRL-based output delay line of `srl_taps` taps, and a carry-chain event
+/// counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LfsrParams {
+    /// LFSR register width in bits.
+    pub width: u32,
+    /// Number of LFSR instances.
+    pub instances: u32,
+    /// SRL delay-line taps per instance.
+    pub srl_taps: u32,
+}
+
+impl Generator for LfsrParams {
+    fn generate(&self, seed: u64) -> Netlist {
+        let name = format!(
+            "lfsr_w{}_n{}_t{}_s{seed}",
+            self.width, self.instances, self.srl_taps
+        );
+        let mut b = NetlistBuilder::new(name);
+        let w = self.width.max(2);
+        for inst in 0..self.instances.max(1) {
+            let cs = ControlSet::new(0, 1, (inst % 4) as u16 + 1);
+            let regs: Vec<_> = (0..w).map(|_| b.ff(cs)).collect();
+            for pair in regs.windows(2) {
+                b.connect(pair[0], &[pair[1]]);
+            }
+            // XOR feedback: a small LUT tree over ~4 taps.
+            let fb = b.lut(4);
+            let tap_step = (w / 4).max(1);
+            let taps: Vec<_> = (0..w).step_by(tap_step as usize).take(4).collect();
+            for &t in &taps {
+                b.connect(regs[t as usize], &[fb]);
+            }
+            b.connect(fb, &[regs[0]]);
+            // SRL output delay line.
+            let mut prev = regs[w as usize - 1];
+            for _ in 0..self.srl_taps {
+                let srl = b.srl(cs);
+                b.connect(prev, &[srl]);
+                prev = srl;
+            }
+            // Carry-chain event counter (counts LFSR wraps).
+            let counter = b.carry_chain(16);
+            let count_regs: Vec<_> = (0..16).map(|_| b.ff(cs)).collect();
+            b.connect(regs[w as usize - 1], &[counter[0]]);
+            for (c, r) in counter.iter().zip(&count_regs) {
+                b.connect(*c, &[*r]);
+            }
+        }
+        b.finish()
+    }
+
+    fn family(&self) -> GeneratorKind {
+        GeneratorKind::Lfsr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_all_four_resource_classes() {
+        let s = LfsrParams { width: 32, instances: 3, srl_taps: 5 }.generate(0).stats();
+        assert!(s.counts.ffs > 0);
+        assert!(s.counts.luts > 0);
+        assert!(s.counts.carry_bits > 0);
+        assert!(s.counts.srls > 0);
+    }
+
+    #[test]
+    fn instance_scaling() {
+        let one = LfsrParams { width: 16, instances: 1, srl_taps: 2 }.generate(0).stats();
+        let four = LfsrParams { width: 16, instances: 4, srl_taps: 2 }.generate(0).stats();
+        assert_eq!(four.counts.ffs, 4 * one.counts.ffs);
+        assert_eq!(four.carry_chains.len(), 4);
+    }
+
+    #[test]
+    fn srl_taps_control_m_demand() {
+        let none = LfsrParams { width: 16, instances: 2, srl_taps: 0 }.generate(0).stats();
+        let some = LfsrParams { width: 16, instances: 2, srl_taps: 8 }.generate(0).stats();
+        assert_eq!(none.counts.srls, 0);
+        assert_eq!(some.counts.srls, 16);
+    }
+
+    #[test]
+    fn feedback_creates_logic() {
+        let s = LfsrParams { width: 8, instances: 1, srl_taps: 0 }.generate(0).stats();
+        assert!(s.counts.luts >= 1);
+    }
+
+    #[test]
+    fn control_sets_rotate_over_instances() {
+        let s = LfsrParams { width: 8, instances: 8, srl_taps: 0 }.generate(0).stats();
+        assert_eq!(s.control_sets, 4);
+    }
+}

@@ -1,0 +1,65 @@
+//! # tms-rtlgen — synthetic RTL generators for the estimator data set
+//!
+//! Section VI-A of the paper trains the correction-factor estimator on a
+//! data set produced by parametrizable RTL generators rather than on
+//! variations of the cnvW1A1 modules, so the model covers the whole design
+//! space of Section V. This crate reimplements those generators at netlist
+//! level:
+//!
+//! * [`ShiftRegParams`] — the *mostly FFs* corner: banks of shift registers
+//!   with a parametrizable number of control sets and fan-in, with SRL
+//!   inference suppressed (the paper uses a tool attribute for this);
+//! * [`LutRamParams`] — the *no registers* corner: distributed-RAM memories
+//!   with parametrizable width and depth;
+//! * [`CarryParams`] — carry chains from a sum-of-squares datapath with
+//!   parametrizable data widths;
+//! * [`LfsrParams`] — linear-feedback shift registers mixing FFs, LUTs,
+//!   carry and SRLs;
+//! * [`MixedParams`] — the fully parametrizable template of Figure 6 that
+//!   sprays all resource types to cover the remaining space.
+//!
+//! [`standard_sweep`] reproduces the data-set construction: a parameter
+//! sweep over all generators yielding ≈2,000 modules of 12 .. ~5,000 LUTs
+//! (Figure 7 plots the coverage).
+//!
+//! ```
+//! use tms_rtlgen::{LfsrParams, Generator};
+//!
+//! let nl = LfsrParams { width: 16, instances: 2, srl_taps: 4 }.generate(7);
+//! let s = nl.stats();
+//! assert!(s.counts.ffs >= 32);
+//! assert!(s.counts.carry_bits > 0);
+//! assert!(s.counts.srls > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod carry;
+pub mod dsp;
+pub mod lfsr;
+pub mod lutram;
+pub mod mixed;
+pub mod shift;
+pub mod sweep;
+pub mod wiring;
+
+pub use carry::CarryParams;
+pub use dsp::DspPipeParams;
+pub use lfsr::LfsrParams;
+pub use lutram::LutRamParams;
+pub use mixed::MixedParams;
+pub use shift::ShiftRegParams;
+pub use sweep::{standard_sweep, GeneratedModule, GeneratorKind, SweepConfig};
+
+use tms_netlist::Netlist;
+
+/// Common interface of all RTL generators: deterministic netlist synthesis
+/// from parameters plus a seed.
+pub trait Generator {
+    /// Produce the module's netlist. The same `(params, seed)` pair always
+    /// yields the same netlist.
+    fn generate(&self, seed: u64) -> Netlist;
+
+    /// Short label for the generator family (used in module names).
+    fn family(&self) -> GeneratorKind;
+}

@@ -1,0 +1,119 @@
+//! The *mostly FFs* corner-case generator: banks of FF shift registers.
+
+use crate::sweep::GeneratorKind;
+use crate::wiring::{broadcast, split_even};
+use crate::Generator;
+use tms_netlist::{ControlSet, Netlist, NetlistBuilder};
+
+/// Parameters of the shift-register generator.
+///
+/// Models the paper's first data-set generator: shift registers with a
+/// parametrizable number of control sets and fan-in, forced into flip-flops
+/// (not SRLs) so the module is FF-dominated. Every control set gets one
+/// enable driver broadcasting to all its FFs, which produces the module's
+/// high-fanout nets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShiftRegParams {
+    /// Number of parallel shift registers.
+    pub regs: u32,
+    /// Length (stages) of each register.
+    pub length: u32,
+    /// Number of distinct control sets spread across the registers.
+    pub control_sets: u32,
+    /// Fan-in LUTs mixing the inputs of each register.
+    pub fanin: u32,
+}
+
+impl Generator for ShiftRegParams {
+    fn generate(&self, seed: u64) -> Netlist {
+        let name = format!(
+            "shift_r{}_l{}_cs{}_f{}_s{seed}",
+            self.regs, self.length, self.control_sets, self.fanin
+        );
+        let mut b = NetlistBuilder::new(name);
+        let ncs = self.control_sets.max(1);
+        let per_cs = split_even(self.regs, ncs);
+
+        let mut reg = 0u32;
+        for (cs_idx, &count) in per_cs.iter().enumerate() {
+            let cs = ControlSet::new(0, cs_idx as u16 + 1, cs_idx as u16 + 1);
+            // One enable driver per control set, broadcast to all its FFs.
+            let enable = b.lut(2);
+            let mut all_ffs = Vec::new();
+            for _ in 0..count {
+                // Fan-in cone feeding the first stage.
+                let head = b.lut(6);
+                for _ in 0..self.fanin {
+                    let src = b.lut(3);
+                    b.connect(src, &[head]);
+                }
+                let stages: Vec<_> = (0..self.length.max(1)).map(|_| b.ff(cs)).collect();
+                b.connect(head, &[stages[0]]);
+                for w in stages.windows(2) {
+                    b.connect(w[0], &[w[1]]);
+                }
+                all_ffs.extend(stages);
+                reg += 1;
+            }
+            broadcast(&mut b, enable, &all_ffs);
+        }
+        debug_assert_eq!(reg, self.regs);
+        b.finish()
+    }
+
+    fn family(&self) -> GeneratorKind {
+        GeneratorKind::ShiftReg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ff_dominated() {
+        let p = ShiftRegParams { regs: 8, length: 16, control_sets: 4, fanin: 2 };
+        let s = p.generate(0).stats();
+        assert_eq!(s.counts.ffs, 8 * 16);
+        assert!(s.counts.ffs > s.counts.luts);
+        assert_eq!(s.counts.srls, 0, "SRL inference must be suppressed");
+        assert_eq!(s.counts.carry_bits, 0);
+    }
+
+    #[test]
+    fn control_sets_match_parameter() {
+        for ncs in [1u32, 2, 5, 8] {
+            let p = ShiftRegParams { regs: 8, length: 4, control_sets: ncs, fanin: 0 };
+            let s = p.generate(1).stats();
+            assert_eq!(s.control_sets, ncs);
+        }
+    }
+
+    #[test]
+    fn enable_broadcast_creates_high_fanout() {
+        let p = ShiftRegParams { regs: 16, length: 32, control_sets: 1, fanin: 0 };
+        let s = p.generate(2).stats();
+        // One enable net reaching all 512 FFs.
+        assert_eq!(s.max_fanout, 512);
+    }
+
+    #[test]
+    fn more_control_sets_reduce_max_fanout() {
+        let few = ShiftRegParams { regs: 16, length: 8, control_sets: 1, fanin: 0 };
+        let many = ShiftRegParams { regs: 16, length: 8, control_sets: 8, fanin: 0 };
+        assert!(few.generate(0).stats().max_fanout > many.generate(0).stats().max_fanout);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = ShiftRegParams { regs: 4, length: 8, control_sets: 2, fanin: 3 };
+        assert_eq!(p.generate(5).stats(), p.generate(5).stats());
+    }
+
+    #[test]
+    fn degenerate_register_count() {
+        let p = ShiftRegParams { regs: 0, length: 8, control_sets: 3, fanin: 1 };
+        let s = p.generate(0).stats();
+        assert_eq!(s.counts.ffs, 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The data-set parameter sweep (Section VI-A, Figure 7).
+
+use crate::{CarryParams, Generator, LfsrParams, LutRamParams, MixedParams, ShiftRegParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tms_netlist::Netlist;
+
+/// Generator family labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GeneratorKind {
+    /// Shift-register banks (FF corner).
+    ShiftReg,
+    /// Distributed-RAM memories (no-FF corner).
+    LutRam,
+    /// Sum-of-squares carry chains.
+    Carry,
+    /// LFSR mix of FF/LUT/carry/SRL.
+    Lfsr,
+    /// The Figure-6 all-resource template.
+    Mixed,
+    /// DSP MAC pipelines (extension generator, not in the standard sweep).
+    DspPipe,
+}
+
+impl GeneratorKind {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            GeneratorKind::ShiftReg => "shift",
+            GeneratorKind::LutRam => "lutram",
+            GeneratorKind::Carry => "carry",
+            GeneratorKind::Lfsr => "lfsr",
+            GeneratorKind::Mixed => "mixed",
+            GeneratorKind::DspPipe => "dsp",
+        }
+    }
+}
+
+/// One module of the training data set.
+#[derive(Debug, Clone)]
+pub struct GeneratedModule {
+    /// The synthesised netlist.
+    pub netlist: Netlist,
+    /// Which generator family produced it.
+    pub kind: GeneratorKind,
+    /// Seed used for its wiring.
+    pub seed: u64,
+}
+
+/// Sweep dimensions. [`SweepConfig::default`] reproduces the paper's
+/// data set: ≈2,000 modules, the largest around 5,000 LUTs (11% of the
+/// xc7z020), since "larger blocks would not fit this scenario well".
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Total number of modules to produce.
+    pub target_modules: usize,
+    /// Upper bound on LUT sites per module.
+    pub max_luts: u32,
+    /// Lower bound on LUT sites per module (the paper's smallest has 12).
+    pub min_luts: u32,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig { target_modules: 2_000, max_luts: 5_000, min_luts: 2 }
+    }
+}
+
+impl SweepConfig {
+    /// A reduced sweep for tests and quick benches.
+    pub fn small() -> Self {
+        SweepConfig { target_modules: 120, max_luts: 1_500, min_luts: 2 }
+    }
+}
+
+/// Run the standard parameter sweep, returning `config.target_modules`
+/// modules. Deterministic in `seed`.
+pub fn standard_sweep(config: &SweepConfig, seed: u64) -> Vec<GeneratedModule> {
+    let mut out: Vec<GeneratedModule> = Vec::with_capacity(config.target_modules);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let keep = |nl: &Netlist, cfg: &SweepConfig| {
+        let c = &nl.stats().counts;
+        let sites = c.lut_sites().max(c.ffs / 2);
+        !c.is_empty() && sites >= cfg.min_luts && c.lut_sites() <= cfg.max_luts
+    };
+
+    // Corner generators: fixed grids, trimmed proportionally to the target.
+    let corner_budget = config.target_modules * 3 / 10; // ~30% corners
+    let mut corners: Vec<GeneratedModule> = Vec::new();
+
+    for regs in [4u32, 8, 16, 32, 64] {
+        for length in [8u32, 16, 32, 64] {
+            for cs in [1u32, 2, 4, 8, 16, 32] {
+                for fanin in [0u32, 2] {
+                    let p = ShiftRegParams { regs, length, control_sets: cs.min(regs), fanin };
+                    let s = rng.gen();
+                    let nl = p.generate(s);
+                    if keep(&nl, config) {
+                        corners.push(GeneratedModule {
+                            netlist: nl,
+                            kind: GeneratorKind::ShiftReg,
+                            seed: s,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for width in [1u32, 2, 4, 8, 16, 32, 64] {
+        for depth in [64u32, 128, 256, 512, 1024, 2048] {
+            let p = LutRamParams { width, depth };
+            let s = rng.gen();
+            let nl = p.generate(s);
+            if keep(&nl, config) {
+                corners.push(GeneratedModule { netlist: nl, kind: GeneratorKind::LutRam, seed: s });
+            }
+        }
+    }
+    for data_width in [2u32, 4, 6, 8, 12, 16, 20, 24, 32, 40, 48] {
+        for terms in 1u32..=8 {
+            let p = CarryParams { data_width, terms };
+            let s = rng.gen();
+            let nl = p.generate(s);
+            if keep(&nl, config) {
+                corners.push(GeneratedModule { netlist: nl, kind: GeneratorKind::Carry, seed: s });
+            }
+        }
+    }
+    for width in [4u32, 8, 16, 24, 32, 48, 64, 96, 128] {
+        for instances in [1u32, 2, 4, 8, 16, 24, 32] {
+            for srl_taps in [0u32, 4, 16] {
+                let p = LfsrParams { width, instances, srl_taps };
+                let s = rng.gen();
+                let nl = p.generate(s);
+                if keep(&nl, config) {
+                    corners.push(GeneratedModule {
+                        netlist: nl,
+                        kind: GeneratorKind::Lfsr,
+                        seed: s,
+                    });
+                }
+            }
+        }
+    }
+    // Subsample the corner grid evenly when it overflows its budget.
+    if corners.len() > corner_budget && corner_budget > 0 {
+        let step = corners.len() as f64 / corner_budget as f64;
+        let mut picked = Vec::with_capacity(corner_budget);
+        let mut acc = 0.0f64;
+        let mut idx = 0usize;
+        while picked.len() < corner_budget && idx < corners.len() {
+            picked.push(corners[idx].clone());
+            acc += step;
+            idx = acc as usize;
+        }
+        corners = picked;
+    }
+    out.extend(corners);
+
+    // Mixed template fills the remainder with log-uniform sizes.
+    while out.len() < config.target_modules {
+        let span = (config.max_luts as f64 / config.min_luts.max(1) as f64).ln();
+        let luts = (config.min_luts as f64 * (rng.gen::<f64>() * span).exp()) as u32;
+        let luts = luts.clamp(config.min_luts, config.max_luts);
+        let ffs = rng.gen_range(0..=luts * 2);
+        let p = MixedParams {
+            luts,
+            ffs,
+            control_sets: rng.gen_range(1..=48),
+            carry_chains: (rng.gen_range(0..=12), rng.gen_range(4..=64)),
+            lutrams: rng.gen_range(0..=(luts / 2).min(1024)),
+            srls: rng.gen_range(0..=64),
+            brams: rng.gen_range(0..=3),
+            dsps: rng.gen_range(0..=6),
+            depth: rng.gen_range(1..=12),
+        };
+        let s = rng.gen();
+        let nl = p.generate(s);
+        if keep(&nl, config) {
+            out.push(GeneratedModule { netlist: nl, kind: GeneratorKind::Mixed, seed: s });
+        }
+    }
+    out.truncate(config.target_modules);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_hits_target_count() {
+        let cfg = SweepConfig::small();
+        let modules = standard_sweep(&cfg, 11);
+        assert_eq!(modules.len(), cfg.target_modules);
+    }
+
+    #[test]
+    fn sweep_respects_size_bounds() {
+        let cfg = SweepConfig::small();
+        for m in standard_sweep(&cfg, 3) {
+            let c = m.netlist.stats().counts;
+            assert!(c.lut_sites() <= cfg.max_luts, "{} too big", m.netlist.name());
+            assert!(!c.is_empty());
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let cfg = SweepConfig::small();
+        let a = standard_sweep(&cfg, 5);
+        let b = standard_sweep(&cfg, 5);
+        let names_a: Vec<_> = a.iter().map(|m| m.netlist.name().to_string()).collect();
+        let names_b: Vec<_> = b.iter().map(|m| m.netlist.name().to_string()).collect();
+        assert_eq!(names_a, names_b);
+    }
+
+    #[test]
+    fn sweep_covers_all_families() {
+        let cfg = SweepConfig { target_modules: 400, max_luts: 5_000, min_luts: 2 };
+        let modules = standard_sweep(&cfg, 1);
+        for kind in [
+            GeneratorKind::ShiftReg,
+            GeneratorKind::LutRam,
+            GeneratorKind::Carry,
+            GeneratorKind::Lfsr,
+            GeneratorKind::Mixed,
+        ] {
+            assert!(
+                modules.iter().any(|m| m.kind == kind),
+                "family {:?} missing from sweep",
+                kind
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_modules_dominate_large_sweeps() {
+        let cfg = SweepConfig { target_modules: 600, max_luts: 5_000, min_luts: 2 };
+        let modules = standard_sweep(&cfg, 2);
+        let mixed = modules.iter().filter(|m| m.kind == GeneratorKind::Mixed).count();
+        assert!(mixed * 2 > modules.len(), "mixed = {mixed} of {}", modules.len());
+    }
+}

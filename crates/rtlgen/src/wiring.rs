@@ -1,0 +1,118 @@
+//! Shared wiring helpers for the generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tms_netlist::{CellId, NetlistBuilder};
+
+/// Wire `cells` as a layered feed-forward network of `depth` layers. Each
+/// cell in layer *i+1* is driven by a randomly chosen cell of layer *i*;
+/// every driver's sinks become one net, so the fanout distribution follows
+/// from the layer sizes. Returns the last layer.
+pub fn wire_layered(
+    b: &mut NetlistBuilder,
+    cells: &[CellId],
+    depth: usize,
+    rng: &mut StdRng,
+) -> Vec<CellId> {
+    if cells.is_empty() || depth == 0 {
+        return cells.to_vec();
+    }
+    let depth = depth.min(cells.len());
+    let layer_len = cells.len().div_ceil(depth);
+    let layers: Vec<&[CellId]> = cells.chunks(layer_len).collect();
+    for w in layers.windows(2) {
+        let (from, to) = (w[0], w[1]);
+        // Assign each sink a driver, then emit one net per driver.
+        let mut sinks_of: Vec<Vec<CellId>> = vec![Vec::new(); from.len()];
+        for &sink in to {
+            let d = rng.gen_range(0..from.len());
+            sinks_of[d].push(sink);
+        }
+        for (d, sinks) in sinks_of.into_iter().enumerate() {
+            if !sinks.is_empty() {
+                b.connect(from[d], &sinks);
+            }
+        }
+    }
+    layers.last().map(|l| l.to_vec()).unwrap_or_default()
+}
+
+/// Broadcast one driver to every sink — the shape of enable/reset fanout
+/// nets, the main source of high-fanout signals in the data set.
+pub fn broadcast(b: &mut NetlistBuilder, driver: CellId, sinks: &[CellId]) {
+    if !sinks.is_empty() {
+        b.connect(driver, sinks);
+    }
+}
+
+/// Split `total` into `parts` chunk sizes differing by at most one.
+pub fn split_even(total: u32, parts: u32) -> Vec<u32> {
+    if parts == 0 {
+        return Vec::new();
+    }
+    let base = total / parts;
+    let extra = total % parts;
+    (0..parts)
+        .map(|i| base + u32::from(i < extra))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_even_sums_to_total() {
+        for total in [0u32, 1, 7, 64, 100] {
+            for parts in [1u32, 2, 3, 7] {
+                let v = split_even(total, parts);
+                assert_eq!(v.len(), parts as usize);
+                assert_eq!(v.iter().sum::<u32>(), total);
+                let min = v.iter().min().unwrap();
+                let max = v.iter().max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+        assert!(split_even(5, 0).is_empty());
+    }
+
+    #[test]
+    fn layered_wiring_covers_all_sinks() {
+        let mut b = NetlistBuilder::new("w");
+        let cells: Vec<CellId> = (0..30).map(|_| b.lut(4)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let last = wire_layered(&mut b, &cells, 3, &mut rng);
+        assert!(!last.is_empty());
+        let nl = b.finish();
+        // Layers of 10: every cell of layers 2 and 3 must appear as a sink.
+        let mut sinks: Vec<CellId> = nl.nets().iter().flat_map(|n| n.sinks.clone()).collect();
+        sinks.sort_unstable();
+        sinks.dedup();
+        assert_eq!(sinks.len(), 20);
+    }
+
+    #[test]
+    fn layered_wiring_is_deterministic() {
+        let build = || {
+            let mut b = NetlistBuilder::new("w");
+            let cells: Vec<CellId> = (0..50).map(|_| b.lut(4)).collect();
+            let mut rng = StdRng::seed_from_u64(99);
+            wire_layered(&mut b, &cells, 5, &mut rng);
+            b.finish()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.nets(), b.nets());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut b = NetlistBuilder::new("w");
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(wire_layered(&mut b, &[], 3, &mut rng).is_empty());
+        let one = vec![b.lut(1)];
+        let last = wire_layered(&mut b, &one, 10, &mut rng);
+        assert_eq!(last, one);
+    }
+}

@@ -1,0 +1,124 @@
+//! The stitching problem: macros, instances, inter-block nets.
+
+use tms_device::ColumnSignature;
+
+/// One unique pre-implemented module, ready for replication.
+#[derive(Debug, Clone)]
+pub struct MacroBlock {
+    /// Module name.
+    pub name: String,
+    /// Column-kind sequence of its PBlock (relocation signature).
+    pub signature: ColumnSignature,
+    /// Footprint width in columns.
+    pub width: u32,
+    /// Footprint height in rows.
+    pub height: u32,
+    /// Slices actually occupied inside the footprint.
+    pub used_slices: u32,
+    /// Dead-area fraction of the footprint (Figure 3 irregularity).
+    pub irregularity: f64,
+}
+
+impl MacroBlock {
+    /// Footprint area in grid cells.
+    pub fn area(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+}
+
+/// An inter-block net of the block design.
+#[derive(Debug, Clone)]
+pub struct InterNet {
+    /// Instance indices it connects.
+    pub endpoints: Vec<u32>,
+    /// Net weight (bus width).
+    pub weight: f64,
+}
+
+/// A full stitching problem: unique blocks, their instances, and the nets
+/// of the block diagram.
+#[derive(Debug, Clone, Default)]
+pub struct StitchProblem {
+    /// Unique modules.
+    pub modules: Vec<MacroBlock>,
+    /// Instance table: each entry is an index into `modules`.
+    pub instances: Vec<usize>,
+    /// Inter-block nets over instance indices.
+    pub nets: Vec<InterNet>,
+}
+
+impl StitchProblem {
+    /// Start a problem from its unique modules.
+    pub fn new(modules: Vec<MacroBlock>) -> Self {
+        StitchProblem { modules, instances: Vec::new(), nets: Vec::new() }
+    }
+
+    /// Add an instance of module `module_idx`; returns its instance index.
+    pub fn add_instance(&mut self, module_idx: usize) -> u32 {
+        assert!(module_idx < self.modules.len(), "unknown module index");
+        let id = self.instances.len() as u32;
+        self.instances.push(module_idx);
+        id
+    }
+
+    /// Add an inter-block net over `endpoints` with `weight`.
+    pub fn add_net(&mut self, endpoints: &[u32], weight: f64) {
+        debug_assert!(endpoints
+            .iter()
+            .all(|&e| (e as usize) < self.instances.len()));
+        self.nets.push(InterNet { endpoints: endpoints.to_vec(), weight });
+    }
+
+    /// The macro of instance `id`.
+    pub fn block_of(&self, id: u32) -> &MacroBlock {
+        &self.modules[self.instances[id as usize]]
+    }
+
+    /// Total footprint area of all instances (the quantity that, compared
+    /// to the device area, predicts how many blocks will fit).
+    pub fn total_area(&self) -> u64 {
+        self.instances.iter().map(|&m| self.modules[m].area()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_device::ColumnKind;
+
+    fn block(w: u32, h: u32) -> MacroBlock {
+        MacroBlock {
+            name: format!("b{w}x{h}"),
+            signature: ColumnSignature(vec![ColumnKind::ClbL; w as usize]),
+            width: w,
+            height: h,
+            used_slices: w * h / 2,
+            irregularity: 0.1,
+        }
+    }
+
+    #[test]
+    fn instances_and_nets() {
+        let mut p = StitchProblem::new(vec![block(2, 4), block(3, 5)]);
+        let a = p.add_instance(0);
+        let b = p.add_instance(1);
+        let c = p.add_instance(1);
+        p.add_net(&[a, b], 8.0);
+        p.add_net(&[b, c], 16.0);
+        assert_eq!(p.instances.len(), 3);
+        assert_eq!(p.block_of(c).width, 3);
+        assert_eq!(p.total_area(), 8 + 15 + 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown module index")]
+    fn bad_module_index_panics() {
+        let mut p = StitchProblem::new(vec![block(1, 1)]);
+        p.add_instance(3);
+    }
+
+    #[test]
+    fn area_formula() {
+        assert_eq!(block(4, 7).area(), 28);
+    }
+}

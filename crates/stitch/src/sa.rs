@@ -1,0 +1,629 @@
+//! The simulated-annealing stitcher.
+
+use crate::problem::StitchProblem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tms_device::Device;
+
+/// SA schedule and bookkeeping knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StitchConfig {
+    /// RNG seed; the whole anneal is deterministic given it.
+    pub seed: u64,
+    /// Total proposed moves.
+    pub max_moves: u64,
+    /// Moves between temperature updates.
+    pub moves_per_temp: u32,
+    /// Geometric cooling factor per temperature step.
+    pub cooling: f64,
+    /// Attempt to insert an unplaced instance every this many moves.
+    pub retry_unplaced_every: u64,
+    /// Cost-trace sampling period, in moves.
+    pub sample_every: u64,
+    /// VPR-style range limiting: propose moves near the current location
+    /// as the temperature drops. Disable to ablate (pure random targets).
+    pub range_limited: bool,
+}
+
+impl StitchConfig {
+    /// A production-quality schedule for designs of a few hundred macros.
+    pub fn standard(seed: u64) -> Self {
+        StitchConfig {
+            seed,
+            max_moves: 120_000,
+            moves_per_temp: 256,
+            cooling: 0.985,
+            retry_unplaced_every: 500,
+            sample_every: 500,
+            range_limited: true,
+        }
+    }
+
+    /// A short schedule for tests and docs.
+    pub fn fast(seed: u64) -> Self {
+        StitchConfig {
+            seed,
+            max_moves: 4_000,
+            moves_per_temp: 64,
+            cooling: 0.95,
+            retry_unplaced_every: 200,
+            sample_every: 100,
+            range_limited: true,
+        }
+    }
+}
+
+/// Outcome of a stitching run.
+#[derive(Debug, Clone)]
+pub struct StitchResult {
+    /// Anchor position of each instance (`None` = unplaced).
+    pub positions: Vec<Option<(u32, u32)>>,
+    /// Instances that could not be placed.
+    pub unplaced: Vec<u32>,
+    /// Number of placed instances.
+    pub placed_count: usize,
+    /// Number of unplaced instances.
+    pub unplaced_count: usize,
+    /// Wirelength cost after greedy legalisation.
+    pub initial_cost: f64,
+    /// Wirelength cost at the end of the anneal.
+    pub final_cost: f64,
+    /// Moves rejected because the target fabric was occupied.
+    pub illegal_moves: u64,
+    /// Initially-unplaced instances successfully inserted during the
+    /// anneal (each can raise the cost above `initial_cost`, since its
+    /// nets gain endpoints).
+    pub late_insertions: u64,
+    /// Total proposed moves.
+    pub total_moves: u64,
+    /// Move index at which the cost first came within 1% of its final
+    /// improvement — the convergence measure behind the paper's 1.37×.
+    pub convergence_move: u64,
+    /// Move index at which the best (returned) placement was found.
+    pub best_move: u64,
+    /// Sampled `(move, cost)` trace.
+    pub cost_trace: Vec<(u64, f64)>,
+}
+
+impl StitchResult {
+    /// Total fabric cells covered by placed footprints.
+    pub fn placed_area(&self, problem: &StitchProblem) -> u64 {
+        self.positions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(i, _)| problem.block_of(i as u32).area())
+            .sum()
+    }
+
+    /// Dead cells locked inside placed footprints (PBlock waste).
+    pub fn wasted_cells(&self, problem: &StitchProblem) -> u64 {
+        self.positions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(i, _)| {
+                let b = problem.block_of(i as u32);
+                b.area().saturating_sub(u64::from(b.used_slices))
+            })
+            .sum()
+    }
+}
+
+/// Per-module candidate positions.
+struct Candidates {
+    xs: Vec<u32>,
+    y_step: u32,
+    y_max: u32, // inclusive max anchor row
+}
+
+impl Candidates {
+    fn count(&self) -> u64 {
+        if self.xs.is_empty() {
+            return 0;
+        }
+        self.xs.len() as u64 * u64::from(self.y_max / self.y_step + 1)
+    }
+
+    fn nth(&self, idx: u64) -> (u32, u32) {
+        let ys = u64::from(self.y_max / self.y_step + 1);
+        let x = self.xs[(idx / ys) as usize];
+        let y = (idx % ys) as u32 * self.y_step;
+        (x, y)
+    }
+
+    /// Candidate index closest to a position (for range-limited moves).
+    fn index_near(&self, (x, y): (u32, u32)) -> u64 {
+        let ys = u64::from(self.y_max / self.y_step + 1);
+        let xi = self.xs.partition_point(|&c| c < x).min(self.xs.len() - 1) as u64;
+        let yi = u64::from((y / self.y_step).min(self.y_max / self.y_step));
+        xi * ys + yi
+    }
+}
+
+struct Grid {
+    w: u32,
+    cells: Vec<u32>, // 0 = free, else instance id + 1
+}
+
+impl Grid {
+    fn new(w: u32, h: u32) -> Self {
+        Grid { w, cells: vec![0; (w * h) as usize] }
+    }
+
+    fn is_free(&self, x: u32, y: u32, bw: u32, bh: u32, ignore: u32) -> bool {
+        for yy in y..y + bh {
+            let row = (yy * self.w + x) as usize;
+            for c in &self.cells[row..row + bw as usize] {
+                if *c != 0 && *c != ignore + 1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn set(&mut self, x: u32, y: u32, bw: u32, bh: u32, v: u32) {
+        for yy in y..y + bh {
+            let row = (yy * self.w + x) as usize;
+            for c in &mut self.cells[row..row + bw as usize] {
+                *c = v;
+            }
+        }
+    }
+}
+
+struct State<'p> {
+    problem: &'p StitchProblem,
+    candidates: Vec<Candidates>,
+    positions: Vec<Option<(u32, u32)>>,
+    grid: Grid,
+    incident: Vec<Vec<u32>>, // instance -> net indices
+    cost: f64,
+}
+
+impl<'p> State<'p> {
+    fn center(&self, inst: u32) -> Option<(f64, f64)> {
+        self.positions[inst as usize].map(|(x, y)| {
+            let b = self.problem.block_of(inst);
+            (
+                f64::from(x) + f64::from(b.width) / 2.0,
+                f64::from(y) + f64::from(b.height) / 2.0,
+            )
+        })
+    }
+
+    fn net_cost(&self, net_idx: u32) -> f64 {
+        let net = &self.problem.nets[net_idx as usize];
+        let mut n = 0u32;
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for &e in &net.endpoints {
+            if let Some((cx, cy)) = self.center(e) {
+                n += 1;
+                x0 = x0.min(cx);
+                x1 = x1.max(cx);
+                y0 = y0.min(cy);
+                y1 = y1.max(cy);
+            }
+        }
+        if n < 2 {
+            0.0
+        } else {
+            net.weight * ((x1 - x0) + (y1 - y0))
+        }
+    }
+
+    fn total_cost(&self) -> f64 {
+        (0..self.problem.nets.len() as u32).map(|i| self.net_cost(i)).sum()
+    }
+
+    fn incident_cost(&self, inst: u32) -> f64 {
+        self.incident[inst as usize]
+            .iter()
+            .map(|&n| self.net_cost(n))
+            .sum()
+    }
+
+    /// Move `inst` to `(x, y)` (must be legal), returning the cost delta.
+    fn apply_move(&mut self, inst: u32, x: u32, y: u32) -> f64 {
+        let b = self.problem.block_of(inst);
+        let (bw, bh) = (b.width, b.height);
+        let before = self.incident_cost(inst);
+        if let Some((ox, oy)) = self.positions[inst as usize] {
+            self.grid.set(ox, oy, bw, bh, 0);
+        }
+        self.grid.set(x, y, bw, bh, inst + 1);
+        self.positions[inst as usize] = Some((x, y));
+        let after = self.incident_cost(inst);
+        self.cost += after - before;
+        after - before
+    }
+
+    fn undo_move(&mut self, inst: u32, old: Option<(u32, u32)>, delta: f64) {
+        let b = self.problem.block_of(inst);
+        let (bw, bh) = (b.width, b.height);
+        if let Some((x, y)) = self.positions[inst as usize] {
+            self.grid.set(x, y, bw, bh, 0);
+        }
+        if let Some((ox, oy)) = old {
+            self.grid.set(ox, oy, bw, bh, inst + 1);
+        }
+        self.positions[inst as usize] = old;
+        self.cost -= delta;
+    }
+}
+
+/// Run greedy legalisation followed by simulated annealing.
+pub fn stitch(device: &Device, problem: &StitchProblem, config: &StitchConfig) -> StitchResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let rows = device.rows();
+
+    let candidates: Vec<Candidates> = problem
+        .modules
+        .iter()
+        .map(|m| {
+            let xs = device.matching_anchors(&m.signature);
+            let y_step = m.signature.y_alignment();
+            let y_max = rows.saturating_sub(m.height);
+            Candidates { xs, y_step, y_max }
+        })
+        .collect();
+
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); problem.instances.len()];
+    for (ni, net) in problem.nets.iter().enumerate() {
+        for &e in &net.endpoints {
+            incident[e as usize].push(ni as u32);
+        }
+    }
+
+    let mut state = State {
+        problem,
+        candidates,
+        positions: vec![None; problem.instances.len()],
+        grid: Grid::new(device.width(), rows),
+        incident,
+        cost: 0.0,
+    };
+
+    // Greedy legalisation, largest blocks first.
+    let mut order: Vec<u32> = (0..problem.instances.len() as u32).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(problem.block_of(i).area()));
+    for &inst in &order {
+        try_insert(&mut state, inst, &mut rng);
+    }
+    state.cost = state.total_cost();
+    let initial_cost = state.cost;
+
+    // Temperature from the scale of legal-move deltas.
+    let t0 = estimate_t0(&mut state, &mut rng).max(1e-6);
+    let mut temp = t0;
+
+    let mut illegal_moves = 0u64;
+    let late_insertions = 0u64;
+    let mut cost_trace: Vec<(u64, f64)> = vec![(0, initial_cost)];
+    let n_inst = problem.instances.len() as u32;
+
+    // Best-so-far snapshot: SA accepts uphill moves, so the terminal state
+    // can be worse than an earlier one; the returned placement is the best
+    // visited. A late insertion resets the snapshot — placing one more
+    // block always outranks wirelength.
+    let mut best_cost = state.cost;
+    let mut best_positions = state.positions.clone();
+    let mut best_move = 0u64;
+
+    let mut mv = 0u64;
+    while mv < config.max_moves && n_inst > 0 {
+        mv += 1;
+        if config.retry_unplaced_every > 0 && mv.is_multiple_of(config.retry_unplaced_every) {
+            if let Some(unp) = state.positions.iter().position(|p| p.is_none()) {
+                try_insert(&mut state, unp as u32, &mut rng);
+            }
+        }
+        let inst = rng.gen_range(0..n_inst);
+        let cand = &state.candidates[problem.instances[inst as usize]];
+        let count = cand.count();
+        if count == 0 || state.positions[inst as usize].is_none() {
+            continue;
+        }
+        // VPR-style range limiting: as the temperature drops, propose
+        // targets closer to the current location (candidates are ordered by
+        // x then y, so index distance approximates fabric distance).
+        let window = if config.range_limited {
+            ((temp / t0).clamp(0.02, 1.0) * count as f64).max(8.0) as u64
+        } else {
+            count
+        };
+        let (x, y) = if window >= count {
+            cand.nth(rng.gen_range(0..count))
+        } else {
+            let cur = state.positions[inst as usize].unwrap();
+            let cur_idx = cand.index_near(cur);
+            let lo = cur_idx.saturating_sub(window / 2);
+            let hi = (lo + window).min(count);
+            cand.nth(rng.gen_range(lo..hi))
+        };
+        if state.positions[inst as usize] == Some((x, y)) {
+            continue;
+        }
+        let b = problem.block_of(inst);
+        if !state.grid.is_free(x, y, b.width, b.height, inst) {
+            illegal_moves += 1;
+            continue;
+        }
+        let old = state.positions[inst as usize];
+        let delta = state.apply_move(inst, x, y);
+        let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
+        if !accept {
+            state.undo_move(inst, old, delta);
+        } else if state.cost < best_cost - 1e-12 {
+            best_cost = state.cost;
+            best_positions = state.positions.clone();
+            best_move = mv;
+        }
+        if mv.is_multiple_of(u64::from(config.moves_per_temp)) {
+            temp = (temp * config.cooling).max(t0 * 1e-4);
+        }
+        if mv.is_multiple_of(config.sample_every) {
+            cost_trace.push((mv, state.cost));
+        }
+    }
+    // Restore the best-visited placement if the terminal state is worse.
+    if best_cost < state.cost - 1e-12 {
+        state.positions = best_positions;
+        state.cost = best_cost;
+    }
+    let final_cost = state.total_cost();
+    cost_trace.push((mv, final_cost));
+
+    let unplaced: Vec<u32> = state
+        .positions
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_none())
+        .map(|(i, _)| i as u32)
+        .collect();
+
+    // Convergence: first sampled move within 1% of the total improvement;
+    // the sparse trace can miss the best-so-far level, so the recorded
+    // best_move bounds it from above.
+    let improvement = (initial_cost - final_cost).max(1e-12);
+    let threshold = final_cost + 0.01 * improvement;
+    let convergence_move = cost_trace
+        .iter()
+        .find(|&&(_, c)| c <= threshold)
+        .map(|&(m, _)| m)
+        .unwrap_or(mv)
+        .min(best_move.max(1));
+
+    StitchResult {
+        placed_count: state.positions.len() - unplaced.len(),
+        unplaced_count: unplaced.len(),
+        positions: state.positions,
+        unplaced,
+        initial_cost,
+        final_cost,
+        illegal_moves,
+        late_insertions,
+        total_moves: mv,
+        convergence_move,
+        best_move,
+        cost_trace,
+    }
+}
+
+/// Try to insert an unplaced instance at a pseudo-random free candidate.
+fn try_insert(state: &mut State<'_>, inst: u32, rng: &mut StdRng) -> bool {
+    if state.positions[inst as usize].is_some() {
+        return true;
+    }
+    let b = state.problem.block_of(inst);
+    let cand = &state.candidates[state.problem.instances[inst as usize]];
+    let count = cand.count();
+    if count == 0 {
+        return false;
+    }
+    // Scan all candidates from a random start so the greedy pass fills the
+    // fabric evenly rather than stacking left.
+    let start = rng.gen_range(0..count);
+    for k in 0..count {
+        let (x, y) = cand.nth((start + k) % count);
+        if state.grid.is_free(x, y, b.width, b.height, inst) {
+            state.apply_move(inst, x, y);
+            return true;
+        }
+    }
+    false
+}
+
+/// Sample legal moves to scale the starting temperature.
+fn estimate_t0(state: &mut State<'_>, rng: &mut StdRng) -> f64 {
+    let n_inst = state.problem.instances.len() as u32;
+    if n_inst == 0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut n = 0u32;
+    for _ in 0..200 {
+        let inst = rng.gen_range(0..n_inst);
+        if state.positions[inst as usize].is_none() {
+            continue;
+        }
+        let cand = &state.candidates[state.problem.instances[inst as usize]];
+        let count = cand.count();
+        if count == 0 {
+            continue;
+        }
+        let (x, y) = cand.nth(rng.gen_range(0..count));
+        let b = state.problem.block_of(inst);
+        if !state.grid.is_free(x, y, b.width, b.height, inst) {
+            continue;
+        }
+        let old = state.positions[inst as usize];
+        let delta = state.apply_move(inst, x, y);
+        state.undo_move(inst, old, delta);
+        sum += delta.abs();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        2.0 * sum / f64::from(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::MacroBlock;
+    use tms_device::Device;
+
+    fn block(dev: &Device, name: &str, w: u32, h: u32) -> MacroBlock {
+        MacroBlock {
+            name: name.into(),
+            signature: dev.signature(0, w),
+            width: w,
+            height: h,
+            used_slices: w * h * 3 / 4,
+            irregularity: 0.25,
+        }
+    }
+
+    fn chain_problem(dev: &Device, n: u32, w: u32, h: u32) -> StitchProblem {
+        let mut p = StitchProblem::new(vec![block(dev, "m", w, h)]);
+        let ids: Vec<u32> = (0..n).map(|_| p.add_instance(0)).collect();
+        for pair in ids.windows(2) {
+            p.add_net(pair, 1.0);
+        }
+        p
+    }
+
+    #[test]
+    fn all_blocks_place_when_device_is_roomy() {
+        let dev = Device::xc7z020();
+        let p = chain_problem(&dev, 20, 3, 10);
+        let r = stitch(&dev, &p, &StitchConfig::fast(1));
+        assert_eq!(r.unplaced_count, 0);
+        assert_eq!(r.placed_count, 20);
+        // No two placed blocks overlap.
+        for i in 0..20u32 {
+            for j in 0..i {
+                let (a, b) = (r.positions[i as usize].unwrap(), r.positions[j as usize].unwrap());
+                let ra = tms_device::Rect::new(a.0, a.1, 3, 10);
+                let rb = tms_device::Rect::new(b.0, b.1, 3, 10);
+                assert!(!ra.overlaps(&rb), "{i} and {j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn sa_does_not_worsen_cost() {
+        let dev = Device::xc7z020();
+        let p = chain_problem(&dev, 30, 3, 12);
+        let r = stitch(&dev, &p, &StitchConfig::standard(3));
+        assert!(r.final_cost <= r.initial_cost * 1.0 + 1e-9);
+        assert!(r.final_cost > 0.0);
+    }
+
+    #[test]
+    fn oversubscribed_device_leaves_blocks_unplaced() {
+        let dev = Device::xc7z020();
+        // 200 instances of a 30x40 block: 240k cells on a ~24k-cell fabric.
+        let p = chain_problem(&dev, 200, 30, 40);
+        let r = stitch(&dev, &p, &StitchConfig::fast(5));
+        assert!(r.unplaced_count > 150, "unplaced = {}", r.unplaced_count);
+        assert!(r.placed_count >= 1);
+    }
+
+    #[test]
+    fn bigger_footprints_leave_more_unplaced() {
+        // The Figure-5 effect: same design, looser PBlocks, fewer placed.
+        let dev = Device::xc7z020();
+        let tight = chain_problem(&dev, 120, 8, 25);
+        let loose = chain_problem(&dev, 120, 10, 31);
+        let rt = stitch(&dev, &tight, &StitchConfig::fast(7));
+        let rl = stitch(&dev, &loose, &StitchConfig::fast(7));
+        assert!(
+            rl.unplaced_count > rt.unplaced_count,
+            "loose {} vs tight {}",
+            rl.unplaced_count,
+            rt.unplaced_count
+        );
+    }
+
+    #[test]
+    fn impossible_signature_is_unplaceable() {
+        let dev = Device::xc7z020();
+        let sig = tms_device::ColumnSignature(vec![tms_device::ColumnKind::Bram; 10]);
+        let m = MacroBlock {
+            name: "impossible".into(),
+            signature: sig,
+            width: 10,
+            height: 10,
+            used_slices: 0,
+            irregularity: 0.0,
+        };
+        let mut p = StitchProblem::new(vec![m]);
+        p.add_instance(0);
+        let r = stitch(&dev, &p, &StitchConfig::fast(1));
+        assert_eq!(r.unplaced_count, 1);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let dev = Device::xc7z020();
+        let p = chain_problem(&dev, 25, 4, 10);
+        let a = stitch(&dev, &p, &StitchConfig::fast(11));
+        let b = stitch(&dev, &p, &StitchConfig::fast(11));
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.final_cost, b.final_cost);
+        assert_eq!(a.illegal_moves, b.illegal_moves);
+    }
+
+    #[test]
+    fn crowded_fabric_causes_illegal_moves() {
+        let dev = Device::xc7z020();
+        // Same instance count of narrow (widely relocatable) blocks; the
+        // crowded variant fills ~half of the fabric, the sparse one ~10%,
+        // so moves hit occupied cells far more often.
+        let crowded = chain_problem(&dev, 60, 3, 40);
+        let sparse = chain_problem(&dev, 60, 3, 8);
+        let rc = stitch(&dev, &crowded, &StitchConfig::fast(2));
+        let rs = stitch(&dev, &sparse, &StitchConfig::fast(2));
+        assert_eq!(rc.unplaced_count, 0);
+        assert!(
+            rc.illegal_moves > rs.illegal_moves,
+            "crowded {} vs sparse {}",
+            rc.illegal_moves,
+            rs.illegal_moves
+        );
+    }
+
+    #[test]
+    fn waste_accounting() {
+        let dev = Device::xc7z020();
+        let p = chain_problem(&dev, 4, 3, 10);
+        let r = stitch(&dev, &p, &StitchConfig::fast(1));
+        // used = 3*10*3/4 = 22 per block, waste = 8 per block.
+        assert_eq!(r.placed_area(&p), 4 * 30);
+        assert_eq!(r.wasted_cells(&p), 4 * 8);
+    }
+
+    #[test]
+    fn empty_problem_is_trivial() {
+        let dev = Device::xc7z020();
+        let p = StitchProblem::default();
+        let r = stitch(&dev, &p, &StitchConfig::fast(1));
+        assert_eq!(r.placed_count, 0);
+        assert_eq!(r.final_cost, 0.0);
+        assert_eq!(r.total_moves, 0);
+    }
+
+    #[test]
+    fn convergence_move_is_within_run() {
+        let dev = Device::xc7z020();
+        let p = chain_problem(&dev, 40, 3, 10);
+        let r = stitch(&dev, &p, &StitchConfig::standard(4));
+        assert!(r.convergence_move <= r.total_moves);
+        assert!(!r.cost_trace.is_empty());
+    }
+}

@@ -1,0 +1,444 @@
+//! Slice packing: from primitive counts to slice-type demand.
+
+use tms_device::{SliceCapacity, CONTROL_SETS_PER_SLICE, FFS_PER_SLICE, LUTRAM_PER_M_SLICE, LUTS_PER_SLICE};
+use tms_netlist::NetlistStats;
+
+/// Per-slice FF group size: the 8 FFs of a slice form two groups of four,
+/// each group sharing one control set.
+const FF_GROUP: u32 = FFS_PER_SLICE / CONTROL_SETS_PER_SLICE;
+
+/// Fraction of a carry slice's LUTs that generic logic can co-host. The
+/// other half is consumed by the carry generate/propagate functions.
+const CARRY_COHOST_LUTS: u32 = LUTS_PER_SLICE / 2;
+
+/// Result of packing one module's netlist into slices.
+///
+/// `required_slices` is the packer's honest demand; the Figure-1 estimate
+/// the PBlock generator starts from is [`optimistic_slice_estimate`], which
+/// assumes perfect overlay of LUTs, FFs and carry inside shared slices. The
+/// gap between the two — together with routing head-room — is what the
+/// correction factor has to cover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackingReport {
+    /// Slice-type demand after packing (L/M slices, hard blocks).
+    pub demand: SliceCapacity,
+    /// Slices occupied by carry chains.
+    pub carry_slices: u32,
+    /// Height of every carry chain in slices (⌈bits/4⌉), sorted descending.
+    /// The tallest entry constrains the PBlock height (shape report).
+    pub chain_slices: Vec<u32>,
+    /// Slices needed by logic LUTs after carry co-hosting.
+    pub lut_slices: u32,
+    /// Slices needed to hold every FF group without overlay.
+    pub ff_slices: u32,
+    /// M-type slices demanded by LUTRAM/SRL cells.
+    pub m_slices: u32,
+    /// Number of control-set-pure FF groups of up to four FFs.
+    pub ff_groups: u32,
+    /// Fraction of FF slots wasted to control-set fragmentation (0 when
+    /// every control set's FF count is a multiple of the group size).
+    pub control_set_waste: f64,
+    /// Section V-E density in (0, 1]: 1.0 when LUT, FF and carry slice
+    /// demands are balanced (hardest to overlay), 1/3 when a single
+    /// resource class dominates.
+    pub density: f64,
+    /// Total slices the packed module occupies.
+    pub required_slices: u32,
+}
+
+impl PackingReport {
+    /// Height (in slices) of the tallest carry chain; 0 without chains.
+    pub fn tallest_chain(&self) -> u32 {
+        self.chain_slices.first().copied().unwrap_or(0)
+    }
+}
+
+#[inline]
+fn div_ceil(a: u32, b: u32) -> u32 {
+    a.div_ceil(b)
+}
+
+/// Pack a module's primitives into slices.
+///
+/// The model applies, in order: carry-chain slice formation, M-slice
+/// formation for LUTRAM/SRL, logic-LUT slices (with partial co-hosting in
+/// carry slices), and finally FF overlay — each already-formed slice offers
+/// [`CONTROL_SETS_PER_SLICE`] FF groups, and only whole control-set-pure
+/// groups can be placed, which is exactly the Section V-B conflict rule.
+pub fn pack(stats: &NetlistStats) -> PackingReport {
+    let counts = &stats.counts;
+
+    let mut chain_slices: Vec<u32> = stats
+        .carry_chains
+        .iter()
+        .map(|&bits| div_ceil(bits, tms_device::CARRY_BITS_PER_SLICE))
+        .collect();
+    chain_slices.sort_unstable_by(|a, b| b.cmp(a));
+    let carry_slices: u32 = chain_slices.iter().sum();
+
+    let m_slices = div_ceil(counts.m_lut_sites(), LUTRAM_PER_M_SLICE);
+
+    let cohost_capacity = carry_slices * CARRY_COHOST_LUTS;
+    let lut_remaining = counts.luts.saturating_sub(cohost_capacity);
+    let lut_slices = div_ceil(lut_remaining, LUTS_PER_SLICE);
+
+    // Whole control-set-pure groups of up to FF_GROUP flip-flops.
+    let ff_groups: u32 = stats
+        .ff_per_control_set
+        .iter()
+        .map(|&n| div_ceil(n, FF_GROUP))
+        .sum();
+    let ff_slices = div_ceil(ff_groups, CONTROL_SETS_PER_SLICE);
+    let ideal_groups = div_ceil(counts.ffs, FF_GROUP);
+    let control_set_waste = if ff_groups == 0 {
+        0.0
+    } else {
+        1.0 - f64::from(ideal_groups) / f64::from(ff_groups)
+    };
+
+    // FF overlay: every formed slice hosts up to two groups; only the
+    // overflow needs dedicated FF slices.
+    let host_slices = carry_slices + lut_slices + m_slices;
+    let overlay_groups = host_slices * CONTROL_SETS_PER_SLICE;
+    let extra_ff_slices = div_ceil(
+        ff_groups.saturating_sub(overlay_groups),
+        CONTROL_SETS_PER_SLICE,
+    );
+
+    let required_slices = host_slices + extra_ff_slices;
+
+    // Section V-E density over the three soft resource classes.
+    let a = div_ceil(counts.lut_sites(), LUTS_PER_SLICE);
+    let b = div_ceil(counts.ffs, FFS_PER_SLICE);
+    let c = carry_slices;
+    let max = a.max(b).max(c);
+    let density = if max == 0 {
+        0.0
+    } else {
+        f64::from(a + b + c) / (3.0 * f64::from(max))
+    };
+
+    let demand = SliceCapacity {
+        l_slices: required_slices - m_slices,
+        m_slices,
+        bram36: counts.bram36,
+        dsp48: counts.dsp48,
+        clock_columns: 0,
+    };
+
+    PackingReport {
+        demand,
+        carry_slices,
+        chain_slices,
+        lut_slices,
+        ff_slices,
+        m_slices,
+        ff_groups,
+        control_set_waste,
+        density,
+        required_slices,
+    }
+}
+
+/// The RapidWright-style optimistic slice estimate of Figure 1: resource
+/// counts over per-slice capacities assuming perfect overlay of LUTs, FFs
+/// and carry elements within shared slices. This is the quantity the
+/// correction factor multiplies.
+///
+/// Carry elements are *not* added on top of the LUT demand here — the
+/// estimate assumes they pack into the same slices. That optimism is
+/// exactly why carry-heavy modules need large correction factors, and why
+/// the relative carry count ends up the dominant estimator feature
+/// (Figures 9 and 12 of the paper).
+pub fn optimistic_slice_estimate(stats: &NetlistStats) -> u32 {
+    let counts = &stats.counts;
+    let by_luts = div_ceil(counts.lut_sites(), LUTS_PER_SLICE);
+    let by_ffs = div_ceil(counts.ffs, FFS_PER_SLICE);
+    let by_carry: u32 = stats
+        .carry_chains
+        .iter()
+        .map(|&bits| div_ceil(bits, tms_device::CARRY_BITS_PER_SLICE))
+        .sum();
+    let by_m = div_ceil(counts.m_lut_sites(), LUTRAM_PER_M_SLICE);
+    by_luts.max(by_ffs).max(by_carry).max(by_m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_netlist::{ControlSet, NetlistBuilder};
+
+    fn stats_of(build: impl FnOnce(&mut NetlistBuilder)) -> NetlistStats {
+        let mut b = NetlistBuilder::new("t");
+        build(&mut b);
+        b.finish().stats()
+    }
+
+    #[test]
+    fn pure_lut_module() {
+        let s = stats_of(|b| {
+            for _ in 0..40 {
+                b.lut(6);
+            }
+        });
+        let r = pack(&s);
+        assert_eq!(r.lut_slices, 10);
+        assert_eq!(r.required_slices, 10);
+        assert_eq!(r.ff_slices, 0);
+        assert_eq!(r.demand.m_slices, 0);
+        assert_eq!(optimistic_slice_estimate(&s), 10);
+        // Single resource class: minimal density.
+        assert!((r.density - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ffs_single_control_set_pack_fully() {
+        let s = stats_of(|b| {
+            let cs = ControlSet::basic();
+            for _ in 0..64 {
+                b.ff(cs);
+            }
+        });
+        let r = pack(&s);
+        assert_eq!(r.ff_groups, 16);
+        assert_eq!(r.ff_slices, 8);
+        assert_eq!(r.required_slices, 8);
+        assert_eq!(r.control_set_waste, 0.0);
+    }
+
+    #[test]
+    fn control_set_fragmentation_wastes_slots() {
+        // 64 FFs split over 32 control sets of 2 FFs each: each group holds
+        // only 2 of 4 slots -> 32 groups -> 16 slices instead of 8.
+        let s = stats_of(|b| {
+            for i in 0..64u16 {
+                b.ff(ControlSet::new(0, i / 2 + 1, 0));
+            }
+        });
+        let r = pack(&s);
+        assert_eq!(r.ff_groups, 32);
+        assert_eq!(r.required_slices, 16);
+        assert!((r.control_set_waste - 0.5).abs() < 1e-9);
+        // The optimistic estimate ignores the conflict entirely.
+        assert_eq!(optimistic_slice_estimate(&s), 8);
+    }
+
+    #[test]
+    fn carry_chains_round_up_per_chain() {
+        let s = stats_of(|b| {
+            b.carry_chain(9); // 3 slices
+            b.carry_chain(4); // 1 slice
+            b.carry_chain(1); // 1 slice
+        });
+        let r = pack(&s);
+        assert_eq!(r.chain_slices, vec![3, 1, 1]);
+        assert_eq!(r.carry_slices, 5);
+        assert_eq!(r.tallest_chain(), 3);
+        assert_eq!(r.required_slices, 5);
+    }
+
+    #[test]
+    fn carry_cohosts_some_luts() {
+        // 8 carry slices co-host 16 LUTs; 32 LUTs -> 16 remain -> 4 slices.
+        let s = stats_of(|b| {
+            b.carry_chain(32);
+            for _ in 0..32 {
+                b.lut(5);
+            }
+        });
+        let r = pack(&s);
+        assert_eq!(r.carry_slices, 8);
+        assert_eq!(r.lut_slices, 4);
+        assert_eq!(r.required_slices, 12);
+    }
+
+    #[test]
+    fn lutram_demands_m_slices() {
+        let s = stats_of(|b| {
+            let cs = ControlSet::basic();
+            for _ in 0..20 {
+                b.lutram(cs);
+            }
+            for _ in 0..8 {
+                b.srl(cs);
+            }
+        });
+        let r = pack(&s);
+        assert_eq!(r.m_slices, 7);
+        assert_eq!(r.demand.m_slices, 7);
+        assert_eq!(r.demand.l_slices, 0);
+        assert_eq!(optimistic_slice_estimate(&s), 7);
+    }
+
+    #[test]
+    fn ffs_overlay_onto_logic_slices() {
+        // 40 LUTs (10 slices) + 80 FFs single control set (20 groups).
+        // Overlay hosts 20 groups in the 10 LUT slices: no extra slices.
+        let s = stats_of(|b| {
+            let cs = ControlSet::basic();
+            for _ in 0..40 {
+                b.lut(6);
+            }
+            for _ in 0..80 {
+                b.ff(cs);
+            }
+        });
+        let r = pack(&s);
+        assert_eq!(r.required_slices, 10);
+        // One more FF group would overflow into a dedicated slice.
+        let s2 = stats_of(|b| {
+            let cs = ControlSet::basic();
+            for _ in 0..40 {
+                b.lut(6);
+            }
+            for _ in 0..81 {
+                b.ff(cs);
+            }
+        });
+        assert_eq!(pack(&s2).required_slices, 11);
+    }
+
+    #[test]
+    fn hard_blocks_pass_through() {
+        let s = stats_of(|b| {
+            for _ in 0..3 {
+                b.bram();
+            }
+            for _ in 0..2 {
+                b.dsp();
+            }
+        });
+        let r = pack(&s);
+        assert_eq!(r.required_slices, 0);
+        assert_eq!(r.demand.bram36, 3);
+        assert_eq!(r.demand.dsp48, 2);
+    }
+
+    #[test]
+    fn balanced_module_has_high_density() {
+        // Equal slice demand from LUTs, FFs and carry.
+        let s = stats_of(|b| {
+            let cs = ControlSet::basic();
+            b.carry_chain(40); // 10 slices
+            for _ in 0..40 {
+                b.lut(6); // 10 slices
+            }
+            for _ in 0..80 {
+                b.ff(cs); // 10 slices by FF capacity
+            }
+        });
+        let r = pack(&s);
+        assert!(r.density > 0.9, "density = {}", r.density);
+    }
+
+    #[test]
+    fn required_never_below_optimistic_estimate_for_logic() {
+        let s = stats_of(|b| {
+            let cs1 = ControlSet::new(0, 1, 0);
+            let cs2 = ControlSet::new(0, 2, 2);
+            b.carry_chain(13);
+            for _ in 0..29 {
+                b.lut(4);
+            }
+            for i in 0..57 {
+                b.ff(if i % 2 == 0 { cs1 } else { cs2 });
+            }
+            for _ in 0..9 {
+                b.lutram(cs1);
+            }
+        });
+        let r = pack(&s);
+        assert!(r.required_slices >= optimistic_slice_estimate(&s));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use tms_netlist::{ControlSet, NetlistBuilder};
+
+    fn arb_stats() -> impl Strategy<Value = NetlistStats> {
+        (
+            0u32..500,             // luts
+            0u32..500,             // ffs
+            1u16..20,              // control sets among ffs
+            proptest::collection::vec(1u32..64, 0..6), // carry chains
+            0u32..100,             // lutram
+            0u32..4,               // bram
+            0u32..4,               // dsp
+        )
+            .prop_map(|(luts, ffs, ncs, chains, lutram, bram, dsp)| {
+                let mut b = NetlistBuilder::new("prop");
+                for _ in 0..luts {
+                    b.lut(6);
+                }
+                for i in 0..ffs {
+                    b.ff(ControlSet::new(0, (i as u16 % ncs) + 1, 0));
+                }
+                for &bits in &chains {
+                    b.carry_chain(bits);
+                }
+                for _ in 0..lutram {
+                    b.lutram(ControlSet::basic());
+                }
+                for _ in 0..bram {
+                    b.bram();
+                }
+                for _ in 0..dsp {
+                    b.dsp();
+                }
+                b.finish().stats()
+            })
+    }
+
+    proptest! {
+        /// The packer can be pessimistic but never undercounts the
+        /// optimistic overlay bound.
+        #[test]
+        fn packing_at_least_optimistic(s in arb_stats()) {
+            let r = pack(&s);
+            prop_assert!(r.required_slices >= optimistic_slice_estimate(&s));
+        }
+
+        /// Slice demand components are consistent.
+        #[test]
+        fn demand_components_consistent(s in arb_stats()) {
+            let r = pack(&s);
+            prop_assert_eq!(r.demand.slices(), r.required_slices);
+            prop_assert_eq!(r.demand.m_slices, r.m_slices);
+            prop_assert!(r.carry_slices <= r.required_slices);
+            prop_assert!((0.0..=1.0).contains(&r.density));
+            prop_assert!((0.0..1.0).contains(&r.control_set_waste));
+        }
+
+        /// Packing is monotone: adding LUTs never reduces slice demand.
+        #[test]
+        fn monotone_in_luts(s in arb_stats(), extra in 1u32..200) {
+            let base = pack(&s).required_slices;
+            let mut b = NetlistBuilder::new("more");
+            for _ in 0..(s.counts.luts + extra) {
+                b.lut(6);
+            }
+            for i in 0..s.counts.ffs {
+                let ncs = s.ff_per_control_set.len().max(1) as u32;
+                b.ff(ControlSet::new(0, (i % ncs) as u16 + 1, 0));
+            }
+            // Same FF/control-set profile plus more LUTs: demand must not drop.
+            let more = pack(&b.finish().stats()).required_slices;
+            let only_luts_ffs = {
+                let mut b2 = NetlistBuilder::new("b2");
+                for _ in 0..s.counts.luts {
+                    b2.lut(6);
+                }
+                for i in 0..s.counts.ffs {
+                    let ncs = s.ff_per_control_set.len().max(1) as u32;
+                    b2.ff(ControlSet::new(0, (i % ncs) as u16 + 1, 0));
+                }
+                pack(&b2.finish().stats()).required_slices
+            };
+            prop_assert!(more >= only_luts_ffs);
+            let _ = base;
+        }
+    }
+}

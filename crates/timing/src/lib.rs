@@ -1,0 +1,261 @@
+//! # tms-timing — longest-path estimation for placed modules
+//!
+//! Reproduces the timing-side observations of Table I and Section IV: a
+//! module squeezed into a tighter PBlock uses fewer slices but routes under
+//! higher congestion, so its longest path gets *worse*; PBlocks spanning
+//! clock-distribution columns or multiple clock regions pay extra delay
+//! (the paper cites its reference \[19\] for the clock-column effect).
+//!
+//! The model is a classic static estimate:
+//!
+//! ```text
+//! t = t_clk_q + lut_levels · (t_lut + t_net0 · span(S) · detour(u))
+//!             + carry_levels · t_carry_bit + penalties + t_su
+//! ```
+//!
+//! where the netlist's combinational depth is split into LUT levels and
+//! (much faster) dedicated-carry levels, `span(S)` is the Rent-style mean
+//! net length at occupied size `S`, and `detour(u)` the congestion blow-up
+//! at utilisation `u`.
+//!
+//! ```
+//! use tms_device::{Device, Rect};
+//! use tms_netlist::{NetlistBuilder, ControlSet};
+//! use tms_place::{place_in_region, PlacementModel};
+//! use tms_synth::pack;
+//! use tms_timing::{estimate, TimingModel};
+//!
+//! let mut b = NetlistBuilder::new("t");
+//! let l1 = b.lut(4);
+//! let l2 = b.lut(4);
+//! b.connect(l1, &[l2]);
+//! let nl = b.finish();
+//! let (stats, packing) = (nl.stats(), pack(&nl.stats()));
+//! let dev = Device::xc7z020();
+//! let p = place_in_region(&stats, &packing, &dev, &Rect::new(0, 0, 4, 4),
+//!                         &PlacementModel::deterministic(), 0).unwrap();
+//! let t = estimate(&stats, &p, &dev, &TimingModel::default());
+//! assert!(t.longest_path_ns > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+use tms_device::Device;
+use tms_netlist::NetlistStats;
+use tms_place::Placement;
+
+/// Delay constants of the timing estimate (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// Clock-to-Q of the launching flip-flop.
+    pub t_clk_q: f64,
+    /// Setup time of the capturing flip-flop.
+    pub t_su: f64,
+    /// LUT propagation delay per logic level.
+    pub t_lut: f64,
+    /// Propagation delay per carry bit (dedicated carry wiring is far
+    /// faster than general LUT levels).
+    pub t_carry_bit: f64,
+    /// Net delay scale per logic level.
+    pub t_net0: f64,
+    /// Rent-style span growth exponent (matches the placement model).
+    pub rent_exp: f64,
+    /// Congestion exponent for net delay: `(1 - u)^-detour_exp`.
+    pub detour_exp: f64,
+    /// Penalty per clock-distribution column inside the placement region.
+    pub clock_col_penalty: f64,
+    /// Penalty per extra clock region the placement spans vertically.
+    pub region_cross_penalty: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            t_clk_q: 0.45,
+            t_su: 0.15,
+            t_lut: 0.40,
+            t_carry_bit: 0.025,
+            t_net0: 0.20,
+            rent_exp: 0.12,
+            detour_exp: 0.20,
+            clock_col_penalty: 0.30,
+            region_cross_penalty: 0.20,
+        }
+    }
+}
+
+/// Decomposed longest-path estimate.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimingReport {
+    /// Total longest path in nanoseconds.
+    pub longest_path_ns: f64,
+    /// Logic (LUT) contribution.
+    pub logic_ns: f64,
+    /// Routing contribution.
+    pub net_ns: f64,
+    /// Clock-column and region-crossing penalties.
+    pub penalty_ns: f64,
+    /// Maximum clock frequency implied by the path, in MHz.
+    pub fmax_mhz: f64,
+}
+
+/// Estimate the longest path of a placed module.
+pub fn estimate(
+    stats: &NetlistStats,
+    placement: &Placement,
+    device: &Device,
+    model: &TimingModel,
+) -> TimingReport {
+    // Split the combinational depth into LUT levels (slow: general logic
+    // plus routing per level) and carry levels (fast dedicated wiring).
+    // `logic_depth` counts both; a path through the longest chain pays
+    // carry-bit delays instead of LUT delays for those levels.
+    let carry_levels = f64::from(stats.longest_carry_chain().min(stats.logic_depth));
+    let lut_levels = f64::from(stats.logic_depth.max(1)) - carry_levels;
+    let lut_levels = lut_levels.max(1.0);
+    let s = f64::from(placement.used_slices.max(1));
+    let u = placement.utilization.clamp(0.0, 0.995);
+    let span = s.powf(model.rent_exp);
+    let detour = (1.0 - u).powf(-model.detour_exp);
+
+    let logic_ns = lut_levels * model.t_lut + carry_levels * model.t_carry_bit;
+    let net_ns = lut_levels * model.t_net0 * span * detour;
+    let clock_cols = f64::from(device.clock_columns_in(&placement.region));
+    let regions = f64::from(
+        device
+            .regions_spanned(placement.region.y, placement.region.h)
+            .saturating_sub(1),
+    );
+    let penalty_ns =
+        clock_cols * model.clock_col_penalty + regions * model.region_cross_penalty;
+
+    let longest_path_ns = model.t_clk_q + logic_ns + net_ns + penalty_ns + model.t_su;
+    TimingReport {
+        longest_path_ns,
+        logic_ns,
+        net_ns,
+        penalty_ns,
+        fmax_mhz: 1_000.0 / longest_path_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_device::Rect;
+    use tms_netlist::{ControlSet, NetlistBuilder};
+    use tms_place::{place_in_region, PlacementModel};
+    use tms_synth::pack;
+
+    fn chain_module(depth: u32, width: u32) -> (NetlistStats, tms_synth::PackingReport) {
+        let mut b = NetlistBuilder::new("tm");
+        let cs = ControlSet::basic();
+        for _ in 0..width {
+            let mut prev = b.ff(cs);
+            for _ in 0..depth {
+                let l = b.lut(4);
+                b.connect(prev, &[l]);
+                prev = l;
+            }
+            let out = b.ff(cs);
+            b.connect(prev, &[out]);
+        }
+        let stats = b.finish().stats();
+        let packing = pack(&stats);
+        (stats, packing)
+    }
+
+    fn placed(m: &(NetlistStats, tms_synth::PackingReport), side: u32) -> Placement {
+        let dev = Device::xc7z020();
+        place_in_region(&m.0, &m.1, &dev, &Rect::new(0, 0, side, side),
+            &PlacementModel::deterministic(), 0)
+            .unwrap()
+    }
+
+    #[test]
+    fn tighter_region_worsens_timing() {
+        // The Table-I effect: CF 1 timing is worse than CF 1.5 timing.
+        let dev = Device::xc7z020();
+        let m = chain_module(8, 80);
+        let required = m.1.required_slices;
+        let tight_side = (f64::from(required).sqrt().ceil() as u32) + 1;
+        let tight = placed(&m, tight_side);
+        let loose = placed(&m, tight_side * 2);
+        let tm = TimingModel::default();
+        let t_tight = estimate(&m.0, &tight, &dev, &tm);
+        let t_loose = estimate(&m.0, &loose, &dev, &tm);
+        assert!(
+            t_tight.longest_path_ns > t_loose.longest_path_ns,
+            "tight {} vs loose {}",
+            t_tight.longest_path_ns,
+            t_loose.longest_path_ns
+        );
+    }
+
+    #[test]
+    fn deeper_logic_is_slower() {
+        let dev = Device::xc7z020();
+        let shallow = chain_module(3, 40);
+        let deep = chain_module(12, 40);
+        let tm = TimingModel::default();
+        let ts = estimate(&shallow.0, &placed(&shallow, 12), &dev, &tm);
+        let td = estimate(&deep.0, &placed(&deep, 16), &dev, &tm);
+        assert!(td.longest_path_ns > ts.longest_path_ns);
+        assert!(td.logic_ns > ts.logic_ns);
+    }
+
+    #[test]
+    fn fmax_is_inverse_of_path() {
+        let dev = Device::xc7z020();
+        let m = chain_module(5, 20);
+        let t = estimate(&m.0, &placed(&m, 10), &dev, &TimingModel::default());
+        assert!((t.fmax_mhz * t.longest_path_ns - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clock_column_penalty_applies() {
+        let dev = Device::xc7z020();
+        // Find a clock column and straddle it.
+        let clock_x = (0..dev.width())
+            .find(|&x| dev.column(x).kind == tms_device::ColumnKind::Clock)
+            .expect("xc7z020 model has clock columns");
+        let m = chain_module(4, 30);
+        let x0 = clock_x.saturating_sub(5);
+        let region = Rect::new(x0, 0, 11, 20);
+        let p = place_in_region(&m.0, &m.1, &dev, &region, &PlacementModel::deterministic(), 0)
+            .unwrap();
+        let with = estimate(&m.0, &p, &dev, &TimingModel::default());
+        assert!(with.penalty_ns >= 0.30 - 1e-9);
+        // A same-size region away from clock columns has no penalty.
+        let p2 = placed(&m, 15);
+        let without = estimate(&m.0, &p2, &dev, &TimingModel::default());
+        assert_eq!(without.penalty_ns, 0.0);
+    }
+
+    #[test]
+    fn region_crossing_penalty_applies() {
+        let dev = Device::xc7z020();
+        let m = chain_module(4, 30);
+        let tall = Rect::new(0, 0, 8, 120); // spans 3 clock regions
+        let p = place_in_region(&m.0, &m.1, &dev, &tall, &PlacementModel::deterministic(), 0)
+            .unwrap();
+        let t = estimate(&m.0, &p, &dev, &TimingModel::default());
+        assert!(t.penalty_ns >= 2.0 * 0.20 - 1e-9);
+    }
+
+    #[test]
+    fn zero_depth_module_still_reports_positive_path() {
+        let mut b = NetlistBuilder::new("ff_only");
+        let cs = ControlSet::basic();
+        for _ in 0..16 {
+            b.ff(cs);
+        }
+        let stats = b.finish().stats();
+        let packing = pack(&stats);
+        let dev = Device::xc7z020();
+        let p = place_in_region(&stats, &packing, &dev, &Rect::new(0, 0, 3, 3),
+            &PlacementModel::deterministic(), 0).unwrap();
+        let t = estimate(&stats, &p, &dev, &TimingModel::default());
+        assert!(t.longest_path_ns > 0.5);
+    }
+}

@@ -1,0 +1,132 @@
+//! Design-space exploration: the paper's motivating scenario (Section III).
+//!
+//! During DSE, the user tweaks one layer of the network and recompiles.
+//! With a flow built on pre-implemented blocks, only *changed* unique
+//! modules must be re-implemented — the remaining placed-and-routed macros
+//! are reused and just re-stitched. This example builds a small custom
+//! network, widens one layer, and compares the full-recompile tool-run cost
+//! against the incremental one.
+//!
+//! ```sh
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use tailored_macro_sizes::cnn::{synth_module, CnvDesign, CnvModule, ModuleRole};
+use tailored_macro_sizes::device::Device;
+use tailored_macro_sizes::flow::{run_rw_flow_cached, CfPolicy, ImplementationCache, RwFlowConfig};
+use tailored_macro_sizes::pblock::CfSearch;
+use tailored_macro_sizes::place::PlacementModel;
+use tailored_macro_sizes::stitch::StitchConfig;
+
+/// Build a 3-layer toy CNN block design; `l2_pe` is the number of parallel
+/// MVAU processing elements in layer 2 — the DSE knob.
+fn toy_network(l2_pe: u32, seed: u64) -> CnvDesign {
+    let mut modules = Vec::new();
+    let mut instances = Vec::new();
+    let mut nets: Vec<(Vec<u32>, f64)> = Vec::new();
+
+    let add = |modules: &mut Vec<CnvModule>,
+                   instances: &mut Vec<(usize, String)>,
+                   name: &str,
+                   role: ModuleRole,
+                   layer: u32,
+                   target: u32,
+                   count: u32|
+     -> Vec<u32> {
+        let idx = modules.len();
+        modules.push(CnvModule {
+            name: name.to_string(),
+            role,
+            layer,
+            netlist: synth_module(role, target, name, seed ^ idx as u64),
+            instances: count,
+        });
+        (0..count)
+            .map(|i| {
+                let id = instances.len() as u32;
+                instances.push((idx, format!("{name}[{i}]")));
+                id
+            })
+            .collect()
+    };
+
+    let mut prev: Option<u32> = None;
+    for layer in 1..=3u32 {
+        let pe = if layer == 2 { l2_pe } else { 4 };
+        let swu = add(&mut modules, &mut instances, &format!("swu_l{layer}"), ModuleRole::SlidingWindow, layer, 60, 1);
+        let mvaus = add(
+            &mut modules,
+            &mut instances,
+            // The layer-2 MVAU configuration depends on the PE count, so
+            // changing `l2_pe` creates a *different* unique module.
+            &format!("mvau_l{layer}_pe{pe}"),
+            ModuleRole::Mvau,
+            layer,
+            640 / pe,
+            pe,
+        );
+        let w = add(&mut modules, &mut instances, &format!("weights_l{layer}"), ModuleRole::Weights, layer, 200, 1);
+        let act = add(&mut modules, &mut instances, &format!("act_l{layer}"), ModuleRole::Activation, layer, 24, 1);
+        if let Some(p) = prev {
+            nets.push((vec![p, swu[0]], 8.0));
+        }
+        let mut fan = vec![swu[0]];
+        fan.extend(&mvaus);
+        nets.push((fan, 8.0));
+        for &m in &mvaus {
+            nets.push((vec![w[0], m], 16.0));
+        }
+        let mut coll = mvaus.clone();
+        coll.push(act[0]);
+        nets.push((coll, 4.0));
+        prev = Some(act[0]);
+    }
+    CnvDesign { modules, instances, nets }
+}
+
+fn main() {
+    let dev = Device::xc7z020();
+    let cfg = |seed| RwFlowConfig {
+        policy: CfPolicy::Minimal(CfSearch::wide()),
+        use_shape_report: true,
+        model: PlacementModel::default(),
+        stitch: StitchConfig::standard(seed),
+        seed,
+    };
+
+    // Baseline compile of the initial architecture (4 PEs in layer 2),
+    // filling the implementation cache.
+    let mut cache = ImplementationCache::new();
+    let v1 = toy_network(4, 11);
+    let r1 = run_rw_flow_cached(&v1, &dev, &cfg(11), &mut cache);
+    println!(
+        "v1 (l2 = 4 PEs): {} unique modules, {} tool runs, {} blocks placed",
+        v1.unique_count(),
+        r1.tool_runs_spent,
+        r1.result.stitch.placed_count
+    );
+
+    // DSE step: widen layer 2 to 8 PEs. The MVAU configuration changes, so
+    // only that one unique module misses the cache.
+    let v2 = toy_network(8, 11);
+    let r2 = run_rw_flow_cached(&v2, &dev, &cfg(11), &mut cache);
+    println!(
+        "v2 (l2 = 8 PEs): {} unique modules, {} reused from cache, {} fresh",
+        v2.unique_count(),
+        r2.reused,
+        r2.fresh
+    );
+    println!(
+        "incremental recompile: {} tool runs instead of {} ({:.1}x fewer)",
+        r2.tool_runs_spent,
+        r2.result.total_tool_runs,
+        f64::from(r2.result.total_tool_runs) / f64::from(r2.tool_runs_spent.max(1))
+    );
+    println!(
+        "re-stitched {} blocks; final cost {:.0} (cache: {} hits / {} misses)",
+        r2.result.stitch.placed_count,
+        r2.result.stitch.final_cost,
+        cache.hits(),
+        cache.misses()
+    );
+}

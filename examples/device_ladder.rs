@@ -1,0 +1,59 @@
+//! Walk the Zynq-7000 family and find the smallest part on which the
+//! RapidWright-style flow fully places the cnvW1A1 — the "use a larger
+//! FPGA" escape hatch Section III calls sub-optimal during DSE, made
+//! cheap to evaluate.
+//!
+//! ```sh
+//! cargo run --release --example device_ladder
+//! ```
+
+use tailored_macro_sizes::cnn::cnvw1a1;
+use tailored_macro_sizes::device::Device;
+use tailored_macro_sizes::flow::{run_amd_flow, run_rw_flow, AmdFlowConfig, CfPolicy, RwFlowConfig};
+use tailored_macro_sizes::pblock::CfSearch;
+use tailored_macro_sizes::place::PlacementModel;
+use tailored_macro_sizes::stitch::StitchConfig;
+
+fn main() {
+    let design = cnvw1a1(7);
+    println!(
+        "design: {} instances / {} unique modules\n",
+        design.instance_count(),
+        design.unique_count()
+    );
+    println!(
+        "{:<10} | {:>8} | {:>10} | {:>12} | {:>14}",
+        "device", "slices", "flat fits", "RW unplaced", "RW final cost"
+    );
+    let mut first_fit: Option<String> = None;
+    for dev in Device::zynq_family() {
+        let flat = run_amd_flow(&design, &dev, &AmdFlowConfig::default());
+        let rw = run_rw_flow(
+            &design,
+            &dev,
+            &RwFlowConfig {
+                policy: CfPolicy::Minimal(CfSearch::wide()),
+                use_shape_report: true,
+                model: PlacementModel::default(),
+                stitch: StitchConfig { max_moves: 30_000, ..StitchConfig::standard(7) },
+                seed: 7,
+            },
+        );
+        let unplaced = rw.stitch.unplaced_count + rw.failed.len();
+        println!(
+            "{:<10} | {:>8} | {:>10} | {:>12} | {:>14.0}",
+            format!("{}", dev.name()),
+            dev.slice_count(),
+            flat.placement.fully_placed,
+            unplaced,
+            rw.stitch.final_cost
+        );
+        if unplaced == 0 && first_fit.is_none() {
+            first_fit = Some(format!("{}", dev.name()));
+        }
+    }
+    match first_fit {
+        Some(part) => println!("\nsmallest part that fully places the block design: {part}"),
+        None => println!("\nno part in the family fully places the block design"),
+    }
+}

@@ -1,0 +1,83 @@
+//! Compare the four estimator families head-to-head on one data set,
+//! including training time, accuracy, and the tool runs they save in the
+//! guided search — a compact version of the paper's Sections VII-VIII.
+//!
+//! ```sh
+//! cargo run --release --example estimator_comparison -- 800
+//! ```
+
+use std::time::Instant;
+use tailored_macro_sizes::cnn::cnvw1a1;
+use tailored_macro_sizes::device::Device;
+use tailored_macro_sizes::estimator::{
+    build_dataset, to_ml_dataset, CfEstimator, EstimatorKind, FeatureSet, LabelConfig,
+};
+use tailored_macro_sizes::flow::{run_rw_flow, CfPolicy, RwFlowConfig};
+use tailored_macro_sizes::place::PlacementModel;
+use tailored_macro_sizes::rtlgen::{standard_sweep, SweepConfig};
+use tailored_macro_sizes::stitch::StitchConfig;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(800);
+    let seed = 42;
+    let dev = Device::xc7z020();
+
+    println!("labelling a {n}-module sweep ...");
+    let modules = standard_sweep(&SweepConfig { target_modules: n, max_luts: 5_000, min_luts: 2 }, seed);
+    let labelled = build_dataset(&modules, &dev, &LabelConfig::default());
+    let ds = to_ml_dataset(&labelled, FeatureSet::All).cap_per_bin(0.02, 75 * n / 2000 + 5, seed);
+    let (train, test) = ds.split(0.8, seed);
+    println!("{} train / {} test samples\n", train.len(), test.len());
+
+    let design = cnvw1a1(seed);
+    println!(
+        "{:<18} | {:>8} | {:>9} | {:>9} | {:>9} | {:>10}",
+        "estimator", "fit (ms)", "mean err", "med err", "tool runs", "first-try"
+    );
+    for kind in [
+        EstimatorKind::LinearRegression,
+        EstimatorKind::DecisionTree,
+        EstimatorKind::RandomForest,
+        EstimatorKind::NeuralNetwork,
+    ] {
+        let t0 = Instant::now();
+        let est = CfEstimator::train(kind, &train, seed);
+        let fit_ms = t0.elapsed().as_millis();
+        let mean = est.mean_relative_error(&test);
+        let med = est.median_relative_error(&test);
+
+        // Drive the guided flow on the cnvW1A1 with this estimator.
+        let preds: std::collections::HashMap<String, f64> = design
+            .modules
+            .iter()
+            .map(|m| {
+                let stats = m.netlist.stats();
+                let packing = tailored_macro_sizes::synth::pack(&stats);
+                let shape = tailored_macro_sizes::place::quick_place(&stats, &packing);
+                let f = tailored_macro_sizes::estimator::ModuleFeatures::extract(&stats, &packing, &shape);
+                (m.name.clone(), est.predict(&f.select(FeatureSet::All)).max(0.5))
+            })
+            .collect();
+        let predict = |name: &str| preds.get(name).copied().unwrap_or(1.0);
+        let flow = run_rw_flow(
+            &design,
+            &dev,
+            &RwFlowConfig {
+                policy: CfPolicy::Guided { predict: &predict, max_cf: 3.0 },
+                use_shape_report: true,
+                model: PlacementModel::default(),
+                stitch: StitchConfig::fast(seed),
+                seed,
+            },
+        );
+        println!(
+            "{:<18} | {:>8} | {:>8.1}% | {:>8.1}% | {:>9} | {:>9.0}%",
+            kind.label(),
+            fit_ms,
+            mean * 100.0,
+            med * 100.0,
+            flow.total_tool_runs,
+            flow.first_try_rate() * 100.0
+        );
+    }
+}

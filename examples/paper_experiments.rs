@@ -1,0 +1,84 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release --example paper_experiments -- all quick
+//! cargo run --release --example paper_experiments -- table2 paper
+//! cargo run --release --example paper_experiments -- fig5 fig13 paper json
+//! ```
+//!
+//! Targets: `table1 fig3 fig4 fig5 fig7 fig8 table2 fig9 fig10 fig11 fig12
+//! fig13 resolution ablations all`; scale: `quick` (default) or `paper`;
+//! add `json` to emit machine-readable results instead of the text tables.
+
+use serde::Serialize;
+use std::fmt::Display;
+use tailored_macro_sizes::flow::experiments::{
+    ablations, common::Scale, fig10, fig11, fig12, fig13, fig3, fig4, fig5, fig7, fig8, fig9,
+    resolution, table1, table2,
+};
+
+/// Render a result either as its display table or as pretty JSON.
+fn emit<T: Display + Serialize>(value: T, as_json: bool) -> String {
+    if as_json {
+        serde_json::to_string_pretty(&value).expect("experiment results serialize")
+    } else {
+        format!("{value}")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "paper") {
+        Scale::paper()
+    } else {
+        Scale::quick()
+    };
+    let as_json = args.iter().any(|a| a == "json");
+    let mut targets: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !matches!(*a, "paper" | "quick" | "json"))
+        .collect();
+    if targets.is_empty() || targets.contains(&"all") {
+        targets = vec![
+            "table1", "fig3", "fig4", "fig5", "fig7", "fig8", "table2", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "resolution", "ablations",
+        ];
+    }
+
+    if !as_json {
+        println!(
+            "# scale: {} ({} dataset modules, {} SA moves)\n",
+            if scale.full_models { "paper" } else { "quick" },
+            scale.dataset_modules,
+            scale.sa_moves
+        );
+    }
+    for t in targets {
+        let start = std::time::Instant::now();
+        let output = match t {
+            "table1" => emit(table1::run(scale.seed), as_json),
+            "fig3" => emit(fig3::run(scale.seed), as_json),
+            "fig4" => emit(fig4::run(scale.seed), as_json),
+            "fig5" => emit(fig5::run(&scale), as_json),
+            "fig7" => emit(fig7::run(&scale), as_json),
+            "fig8" => emit(fig8::run(&scale), as_json),
+            "table2" => emit(table2::run(&scale), as_json),
+            "fig9" => emit(fig9::run(&scale), as_json),
+            "fig10" => emit(fig10::run(&scale), as_json),
+            "fig11" => emit(fig11::run(&scale), as_json),
+            "fig12" => emit(fig12::run(&scale), as_json),
+            "fig13" => emit(fig13::run(&scale), as_json),
+            "resolution" => emit(resolution::run(scale.seed), as_json),
+            "ablations" => emit(ablations::run(&scale), as_json),
+            other => {
+                eprintln!("unknown target '{other}'");
+                continue;
+            }
+        };
+        println!("{output}");
+        if !as_json {
+            println!("[{t} took {:.1}s]\n", start.elapsed().as_secs_f64());
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: train a correction-factor estimator and compile the
+//! cnvW1A1 network with estimator-tailored PBlocks.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tailored_macro_sizes::cnn::cnvw1a1;
+use tailored_macro_sizes::device::Device;
+use tailored_macro_sizes::MacroSizingFlow;
+
+fn main() {
+    // 1. A flow targeting the xc7z045 (the paper's Section VIII part).
+    //    The defaults follow the paper: random-forest estimator on the
+    //    relative "Additional" features. We shrink the training sweep so
+    //    the example runs in seconds; drop `with_dataset_size` for the
+    //    full 2,000-module set.
+    let flow = MacroSizingFlow::new(Device::xc7z045())
+        .with_dataset_size(600)
+        .with_seed(7);
+
+    // 2. Generate the synthetic RTL data set, label every module with its
+    //    minimal feasible correction factor, and train the estimator.
+    println!("training the correction-factor estimator ...");
+    let trained = flow.train();
+
+    // 3. Build the cnvW1A1 block design: 175 block instances of 74 unique
+    //    modules (MVAUs, sliding windows, activations, pools, weights).
+    let design = cnvw1a1(7);
+    println!(
+        "design: {} instances of {} unique modules",
+        design.instance_count(),
+        design.unique_count()
+    );
+
+    // 4. Compile: per-module PBlocks sized by the estimator (with the
+    //    +0.1 / 0.02 recovery of Section VIII), then SA stitching.
+    println!("compiling with estimator-tailored PBlocks ...");
+    let result = flow.compile(&design, &trained);
+
+    println!();
+    println!(
+        "pre-implemented {} modules in {} tool runs ({}% first-try)",
+        result.implemented.len(),
+        result.total_tool_runs,
+        (result.first_try_rate() * 100.0).round()
+    );
+    println!(
+        "stitched {} of {} blocks; final wirelength cost {:.0} (from {:.0})",
+        result.stitch.placed_count,
+        result.problem.instances.len(),
+        result.stitch.final_cost,
+        result.stitch.initial_cost
+    );
+    if let Some(w14) = result.module("weights_14") {
+        println!(
+            "largest block weights_14: CF {:.2}, {} slices, longest path {:.2} ns",
+            w14.cf, w14.placement.used_slices, w14.timing.longest_path_ns
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! `tms` — command-line front end of the tailored-macro-sizes flow.
+//!
+//! ```text
+//! tms devices                          list the modelled Zynq-7000 family
+//! tms compile [opts]                   train + compile the cnvW1A1
+//! tms train [opts]                     train an estimator, print its error
+//! tms experiments <targets> [opts]     regenerate paper tables/figures
+//!
+//! options:
+//!   --device <xc7z010|xc7z020|xc7z030|xc7z045|xc7z100>   (default xc7z045)
+//!   --estimator <rf|dt|nn|lin>                           (default rf)
+//!   --features <classical|classical+|additional|all>     (default additional)
+//!   --dataset <N>        training sweep size              (default 600)
+//!   --seed <N>                                            (default 2024)
+//!   --paper              experiments at full paper scale
+//!   --render             print the placed-fabric map after compile
+//! ```
+
+use std::collections::HashMap;
+use tailored_macro_sizes::cnn::cnvw1a1;
+use tailored_macro_sizes::device::Device;
+use tailored_macro_sizes::estimator::{EstimatorKind, FeatureSet};
+use tailored_macro_sizes::flow::experiments::common::Scale;
+use tailored_macro_sizes::flow::{coverage_line, render_cost_trace, render_stitched};
+use tailored_macro_sizes::route::{route_stitched, RouterConfig};
+use tailored_macro_sizes::MacroSizingFlow;
+
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+                _ => String::from("true"),
+            };
+            flags.insert(name.to_string(), value);
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (positional, flags)
+}
+
+fn device_of(flags: &HashMap<String, String>) -> Device {
+    match flags.get("device").map(String::as_str) {
+        Some("xc7z010") => Device::xc7z010(),
+        Some("xc7z020") => Device::xc7z020(),
+        Some("xc7z030") => Device::xc7z030(),
+        Some("xc7z100") => Device::xc7z100(),
+        Some("xc7z045") | None => Device::xc7z045(),
+        Some(other) => {
+            eprintln!("unknown device '{other}', using xc7z045");
+            Device::xc7z045()
+        }
+    }
+}
+
+fn estimator_of(flags: &HashMap<String, String>) -> EstimatorKind {
+    match flags.get("estimator").map(String::as_str) {
+        Some("dt") => EstimatorKind::DecisionTree,
+        Some("nn") => EstimatorKind::NeuralNetwork,
+        Some("lin") => EstimatorKind::LinearRegression,
+        _ => EstimatorKind::RandomForest,
+    }
+}
+
+fn features_of(flags: &HashMap<String, String>) -> FeatureSet {
+    match flags.get("features").map(String::as_str) {
+        Some("classical") => FeatureSet::Classical,
+        Some("classical+") => FeatureSet::ClassicalPlus,
+        Some("all") => FeatureSet::All,
+        _ => FeatureSet::Additional,
+    }
+}
+
+fn num(flags: &HashMap<String, String>, key: &str, default: u64) -> u64 {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn cmd_devices() {
+    println!(
+        "{:<10} | {:>8} | {:>9} | {:>6} | {:>6} | {:>8}",
+        "device", "slices", "M-slices", "BRAM", "DSP", "columns"
+    );
+    for d in Device::zynq_family() {
+        println!(
+            "{:<10} | {:>8} | {:>9} | {:>6} | {:>6} | {:>8}",
+            format!("{}", d.name()),
+            d.slice_count(),
+            d.m_slice_count(),
+            d.bram_count(),
+            d.dsp_count(),
+            d.width()
+        );
+    }
+}
+
+fn cmd_train(flags: &HashMap<String, String>) {
+    let device = device_of(flags);
+    let flow = MacroSizingFlow::new(device)
+        .with_estimator(estimator_of(flags))
+        .with_feature_set(features_of(flags))
+        .with_dataset_size(num(flags, "dataset", 600) as usize)
+        .with_seed(num(flags, "seed", 2024));
+    println!("labelling + training ...");
+    let start = std::time::Instant::now();
+    let trained = flow.train();
+    println!(
+        "trained a {:?}-feature estimator in {:.1}s",
+        trained.feature_set(),
+        start.elapsed().as_secs_f64()
+    );
+    // Quick self-check on the cnvW1A1 modules.
+    let design = cnvw1a1(num(flags, "seed", 2024));
+    for name in ["mvau_18", "weights_14", "swu_l3", "pool_1"] {
+        if let Some(m) = design.find_module(name) {
+            println!("  predicted CF for {name}: {:.2}", trained.predict(&m.netlist));
+        }
+    }
+}
+
+fn cmd_compile(flags: &HashMap<String, String>) {
+    let device = device_of(flags);
+    let seed = num(flags, "seed", 2024);
+    let flow = MacroSizingFlow::new(device.clone())
+        .with_estimator(estimator_of(flags))
+        .with_feature_set(features_of(flags))
+        .with_dataset_size(num(flags, "dataset", 600) as usize)
+        .with_seed(seed);
+    println!("training estimator ...");
+    let trained = flow.train();
+    let design = cnvw1a1(seed);
+    println!("compiling cnvW1A1 ({} blocks) on {} ...", design.instance_count(), device.name());
+    let result = flow.compile(&design, &trained);
+    println!(
+        "implemented {}/{} modules in {} tool runs ({:.0}% first-try)",
+        result.implemented.len(),
+        design.unique_count(),
+        result.total_tool_runs,
+        result.first_try_rate() * 100.0
+    );
+    println!("{}", coverage_line(&device, &result.problem, &result.stitch));
+    println!(
+        "SA cost {:.0} -> {:.0}   {}",
+        result.stitch.initial_cost,
+        result.stitch.final_cost,
+        render_cost_trace(&result.stitch.cost_trace, 48)
+    );
+    let route = route_stitched(&device, &result.problem, &result.stitch, &RouterConfig::default());
+    println!(
+        "routing: {} connections, wirelength {}, fully routed: {}",
+        route.routed_connections, route.total_wirelength, route.fully_routed
+    );
+    if flags.contains_key("render") {
+        println!("{}", render_stitched(&device, &result.problem, &result.stitch, 110, 45));
+    }
+}
+
+fn cmd_experiments(targets: &[String], flags: &HashMap<String, String>) {
+    // Delegate to the experiment drivers at the requested scale.
+    use tailored_macro_sizes::flow::experiments as ex;
+    let scale = if flags.contains_key("paper") { Scale::paper() } else { Scale::quick() };
+    let all = [
+        "table1", "fig3", "fig4", "fig5", "fig7", "fig8", "table2", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "resolution", "ablations",
+    ];
+    let run_list: Vec<&str> = if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        all.to_vec()
+    } else {
+        targets.iter().map(String::as_str).collect()
+    };
+    for t in run_list {
+        let out = match t {
+            "table1" => format!("{}", ex::table1::run(scale.seed)),
+            "fig3" => format!("{}", ex::fig3::run(scale.seed)),
+            "fig4" => format!("{}", ex::fig4::run(scale.seed)),
+            "fig5" => format!("{}", ex::fig5::run(&scale)),
+            "fig7" => format!("{}", ex::fig7::run(&scale)),
+            "fig8" => format!("{}", ex::fig8::run(&scale)),
+            "table2" => format!("{}", ex::table2::run(&scale)),
+            "fig9" => format!("{}", ex::fig9::run(&scale)),
+            "fig10" => format!("{}", ex::fig10::run(&scale)),
+            "fig11" => format!("{}", ex::fig11::run(&scale)),
+            "fig12" => format!("{}", ex::fig12::run(&scale)),
+            "fig13" => format!("{}", ex::fig13::run(&scale)),
+            "resolution" => format!("{}", ex::resolution::run(scale.seed)),
+            "ablations" => format!("{}", ex::ablations::run(&scale)),
+            other => format!("unknown experiment '{other}'"),
+        };
+        println!("{out}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (positional, flags) = parse_flags(&args);
+    match positional.first().map(String::as_str) {
+        Some("devices") => cmd_devices(),
+        Some("train") => cmd_train(&flags),
+        Some("compile") => cmd_compile(&flags),
+        Some("experiments") => cmd_experiments(&positional[1..], &flags),
+        _ => {
+            eprintln!("usage: tms <devices|train|compile|experiments> [options]");
+            eprintln!("see the module docs in src/bin/tms.rs for the option list");
+            std::process::exit(2);
+        }
+    }
+}

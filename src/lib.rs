@@ -1,0 +1,7 @@
+//! Workspace-root facade for the tailored-macro-sizes reproduction.
+//!
+//! This package exists to host the runnable [examples](../examples) and the
+//! cross-crate [integration tests](../tests); the library surface is the
+//! re-export of [`tms_core`], the umbrella crate of the workspace.
+
+pub use tms_core::*;

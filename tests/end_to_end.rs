@@ -1,0 +1,140 @@
+//! Cross-crate integration: the full pipeline from RTL generation through
+//! labelling, training, PBlock sizing, placement and stitching.
+
+use tailored_macro_sizes::cnn::cnvw1a1;
+use tailored_macro_sizes::device::Device;
+use tailored_macro_sizes::estimator::{
+    build_dataset, to_ml_dataset, CfEstimator, EstimatorKind, FeatureSet, LabelConfig,
+};
+use tailored_macro_sizes::flow::{run_amd_flow, run_rw_flow, AmdFlowConfig, CfPolicy, RwFlowConfig};
+use tailored_macro_sizes::pblock::CfSearch;
+use tailored_macro_sizes::place::PlacementModel;
+use tailored_macro_sizes::rtlgen::{standard_sweep, SweepConfig};
+use tailored_macro_sizes::stitch::StitchConfig;
+use tailored_macro_sizes::{MacroSizingFlow, TrainedEstimator};
+
+fn quick_flow_cfg(policy: CfPolicy<'_>, seed: u64) -> RwFlowConfig<'_> {
+    RwFlowConfig {
+        policy,
+        use_shape_report: true,
+        model: PlacementModel::default(),
+        stitch: StitchConfig::fast(seed),
+        seed,
+    }
+}
+
+#[test]
+fn sweep_to_estimator_to_flow() {
+    // Generate and label a small sweep.
+    let dev = Device::xc7z020();
+    let modules = standard_sweep(
+        &SweepConfig { target_modules: 150, max_luts: 2_000, min_luts: 2 },
+        3,
+    );
+    let labelled = build_dataset(&modules, &dev, &LabelConfig::default());
+    assert!(labelled.len() >= 120);
+
+    // Train an estimator on the relative features.
+    let ds = to_ml_dataset(&labelled, FeatureSet::Additional);
+    let (train, test) = ds.split(0.8, 1);
+    let est = CfEstimator::train_small(EstimatorKind::RandomForest, &train, 1);
+    assert!(est.mean_relative_error(&test) < 0.15);
+
+    // Drive the guided flow on the CNN with it.
+    let design = cnvw1a1(3);
+    let preds: std::collections::HashMap<String, f64> = design
+        .modules
+        .iter()
+        .map(|m| {
+            let stats = m.netlist.stats();
+            let packing = tailored_macro_sizes::synth::pack(&stats);
+            let shape = tailored_macro_sizes::place::quick_place(&stats, &packing);
+            let f =
+                tailored_macro_sizes::estimator::ModuleFeatures::extract(&stats, &packing, &shape);
+            (m.name.clone(), est.predict(&f.select(FeatureSet::Additional)).max(0.5))
+        })
+        .collect();
+    let predict = |name: &str| preds.get(name).copied().unwrap_or(1.0);
+    let result = run_rw_flow(
+        &design,
+        &Device::xc7z045(),
+        &quick_flow_cfg(CfPolicy::Guided { predict: &predict, max_cf: 3.0 }, 3),
+    );
+    assert!(result.failed.is_empty(), "{:?}", result.failed);
+    assert_eq!(result.stitch.unplaced_count, 0);
+}
+
+#[test]
+fn facade_equals_manual_pipeline() {
+    let flow = MacroSizingFlow::new(Device::xc7z045())
+        .with_dataset_size(150)
+        .with_sa_moves(4_000)
+        .with_seed(11);
+    let trained: TrainedEstimator = flow.train();
+    let design = cnvw1a1(11);
+    let result = flow.compile(&design, &trained);
+    assert_eq!(result.implemented.len() + result.failed.len(), 74);
+    assert!(result.stitch.placed_count + result.stitch.unplaced_count <= 175);
+    // The estimator must buy a decent share of first-try implementations.
+    assert!(result.first_try_rate() > 0.2, "rate = {}", result.first_try_rate());
+}
+
+#[test]
+fn rw_flow_vs_flat_baseline_on_the_small_part() {
+    // Section III's observation: the flat tool fills the xc7z020, the
+    // block-based flow cannot place everything there.
+    let design = cnvw1a1(5);
+    let small = Device::xc7z020();
+    let flat = run_amd_flow(&design, &small, &AmdFlowConfig::default());
+    assert!(flat.placement.fully_placed);
+
+    let rw = run_rw_flow(
+        &design,
+        &small,
+        &quick_flow_cfg(CfPolicy::Minimal(CfSearch::wide()), 5),
+    );
+    let unplaced = rw.stitch.unplaced_count + rw.failed.len();
+    assert!(unplaced > 0, "RW should not fully place the almost-full part");
+
+    // On the 4x larger part the same flow places everything.
+    let big = Device::xc7z045();
+    let rw_big = run_rw_flow(
+        &design,
+        &big,
+        &quick_flow_cfg(CfPolicy::Minimal(CfSearch::wide()), 5),
+    );
+    assert!(rw_big.failed.is_empty());
+    assert_eq!(rw_big.stitch.unplaced_count, 0);
+}
+
+#[test]
+fn stitched_blocks_never_overlap_and_fit_the_device() {
+    let design = cnvw1a1(9);
+    let dev = Device::xc7z045();
+    let r = run_rw_flow(
+        &dev_design_cfg(&design, &dev),
+        &dev,
+        &quick_flow_cfg(CfPolicy::Constant(1.5), 9),
+    );
+    let mut rects: Vec<tailored_macro_sizes::device::Rect> = Vec::new();
+    for (i, pos) in r.stitch.positions.iter().enumerate() {
+        if let Some((x, y)) = pos {
+            let b = r.problem.block_of(i as u32);
+            let rect = tailored_macro_sizes::device::Rect::new(*x, *y, b.width, b.height);
+            assert!(dev.bounds().contains(&rect), "block {i} off device");
+            for other in &rects {
+                assert!(!rect.overlaps(other), "overlap at block {i}");
+            }
+            rects.push(rect);
+        }
+    }
+    assert!(!rects.is_empty());
+}
+
+// Identity helper so the test above reads naturally.
+fn dev_design_cfg<'a>(
+    design: &'a tailored_macro_sizes::cnn::CnvDesign,
+    _dev: &Device,
+) -> &'a tailored_macro_sizes::cnn::CnvDesign {
+    design
+}

@@ -1,0 +1,133 @@
+//! The paper's headline claims, checked end-to-end at reduced scale.
+//!
+//! Absolute numbers differ from the paper (our substrate is a simulator,
+//! not Vivado on silicon); these tests pin the *shape* of every result:
+//! who wins, in which direction, and by a sane factor.
+
+use tailored_macro_sizes::estimator::{EstimatorKind, FeatureSet};
+use tailored_macro_sizes::flow::experiments::{
+    ablations, common::Scale, fig11, fig12, fig13, fig4, fig5, fig9, table1, table2,
+};
+
+#[test]
+fn claim_pblock_size_controls_slices_and_timing() {
+    // Table I: tighter PBlocks use fewer slices but have longer paths.
+    let t = table1::run(2024);
+    for module in table1::MODULES {
+        let tight = t.row(module, 1.0).unwrap();
+        let loose = t.row(module, 1.5).unwrap();
+        assert!(tight.slices < loose.slices);
+        assert!(tight.longest_path_ns > loose.longest_path_ns);
+        // The ratio regime of the paper (1371/1529 ≈ 0.90, 28/31 ≈ 0.90).
+        let ratio = f64::from(tight.slices) / f64::from(loose.slices);
+        assert!((0.70..1.0).contains(&ratio), "{module}: ratio {ratio:.2}");
+    }
+}
+
+#[test]
+fn claim_optimal_cf_beats_worst_case_constant() {
+    // Figure 5: per-module minimal CFs leave fewer blocks unplaced than the
+    // worst-case constant CF (paper: 52 vs 68 of 175, ≈15% more placed).
+    let f = fig5::run(&Scale::quick());
+    assert!(f.unplaced_constant > f.unplaced_minimal);
+    assert!(f.placed_gain > 0.02, "gain = {:.3}", f.placed_gain);
+    // The constant CF itself must be in the paper's regime (1.68).
+    assert!((1.3..2.1).contains(&f.constant_cf), "cf = {}", f.constant_cf);
+    // And the flat vendor flow fits what RW cannot.
+    assert!(f.amd_fully_placed);
+    assert!(f.amd_utilization > 0.9);
+}
+
+#[test]
+fn claim_cf_range_matches_fig4() {
+    // Figure 4: CF distribution up to ≈1.68 with sub-0.9 outliers.
+    let f = fig4::run(2024);
+    assert!((1.2..2.2).contains(&f.max_cf));
+    let below_09 = f
+        .histogram
+        .iter()
+        .filter(|&&(cf, _)| cf < 0.9)
+        .map(|&(_, c)| c)
+        .sum::<usize>();
+    assert!(below_09 > 0, "small/BRAM-driven modules should label below 0.9");
+}
+
+#[test]
+fn claim_learned_estimators_reach_single_digit_error() {
+    // Table II: all tree/NN estimators land in the single-digit regime and
+    // the relative features are at least as good as the classical ones.
+    let t = table2::run(&Scale::quick());
+    for c in &t.cells {
+        assert!(c.error < 0.12, "{} {}: {:.3}", c.kind.label(), c.set.label(), c.error);
+    }
+    let rf_add = t.error(EstimatorKind::RandomForest, FeatureSet::Additional).unwrap();
+    let rf_cls = t.error(EstimatorKind::RandomForest, FeatureSet::Classical).unwrap();
+    assert!(rf_add <= rf_cls * 1.05, "additional {rf_add:.3} vs classical {rf_cls:.3}");
+    // Linear regression trails the learners (paper: 9.4% vs ≤6.2%).
+    let best = t.cells.iter().map(|c| c.error).fold(f64::MAX, f64::min);
+    assert!(t.linreg_error > best);
+}
+
+#[test]
+fn claim_carry_ratio_is_the_dominant_feature() {
+    // Figures 9 and 12: Carry/All carries 40-50% of the decision.
+    let f9 = fig9::run(&Scale::quick());
+    let add = f9.set(FeatureSet::Additional).unwrap();
+    assert!(add.importance_of("Carry/All").unwrap() > 0.25);
+    let f12 = fig12::run(&Scale::quick());
+    assert!(f12.importance_of("Carry/All").unwrap() > 0.2);
+    assert!(f12.relative_share() > 0.5);
+}
+
+#[test]
+fn claim_estimator_speeds_up_the_flow() {
+    // Section VIII: fewer tool runs than a constant-0.9 start, comparable
+    // or faster SA convergence, and no cost regression versus CF 1.68.
+    let f = fig13::run(&Scale::quick());
+    assert!(f.run_ratio > 1.1, "run ratio {:.2}", f.run_ratio);
+    assert!(f.first_try_rate > 0.25, "first-try {:.2}", f.first_try_rate);
+    assert!(
+        f.cost_estimator <= f.cost_constant * 1.02,
+        "cost {:.0} vs {:.0}",
+        f.cost_estimator,
+        f.cost_constant
+    );
+}
+
+#[test]
+fn claim_compact_macros_help_the_routing_stage() {
+    // Extension of the paper's Section V-D argument to design scale: the
+    // estimator flow's compact macros route with no more inter-block wire
+    // and both flows stay within channel capacity on the xc7z045.
+    let f = fig13::run(&Scale::quick());
+    assert!(f.fully_routed.0, "estimator flow must route overflow-free");
+    assert!(
+        (f.route_wirelength.0 as f64) <= f.route_wirelength.1 as f64 * 1.05,
+        "wirelength {} vs {}",
+        f.route_wirelength.0,
+        f.route_wirelength.1
+    );
+}
+
+#[test]
+fn claim_design_choices_survive_ablation() {
+    let a = ablations::run(&Scale::quick());
+    // The paper's hyper-parameters sit on their plateaus.
+    let d20 = a.tree_depth.iter().find(|(d, _)| *d == 20).unwrap().1;
+    let d30 = a.tree_depth.iter().find(|(d, _)| *d == 30).unwrap().1;
+    assert!((d20 - d30).abs() < 0.02, "depth 20 is on the plateau");
+    // More expressiveness (boosting) does not dominate the forest.
+    assert!(a.gbt_error > a.rf_error * 0.5 && a.gbt_error < a.rf_error * 2.0);
+    // The SA stitcher earns its keep over greedy legalisation.
+    assert!(a.stitch_sa_cost < a.stitch_greedy_cost * 0.9);
+}
+
+#[test]
+fn claim_cross_domain_transfer_works() {
+    // Figure 11: estimators trained on the synthetic sweep transfer to the
+    // CNN modules with low-double-digit median error at worst.
+    let f = fig11::run(&Scale::quick());
+    assert!(f.modules >= 40);
+    assert!(f.nn.median_error < 0.25, "nn median {:.3}", f.nn.median_error);
+    assert!(f.linreg.median_error < 0.30, "linreg median {:.3}", f.linreg.median_error);
+}

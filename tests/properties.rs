@@ -1,0 +1,117 @@
+//! Cross-crate property tests: invariants that must hold for *arbitrary*
+//! modules, not just the curated designs.
+
+use proptest::prelude::*;
+use tailored_macro_sizes::device::Device;
+use tailored_macro_sizes::pblock::{min_feasible_cf, CfSearch, PBlockGenerator};
+use tailored_macro_sizes::place::{place_in_region, quick_place, PlacementModel};
+use tailored_macro_sizes::rtlgen::{Generator, MixedParams};
+use tailored_macro_sizes::synth::{optimistic_slice_estimate, pack};
+
+fn arb_params() -> impl Strategy<Value = MixedParams> {
+    (
+        1u32..1_500,  // luts
+        0u32..3_000,  // ffs
+        1u32..32,     // control sets
+        0u32..8,      // chains
+        2u32..64,     // chain bits
+        0u32..256,    // lutrams
+        0u32..32,     // srls
+        0u32..3,      // brams
+        0u32..4,      // dsps
+        1u32..10,     // depth
+    )
+        .prop_map(
+            |(luts, ffs, control_sets, nchain, bits, lutrams, srls, brams, dsps, depth)| {
+                MixedParams {
+                    luts,
+                    ffs,
+                    control_sets,
+                    carry_chains: (nchain, bits),
+                    lutrams,
+                    srls,
+                    brams,
+                    dsps,
+                    depth,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The minimal-CF search result is actually feasible, and one step
+    /// below it is not (minimality), for arbitrary modules.
+    #[test]
+    fn min_cf_is_feasible_and_minimal(params in arb_params(), seed in 0u64..1_000) {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let model = PlacementModel::deterministic();
+        let nl = params.generate(seed);
+        let stats = nl.stats();
+        let packing = pack(&stats);
+        let shape = quick_place(&stats, &packing);
+        let search = CfSearch::default();
+        if let Some(found) =
+            min_feasible_cf(&gen, &stats, &packing, &shape, &model, &search, seed)
+        {
+            // Feasible at the found CF.
+            let pb = gen.generate(&shape, found.cf).expect("pblock at found cf");
+            prop_assert!(place_in_region(&stats, &packing, &dev, &pb.rect, &model, seed).is_ok());
+            // Infeasible one step below (when above the search floor).
+            if found.cf > search.start + 1e-9 {
+                if let Some(pb_below) = gen.generate(&shape, found.cf - search.step) {
+                    prop_assert!(
+                        place_in_region(&stats, &packing, &dev, &pb_below.rect, &model, seed)
+                            .is_err(),
+                        "cf {} - step should fail", found.cf
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every generated PBlock covers its module's hard demand and its
+    /// relocation signature matches its geometry.
+    #[test]
+    fn pblocks_cover_demand(params in arb_params(), cf in 0.9f64..2.0) {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let nl = params.generate(1);
+        let stats = nl.stats();
+        let packing = pack(&stats);
+        let shape = quick_place(&stats, &packing);
+        if let Some(pb) = gen.generate(&shape, cf) {
+            prop_assert!(pb.capacity.m_slices >= shape.demand.m_slices);
+            prop_assert!(pb.capacity.bram36 >= shape.demand.bram36);
+            prop_assert!(pb.capacity.dsp48 >= shape.demand.dsp48);
+            prop_assert!(pb.capacity.slices() >= pb.target_slices);
+            prop_assert_eq!(pb.signature.width(), pb.rect.w);
+            prop_assert!(dev.bounds().contains(&pb.rect));
+        }
+    }
+
+    /// Packing demand covers the optimistic estimate and successful
+    /// placements report consistent utilisation.
+    #[test]
+    fn packing_and_placement_are_consistent(params in arb_params()) {
+        let nl = params.generate(2);
+        let stats = nl.stats();
+        let packing = pack(&stats);
+        prop_assert!(packing.required_slices >= optimistic_slice_estimate(&stats));
+        let dev = Device::xc7z045();
+        let side = ((packing.required_slices as f64).sqrt() * 1.8).ceil() as u32 + 4;
+        let region = tailored_macro_sizes::device::Rect::new(
+            0, 0, side.min(dev.width()), (side + 20).min(dev.rows()),
+        );
+        if let Ok(p) = place_in_region(
+            &stats, &packing, &dev, &region, &PlacementModel::deterministic(), 3,
+        ) {
+            prop_assert!(p.utilization <= 1.0 + 1e-9);
+            prop_assert!(p.used_slices >= packing.required_slices.min(p.capacity.slices()));
+            prop_assert!(p.congestion <= 1.0);
+            prop_assert!((0.0..=1.0).contains(&p.irregularity));
+        }
+    }
+}

@@ -104,7 +104,10 @@ fn bench_stitch(c: &mut Criterion) {
     }
     for moves in [5_000u64, 20_000] {
         group.bench_with_input(BenchmarkId::from_parameter(moves), &moves, |b, &m| {
-            let cfg = StitchConfig { max_moves: m, ..StitchConfig::standard(1) };
+            let cfg = StitchConfig {
+                max_moves: m,
+                ..StitchConfig::standard(1)
+            };
             b.iter(|| black_box(stitch(&dev, &problem, &cfg)));
         });
     }
@@ -116,7 +119,11 @@ fn bench_labelling_and_forest(c: &mut Criterion) {
     group.sample_size(10);
     let dev = Device::xc7z020();
     let modules = tms_core::rtlgen::standard_sweep(
-        &tms_core::rtlgen::SweepConfig { target_modules: 80, max_luts: 2_000, min_luts: 2 },
+        &tms_core::rtlgen::SweepConfig {
+            target_modules: 80,
+            max_luts: 2_000,
+            min_luts: 2,
+        },
         1,
     );
     group.bench_function("label_80_modules", |b| {

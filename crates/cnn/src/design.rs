@@ -67,7 +67,9 @@ impl CnvDesign {
 
 /// Deterministic size jitter in `[1 - amp, 1 + amp]`.
 fn jitter(k: u64, amp: f64) -> f64 {
-    let mut z = k.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x51_7c_c1);
+    let mut z = k
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x51_7c_c1);
     z ^= z >> 31;
     z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z ^= z >> 29;
@@ -144,7 +146,12 @@ pub fn cnvw1a1(seed: u64) -> CnvDesign {
     mvau_by_layer[5] = mvau_18;
     // Deeper layers: distinct configurations with pairwise reuse.
     for (layer, names, target, per) in [
-        (6u32, ["mvau_l6_a", "mvau_l6_b", "mvau_l6_c", "mvau_l6_d"].as_slice(), 60u32, 2u32),
+        (
+            6u32,
+            ["mvau_l6_a", "mvau_l6_b", "mvau_l6_c", "mvau_l6_d"].as_slice(),
+            60u32,
+            2u32,
+        ),
         (7, ["mvau_l7_a", "mvau_l7_b", "mvau_l7_c"].as_slice(), 70, 2),
         (8, ["mvau_l8_a", "mvau_l8_b"].as_slice(), 60, 2),
         (9, ["mvau_l9_a", "mvau_l9_b"].as_slice(), 50, 1),
@@ -160,8 +167,13 @@ pub fn cnvw1a1(seed: u64) -> CnvDesign {
     let swu_targets = [40u32, 70, 90, 110, 130, 140];
     let mut swu: Vec<Vec<u32>> = vec![Vec::new(); 7];
     for l in 1..=6u32 {
-        swu[l as usize] =
-            b.module(&format!("swu_l{l}"), ModuleRole::SlidingWindow, l, swu_targets[l as usize - 1], 1);
+        swu[l as usize] = b.module(
+            &format!("swu_l{l}"),
+            ModuleRole::SlidingWindow,
+            l,
+            swu_targets[l as usize - 1],
+            1,
+        );
     }
     let pool_1 = b.module("pool_1", ModuleRole::MaxPool, 2, 40, 1);
     let pool_2 = b.module("pool_2", ModuleRole::MaxPool, 4, 40, 1);
@@ -247,7 +259,11 @@ pub fn cnvw1a1(seed: u64) -> CnvDesign {
         });
     }
 
-    CnvDesign { modules: b.modules, instances: b.instances, nets: b.nets }
+    CnvDesign {
+        modules: b.modules,
+        instances: b.instances,
+        nets: b.nets,
+    }
 }
 
 #[cfg(test)]
@@ -274,7 +290,11 @@ mod tests {
         for m in &d.modules {
             if m.name != "weights_14" {
                 let s = pack(&m.netlist.stats()).required_slices;
-                assert!(s < w14_slices, "{} ({s}) >= weights_14 ({w14_slices})", m.name);
+                assert!(
+                    s < w14_slices,
+                    "{} ({s}) >= weights_14 ({w14_slices})",
+                    m.name
+                );
             }
         }
         // Scale comparable to the paper's 1,371-1,529 slices.
@@ -306,8 +326,12 @@ mod tests {
                 seen[e as usize] = true;
             }
         }
-        let orphans: Vec<usize> =
-            seen.iter().enumerate().filter(|(_, s)| !**s).map(|(i, _)| i).collect();
+        let orphans: Vec<usize> = seen
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !**s)
+            .map(|(i, _)| i)
+            .collect();
         assert!(orphans.is_empty(), "unconnected instances: {orphans:?}");
     }
 
@@ -332,7 +356,10 @@ mod tests {
         }
         let c = cnvw1a1(10);
         let size = |d: &CnvDesign| -> u32 {
-            d.modules.iter().map(|m| pack(&m.netlist.stats()).required_slices).sum()
+            d.modules
+                .iter()
+                .map(|m| pack(&m.netlist.stats()).required_slices)
+                .sum()
         };
         assert_ne!(size(&a), size(&c), "different seeds should vary sizes");
     }

@@ -5,7 +5,7 @@ use tms_rtlgen::{Generator, MixedParams};
 
 /// The functional role of a block in the cnvW1A1 design, fixing its
 /// resource mix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ModuleRole {
     /// Matrix-vector-activation unit: XNOR-popcount datapath — LUT and
     /// carry heavy, two control sets.
@@ -31,6 +31,28 @@ impl ModuleRole {
             ModuleRole::Weights => "weights",
         }
     }
+
+    /// Parse the short label back into a role (the inverse of
+    /// [`ModuleRole::label`], for command-line front ends).
+    pub fn from_label(s: &str) -> Option<ModuleRole> {
+        match s {
+            "mvau" => Some(ModuleRole::Mvau),
+            "swu" => Some(ModuleRole::SlidingWindow),
+            "act" => Some(ModuleRole::Activation),
+            "pool" => Some(ModuleRole::MaxPool),
+            "weights" => Some(ModuleRole::Weights),
+            _ => None,
+        }
+    }
+
+    /// All roles, in recipe order.
+    pub const ALL: [ModuleRole; 5] = [
+        ModuleRole::Mvau,
+        ModuleRole::SlidingWindow,
+        ModuleRole::Activation,
+        ModuleRole::MaxPool,
+        ModuleRole::Weights,
+    ];
 }
 
 /// Synthesise a module netlist of `role` sized to roughly `target_slices`
@@ -170,6 +192,14 @@ mod tests {
     fn names_are_applied() {
         let nl = synth_module(ModuleRole::Activation, 25, "act_l3", 5);
         assert_eq!(nl.name(), "act_l3");
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for role in ModuleRole::ALL {
+            assert_eq!(ModuleRole::from_label(role.label()), Some(role));
+        }
+        assert_eq!(ModuleRole::from_label("conv"), None);
     }
 
     #[test]

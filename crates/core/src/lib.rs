@@ -19,7 +19,9 @@
 //!   forest;
 //! * [`estimator`] — feature sets and the learned CF estimator;
 //! * [`cnn`] — the cnvW1A1 block design (175 instances, 74 uniques);
-//! * [`flow`] — end-to-end flows plus one driver per paper table/figure.
+//! * [`flow`] — end-to-end flows plus one driver per paper table/figure;
+//! * [`serve`] — the concurrent CF-estimation & pre-implementation
+//!   service with its shared warm cache.
 //!
 //! The high-level entry point is [`MacroSizingFlow`]: train a correction-
 //! factor estimator once, then compile designs with estimator-tailored
@@ -51,6 +53,7 @@ pub use tms_pblock as pblock;
 pub use tms_place as place;
 pub use tms_route as route;
 pub use tms_rtlgen as rtlgen;
+pub use tms_serve as serve;
 pub use tms_stitch as stitch;
 pub use tms_synth as synth;
 pub use tms_timing as timing;
@@ -92,6 +95,18 @@ impl TrainedEstimator {
     /// The feature set the estimator consumes.
     pub fn feature_set(&self) -> FeatureSet {
         self.set
+    }
+
+    /// Decompose into the owned estimator and its feature set — what a
+    /// serving process needs to answer `estimate` requests.
+    pub fn into_parts(self) -> (CfEstimator, FeatureSet) {
+        (self.est, self.set)
+    }
+
+    /// Rebuild from parts (e.g. an estimator reloaded from disk). The
+    /// caller must pass the feature set the model was trained on.
+    pub fn from_parts(est: CfEstimator, set: FeatureSet) -> TrainedEstimator {
+        TrainedEstimator { est, set }
     }
 }
 
@@ -160,22 +175,32 @@ impl MacroSizingFlow {
     /// Generate, label and learn: the estimator-training half of the flow.
     pub fn train(&self) -> TrainedEstimator {
         let modules = standard_sweep(
-            &SweepConfig { target_modules: self.dataset_size, max_luts: 5_000, min_luts: 2 },
+            &SweepConfig {
+                target_modules: self.dataset_size,
+                max_luts: 5_000,
+                min_luts: 2,
+            },
             self.seed,
         );
         let labelled = build_dataset(
             &modules,
             &self.device,
-            &LabelConfig { seed: self.seed, ..LabelConfig::default() },
+            &LabelConfig {
+                seed: self.seed,
+                ..LabelConfig::default()
+            },
         );
-        let ds = to_ml_dataset(&labelled, self.feature_set)
-            .cap_per_bin(0.02, self.bin_cap, self.seed);
+        let ds =
+            to_ml_dataset(&labelled, self.feature_set).cap_per_bin(0.02, self.bin_cap, self.seed);
         let est = if self.full_models {
             CfEstimator::train(self.estimator_kind, &ds, self.seed)
         } else {
             CfEstimator::train_small(self.estimator_kind, &ds, self.seed)
         };
-        TrainedEstimator { est, set: self.feature_set }
+        TrainedEstimator {
+            est,
+            set: self.feature_set,
+        }
     }
 
     /// Compile a block design with estimator-guided PBlock sizing
@@ -188,7 +213,10 @@ impl MacroSizingFlow {
             .collect();
         let predict = move |name: &str| predictions.get(name).copied().unwrap_or(1.0);
         let cfg = RwFlowConfig {
-            policy: CfPolicy::Guided { predict: &predict, max_cf: 3.0 },
+            policy: CfPolicy::Guided {
+                predict: &predict,
+                max_cf: 3.0,
+            },
             use_shape_report: true,
             model: PlacementModel::default(),
             stitch: StitchConfig {

@@ -104,7 +104,13 @@ mod tests {
     use super::*;
 
     fn cap(l: u32, m: u32, b: u32, d: u32) -> SliceCapacity {
-        SliceCapacity { l_slices: l, m_slices: m, bram36: b, dsp48: d, clock_columns: 0 }
+        SliceCapacity {
+            l_slices: l,
+            m_slices: m,
+            bram36: b,
+            dsp48: d,
+            clock_columns: 0,
+        }
     }
 
     #[test]

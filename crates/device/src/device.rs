@@ -120,7 +120,11 @@ impl Device {
             .enumerate()
             .map(|(x, &kind)| Column { kind, x: x as u32 })
             .collect();
-        Device { name, columns, rows }
+        Device {
+            name,
+            columns,
+            rows,
+        }
     }
 
     /// Procedurally construct a Zynq-style fabric: `slice_cols` CLB columns
@@ -135,7 +139,13 @@ impl Device {
         clock_cols: u32,
     ) -> Self {
         let mut pattern: Vec<ColumnKind> = (0..slice_cols)
-            .map(|i| if i % 3 == 2 { ColumnKind::ClbM } else { ColumnKind::ClbL })
+            .map(|i| {
+                if i % 3 == 2 {
+                    ColumnKind::ClbM
+                } else {
+                    ColumnKind::ClbL
+                }
+            })
             .collect();
         // Insert special columns at evenly spaced positions, right-to-left so
         // earlier insertions do not shift later target indices.
@@ -144,8 +154,7 @@ impl Device {
                 return;
             }
             let len = pattern.len() as u32;
-            let mut positions: Vec<u32> =
-                (0..count).map(|i| (i + 1) * len / (count + 1)).collect();
+            let mut positions: Vec<u32> = (0..count).map(|i| (i + 1) * len / (count + 1)).collect();
             positions.sort_unstable_by(|a, b| b.cmp(a));
             for p in positions {
                 pattern.insert(p as usize, kind);
@@ -436,8 +445,7 @@ mod tests {
         assert_eq!(plain.y_alignment(), 1);
         let with_bram = ColumnSignature(vec![ColumnKind::ClbL, ColumnKind::Bram]);
         assert_eq!(with_bram.y_alignment(), RAMB36_ROWS);
-        let with_both =
-            ColumnSignature(vec![ColumnKind::Bram, ColumnKind::Dsp, ColumnKind::ClbL]);
+        let with_both = ColumnSignature(vec![ColumnKind::Bram, ColumnKind::Dsp, ColumnKind::ClbL]);
         assert_eq!(with_both.y_alignment(), 10); // lcm(5, 2)
     }
 
@@ -463,7 +471,12 @@ mod tests {
             .collect();
         assert_eq!(parsed, sig.0);
         // The test fabric must exercise every placeable column kind.
-        for kind in [ColumnKind::ClbL, ColumnKind::ClbM, ColumnKind::Bram, ColumnKind::Dsp] {
+        for kind in [
+            ColumnKind::ClbL,
+            ColumnKind::ClbM,
+            ColumnKind::Bram,
+            ColumnKind::Dsp,
+        ] {
             assert!(sig.contains(kind), "missing {kind}");
         }
     }

@@ -76,7 +76,12 @@ impl Rect {
     /// The same rectangle translated to a new origin.
     #[inline]
     pub fn at(&self, x: u32, y: u32) -> Rect {
-        Rect { x, y, w: self.w, h: self.h }
+        Rect {
+            x,
+            y,
+            w: self.w,
+            h: self.h,
+        }
     }
 
     /// Aspect ratio width / height.

@@ -9,7 +9,9 @@ use core::fmt;
 /// makes pre-implemented macros relocatable: a placed-and-routed module can
 /// move to any x-offset where the sequence of column kinds under its
 /// bounding box is identical (see `Device::matching_anchors`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum ColumnKind {
     /// CLB column of L-type slices (logic only: 4 LUT6 + 8 FF + CARRY4).
     ClbL,

@@ -41,11 +41,14 @@
 
 pub mod capacity;
 pub mod device;
-mod proptests;
 pub mod geom;
 pub mod kinds;
+mod proptests;
 
-pub use capacity::{SliceCapacity, CARRY_BITS_PER_SLICE, CLOCK_REGION_ROWS, CONTROL_SETS_PER_SLICE, FFS_PER_SLICE, LUTRAM_PER_M_SLICE, LUTS_PER_SLICE, RAMB36_ROWS, DSP48_ROWS};
+pub use capacity::{
+    SliceCapacity, CARRY_BITS_PER_SLICE, CLOCK_REGION_ROWS, CONTROL_SETS_PER_SLICE, DSP48_ROWS,
+    FFS_PER_SLICE, LUTRAM_PER_M_SLICE, LUTS_PER_SLICE, RAMB36_ROWS,
+};
 pub use device::{Column, ColumnSignature, Device, DeviceName};
 pub use geom::Rect;
 pub use kinds::ColumnKind;

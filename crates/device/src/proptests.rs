@@ -18,8 +18,7 @@ fn arb_device() -> impl Strategy<Value = Device> {
 }
 
 fn arb_rect(max_w: u32, max_h: u32) -> impl Strategy<Value = Rect> {
-    (0..max_w, 0..max_h, 1..=max_w, 1..=max_h)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+    (0..max_w, 0..max_h, 1..=max_w, 1..=max_h).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
 }
 
 proptest! {

@@ -2,13 +2,25 @@
 //! estimator on every feature set, print mean relative errors.
 
 use tms_device::Device;
-use tms_estimator::{build_dataset, to_ml_dataset, CfEstimator, EstimatorKind, FeatureSet, LabelConfig};
+use tms_estimator::{
+    build_dataset, to_ml_dataset, CfEstimator, EstimatorKind, FeatureSet, LabelConfig,
+};
 use tms_ml::Dataset;
 use tms_rtlgen::{standard_sweep, SweepConfig};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600);
-    let modules = standard_sweep(&SweepConfig { target_modules: n, max_luts: 5_000, min_luts: 2 }, 2024);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
+    let modules = standard_sweep(
+        &SweepConfig {
+            target_modules: n,
+            max_luts: 5_000,
+            min_luts: 2,
+        },
+        2024,
+    );
     let dev = Device::xc7z020();
     let labelled = build_dataset(&modules, &dev, &LabelConfig::default());
     println!("labelled {}/{}", labelled.len(), modules.len());
@@ -17,16 +29,23 @@ fn main() {
     let cap = (75 * n / 2000).max(10);
     let full = to_ml_dataset(&labelled, FeatureSet::All);
     let capped = full.cap_per_bin(0.02, cap, 7);
-    println!("after cap: {} samples, label range {:.2}..{:.2}", capped.len(),
+    println!(
+        "after cap: {} samples, label range {:.2}..{:.2}",
+        capped.len(),
         capped.targets.iter().cloned().fold(f64::MAX, f64::min),
-        capped.targets.iter().cloned().fold(f64::MIN, f64::max));
+        capped.targets.iter().cloned().fold(f64::MIN, f64::max)
+    );
 
     let project = |set: FeatureSet| -> Dataset {
         let idx: Vec<usize> = set.indices().to_vec();
         // capped is in All-order (15 features).
         Dataset::new(
             set.names(),
-            capped.features.iter().map(|r| idx.iter().map(|&i| r[i]).collect()).collect(),
+            capped
+                .features
+                .iter()
+                .map(|r| idx.iter().map(|&i| r[i]).collect())
+                .collect(),
             capped.targets.clone(),
         )
     };
@@ -39,15 +58,24 @@ fn main() {
                 continue; // paper feeds the NN all features only
             }
             let est = CfEstimator::train(kind, &train, 1);
-            println!("{:>14} | {:>10} | err {:.2}%", kind.label(), set.label(),
-                est.mean_relative_error(&test) * 100.0);
+            println!(
+                "{:>14} | {:>10} | err {:.2}%",
+                kind.label(),
+                set.label(),
+                est.mean_relative_error(&test) * 100.0
+            );
         }
     }
     // Linear regression on its nine inputs.
     let ds9 = project(FeatureSet::LinRegNine);
     let (tr, te) = ds9.split(0.8, 42);
     let lin = CfEstimator::train(EstimatorKind::LinearRegression, &tr, 0);
-    println!("{:>14} | {:>10} | err {:.2}%", "Linear Regr.", "nine", lin.mean_relative_error(&te) * 100.0);
+    println!(
+        "{:>14} | {:>10} | err {:.2}%",
+        "Linear Regr.",
+        "nine",
+        lin.mean_relative_error(&te) * 100.0
+    );
 
     // Feature importance of the DT on Additional (Figure 9 headline).
     let add = project(FeatureSet::Additional);

@@ -22,7 +22,11 @@ pub struct LabelConfig {
 
 impl Default for LabelConfig {
     fn default() -> Self {
-        LabelConfig { search: CfSearch::default(), model: PlacementModel::default(), seed: 2024 }
+        LabelConfig {
+            search: CfSearch::default(),
+            model: PlacementModel::default(),
+            seed: 2024,
+        }
     }
 }
 
@@ -55,8 +59,7 @@ pub fn label_module(
     let packing = pack(&stats);
     let shape = quick_place(&stats, &packing);
     let key = module_key(module.netlist.name(), cfg.seed);
-    let found =
-        min_feasible_cf(gen, &stats, &packing, &shape, &cfg.model, &cfg.search, key)?;
+    let found = min_feasible_cf(gen, &stats, &packing, &shape, &cfg.model, &cfg.search, key)?;
     Some(LabelledModule {
         name: module.netlist.name().to_string(),
         kind: module.kind.label(),
@@ -97,7 +100,14 @@ mod tests {
     use tms_rtlgen::{standard_sweep, SweepConfig};
 
     fn small_labelled() -> Vec<LabelledModule> {
-        let modules = standard_sweep(&SweepConfig { target_modules: 40, max_luts: 1_000, min_luts: 2 }, 3);
+        let modules = standard_sweep(
+            &SweepConfig {
+                target_modules: 40,
+                max_luts: 1_000,
+                min_luts: 2,
+            },
+            3,
+        );
         let dev = Device::xc7z020();
         build_dataset(&modules, &dev, &LabelConfig::default())
     }
@@ -126,8 +136,14 @@ mod tests {
 
     #[test]
     fn labelling_is_deterministic() {
-        let modules =
-            standard_sweep(&SweepConfig { target_modules: 12, max_luts: 800, min_luts: 2 }, 9);
+        let modules = standard_sweep(
+            &SweepConfig {
+                target_modules: 12,
+                max_luts: 800,
+                min_luts: 2,
+            },
+            9,
+        );
         let dev = Device::xc7z020();
         let a = build_dataset(&modules, &dev, &LabelConfig::default());
         let b = build_dataset(&modules, &dev, &LabelConfig::default());

@@ -1,12 +1,12 @@
 //! The uniform CF-estimator wrapper over the four learner families.
 
 use tms_ml::{
-    metrics, Dataset, ForestConfig, LinearRegression, Mlp, MlpConfig, RandomForest,
-    RegressionTree, Regressor, TreeConfig,
+    metrics, Dataset, ForestConfig, LinearRegression, Mlp, MlpConfig, RandomForest, RegressionTree,
+    Regressor, TreeConfig,
 };
 
 /// The four estimator families of Section VI-B.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum EstimatorKind {
     /// Ordinary least squares on nine inputs.
     LinearRegression,
@@ -38,6 +38,7 @@ impl EstimatorKind {
     ];
 }
 
+#[derive(serde::Serialize, serde::Deserialize)]
 enum Model {
     LinReg(LinearRegression),
     Nn(Mlp),
@@ -46,6 +47,12 @@ enum Model {
 }
 
 /// A trained correction-factor estimator.
+///
+/// Serializable: a trained estimator can be shipped to a serving process
+/// via [`CfEstimator::to_json`] / [`CfEstimator::from_json`] (or the
+/// file-level [`CfEstimator::save`] / [`CfEstimator::load`]), and the
+/// reloaded model produces bit-identical predictions.
+#[derive(serde::Serialize, serde::Deserialize)]
 pub struct CfEstimator {
     kind: EstimatorKind,
     model: Model,
@@ -57,15 +64,23 @@ impl CfEstimator {
     pub fn train(kind: EstimatorKind, train: &Dataset, seed: u64) -> CfEstimator {
         let model = match kind {
             EstimatorKind::LinearRegression => Model::LinReg(LinearRegression::fit(train, 1e-8)),
-            EstimatorKind::NeuralNetwork => {
-                Model::Nn(Mlp::fit(train, &MlpConfig { seed, ..MlpConfig::default() }))
-            }
+            EstimatorKind::NeuralNetwork => Model::Nn(Mlp::fit(
+                train,
+                &MlpConfig {
+                    seed,
+                    ..MlpConfig::default()
+                },
+            )),
             EstimatorKind::DecisionTree => {
                 Model::Tree(RegressionTree::fit(train, &TreeConfig::default()))
             }
-            EstimatorKind::RandomForest => {
-                Model::Forest(RandomForest::fit(train, &ForestConfig { seed, ..ForestConfig::default() }))
-            }
+            EstimatorKind::RandomForest => Model::Forest(RandomForest::fit(
+                train,
+                &ForestConfig {
+                    seed,
+                    ..ForestConfig::default()
+                },
+            )),
         };
         CfEstimator { kind, model }
     }
@@ -76,7 +91,11 @@ impl CfEstimator {
             EstimatorKind::LinearRegression => Model::LinReg(LinearRegression::fit(train, 1e-8)),
             EstimatorKind::NeuralNetwork => Model::Nn(Mlp::fit(
                 train,
-                &MlpConfig { epochs: 120, seed, ..MlpConfig::default() },
+                &MlpConfig {
+                    epochs: 120,
+                    seed,
+                    ..MlpConfig::default()
+                },
             )),
             EstimatorKind::DecisionTree => {
                 Model::Tree(RegressionTree::fit(train, &TreeConfig::default()))
@@ -126,6 +145,30 @@ impl CfEstimator {
             _ => None,
         }
     }
+
+    /// Serialize the trained model to JSON. Floating-point weights are
+    /// printed in shortest-round-trip form, so a reloaded model predicts
+    /// bit-identically.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trained models are always serializable")
+    }
+
+    /// Reload a model serialized with [`CfEstimator::to_json`].
+    pub fn from_json(json: &str) -> Result<CfEstimator, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Write the trained model to `path` as JSON.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load a model written by [`CfEstimator::save`].
+    pub fn load(path: &std::path::Path) -> std::io::Result<CfEstimator> {
+        let json = std::fs::read_to_string(path)?;
+        CfEstimator::from_json(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +191,11 @@ mod tests {
             .iter()
             .map(|x| 0.95 + 0.5 * x[0] + 0.25 * (x[1] - 0.33) + rng.gen_range(-0.02..0.02))
             .collect();
-        Dataset::new(vec!["Carry/All".into(), "Density".into(), "noise".into()], xs, ys)
+        Dataset::new(
+            vec!["Carry/All".into(), "Density".into(), "noise".into()],
+            xs,
+            ys,
+        )
     }
 
     #[test]
@@ -178,6 +225,50 @@ mod tests {
         // The informative carry ratio dominates.
         let imp = tree.feature_importance().unwrap();
         assert!(imp[0] > 0.5, "importance = {imp:?}");
+    }
+
+    #[test]
+    fn serialized_models_round_trip_bit_identically() {
+        // Satellite requirement: a trained forest/NN saved to JSON and
+        // reloaded must produce bit-identical predictions on the test
+        // split — all four families, since the server loads any of them.
+        let ds = cf_like(600, 9);
+        let (train, test) = ds.split(0.8, 3);
+        for kind in [
+            EstimatorKind::LinearRegression,
+            EstimatorKind::NeuralNetwork,
+            EstimatorKind::DecisionTree,
+            EstimatorKind::RandomForest,
+        ] {
+            let est = CfEstimator::train_small(kind, &train, 5);
+            let json = est.to_json();
+            let reloaded = CfEstimator::from_json(&json).expect("parse back");
+            assert_eq!(reloaded.kind(), kind);
+            for (x, (a, b)) in test.features.iter().zip(
+                est.predict_all(&test.features)
+                    .into_iter()
+                    .zip(reloaded.predict_all(&test.features)),
+            ) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}: prediction differs after reload on {x:?}",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn models_round_trip_through_disk() {
+        let ds = cf_like(300, 11);
+        let est = CfEstimator::train_small(EstimatorKind::RandomForest, &ds, 2);
+        let path = std::env::temp_dir().join("tms_estimator_roundtrip_test.json");
+        est.save(&path).expect("save");
+        let reloaded = CfEstimator::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        let x = &ds.features[0];
+        assert_eq!(est.predict(x).to_bits(), reloaded.predict(x).to_bits());
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub struct AmdFlowConfig {
 
 impl Default for AmdFlowConfig {
     fn default() -> Self {
-        AmdFlowConfig { model: PlacementModel::default(), seed: 2024 }
+        AmdFlowConfig {
+            model: PlacementModel::default(),
+            seed: 2024,
+        }
     }
 }
 
@@ -46,7 +49,9 @@ pub fn run_amd_flow(design: &CnvDesign, device: &Device, cfg: &AmdFlowConfig) ->
             instances: m.instances,
         })
         .collect();
-    AmdFlowResult { placement: flat_place(&modules, device, &cfg.model, cfg.seed) }
+    AmdFlowResult {
+        placement: flat_place(&modules, device, &cfg.model, cfg.seed),
+    }
 }
 
 #[cfg(test)]

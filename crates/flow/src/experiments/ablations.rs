@@ -17,7 +17,10 @@ use core::fmt;
 use tms_cnn::cnvw1a1;
 use tms_device::Device;
 use tms_estimator::FeatureSet;
-use tms_ml::{metrics, ForestConfig, GbtConfig, GradientBoost, Mlp, MlpConfig, RandomForest, RegressionTree, Regressor, TreeConfig};
+use tms_ml::{
+    metrics, ForestConfig, GbtConfig, GradientBoost, Mlp, MlpConfig, RandomForest, RegressionTree,
+    Regressor, TreeConfig,
+};
 use tms_pblock::{min_feasible_cf, CfSearch, PBlockGenerator};
 use tms_place::{detail::module_key, quick_place, PlacementModel};
 use tms_stitch::{stitch, StitchConfig};
@@ -76,37 +79,84 @@ pub fn run(scale: &Scale) -> Ablations {
     let forest_size = forest_sizes
         .iter()
         .map(|&n| {
-            let f = RandomForest::fit(&train, &ForestConfig { n_trees: n, seed: scale.seed, ..ForestConfig::default() });
-            (n, metrics::mean_relative_error(&f.predict_all(&test.features), &test.targets))
+            let f = RandomForest::fit(
+                &train,
+                &ForestConfig {
+                    n_trees: n,
+                    seed: scale.seed,
+                    ..ForestConfig::default()
+                },
+            );
+            (
+                n,
+                metrics::mean_relative_error(&f.predict_all(&test.features), &test.targets),
+            )
         })
         .collect();
 
     let tree_depth = [2usize, 5, 10, 20, 30]
         .iter()
         .map(|&d| {
-            let t = RegressionTree::fit(&train, &TreeConfig { max_depth: d, ..TreeConfig::default() });
-            (d, metrics::mean_relative_error(&t.predict_all(&test.features), &test.targets))
+            let t = RegressionTree::fit(
+                &train,
+                &TreeConfig {
+                    max_depth: d,
+                    ..TreeConfig::default()
+                },
+            );
+            (
+                d,
+                metrics::mean_relative_error(&t.predict_all(&test.features), &test.targets),
+            )
         })
         .collect();
 
-    let widths: &[usize] = if scale.full_models { &[5, 10, 25, 50, 100] } else { &[5, 25] };
+    let widths: &[usize] = if scale.full_models {
+        &[5, 10, 25, 50, 100]
+    } else {
+        &[5, 25]
+    };
     let epochs = if scale.full_models { 900 } else { 150 };
     let nn_width = widths
         .iter()
         .map(|&h| {
-            let m = Mlp::fit(&train, &MlpConfig { hidden: h, epochs, seed: scale.seed, ..MlpConfig::default() });
-            (h, metrics::mean_relative_error(&m.predict_all(&test.features), &test.targets))
+            let m = Mlp::fit(
+                &train,
+                &MlpConfig {
+                    hidden: h,
+                    epochs,
+                    seed: scale.seed,
+                    ..MlpConfig::default()
+                },
+            );
+            (
+                h,
+                metrics::mean_relative_error(&m.predict_all(&test.features), &test.targets),
+            )
         })
         .collect();
 
     // --- Expressiveness probe: gradient boosting vs the forest ----------
-    let gbt_cfg = if scale.full_models { GbtConfig::default() } else { GbtConfig::small(scale.seed) };
-    let gbt = GradientBoost::fit(&train, &GbtConfig { seed: scale.seed, ..gbt_cfg });
-    let gbt_error =
-        metrics::mean_relative_error(&gbt.predict_all(&test.features), &test.targets);
+    let gbt_cfg = if scale.full_models {
+        GbtConfig::default()
+    } else {
+        GbtConfig::small(scale.seed)
+    };
+    let gbt = GradientBoost::fit(
+        &train,
+        &GbtConfig {
+            seed: scale.seed,
+            ..gbt_cfg
+        },
+    );
+    let gbt_error = metrics::mean_relative_error(&gbt.predict_all(&test.features), &test.targets);
     let rf = RandomForest::fit(
         &train,
-        &ForestConfig { n_trees: if scale.full_models { 1000 } else { 60 }, seed: scale.seed, ..ForestConfig::default() },
+        &ForestConfig {
+            n_trees: if scale.full_models { 1000 } else { 60 },
+            seed: scale.seed,
+            ..ForestConfig::default()
+        },
     );
     let rf_error = metrics::mean_relative_error(&rf.predict_all(&test.features), &test.targets);
 
@@ -125,15 +175,22 @@ pub fn run(scale: &Scale) -> Ablations {
         let packing = pack(&stats);
         let shape = quick_place(&stats, &packing);
         let key = module_key(&m.name, scale.seed);
-        let Some(found) =
-            min_feasible_cf(&with, &stats, &packing, &shape, &model, &CfSearch::wide(), key)
-        else {
+        let Some(found) = min_feasible_cf(
+            &with,
+            &stats,
+            &packing,
+            &shape,
+            &model,
+            &CfSearch::wide(),
+            key,
+        ) else {
             continue;
         };
         shape_report_total += 1;
         let failed = match without.generate(&shape, found.cf) {
-            Some(pb) => tms_place::place_in_region(&stats, &packing, &dev, &pb.rect, &model, key)
-                .is_err(),
+            Some(pb) => {
+                tms_place::place_in_region(&stats, &packing, &dev, &pb.rect, &model, key).is_err()
+            }
             None => true,
         };
         if failed {
@@ -155,13 +212,19 @@ pub fn run(scale: &Scale) -> Ablations {
     let greedy = stitch(
         &dev45,
         problem,
-        &StitchConfig { max_moves: 0, ..scale.stitch_config(scale.seed) },
+        &StitchConfig {
+            max_moves: 0,
+            ..scale.stitch_config(scale.seed)
+        },
     );
     let sa = stitch(&dev45, problem, &scale.stitch_config(scale.seed));
     let unlimited = stitch(
         &dev45,
         problem,
-        &StitchConfig { range_limited: false, ..scale.stitch_config(scale.seed) },
+        &StitchConfig {
+            range_limited: false,
+            ..scale.stitch_config(scale.seed)
+        },
     );
 
     // --- Packing ablation ------------------------------------------------
@@ -254,7 +317,12 @@ mod tests {
         // paper's expressiveness observation at quick scale just needs both
         // in the same error regime.
         assert!(a.gbt_error < 0.15, "gbt {:.3}", a.gbt_error);
-        assert!(a.gbt_error > a.rf_error * 0.5, "gbt {:.3} vs rf {:.3}", a.gbt_error, a.rf_error);
+        assert!(
+            a.gbt_error > a.rf_error * 0.5,
+            "gbt {:.3} vs rf {:.3}",
+            a.gbt_error,
+            a.rf_error
+        );
         // Packing always needs at least the naive estimate.
         assert!(a.packing_inflation_mean >= 1.0);
         assert!(a.packing_inflation_max < 3.0);

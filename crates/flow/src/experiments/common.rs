@@ -32,17 +32,34 @@ pub struct Scale {
 impl Scale {
     /// Paper-fidelity scale.
     pub fn paper() -> Scale {
-        Scale { dataset_modules: 2_000, bin_cap: 75, full_models: true, sa_moves: 120_000, seed: 2024 }
+        Scale {
+            dataset_modules: 2_000,
+            bin_cap: 75,
+            full_models: true,
+            sa_moves: 120_000,
+            seed: 2024,
+        }
     }
 
-    /// Reduced scale for tests.
+    /// Reduced scale for tests. 800 modules is the smallest sweep at which
+    /// the carry-dominance signal of Figures 9/12 is stable; below that the
+    /// capped training set starves the importance estimates.
     pub fn quick() -> Scale {
-        Scale { dataset_modules: 550, bin_cap: 25, full_models: false, sa_moves: 30_000, seed: 2024 }
+        Scale {
+            dataset_modules: 800,
+            bin_cap: 25,
+            full_models: false,
+            sa_moves: 30_000,
+            seed: 2024,
+        }
     }
 
     /// The stitcher schedule at this scale.
     pub fn stitch_config(&self, seed: u64) -> StitchConfig {
-        StitchConfig { max_moves: self.sa_moves, ..StitchConfig::standard(seed) }
+        StitchConfig {
+            max_moves: self.sa_moves,
+            ..StitchConfig::standard(seed)
+        }
     }
 
     /// Train an estimator at this scale.
@@ -58,7 +75,11 @@ impl Scale {
 /// Generate the RTL sweep at this scale.
 pub fn sweep_modules(scale: &Scale) -> Vec<GeneratedModule> {
     standard_sweep(
-        &SweepConfig { target_modules: scale.dataset_modules, max_luts: 5_000, min_luts: 2 },
+        &SweepConfig {
+            target_modules: scale.dataset_modules,
+            max_luts: 5_000,
+            min_luts: 2,
+        },
         scale.seed,
     )
 }
@@ -69,7 +90,10 @@ pub fn labelled_sweep(scale: &Scale, device: &Device) -> Vec<LabelledModule> {
     build_dataset(
         &modules,
         device,
-        &LabelConfig { seed: scale.seed, ..LabelConfig::default() },
+        &LabelConfig {
+            seed: scale.seed,
+            ..LabelConfig::default()
+        },
     )
 }
 

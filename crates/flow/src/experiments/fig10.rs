@@ -69,8 +69,12 @@ pub fn run(scale: &Scale) -> Fig10 {
             let test = project(&test_all, set);
             let est = scale.train(kind, &train, scale.seed);
             let preds = est.predict_all(&test.features);
-            let mut pairs: Vec<(f64, f64)> =
-                test.targets.iter().copied().zip(preds.iter().copied()).collect();
+            let mut pairs: Vec<(f64, f64)> = test
+                .targets
+                .iter()
+                .copied()
+                .zip(preds.iter().copied())
+                .collect();
             pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             Fig10Series {
                 kind,

@@ -60,9 +60,13 @@ pub fn run(scale: &Scale) -> Fig11 {
                 (l.name.clone(), l.min_cf, est.predict(&x))
             })
             .collect();
-        let (pred, actual): (Vec<f64>, Vec<f64>) =
-            rows.iter().map(|&(_, a, p)| (p, a)).unzip();
-        Fig11Series { kind, set, median_error: metrics::median_relative_error(&pred, &actual), rows }
+        let (pred, actual): (Vec<f64>, Vec<f64>) = rows.iter().map(|&(_, a, p)| (p, a)).unzip();
+        Fig11Series {
+            kind,
+            set,
+            median_error: metrics::median_relative_error(&pred, &actual),
+            rows,
+        }
     };
 
     Fig11 {
@@ -84,7 +88,11 @@ impl fmt::Display for Fig11 {
             "linear regression median abs error: {:.2}%",
             self.linreg.median_error * 100.0
         )?;
-        writeln!(f, "NN (Additional) median abs error: {:.2}%", self.nn.median_error * 100.0)?;
+        writeln!(
+            f,
+            "NN (Additional) median abs error: {:.2}%",
+            self.nn.median_error * 100.0
+        )?;
         for (name, a, p) in self.nn.rows.iter().take(10) {
             writeln!(f, "  {name:<14} actual {a:.2} predicted {p:.2}")?;
         }
@@ -102,7 +110,11 @@ mod tests {
         // Cross-domain transfer (synthetic sweep -> CNN modules) costs
         // accuracy; the paper sees 9.5-11%, we accept single-to-low-double
         // digits.
-        assert!(fig.linreg.median_error < 0.30, "linreg {:.3}", fig.linreg.median_error);
+        assert!(
+            fig.linreg.median_error < 0.30,
+            "linreg {:.3}",
+            fig.linreg.median_error
+        );
         assert!(fig.nn.median_error < 0.30, "nn {:.3}", fig.nn.median_error);
         assert!(fig.modules >= 40, "modules = {}", fig.modules);
     }

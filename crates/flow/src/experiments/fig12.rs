@@ -20,15 +20,25 @@ pub struct Fig12 {
 impl Fig12 {
     /// Importance of one feature.
     pub fn importance_of(&self, name: &str) -> Option<f64> {
-        self.importances.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+        self.importances
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
     }
 
     /// Combined share of the relative (Additional) features.
     pub fn relative_share(&self) -> f64 {
-        ["Carry/All", "M/All", "FF/All", "Density", "CS/FFs", "Fanout/Cells"]
-            .iter()
-            .filter_map(|n| self.importance_of(n))
-            .sum()
+        [
+            "Carry/All",
+            "M/All",
+            "FF/All",
+            "Density",
+            "CS/FFs",
+            "Fanout/Cells",
+        ]
+        .iter()
+        .filter_map(|n| self.importance_of(n))
+        .sum()
     }
 }
 
@@ -43,7 +53,12 @@ pub fn run(scale: &Scale) -> Fig12 {
         .feature_names
         .iter()
         .cloned()
-        .zip(est.feature_importance().expect("forest importance").iter().copied())
+        .zip(
+            est.feature_importance()
+                .expect("forest importance")
+                .iter()
+                .copied(),
+        )
         .collect();
 
     let design = cnvw1a1(scale.seed);
@@ -52,7 +67,10 @@ pub fn run(scale: &Scale) -> Fig12 {
         .iter()
         .map(|l| (est.predict(&l.features.select(FeatureSet::All)), l.min_cf))
         .unzip();
-    Fig12 { importances, cnv_error: metrics::mean_relative_error(&pred, &actual) }
+    Fig12 {
+        importances,
+        cnv_error: metrics::mean_relative_error(&pred, &actual),
+    }
 }
 
 impl fmt::Display for Fig12 {
@@ -88,7 +106,11 @@ mod tests {
     #[test]
     fn relative_features_dominate() {
         let fig = run(&Scale::quick());
-        assert!(fig.relative_share() > 0.5, "relative share = {:.3}", fig.relative_share());
+        assert!(
+            fig.relative_share() > 0.5,
+            "relative share = {:.3}",
+            fig.relative_share()
+        );
         let total: f64 = fig.importances.iter().map(|&(_, v)| v).sum();
         assert!((total - 1.0).abs() < 1e-6);
     }

@@ -102,13 +102,19 @@ pub fn run(scale: &Scale) -> Fig13 {
     let estimator_flow = run_rw_flow(
         &design,
         &flow_dev,
-        &mk_cfg(CfPolicy::Guided { predict: &predict_nn, max_cf: 3.0 }),
+        &mk_cfg(CfPolicy::Guided {
+            predict: &predict_nn,
+            max_cf: 3.0,
+        }),
     );
     let predict_const = |_: &str| 0.9;
     let constant_start_flow = run_rw_flow(
         &design,
         &flow_dev,
-        &mk_cfg(CfPolicy::Guided { predict: &predict_const, max_cf: 3.0 }),
+        &mk_cfg(CfPolicy::Guided {
+            predict: &predict_const,
+            max_cf: 3.0,
+        }),
     );
     let constant_flow = run_rw_flow(&design, &flow_dev, &mk_cfg(CfPolicy::Constant(constant_cf)));
 
@@ -129,10 +135,18 @@ pub fn run(scale: &Scale) -> Fig13 {
     // Route both stitched designs: compact macros leave shorter inter-block
     // connections and more channel head-room.
     let route_cfg = tms_route::RouterConfig::default();
-    let route_est =
-        tms_route::route_stitched(&flow_dev, &estimator_flow.problem, &estimator_flow.stitch, &route_cfg);
-    let route_const =
-        tms_route::route_stitched(&flow_dev, &constant_flow.problem, &constant_flow.stitch, &route_cfg);
+    let route_est = tms_route::route_stitched(
+        &flow_dev,
+        &estimator_flow.problem,
+        &estimator_flow.stitch,
+        &route_cfg,
+    );
+    let route_const = tms_route::route_stitched(
+        &flow_dev,
+        &constant_flow.problem,
+        &constant_flow.stitch,
+        &route_cfg,
+    );
     Fig13 {
         first_try_rate: estimator_flow.first_try_rate(),
         estimator_runs: estimator_flow.total_tool_runs,
@@ -144,7 +158,8 @@ pub fn run(scale: &Scale) -> Fig13 {
         convergence_speedup: conv_const as f64 / conv_est as f64,
         cost_estimator: estimator_flow.stitch.final_cost,
         cost_constant: constant_flow.stitch.final_cost,
-        cost_reduction: 1.0 - estimator_flow.stitch.final_cost / constant_flow.stitch.final_cost.max(1e-9),
+        cost_reduction: 1.0
+            - estimator_flow.stitch.final_cost / constant_flow.stitch.final_cost.max(1e-9),
         constant_cf,
         unplaced: (
             estimator_flow.stitch.unplaced_count,
@@ -157,8 +172,15 @@ pub fn run(scale: &Scale) -> Fig13 {
 
 impl fmt::Display for Fig13 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 13 / §VIII — estimator impact on xc7z045 (simulated)")?;
-        writeln!(f, "first-run success rate     : {:.1}%", self.first_try_rate * 100.0)?;
+        writeln!(
+            f,
+            "Figure 13 / §VIII — estimator impact on xc7z045 (simulated)"
+        )?;
+        writeln!(
+            f,
+            "first-run success rate     : {:.1}%",
+            self.first_try_rate * 100.0
+        )?;
         writeln!(
             f,
             "tool runs (const 0.9 vs NN): {} vs {} ({:.2}x)",
@@ -167,7 +189,9 @@ impl fmt::Display for Fig13 {
         writeln!(
             f,
             "SA moves to the CF-{:.2} flow's final quality: {} (const) vs {} (NN) — {:.2}x faster",
-            self.constant_cf, self.convergence_constant, self.convergence_estimator,
+            self.constant_cf,
+            self.convergence_constant,
+            self.convergence_estimator,
             self.convergence_speedup
         )?;
         writeln!(
@@ -177,7 +201,11 @@ impl fmt::Display for Fig13 {
             self.cost_estimator,
             self.cost_reduction * 100.0
         )?;
-        writeln!(f, "unplaced (NN vs const)     : {} vs {}", self.unplaced.0, self.unplaced.1)?;
+        writeln!(
+            f,
+            "unplaced (NN vs const)     : {} vs {}",
+            self.unplaced.0, self.unplaced.1
+        )?;
         writeln!(
             f,
             "routed wirelength          : {} (const, overflow-free: {}) vs {} (NN, overflow-free: {})",

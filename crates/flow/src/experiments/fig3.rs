@@ -57,8 +57,8 @@ pub fn run(seed: u64) -> Fig3 {
         let key = module_key(name, seed);
         for cf in [1.5, 1.0] {
             let pblock = gen.generate(&shape, cf).expect("pblock");
-            let placement =
-                place_in_region(&stats, &packing, &dev, &pblock.rect, &model, key).expect("placeable");
+            let placement = place_in_region(&stats, &packing, &dev, &pblock.rect, &model, key)
+                .expect("placeable");
             rows.push(Fig3Row {
                 module: name.to_string(),
                 cf,
@@ -74,7 +74,10 @@ pub fn run(seed: u64) -> Fig3 {
 
 impl fmt::Display for Fig3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 3 — implemented blocks at CF 1.5 vs 1.0 (simulated)")?;
+        writeln!(
+            f,
+            "Figure 3 — implemented blocks at CF 1.5 vs 1.0 (simulated)"
+        )?;
         writeln!(
             f,
             "{:<12} | {:>5} | {:>9} | {:>7} | {:>12}",

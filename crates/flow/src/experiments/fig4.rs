@@ -30,7 +30,10 @@ pub fn run(seed: u64) -> Fig4 {
         max_cf = max_cf.max(l.min_cf);
     }
     Fig4 {
-        histogram: counts.into_iter().map(|(b, c)| (b as f64 * 0.02, c)).collect(),
+        histogram: counts
+            .into_iter()
+            .map(|(b, c)| (b as f64 * 0.02, c))
+            .collect(),
         max_cf,
         blocks: labels.len(),
     }

@@ -44,7 +44,14 @@ pub fn run(scale: &Scale) -> Fig5 {
     let design = cnvw1a1(scale.seed);
     let dev = Device::xc7z020();
 
-    let amd = run_amd_flow(&design, &dev, &AmdFlowConfig { seed: scale.seed, ..Default::default() });
+    let amd = run_amd_flow(
+        &design,
+        &dev,
+        &AmdFlowConfig {
+            seed: scale.seed,
+            ..Default::default()
+        },
+    );
 
     // The constant-CF flow must use the worst minimal CF so every module
     // still implements (Section IV).
@@ -102,7 +109,11 @@ impl fmt::Display for Fig5 {
             "c) RW minimal CF : {} of {} blocks unplaced, {} wasted cells",
             self.unplaced_minimal, self.instances, self.wasted_minimal
         )?;
-        writeln!(f, "placed-block gain of (c) over (b): {:.1}%", self.placed_gain * 100.0)?;
+        writeln!(
+            f,
+            "placed-block gain of (c) over (b): {:.1}%",
+            self.placed_gain * 100.0
+        )?;
         writeln!(f, "\nconstant-CF fabric (b):\n{}", self.render_constant)?;
         writeln!(f, "minimal-CF fabric (c):\n{}", self.render_minimal)
     }
@@ -117,7 +128,10 @@ mod tests {
         let fig = run(&Scale::quick());
         // The flat tool fits the whole design; RW does not (Section III).
         assert!(fig.amd_fully_placed);
-        assert!(fig.unplaced_constant > 0, "constant CF should leave blocks unplaced");
+        assert!(
+            fig.unplaced_constant > 0,
+            "constant CF should leave blocks unplaced"
+        );
         assert!(
             fig.unplaced_minimal < fig.unplaced_constant,
             "minimal {} !< constant {}",

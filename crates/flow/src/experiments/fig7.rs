@@ -33,7 +33,11 @@ pub fn run(scale: &Scale) -> Fig7 {
         .iter()
         .map(|m| {
             let c = m.netlist.stats().counts;
-            CoveragePoint { luts: c.lut_sites(), ffs: c.ffs, carry: c.carry_bits }
+            CoveragePoint {
+                luts: c.lut_sites(),
+                ffs: c.ffs,
+                carry: c.carry_bits,
+            }
         })
         .collect();
     let max_luts = points.iter().map(|p| p.luts).max().unwrap_or(0);
@@ -51,7 +55,11 @@ pub fn run(scale: &Scale) -> Fig7 {
             class_counts.2 += 1;
         }
     }
-    Fig7 { points, max_luts, class_counts }
+    Fig7 {
+        points,
+        max_luts,
+        class_counts,
+    }
 }
 
 impl fmt::Display for Fig7 {

@@ -66,7 +66,10 @@ pub fn run(scale: &Scale) -> Fig9 {
 
 impl fmt::Display for Fig9 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 9 — decision-tree feature importance per feature set")?;
+        writeln!(
+            f,
+            "Figure 9 — decision-tree feature importance per feature set"
+        )?;
         for s in &self.sets {
             writeln!(f, "[{}]", s.set.label())?;
             for (name, v) in &s.importances {
@@ -88,7 +91,11 @@ mod tests {
         assert_eq!(fig.sets.len(), 4);
         for s in &fig.sets {
             let total: f64 = s.importances.iter().map(|&(_, v)| v).sum();
-            assert!((total - 1.0).abs() < 1e-6, "{}: sum = {total}", s.set.label());
+            assert!(
+                (total - 1.0).abs() < 1e-6,
+                "{}: sum = {total}",
+                s.set.label()
+            );
         }
     }
 
@@ -101,17 +108,27 @@ mod tests {
         let carry = add.importance_of("Carry/All").unwrap();
         assert!(carry > 0.25, "Carry/All importance = {carry:.3}");
         let max = add.importances.iter().map(|&(_, v)| v).fold(0.0, f64::max);
-        assert!((carry - max).abs() < 1e-9, "Carry/All should be the top feature");
+        assert!(
+            (carry - max).abs() < 1e-9,
+            "Carry/All should be the top feature"
+        );
     }
 
     #[test]
     fn relative_features_dominate_the_all_set() {
         let fig = run(&Scale::quick());
         let all = fig.set(FeatureSet::All).unwrap();
-        let relative: f64 = ["Carry/All", "M/All", "FF/All", "Density", "CS/FFs", "Fanout/Cells"]
-            .iter()
-            .filter_map(|n| all.importance_of(n))
-            .sum();
+        let relative: f64 = [
+            "Carry/All",
+            "M/All",
+            "FF/All",
+            "Density",
+            "CS/FFs",
+            "Fanout/Cells",
+        ]
+        .iter()
+        .filter_map(|n| all.importance_of(n))
+        .sum();
         assert!(relative > 0.5, "relative share = {relative:.3}");
     }
 

@@ -74,9 +74,20 @@ pub fn run(seed: u64) -> Resolution {
             let stats = nl.stats();
             let packing = pack(&stats);
             let shape = quick_place(&stats, &packing);
-            let points =
-                resolution_study(&gen, &stats, &packing, &shape, &model, &STANDARD_STEPS, seed);
-            ResolutionRow { module: label.to_string(), lut_sites: stats.counts.lut_sites(), points }
+            let points = resolution_study(
+                &gen,
+                &stats,
+                &packing,
+                &shape,
+                &model,
+                &STANDARD_STEPS,
+                seed,
+            );
+            ResolutionRow {
+                module: label.to_string(),
+                lut_sites: stats.counts.lut_sites(),
+                points,
+            }
         })
         .collect();
     Resolution { rows }
@@ -97,7 +108,11 @@ impl fmt::Display for Resolution {
                     _ => writeln!(f, "  step {:>5.2}: infeasible", p.step)?,
                 }
             }
-            writeln!(f, "  PBlock-size sensitivity: {:.1}%", r.pblock_sensitivity() * 100.0)?;
+            writeln!(
+                f,
+                "  PBlock-size sensitivity: {:.1}%",
+                r.pblock_sensitivity() * 100.0
+            )?;
         }
         Ok(())
     }
@@ -132,7 +147,12 @@ mod tests {
             for p in &row.points {
                 // points are ordered coarse -> fine
                 if let Some(cf) = p.found_cf {
-                    assert!(cf <= last + 1e-9, "{}: step {} found {cf}", row.module, p.step);
+                    assert!(
+                        cf <= last + 1e-9,
+                        "{}: step {} found {cf}",
+                        row.module,
+                        p.step
+                    );
                     last = cf;
                 }
             }

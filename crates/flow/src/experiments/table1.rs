@@ -74,19 +74,33 @@ pub fn run(seed: u64) -> Table1 {
         }
     }
 
-    let amd = run_amd_flow(&design, &dev, &AmdFlowConfig { seed, ..AmdFlowConfig::default() });
+    let amd = run_amd_flow(
+        &design,
+        &dev,
+        &AmdFlowConfig {
+            seed,
+            ..AmdFlowConfig::default()
+        },
+    );
     let amd_instances = MODULES
         .iter()
         .map(|&m| (m.to_string(), amd.instances_of(m)))
         .collect();
 
-    Table1 { rows, amd_instances }
+    Table1 {
+        rows,
+        amd_instances,
+    }
 }
 
 impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table I — synthesis results of the cnvW1A1 (simulated)")?;
-        writeln!(f, "{:<12} | {:>8} | {:>8} | {:>12}", "module", "CF", "slices", "path (ns)")?;
+        writeln!(
+            f,
+            "{:<12} | {:>8} | {:>8} | {:>12}",
+            "module", "CF", "slices", "path (ns)"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -131,11 +145,24 @@ mod tests {
     fn magnitudes_are_in_the_papers_ballpark() {
         let t = run(1);
         let w14_tight = t.row("weights_14", 1.0).unwrap();
-        assert!((1_000..1_900).contains(&w14_tight.slices), "{}", w14_tight.slices);
+        assert!(
+            (1_000..1_900).contains(&w14_tight.slices),
+            "{}",
+            w14_tight.slices
+        );
         let mvau_tight = t.row("mvau_18", 1.0).unwrap();
-        assert!((20..60).contains(&mvau_tight.slices), "{}", mvau_tight.slices);
+        assert!(
+            (20..60).contains(&mvau_tight.slices),
+            "{}",
+            mvau_tight.slices
+        );
         // AMD sits between the tight and loose RW numbers for weights_14.
-        let amd_w14 = &t.amd_instances.iter().find(|(m, _)| m == "weights_14").unwrap().1;
+        let amd_w14 = &t
+            .amd_instances
+            .iter()
+            .find(|(m, _)| m == "weights_14")
+            .unwrap()
+            .1;
         let w14_loose = t.row("weights_14", 1.5).unwrap();
         assert!(amd_w14[0] > w14_tight.slices);
         assert!(amd_w14[0] < w14_loose.slices + 200);

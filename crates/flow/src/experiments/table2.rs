@@ -53,7 +53,11 @@ pub fn run(scale: &Scale) -> Table2 {
         let test = project(&test_all, set);
         for kind in [EstimatorKind::DecisionTree, EstimatorKind::RandomForest] {
             let est = scale.train(kind, &train, scale.seed);
-            cells.push(Table2Cell { kind, set, error: est.mean_relative_error(&test) });
+            cells.push(Table2Cell {
+                kind,
+                set,
+                error: est.mean_relative_error(&test),
+            });
         }
         if set == FeatureSet::All {
             // The paper feeds the NN all features to get its best result.
@@ -89,7 +93,11 @@ impl fmt::Display for Table2 {
             write!(f, " | {:>10}", set.label())?;
         }
         writeln!(f)?;
-        for kind in [EstimatorKind::DecisionTree, EstimatorKind::RandomForest, EstimatorKind::NeuralNetwork] {
+        for kind in [
+            EstimatorKind::DecisionTree,
+            EstimatorKind::RandomForest,
+            EstimatorKind::NeuralNetwork,
+        ] {
             write!(f, "{:<22}", format!("{} error", kind.label()))?;
             for set in FeatureSet::TABLE2 {
                 match self.error(kind, set) {
@@ -99,7 +107,11 @@ impl fmt::Display for Table2 {
             }
             writeln!(f)?;
         }
-        writeln!(f, "linear regression (nine inputs): {:.1}%", self.linreg_error * 100.0)
+        writeln!(
+            f,
+            "linear regression (nine inputs): {:.1}%",
+            self.linreg_error * 100.0
+        )
     }
 }
 
@@ -110,9 +122,15 @@ mod tests {
     #[test]
     fn table2_reproduces_the_paper_ordering() {
         let t = run(&Scale::quick());
-        let dt_classical = t.error(EstimatorKind::DecisionTree, FeatureSet::Classical).unwrap();
-        let rf_classical = t.error(EstimatorKind::RandomForest, FeatureSet::Classical).unwrap();
-        let rf_additional = t.error(EstimatorKind::RandomForest, FeatureSet::Additional).unwrap();
+        let dt_classical = t
+            .error(EstimatorKind::DecisionTree, FeatureSet::Classical)
+            .unwrap();
+        let rf_classical = t
+            .error(EstimatorKind::RandomForest, FeatureSet::Classical)
+            .unwrap();
+        let rf_additional = t
+            .error(EstimatorKind::RandomForest, FeatureSet::Additional)
+            .unwrap();
         // RF beats a single DT (ensembling).
         assert!(rf_classical < dt_classical);
         // The hand-crafted relative features beat the raw classical ones.
@@ -122,18 +140,20 @@ mod tests {
         );
         // Everything is single-/low-double-digit percent.
         for c in &t.cells {
-            assert!(c.error < 0.20, "{} {}: {:.3}", c.kind.label(), c.set.label(), c.error);
+            assert!(
+                c.error < 0.20,
+                "{} {}: {:.3}",
+                c.kind.label(),
+                c.set.label(),
+                c.error
+            );
         }
     }
 
     #[test]
     fn linreg_is_the_weakest_family() {
         let t = run(&Scale::quick());
-        let best = t
-            .cells
-            .iter()
-            .map(|c| c.error)
-            .fold(f64::MAX, f64::min);
+        let best = t.cells.iter().map(|c| c.error).fold(f64::MAX, f64::min);
         assert!(
             t.linreg_error > best,
             "linreg {:.3} should exceed the best learner {:.3}",
@@ -145,8 +165,12 @@ mod tests {
     #[test]
     fn nn_reported_on_all_features_only() {
         let t = run(&Scale::quick());
-        assert!(t.error(EstimatorKind::NeuralNetwork, FeatureSet::All).is_some());
-        assert!(t.error(EstimatorKind::NeuralNetwork, FeatureSet::Classical).is_none());
+        assert!(t
+            .error(EstimatorKind::NeuralNetwork, FeatureSet::All)
+            .is_some());
+        assert!(t
+            .error(EstimatorKind::NeuralNetwork, FeatureSet::Classical)
+            .is_none());
     }
 
     #[test]

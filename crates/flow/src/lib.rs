@@ -38,6 +38,12 @@ pub mod render;
 pub mod rwflow;
 
 pub use amd::{run_amd_flow, AmdFlowConfig, AmdFlowResult};
-pub use cache::{run_rw_flow_cached, CachedFlowResult, ImplementationCache, ModuleFingerprint};
+pub use cache::{
+    run_rw_flow_cached, run_rw_flow_cached_verified, CachedFlowResult, ImplementationCache,
+    ModuleFingerprint, DEFAULT_CACHE_CAPACITY,
+};
 pub use render::{coverage_line, render_cost_trace, render_stitched};
-pub use rwflow::{run_rw_flow, CfPolicy, ImplementedModule, RwFlowConfig, RwFlowResult};
+pub use rwflow::{
+    implement_module, run_rw_flow, stitch_implemented, CfPolicy, ImplementedModule, RwFlowConfig,
+    RwFlowResult,
+};

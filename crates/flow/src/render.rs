@@ -94,7 +94,11 @@ pub fn coverage_line(device: &Device, problem: &StitchProblem, result: &StitchRe
         result.placed_count,
         result.positions.len(),
         covered as f64 / fabric as f64 * 100.0,
-        if covered == 0 { 0.0 } else { wasted as f64 / covered as f64 * 100.0 }
+        if covered == 0 {
+            0.0
+        } else {
+            wasted as f64 / covered as f64 * 100.0
+        }
     )
 }
 
@@ -135,8 +139,7 @@ mod tests {
     fn placed_blocks_appear_in_the_render() {
         let (dev, p, r) = stitched();
         assert_eq!(r.unplaced_count, 0);
-        let s =
-            render_stitched(&dev, &p, &r, dev.width() as usize, dev.rows() as usize);
+        let s = render_stitched(&dev, &p, &r, dev.width() as usize, dev.rows() as usize);
         let painted = s.chars().filter(|c| *c == 'a').count();
         // 12 blocks × 30 cells each.
         assert_eq!(painted, 360);

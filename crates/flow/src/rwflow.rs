@@ -102,6 +102,73 @@ impl RwFlowResult {
     }
 }
 
+/// Pre-implement one module under the configured CF policy.
+///
+/// This is the per-module stage of [`run_rw_flow`], exposed so callers
+/// that already hold implementations for part of a design — the
+/// implementation cache, the serving layer — can implement exactly the
+/// modules they are missing and splice the rest in via
+/// [`stitch_implemented`].
+pub fn implement_module(
+    name: &str,
+    netlist: &tms_netlist::Netlist,
+    device: &Device,
+    cfg: &RwFlowConfig<'_>,
+) -> Result<ImplementedModule, String> {
+    let gen = PBlockGenerator::new(device, cfg.use_shape_report);
+    implement_with(&gen, &TimingModel::default(), name, netlist, device, cfg)
+}
+
+/// Per-module implementation against shared generator/timing state.
+fn implement_with(
+    gen: &PBlockGenerator<'_>,
+    timing_model: &TimingModel,
+    name: &str,
+    netlist: &tms_netlist::Netlist,
+    device: &Device,
+    cfg: &RwFlowConfig<'_>,
+) -> Result<ImplementedModule, String> {
+    let stats = netlist.stats();
+    let packing = pack(&stats);
+    let shape = quick_place(&stats, &packing);
+    let key = module_key(name, cfg.seed);
+    let outcome = match &cfg.policy {
+        CfPolicy::Constant(cf) => gen
+            .generate(&shape, *cf)
+            .ok_or_else(|| "no PBlock".to_string())
+            .and_then(|pblock| {
+                place_in_region(&stats, &packing, device, &pblock.rect, &cfg.model, key)
+                    .map(|placement| (*cf, pblock, placement, 1u32, true))
+                    .map_err(|e| e.to_string())
+            }),
+        CfPolicy::Minimal(search) => {
+            min_feasible_cf(gen, &stats, &packing, &shape, &cfg.model, search, key)
+                .map(|r| (r.cf, r.pblock, r.placement, r.attempts, r.attempts == 1))
+                .ok_or_else(|| "no feasible CF".to_string())
+        }
+        CfPolicy::Guided { predict, max_cf } => {
+            let predicted = predict(name);
+            guided_search(
+                gen, &stats, &packing, &shape, &cfg.model, predicted, *max_cf, key,
+            )
+            .map(|r| (r.cf, r.pblock, r.placement, r.attempts, r.first_try))
+            .ok_or_else(|| "no feasible CF".to_string())
+        }
+    };
+    outcome.map(|(cf, pblock, placement, attempts, first_try)| {
+        let timing = estimate(&stats, &placement, device, timing_model);
+        ImplementedModule {
+            name: name.to_string(),
+            cf,
+            pblock,
+            placement,
+            timing,
+            attempts,
+            first_try,
+        }
+    })
+}
+
 /// Run the flow: pre-implement every unique module under the CF policy,
 /// then replicate and stitch.
 pub fn run_rw_flow(design: &CnvDesign, device: &Device, cfg: &RwFlowConfig<'_>) -> RwFlowResult {
@@ -114,49 +181,30 @@ pub fn run_rw_flow(design: &CnvDesign, device: &Device, cfg: &RwFlowConfig<'_>) 
         .par_iter()
         .enumerate()
         .map(|(idx, m)| {
-            let stats = m.netlist.stats();
-            let packing = pack(&stats);
-            let shape = quick_place(&stats, &packing);
-            let key = module_key(&m.name, cfg.seed);
-            let outcome = match &cfg.policy {
-                CfPolicy::Constant(cf) => gen
-                    .generate(&shape, *cf)
-                    .ok_or_else(|| "no PBlock".to_string())
-                    .and_then(|pblock| {
-                        place_in_region(&stats, &packing, device, &pblock.rect, &cfg.model, key)
-                            .map(|placement| (*cf, pblock, placement, 1u32, true))
-                            .map_err(|e| e.to_string())
-                    }),
-                CfPolicy::Minimal(search) => {
-                    min_feasible_cf(&gen, &stats, &packing, &shape, &cfg.model, search, key)
-                        .map(|r| (r.cf, r.pblock, r.placement, r.attempts, r.attempts == 1))
-                        .ok_or_else(|| "no feasible CF".to_string())
-                }
-                CfPolicy::Guided { predict, max_cf } => {
-                    let predicted = predict(&m.name);
-                    guided_search(
-                        &gen, &stats, &packing, &shape, &cfg.model, predicted, *max_cf, key,
-                    )
-                    .map(|r| (r.cf, r.pblock, r.placement, r.attempts, r.first_try))
-                    .ok_or_else(|| "no feasible CF".to_string())
-                }
-            };
-            let result = outcome.map(|(cf, pblock, placement, attempts, first_try)| {
-                let timing = estimate(&stats, &placement, device, &timing_model);
-                ImplementedModule {
-                    name: m.name.clone(),
-                    cf,
-                    pblock,
-                    placement,
-                    timing,
-                    attempts,
-                    first_try,
-                }
-            });
-            (idx, result)
+            (
+                idx,
+                implement_with(&gen, &timing_model, &m.name, &m.netlist, device, cfg),
+            )
         })
         .collect();
 
+    stitch_implemented(design, device, cfg, per_module)
+}
+
+/// Replicate per-module outcomes across the design's instances and stitch.
+///
+/// `per_module` pairs each design-module index with its implementation
+/// outcome, in design order (as produced by [`run_rw_flow`]'s parallel
+/// stage or assembled from a cache). Tool-run accounting sums the
+/// `attempts` recorded in each implementation — for spliced cache hits
+/// that is what the implementation *originally* cost, not what this call
+/// spent; see `run_rw_flow_cached` for the spent-vs-total split.
+pub fn stitch_implemented(
+    design: &CnvDesign,
+    device: &Device,
+    cfg: &RwFlowConfig<'_>,
+    per_module: Vec<(usize, Result<ImplementedModule, String>)>,
+) -> RwFlowResult {
     let mut implemented = Vec::new();
     let mut failed = Vec::new();
     let mut total_tool_runs = 0;
@@ -193,10 +241,7 @@ pub fn run_rw_flow(design: &CnvDesign, device: &Device, cfg: &RwFlowConfig<'_>) 
         inst_map.push(stitch_index[*midx].map(|s| problem.add_instance(s)));
     }
     for (ends, weight) in &design.nets {
-        let mapped: Vec<u32> = ends
-            .iter()
-            .filter_map(|&e| inst_map[e as usize])
-            .collect();
+        let mapped: Vec<u32> = ends.iter().filter_map(|&e| inst_map[e as usize]).collect();
         if mapped.len() >= 2 {
             problem.add_net(&mapped, *weight);
         }
@@ -275,7 +320,13 @@ mod tests {
         let r = run_rw_flow(
             &design,
             &dev,
-            &quick_cfg(CfPolicy::Guided { predict: &predict, max_cf: 3.0 }, 1),
+            &quick_cfg(
+                CfPolicy::Guided {
+                    predict: &predict,
+                    max_cf: 3.0,
+                },
+                1,
+            ),
         );
         assert!(r.failed.is_empty());
         let rate = r.first_try_rate();

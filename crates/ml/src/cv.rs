@@ -34,7 +34,12 @@ impl CvScores {
             return 0.0;
         }
         let m = self.mean();
-        (self.fold_errors.iter().map(|e| (e - m) * (e - m)).sum::<f64>() / (n - 1) as f64)
+        (self
+            .fold_errors
+            .iter()
+            .map(|e| (e - m) * (e - m))
+            .sum::<f64>()
+            / (n - 1) as f64)
             .sqrt()
     }
 }
@@ -136,7 +141,9 @@ mod tests {
             move |x: &[f64]| m.predict(x)
         });
         assert_eq!(scores.fold_errors.len(), 2, "k=1 clamps to 2");
-        let empty = CvScores { fold_errors: vec![] };
+        let empty = CvScores {
+            fold_errors: vec![],
+        };
         assert_eq!(empty.mean(), 0.0);
         assert_eq!(empty.std(), 0.0);
     }

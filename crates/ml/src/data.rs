@@ -22,7 +22,11 @@ impl Dataset {
         for row in &features {
             assert_eq!(row.len(), feature_names.len(), "row width mismatch");
         }
-        Dataset { feature_names, features, targets }
+        Dataset {
+            feature_names,
+            features,
+            targets,
+        }
     }
 
     /// Number of rows.
@@ -83,7 +87,10 @@ impl Dataset {
     /// Project the data set onto a subset of feature columns (by index).
     pub fn select_features(&self, cols: &[usize]) -> Dataset {
         Dataset {
-            feature_names: cols.iter().map(|&c| self.feature_names[c].clone()).collect(),
+            feature_names: cols
+                .iter()
+                .map(|&c| self.feature_names[c].clone())
+                .collect(),
             features: self
                 .features
                 .iter()

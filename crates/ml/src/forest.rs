@@ -23,19 +23,29 @@ pub struct ForestConfig {
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        ForestConfig { n_trees: 1000, tree: TreeConfig::default(), mtry: 0, seed: 0 }
+        ForestConfig {
+            n_trees: 1000,
+            tree: TreeConfig::default(),
+            mtry: 0,
+            seed: 0,
+        }
     }
 }
 
 impl ForestConfig {
     /// A smaller forest for tests and quick benches.
     pub fn small(seed: u64) -> Self {
-        ForestConfig { n_trees: 60, tree: TreeConfig::default(), mtry: 0, seed }
+        ForestConfig {
+            n_trees: 60,
+            tree: TreeConfig::default(),
+            mtry: 0,
+            seed,
+        }
     }
 }
 
 /// A fitted random forest.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RandomForest {
     trees: Vec<RegressionTree>,
     importance: Vec<f64>,
@@ -47,7 +57,11 @@ impl RandomForest {
         assert!(!data.is_empty(), "cannot fit on an empty data set");
         let n = data.len();
         let d = data.dims();
-        let mtry = if cfg.mtry == 0 { d.div_ceil(3) } else { cfg.mtry };
+        let mtry = if cfg.mtry == 0 {
+            d.div_ceil(3)
+        } else {
+            cfg.mtry
+        };
         let trees: Vec<RegressionTree> = (0..cfg.n_trees)
             .into_par_iter()
             .map(|t| {
@@ -128,7 +142,13 @@ mod tests {
         // Pure bagging (mtry = d) so the comparison isolates variance
         // reduction, which is what lets the forest beat one deep tree on
         // noisy labels.
-        let forest = RandomForest::fit(&train, &ForestConfig { mtry: 3, ..ForestConfig::small(3) });
+        let forest = RandomForest::fit(
+            &train,
+            &ForestConfig {
+                mtry: 3,
+                ..ForestConfig::small(3)
+            },
+        );
         let e_tree = mean_relative_error(&tree.predict_all(&test.features), &test.targets);
         let e_forest = mean_relative_error(&forest.predict_all(&test.features), &test.targets);
         assert!(
@@ -150,7 +170,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let ds = ratio_data(200, 4);
-        let cfg = ForestConfig { n_trees: 16, ..ForestConfig::small(5) };
+        let cfg = ForestConfig {
+            n_trees: 16,
+            ..ForestConfig::small(5)
+        };
         let a = RandomForest::fit(&ds, &cfg);
         let b = RandomForest::fit(&ds, &cfg);
         let x = &ds.features[0];
@@ -161,7 +184,13 @@ mod tests {
     #[test]
     fn tree_count_matches_config() {
         let ds = ratio_data(100, 8);
-        let f = RandomForest::fit(&ds, &ForestConfig { n_trees: 12, ..ForestConfig::small(0) });
+        let f = RandomForest::fit(
+            &ds,
+            &ForestConfig {
+                n_trees: 12,
+                ..ForestConfig::small(0)
+            },
+        );
         assert_eq!(f.len(), 12);
         assert!(!f.is_empty());
     }

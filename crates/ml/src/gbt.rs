@@ -32,14 +32,24 @@ pub struct GbtConfig {
 
 impl Default for GbtConfig {
     fn default() -> Self {
-        GbtConfig { rounds: 300, learning_rate: 0.08, depth: 4, subsample: 0.8, seed: 0 }
+        GbtConfig {
+            rounds: 300,
+            learning_rate: 0.08,
+            depth: 4,
+            subsample: 0.8,
+            seed: 0,
+        }
     }
 }
 
 impl GbtConfig {
     /// A reduced configuration for tests.
     pub fn small(seed: u64) -> Self {
-        GbtConfig { rounds: 80, seed, ..GbtConfig::default() }
+        GbtConfig {
+            rounds: 80,
+            seed,
+            ..GbtConfig::default()
+        }
     }
 }
 
@@ -86,7 +96,11 @@ impl GradientBoost {
             }
             trees.push(tree);
         }
-        GradientBoost { base, learning_rate: cfg.learning_rate, trees }
+        GradientBoost {
+            base,
+            learning_rate: cfg.learning_rate,
+            trees,
+        }
     }
 
     /// Rounds actually fitted.
@@ -103,9 +117,7 @@ impl GradientBoost {
 
 impl Regressor for GradientBoost {
     fn predict(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 }
 
@@ -141,8 +153,20 @@ mod tests {
     #[test]
     fn more_rounds_fit_the_training_set_tighter() {
         let ds = wavy(400, 3);
-        let short = GradientBoost::fit(&ds, &GbtConfig { rounds: 10, ..GbtConfig::small(0) });
-        let long = GradientBoost::fit(&ds, &GbtConfig { rounds: 150, ..GbtConfig::small(0) });
+        let short = GradientBoost::fit(
+            &ds,
+            &GbtConfig {
+                rounds: 10,
+                ..GbtConfig::small(0)
+            },
+        );
+        let long = GradientBoost::fit(
+            &ds,
+            &GbtConfig {
+                rounds: 150,
+                ..GbtConfig::small(0)
+            },
+        );
         let e_short = mean_relative_error(&short.predict_all(&ds.features), &ds.targets);
         let e_long = mean_relative_error(&long.predict_all(&ds.features), &ds.targets);
         assert!(e_long < e_short, "{e_long:.4} !< {e_short:.4}");

@@ -33,8 +33,8 @@
 
 pub mod cv;
 pub mod data;
-pub mod gbt;
 pub mod forest;
+pub mod gbt;
 pub mod linreg;
 pub mod metrics;
 pub mod nn;

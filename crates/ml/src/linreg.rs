@@ -4,7 +4,7 @@ use crate::data::Dataset;
 use crate::Regressor;
 
 /// A fitted linear model `y = w · x + b`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LinearRegression {
     /// Per-feature weights.
     pub weights: Vec<f64>,
@@ -38,20 +38,17 @@ impl LinearRegression {
             r[i] += ridge.max(0.0);
         }
         let sol = solve(xtx, xty);
-        LinearRegression { weights: sol[..d].to_vec(), bias: sol[d] }
+        LinearRegression {
+            weights: sol[..d].to_vec(),
+            bias: sol[d],
+        }
     }
 }
 
 impl Regressor for LinearRegression {
     fn predict(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.weights.len());
-        self.bias
-            + self
-                .weights
-                .iter()
-                .zip(x)
-                .map(|(w, v)| w * v)
-                .sum::<f64>()
+        self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
     }
 }
 
@@ -95,7 +92,13 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         }
     }
     (0..n)
-        .map(|i| if a[i][i].abs() < 1e-12 { 0.0 } else { b[i] / a[i][i] })
+        .map(|i| {
+            if a[i][i].abs() < 1e-12 {
+                0.0
+            } else {
+                b[i] / a[i][i]
+            }
+        })
         .collect()
 }
 

@@ -41,7 +41,7 @@ impl Default for MlpConfig {
 }
 
 /// A trained one-hidden-layer perceptron with input standardisation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Mlp {
     w1: Vec<Vec<f64>>, // hidden x input
     b1: Vec<f64>,
@@ -119,7 +119,11 @@ impl Mlp {
         let mut hidden_buf = vec![0.0f64; h];
         for epoch in 0..cfg.epochs {
             // Step decay: fine-tune at lr/4 over the last 30% of training.
-            let lr = if epoch * 10 >= cfg.epochs * 7 { cfg.lr / 4.0 } else { cfg.lr };
+            let lr = if epoch * 10 >= cfg.epochs * 7 {
+                cfg.lr / 4.0
+            } else {
+                cfg.lr
+            };
             order.shuffle(&mut rng);
             for chunk in order.chunks(batch) {
                 t += 1;
@@ -131,8 +135,7 @@ impl Mlp {
                 for &i in chunk {
                     let x = &norm[i];
                     for (j, hb) in hidden_buf.iter_mut().enumerate() {
-                        let z: f64 =
-                            b1[j] + w1[j].iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+                        let z: f64 = b1[j] + w1[j].iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
                         *hb = z.max(0.0);
                     }
                     let pred: f64 =
@@ -171,7 +174,14 @@ impl Mlp {
             }
         }
 
-        Mlp { w1, b1, w2, b2, mean, std }
+        Mlp {
+            w1,
+            b1,
+            w2,
+            b2,
+            mean,
+            std,
+        }
     }
 }
 
@@ -186,7 +196,11 @@ impl Regressor for Mlp {
         let mut out = self.b2;
         for (j, w2j) in self.w2.iter().enumerate() {
             let z: f64 = self.b1[j]
-                + self.w1[j].iter().zip(&norm).map(|(w, v)| w * v).sum::<f64>();
+                + self.w1[j]
+                    .iter()
+                    .zip(&norm)
+                    .map(|(w, v)| w * v)
+                    .sum::<f64>();
             out += w2j * z.max(0.0);
         }
         out
@@ -206,7 +220,13 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..300).map(|_| vec![rng.gen_range(0.0..2.0)]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x[0] + 1.0).collect();
         let ds = Dataset::new(vec!["x".into()], xs, ys);
-        let m = Mlp::fit(&ds, &MlpConfig { epochs: 300, ..MlpConfig::default() });
+        let m = Mlp::fit(
+            &ds,
+            &MlpConfig {
+                epochs: 300,
+                ..MlpConfig::default()
+            },
+        );
         let preds = m.predict_all(&ds.features);
         assert!(mean_relative_error(&preds, &ds.targets) < 0.03);
     }
@@ -218,9 +238,19 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..800)
             .map(|_| vec![rng.gen_range(1.0..10.0), rng.gen_range(1.0..10.0)])
             .collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 0.3 * (x[0] / (x[0] + x[1]))).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.0 + 0.3 * (x[0] / (x[0] + x[1])))
+            .collect();
         let ds = Dataset::new(vec!["a".into(), "b".into()], xs, ys);
-        let m = Mlp::fit(&ds, &MlpConfig { epochs: 500, seed: 1, ..MlpConfig::default() });
+        let m = Mlp::fit(
+            &ds,
+            &MlpConfig {
+                epochs: 500,
+                seed: 1,
+                ..MlpConfig::default()
+            },
+        );
         let preds = m.predict_all(&ds.features);
         assert!(
             mean_relative_error(&preds, &ds.targets) < 0.05,
@@ -234,7 +264,10 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![f64::from(i)]).collect();
         let ys: Vec<f64> = (0..64).map(|i| f64::from(i) * 0.1).collect();
         let ds = Dataset::new(vec!["x".into()], xs, ys);
-        let cfg = MlpConfig { epochs: 50, ..MlpConfig::default() };
+        let cfg = MlpConfig {
+            epochs: 50,
+            ..MlpConfig::default()
+        };
         let a = Mlp::fit(&ds, &cfg);
         let b = Mlp::fit(&ds, &cfg);
         assert_eq!(a.predict(&[5.0]), b.predict(&[5.0]));
@@ -245,7 +278,13 @@ mod tests {
         let xs = vec![vec![3.0, 1.0]; 40];
         let ys = vec![1.2; 40];
         let ds = Dataset::new(vec!["a".into(), "b".into()], xs, ys);
-        let m = Mlp::fit(&ds, &MlpConfig { epochs: 30, ..MlpConfig::default() });
+        let m = Mlp::fit(
+            &ds,
+            &MlpConfig {
+                epochs: 30,
+                ..MlpConfig::default()
+            },
+        );
         let p = m.predict(&[3.0, 1.0]);
         assert!(p.is_finite());
         assert!((p - 1.2).abs() < 0.2);

@@ -19,18 +19,27 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: 20, min_samples_leaf: 2, min_samples_split: 4 }
+        TreeConfig {
+            max_depth: 20,
+            min_samples_leaf: 2,
+            min_samples_split: 4,
+        }
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 enum Node {
     Leaf(f64),
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// A fitted regression tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RegressionTree {
     nodes: Vec<Node>,
     importance: Vec<f64>,
@@ -121,7 +130,10 @@ impl RegressionTree {
             let mut sum_left = 0.0;
             let mut sq_left = 0.0;
             let total_sum: f64 = sorted.iter().map(|&i| data.targets[i]).sum();
-            let total_sq: f64 = sorted.iter().map(|&i| data.targets[i] * data.targets[i]).sum();
+            let total_sq: f64 = sorted
+                .iter()
+                .map(|&i| data.targets[i] * data.targets[i])
+                .sum();
             for k in 0..n - 1 {
                 let y = data.targets[sorted[k]];
                 sum_left += y;
@@ -155,7 +167,12 @@ impl RegressionTree {
             .partition(|&i| data.features[i][feature] <= threshold);
         let left = self.build(data, left_rows, cfg, mtry, rng, depth + 1);
         let right = self.build(data, right_rows, cfg, mtry, rng, depth + 1);
-        self.nodes[node_id] = Node::Split { feature, threshold, left, right };
+        self.nodes[node_id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         node_id
     }
 }
@@ -166,8 +183,17 @@ impl Regressor for RegressionTree {
         loop {
             match &self.nodes[id] {
                 Node::Leaf(v) => return *v,
-                Node::Split { feature, threshold, left, right } => {
-                    id = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -186,7 +212,10 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..n)
             .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
             .collect();
-        let ys: Vec<f64> = xs.iter().map(|x| if x[0] < 0.5 { 1.0 } else { 2.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] < 0.5 { 1.0 } else { 2.0 })
+            .collect();
         Dataset::new(vec!["signal".into(), "noise".into()], xs, ys)
     }
 
@@ -213,7 +242,10 @@ mod tests {
         let ds = step_data(400);
         let stump = RegressionTree::fit(
             &ds,
-            &TreeConfig { max_depth: 1, ..TreeConfig::default() },
+            &TreeConfig {
+                max_depth: 1,
+                ..TreeConfig::default()
+            },
         );
         // One split, two leaves.
         assert!(stump.node_count() <= 3);
@@ -222,7 +254,13 @@ mod tests {
     #[test]
     fn zero_depth_is_a_mean_leaf() {
         let ds = step_data(100);
-        let t = RegressionTree::fit(&ds, &TreeConfig { max_depth: 0, ..TreeConfig::default() });
+        let t = RegressionTree::fit(
+            &ds,
+            &TreeConfig {
+                max_depth: 0,
+                ..TreeConfig::default()
+            },
+        );
         let mean = ds.targets.iter().sum::<f64>() / ds.len() as f64;
         assert!((t.predict(&[0.1, 0.1]) - mean).abs() < 1e-12);
         assert!(t.feature_importance().iter().all(|&v| v == 0.0));
@@ -242,7 +280,11 @@ mod tests {
         let ds = step_data(20);
         let t = RegressionTree::fit(
             &ds,
-            &TreeConfig { min_samples_leaf: 10, max_depth: 20, min_samples_split: 2 },
+            &TreeConfig {
+                min_samples_leaf: 10,
+                max_depth: 20,
+                min_samples_split: 2,
+            },
         );
         // With 20 samples and 10-per-leaf, only one split is possible.
         assert!(t.node_count() <= 3);

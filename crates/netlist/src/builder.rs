@@ -35,7 +35,9 @@ impl NetlistBuilder {
 
     /// Add a combinational LUT with `inputs` used inputs (clamped to 1..=6).
     pub fn lut(&mut self, inputs: u8) -> CellId {
-        self.push(CellKind::Lut { inputs: inputs.clamp(1, 6) })
+        self.push(CellKind::Lut {
+            inputs: inputs.clamp(1, 6),
+        })
     }
 
     /// Add a flip-flop steered by `cs`.
@@ -80,14 +82,20 @@ impl NetlistBuilder {
     /// Wire a net from `driver` to `sinks`.
     pub fn connect(&mut self, driver: CellId, sinks: &[CellId]) -> NetId {
         let id = NetId(self.nets.len() as u32);
-        self.nets.push(Net { driver: Some(driver), sinks: sinks.to_vec() });
+        self.nets.push(Net {
+            driver: Some(driver),
+            sinks: sinks.to_vec(),
+        });
         id
     }
 
     /// Wire a primary-input net (no driving cell) to `sinks`.
     pub fn input_net(&mut self, sinks: &[CellId]) -> NetId {
         let id = NetId(self.nets.len() as u32);
-        self.nets.push(Net { driver: None, sinks: sinks.to_vec() });
+        self.nets.push(Net {
+            driver: None,
+            sinks: sinks.to_vec(),
+        });
         id
     }
 

@@ -29,12 +29,20 @@ pub struct ControlSet {
 impl ControlSet {
     /// Construct a control set from its three signal ids.
     pub const fn new(clock: u16, reset: u16, enable: u16) -> Self {
-        ControlSet { clock, reset, enable }
+        ControlSet {
+            clock,
+            reset,
+            enable,
+        }
     }
 
     /// The default single-clock, no-reset, no-enable control set.
     pub const fn basic() -> Self {
-        ControlSet { clock: 0, reset: 0, enable: 0 }
+        ControlSet {
+            clock: 0,
+            reset: 0,
+            enable: 0,
+        }
     }
 }
 
@@ -130,8 +138,15 @@ mod tests {
     #[test]
     fn combinational_classification() {
         assert!(CellKind::Lut { inputs: 6 }.is_combinational());
-        assert!(CellKind::Carry { chain: 0, position: 0 }.is_combinational());
-        assert!(!CellKind::Ff { cs: ControlSet::basic() }.is_combinational());
+        assert!(CellKind::Carry {
+            chain: 0,
+            position: 0
+        }
+        .is_combinational());
+        assert!(!CellKind::Ff {
+            cs: ControlSet::basic()
+        }
+        .is_combinational());
         assert!(!CellKind::Dsp.is_combinational());
     }
 
@@ -151,7 +166,11 @@ mod tests {
         assert!(CellKind::LutRam { cs }.uses_lut_site());
         assert!(CellKind::Srl { cs }.uses_lut_site());
         assert!(!CellKind::Ff { cs }.uses_lut_site());
-        assert!(!CellKind::Carry { chain: 0, position: 0 }.uses_lut_site());
+        assert!(!CellKind::Carry {
+            chain: 0,
+            position: 0
+        }
+        .uses_lut_site());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::netlist::Netlist;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Post-synthesis resource demand of a module, in primitive units.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ResourceCounts {
     /// LUTs used as combinational logic.
     pub luts: u32,
@@ -56,7 +56,11 @@ impl ResourceCounts {
 }
 
 /// Everything the flow derives from a netlist in one pass.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so the statistics can travel as a service payload: the
+/// `tms-serve` `estimate` endpoint predicts a CF from a `NetlistStats`
+/// value alone, without shipping the netlist itself.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct NetlistStats {
     /// Primitive resource demand.
     pub counts: ResourceCounts,

@@ -14,12 +14,20 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(400);
-    let cfg = SweepConfig { target_modules: n, max_luts: 5_000, min_luts: 2 };
+    let cfg = SweepConfig {
+        target_modules: n,
+        max_luts: 5_000,
+        min_luts: 2,
+    };
     let modules = standard_sweep(&cfg, 2024);
     let dev = Device::xc7z020();
     let gen = PBlockGenerator::new(&dev, true);
     let model = PlacementModel::default();
-    let search = CfSearch { start: 0.5, step: 0.02, max: 3.0 };
+    let search = CfSearch {
+        start: 0.5,
+        step: 0.02,
+        max: 3.0,
+    };
 
     let results: Vec<(String, &'static str, u32, f64)> = modules
         .par_iter()
@@ -39,7 +47,7 @@ fn main() {
         })
         .collect();
 
-    let mut hist = vec![0u32; 40];
+    let mut hist = [0u32; 40];
     for (_, _, _, cf) in &results {
         let b = (((cf - 0.5) / 0.05) as usize).min(39);
         hist[b] += 1;
@@ -48,7 +56,13 @@ fn main() {
     for (i, c) in hist.iter().enumerate() {
         if *c > 0 {
             let lo = 0.5 + i as f64 * 0.05;
-            println!("cf [{:.2},{:.2}): {:4} {}", lo, lo + 0.05, c, "#".repeat((*c as usize).min(80)));
+            println!(
+                "cf [{:.2},{:.2}): {:4} {}",
+                lo,
+                lo + 0.05,
+                c,
+                "#".repeat((*c as usize).min(80))
+            );
         }
     }
     // Per-family medians.
@@ -77,6 +91,11 @@ fn main() {
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!("mean cf small(<300 luts)={:.3} n={}, large(>2000)={:.3} n={}",
-        mean(&small), small.len(), mean(&large), large.len());
+    println!(
+        "mean cf small(<300 luts)={:.3} n={}, large(>2000)={:.3} n={}",
+        mean(&small),
+        small.len(),
+        mean(&large),
+        large.len()
+    );
 }

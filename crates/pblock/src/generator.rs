@@ -1,6 +1,8 @@
 //! The Figure-1 PBlock generator.
 
-use tms_device::{ColumnKind, ColumnSignature, Device, Rect, SliceCapacity, RAMB36_ROWS, DSP48_ROWS};
+use tms_device::{
+    ColumnKind, ColumnSignature, Device, Rect, SliceCapacity, DSP48_ROWS, RAMB36_ROWS,
+};
 use tms_place::ShapeReport;
 
 /// A concrete rectangular area constraint for one module's implementation.
@@ -50,7 +52,13 @@ impl Prefix {
             dsp_cols[i + 1] = dsp_cols[i] + u32::from(col.kind == ColumnKind::Dsp);
             clock_cols[i + 1] = clock_cols[i] + u32::from(col.kind == ColumnKind::Clock);
         }
-        Prefix { l, m, bram_cols, dsp_cols, clock_cols }
+        Prefix {
+            l,
+            m,
+            bram_cols,
+            dsp_cols,
+            clock_cols,
+        }
     }
 
     /// Capacity of the window `[x0, x0+w) × [0, h)`.
@@ -78,7 +86,11 @@ pub struct PBlockGenerator<'d> {
 impl<'d> PBlockGenerator<'d> {
     /// Create a generator for `device`.
     pub fn new(device: &'d Device, use_shape_report: bool) -> Self {
-        PBlockGenerator { device, prefix: Prefix::build(device), use_shape_report }
+        PBlockGenerator {
+            device,
+            prefix: Prefix::build(device),
+            use_shape_report,
+        }
     }
 
     /// The device PBlocks are generated on.
@@ -168,7 +180,13 @@ impl<'d> PBlockGenerator<'d> {
     fn freeze(&self, rect: Rect, cf: f64, target: u32) -> Option<PBlock> {
         let capacity = self.device.capacity_in(&rect);
         let signature = self.device.signature(rect.x, rect.w);
-        Some(PBlock { rect, signature, capacity, cf, target_slices: target })
+        Some(PBlock {
+            rect,
+            signature,
+            capacity,
+            cf,
+            target_slices: target,
+        })
     }
 }
 

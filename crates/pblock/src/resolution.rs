@@ -36,7 +36,11 @@ pub fn resolution_study(
     steps
         .iter()
         .map(|&step| {
-            let search = CfSearch { start: 0.9, step, max: 3.0 };
+            let search = CfSearch {
+                start: 0.9,
+                step,
+                max: 3.0,
+            };
             match min_feasible_cf(gen, stats, packing, shape, model, &search, seed) {
                 Some(r) => ResolutionPoint {
                     step,
@@ -44,7 +48,12 @@ pub fn resolution_study(
                     pblock_slices: Some(r.pblock.capacity.slices()),
                     attempts: r.attempts,
                 },
-                None => ResolutionPoint { step, found_cf: None, pblock_slices: None, attempts: 0 },
+                None => ResolutionPoint {
+                    step,
+                    found_cf: None,
+                    pblock_slices: None,
+                    attempts: 0,
+                },
             }
         })
         .collect()
@@ -61,11 +70,7 @@ mod tests {
     use tms_place::quick_place;
     use tms_synth::pack;
 
-    fn prepared(
-        luts: u32,
-        ffs: u32,
-        ncs: u16,
-    ) -> (NetlistStats, PackingReport, ShapeReport) {
+    fn prepared(luts: u32, ffs: u32, ncs: u16) -> (NetlistStats, PackingReport, ShapeReport) {
         let mut b = NetlistBuilder::new("r");
         for _ in 0..luts {
             b.lut(6);

@@ -19,7 +19,11 @@ pub struct CfSearch {
 
 impl Default for CfSearch {
     fn default() -> Self {
-        CfSearch { start: 0.9, step: 0.02, max: 3.0 }
+        CfSearch {
+            start: 0.9,
+            step: 0.02,
+            max: 3.0,
+        }
     }
 }
 
@@ -27,7 +31,11 @@ impl CfSearch {
     /// The wider search the cnvW1A1 analysis uses (Figure 4 shows minimal
     /// CFs below 0.7, so labelling starts lower than 0.9).
     pub fn wide() -> Self {
-        CfSearch { start: 0.5, step: 0.02, max: 3.0 }
+        CfSearch {
+            start: 0.5,
+            step: 0.02,
+            max: 3.0,
+        }
     }
 }
 
@@ -79,7 +87,12 @@ pub fn min_feasible_cf(
     for i in 0..=steps {
         let cf = search.start + f64::from(i) * search.step;
         if let Ok((pblock, placement)) = attempt(gen, stats, packing, shape, model, cf, seed) {
-            return Some(CfResult { cf, pblock, placement, attempts: i + 1 });
+            return Some(CfResult {
+                cf,
+                pblock,
+                placement,
+                attempts: i + 1,
+            });
         }
     }
     None
@@ -118,10 +131,15 @@ pub fn guided_search(
     const COARSE: f64 = 0.1;
     const FINE: f64 = 0.02;
     let mut attempts = 1;
-    if let Ok((pblock, placement)) =
-        attempt(gen, stats, packing, shape, model, predicted_cf, seed)
+    if let Ok((pblock, placement)) = attempt(gen, stats, packing, shape, model, predicted_cf, seed)
     {
-        return Some(GuidedResult { cf: predicted_cf, pblock, placement, attempts, first_try: true });
+        return Some(GuidedResult {
+            cf: predicted_cf,
+            pblock,
+            placement,
+            attempts,
+            first_try: true,
+        });
     }
     // Coarse ascent.
     let mut lo = predicted_cf;
@@ -192,8 +210,16 @@ mod tests {
             }
         });
         let model = PlacementModel::deterministic();
-        let r = min_feasible_cf(&gen, &stats, &packing, &shape, &model, &CfSearch::default(), 1)
-            .expect("feasible");
+        let r = min_feasible_cf(
+            &gen,
+            &stats,
+            &packing,
+            &shape,
+            &model,
+            &CfSearch::default(),
+            1,
+        )
+        .expect("feasible");
         assert!((0.9..=2.0).contains(&r.cf), "cf = {}", r.cf);
         // One attempt per step up to the found CF.
         let expected = ((r.cf - 0.9) / 0.02).round() as u32 + 1;
@@ -256,15 +282,32 @@ mod tests {
             }
         });
         let model = PlacementModel::deterministic();
-        let min =
-            min_feasible_cf(&gen, &stats, &packing, &shape, &model, &CfSearch::default(), 1)
-                .unwrap();
+        let min = min_feasible_cf(
+            &gen,
+            &stats,
+            &packing,
+            &shape,
+            &model,
+            &CfSearch::default(),
+            1,
+        )
+        .unwrap();
         // Predict clearly below the minimum.
         let predicted = (min.cf - 0.3).max(0.1);
         let r = guided_search(&gen, &stats, &packing, &shape, &model, predicted, 3.0, 1).unwrap();
         assert!(!r.first_try);
-        assert!(r.cf >= min.cf - 0.021, "guided cf {} << min {}", r.cf, min.cf);
-        assert!(r.cf <= min.cf + 0.1 + 1e-9, "guided cf {} too loose vs {}", r.cf, min.cf);
+        assert!(
+            r.cf >= min.cf - 0.021,
+            "guided cf {} << min {}",
+            r.cf,
+            min.cf
+        );
+        assert!(
+            r.cf <= min.cf + 0.1 + 1e-9,
+            "guided cf {} too loose vs {}",
+            r.cf,
+            min.cf
+        );
         assert!(r.attempts >= 2);
     }
 
@@ -279,7 +322,13 @@ mod tests {
         });
         let model = PlacementModel::deterministic();
         assert!(min_feasible_cf(
-            &gen, &stats, &packing, &shape, &model, &CfSearch::default(), 1
+            &gen,
+            &stats,
+            &packing,
+            &shape,
+            &model,
+            &CfSearch::default(),
+            1
         )
         .is_none());
         assert!(guided_search(&gen, &stats, &packing, &shape, &model, 1.0, 3.0, 1).is_none());
@@ -306,7 +355,11 @@ mod tests {
             &packing,
             &shape,
             &model,
-            &CfSearch { start: 0.9, step: 0.02, max: 3.0 },
+            &CfSearch {
+                start: 0.9,
+                step: 0.02,
+                max: 3.0,
+            },
             1,
         )
         .unwrap();

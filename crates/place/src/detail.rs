@@ -113,7 +113,10 @@ pub fn place_in_region(
     // each offering `region.h` vertically contiguous slices.
     if let Some(&tallest) = packing.chain_slices.first() {
         if tallest > region.h {
-            return Err(PlaceError::ChainTooTall { chain: tallest, height: region.h });
+            return Err(PlaceError::ChainTooTall {
+                chain: tallest,
+                height: region.h,
+            });
         }
         let clb_cols = (region.x..region.right())
             .filter(|&x| device.column(x).kind.is_clb())
@@ -165,8 +168,8 @@ pub fn place_in_region(
         return Err(PlaceError::Congested { congestion });
     }
 
-    let used = ((s_occ * (1.0 + model.spread_alpha * (1.0 - u))).ceil() as u32)
-        .min(capacity.slices());
+    let used =
+        ((s_occ * (1.0 + model.spread_alpha * (1.0 - u))).ceil() as u32).min(capacity.slices());
     Ok(Placement {
         region: *region,
         capacity,
@@ -203,7 +206,14 @@ mod tests {
         region: Rect,
     ) -> Result<Placement, PlaceError> {
         let dev = Device::xc7z020();
-        place_in_region(stats, packing, &dev, &region, &PlacementModel::deterministic(), 7)
+        place_in_region(
+            stats,
+            packing,
+            &dev,
+            &region,
+            &PlacementModel::deterministic(),
+            7,
+        )
     }
 
     #[test]
@@ -225,7 +235,10 @@ mod tests {
             }
         });
         let err = try_place(&m, Rect::new(0, 0, 4, 4)).unwrap_err();
-        assert!(matches!(err, PlaceError::InsufficientResources { .. }), "{err}");
+        assert!(
+            matches!(err, PlaceError::InsufficientResources { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -243,7 +256,10 @@ mod tests {
             })
             .unwrap();
         let err = try_place(&m, Rect::new(x, 0, 2, 10)).unwrap_err();
-        assert!(matches!(err, PlaceError::InsufficientResources { .. }), "{err}");
+        assert!(
+            matches!(err, PlaceError::InsufficientResources { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -252,7 +268,13 @@ mod tests {
             b.carry_chain(40); // 10 slices tall
         });
         let err = try_place(&m, Rect::new(0, 0, 8, 8)).unwrap_err();
-        assert_eq!(err, PlaceError::ChainTooTall { chain: 10, height: 8 });
+        assert_eq!(
+            err,
+            PlaceError::ChainTooTall {
+                chain: 10,
+                height: 8
+            }
+        );
         // A region tall enough succeeds.
         assert!(try_place(&m, Rect::new(0, 0, 4, 12)).is_ok());
     }
@@ -304,7 +326,13 @@ mod tests {
         let loose = try_place(&m, Rect::new(0, 0, side * 2, side * 2));
         assert!(loose.is_ok(), "loose failed: {loose:?}");
         if let Err(e) = tight {
-            assert!(matches!(e, PlaceError::Congested { .. } | PlaceError::InsufficientResources { .. }), "{e}");
+            assert!(
+                matches!(
+                    e,
+                    PlaceError::Congested { .. } | PlaceError::InsufficientResources { .. }
+                ),
+                "{e}"
+            );
         } else {
             // If even the tight region routed, congestion must be higher.
             assert!(tight.unwrap().congestion > loose.unwrap().congestion);
@@ -354,8 +382,7 @@ mod tests {
         let model = PlacementModel::deterministic();
         let mut feasible_seen = false;
         for w in 4..40 {
-            let ok =
-                place_in_region(&m.0, &m.1, &dev, &Rect::new(0, 0, w, 20), &model, 3).is_ok();
+            let ok = place_in_region(&m.0, &m.1, &dev, &Rect::new(0, 0, w, 20), &model, 3).is_ok();
             if feasible_seen {
                 assert!(ok, "feasibility regressed at width {w}");
             }

@@ -73,9 +73,11 @@ pub fn flat_place(
     let mut total_used: u64 = 0;
     for m in modules {
         for inst in 0..m.instances {
-            let key = name_hash(&m.name) ^ u64::from(inst).wrapping_mul(0xA24B_AED4_963E_E407) ^ seed;
+            let key =
+                name_hash(&m.name) ^ u64::from(inst).wrapping_mul(0xA24B_AED4_963E_E407) ^ seed;
             let jitter = model.jitter(key);
-            let used = (f64::from(m.packing.required_slices) * FLAT_OVERHEAD * jitter).round() as u32;
+            let used =
+                (f64::from(m.packing.required_slices) * FLAT_OVERHEAD * jitter).round() as u32;
             let used = used.max(m.packing.required_slices.min(1));
             per_instance_used.push((m.name.clone(), inst, used));
             total_used += u64::from(used);

@@ -49,7 +49,10 @@ impl PlacementModel {
     /// A noise-free variant for tests that need exact reproducibility
     /// across seeds.
     pub fn deterministic() -> Self {
-        PlacementModel { noise: 0.0, ..PlacementModel::default() }
+        PlacementModel {
+            noise: 0.0,
+            ..PlacementModel::default()
+        }
     }
 
     /// Detour factor at utilisation `u` (clamped just below 1).

@@ -59,7 +59,11 @@ impl ChannelGrid {
     /// at or beyond capacity.
     pub fn cost(&self, x: u32, y: u32, horizontal: bool, pressure: f64) -> f64 {
         let u = self.cells[self.idx(x, y)];
-        let (used, cap) = if horizontal { (u.h, self.h_cap) } else { (u.v, self.v_cap) };
+        let (used, cap) = if horizontal {
+            (u.h, self.h_cap)
+        } else {
+            (u.v, self.v_cap)
+        };
         let over = (used + 1).saturating_sub(cap) as f64;
         1.0 + u.history + pressure * over * over
     }
@@ -124,7 +128,10 @@ impl ChannelGrid {
     /// Number of overused cells.
     pub fn overflow_count(&self) -> usize {
         let (h_cap, v_cap) = (self.h_cap, self.v_cap);
-        self.cells.iter().filter(|c| c.h > h_cap || c.v > v_cap).count()
+        self.cells
+            .iter()
+            .filter(|c| c.h > h_cap || c.v > v_cap)
+            .count()
     }
 
     /// Peak utilisation over all cells: `max(used / cap)` per direction.

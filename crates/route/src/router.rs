@@ -73,12 +73,7 @@ struct Connection {
 /// Pins are spread along the macro's perimeter (as placed-and-routed macros
 /// expose their ports), so heavily connected blocks do not funnel every
 /// track through one cell.
-fn pin_of(
-    problem: &StitchProblem,
-    placed: &StitchResult,
-    inst: u32,
-    k: u32,
-) -> Option<(u32, u32)> {
+fn pin_of(problem: &StitchProblem, placed: &StitchResult, inst: u32, k: u32) -> Option<(u32, u32)> {
     placed.positions[inst as usize].map(|(x, y)| {
         let b = problem.block_of(inst);
         let (w, h) = (b.width.max(1), b.height.max(1));
@@ -121,7 +116,9 @@ fn z_path(a: (u32, u32), b: (u32, u32), xm: u32) -> Vec<Step> {
 
 /// Cost of a candidate path under the current grid state.
 fn path_cost(grid: &ChannelGrid, path: &[Step], pressure: f64) -> f64 {
-    path.iter().map(|&(x, y, h)| grid.cost(x, y, h, pressure)).sum()
+    path.iter()
+        .map(|&(x, y, h)| grid.cost(x, y, h, pressure))
+        .sum()
 }
 
 fn occupy_path(grid: &mut ChannelGrid, path: &[Step], tracks: u32) {
@@ -209,7 +206,12 @@ pub fn route_stitched(
         pins.sort_unstable_by_key(|&(x, y)| (x, y));
         let tracks = (net.weight.round() as u32).clamp(1, 8);
         for pair in pins.windows(2) {
-            connections.push(Connection { a: pair[0], b: pair[1], tracks, path: Vec::new() });
+            connections.push(Connection {
+                a: pair[0],
+                b: pair[1],
+                tracks,
+                path: Vec::new(),
+            });
         }
     }
 
@@ -223,8 +225,7 @@ pub fn route_stitched(
     while grid.overflow_count() > 0 && iterations < cfg.max_iterations {
         grid.accumulate_history(cfg.history_increment);
         for conn in &mut connections {
-            let through_overuse =
-                conn.path.iter().any(|&(x, y, _)| grid.overused(x, y));
+            let through_overuse = conn.path.iter().any(|&(x, y, _)| grid.overused(x, y));
             if through_overuse {
                 let old_path = std::mem::take(&mut conn.path);
                 release_path(&mut grid, &old_path, conn.tracks);
@@ -280,7 +281,11 @@ mod tests {
     fn simple_design_routes_fully() {
         let (dev, p, r) = placed_chain(20, 4.0, 1);
         let report = route_stitched(&dev, &p, &r, &RouterConfig::default());
-        assert!(report.fully_routed, "overflow = {}", report.overflowed_cells);
+        assert!(
+            report.fully_routed,
+            "overflow = {}",
+            report.overflowed_cells
+        );
         assert_eq!(report.routed_connections, 19);
         assert!(report.total_wirelength > 0);
         assert!(report.peak_utilization <= 1.0);
@@ -301,7 +306,11 @@ mod tests {
     #[test]
     fn scarce_channels_force_negotiation() {
         let (dev, p, r) = placed_chain(60, 8.0, 2);
-        let scarce = RouterConfig { h_cap: 2, v_cap: 2, ..RouterConfig::default() };
+        let scarce = RouterConfig {
+            h_cap: 2,
+            v_cap: 2,
+            ..RouterConfig::default()
+        };
         let report = route_stitched(&dev, &p, &r, &scarce);
         assert!(report.iterations > 1, "should need negotiation");
         let roomy = route_stitched(&dev, &p, &r, &RouterConfig::default());

@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn chain_per_term_plus_accumulator() {
-        let p = CarryParams { data_width: 8, terms: 4 };
+        let p = CarryParams {
+            data_width: 8,
+            terms: 4,
+        };
         let s = p.generate(0).stats();
         assert_eq!(s.carry_chains.len(), 5);
         // Term chains are 16 bits; the accumulator is wider.
@@ -81,27 +84,61 @@ mod tests {
 
     #[test]
     fn carry_bits_grow_with_width() {
-        let narrow = CarryParams { data_width: 4, terms: 2 }.generate(0).stats();
-        let wide = CarryParams { data_width: 16, terms: 2 }.generate(0).stats();
+        let narrow = CarryParams {
+            data_width: 4,
+            terms: 2,
+        }
+        .generate(0)
+        .stats();
+        let wide = CarryParams {
+            data_width: 16,
+            terms: 2,
+        }
+        .generate(0)
+        .stats();
         assert!(wide.counts.carry_bits > narrow.counts.carry_bits);
         assert!(wide.counts.luts > narrow.counts.luts);
     }
 
     #[test]
     fn single_control_set() {
-        let s = CarryParams { data_width: 8, terms: 3 }.generate(0).stats();
+        let s = CarryParams {
+            data_width: 8,
+            terms: 3,
+        }
+        .generate(0)
+        .stats();
         assert_eq!(s.control_sets, 1);
     }
 
     #[test]
     fn acc_width_accounts_for_term_growth() {
-        assert_eq!(CarryParams { data_width: 8, terms: 1 }.acc_width(), 17);
-        assert_eq!(CarryParams { data_width: 8, terms: 4 }.acc_width(), 19);
+        assert_eq!(
+            CarryParams {
+                data_width: 8,
+                terms: 1
+            }
+            .acc_width(),
+            17
+        );
+        assert_eq!(
+            CarryParams {
+                data_width: 8,
+                terms: 4
+            }
+            .acc_width(),
+            19
+        );
     }
 
     #[test]
     fn minimum_sizes_are_safe() {
-        let s = CarryParams { data_width: 0, terms: 0 }.generate(0).stats();
+        let s = CarryParams {
+            data_width: 0,
+            terms: 0,
+        }
+        .generate(0)
+        .stats();
         assert!(s.counts.carry_bits >= 2);
         assert!(s.counts.ffs >= 2);
     }

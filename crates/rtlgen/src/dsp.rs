@@ -76,7 +76,11 @@ mod tests {
 
     #[test]
     fn dsp_and_bram_counts() {
-        let p = DspPipeParams { lanes: 8, stages: 2, coeffs: 512 };
+        let p = DspPipeParams {
+            lanes: 8,
+            stages: 2,
+            coeffs: 512,
+        };
         let s = p.generate(0).stats();
         assert_eq!(s.counts.dsp48, 8);
         assert_eq!(s.counts.bram36, p.bram_count());
@@ -86,7 +90,11 @@ mod tests {
 
     #[test]
     fn tiny_pipe_still_has_one_bram() {
-        let p = DspPipeParams { lanes: 1, stages: 0, coeffs: 16 };
+        let p = DspPipeParams {
+            lanes: 1,
+            stages: 0,
+            coeffs: 16,
+        };
         let s = p.generate(1).stats();
         assert_eq!(s.counts.bram36, 1);
         assert_eq!(s.counts.dsp48, 1);
@@ -95,13 +103,21 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let p = DspPipeParams { lanes: 4, stages: 3, coeffs: 256 };
+        let p = DspPipeParams {
+            lanes: 4,
+            stages: 3,
+            coeffs: 256,
+        };
         assert_eq!(p.generate(9).stats(), p.generate(9).stats());
     }
 
     #[test]
     fn family_label() {
-        let p = DspPipeParams { lanes: 1, stages: 1, coeffs: 1 };
+        let p = DspPipeParams {
+            lanes: 1,
+            stages: 1,
+            coeffs: 1,
+        };
         assert_eq!(p.family(), GeneratorKind::DspPipe);
         assert_eq!(GeneratorKind::DspPipe.label(), "dsp");
     }

@@ -72,7 +72,13 @@ mod tests {
 
     #[test]
     fn mixes_all_four_resource_classes() {
-        let s = LfsrParams { width: 32, instances: 3, srl_taps: 5 }.generate(0).stats();
+        let s = LfsrParams {
+            width: 32,
+            instances: 3,
+            srl_taps: 5,
+        }
+        .generate(0)
+        .stats();
         assert!(s.counts.ffs > 0);
         assert!(s.counts.luts > 0);
         assert!(s.counts.carry_bits > 0);
@@ -81,29 +87,65 @@ mod tests {
 
     #[test]
     fn instance_scaling() {
-        let one = LfsrParams { width: 16, instances: 1, srl_taps: 2 }.generate(0).stats();
-        let four = LfsrParams { width: 16, instances: 4, srl_taps: 2 }.generate(0).stats();
+        let one = LfsrParams {
+            width: 16,
+            instances: 1,
+            srl_taps: 2,
+        }
+        .generate(0)
+        .stats();
+        let four = LfsrParams {
+            width: 16,
+            instances: 4,
+            srl_taps: 2,
+        }
+        .generate(0)
+        .stats();
         assert_eq!(four.counts.ffs, 4 * one.counts.ffs);
         assert_eq!(four.carry_chains.len(), 4);
     }
 
     #[test]
     fn srl_taps_control_m_demand() {
-        let none = LfsrParams { width: 16, instances: 2, srl_taps: 0 }.generate(0).stats();
-        let some = LfsrParams { width: 16, instances: 2, srl_taps: 8 }.generate(0).stats();
+        let none = LfsrParams {
+            width: 16,
+            instances: 2,
+            srl_taps: 0,
+        }
+        .generate(0)
+        .stats();
+        let some = LfsrParams {
+            width: 16,
+            instances: 2,
+            srl_taps: 8,
+        }
+        .generate(0)
+        .stats();
         assert_eq!(none.counts.srls, 0);
         assert_eq!(some.counts.srls, 16);
     }
 
     #[test]
     fn feedback_creates_logic() {
-        let s = LfsrParams { width: 8, instances: 1, srl_taps: 0 }.generate(0).stats();
+        let s = LfsrParams {
+            width: 8,
+            instances: 1,
+            srl_taps: 0,
+        }
+        .generate(0)
+        .stats();
         assert!(s.counts.luts >= 1);
     }
 
     #[test]
     fn control_sets_rotate_over_instances() {
-        let s = LfsrParams { width: 8, instances: 8, srl_taps: 0 }.generate(0).stats();
+        let s = LfsrParams {
+            width: 8,
+            instances: 8,
+            srl_taps: 0,
+        }
+        .generate(0)
+        .stats();
         assert_eq!(s.control_sets, 4);
     }
 }

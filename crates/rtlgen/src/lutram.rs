@@ -78,14 +78,33 @@ mod tests {
 
     #[test]
     fn lutram_count_formula() {
-        assert_eq!(LutRamParams { width: 8, depth: 64 }.lutram_count(), 8);
-        assert_eq!(LutRamParams { width: 8, depth: 65 }.lutram_count(), 16);
+        assert_eq!(
+            LutRamParams {
+                width: 8,
+                depth: 64
+            }
+            .lutram_count(),
+            8
+        );
+        assert_eq!(
+            LutRamParams {
+                width: 8,
+                depth: 65
+            }
+            .lutram_count(),
+            16
+        );
         assert_eq!(LutRamParams { width: 1, depth: 1 }.lutram_count(), 1);
     }
 
     #[test]
     fn no_registers_at_all() {
-        let s = LutRamParams { width: 16, depth: 256 }.generate(0).stats();
+        let s = LutRamParams {
+            width: 16,
+            depth: 256,
+        }
+        .generate(0)
+        .stats();
         assert_eq!(s.counts.ffs, 0);
         assert_eq!(s.counts.lutram_luts, 16 * 4);
         assert!(s.counts.lutram_luts > s.counts.luts);
@@ -93,21 +112,41 @@ mod tests {
 
     #[test]
     fn deep_memories_have_read_muxes() {
-        let shallow = LutRamParams { width: 8, depth: 64 }.generate(0).stats();
-        let deep = LutRamParams { width: 8, depth: 512 }.generate(0).stats();
+        let shallow = LutRamParams {
+            width: 8,
+            depth: 64,
+        }
+        .generate(0)
+        .stats();
+        let deep = LutRamParams {
+            width: 8,
+            depth: 512,
+        }
+        .generate(0)
+        .stats();
         assert!(deep.counts.luts > shallow.counts.luts);
         assert!(deep.logic_depth > 0);
     }
 
     #[test]
     fn write_decode_fans_out_across_width() {
-        let s = LutRamParams { width: 32, depth: 64 }.generate(0).stats();
+        let s = LutRamParams {
+            width: 32,
+            depth: 64,
+        }
+        .generate(0)
+        .stats();
         assert!(s.max_fanout >= 32);
     }
 
     #[test]
     fn lutram_demands_are_m_type_only() {
-        let s = LutRamParams { width: 4, depth: 128 }.generate(0).stats();
+        let s = LutRamParams {
+            width: 4,
+            depth: 128,
+        }
+        .generate(0)
+        .stats();
         assert_eq!(s.counts.m_lut_sites(), s.counts.lutram_luts);
         assert_eq!(s.counts.srls, 0);
     }

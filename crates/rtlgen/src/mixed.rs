@@ -68,7 +68,9 @@ impl Generator for MixedParams {
         let mut b = NetlistBuilder::new(name);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x006d_6978_6564_u64);
 
-        let luts: Vec<CellId> = (0..self.luts).map(|_| b.lut(rng.gen_range(2..=6))).collect();
+        let luts: Vec<CellId> = (0..self.luts)
+            .map(|_| b.lut(rng.gen_range(2..=6)))
+            .collect();
         let last_layer = wire_layered(&mut b, &luts, self.depth.max(1) as usize, &mut rng);
 
         // Carry chains fed from the last LUT layer.
@@ -151,8 +153,15 @@ mod tests {
 
     #[test]
     fn depth_tracks_parameter() {
-        let shallow = MixedParams { depth: 2, ..MixedParams::small() };
-        let deep = MixedParams { depth: 8, luts: 256, ..MixedParams::small() };
+        let shallow = MixedParams {
+            depth: 2,
+            ..MixedParams::small()
+        };
+        let deep = MixedParams {
+            depth: 8,
+            luts: 256,
+            ..MixedParams::small()
+        };
         let sd = shallow.generate(1).stats().logic_depth;
         let dd = deep.generate(1).stats().logic_depth;
         assert!(dd > sd, "depth {dd} vs {sd}");
@@ -169,7 +178,10 @@ mod tests {
 
     #[test]
     fn different_seeds_differ_in_wiring() {
-        let p = MixedParams { luts: 200, ..MixedParams::small() };
+        let p = MixedParams {
+            luts: 200,
+            ..MixedParams::small()
+        };
         let a = p.generate(1);
         let b = p.generate(2);
         assert_ne!(

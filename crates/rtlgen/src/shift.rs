@@ -72,7 +72,12 @@ mod tests {
 
     #[test]
     fn ff_dominated() {
-        let p = ShiftRegParams { regs: 8, length: 16, control_sets: 4, fanin: 2 };
+        let p = ShiftRegParams {
+            regs: 8,
+            length: 16,
+            control_sets: 4,
+            fanin: 2,
+        };
         let s = p.generate(0).stats();
         assert_eq!(s.counts.ffs, 8 * 16);
         assert!(s.counts.ffs > s.counts.luts);
@@ -83,7 +88,12 @@ mod tests {
     #[test]
     fn control_sets_match_parameter() {
         for ncs in [1u32, 2, 5, 8] {
-            let p = ShiftRegParams { regs: 8, length: 4, control_sets: ncs, fanin: 0 };
+            let p = ShiftRegParams {
+                regs: 8,
+                length: 4,
+                control_sets: ncs,
+                fanin: 0,
+            };
             let s = p.generate(1).stats();
             assert_eq!(s.control_sets, ncs);
         }
@@ -91,7 +101,12 @@ mod tests {
 
     #[test]
     fn enable_broadcast_creates_high_fanout() {
-        let p = ShiftRegParams { regs: 16, length: 32, control_sets: 1, fanin: 0 };
+        let p = ShiftRegParams {
+            regs: 16,
+            length: 32,
+            control_sets: 1,
+            fanin: 0,
+        };
         let s = p.generate(2).stats();
         // One enable net reaching all 512 FFs.
         assert_eq!(s.max_fanout, 512);
@@ -99,20 +114,40 @@ mod tests {
 
     #[test]
     fn more_control_sets_reduce_max_fanout() {
-        let few = ShiftRegParams { regs: 16, length: 8, control_sets: 1, fanin: 0 };
-        let many = ShiftRegParams { regs: 16, length: 8, control_sets: 8, fanin: 0 };
+        let few = ShiftRegParams {
+            regs: 16,
+            length: 8,
+            control_sets: 1,
+            fanin: 0,
+        };
+        let many = ShiftRegParams {
+            regs: 16,
+            length: 8,
+            control_sets: 8,
+            fanin: 0,
+        };
         assert!(few.generate(0).stats().max_fanout > many.generate(0).stats().max_fanout);
     }
 
     #[test]
     fn deterministic_for_same_seed() {
-        let p = ShiftRegParams { regs: 4, length: 8, control_sets: 2, fanin: 3 };
+        let p = ShiftRegParams {
+            regs: 4,
+            length: 8,
+            control_sets: 2,
+            fanin: 3,
+        };
         assert_eq!(p.generate(5).stats(), p.generate(5).stats());
     }
 
     #[test]
     fn degenerate_register_count() {
-        let p = ShiftRegParams { regs: 0, length: 8, control_sets: 3, fanin: 1 };
+        let p = ShiftRegParams {
+            regs: 0,
+            length: 8,
+            control_sets: 3,
+            fanin: 1,
+        };
         let s = p.generate(0).stats();
         assert_eq!(s.counts.ffs, 0);
     }

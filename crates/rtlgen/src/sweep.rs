@@ -62,14 +62,22 @@ pub struct SweepConfig {
 
 impl Default for SweepConfig {
     fn default() -> Self {
-        SweepConfig { target_modules: 2_000, max_luts: 5_000, min_luts: 2 }
+        SweepConfig {
+            target_modules: 2_000,
+            max_luts: 5_000,
+            min_luts: 2,
+        }
     }
 }
 
 impl SweepConfig {
     /// A reduced sweep for tests and quick benches.
     pub fn small() -> Self {
-        SweepConfig { target_modules: 120, max_luts: 1_500, min_luts: 2 }
+        SweepConfig {
+            target_modules: 120,
+            max_luts: 1_500,
+            min_luts: 2,
+        }
     }
 }
 
@@ -93,7 +101,12 @@ pub fn standard_sweep(config: &SweepConfig, seed: u64) -> Vec<GeneratedModule> {
         for length in [8u32, 16, 32, 64] {
             for cs in [1u32, 2, 4, 8, 16, 32] {
                 for fanin in [0u32, 2] {
-                    let p = ShiftRegParams { regs, length, control_sets: cs.min(regs), fanin };
+                    let p = ShiftRegParams {
+                        regs,
+                        length,
+                        control_sets: cs.min(regs),
+                        fanin,
+                    };
                     let s = rng.gen();
                     let nl = p.generate(s);
                     if keep(&nl, config) {
@@ -113,7 +126,11 @@ pub fn standard_sweep(config: &SweepConfig, seed: u64) -> Vec<GeneratedModule> {
             let s = rng.gen();
             let nl = p.generate(s);
             if keep(&nl, config) {
-                corners.push(GeneratedModule { netlist: nl, kind: GeneratorKind::LutRam, seed: s });
+                corners.push(GeneratedModule {
+                    netlist: nl,
+                    kind: GeneratorKind::LutRam,
+                    seed: s,
+                });
             }
         }
     }
@@ -123,14 +140,22 @@ pub fn standard_sweep(config: &SweepConfig, seed: u64) -> Vec<GeneratedModule> {
             let s = rng.gen();
             let nl = p.generate(s);
             if keep(&nl, config) {
-                corners.push(GeneratedModule { netlist: nl, kind: GeneratorKind::Carry, seed: s });
+                corners.push(GeneratedModule {
+                    netlist: nl,
+                    kind: GeneratorKind::Carry,
+                    seed: s,
+                });
             }
         }
     }
     for width in [4u32, 8, 16, 24, 32, 48, 64, 96, 128] {
         for instances in [1u32, 2, 4, 8, 16, 24, 32] {
             for srl_taps in [0u32, 4, 16] {
-                let p = LfsrParams { width, instances, srl_taps };
+                let p = LfsrParams {
+                    width,
+                    instances,
+                    srl_taps,
+                };
                 let s = rng.gen();
                 let nl = p.generate(s);
                 if keep(&nl, config) {
@@ -178,7 +203,11 @@ pub fn standard_sweep(config: &SweepConfig, seed: u64) -> Vec<GeneratedModule> {
         let s = rng.gen();
         let nl = p.generate(s);
         if keep(&nl, config) {
-            out.push(GeneratedModule { netlist: nl, kind: GeneratorKind::Mixed, seed: s });
+            out.push(GeneratedModule {
+                netlist: nl,
+                kind: GeneratorKind::Mixed,
+                seed: s,
+            });
         }
     }
     out.truncate(config.target_modules);
@@ -201,7 +230,11 @@ mod tests {
         let cfg = SweepConfig::small();
         for m in standard_sweep(&cfg, 3) {
             let c = m.netlist.stats().counts;
-            assert!(c.lut_sites() <= cfg.max_luts, "{} too big", m.netlist.name());
+            assert!(
+                c.lut_sites() <= cfg.max_luts,
+                "{} too big",
+                m.netlist.name()
+            );
             assert!(!c.is_empty());
         }
     }
@@ -218,7 +251,11 @@ mod tests {
 
     #[test]
     fn sweep_covers_all_families() {
-        let cfg = SweepConfig { target_modules: 400, max_luts: 5_000, min_luts: 2 };
+        let cfg = SweepConfig {
+            target_modules: 400,
+            max_luts: 5_000,
+            min_luts: 2,
+        };
         let modules = standard_sweep(&cfg, 1);
         for kind in [
             GeneratorKind::ShiftReg,
@@ -237,9 +274,20 @@ mod tests {
 
     #[test]
     fn mixed_modules_dominate_large_sweeps() {
-        let cfg = SweepConfig { target_modules: 600, max_luts: 5_000, min_luts: 2 };
+        let cfg = SweepConfig {
+            target_modules: 600,
+            max_luts: 5_000,
+            min_luts: 2,
+        };
         let modules = standard_sweep(&cfg, 2);
-        let mixed = modules.iter().filter(|m| m.kind == GeneratorKind::Mixed).count();
-        assert!(mixed * 2 > modules.len(), "mixed = {mixed} of {}", modules.len());
+        let mixed = modules
+            .iter()
+            .filter(|m| m.kind == GeneratorKind::Mixed)
+            .count();
+        assert!(
+            mixed * 2 > modules.len(),
+            "mixed = {mixed} of {}",
+            modules.len()
+        );
     }
 }

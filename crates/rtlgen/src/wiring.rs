@@ -52,9 +52,7 @@ pub fn split_even(total: u32, parts: u32) -> Vec<u32> {
     }
     let base = total / parts;
     let extra = total % parts;
-    (0..parts)
-        .map(|i| base + u32::from(i < extra))
-        .collect()
+    (0..parts).map(|i| base + u32::from(i < extra)).collect()
 }
 
 #[cfg(test)]

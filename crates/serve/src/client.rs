@@ -1,0 +1,160 @@
+//! A small blocking client for the JSON-lines service.
+
+use crate::protocol::{
+    EstimateRequest, EstimateResponse, FlowRequest, FlowResponse, ModuleSpec, PreimplRequest,
+    PreimplResponse, Request, Response, StatsReport,
+};
+use serde::{Deserialize, Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use tms_netlist::NetlistStats;
+
+/// Client-side failure: transport, malformed reply, or a server-reported
+/// error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The reply did not parse as the expected protocol message.
+    Protocol(String),
+    /// The server answered `ok: false` with this message.
+    Remote(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Remote(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a `tms-serve` instance. Requests are issued
+/// synchronously, one at a time, over a persistent connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Issue one raw request and return the reply payload.
+    pub fn call(&mut self, endpoint: &str, payload: Value) -> Result<Value, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let req = Request {
+            id,
+            endpoint: endpoint.to_string(),
+            payload,
+        };
+        let mut line = serde_json::to_string(&req)
+            .map_err(|e| ClientError::Protocol(format!("unserializable request: {e}")))?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection".to_string(),
+            ));
+        }
+        let resp: Response = serde_json::from_str(reply.trim())
+            .map_err(|e| ClientError::Protocol(format!("bad response: {e}")))?;
+        if resp.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                resp.id
+            )));
+        }
+        if resp.ok {
+            Ok(resp.payload)
+        } else {
+            Err(ClientError::Remote(
+                resp.error
+                    .unwrap_or_else(|| "unspecified server error".to_string()),
+            ))
+        }
+    }
+
+    fn typed<T: Deserialize>(&mut self, endpoint: &str, payload: Value) -> Result<T, ClientError> {
+        let v = self.call(endpoint, payload)?;
+        T::from_value(&v).map_err(|e| ClientError::Protocol(format!("bad {endpoint} reply: {e}")))
+    }
+
+    /// Predict a CF from client-side netlist statistics.
+    pub fn estimate_stats(
+        &mut self,
+        stats: &NetlistStats,
+    ) -> Result<EstimateResponse, ClientError> {
+        let req = EstimateRequest {
+            stats: Some(stats.clone()),
+            spec: None,
+        };
+        self.typed("estimate", req.to_value())
+    }
+
+    /// Predict a CF for a module the server synthesises from `spec`.
+    pub fn estimate_spec(&mut self, spec: &ModuleSpec) -> Result<EstimateResponse, ClientError> {
+        let req = EstimateRequest {
+            stats: None,
+            spec: Some(spec.clone()),
+        };
+        self.typed("estimate", req.to_value())
+    }
+
+    /// Pre-implement a module through the server's shared cache.
+    pub fn preimpl(
+        &mut self,
+        spec: &ModuleSpec,
+        device: &str,
+        cf: Option<f64>,
+    ) -> Result<PreimplResponse, ClientError> {
+        let req = PreimplRequest {
+            spec: spec.clone(),
+            device: device.to_string(),
+            cf,
+        };
+        self.typed("preimpl", req.to_value())
+    }
+
+    /// Compile a full cnvW1A1-style design through the cached flow.
+    pub fn flow(
+        &mut self,
+        design_seed: u64,
+        device: &str,
+        cf: Option<f64>,
+    ) -> Result<FlowResponse, ClientError> {
+        let req = FlowRequest {
+            design_seed,
+            device: device.to_string(),
+            cf,
+        };
+        self.typed("flow", req.to_value())
+    }
+
+    /// Fetch the server's request counters and cache statistics.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        self.typed("stats", Value::Null)
+    }
+}

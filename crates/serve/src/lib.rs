@@ -1,0 +1,56 @@
+//! # tms-serve — a concurrent CF-estimation & pre-implementation service
+//!
+//! The batch flow trains an estimator, compiles one design, and exits —
+//! every invocation pays the training and pre-implementation cost again.
+//! This crate turns the expensive state into a long-lived process: a
+//! JSON-over-TCP service holding a **pre-trained
+//! [`CfEstimator`](tms_estimator::CfEstimator)** and a **process-wide warm
+//! [`ImplementationCache`](tms_flow::ImplementationCache)** that every
+//! connection shares.
+//!
+//! Four endpoints (see [`protocol`] for the wire format):
+//!
+//! * `estimate` — netlist statistics (or a module spec) → predicted CF;
+//! * `preimpl` — module spec → PBlock + placement, through the shared
+//!   cache: the second identical request is a cache hit and skips
+//!   place-and-route entirely;
+//! * `flow` — full cnvW1A1-style design → stitched-placement report via
+//!   the cached flow (warm runs implement only cache misses);
+//! * `stats` — per-endpoint request counts, latency histograms, and
+//!   cache hit/miss rates.
+//!
+//! The server is plain threads — a TCP acceptor plus a crossbeam-channel
+//! worker pool, no async runtime; the cache sits behind a
+//! `parking_lot::RwLock` so lookups proceed concurrently. Models are
+//! loaded from the JSON produced by
+//! [`CfEstimator::save`](tms_estimator::CfEstimator::save), so the serving
+//! process never retrains.
+//!
+//! ```no_run
+//! use tms_estimator::{CfEstimator, FeatureSet};
+//! use tms_serve::{serve, Client, ModuleSpec, ServeConfig};
+//! use tms_cnn::ModuleRole;
+//!
+//! let est = CfEstimator::load(std::path::Path::new("model.json")).unwrap();
+//! let handle = serve(ServeConfig::default(), est, FeatureSet::Additional).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let spec = ModuleSpec {
+//!     role: ModuleRole::Mvau, target_slices: 60, name: "mvau_18".into(), seed: 1,
+//! };
+//! println!("predicted CF: {:.2}", client.estimate_spec(&spec).unwrap().cf);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use metrics::{EndpointMetrics, Metrics, LATENCY_BUCKETS_US};
+pub use protocol::{
+    CacheStats, EndpointSnapshot, EstimateRequest, EstimateResponse, FlowRequest, FlowResponse,
+    ModuleSpec, PreimplRequest, PreimplResponse, Request, Response, StatsReport,
+};
+pub use server::{serve, ServeConfig, ServerHandle};

@@ -1,0 +1,99 @@
+//! Lock-free request metrics: per-endpoint counters and latency
+//! histograms, all `AtomicU64` so workers record without coordination.
+
+use crate::protocol::EndpointSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (inclusive, microseconds) of the latency histogram
+/// buckets: 100 µs, 1 ms, 10 ms, 100 ms, 1 s, 10 s, and everything above.
+pub const LATENCY_BUCKETS_US: [u64; 7] =
+    [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, u64::MAX];
+
+/// Counters for one endpoint.
+#[derive(Default)]
+pub struct EndpointMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_micros: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len()],
+}
+
+impl EndpointMetrics {
+    /// Record one handled request.
+    pub fn record(&self, micros: u64, ok: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len() - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> EndpointSnapshot {
+        EndpointSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// All endpoint metrics of one server.
+#[derive(Default)]
+pub struct Metrics {
+    /// `estimate` counters.
+    pub estimate: EndpointMetrics,
+    /// `preimpl` counters.
+    pub preimpl: EndpointMetrics,
+    /// `flow` counters.
+    pub flow: EndpointMetrics,
+    /// `stats` counters.
+    pub stats: EndpointMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_fills_the_right_bucket() {
+        let m = EndpointMetrics::default();
+        m.record(50, true); // <= 100 µs
+        m.record(700, true); // <= 1 ms
+        m.record(2_000_000, false); // <= 10 s
+        let s = m.snapshot();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.total_micros, 50 + 700 + 2_000_000);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[5], 1);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let m = EndpointMetrics::default();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        m.record(10, true);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().requests, 800);
+        assert_eq!(m.snapshot().buckets[0], 800);
+    }
+}

@@ -1,0 +1,278 @@
+//! The JSON-lines wire protocol of the serving layer.
+//!
+//! Framing is one JSON document per `\n`-terminated line, both directions.
+//! Every request is a [`Request`] envelope carrying an endpoint name and a
+//! typed payload; every reply is a [`Response`] echoing the request id.
+//!
+//! ```text
+//! -> {"id":1,"endpoint":"estimate","payload":{"spec":{...}}}
+//! <- {"id":1,"ok":true,"payload":{"cf":1.18,...},"error":null}
+//! ```
+//!
+//! Endpoints:
+//!
+//! | endpoint   | payload              | reply                 |
+//! |------------|----------------------|-----------------------|
+//! | `estimate` | [`EstimateRequest`]  | [`EstimateResponse`]  |
+//! | `preimpl`  | [`PreimplRequest`]   | [`PreimplResponse`]   |
+//! | `flow`     | [`FlowRequest`]      | [`FlowResponse`]      |
+//! | `stats`    | none (`null`)        | [`StatsReport`]       |
+
+use serde::Value;
+use tms_cnn::ModuleRole;
+use tms_netlist::NetlistStats;
+
+/// Request envelope: a client-chosen id, the endpoint, and its payload.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Request {
+    /// Client-chosen id, echoed back in the [`Response`].
+    pub id: u64,
+    /// Endpoint name: `estimate`, `preimpl`, `flow` or `stats`.
+    pub endpoint: String,
+    /// Endpoint-specific payload (`null` for `stats`).
+    pub payload: Value,
+}
+
+/// Response envelope.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Response {
+    /// The id of the request this answers.
+    pub id: u64,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Endpoint-specific payload (`null` on error).
+    pub payload: Value,
+    /// Error message when `ok` is false.
+    pub error: Option<String>,
+}
+
+impl Response {
+    /// A successful reply.
+    pub fn success(id: u64, payload: Value) -> Response {
+        Response {
+            id,
+            ok: true,
+            payload,
+            error: None,
+        }
+    }
+
+    /// A failed reply.
+    pub fn failure(id: u64, error: String) -> Response {
+        Response {
+            id,
+            ok: false,
+            payload: Value::Null,
+            error: Some(error),
+        }
+    }
+}
+
+/// A module to synthesise on the server: role recipe, size, name, seed.
+/// Deterministic — the same spec always yields the same netlist, which is
+/// what makes the pre-implementation cache coherent across requests.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ModuleSpec {
+    /// Resource recipe.
+    pub role: ModuleRole,
+    /// Target size in packed slices.
+    pub target_slices: u32,
+    /// Module/instance name (part of the cache fingerprint).
+    pub name: String,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// `estimate` payload: predict a CF either from post-synthesis statistics
+/// computed client-side (`stats`) or from a module spec the server
+/// synthesises first (`spec`). Exactly one must be present; `stats` wins
+/// if both are.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EstimateRequest {
+    /// Pre-computed netlist statistics.
+    pub stats: Option<NetlistStats>,
+    /// Module spec to synthesise server-side.
+    pub spec: Option<ModuleSpec>,
+}
+
+/// `estimate` reply.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EstimateResponse {
+    /// Predicted correction factor (clamped to ≥ 0.5, like the flow).
+    pub cf: f64,
+    /// Estimator family label (e.g. `Random Forest`).
+    pub estimator: String,
+    /// Feature-set label the model consumes (e.g. `Additional`).
+    pub features: String,
+    /// Server-side handling time in microseconds.
+    pub micros: u64,
+}
+
+/// `preimpl` payload: pre-implement one module (PBlock + placement),
+/// through the shared implementation cache.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PreimplRequest {
+    /// The module to implement.
+    pub spec: ModuleSpec,
+    /// Target device name (e.g. `xc7z045`).
+    pub device: String,
+    /// Correction factor: `Some(cf)` implements at that constant CF,
+    /// `None` searches the minimal feasible CF.
+    pub cf: Option<f64>,
+}
+
+/// `preimpl` reply.
+///
+/// The cache key is structural (device, name, statistics digest), so a hit
+/// returns the implementation as it was first built — including its CF —
+/// regardless of the `cf` field of the *current* request; `cached` tells
+/// the two cases apart.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PreimplResponse {
+    /// Module name.
+    pub name: String,
+    /// The CF the PBlock was built with.
+    pub cf: f64,
+    /// PBlock width in slice columns.
+    pub pblock_w: u32,
+    /// PBlock height in slice rows.
+    pub pblock_h: u32,
+    /// Slices occupied by the detailed placement.
+    pub used_slices: u32,
+    /// Place-and-route attempts spent when the module was implemented.
+    pub attempts: u32,
+    /// Whether the first attempted CF was feasible.
+    pub first_try: bool,
+    /// Whether this reply was served from the warm cache.
+    pub cached: bool,
+    /// Server-side handling time in microseconds.
+    pub micros: u64,
+}
+
+/// `flow` payload: compile a full cnvW1A1-style design through the cached
+/// RapidWright-style flow (pre-implement misses, splice hits, stitch).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FlowRequest {
+    /// Seed of the cnvW1A1 design generator (and of the flow).
+    pub design_seed: u64,
+    /// Target device name.
+    pub device: String,
+    /// `Some(cf)` for a constant-CF policy, `None` for minimal-CF search.
+    pub cf: Option<f64>,
+}
+
+/// `flow` reply: the stitched-placement report.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FlowResponse {
+    /// Unique modules implemented successfully (cached + fresh).
+    pub implemented: usize,
+    /// Modules with no feasible implementation.
+    pub failed: usize,
+    /// Block instances placed by the stitcher.
+    pub placed_count: usize,
+    /// Block instances the stitcher could not place.
+    pub unplaced_count: usize,
+    /// Unique modules served from the warm cache.
+    pub reused: usize,
+    /// Unique modules implemented fresh by this request.
+    pub fresh: usize,
+    /// Place-and-route tool runs actually spent by this request.
+    pub tool_runs_spent: u32,
+    /// Tool runs the full implementation records (cached + fresh).
+    pub total_tool_runs: u32,
+    /// Server-side handling time in microseconds.
+    pub micros: u64,
+}
+
+/// Shared-cache statistics inside a [`StatsReport`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Implementations currently cached.
+    pub len: usize,
+    /// Eviction bound.
+    pub capacity: usize,
+    /// Lookup hits since the server started.
+    pub hits: u64,
+    /// Lookup misses since the server started.
+    pub misses: u64,
+}
+
+/// Per-endpoint request counters and latency histogram.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EndpointSnapshot {
+    /// Requests handled (including failed ones).
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Sum of handling times, microseconds.
+    pub total_micros: u64,
+    /// Latency histogram; bucket `i` counts requests that finished within
+    /// [`crate::metrics::LATENCY_BUCKETS_US`]`[i]` microseconds.
+    pub buckets: Vec<u64>,
+}
+
+/// `stats` reply: per-endpoint counters plus cache hit/miss rates.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StatsReport {
+    /// Microseconds since the server started.
+    pub uptime_micros: u64,
+    /// `estimate` endpoint counters.
+    pub estimate: EndpointSnapshot,
+    /// `preimpl` endpoint counters.
+    pub preimpl: EndpointSnapshot,
+    /// `flow` endpoint counters.
+    pub flow: EndpointSnapshot,
+    /// `stats` endpoint counters (not counting the in-flight request).
+    pub stats: EndpointSnapshot,
+    /// Shared implementation-cache statistics.
+    pub cache: CacheStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelopes_round_trip() {
+        let req = Request {
+            id: 7,
+            endpoint: "estimate".into(),
+            payload: serde::Serialize::to_value(&EstimateRequest {
+                stats: None,
+                spec: Some(ModuleSpec {
+                    role: ModuleRole::Mvau,
+                    target_slices: 60,
+                    name: "m0".into(),
+                    seed: 1,
+                }),
+            }),
+        };
+        let line = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.id, 7);
+        assert_eq!(back.endpoint, "estimate");
+        let payload: EstimateRequest = serde_json::from_value(&back.payload).unwrap();
+        assert!(payload.stats.is_none());
+        assert_eq!(payload.spec.unwrap().name, "m0");
+    }
+
+    #[test]
+    fn error_responses_carry_the_message() {
+        let resp = Response::failure(3, "no such endpoint".into());
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.id, 3);
+        assert_eq!(back.error.as_deref(), Some("no such endpoint"));
+        assert_eq!(back.payload, Value::Null);
+    }
+
+    #[test]
+    fn netlist_stats_travel_as_payload() {
+        let nl = tms_cnn::synth_module(ModuleRole::Activation, 40, "act", 2);
+        let stats = nl.stats();
+        let v = serde::Serialize::to_value(&stats);
+        let back: NetlistStats = serde_json::from_value(&v).unwrap();
+        assert_eq!(back, stats);
+    }
+}

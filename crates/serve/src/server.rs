@@ -1,0 +1,398 @@
+//! The concurrent service: a TCP acceptor feeding a crossbeam-channel
+//! worker pool, all workers sharing one estimator and one warm
+//! implementation cache behind a reader-writer lock.
+//!
+//! Threading model (no async runtime — plain threads):
+//!
+//! * one **acceptor** thread blocks on `TcpListener::accept` and hands
+//!   each connection to the pool over an unbounded channel;
+//! * `workers` **worker** threads each own one connection at a time and
+//!   serve its requests until the client disconnects — so the pool size
+//!   bounds the number of *concurrent connections*, and further
+//!   connections queue in the channel;
+//! * the shared [`ImplementationCache`] sits behind a
+//!   `parking_lot::RwLock`: lookups (`preimpl` hits) take the read lock,
+//!   inserts and whole cached-flow runs take the write lock.
+//!
+//! Shutdown: [`ServerHandle::stop`] raises a flag, unblocks the acceptor
+//! with a self-connection, drops the channel sender (so idle workers
+//! drain and exit) and joins every thread; workers poll the flag between
+//! read timeouts, so connections held open by clients terminate too.
+
+use crate::metrics::Metrics;
+use crate::protocol::{
+    CacheStats, EstimateRequest, EstimateResponse, FlowRequest, FlowResponse, PreimplRequest,
+    PreimplResponse, Request, Response, StatsReport,
+};
+use serde::{Deserialize, Serialize, Value};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tms_cnn::cnvw1a1;
+use tms_device::Device;
+use tms_estimator::{CfEstimator, FeatureSet, ModuleFeatures};
+use tms_flow::{
+    implement_module, run_rw_flow_cached, CfPolicy, ImplementationCache, ModuleFingerprint,
+    RwFlowConfig, DEFAULT_CACHE_CAPACITY,
+};
+use tms_netlist::NetlistStats;
+use tms_pblock::CfSearch;
+use tms_place::{quick_place, PlacementModel};
+use tms_stitch::StitchConfig;
+use tms_synth::pack;
+
+/// How long a worker waits on a quiet connection before re-checking the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Server configuration.
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads — the bound on concurrent connections.
+    pub workers: usize,
+    /// Implementation-cache eviction bound.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// Process-wide state shared by every worker.
+struct ServerState {
+    estimator: CfEstimator,
+    features: FeatureSet,
+    cache: parking_lot::RwLock<ImplementationCache>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+/// A running server; dropping it (or calling [`ServerHandle::stop`])
+/// shuts the service down and joins every thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (with the resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the server: refuse new connections, finish in-flight
+    /// requests, join every thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    /// Serve until the process exits (for the CLI front end): parks the
+    /// calling thread and never returns.
+    pub fn serve_forever(self) -> ! {
+        loop {
+            std::thread::park();
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throw-away connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if !self.state.shutdown.load(Ordering::SeqCst) {
+            self.shutdown();
+        }
+    }
+}
+
+/// Start a server with a pre-trained estimator. Returns once the listener
+/// is bound; `handle.addr()` carries the resolved port.
+pub fn serve(
+    config: ServeConfig,
+    estimator: CfEstimator,
+    features: FeatureSet,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        estimator,
+        features,
+        cache: parking_lot::RwLock::new(ImplementationCache::with_capacity(config.cache_capacity)),
+        metrics: Metrics::default(),
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+    });
+
+    let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|_| {
+            let rx = rx.clone();
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                // Exits when the acceptor drops the sender and the queue
+                // drains, or the shutdown flag is raised.
+                while let Ok(stream) = rx.recv() {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    handle_connection(&state, stream);
+                }
+            })
+        })
+        .collect();
+
+    let acceptor = {
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            // `tx` lives in this thread; dropping it on exit disconnects
+            // the channel and lets idle workers finish.
+            for stream in listener.incoming() {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    let _ = tx.send(stream);
+                }
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+/// Serve one connection until EOF, error, or shutdown.
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let resp = handle_request(state, trimmed);
+                    let mut out = serde_json::to_string(&resp)
+                        .unwrap_or_else(|_| "{\"id\":0,\"ok\":false}".to_string());
+                    out.push('\n');
+                    if writer.write_all(out.as_bytes()).is_err() {
+                        break;
+                    }
+                }
+                line.clear();
+            }
+            // Timeout: keep any partial line in `line` and poll again.
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Parse, dispatch, time, and record one request line.
+fn handle_request(state: &ServerState, line: &str) -> Response {
+    let req: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => return Response::failure(0, format!("bad request envelope: {e}")),
+    };
+    let endpoint = match req.endpoint.as_str() {
+        "estimate" => &state.metrics.estimate,
+        "preimpl" => &state.metrics.preimpl,
+        "flow" => &state.metrics.flow,
+        "stats" => &state.metrics.stats,
+        other => return Response::failure(req.id, format!("unknown endpoint '{other}'")),
+    };
+    let start = Instant::now();
+    let outcome = dispatch(state, &req.endpoint, &req.payload, &start);
+    let micros = start.elapsed().as_micros() as u64;
+    endpoint.record(micros, outcome.is_ok());
+    match outcome {
+        Ok(payload) => Response::success(req.id, payload),
+        Err(e) => Response::failure(req.id, e),
+    }
+}
+
+fn dispatch(
+    state: &ServerState,
+    endpoint: &str,
+    payload: &Value,
+    start: &Instant,
+) -> Result<Value, String> {
+    match endpoint {
+        "estimate" => do_estimate(state, parse(payload)?, start).map(|r| r.to_value()),
+        "preimpl" => do_preimpl(state, parse(payload)?, start).map(|r| r.to_value()),
+        "flow" => do_flow(state, parse(payload)?, start).map(|r| r.to_value()),
+        "stats" => Ok(do_stats(state).to_value()),
+        _ => unreachable!("checked by handle_request"),
+    }
+}
+
+fn parse<T: Deserialize>(v: &Value) -> Result<T, String> {
+    T::from_value(v).map_err(|e| format!("bad payload: {e}"))
+}
+
+fn device_by_name(name: &str) -> Result<Device, String> {
+    match name {
+        "xc7z010" => Ok(Device::xc7z010()),
+        "xc7z020" => Ok(Device::xc7z020()),
+        "xc7z030" => Ok(Device::xc7z030()),
+        "xc7z045" => Ok(Device::xc7z045()),
+        "xc7z100" => Ok(Device::xc7z100()),
+        other => Err(format!("unknown device '{other}'")),
+    }
+}
+
+/// The per-request flow configuration: constant CF when given, minimal-CF
+/// search otherwise. The stitcher runs its fast schedule — this is an
+/// interactive service, not the benchmark harness.
+fn flow_config(cf: Option<f64>, seed: u64) -> RwFlowConfig<'static> {
+    RwFlowConfig {
+        policy: match cf {
+            Some(cf) => CfPolicy::Constant(cf),
+            None => CfPolicy::Minimal(CfSearch::wide()),
+        },
+        use_shape_report: true,
+        model: PlacementModel::default(),
+        stitch: StitchConfig::fast(seed),
+        seed,
+    }
+}
+
+/// Predict a CF from statistics, mirroring the flow's prediction path
+/// (pack → quick-place → features → model, clamped to ≥ 0.5).
+fn predict_cf(est: &CfEstimator, set: FeatureSet, stats: &NetlistStats) -> f64 {
+    let packing = pack(stats);
+    let shape = quick_place(stats, &packing);
+    let feats = ModuleFeatures::extract(stats, &packing, &shape);
+    est.predict(&feats.select(set)).max(0.5)
+}
+
+fn do_estimate(
+    state: &ServerState,
+    req: EstimateRequest,
+    start: &Instant,
+) -> Result<EstimateResponse, String> {
+    let stats = match (req.stats, req.spec) {
+        (Some(stats), _) => stats,
+        (None, Some(spec)) => {
+            tms_cnn::synth_module(spec.role, spec.target_slices, &spec.name, spec.seed).stats()
+        }
+        (None, None) => return Err("estimate needs either 'stats' or 'spec'".to_string()),
+    };
+    let cf = predict_cf(&state.estimator, state.features, &stats);
+    Ok(EstimateResponse {
+        cf,
+        estimator: state.estimator.kind().label().to_string(),
+        features: state.features.label().to_string(),
+        micros: start.elapsed().as_micros() as u64,
+    })
+}
+
+fn do_preimpl(
+    state: &ServerState,
+    req: PreimplRequest,
+    start: &Instant,
+) -> Result<PreimplResponse, String> {
+    let device = device_by_name(&req.device)?;
+    let spec = req.spec;
+    let netlist = tms_cnn::synth_module(spec.role, spec.target_slices, &spec.name, spec.seed);
+    let key = ModuleFingerprint::of(&netlist, &device);
+    // Fast path: concurrent lookups share the read lock.
+    let hit = state.cache.read().get(&key);
+    let (module, cached) = match hit {
+        Some(m) => (m, true),
+        None => {
+            let cfg = flow_config(req.cf, spec.seed);
+            let m = implement_module(&spec.name, &netlist, &device, &cfg)?;
+            state.cache.write().insert(key, m.clone());
+            (m, false)
+        }
+    };
+    Ok(PreimplResponse {
+        name: module.name,
+        cf: module.cf,
+        pblock_w: module.pblock.rect.w,
+        pblock_h: module.pblock.rect.h,
+        used_slices: module.placement.used_slices,
+        attempts: module.attempts,
+        first_try: module.first_try,
+        cached,
+        micros: start.elapsed().as_micros() as u64,
+    })
+}
+
+fn do_flow(state: &ServerState, req: FlowRequest, start: &Instant) -> Result<FlowResponse, String> {
+    let device = device_by_name(&req.device)?;
+    let design = cnvw1a1(req.design_seed);
+    let cfg = flow_config(req.cf, req.design_seed);
+    // The whole cached run holds the write lock: it both reads and fills
+    // the cache, and its parallel section uses rayon, not the pool.
+    let mut cache = state.cache.write();
+    let r = run_rw_flow_cached(&design, &device, &cfg, &mut cache);
+    Ok(FlowResponse {
+        implemented: r.result.implemented.len(),
+        failed: r.result.failed.len(),
+        placed_count: r.result.stitch.placed_count,
+        unplaced_count: r.result.stitch.unplaced_count,
+        reused: r.reused,
+        fresh: r.fresh,
+        tool_runs_spent: r.tool_runs_spent,
+        total_tool_runs: r.result.total_tool_runs,
+        micros: start.elapsed().as_micros() as u64,
+    })
+}
+
+fn do_stats(state: &ServerState) -> StatsReport {
+    let cache = state.cache.read();
+    StatsReport {
+        uptime_micros: state.started.elapsed().as_micros() as u64,
+        estimate: state.metrics.estimate.snapshot(),
+        preimpl: state.metrics.preimpl.snapshot(),
+        flow: state.metrics.flow.snapshot(),
+        stats: state.metrics.stats.snapshot(),
+        cache: CacheStats {
+            len: cache.len(),
+            capacity: cache.capacity(),
+            hits: cache.hits(),
+            misses: cache.misses(),
+        },
+    }
+}

@@ -1,0 +1,196 @@
+//! End-to-end service tests: a real server on an ephemeral port, real TCP
+//! clients, concurrent load, and the warm-cache speedup.
+
+use tms_cnn::ModuleRole;
+use tms_estimator::{CfEstimator, EstimatorKind, FeatureSet};
+use tms_ml::Dataset;
+use tms_serve::{serve, Client, ClientError, ModuleSpec, ServeConfig};
+
+/// A quickly-trained linear estimator over the six `Additional` features —
+/// the service doesn't care how good the model is, only that it loads and
+/// predicts deterministically.
+fn tiny_estimator() -> CfEstimator {
+    let mut state: u64 = 0x243F_6A88_85A3_08D3;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let xs: Vec<Vec<f64>> = (0..200).map(|_| (0..6).map(|_| next()).collect()).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 0.9 + 0.5 * x[0] + 0.2 * x[3]).collect();
+    let names = (0..6).map(|i| format!("f{i}")).collect();
+    let ds = Dataset::new(names, xs, ys);
+    CfEstimator::train_small(EstimatorKind::LinearRegression, &ds, 1)
+}
+
+fn start_server(workers: usize) -> tms_serve::ServerHandle {
+    let config = ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    };
+    serve(config, tiny_estimator(), FeatureSet::Additional).expect("bind ephemeral port")
+}
+
+fn spec(role: ModuleRole, target: u32, name: &str) -> ModuleSpec {
+    ModuleSpec {
+        role,
+        target_slices: target,
+        name: name.to_string(),
+        seed: 11,
+    }
+}
+
+#[test]
+fn eight_concurrent_clients_mixed_load() {
+    let handle = start_server(12);
+    let addr = handle.addr();
+    let shared = [
+        spec(ModuleRole::Mvau, 40, "mvau_a"),
+        spec(ModuleRole::Activation, 30, "act_a"),
+        spec(ModuleRole::SlidingWindow, 24, "swu_a"),
+    ];
+
+    // Warm the cache so the concurrent phase is deterministic: exactly
+    // three misses happen here, everything after is a hit.
+    let mut warm = Client::connect(addr).expect("connect");
+    for s in &shared {
+        let r = warm.preimpl(s, "xc7z020", Some(1.6)).expect("preimpl");
+        assert!(!r.cached, "{} should miss on first sight", r.name);
+    }
+
+    // ≥ 8 concurrent clients, each issuing mixed estimate/preimpl traffic.
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect");
+                for s in &shared {
+                    let est = client.estimate_spec(s).expect("estimate");
+                    assert!(est.cf >= 0.5 && est.cf.is_finite());
+                    let pre = client.preimpl(s, "xc7z020", Some(1.6)).expect("preimpl");
+                    assert!(pre.cached, "warm entry must be served from cache");
+                    assert_eq!(pre.name, s.name);
+                }
+            });
+        }
+    });
+
+    let stats = warm.stats().expect("stats");
+    assert_eq!(stats.estimate.requests, 8 * 3);
+    assert_eq!(stats.estimate.errors, 0);
+    assert_eq!(stats.preimpl.requests, 8 * 3 + 3);
+    assert_eq!(stats.preimpl.errors, 0);
+    assert_eq!(stats.cache.len, 3);
+    assert_eq!(stats.cache.misses, 3);
+    assert_eq!(
+        stats.cache.hits,
+        8 * 3,
+        "every concurrent preimpl was a hit"
+    );
+    assert_eq!(
+        stats.preimpl.buckets.iter().sum::<u64>(),
+        stats.preimpl.requests,
+        "every request lands in exactly one latency bucket"
+    );
+
+    // The stats endpoint meters itself too (minus the in-flight request).
+    let again = warm.stats().expect("stats");
+    assert!(again.stats.requests >= 1);
+    assert!(again.uptime_micros > 0);
+    handle.stop();
+}
+
+#[test]
+fn repeated_preimpl_is_cached_and_measurably_faster() {
+    let handle = start_server(4);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    // Minimal-CF search on a big module: the cold request pays for several
+    // place-and-route attempts, the warm one only for a cache lookup.
+    let s = spec(ModuleRole::Weights, 400, "w_big");
+
+    let cold = client.preimpl(&s, "xc7z045", None).expect("cold preimpl");
+    assert!(!cold.cached);
+    assert!(cold.attempts >= 1);
+    assert!(cold.used_slices > 0);
+
+    let warm = client.preimpl(&s, "xc7z045", None).expect("warm preimpl");
+    assert!(warm.cached, "second identical request must hit the cache");
+    assert_eq!(warm.cf, cold.cf);
+    assert_eq!(
+        (warm.pblock_w, warm.pblock_h),
+        (cold.pblock_w, cold.pblock_h)
+    );
+    assert!(
+        warm.micros < cold.micros,
+        "warm {}µs !< cold {}µs",
+        warm.micros,
+        cold.micros
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cache.hits, 1);
+    assert_eq!(stats.cache.misses, 1);
+    handle.stop();
+}
+
+#[test]
+fn warm_flow_does_strictly_less_implementation_work() {
+    let handle = start_server(4);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let cold = client.flow(5, "xc7z045", None).expect("cold flow");
+    assert_eq!(cold.reused, 0);
+    assert_eq!(cold.fresh, 74);
+    assert_eq!(cold.implemented, 74);
+    assert_eq!(cold.failed, 0);
+    assert!(cold.tool_runs_spent >= 74);
+    assert!(cold.placed_count > 0);
+
+    let warm = client.flow(5, "xc7z045", None).expect("warm flow");
+    assert_eq!(warm.reused, 74, "fully warm cache serves every module");
+    assert_eq!(warm.fresh, 0);
+    assert_eq!(warm.tool_runs_spent, 0, "strictly less implementation work");
+    assert_eq!(warm.total_tool_runs, cold.total_tool_runs);
+    assert_eq!(warm.placed_count, cold.placed_count);
+    assert!(
+        warm.micros < cold.micros,
+        "warm {}µs !< cold {}µs",
+        warm.micros,
+        cold.micros
+    );
+    handle.stop();
+}
+
+#[test]
+fn errors_are_reported_and_the_connection_survives() {
+    let handle = start_server(2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    match client.call("optimize", serde::Value::Null) {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("unknown endpoint")),
+        other => panic!("expected a remote error, got {other:?}"),
+    }
+    let s = spec(ModuleRole::Mvau, 30, "m");
+    match client.preimpl(&s, "xc7a200t", Some(1.5)) {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("unknown device")),
+        other => panic!("expected a remote error, got {other:?}"),
+    }
+    match client.call("estimate", serde::Value::Object(Vec::new())) {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("stats")),
+        other => panic!("expected a remote error, got {other:?}"),
+    }
+
+    // The connection is still healthy, and the stats/spec estimate paths
+    // agree bit-for-bit on the same module.
+    let by_spec = client.estimate_spec(&s).expect("estimate by spec");
+    let nl = tms_cnn::synth_module(s.role, s.target_slices, &s.name, s.seed);
+    let by_stats = client
+        .estimate_stats(&nl.stats())
+        .expect("estimate by stats");
+    assert_eq!(by_spec.cf.to_bits(), by_stats.cf.to_bits());
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.estimate.errors, 1);
+    assert_eq!(stats.preimpl.errors, 1);
+    handle.stop();
+}

@@ -50,7 +50,11 @@ pub struct StitchProblem {
 impl StitchProblem {
     /// Start a problem from its unique modules.
     pub fn new(modules: Vec<MacroBlock>) -> Self {
-        StitchProblem { modules, instances: Vec::new(), nets: Vec::new() }
+        StitchProblem {
+            modules,
+            instances: Vec::new(),
+            nets: Vec::new(),
+        }
     }
 
     /// Add an instance of module `module_idx`; returns its instance index.
@@ -66,7 +70,10 @@ impl StitchProblem {
         debug_assert!(endpoints
             .iter()
             .all(|&e| (e as usize) < self.instances.len()));
-        self.nets.push(InterNet { endpoints: endpoints.to_vec(), weight });
+        self.nets.push(InterNet {
+            endpoints: endpoints.to_vec(),
+            weight,
+        });
     }
 
     /// The macro of instance `id`.

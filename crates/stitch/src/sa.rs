@@ -148,7 +148,10 @@ struct Grid {
 
 impl Grid {
     fn new(w: u32, h: u32) -> Self {
-        Grid { w, cells: vec![0; (w * h) as usize] }
+        Grid {
+            w,
+            cells: vec![0; (w * h) as usize],
+        }
     }
 
     fn is_free(&self, x: u32, y: u32, bw: u32, bh: u32, ignore: u32) -> bool {
@@ -214,7 +217,9 @@ impl<'p> State<'p> {
     }
 
     fn total_cost(&self) -> f64 {
-        (0..self.problem.nets.len() as u32).map(|i| self.net_cost(i)).sum()
+        (0..self.problem.nets.len() as u32)
+            .map(|i| self.net_cost(i))
+            .sum()
     }
 
     fn incident_cost(&self, inst: u32) -> f64 {
@@ -507,7 +512,10 @@ mod tests {
         // No two placed blocks overlap.
         for i in 0..20u32 {
             for j in 0..i {
-                let (a, b) = (r.positions[i as usize].unwrap(), r.positions[j as usize].unwrap());
+                let (a, b) = (
+                    r.positions[i as usize].unwrap(),
+                    r.positions[j as usize].unwrap(),
+                );
                 let ra = tms_device::Rect::new(a.0, a.1, 3, 10);
                 let rb = tms_device::Rect::new(b.0, b.1, 3, 10);
                 assert!(!ra.overlaps(&rb), "{i} and {j} overlap");

@@ -1,6 +1,8 @@
 //! Slice packing: from primitive counts to slice-type demand.
 
-use tms_device::{SliceCapacity, CONTROL_SETS_PER_SLICE, FFS_PER_SLICE, LUTRAM_PER_M_SLICE, LUTS_PER_SLICE};
+use tms_device::{
+    SliceCapacity, CONTROL_SETS_PER_SLICE, FFS_PER_SLICE, LUTRAM_PER_M_SLICE, LUTS_PER_SLICE,
+};
 use tms_netlist::NetlistStats;
 
 /// Per-slice FF group size: the 8 FFs of a slice form two groups of four,
@@ -360,13 +362,13 @@ mod proptests {
 
     fn arb_stats() -> impl Strategy<Value = NetlistStats> {
         (
-            0u32..500,             // luts
-            0u32..500,             // ffs
-            1u16..20,              // control sets among ffs
+            0u32..500,                                 // luts
+            0u32..500,                                 // ffs
+            1u16..20,                                  // control sets among ffs
             proptest::collection::vec(1u32..64, 0..6), // carry chains
-            0u32..100,             // lutram
-            0u32..4,               // bram
-            0u32..4,               // dsp
+            0u32..100,                                 // lutram
+            0u32..4,                                   // bram
+            0u32..4,                                   // dsp
         )
             .prop_map(|(luts, ffs, ncs, chains, lutram, bram, dsp)| {
                 let mut b = NetlistBuilder::new("prop");

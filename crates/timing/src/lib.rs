@@ -126,8 +126,7 @@ pub fn estimate(
             .regions_spanned(placement.region.y, placement.region.h)
             .saturating_sub(1),
     );
-    let penalty_ns =
-        clock_cols * model.clock_col_penalty + regions * model.region_cross_penalty;
+    let penalty_ns = clock_cols * model.clock_col_penalty + regions * model.region_cross_penalty;
 
     let longest_path_ns = model.t_clk_q + logic_ns + net_ns + penalty_ns + model.t_su;
     TimingReport {
@@ -167,9 +166,15 @@ mod tests {
 
     fn placed(m: &(NetlistStats, tms_synth::PackingReport), side: u32) -> Placement {
         let dev = Device::xc7z020();
-        place_in_region(&m.0, &m.1, &dev, &Rect::new(0, 0, side, side),
-            &PlacementModel::deterministic(), 0)
-            .unwrap()
+        place_in_region(
+            &m.0,
+            &m.1,
+            &dev,
+            &Rect::new(0, 0, side, side),
+            &PlacementModel::deterministic(),
+            0,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -222,8 +227,15 @@ mod tests {
         let m = chain_module(4, 30);
         let x0 = clock_x.saturating_sub(5);
         let region = Rect::new(x0, 0, 11, 20);
-        let p = place_in_region(&m.0, &m.1, &dev, &region, &PlacementModel::deterministic(), 0)
-            .unwrap();
+        let p = place_in_region(
+            &m.0,
+            &m.1,
+            &dev,
+            &region,
+            &PlacementModel::deterministic(),
+            0,
+        )
+        .unwrap();
         let with = estimate(&m.0, &p, &dev, &TimingModel::default());
         assert!(with.penalty_ns >= 0.30 - 1e-9);
         // A same-size region away from clock columns has no penalty.
@@ -237,8 +249,8 @@ mod tests {
         let dev = Device::xc7z020();
         let m = chain_module(4, 30);
         let tall = Rect::new(0, 0, 8, 120); // spans 3 clock regions
-        let p = place_in_region(&m.0, &m.1, &dev, &tall, &PlacementModel::deterministic(), 0)
-            .unwrap();
+        let p =
+            place_in_region(&m.0, &m.1, &dev, &tall, &PlacementModel::deterministic(), 0).unwrap();
         let t = estimate(&m.0, &p, &dev, &TimingModel::default());
         assert!(t.penalty_ns >= 2.0 * 0.20 - 1e-9);
     }
@@ -253,8 +265,15 @@ mod tests {
         let stats = b.finish().stats();
         let packing = pack(&stats);
         let dev = Device::xc7z020();
-        let p = place_in_region(&stats, &packing, &dev, &Rect::new(0, 0, 3, 3),
-            &PlacementModel::deterministic(), 0).unwrap();
+        let p = place_in_region(
+            &stats,
+            &packing,
+            &dev,
+            &Rect::new(0, 0, 3, 3),
+            &PlacementModel::deterministic(),
+            0,
+        )
+        .unwrap();
         let t = estimate(&stats, &p, &dev, &TimingModel::default());
         assert!(t.longest_path_ns > 0.5);
     }

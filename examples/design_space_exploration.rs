@@ -26,12 +26,12 @@ fn toy_network(l2_pe: u32, seed: u64) -> CnvDesign {
     let mut nets: Vec<(Vec<u32>, f64)> = Vec::new();
 
     let add = |modules: &mut Vec<CnvModule>,
-                   instances: &mut Vec<(usize, String)>,
-                   name: &str,
-                   role: ModuleRole,
-                   layer: u32,
-                   target: u32,
-                   count: u32|
+               instances: &mut Vec<(usize, String)>,
+               name: &str,
+               role: ModuleRole,
+               layer: u32,
+               target: u32,
+               count: u32|
      -> Vec<u32> {
         let idx = modules.len();
         modules.push(CnvModule {
@@ -53,7 +53,15 @@ fn toy_network(l2_pe: u32, seed: u64) -> CnvDesign {
     let mut prev: Option<u32> = None;
     for layer in 1..=3u32 {
         let pe = if layer == 2 { l2_pe } else { 4 };
-        let swu = add(&mut modules, &mut instances, &format!("swu_l{layer}"), ModuleRole::SlidingWindow, layer, 60, 1);
+        let swu = add(
+            &mut modules,
+            &mut instances,
+            &format!("swu_l{layer}"),
+            ModuleRole::SlidingWindow,
+            layer,
+            60,
+            1,
+        );
         let mvaus = add(
             &mut modules,
             &mut instances,
@@ -65,8 +73,24 @@ fn toy_network(l2_pe: u32, seed: u64) -> CnvDesign {
             640 / pe,
             pe,
         );
-        let w = add(&mut modules, &mut instances, &format!("weights_l{layer}"), ModuleRole::Weights, layer, 200, 1);
-        let act = add(&mut modules, &mut instances, &format!("act_l{layer}"), ModuleRole::Activation, layer, 24, 1);
+        let w = add(
+            &mut modules,
+            &mut instances,
+            &format!("weights_l{layer}"),
+            ModuleRole::Weights,
+            layer,
+            200,
+            1,
+        );
+        let act = add(
+            &mut modules,
+            &mut instances,
+            &format!("act_l{layer}"),
+            ModuleRole::Activation,
+            layer,
+            24,
+            1,
+        );
         if let Some(p) = prev {
             nets.push((vec![p, swu[0]], 8.0));
         }
@@ -81,7 +105,11 @@ fn toy_network(l2_pe: u32, seed: u64) -> CnvDesign {
         nets.push((coll, 4.0));
         prev = Some(act[0]);
     }
-    CnvDesign { modules, instances, nets }
+    CnvDesign {
+        modules,
+        instances,
+        nets,
+    }
 }
 
 fn main() {

@@ -9,7 +9,9 @@
 
 use tailored_macro_sizes::cnn::cnvw1a1;
 use tailored_macro_sizes::device::Device;
-use tailored_macro_sizes::flow::{run_amd_flow, run_rw_flow, AmdFlowConfig, CfPolicy, RwFlowConfig};
+use tailored_macro_sizes::flow::{
+    run_amd_flow, run_rw_flow, AmdFlowConfig, CfPolicy, RwFlowConfig,
+};
 use tailored_macro_sizes::pblock::CfSearch;
 use tailored_macro_sizes::place::PlacementModel;
 use tailored_macro_sizes::stitch::StitchConfig;
@@ -35,7 +37,10 @@ fn main() {
                 policy: CfPolicy::Minimal(CfSearch::wide()),
                 use_shape_report: true,
                 model: PlacementModel::default(),
-                stitch: StitchConfig { max_moves: 30_000, ..StitchConfig::standard(7) },
+                stitch: StitchConfig {
+                    max_moves: 30_000,
+                    ..StitchConfig::standard(7)
+                },
                 seed: 7,
             },
         );

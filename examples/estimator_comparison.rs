@@ -18,12 +18,22 @@ use tailored_macro_sizes::rtlgen::{standard_sweep, SweepConfig};
 use tailored_macro_sizes::stitch::StitchConfig;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(800);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
     let seed = 42;
     let dev = Device::xc7z020();
 
     println!("labelling a {n}-module sweep ...");
-    let modules = standard_sweep(&SweepConfig { target_modules: n, max_luts: 5_000, min_luts: 2 }, seed);
+    let modules = standard_sweep(
+        &SweepConfig {
+            target_modules: n,
+            max_luts: 5_000,
+            min_luts: 2,
+        },
+        seed,
+    );
     let labelled = build_dataset(&modules, &dev, &LabelConfig::default());
     let ds = to_ml_dataset(&labelled, FeatureSet::All).cap_per_bin(0.02, 75 * n / 2000 + 5, seed);
     let (train, test) = ds.split(0.8, seed);
@@ -54,8 +64,13 @@ fn main() {
                 let stats = m.netlist.stats();
                 let packing = tailored_macro_sizes::synth::pack(&stats);
                 let shape = tailored_macro_sizes::place::quick_place(&stats, &packing);
-                let f = tailored_macro_sizes::estimator::ModuleFeatures::extract(&stats, &packing, &shape);
-                (m.name.clone(), est.predict(&f.select(FeatureSet::All)).max(0.5))
+                let f = tailored_macro_sizes::estimator::ModuleFeatures::extract(
+                    &stats, &packing, &shape,
+                );
+                (
+                    m.name.clone(),
+                    est.predict(&f.select(FeatureSet::All)).max(0.5),
+                )
             })
             .collect();
         let predict = |name: &str| preds.get(name).copied().unwrap_or(1.0);
@@ -63,7 +78,10 @@ fn main() {
             &design,
             &dev,
             &RwFlowConfig {
-                policy: CfPolicy::Guided { predict: &predict, max_cf: 3.0 },
+                policy: CfPolicy::Guided {
+                    predict: &predict,
+                    max_cf: 3.0,
+                },
                 use_shape_report: true,
                 model: PlacementModel::default(),
                 stitch: StitchConfig::fast(seed),

@@ -26,16 +26,22 @@ fn int8_network(layers: u32, lanes_per_layer: u32, seed: u64) -> CnvDesign {
     let mut instances: Vec<(usize, String)> = Vec::new();
     let mut nets: Vec<(Vec<u32>, f64)> = Vec::new();
 
-    let mut add = |modules: &mut Vec<CnvModule>,
-                   instances: &mut Vec<(usize, String)>,
-                   name: String,
-                   role: ModuleRole,
-                   layer: u32,
-                   netlist: Netlist,
-                   count: u32|
+    let add = |modules: &mut Vec<CnvModule>,
+               instances: &mut Vec<(usize, String)>,
+               name: String,
+               role: ModuleRole,
+               layer: u32,
+               netlist: Netlist,
+               count: u32|
      -> Vec<u32> {
         let idx = modules.len();
-        modules.push(CnvModule { name: name.clone(), role, layer, netlist, instances: count });
+        modules.push(CnvModule {
+            name: name.clone(),
+            role,
+            layer,
+            netlist,
+            instances: count,
+        });
         (0..count)
             .map(|i| {
                 let id = instances.len() as u32;
@@ -53,15 +59,24 @@ fn int8_network(layers: u32, lanes_per_layer: u32, seed: u64) -> CnvDesign {
             format!("swu_l{layer}"),
             ModuleRole::SlidingWindow,
             layer,
-            synth_module(ModuleRole::SlidingWindow, 80, &format!("swu_l{layer}"), seed ^ u64::from(layer)),
+            synth_module(
+                ModuleRole::SlidingWindow,
+                80,
+                &format!("swu_l{layer}"),
+                seed ^ u64::from(layer),
+            ),
             1,
         );
         // One unique MAC array per layer, replicated across output-channel
         // groups — DSP reuse is where the block flow pays off for INT8.
         let mac_name = format!("mac_l{layer}");
-        let mac_netlist = DspPipeParams { lanes: 8, stages: 3, coeffs: 1_024 }
-            .generate(seed ^ (u64::from(layer) << 8))
-            .with_name(&mac_name);
+        let mac_netlist = DspPipeParams {
+            lanes: 8,
+            stages: 3,
+            coeffs: 1_024,
+        }
+        .generate(seed ^ (u64::from(layer) << 8))
+        .with_name(&mac_name);
         let macs = add(
             &mut modules,
             &mut instances,
@@ -77,7 +92,12 @@ fn int8_network(layers: u32, lanes_per_layer: u32, seed: u64) -> CnvDesign {
             format!("act_l{layer}"),
             ModuleRole::Activation,
             layer,
-            synth_module(ModuleRole::Activation, 30, &format!("act_l{layer}"), seed ^ (u64::from(layer) << 16)),
+            synth_module(
+                ModuleRole::Activation,
+                30,
+                &format!("act_l{layer}"),
+                seed ^ (u64::from(layer) << 16),
+            ),
             1,
         );
         if let Some(p) = prev {
@@ -91,7 +111,11 @@ fn int8_network(layers: u32, lanes_per_layer: u32, seed: u64) -> CnvDesign {
         nets.push((coll, 4.0));
         prev = Some(act[0]);
     }
-    CnvDesign { modules, instances, nets }
+    CnvDesign {
+        modules,
+        instances,
+        nets,
+    }
 }
 
 fn main() {
@@ -117,7 +141,10 @@ fn main() {
             policy: CfPolicy::Minimal(CfSearch::wide()),
             use_shape_report: true,
             model: PlacementModel::default(),
-            stitch: StitchConfig { max_moves: 40_000, ..StitchConfig::standard(31) },
+            stitch: StitchConfig {
+                max_moves: 40_000,
+                ..StitchConfig::standard(31)
+            },
             seed: 31,
         },
     );

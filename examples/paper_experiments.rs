@@ -41,8 +41,20 @@ fn main() {
         .collect();
     if targets.is_empty() || targets.contains(&"all") {
         targets = vec![
-            "table1", "fig3", "fig4", "fig5", "fig7", "fig8", "table2", "fig9", "fig10",
-            "fig11", "fig12", "fig13", "resolution", "ablations",
+            "table1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig7",
+            "fig8",
+            "table2",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "resolution",
+            "ablations",
         ];
     }
 

@@ -5,6 +5,8 @@
 //! tms compile [opts]                   train + compile the cnvW1A1
 //! tms train [opts]                     train an estimator, print its error
 //! tms experiments <targets> [opts]     regenerate paper tables/figures
+//! tms serve [opts]                     start the estimation/pre-impl service
+//! tms client <endpoint> [opts]         query a running service
 //!
 //! options:
 //!   --device <xc7z010|xc7z020|xc7z030|xc7z045|xc7z100>   (default xc7z045)
@@ -14,15 +16,32 @@
 //!   --seed <N>                                            (default 2024)
 //!   --paper              experiments at full paper scale
 //!   --render             print the placed-fabric map after compile
+//!   --save <path>        train: write the trained model as JSON
+//!
+//! serve options:
+//!   --port <N>           listen port (default 7245; 0 = ephemeral)
+//!   --workers <N>        worker threads / concurrent connections (default 8)
+//!   --cache <N>          implementation-cache capacity (default 4096)
+//!   --model <path>       load a model saved by `tms train --save`
+//!                        (skips training; pass the matching --features)
+//!
+//! client options (endpoint: estimate | preimpl | flow | stats):
+//!   --addr <host:port>   server address (default 127.0.0.1:7245)
+//!   --port <N>           shorthand for --addr 127.0.0.1:<N>
+//!   --role <mvau|swu|act|pool|weights>   module recipe (default mvau)
+//!   --target <N>         module size in slices (default 60)
+//!   --name <s>           module name (default the role label)
+//!   --cf <x>             constant CF; omit for minimal-CF search
 //! ```
 
 use std::collections::HashMap;
-use tailored_macro_sizes::cnn::cnvw1a1;
+use tailored_macro_sizes::cnn::{cnvw1a1, ModuleRole};
 use tailored_macro_sizes::device::Device;
-use tailored_macro_sizes::estimator::{EstimatorKind, FeatureSet};
+use tailored_macro_sizes::estimator::{CfEstimator, EstimatorKind, FeatureSet};
 use tailored_macro_sizes::flow::experiments::common::Scale;
 use tailored_macro_sizes::flow::{coverage_line, render_cost_trace, render_stitched};
 use tailored_macro_sizes::route::{route_stitched, RouterConfig};
+use tailored_macro_sizes::serve::{serve, Client, ModuleSpec, ServeConfig};
 use tailored_macro_sizes::MacroSizingFlow;
 
 fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
@@ -119,7 +138,22 @@ fn cmd_train(flags: &HashMap<String, String>) {
     let design = cnvw1a1(num(flags, "seed", 2024));
     for name in ["mvau_18", "weights_14", "swu_l3", "pool_1"] {
         if let Some(m) = design.find_module(name) {
-            println!("  predicted CF for {name}: {:.2}", trained.predict(&m.netlist));
+            println!(
+                "  predicted CF for {name}: {:.2}",
+                trained.predict(&m.netlist)
+            );
+        }
+    }
+    if let Some(path) = flags.get("save") {
+        match trained.estimator().save(std::path::Path::new(path)) {
+            Ok(()) => println!(
+                "model written to {path} (features: {})",
+                trained.feature_set().label()
+            ),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -135,7 +169,11 @@ fn cmd_compile(flags: &HashMap<String, String>) {
     println!("training estimator ...");
     let trained = flow.train();
     let design = cnvw1a1(seed);
-    println!("compiling cnvW1A1 ({} blocks) on {} ...", design.instance_count(), device.name());
+    println!(
+        "compiling cnvW1A1 ({} blocks) on {} ...",
+        design.instance_count(),
+        device.name()
+    );
     let result = flow.compile(&design, &trained);
     println!(
         "implemented {}/{} modules in {} tool runs ({:.0}% first-try)",
@@ -144,30 +182,57 @@ fn cmd_compile(flags: &HashMap<String, String>) {
         result.total_tool_runs,
         result.first_try_rate() * 100.0
     );
-    println!("{}", coverage_line(&device, &result.problem, &result.stitch));
+    println!(
+        "{}",
+        coverage_line(&device, &result.problem, &result.stitch)
+    );
     println!(
         "SA cost {:.0} -> {:.0}   {}",
         result.stitch.initial_cost,
         result.stitch.final_cost,
         render_cost_trace(&result.stitch.cost_trace, 48)
     );
-    let route = route_stitched(&device, &result.problem, &result.stitch, &RouterConfig::default());
+    let route = route_stitched(
+        &device,
+        &result.problem,
+        &result.stitch,
+        &RouterConfig::default(),
+    );
     println!(
         "routing: {} connections, wirelength {}, fully routed: {}",
         route.routed_connections, route.total_wirelength, route.fully_routed
     );
     if flags.contains_key("render") {
-        println!("{}", render_stitched(&device, &result.problem, &result.stitch, 110, 45));
+        println!(
+            "{}",
+            render_stitched(&device, &result.problem, &result.stitch, 110, 45)
+        );
     }
 }
 
 fn cmd_experiments(targets: &[String], flags: &HashMap<String, String>) {
     // Delegate to the experiment drivers at the requested scale.
     use tailored_macro_sizes::flow::experiments as ex;
-    let scale = if flags.contains_key("paper") { Scale::paper() } else { Scale::quick() };
+    let scale = if flags.contains_key("paper") {
+        Scale::paper()
+    } else {
+        Scale::quick()
+    };
     let all = [
-        "table1", "fig3", "fig4", "fig5", "fig7", "fig8", "table2", "fig9", "fig10", "fig11",
-        "fig12", "fig13", "resolution", "ablations",
+        "table1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig7",
+        "fig8",
+        "table2",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "resolution",
+        "ablations",
     ];
     let run_list: Vec<&str> = if targets.is_empty() || targets.iter().any(|t| t == "all") {
         all.to_vec()
@@ -196,6 +261,107 @@ fn cmd_experiments(targets: &[String], flags: &HashMap<String, String>) {
     }
 }
 
+fn cmd_serve(flags: &HashMap<String, String>) {
+    let features = features_of(flags);
+    let estimator = if let Some(path) = flags.get("model") {
+        match CfEstimator::load(std::path::Path::new(path)) {
+            Ok(est) => {
+                println!("loaded {} model from {path}", est.kind().label());
+                est
+            }
+            Err(e) => {
+                eprintln!("could not load {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let flow = MacroSizingFlow::new(device_of(flags))
+            .with_estimator(estimator_of(flags))
+            .with_feature_set(features)
+            .with_dataset_size(num(flags, "dataset", 600) as usize)
+            .with_seed(num(flags, "seed", 2024));
+        println!("no --model given: labelling + training ...");
+        let (est, _) = flow.train().into_parts();
+        est
+    };
+    let config = ServeConfig {
+        addr: format!("127.0.0.1:{}", num(flags, "port", 7245)),
+        workers: num(flags, "workers", 8) as usize,
+        cache_capacity: num(flags, "cache", 4096) as usize,
+    };
+    let workers = config.workers;
+    match serve(config, estimator, features) {
+        Ok(handle) => {
+            println!(
+                "tms-serve listening on {} ({workers} workers, features: {})",
+                handle.addr(),
+                features.label()
+            );
+            println!(
+                "endpoints: estimate | preimpl | flow | stats  (JSON lines; see `tms client`)"
+            );
+            handle.serve_forever()
+        }
+        Err(e) => {
+            eprintln!("could not start server: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_client(args: &[String], flags: &HashMap<String, String>) {
+    let default_addr = format!("127.0.0.1:{}", num(flags, "port", 7245));
+    let addr = flags.get("addr").unwrap_or(&default_addr);
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("could not connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let role = match ModuleRole::from_label(flags.get("role").map_or("mvau", String::as_str)) {
+        Some(r) => r,
+        None => {
+            eprintln!("unknown role (expected mvau|swu|act|pool|weights)");
+            std::process::exit(2);
+        }
+    };
+    let spec = ModuleSpec {
+        role,
+        target_slices: num(flags, "target", 60) as u32,
+        name: flags
+            .get("name")
+            .cloned()
+            .unwrap_or_else(|| role.label().to_string()),
+        seed: num(flags, "seed", 2024),
+    };
+    let device = device_of(flags).name().to_string();
+    let cf = flags.get("cf").and_then(|v| v.parse::<f64>().ok());
+    let printed = match args.first().map(String::as_str) {
+        Some("estimate") => client.estimate_spec(&spec).map(|r| to_pretty(&r)),
+        Some("preimpl") => client.preimpl(&spec, &device, cf).map(|r| to_pretty(&r)),
+        Some("flow") => client
+            .flow(num(flags, "seed", 2024), &device, cf)
+            .map(|r| to_pretty(&r)),
+        Some("stats") => client.stats().map(|r| to_pretty(&r)),
+        _ => {
+            eprintln!("usage: tms client <estimate|preimpl|flow|stats> [options]");
+            std::process::exit(2);
+        }
+    };
+    match printed {
+        Ok(json) => println!("{json}"),
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn to_pretty<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("unprintable reply: {e}"))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (positional, flags) = parse_flags(&args);
@@ -204,8 +370,10 @@ fn main() {
         Some("train") => cmd_train(&flags),
         Some("compile") => cmd_compile(&flags),
         Some("experiments") => cmd_experiments(&positional[1..], &flags),
+        Some("serve") => cmd_serve(&flags),
+        Some("client") => cmd_client(&positional[1..], &flags),
         _ => {
-            eprintln!("usage: tms <devices|train|compile|experiments> [options]");
+            eprintln!("usage: tms <devices|train|compile|experiments|serve|client> [options]");
             eprintln!("see the module docs in src/bin/tms.rs for the option list");
             std::process::exit(2);
         }

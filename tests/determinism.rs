@@ -47,8 +47,14 @@ fn different_seeds_change_the_anneal() {
 #[test]
 fn labelling_is_reproducible_across_runs() {
     let dev = Device::xc7z020();
-    let modules =
-        standard_sweep(&SweepConfig { target_modules: 60, max_luts: 1_000, min_luts: 2 }, 5);
+    let modules = standard_sweep(
+        &SweepConfig {
+            target_modules: 60,
+            max_luts: 1_000,
+            min_luts: 2,
+        },
+        5,
+    );
     let a = build_dataset(&modules, &dev, &LabelConfig::default());
     let b = build_dataset(&modules, &dev, &LabelConfig::default());
     let cfs = |v: &[tailored_macro_sizes::estimator::LabelledModule]| -> Vec<f64> {

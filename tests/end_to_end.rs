@@ -6,7 +6,9 @@ use tailored_macro_sizes::device::Device;
 use tailored_macro_sizes::estimator::{
     build_dataset, to_ml_dataset, CfEstimator, EstimatorKind, FeatureSet, LabelConfig,
 };
-use tailored_macro_sizes::flow::{run_amd_flow, run_rw_flow, AmdFlowConfig, CfPolicy, RwFlowConfig};
+use tailored_macro_sizes::flow::{
+    run_amd_flow, run_rw_flow, AmdFlowConfig, CfPolicy, RwFlowConfig,
+};
 use tailored_macro_sizes::pblock::CfSearch;
 use tailored_macro_sizes::place::PlacementModel;
 use tailored_macro_sizes::rtlgen::{standard_sweep, SweepConfig};
@@ -28,7 +30,11 @@ fn sweep_to_estimator_to_flow() {
     // Generate and label a small sweep.
     let dev = Device::xc7z020();
     let modules = standard_sweep(
-        &SweepConfig { target_modules: 150, max_luts: 2_000, min_luts: 2 },
+        &SweepConfig {
+            target_modules: 150,
+            max_luts: 2_000,
+            min_luts: 2,
+        },
         3,
     );
     let labelled = build_dataset(&modules, &dev, &LabelConfig::default());
@@ -51,14 +57,23 @@ fn sweep_to_estimator_to_flow() {
             let shape = tailored_macro_sizes::place::quick_place(&stats, &packing);
             let f =
                 tailored_macro_sizes::estimator::ModuleFeatures::extract(&stats, &packing, &shape);
-            (m.name.clone(), est.predict(&f.select(FeatureSet::Additional)).max(0.5))
+            (
+                m.name.clone(),
+                est.predict(&f.select(FeatureSet::Additional)).max(0.5),
+            )
         })
         .collect();
     let predict = |name: &str| preds.get(name).copied().unwrap_or(1.0);
     let result = run_rw_flow(
         &design,
         &Device::xc7z045(),
-        &quick_flow_cfg(CfPolicy::Guided { predict: &predict, max_cf: 3.0 }, 3),
+        &quick_flow_cfg(
+            CfPolicy::Guided {
+                predict: &predict,
+                max_cf: 3.0,
+            },
+            3,
+        ),
     );
     assert!(result.failed.is_empty(), "{:?}", result.failed);
     assert_eq!(result.stitch.unplaced_count, 0);
@@ -76,7 +91,11 @@ fn facade_equals_manual_pipeline() {
     assert_eq!(result.implemented.len() + result.failed.len(), 74);
     assert!(result.stitch.placed_count + result.stitch.unplaced_count <= 175);
     // The estimator must buy a decent share of first-try implementations.
-    assert!(result.first_try_rate() > 0.2, "rate = {}", result.first_try_rate());
+    assert!(
+        result.first_try_rate() > 0.2,
+        "rate = {}",
+        result.first_try_rate()
+    );
 }
 
 #[test]
@@ -94,7 +113,10 @@ fn rw_flow_vs_flat_baseline_on_the_small_part() {
         &quick_flow_cfg(CfPolicy::Minimal(CfSearch::wide()), 5),
     );
     let unplaced = rw.stitch.unplaced_count + rw.failed.len();
-    assert!(unplaced > 0, "RW should not fully place the almost-full part");
+    assert!(
+        unplaced > 0,
+        "RW should not fully place the almost-full part"
+    );
 
     // On the 4x larger part the same flow places everything.
     let big = Device::xc7z045();
@@ -112,7 +134,7 @@ fn stitched_blocks_never_overlap_and_fit_the_device() {
     let design = cnvw1a1(9);
     let dev = Device::xc7z045();
     let r = run_rw_flow(
-        &dev_design_cfg(&design, &dev),
+        dev_design_cfg(&design, &dev),
         &dev,
         &quick_flow_cfg(CfPolicy::Constant(1.5), 9),
     );

@@ -32,7 +32,11 @@ fn claim_optimal_cf_beats_worst_case_constant() {
     assert!(f.unplaced_constant > f.unplaced_minimal);
     assert!(f.placed_gain > 0.02, "gain = {:.3}", f.placed_gain);
     // The constant CF itself must be in the paper's regime (1.68).
-    assert!((1.3..2.1).contains(&f.constant_cf), "cf = {}", f.constant_cf);
+    assert!(
+        (1.3..2.1).contains(&f.constant_cf),
+        "cf = {}",
+        f.constant_cf
+    );
     // And the flat vendor flow fits what RW cannot.
     assert!(f.amd_fully_placed);
     assert!(f.amd_utilization > 0.9);
@@ -49,7 +53,10 @@ fn claim_cf_range_matches_fig4() {
         .filter(|&&(cf, _)| cf < 0.9)
         .map(|&(_, c)| c)
         .sum::<usize>();
-    assert!(below_09 > 0, "small/BRAM-driven modules should label below 0.9");
+    assert!(
+        below_09 > 0,
+        "small/BRAM-driven modules should label below 0.9"
+    );
 }
 
 #[test]
@@ -58,11 +65,24 @@ fn claim_learned_estimators_reach_single_digit_error() {
     // the relative features are at least as good as the classical ones.
     let t = table2::run(&Scale::quick());
     for c in &t.cells {
-        assert!(c.error < 0.12, "{} {}: {:.3}", c.kind.label(), c.set.label(), c.error);
+        assert!(
+            c.error < 0.12,
+            "{} {}: {:.3}",
+            c.kind.label(),
+            c.set.label(),
+            c.error
+        );
     }
-    let rf_add = t.error(EstimatorKind::RandomForest, FeatureSet::Additional).unwrap();
-    let rf_cls = t.error(EstimatorKind::RandomForest, FeatureSet::Classical).unwrap();
-    assert!(rf_add <= rf_cls * 1.05, "additional {rf_add:.3} vs classical {rf_cls:.3}");
+    let rf_add = t
+        .error(EstimatorKind::RandomForest, FeatureSet::Additional)
+        .unwrap();
+    let rf_cls = t
+        .error(EstimatorKind::RandomForest, FeatureSet::Classical)
+        .unwrap();
+    assert!(
+        rf_add <= rf_cls * 1.05,
+        "additional {rf_add:.3} vs classical {rf_cls:.3}"
+    );
     // Linear regression trails the learners (paper: 9.4% vs ≤6.2%).
     let best = t.cells.iter().map(|c| c.error).fold(f64::MAX, f64::min);
     assert!(t.linreg_error > best);
@@ -128,6 +148,14 @@ fn claim_cross_domain_transfer_works() {
     // CNN modules with low-double-digit median error at worst.
     let f = fig11::run(&Scale::quick());
     assert!(f.modules >= 40);
-    assert!(f.nn.median_error < 0.25, "nn median {:.3}", f.nn.median_error);
-    assert!(f.linreg.median_error < 0.30, "linreg median {:.3}", f.linreg.median_error);
+    assert!(
+        f.nn.median_error < 0.25,
+        "nn median {:.3}",
+        f.nn.median_error
+    );
+    assert!(
+        f.linreg.median_error < 0.30,
+        "linreg median {:.3}",
+        f.linreg.median_error
+    );
 }

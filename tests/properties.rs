@@ -10,16 +10,16 @@ use tailored_macro_sizes::synth::{optimistic_slice_estimate, pack};
 
 fn arb_params() -> impl Strategy<Value = MixedParams> {
     (
-        1u32..1_500,  // luts
-        0u32..3_000,  // ffs
-        1u32..32,     // control sets
-        0u32..8,      // chains
-        2u32..64,     // chain bits
-        0u32..256,    // lutrams
-        0u32..32,     // srls
-        0u32..3,      // brams
-        0u32..4,      // dsps
-        1u32..10,     // depth
+        1u32..1_500, // luts
+        0u32..3_000, // ffs
+        1u32..32,    // control sets
+        0u32..8,     // chains
+        2u32..64,    // chain bits
+        0u32..256,   // lutrams
+        0u32..32,    // srls
+        0u32..3,     // brams
+        0u32..4,     // dsps
+        1u32..10,    // depth
     )
         .prop_map(
             |(luts, ffs, control_sets, nchain, bits, lutrams, srls, brams, dsps, depth)| {

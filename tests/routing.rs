@@ -16,7 +16,10 @@ fn flow_cfg(seed: u64, policy: CfPolicy<'_>) -> RwFlowConfig<'_> {
         policy,
         use_shape_report: true,
         model: PlacementModel::default(),
-        stitch: StitchConfig { max_moves: 20_000, ..StitchConfig::standard(seed) },
+        stitch: StitchConfig {
+            max_moves: 20_000,
+            ..StitchConfig::standard(seed)
+        },
         seed,
     }
 }
@@ -25,11 +28,19 @@ fn flow_cfg(seed: u64, policy: CfPolicy<'_>) -> RwFlowConfig<'_> {
 fn stitched_cnv_routes_on_the_large_part() {
     let design = cnvw1a1(7);
     let dev = Device::xc7z045();
-    let flow = run_rw_flow(&design, &dev, &flow_cfg(7, CfPolicy::Minimal(CfSearch::wide())));
+    let flow = run_rw_flow(
+        &design,
+        &dev,
+        &flow_cfg(7, CfPolicy::Minimal(CfSearch::wide())),
+    );
     assert_eq!(flow.stitch.unplaced_count, 0);
 
     let report = route_stitched(&dev, &flow.problem, &flow.stitch, &RouterConfig::default());
-    assert!(report.fully_routed, "{} overflowed cells", report.overflowed_cells);
+    assert!(
+        report.fully_routed,
+        "{} overflowed cells",
+        report.overflowed_cells
+    );
     assert!(report.routed_connections > 150);
     assert!(report.total_wirelength > 0);
     assert!(report.peak_utilization <= 1.0 + 1e-9);
@@ -43,7 +54,11 @@ fn tighter_macros_never_route_meaningfully_worse() {
     // (on the crowded xc7z020 the loose flow cannot even place everything).
     let design = cnvw1a1(7);
     let dev = Device::xc7z045();
-    let tight = run_rw_flow(&design, &dev, &flow_cfg(7, CfPolicy::Minimal(CfSearch::wide())));
+    let tight = run_rw_flow(
+        &design,
+        &dev,
+        &flow_cfg(7, CfPolicy::Minimal(CfSearch::wide())),
+    );
     let loose = run_rw_flow(&design, &dev, &flow_cfg(7, CfPolicy::Constant(1.72)));
     let cfg = RouterConfig::default();
     let r_tight = route_stitched(&dev, &tight.problem, &tight.stitch, &cfg);

@@ -1,0 +1,195 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-group API the workspace's `harness = false`
+//! bench targets use, measuring plain wall-clock means (no statistics,
+//! outlier analysis, or HTML reports). Mirrors criterion's dual-mode
+//! behaviour: under `cargo bench` the binary receives `--bench` and
+//! measures; under `cargo test` it does not, and every benchmark runs a
+//! single iteration as a smoke test so the suite stays fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes --bench to the target; cargo test does not.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let measure = self.measure;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            measure,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    measure: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Cap the wall-clock time spent measuring each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a routine.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, &mut routine);
+        self
+    }
+
+    /// Benchmark a routine against a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.to_string();
+        self.run_one(&label, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    fn run_one(&mut self, label: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            measure: self.measure,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        if self.measure && bencher.iters > 0 {
+            let mean = bencher.elapsed / bencher.iters.max(1);
+            println!(
+                "{}/{}: {} iters, mean {:?}",
+                self.name, label, bencher.iters, mean
+            );
+        } else {
+            println!("{}/{}: ok (test mode)", self.name, label);
+        }
+    }
+
+    /// End the group (kept for API parity; reporting happens per bench).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark routine.
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated executions of `routine` (once in test mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            std::hint::black_box(routine());
+            return;
+        }
+        // One untimed warm-up pass.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            self.iters += 1;
+            self.elapsed = start.elapsed();
+            if self.iters as usize >= self.sample_size || self.elapsed >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Identifier combining a function name and/or parameter value.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A named benchmark with a parameter.
+    pub fn new(function: &str, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark identified only by its parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => f.write_str(func),
+            (None, Some(p)) => f.write_str(p),
+            (None, None) => f.write_str("bench"),
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

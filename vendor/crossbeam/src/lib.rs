@@ -1,0 +1,10 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the `channel` module with the subset of the MPMC API the
+//! workspace uses: `unbounded`/`bounded` construction, clone-able
+//! `Sender`/`Receiver`, blocking `recv`, and disconnect semantics when
+//! every sender (or every receiver) is dropped. Built on a
+//! `Mutex<VecDeque>` + two `Condvar`s rather than crossbeam's lock-free
+//! internals — correctness over throughput.
+
+pub mod channel;

@@ -1,0 +1,162 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the API the workspace uses: the [`Strategy`]
+//! trait with `prop_map`, range/tuple/`Just`/`any` strategies,
+//! `collection::vec`, `prop_oneof!`, and the `proptest!` test macro with
+//! `ProptestConfig::with_cases`. Unlike real proptest there is no
+//! shrinking and no failure persistence: each test runs `cases`
+//! deterministically-seeded random inputs and asserts directly, so a
+//! failing case panics with the ordinary assertion message.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// What `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Deterministic PRNG used to drive case generation (splitmix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test name and case index so runs are reproducible
+    /// but cases within a test differ.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Widening multiply keeps the modulo bias negligible for the
+        // small ranges property tests use.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Run the body for every case of a `proptest!` test.
+///
+/// The body receives a per-case [`TestRng`]; `prop_assume!` failures
+/// early-return from the closure, which simply moves on to the next case.
+pub fn run_proptest<F: FnMut(&mut TestRng)>(
+    config: test_runner::ProptestConfig,
+    test_name: &str,
+    mut body: F,
+) {
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(test_name, case);
+        body(&mut rng);
+    }
+}
+
+/// Declare property tests.
+///
+/// Matches real proptest's surface syntax: an optional
+/// `#![proptest_config(..)]` line, then `#[test] fn name(x in strategy, ..)
+/// { body }` items. Note the `#[test]` attribute is written explicitly by
+/// the caller (captured and re-emitted here), as in upstream usage.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest($cfg, stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Assert within a property test (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when its precondition does not hold.
+///
+/// Expands to an early return from the per-case closure, so the runner
+/// simply proceeds to the next case (rejected cases are not re-drawn).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,24 @@
+//! Test-runner configuration (`ProptestConfig`).
+
+/// How many cases each property test runs, as set by
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (other fields keep defaults).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default is 256; keep it so unconfigured proptest!
+        // blocks get comparable coverage.
+        ProptestConfig { cases: 256 }
+    }
+}

@@ -1,0 +1,253 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the narrow parallel-iterator surface the workspace uses:
+//!
+//! ```text
+//! slice.par_iter().map(f).collect::<Vec<_>>()
+//! slice.par_iter().enumerate().map(f).collect::<Vec<_>>()
+//! slice.par_iter().filter_map(f).collect::<Vec<_>>()
+//! range.into_par_iter().map(f).collect::<Vec<_>>()
+//! ```
+//!
+//! Unlike real rayon there is no work-stealing pool and no lazy adaptor
+//! fusion: `map`/`filter_map` evaluate **eagerly**, splitting the input
+//! into contiguous chunks across `std::thread::scope` threads (one per
+//! available core). Order is preserved, so `collect` sees results in input
+//! order exactly as rayon's indexed collect would. This matches the
+//! workspace's usage — a single expensive `map`/`filter_map` stage per
+//! chain — where eager evaluation costs nothing.
+
+use std::num::NonZeroUsize;
+
+/// An ordered, materialised parallel sequence (the result of `par_iter` /
+/// `into_par_iter` and of every adaptor).
+pub struct ParSeq<T> {
+    items: Vec<T>,
+}
+
+/// Apply `f` to every item on a scoped thread pool, preserving order.
+fn par_apply<T: Send, R: Send, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    // Hand each thread a contiguous chunk of inputs and the matching
+    // chunk of the output buffer.
+    let chunk = n.div_ceil(threads);
+    let mut in_chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        in_chunks.push(std::mem::replace(&mut items, rest));
+    }
+    std::thread::scope(|scope| {
+        let mut out_slices: Vec<&mut [Option<R>]> = Vec::new();
+        let mut rest: &mut [Option<R>] = &mut out;
+        for c in &in_chunks {
+            let (head, tail) = rest.split_at_mut(c.len());
+            out_slices.push(head);
+            rest = tail;
+        }
+        for (inputs, outputs) in in_chunks.into_iter().zip(out_slices) {
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, item) in outputs.iter_mut().zip(inputs) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("all chunks filled"))
+        .collect()
+}
+
+impl<T: Send> ParSeq<T> {
+    /// Parallel map: eagerly applies `f` across threads, preserving order.
+    pub fn map<R: Send, F>(self, f: F) -> ParSeq<R>
+    where
+        F: Fn(T) -> R + Sync,
+    {
+        ParSeq {
+            items: par_apply(self.items, f),
+        }
+    }
+
+    /// Parallel filter-map (eager, order-preserving).
+    pub fn filter_map<R: Send, F>(self, f: F) -> ParSeq<R>
+    where
+        F: Fn(T) -> Option<R> + Sync,
+    {
+        ParSeq {
+            items: par_apply(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel filter (eager, order-preserving).
+    pub fn filter<F>(self, f: F) -> ParSeq<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let kept = par_apply(self.items, |t| if f(&t) { Some(t) } else { None });
+        ParSeq {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Pair every item with its index (cheap, sequential).
+    pub fn enumerate(self) -> ParSeq<(usize, T)> {
+        ParSeq {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Gather into any collection, in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+/// `.par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: 'a;
+
+    /// A parallel sequence over `&self`'s items.
+    fn par_iter(&'a self) -> ParSeq<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParSeq<&'a T> {
+        ParSeq {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParSeq<&'a T> {
+        ParSeq {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `.into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+
+    /// A parallel sequence over the items.
+    fn into_par_iter(self) -> ParSeq<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParSeq<T> {
+        ParSeq { items: self }
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParSeq<$t> {
+                ParSeq { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par!(u32, u64, usize, i32, i64);
+
+/// The idiomatic glob import, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParSeq};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_then_map() {
+        let v = vec!["a", "b", "c"];
+        let tagged: Vec<(usize, String)> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.to_string()))
+            .collect();
+        assert_eq!(tagged[1], (1, "b".to_string()));
+    }
+
+    #[test]
+    fn filter_map_drops_nones_in_order() {
+        let v: Vec<u32> = (0..100).collect();
+        let odd: Vec<u32> = v
+            .par_iter()
+            .filter_map(|&x| if x % 2 == 1 { Some(x) } else { None })
+            .collect();
+        assert_eq!(odd.len(), 50);
+        assert!(odd.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0usize..64).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[63], 63 * 63);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        // Thread ids observed inside map should exceed one on multicore
+        // machines; on a single-core machine this degenerates gracefully.
+        let ids: std::collections::HashSet<std::thread::ThreadId> = (0u32..256)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                std::thread::current().id()
+            })
+            .collect();
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(ids.len() > 1, "expected multiple worker threads");
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a deliberately simplified serde: instead of the visitor-based
+//! `Serializer`/`Deserializer` machinery, both traits convert through one
+//! in-memory JSON [`Value`]. The only data format the workspace uses is
+//! JSON (via the sibling `serde_json` stand-in), so nothing is lost, and
+//! the derive macros in `serde_derive` stay small enough to hand-write
+//! without `syn`/`quote`.
+//!
+//! Compatibility surface kept from real serde:
+//! * `#[derive(serde::Serialize, serde::Deserialize)]` on plain structs,
+//!   tuple structs, and enums (unit / tuple / struct variants, encoded
+//!   with serde's externally-tagged conventions);
+//! * `serde::Serialize` / `serde::Deserialize` bounds on generic items;
+//! * `serde::de::DeserializeOwned` as an alias.
+//!
+//! Numbers preserve integer-ness: `u64`/`i64` round-trip exactly (the
+//! implementation cache keys are full-width FNV digests), and `f64` is
+//! printed with shortest-round-trip formatting so reloaded models predict
+//! bit-identically.
+
+use std::collections::HashMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::Value;
+
+/// Serialization/deserialization error: a message, nothing fancier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Error {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible to a JSON [`Value`].
+pub trait Serialize {
+    /// Convert to the JSON data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from the JSON data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Alias matching `serde::de::DeserializeOwned` bounds in downstream code.
+pub trait DeserializeOwned: Deserialize {}
+
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Compatibility module mirroring `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned, Error};
+}
+
+/// Compatibility module mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::msg("expected bool"))
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(u).map_err(|_| Error::msg(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let u = v.as_u64().ok_or_else(|| Error::msg("expected usize"))?;
+        usize::try_from(u).map_err(|_| Error::msg("usize out of range"))
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(i).map_err(|_| Error::msg(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let i = v.as_i64().ok_or_else(|| Error::msg("expected isize"))?;
+        isize::try_from(i).map_err(|_| Error::msg("isize out of range"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::msg("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::msg("expected f32"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::msg("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let vec: Vec<T> = Vec::from_value(v)?;
+        <[T; N]>::try_from(vec).map_err(|_| Error::msg("array length mismatch"))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::msg("expected tuple array"))?;
+                let expect = [$($idx),+].len();
+                if arr.len() != expect {
+                    return Err(Error::msg("tuple length mismatch"));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys.
+        let mut pairs: Vec<(&String, &V)> = self.iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::msg("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_round_trip_at_full_width() {
+        let big: u64 = 0xcbf2_9ce4_8422_2325;
+        let v = big.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), big);
+        let neg: i64 = -123_456_789_012_345;
+        assert_eq!(i64::from_value(&neg.to_value()).unwrap(), neg);
+    }
+
+    #[test]
+    fn options_use_null() {
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::UInt(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn tuples_and_vecs_nest() {
+        let data = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let v = data.to_value();
+        let back: Vec<(u32, String)> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, data);
+    }
+}

@@ -1,0 +1,462 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! item shapes this workspace uses, generating impls of the simplified
+//! JSON-value-based traits in the vendored `serde`:
+//!
+//! * structs with named fields → JSON objects;
+//! * tuple structs → newtype (1 field) or arrays (n fields);
+//! * unit structs → `null`;
+//! * enums → serde's externally-tagged encoding (`"Variant"`,
+//!   `{"Variant": value}`, `{"Variant": [..]}`, `{"Variant": {..}}`).
+//!
+//! Generic items and `#[serde(...)]` attributes are not supported; the
+//! derive raises a compile error on them rather than silently mis-encoding.
+//!
+//! Implementation note: with no `syn`/`quote` available offline, parsing
+//! walks `proc_macro::TokenTree`s directly and code is generated as a
+//! string, then re-parsed into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What one parsed item looks like, reduced to what codegen needs.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip one attribute (`#` followed by a bracketed group) if present.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split a token list on top-level commas, tracking `<...>` nesting so
+/// commas inside generic arguments don't split fields.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a named-field body (brace group contents).
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for seg in split_top_level_commas(tokens) {
+        let mut i = skip_vis(&seg, skip_attrs(&seg, 0));
+        match seg.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                i += 1;
+            }
+            None => continue, // trailing comma
+            Some(other) => return Err(format!("unexpected token in field: {other}")),
+        }
+        match seg.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "expected ':' after field {}",
+                    fields.last().unwrap()
+                ))
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple body (paren group contents).
+fn parse_tuple_arity(tokens: &[TokenTree]) -> usize {
+    split_top_level_commas(tokens)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .count()
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for seg in split_top_level_commas(tokens) {
+        let i = skip_attrs(&seg, 0);
+        let Some(TokenTree::Ident(id)) = seg.get(i) else {
+            if seg.len() <= i {
+                continue; // trailing comma
+            }
+            return Err("expected variant name".to_string());
+        };
+        let name = id.to_string();
+        let kind = match seg.get(i + 1) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Tuple(parse_tuple_arity(&toks))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Struct(parse_named_fields(&toks)?)
+            }
+            Some(other) => return Err(format!("unsupported tokens after variant {name}: {other}")),
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".to_string()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic item `{name}`"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&toks)?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Shape::TupleStruct {
+                    name,
+                    arity: parse_tuple_arity(&toks),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Shape::Enum {
+                    name,
+                    variants: parse_variants(&toks)?,
+                })
+            }
+            _ => Err(format!("expected enum body for `{name}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// `#[derive(Serialize)]`: impl of the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();
+                        {pushes}
+                        ::serde::Value::Object(fields)
+                    }}
+                }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{
+                    ::serde::Serialize::to_value(&self.0)
+                }}
+            }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Array(vec![{}])
+                    }}
+                }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}
+            }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`: impl of the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get({f:?}).unwrap_or(&::serde::Value::Null))
+                            .map_err(|e| ::serde::Error(format!(\"{name}.{f}: {{e}}\")))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        if v.as_object().is_none() {{
+                            return Err(::serde::Error(format!(\"{name}: expected object\")));
+                        }}
+                        Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                    Ok({name}(::serde::Deserialize::from_value(v)?))
+                }}
+            }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::from_value(&arr[{k}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        let arr = v.as_array().ok_or_else(|| ::serde::Error(format!(\"{name}: expected array\")))?;
+                        if arr.len() != {arity} {{
+                            return Err(::serde::Error(format!(\"{name}: arity mismatch\")));
+                        }}
+                        Ok({name}({}))
+                    }}
+                }}",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                    Ok({name})
+                }}
+            }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&arr[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{
+                                    let arr = inner.as_array().ok_or_else(|| ::serde::Error(format!(\"{name}::{vn}: expected array\")))?;
+                                    if arr.len() != {n} {{
+                                        return Err(::serde::Error(format!(\"{name}::{vn}: arity mismatch\")));
+                                    }}
+                                    Ok({name}::{vn}({}))
+                                }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(inner.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        match v {{
+                            ::serde::Value::Str(s) => match s.as_str() {{
+                                {unit_arms}
+                                other => Err(::serde::Error(format!(\"{name}: unknown variant {{other}}\"))),
+                            }},
+                            ::serde::Value::Object(pairs) if pairs.len() == 1 => {{
+                                let (tag, inner) = &pairs[0];
+                                let _ = inner;
+                                match tag.as_str() {{
+                                    {tagged_arms}
+                                    other => Err(::serde::Error(format!(\"{name}: unknown variant {{other}}\"))),
+                                }}
+                            }}
+                            _ => Err(::serde::Error(format!(\"{name}: expected variant tag\"))),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}

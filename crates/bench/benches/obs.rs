@@ -1,0 +1,65 @@
+//! Recorder overhead: the same flow run against the no-op recorder, the
+//! in-memory aggregating sink, and the JSONL file sink, plus microbenches
+//! of the span/counter primitives. The acceptance bar is that the no-op
+//! recorder costs the flow nothing measurable (< 2%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tms_core::cnn::cnvw1a1;
+use tms_core::device::Device;
+use tms_core::flow::{run_rw_flow, CfPolicy, RwFlowConfig};
+use tms_core::obs::{noop, span, AggregatingSink, JsonlSink, Phase, Recorder};
+use tms_core::pblock::CfSearch;
+use tms_core::place::PlacementModel;
+use tms_core::stitch::StitchConfig;
+
+fn cfg(obs: &dyn Recorder) -> RwFlowConfig<'_> {
+    RwFlowConfig {
+        policy: CfPolicy::Minimal(CfSearch::wide()),
+        use_shape_report: true,
+        model: PlacementModel::default(),
+        stitch: StitchConfig::fast(3),
+        seed: 3,
+        obs,
+    }
+}
+
+fn bench_flow_recorders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_flow");
+    group.sample_size(10);
+    let design = cnvw1a1(3);
+    let dev = Device::xc7z045();
+    group.bench_function("noop", |b| {
+        b.iter(|| black_box(run_rw_flow(&design, &dev, &cfg(noop()))));
+    });
+    group.bench_function("aggregating", |b| {
+        let sink = AggregatingSink::new();
+        b.iter(|| black_box(run_rw_flow(&design, &dev, &cfg(&sink))));
+    });
+    group.bench_function("jsonl", |b| {
+        let path = std::env::temp_dir().join("tms-obs-bench-trace.jsonl");
+        let sink = JsonlSink::create(&path).expect("trace file in temp dir");
+        b.iter(|| black_box(run_rw_flow(&design, &dev, &cfg(&sink))));
+    });
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+    let agg = AggregatingSink::new();
+    group.bench_function("span_noop", |b| {
+        let obs = noop();
+        b.iter(|| span(black_box(obs), Phase::Place, "m"));
+    });
+    group.bench_function("span_aggregating", |b| {
+        let obs: &dyn Recorder = &agg;
+        b.iter(|| span(black_box(obs), Phase::Place, "m"));
+    });
+    group.bench_function("count_aggregating", |b| {
+        b.iter(|| agg.count(black_box("cache.hit"), 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_recorders, bench_primitives);
+criterion_main!(benches);

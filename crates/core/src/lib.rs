@@ -49,6 +49,7 @@ pub use tms_estimator as estimator;
 pub use tms_flow as flow;
 pub use tms_ml as ml;
 pub use tms_netlist as netlist;
+pub use tms_obs as obs;
 pub use tms_pblock as pblock;
 pub use tms_place as place;
 pub use tms_route as route;
@@ -59,13 +60,15 @@ pub use tms_synth as synth;
 pub use tms_timing as timing;
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use tms_cnn::CnvDesign;
 use tms_device::Device;
 use tms_estimator::{
-    build_dataset, to_ml_dataset, CfEstimator, EstimatorKind, FeatureSet, LabelConfig,
+    build_dataset_observed, to_ml_dataset, CfEstimator, EstimatorKind, FeatureSet, LabelConfig,
     ModuleFeatures,
 };
 use tms_flow::{run_rw_flow, CfPolicy, RwFlowConfig, RwFlowResult};
+use tms_obs::Recorder;
 use tms_place::{quick_place, PlacementModel};
 use tms_rtlgen::{standard_sweep, SweepConfig};
 use tms_stitch::StitchConfig;
@@ -121,6 +124,7 @@ pub struct MacroSizingFlow {
     sa_moves: u64,
     seed: u64,
     full_models: bool,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl MacroSizingFlow {
@@ -137,6 +141,7 @@ impl MacroSizingFlow {
             sa_moves: 120_000,
             seed: 2024,
             full_models: true,
+            recorder: None,
         }
     }
 
@@ -172,6 +177,19 @@ impl MacroSizingFlow {
         self
     }
 
+    /// Record pipeline telemetry (phase spans, flow counters) through
+    /// `recorder` — e.g. an [`obs::AggregatingSink`] for in-process
+    /// totals or an [`obs::JsonlSink`] for an on-disk trace the
+    /// `tms report` command renders. Without this, recording is a no-op.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    fn obs(&self) -> &dyn Recorder {
+        self.recorder.as_deref().unwrap_or_else(|| tms_obs::noop())
+    }
+
     /// Generate, label and learn: the estimator-training half of the flow.
     pub fn train(&self) -> TrainedEstimator {
         let modules = standard_sweep(
@@ -182,13 +200,14 @@ impl MacroSizingFlow {
             },
             self.seed,
         );
-        let labelled = build_dataset(
+        let labelled = build_dataset_observed(
             &modules,
             &self.device,
             &LabelConfig {
                 seed: self.seed,
                 ..LabelConfig::default()
             },
+            self.obs(),
         );
         let ds =
             to_ml_dataset(&labelled, self.feature_set).cap_per_bin(0.02, self.bin_cap, self.seed);
@@ -224,6 +243,7 @@ impl MacroSizingFlow {
                 ..StitchConfig::standard(self.seed)
             },
             seed: self.seed,
+            obs: self.obs(),
         };
         run_rw_flow(design, &self.device, &cfg)
     }
@@ -260,6 +280,28 @@ mod tests {
             assert!((0.5..=2.5).contains(&cf), "{}: {cf}", m.name);
         }
         assert_eq!(trained.feature_set(), FeatureSet::Additional);
+    }
+
+    #[test]
+    fn recorder_sees_training_and_compilation() {
+        let sink = Arc::new(tms_obs::AggregatingSink::new());
+        let flow = MacroSizingFlow::new(Device::xc7z045())
+            .with_dataset_size(150)
+            .with_sa_moves(2_000)
+            .with_seed(11)
+            .with_recorder(sink.clone());
+        let trained = flow.train();
+        assert!(sink.counter("estimator.labelled") > 0);
+        let after_train = sink.phase_spans(tms_obs::Phase::Place);
+        assert!(after_train > 0, "labelling emits Place spans");
+        let result = flow.compile(&cnvw1a1(11), &trained);
+        assert!(result.failed.is_empty(), "failed: {:?}", result.failed);
+        assert_eq!(sink.phase_spans(tms_obs::Phase::Stitch), 1);
+        assert!(sink.phase_spans(tms_obs::Phase::Place) > after_train);
+        assert_eq!(
+            sink.counter("flow.modules.implemented"),
+            result.implemented.len() as u64
+        );
     }
 
     #[test]

@@ -4,7 +4,8 @@ use crate::features::{FeatureSet, ModuleFeatures};
 use rayon::prelude::*;
 use tms_device::Device;
 use tms_ml::Dataset;
-use tms_pblock::{min_feasible_cf, CfSearch, PBlockGenerator};
+use tms_obs::{noop, span, Phase, Recorder};
+use tms_pblock::{min_feasible_cf_observed, CfSearch, PBlockGenerator};
 use tms_place::{detail::module_key, quick_place, PlacementModel};
 use tms_rtlgen::GeneratedModule;
 use tms_synth::pack;
@@ -55,13 +56,46 @@ pub fn label_module(
     gen: &PBlockGenerator<'_>,
     cfg: &LabelConfig,
 ) -> Option<LabelledModule> {
-    let stats = module.netlist.stats();
-    let packing = pack(&stats);
-    let shape = quick_place(&stats, &packing);
-    let key = module_key(module.netlist.name(), cfg.seed);
-    let found = min_feasible_cf(gen, &stats, &packing, &shape, &cfg.model, &cfg.search, key)?;
+    label_module_observed(module, gen, cfg, noop())
+}
+
+/// [`label_module`] with telemetry: the synthesis/packing front-end is
+/// wrapped in a `synth`-phase span, the CF search records through the
+/// observed pblock search, and every kept/dropped sample bumps
+/// `estimator.labelled` / `estimator.dropped`.
+pub fn label_module_observed(
+    module: &GeneratedModule,
+    gen: &PBlockGenerator<'_>,
+    cfg: &LabelConfig,
+    obs: &dyn Recorder,
+) -> Option<LabelledModule> {
+    let name = module.netlist.name();
+    let (stats, packing, shape) = {
+        let _sp = span(obs, Phase::Synth, name);
+        let stats = module.netlist.stats();
+        let packing = pack(&stats);
+        let shape = quick_place(&stats, &packing);
+        (stats, packing, shape)
+    };
+    let key = module_key(name, cfg.seed);
+    let found = min_feasible_cf_observed(
+        gen,
+        &stats,
+        &packing,
+        &shape,
+        &cfg.model,
+        &cfg.search,
+        key,
+        obs,
+        name,
+    );
+    let Some(found) = found else {
+        obs.count("estimator.dropped", 1);
+        return None;
+    };
+    obs.count("estimator.labelled", 1);
     Some(LabelledModule {
-        name: module.netlist.name().to_string(),
+        name: name.to_string(),
         kind: module.kind.label(),
         features: ModuleFeatures::extract(&stats, &packing, &shape),
         min_cf: found.cf,
@@ -78,10 +112,21 @@ pub fn build_dataset(
     device: &Device,
     cfg: &LabelConfig,
 ) -> Vec<LabelledModule> {
+    build_dataset_observed(modules, device, cfg, noop())
+}
+
+/// [`build_dataset`] recording through `obs` — the sink must be shared
+/// across Rayon workers, which every [`Recorder`] is (`Send + Sync`).
+pub fn build_dataset_observed(
+    modules: &[GeneratedModule],
+    device: &Device,
+    cfg: &LabelConfig,
+    obs: &dyn Recorder,
+) -> Vec<LabelledModule> {
     let gen = PBlockGenerator::new(device, true);
     modules
         .par_iter()
-        .filter_map(|m| label_module(m, &gen, cfg))
+        .filter_map(|m| label_module_observed(m, &gen, cfg, obs))
         .collect()
 }
 
@@ -132,6 +177,41 @@ mod tests {
             assert_eq!(ds.dims(), set.indices().len());
             assert_eq!(ds.targets[0], labelled[0].min_cf);
         }
+    }
+
+    #[test]
+    fn observed_labelling_reconciles_counters_with_the_dataset() {
+        use tms_obs::AggregatingSink;
+        let modules = standard_sweep(
+            &SweepConfig {
+                target_modules: 30,
+                max_luts: 900,
+                min_luts: 2,
+            },
+            5,
+        );
+        let dev = Device::xc7z020();
+        let sink = AggregatingSink::new();
+        let labelled = build_dataset_observed(&modules, &dev, &LabelConfig::default(), &sink);
+        assert_eq!(sink.counter("estimator.labelled"), labelled.len() as u64);
+        assert_eq!(
+            sink.counter("estimator.dropped"),
+            (modules.len() - labelled.len()) as u64
+        );
+        let attempts: u64 = labelled.iter().map(|m| u64::from(m.label_attempts)).sum();
+        assert_eq!(
+            sink.counter("pblock.search.tool_runs"),
+            attempts,
+            "tool-run counter must equal the per-sample attempt sum"
+        );
+        assert_eq!(
+            sink.phase_spans(tms_obs::Phase::Synth),
+            modules.len() as u64
+        );
+        assert_eq!(
+            sink.phase_spans(tms_obs::Phase::Place),
+            modules.len() as u64
+        );
     }
 
     #[test]

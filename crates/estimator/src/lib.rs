@@ -39,6 +39,9 @@ pub mod dataset;
 pub mod estimator;
 pub mod features;
 
-pub use dataset::{build_dataset, label_module, to_ml_dataset, LabelConfig, LabelledModule};
+pub use dataset::{
+    build_dataset, build_dataset_observed, label_module, label_module_observed, to_ml_dataset,
+    LabelConfig, LabelledModule,
+};
 pub use estimator::{CfEstimator, EstimatorKind};
 pub use features::{FeatureSet, ModuleFeatures};

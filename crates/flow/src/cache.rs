@@ -276,16 +276,26 @@ fn run_cached(
         "guided CF predictions are not stable across estimator retraining"
     );
     // Look up every module; record hits and the indices still to implement.
+    let obs = cfg.obs;
     let mut hits: HashMap<usize, ImplementedModule> = HashMap::new();
     let mut missing: Vec<usize> = Vec::new();
-    for (idx, m) in design.modules.iter().enumerate() {
-        let key = ModuleFingerprint::of(&m.netlist, device);
-        match cache.get(&key) {
-            Some(hit) => {
-                hits.insert(idx, hit);
+    {
+        let mut sp = tms_obs::span(obs, tms_obs::Phase::Cache, "lookup");
+        for (idx, m) in design.modules.iter().enumerate() {
+            let key = ModuleFingerprint::of(&m.netlist, device);
+            match cache.get(&key) {
+                Some(hit) => {
+                    obs.count("cache.hit", 1);
+                    hits.insert(idx, hit);
+                }
+                None => {
+                    obs.count("cache.miss", 1);
+                    missing.push(idx);
+                }
             }
-            None => missing.push(idx),
         }
+        sp.field("hits", hits.len() as f64);
+        sp.field("misses", missing.len() as f64);
     }
 
     // Pre-implement only the misses, in parallel.
@@ -359,6 +369,7 @@ mod tests {
             use_shape_report: true,
             model: PlacementModel::default(),
             stitch: StitchConfig::fast(seed),
+            obs: tms_obs::noop(),
             seed,
         }
     }
@@ -448,16 +459,16 @@ mod tests {
     #[test]
     fn warm_run_skips_reimplementation_work() {
         // The point of the cache: a fully warm second run must do strictly
-        // less implementation work, which shows up as wall-clock.
+        // less implementation work. Per-phase span totals show exactly
+        // where the time goes, instead of one opaque wall-clock pair.
+        use tms_obs::{AggregatingSink, Phase};
         let design = cnvw1a1(5);
         let dev = Device::xc7z045();
         let mut cache = ImplementationCache::new();
-        let t0 = std::time::Instant::now();
-        let cold = run_rw_flow_cached(&design, &dev, &cfg(5), &mut cache);
-        let cold_time = t0.elapsed();
-        let t1 = std::time::Instant::now();
-        let warm = run_rw_flow_cached(&design, &dev, &cfg(5), &mut cache);
-        let warm_time = t1.elapsed();
+        let cold_sink = AggregatingSink::new();
+        let cold = run_rw_flow_cached(&design, &dev, &cfg(5).with_recorder(&cold_sink), &mut cache);
+        let warm_sink = AggregatingSink::new();
+        let warm = run_rw_flow_cached(&design, &dev, &cfg(5).with_recorder(&warm_sink), &mut cache);
         assert_eq!(warm.fresh, 0);
         assert_eq!(warm.tool_runs_spent, 0);
         // Identical final stitch either way.
@@ -466,11 +477,20 @@ mod tests {
             cold.result.stitch.placed_count
         );
         assert_eq!(warm.result.implemented.len(), cold.result.implemented.len());
-        // The warm run skips 74 minimal-CF searches; even with the stitch
-        // re-run it must come in well under the cold run.
+        // The cold run spends its time in 74 minimal-CF searches; the warm
+        // run records no place/synth/pack spans at all — every module came
+        // out of the cache — so only the re-run stitch remains.
+        assert_eq!(cold_sink.phase_spans(Phase::Place), 74);
+        assert_eq!(warm_sink.phase_spans(Phase::Place), 0);
+        assert_eq!(warm_sink.phase_spans(Phase::Synth), 0);
+        assert_eq!(warm_sink.phase_spans(Phase::Stitch), 1);
+        assert_eq!(cold_sink.counter("cache.miss"), 74);
+        assert_eq!(warm_sink.counter("cache.hit"), 74);
         assert!(
-            warm_time < cold_time,
-            "warm {warm_time:?} !< cold {cold_time:?}"
+            warm_sink.total_us() < cold_sink.total_us(),
+            "warm {}µs !< cold {}µs",
+            warm_sink.total_us(),
+            cold_sink.total_us()
         );
     }
 

@@ -204,6 +204,7 @@ pub fn run(scale: &Scale) -> Ablations {
         use_shape_report: true,
         model,
         stitch: scale.stitch_config(scale.seed),
+        obs: tms_obs::noop(),
         seed: scale.seed,
     };
     let flow = crate::rwflow::run_rw_flow(&design, &Device::xc7z045(), &cfg);

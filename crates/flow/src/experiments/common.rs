@@ -4,11 +4,12 @@ use rayon::prelude::*;
 use tms_cnn::CnvDesign;
 use tms_device::Device;
 use tms_estimator::{
-    build_dataset, CfEstimator, EstimatorKind, FeatureSet, LabelConfig, LabelledModule,
+    build_dataset_observed, CfEstimator, EstimatorKind, FeatureSet, LabelConfig, LabelledModule,
     ModuleFeatures,
 };
 use tms_ml::Dataset;
-use tms_pblock::{min_feasible_cf, CfSearch, PBlockGenerator};
+use tms_obs::{noop, AggregatingSink, Recorder};
+use tms_pblock::{min_feasible_cf_observed, CfSearch, PBlockGenerator};
 use tms_place::{detail::module_key, quick_place, PlacementModel};
 use tms_rtlgen::{standard_sweep, GeneratedModule, SweepConfig};
 use tms_stitch::StitchConfig;
@@ -86,15 +87,54 @@ pub fn sweep_modules(scale: &Scale) -> Vec<GeneratedModule> {
 
 /// Generate and label the training sweep on `device`.
 pub fn labelled_sweep(scale: &Scale, device: &Device) -> Vec<LabelledModule> {
+    labelled_sweep_observed(scale, device, noop())
+}
+
+/// [`labelled_sweep`] recording through `obs`: per-module synth/place
+/// spans, `pblock.search.*` tool-run counters and the
+/// `estimator.{labelled,dropped}` tallies the experiment drivers report.
+pub fn labelled_sweep_observed(
+    scale: &Scale,
+    device: &Device,
+    obs: &dyn Recorder,
+) -> Vec<LabelledModule> {
     let modules = sweep_modules(scale);
-    build_dataset(
+    build_dataset_observed(
         &modules,
         device,
         &LabelConfig {
             seed: scale.seed,
             ..LabelConfig::default()
         },
+        obs,
     )
+}
+
+/// Labelling-stage accounting read back from an [`AggregatingSink`] — the
+/// cost side of an experiment that the paper reports alongside accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct SweepTelemetry {
+    /// Modules that yielded a label (`estimator.labelled`).
+    pub labelled: u64,
+    /// Modules dropped as infeasible (`estimator.dropped`).
+    pub dropped: u64,
+    /// Successful placement tool runs (`pblock.search.tool_runs`).
+    pub tool_runs: u64,
+    /// Tool runs spent on searches that never found a feasible CF
+    /// (`pblock.search.wasted_runs`).
+    pub wasted_runs: u64,
+}
+
+impl SweepTelemetry {
+    /// Read the labelling counters out of `sink`.
+    pub fn from_sink(sink: &AggregatingSink) -> SweepTelemetry {
+        SweepTelemetry {
+            labelled: sink.counter("estimator.labelled"),
+            dropped: sink.counter("estimator.dropped"),
+            tool_runs: sink.counter("pblock.search.tool_runs"),
+            wasted_runs: sink.counter("pblock.search.wasted_runs"),
+        }
+    }
 }
 
 /// Project labelled modules to an ML data set over the full feature vector,
@@ -137,6 +177,19 @@ pub struct CnvLabel {
 /// The paper's evaluation removes the one-or-two-tile modules whose PBlock
 /// is trivial; callers filter on [`CnvLabel::tiles`].
 pub fn label_cnv(design: &CnvDesign, device: &Device, seed: u64) -> Vec<CnvLabel> {
+    label_cnv_observed(design, device, seed, noop())
+}
+
+/// [`label_cnv`] recording through `obs`. The `pblock.search.tool_runs`
+/// counter ends up equal to the sum of the returned `search_attempts` —
+/// the experiment drivers assert that equality to prove their tool-run
+/// accounting reproduces the telemetry layer's.
+pub fn label_cnv_observed(
+    design: &CnvDesign,
+    device: &Device,
+    seed: u64,
+    obs: &dyn Recorder,
+) -> Vec<CnvLabel> {
     let gen = PBlockGenerator::new(device, true);
     let model = PlacementModel::default();
     let search = CfSearch::wide();
@@ -148,14 +201,15 @@ pub fn label_cnv(design: &CnvDesign, device: &Device, seed: u64) -> Vec<CnvLabel
             let packing = pack(&stats);
             let shape = quick_place(&stats, &packing);
             let key = module_key(&m.name, seed);
-            min_feasible_cf(&gen, &stats, &packing, &shape, &model, &search, key).map(|r| {
-                CnvLabel {
-                    name: m.name.clone(),
-                    features: ModuleFeatures::extract(&stats, &packing, &shape),
-                    min_cf: r.cf,
-                    search_attempts: r.attempts,
-                    tiles: r.pblock.rect.area(),
-                }
+            min_feasible_cf_observed(
+                &gen, &stats, &packing, &shape, &model, &search, key, obs, &m.name,
+            )
+            .map(|r| CnvLabel {
+                name: m.name.clone(),
+                features: ModuleFeatures::extract(&stats, &packing, &shape),
+                min_cf: r.cf,
+                search_attempts: r.attempts,
+                tiles: r.pblock.rect.area(),
             })
         })
         .collect()

@@ -5,12 +5,13 @@
 //! regression and 9.5% for the NN on the Additional features; modules with
 //! trivial (one-or-two-tile) PBlocks are removed, leaving 63 modules.
 
-use super::common::{capped_all_features, label_cnv, labelled_sweep, project, Scale};
+use super::common::{capped_all_features, label_cnv_observed, labelled_sweep, project, Scale};
 use core::fmt;
 use tms_cnn::cnvw1a1;
 use tms_device::Device;
 use tms_estimator::{EstimatorKind, FeatureSet};
 use tms_ml::metrics;
+use tms_obs::AggregatingSink;
 
 /// One estimator's cnvW1A1 evaluation.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -34,6 +35,10 @@ pub struct Fig11 {
     pub nn: Fig11Series,
     /// Number of evaluated modules after dropping trivial PBlocks.
     pub modules: usize,
+    /// Tool runs the ground-truth labelling of cnvW1A1 spent, read back
+    /// from the `pblock.search.tool_runs` counter (equals the sum of the
+    /// per-module `search_attempts`).
+    pub label_tool_runs: u64,
 }
 
 /// Run the Figure 11 experiment: train on the sweep, test on cnvW1A1.
@@ -43,7 +48,15 @@ pub fn run(scale: &Scale) -> Fig11 {
     let all = capped_all_features(&labelled, scale);
 
     let design = cnvw1a1(scale.seed);
-    let labels = label_cnv(&design, &dev, scale.seed);
+    // A dedicated sink scoped to the labelling stage, so the tool-run
+    // counter reconciles exactly with the labels' `search_attempts`.
+    let sink = AggregatingSink::new();
+    let labels = label_cnv_observed(&design, &dev, scale.seed, &sink);
+    let label_tool_runs = sink.counter("pblock.search.tool_runs");
+    debug_assert_eq!(
+        label_tool_runs,
+        labels.iter().map(|l| u64::from(l.search_attempts)).sum()
+    );
     // Drop modules whose PBlock is trivially small (the paper removes the
     // one-or-two-tile modules; our granularity keeps netlists a bit larger,
     // so the cut is on the smallest PBlocks of the design).
@@ -73,6 +86,7 @@ pub fn run(scale: &Scale) -> Fig11 {
         linreg: run_one(EstimatorKind::LinearRegression, FeatureSet::LinRegNine),
         nn: run_one(EstimatorKind::NeuralNetwork, FeatureSet::Additional),
         modules: eval.len(),
+        label_tool_runs,
     }
 }
 
@@ -92,6 +106,11 @@ impl fmt::Display for Fig11 {
             f,
             "NN (Additional) median abs error: {:.2}%",
             self.nn.median_error * 100.0
+        )?;
+        writeln!(
+            f,
+            "ground-truth labelling spent {} tool runs",
+            self.label_tool_runs
         )?;
         for (name, a, p) in self.nn.rows.iter().take(10) {
             writeln!(f, "  {name:<14} actual {a:.2} predicted {p:.2}")?;
@@ -141,5 +160,25 @@ mod tests {
     fn display_renders() {
         let s = format!("{}", run(&Scale::quick()));
         assert!(s.contains("median abs error"));
+        assert!(s.contains("tool runs"));
+    }
+
+    #[test]
+    fn label_tool_runs_reconcile_with_the_telemetry_counter() {
+        let scale = Scale::quick();
+        let fig = run(&scale);
+        // Re-label with a fresh sink: the counter must equal the sum of the
+        // per-module attempts, and run() must have reported that number.
+        let sink = AggregatingSink::new();
+        let labels = super::super::common::label_cnv_observed(
+            &cnvw1a1(scale.seed),
+            &Device::xc7z020(),
+            scale.seed,
+            &sink,
+        );
+        let attempts: u64 = labels.iter().map(|l| u64::from(l.search_attempts)).sum();
+        assert_eq!(sink.counter("pblock.search.tool_runs"), attempts);
+        assert_eq!(fig.label_tool_runs, attempts);
+        assert!(attempts >= labels.len() as u64);
     }
 }

@@ -1,9 +1,10 @@
 //! Figure 9: feature importance of a single decision tree, per feature set.
 
-use super::common::{capped_all_features, labelled_sweep, project, Scale};
+use super::common::{capped_all_features, labelled_sweep_observed, project, Scale, SweepTelemetry};
 use core::fmt;
 use tms_device::Device;
 use tms_estimator::{EstimatorKind, FeatureSet};
+use tms_obs::AggregatingSink;
 
 /// Importances of one feature set.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -29,6 +30,8 @@ impl Fig9Set {
 pub struct Fig9 {
     /// One entry per feature set of Table II.
     pub sets: Vec<Fig9Set>,
+    /// Cost accounting of the training-sweep labelling stage.
+    pub sweep: SweepTelemetry,
 }
 
 impl Fig9 {
@@ -41,7 +44,9 @@ impl Fig9 {
 /// Run the Figure 9 experiment.
 pub fn run(scale: &Scale) -> Fig9 {
     let dev = Device::xc7z020();
-    let labelled = labelled_sweep(scale, &dev);
+    let sink = AggregatingSink::new();
+    let labelled = labelled_sweep_observed(scale, &dev, &sink);
+    let sweep = SweepTelemetry::from_sink(&sink);
     let all = capped_all_features(&labelled, scale);
     let (train_all, _) = all.split(0.8, scale.seed ^ 42);
     let sets = FeatureSet::TABLE2
@@ -61,7 +66,7 @@ pub fn run(scale: &Scale) -> Fig9 {
             }
         })
         .collect();
-    Fig9 { sets }
+    Fig9 { sets, sweep }
 }
 
 impl fmt::Display for Fig9 {
@@ -69,6 +74,11 @@ impl fmt::Display for Fig9 {
         writeln!(
             f,
             "Figure 9 — decision-tree feature importance per feature set"
+        )?;
+        writeln!(
+            f,
+            "sweep: {} labelled / {} dropped, {} tool runs (+{} wasted)",
+            self.sweep.labelled, self.sweep.dropped, self.sweep.tool_runs, self.sweep.wasted_runs
         )?;
         for s in &self.sets {
             writeln!(f, "[{}]", s.set.label())?;
@@ -136,5 +146,18 @@ mod tests {
     fn display_renders() {
         let s = format!("{}", run(&Scale::quick()));
         assert!(s.contains("Carry/All"));
+        assert!(s.contains("tool runs"));
+    }
+
+    #[test]
+    fn sweep_telemetry_accounts_for_every_module() {
+        let scale = Scale::quick();
+        let fig = run(&scale);
+        // Every labelled module spent at least one successful tool run, and
+        // labelled + dropped covers the sweep the labeller actually saw.
+        assert!(fig.sweep.labelled > 150, "{:?}", fig.sweep);
+        assert!(fig.sweep.tool_runs >= fig.sweep.labelled, "{:?}", fig.sweep);
+        let swept = super::super::common::sweep_modules(&scale).len() as u64;
+        assert_eq!(fig.sweep.labelled + fig.sweep.dropped, swept);
     }
 }

@@ -1,10 +1,11 @@
 //! Table II: relative error of the proposed estimators per feature set,
 //! plus the linear-regression baseline of Section VII.
 
-use super::common::{capped_all_features, labelled_sweep, project, Scale};
+use super::common::{capped_all_features, labelled_sweep_observed, project, Scale, SweepTelemetry};
 use core::fmt;
 use tms_device::Device;
 use tms_estimator::{EstimatorKind, FeatureSet};
+use tms_obs::AggregatingSink;
 
 /// One cell of Table II.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -28,6 +29,8 @@ pub struct Table2 {
     pub train_samples: usize,
     /// Held-out samples.
     pub test_samples: usize,
+    /// Cost accounting of the training-sweep labelling stage.
+    pub sweep: SweepTelemetry,
 }
 
 impl Table2 {
@@ -43,7 +46,9 @@ impl Table2 {
 /// Run the Table II experiment.
 pub fn run(scale: &Scale) -> Table2 {
     let dev = Device::xc7z020();
-    let labelled = labelled_sweep(scale, &dev);
+    let sink = AggregatingSink::new();
+    let labelled = labelled_sweep_observed(scale, &dev, &sink);
+    let sweep = SweepTelemetry::from_sink(&sink);
     let all = capped_all_features(&labelled, scale);
     let (train_all, test_all) = all.split(0.8, scale.seed ^ 42);
 
@@ -78,6 +83,7 @@ pub fn run(scale: &Scale) -> Table2 {
         linreg_error: lin.mean_relative_error(&test9),
         train_samples: train_all.len(),
         test_samples: test_all.len(),
+        sweep,
     }
 }
 
@@ -111,6 +117,11 @@ impl fmt::Display for Table2 {
             f,
             "linear regression (nine inputs): {:.1}%",
             self.linreg_error * 100.0
+        )?;
+        writeln!(
+            f,
+            "labelling cost: {} tool runs over {} modules ({} dropped)",
+            self.sweep.tool_runs, self.sweep.labelled, self.sweep.dropped
         )
     }
 }
@@ -178,5 +189,20 @@ mod tests {
         let s = format!("{}", run(&Scale::quick()));
         assert!(s.contains("Classical*"));
         assert!(s.contains("linear regression"));
+        assert!(s.contains("labelling cost"));
+    }
+
+    #[test]
+    fn sweep_telemetry_bounds_the_sample_counts() {
+        let t = run(&Scale::quick());
+        // The capped train/test split can only ever shrink the labelled set.
+        assert!(
+            (t.train_samples + t.test_samples) as u64 <= t.sweep.labelled,
+            "{} + {} vs {:?}",
+            t.train_samples,
+            t.test_samples,
+            t.sweep
+        );
+        assert!(t.sweep.tool_runs >= t.sweep.labelled);
     }
 }

@@ -3,9 +3,12 @@
 use rayon::prelude::*;
 use tms_cnn::CnvDesign;
 use tms_device::Device;
-use tms_pblock::{guided_search, min_feasible_cf, CfSearch, PBlock, PBlockGenerator};
+use tms_obs::{noop, span, Phase, Recorder};
+use tms_pblock::{
+    guided_search_observed, min_feasible_cf_observed, CfSearch, PBlock, PBlockGenerator,
+};
 use tms_place::{detail::module_key, place_in_region, quick_place, Placement, PlacementModel};
-use tms_stitch::{stitch, MacroBlock, StitchConfig, StitchProblem, StitchResult};
+use tms_stitch::{stitch_observed, MacroBlock, StitchConfig, StitchProblem, StitchResult};
 use tms_synth::pack;
 use tms_timing::{estimate, TimingModel, TimingReport};
 
@@ -37,6 +40,9 @@ pub struct RwFlowConfig<'a> {
     pub stitch: StitchConfig,
     /// Seed for placer jitter.
     pub seed: u64,
+    /// Telemetry sink every stage records through. Defaults to
+    /// [`tms_obs::noop`], which keeps the hot path allocation-free.
+    pub obs: &'a dyn Recorder,
 }
 
 impl<'a> RwFlowConfig<'a> {
@@ -48,7 +54,14 @@ impl<'a> RwFlowConfig<'a> {
             model: PlacementModel::default(),
             stitch: StitchConfig::standard(seed),
             seed,
+            obs: noop(),
         }
+    }
+
+    /// The same configuration recording through `obs`.
+    pub fn with_recorder(mut self, obs: &'a dyn Recorder) -> Self {
+        self.obs = obs;
+        self
     }
 }
 
@@ -128,35 +141,70 @@ fn implement_with(
     device: &Device,
     cfg: &RwFlowConfig<'_>,
 ) -> Result<ImplementedModule, String> {
-    let stats = netlist.stats();
-    let packing = pack(&stats);
-    let shape = quick_place(&stats, &packing);
+    let obs = cfg.obs;
+    let stats = {
+        let _sp = span(obs, Phase::Synth, name);
+        netlist.stats()
+    };
+    let (packing, shape) = {
+        let _sp = span(obs, Phase::Pack, name);
+        let packing = pack(&stats);
+        let shape = quick_place(&stats, &packing);
+        (packing, shape)
+    };
     let key = module_key(name, cfg.seed);
+    // The searches emit their own `place`-phase spans; only the constant
+    // branch — a single tool run — wraps one here, so every policy records
+    // exactly one Place span per module.
     let outcome = match &cfg.policy {
-        CfPolicy::Constant(cf) => gen
-            .generate(&shape, *cf)
-            .ok_or_else(|| "no PBlock".to_string())
-            .and_then(|pblock| {
-                place_in_region(&stats, &packing, device, &pblock.rect, &cfg.model, key)
-                    .map(|placement| (*cf, pblock, placement, 1u32, true))
-                    .map_err(|e| e.to_string())
-            }),
-        CfPolicy::Minimal(search) => {
-            min_feasible_cf(gen, &stats, &packing, &shape, &cfg.model, search, key)
-                .map(|r| (r.cf, r.pblock, r.placement, r.attempts, r.attempts == 1))
-                .ok_or_else(|| "no feasible CF".to_string())
+        CfPolicy::Constant(cf) => {
+            let mut sp = span(obs, Phase::Place, name);
+            sp.field("cf", *cf);
+            obs.observe("flow.cf.requested", *cf);
+            match gen.generate(&shape, *cf) {
+                None => {
+                    obs.count("pblock.generate.failed", 1);
+                    Err("no PBlock".to_string())
+                }
+                Some(pblock) => {
+                    match place_in_region(&stats, &packing, device, &pblock.rect, &cfg.model, key) {
+                        Ok(placement) => {
+                            sp.field("attempts", 1.0);
+                            obs.count("pblock.search.tool_runs", 1);
+                            obs.count("pblock.search.feasible", 1);
+                            obs.count("pblock.search.first_try", 1);
+                            obs.observe("flow.cf.placed", *cf);
+                            Ok((*cf, pblock, placement, 1u32, true))
+                        }
+                        Err(e) => {
+                            obs.count(e.counter_key(), 1);
+                            obs.count("pblock.search.infeasible", 1);
+                            obs.count("pblock.search.wasted_runs", 1);
+                            Err(e.to_string())
+                        }
+                    }
+                }
+            }
         }
+        CfPolicy::Minimal(search) => min_feasible_cf_observed(
+            gen, &stats, &packing, &shape, &cfg.model, search, key, obs, name,
+        )
+        .map(|r| (r.cf, r.pblock, r.placement, r.attempts, r.attempts == 1))
+        .ok_or_else(|| "no feasible CF".to_string()),
         CfPolicy::Guided { predict, max_cf } => {
             let predicted = predict(name);
-            guided_search(
-                gen, &stats, &packing, &shape, &cfg.model, predicted, *max_cf, key,
+            guided_search_observed(
+                gen, &stats, &packing, &shape, &cfg.model, predicted, *max_cf, key, obs, name,
             )
             .map(|r| (r.cf, r.pblock, r.placement, r.attempts, r.first_try))
             .ok_or_else(|| "no feasible CF".to_string())
         }
     };
     outcome.map(|(cf, pblock, placement, attempts, first_try)| {
-        let timing = estimate(&stats, &placement, device, timing_model);
+        let timing = {
+            let _sp = span(obs, Phase::Estimate, name);
+            estimate(&stats, &placement, device, timing_model)
+        };
         ImplementedModule {
             name: name.to_string(),
             cf,
@@ -247,7 +295,10 @@ pub fn stitch_implemented(
         }
     }
 
-    let stitch_result = stitch(device, &problem, &cfg.stitch);
+    cfg.obs
+        .count("flow.modules.implemented", implemented.len() as u64);
+    cfg.obs.count("flow.modules.failed", failed.len() as u64);
+    let stitch_result = stitch_observed(device, &problem, &cfg.stitch, cfg.obs);
     RwFlowResult {
         implemented,
         failed,
@@ -269,6 +320,7 @@ mod tests {
             model: PlacementModel::deterministic(),
             stitch: StitchConfig::fast(seed),
             seed,
+            obs: noop(),
         }
     }
 
@@ -340,6 +392,36 @@ mod tests {
         let dev = Device::xc7z020();
         let r = run_rw_flow(&design, &dev, &quick_cfg(CfPolicy::Constant(0.9), 1));
         assert!(!r.failed.is_empty(), "CF 0.9 should not fit every module");
+    }
+
+    #[test]
+    fn observed_flow_reconciles_spans_and_counters() {
+        use tms_obs::AggregatingSink;
+        let design = cnvw1a1(1);
+        let dev = Device::xc7z020();
+        let sink = AggregatingSink::new();
+        let cfg = quick_cfg(CfPolicy::Constant(1.72), 1).with_recorder(&sink);
+        let r = run_rw_flow(&design, &dev, &cfg);
+        assert!(r.failed.is_empty());
+        let n = design.modules.len() as u64;
+        // One span per module per phase, regardless of policy.
+        assert_eq!(sink.phase_spans(Phase::Synth), n);
+        assert_eq!(sink.phase_spans(Phase::Pack), n);
+        assert_eq!(sink.phase_spans(Phase::Place), n);
+        assert_eq!(sink.phase_spans(Phase::Estimate), n);
+        assert_eq!(sink.phase_spans(Phase::Stitch), 1);
+        // With every module implemented, the tool-run counter equals the
+        // flow's own accounting.
+        assert_eq!(
+            sink.counter("pblock.search.tool_runs"),
+            u64::from(r.total_tool_runs)
+        );
+        assert_eq!(sink.counter("flow.modules.implemented"), n);
+        assert_eq!(sink.counter("flow.modules.failed"), 0);
+        assert_eq!(sink.counter("stitch.placed"), r.stitch.placed_count as u64);
+        // Requested vs placed CF agree under a feasible constant policy.
+        assert_eq!(sink.observation("flow.cf.requested").unwrap().0, n);
+        assert_eq!(sink.observation("flow.cf.placed").unwrap().0, n);
     }
 
     #[test]

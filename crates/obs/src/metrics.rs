@@ -1,0 +1,248 @@
+//! Dependency-free metric primitives: counters, bounded histograms, and
+//! the per-endpoint request metrics the serving layer aggregates. All
+//! plain `AtomicU64`, so recording never takes a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (inclusive, microseconds) of the latency histogram
+/// buckets: 100 µs, 1 ms, 10 ms, 100 ms, 1 s, 10 s, and everything above.
+pub const LATENCY_BUCKETS_US: [u64; 7] =
+    [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, u64::MAX];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` values. Bucket `i` counts values
+/// `v <= BOUNDS[i]`; the last bound must be `u64::MAX` so every value
+/// lands somewhere.
+#[derive(Debug)]
+pub struct Histogram<const N: usize> {
+    bounds: [u64; N],
+    buckets: [AtomicU64; N],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl<const N: usize> Histogram<N> {
+    /// A histogram with the given inclusive upper bounds. The bounds must
+    /// be strictly increasing and end at `u64::MAX`.
+    pub fn new(bounds: [u64; N]) -> Histogram<N> {
+        assert!(N > 0, "a histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        assert_eq!(bounds[N - 1], u64::MAX, "last bound must catch everything");
+        Histogram {
+            bounds,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The inclusive upper bounds.
+    pub fn bounds(&self) -> &[u64; N] {
+        &self.bounds
+    }
+
+    /// Record one value. A value exactly on a bound lands in that bound's
+    /// bucket (bounds are inclusive).
+    pub fn observe(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        // The last bound is u64::MAX, so the search cannot miss.
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&bound| value <= bound)
+            .expect("last bound is u64::MAX");
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (non-cumulative).
+    pub fn buckets(&self) -> [u64; N] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Counters for one serving endpoint: request/error totals and a latency
+/// histogram over [`LATENCY_BUCKETS_US`].
+pub struct EndpointMetrics {
+    requests: Counter,
+    errors: Counter,
+    latency: Histogram<{ LATENCY_BUCKETS_US.len() }>,
+}
+
+impl Default for EndpointMetrics {
+    fn default() -> EndpointMetrics {
+        EndpointMetrics {
+            requests: Counter::new(),
+            errors: Counter::new(),
+            latency: Histogram::new(LATENCY_BUCKETS_US),
+        }
+    }
+}
+
+impl EndpointMetrics {
+    /// Record one handled request.
+    pub fn record(&self, micros: u64, ok: bool) {
+        self.requests.inc();
+        if !ok {
+            self.errors.inc();
+        }
+        self.latency.observe(micros);
+    }
+
+    /// A consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> EndpointSnapshot {
+        EndpointSnapshot {
+            requests: self.requests.get(),
+            errors: self.errors.get(),
+            total_micros: self.latency.sum(),
+            bucket_bounds_us: LATENCY_BUCKETS_US.to_vec(),
+            buckets: self.latency.buckets().to_vec(),
+        }
+    }
+}
+
+/// Per-endpoint request counters and latency histogram, as shipped in the
+/// serve layer's `stats` reply.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EndpointSnapshot {
+    /// Requests handled (including failed ones).
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Sum of handling times, microseconds.
+    pub total_micros: u64,
+    /// Inclusive upper bounds of the latency buckets, microseconds
+    /// (`u64::MAX` for the catch-all); same length as `buckets`, so the
+    /// histogram is self-describing.
+    pub bucket_bounds_us: Vec<u64>,
+    /// Latency histogram; bucket `i` counts requests that finished within
+    /// `bucket_bounds_us[i]` microseconds.
+    pub buckets: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_fills_the_right_bucket() {
+        let m = EndpointMetrics::default();
+        m.record(50, true); // <= 100 µs
+        m.record(700, true); // <= 1 ms
+        m.record(2_000_000, false); // <= 10 s
+        let s = m.snapshot();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.total_micros, 50 + 700 + 2_000_000);
+        assert_eq!(s.bucket_bounds_us, LATENCY_BUCKETS_US.to_vec());
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[5], 1);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn value_exactly_on_a_bucket_bound_lands_in_that_bucket() {
+        // Bounds are inclusive: 100 µs goes into the 100 µs bucket, and
+        // 101 µs into the next one.
+        let h = Histogram::new(LATENCY_BUCKETS_US);
+        for &bound in &LATENCY_BUCKETS_US[..LATENCY_BUCKETS_US.len() - 1] {
+            h.observe(bound);
+            h.observe(bound + 1);
+        }
+        h.observe(u64::MAX);
+        let b = h.buckets();
+        assert_eq!(b[0], 1, "100 lands in the first bucket");
+        for i in 1..LATENCY_BUCKETS_US.len() - 1 {
+            // Each middle bucket gets its own bound plus the previous
+            // bound's +1 spill-over.
+            assert_eq!(b[i], 2, "bucket {i}");
+        }
+        assert_eq!(b[LATENCY_BUCKETS_US.len() - 1], 2, "catch-all");
+        assert_eq!(h.count(), 2 * LATENCY_BUCKETS_US.len() as u64 - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new([10, 10, u64::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "last bound")]
+    fn histogram_rejects_a_finite_last_bound() {
+        let _ = Histogram::new([10, 20]);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let m = EndpointMetrics::default();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        m.record(10, true);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().requests, 800);
+        assert_eq!(m.snapshot().buckets[0], 800);
+    }
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let m = EndpointMetrics::default();
+        m.record(150, true);
+        let s = m.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: EndpointSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

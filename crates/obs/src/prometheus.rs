@@ -1,0 +1,275 @@
+//! Prometheus text-format exposition (and a small parser for tests).
+//!
+//! The writer follows the text-format conventions: `# HELP`/`# TYPE`
+//! headers, histogram series as cumulative `_bucket{le="..."}` samples
+//! ending in `le="+Inf"`, plus `_sum` and `_count`.
+
+use crate::metrics::EndpointSnapshot;
+use crate::sinks::ObsSnapshot;
+use std::collections::BTreeMap;
+
+/// Incrementally builds a Prometheus text-format page.
+#[derive(Debug, Default)]
+pub struct PromText {
+    buf: String,
+}
+
+/// Turn a dotted counter/observation key into a metric-name segment:
+/// every character outside `[a-zA-Z0-9_]` becomes `_`
+/// (`place.fail.bram-column` → `place_fail_bram_column`).
+pub fn sanitize(key: &str) -> String {
+    key.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+impl PromText {
+    /// An empty page.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Emit the `# HELP` and `# TYPE` headers of one metric family.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.buf.push_str("# HELP ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(help);
+        self.buf.push_str("\n# TYPE ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(kind);
+        self.buf.push('\n');
+    }
+
+    /// Emit one sample line with optional labels.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.buf.push_str(name);
+        if !labels.is_empty() {
+            self.buf.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.buf.push(',');
+                }
+                self.buf.push_str(k);
+                self.buf.push_str("=\"");
+                self.buf.push_str(v);
+                self.buf.push('"');
+            }
+            self.buf.push('}');
+        }
+        self.buf.push(' ');
+        if value.fract() == 0.0 && value.abs() < 9.0e15 {
+            self.buf.push_str(&format!("{}", value as i64));
+        } else {
+            self.buf.push_str(&format!("{value}"));
+        }
+        self.buf.push('\n');
+    }
+
+    /// Emit a full histogram family under `name`: cumulative
+    /// `_bucket{le=...}` lines (the last bound renders as `+Inf`),
+    /// then `_sum` and `_count`. `extra` labels are prepended to `le`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        extra: &[(&str, &str)],
+        bounds: &[u64],
+        buckets: &[u64],
+        sum: u64,
+    ) {
+        assert_eq!(bounds.len(), buckets.len());
+        let mut cumulative = 0u64;
+        for (&bound, &count) in bounds.iter().zip(buckets) {
+            cumulative += count;
+            let le = if bound == u64::MAX {
+                "+Inf".to_string()
+            } else {
+                bound.to_string()
+            };
+            let mut labels: Vec<(&str, &str)> = extra.to_vec();
+            labels.push(("le", &le));
+            self.sample(&format!("{name}_bucket"), &labels, cumulative as f64);
+        }
+        self.sample(&format!("{name}_sum"), extra, sum as f64);
+        self.sample(&format!("{name}_count"), extra, cumulative as f64);
+    }
+
+    /// Emit one endpoint's request/error counters and latency histogram
+    /// under the shared `tms_requests_total` / `tms_request_errors_total` /
+    /// `tms_request_latency_us` families (headers are the caller's job —
+    /// they are per-family, not per-endpoint).
+    pub fn endpoint(&mut self, endpoint: &str, snap: &EndpointSnapshot) {
+        self.sample(
+            "tms_requests_total",
+            &[("endpoint", endpoint)],
+            snap.requests as f64,
+        );
+        self.sample(
+            "tms_request_errors_total",
+            &[("endpoint", endpoint)],
+            snap.errors as f64,
+        );
+        self.histogram(
+            "tms_request_latency_us",
+            &[("endpoint", endpoint)],
+            &snap.bucket_bounds_us,
+            &snap.buckets,
+            snap.total_micros,
+        );
+    }
+
+    /// Emit an [`ObsSnapshot`]: per-phase span totals plus one counter
+    /// family per counter key and a `_sum`/`_count` pair per observation
+    /// key (keys sanitized via [`sanitize`] under a `tms_` prefix).
+    pub fn obs_snapshot(&mut self, snap: &ObsSnapshot) {
+        if !snap.phases.is_empty() {
+            self.header(
+                "tms_phase_spans_total",
+                "Spans recorded per pipeline phase",
+                "counter",
+            );
+            for p in &snap.phases {
+                self.sample(
+                    "tms_phase_spans_total",
+                    &[("phase", p.phase.label())],
+                    p.spans as f64,
+                );
+            }
+            self.header(
+                "tms_phase_time_us_total",
+                "Summed span time per pipeline phase, microseconds",
+                "counter",
+            );
+            for p in &snap.phases {
+                self.sample(
+                    "tms_phase_time_us_total",
+                    &[("phase", p.phase.label())],
+                    p.total_us as f64,
+                );
+            }
+        }
+        for (key, value) in &snap.counters {
+            let name = format!("tms_{}_total", sanitize(key));
+            self.header(&name, &format!("Flow counter {key}"), "counter");
+            self.sample(&name, &[], *value as f64);
+        }
+        for obs in &snap.observations {
+            let name = format!("tms_{}", sanitize(&obs.key));
+            self.header(&name, &format!("Flow observation {}", obs.key), "summary");
+            self.sample(&format!("{name}_sum"), &[], obs.sum);
+            self.sample(&format!("{name}_count"), &[], obs.count as f64);
+        }
+    }
+
+    /// The finished page.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Parse a Prometheus text page into `full-sample-name → value`, where the
+/// key includes the label set exactly as printed (e.g.
+/// `tms_requests_total{endpoint="flow"}`). Comment and blank lines are
+/// skipped; a malformed sample line is an error. Used by the integration
+/// tests to cross-check the exposition against the `stats` JSON.
+pub fn parse(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut samples = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let split = line
+            .rfind(' ')
+            .ok_or_else(|| format!("no value in {line:?}"))?;
+        let (name, value) = line.split_at(split);
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad value in {line:?}: {e}"))?;
+        samples.insert(name.trim().to_string(), value);
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::EndpointMetrics;
+    use crate::record::{span, Recorder};
+    use crate::sinks::AggregatingSink;
+    use crate::Phase;
+
+    #[test]
+    fn sanitize_flattens_separators() {
+        assert_eq!(sanitize("place.fail.bram-column"), "place_fail_bram_column");
+        assert_eq!(sanitize("cache.hit"), "cache_hit");
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative_and_end_at_inf() {
+        let m = EndpointMetrics::default();
+        m.record(50, true);
+        m.record(60, true);
+        m.record(700, false);
+        let mut text = PromText::new();
+        text.endpoint("estimate", &m.snapshot());
+        let page = text.finish();
+        let samples = parse(&page).unwrap();
+        assert_eq!(
+            samples["tms_requests_total{endpoint=\"estimate\"}"] as u64,
+            3
+        );
+        assert_eq!(
+            samples["tms_request_errors_total{endpoint=\"estimate\"}"] as u64,
+            1
+        );
+        assert_eq!(
+            samples["tms_request_latency_us_bucket{endpoint=\"estimate\",le=\"100\"}"] as u64,
+            2
+        );
+        assert_eq!(
+            samples["tms_request_latency_us_bucket{endpoint=\"estimate\",le=\"1000\"}"] as u64, 3,
+            "buckets must be cumulative"
+        );
+        assert_eq!(
+            samples["tms_request_latency_us_bucket{endpoint=\"estimate\",le=\"+Inf\"}"] as u64,
+            3
+        );
+        assert_eq!(
+            samples["tms_request_latency_us_sum{endpoint=\"estimate\"}"] as u64,
+            810
+        );
+        assert_eq!(
+            samples["tms_request_latency_us_count{endpoint=\"estimate\"}"] as u64,
+            3
+        );
+    }
+
+    #[test]
+    fn obs_snapshot_renders_phases_counters_and_observations() {
+        let sink = AggregatingSink::new();
+        span(&sink, Phase::Place, "m").finish();
+        span(&sink, Phase::Place, "n").finish();
+        sink.count("place.fail.congestion", 4);
+        sink.observe("flow.cf.placed", 1.5);
+        sink.observe("flow.cf.placed", 2.0);
+        let mut text = PromText::new();
+        text.obs_snapshot(&sink.snapshot());
+        let page = text.finish();
+        let samples = parse(&page).unwrap();
+        assert_eq!(samples["tms_phase_spans_total{phase=\"place\"}"] as u64, 2);
+        assert!(samples.contains_key("tms_phase_time_us_total{phase=\"place\"}"));
+        assert_eq!(samples["tms_place_fail_congestion_total"] as u64, 4);
+        assert_eq!(samples["tms_flow_cf_placed_count"] as u64, 2);
+        assert!((samples["tms_flow_cf_placed_sum"] - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("just_a_name_no_value").is_err());
+        assert!(parse("name not_a_number").is_err());
+        assert!(parse("# HELP x y\n# TYPE x counter\nx 1\n").is_ok());
+    }
+}

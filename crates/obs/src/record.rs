@@ -1,0 +1,235 @@
+//! The [`Recorder`] trait, the [`Span`] guard, and the no-op default.
+
+use crate::phase::Phase;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A finished span: phase, free-form name, start offset and duration
+/// (both microseconds since the process trace epoch), and numeric
+/// key/value fields (CF values, attempt counts, ...).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpanRecord {
+    /// Pipeline phase.
+    pub phase: Phase,
+    /// Free-form name (usually the module or stage name).
+    pub name: String,
+    /// Microseconds since the trace epoch at which the span started.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub duration_us: u64,
+    /// Numeric key/value annotations.
+    pub fields: Vec<(String, f64)>,
+}
+
+impl SpanRecord {
+    /// Value of a named field, if recorded.
+    pub fn field(&self, key: &str) -> Option<f64> {
+        self.fields.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// One event of a trace: what the JSONL sink writes and [`crate::replay`]
+/// feeds back into a recorder.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum TraceEvent {
+    /// A finished span.
+    Span(SpanRecord),
+    /// A counter increment.
+    Count {
+        /// Counter key (e.g. `cache.hit`).
+        key: String,
+        /// Increment.
+        delta: u64,
+    },
+    /// A numeric observation (e.g. a CF value).
+    Observe {
+        /// Observation key (e.g. `flow.cf.placed`).
+        key: String,
+        /// Observed value.
+        value: f64,
+    },
+}
+
+/// A pluggable telemetry sink. Implementations must be thread-safe: the
+/// flow records from rayon workers and the server from its pool.
+///
+/// All methods have defaults, so a sink that only cares about spans (or
+/// only about counters) implements exactly what it needs.
+pub trait Recorder: Send + Sync {
+    /// Whether recording is on. [`span`] checks this once at construction
+    /// and skips all allocation when it is `false`, which is what keeps
+    /// the no-op hot path free.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one finished span.
+    fn record_span(&self, span: &SpanRecord) {
+        let _ = span;
+    }
+
+    /// Add `delta` to the named counter.
+    fn count(&self, key: &str, delta: u64) {
+        let _ = (key, delta);
+    }
+
+    /// Record one numeric observation under `key`.
+    fn observe(&self, key: &str, value: f64) {
+        let _ = (key, value);
+    }
+}
+
+/// The do-nothing recorder: `enabled()` is `false`, so spans against it
+/// never allocate and every counter/observation is dropped.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+static NOOP: NoopRecorder = NoopRecorder;
+
+/// The shared no-op recorder — the default `obs` value of every config.
+pub fn noop() -> &'static dyn Recorder {
+    &NOOP
+}
+
+/// The process-wide trace epoch; all span `start_us` offsets share it.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the trace epoch.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// An in-flight span; records itself to the recorder when dropped.
+/// Obtain one via [`span`].
+pub struct Span<'a> {
+    obs: &'a dyn Recorder,
+    phase: Phase,
+    name: &'a str,
+    start_us: u64,
+    t0: Instant,
+    fields: Vec<(String, f64)>,
+    armed: bool,
+}
+
+/// Open a span. If `obs` is disabled the returned guard is inert: no
+/// clock reads beyond construction, no allocation, nothing recorded.
+pub fn span<'a>(obs: &'a dyn Recorder, phase: Phase, name: &'a str) -> Span<'a> {
+    let armed = obs.enabled();
+    Span {
+        obs,
+        phase,
+        name,
+        start_us: if armed { now_us() } else { 0 },
+        t0: Instant::now(),
+        fields: Vec::new(),
+        armed,
+    }
+}
+
+impl Span<'_> {
+    /// Attach a numeric field (dropped when the recorder is disabled).
+    pub fn field(&mut self, key: &str, value: f64) {
+        if self.armed {
+            self.fields.push((key.to_string(), value));
+        }
+    }
+
+    /// Elapsed time of the span so far.
+    pub fn elapsed_us(&self) -> u64 {
+        self.t0.elapsed().as_micros() as u64
+    }
+
+    /// Close the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let record = SpanRecord {
+            phase: self.phase,
+            name: self.name.to_string(),
+            start_us: self.start_us,
+            duration_us: self.t0.elapsed().as_micros() as u64,
+            fields: std::mem::take(&mut self.fields),
+        };
+        self.obs.record_span(&record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Capture(Mutex<Vec<SpanRecord>>);
+
+    impl Recorder for Capture {
+        fn record_span(&self, span: &SpanRecord) {
+            self.0.lock().unwrap().push(span.clone());
+        }
+    }
+
+    #[test]
+    fn span_records_on_drop_with_fields() {
+        let cap = Capture(Mutex::new(Vec::new()));
+        {
+            let mut s = span(&cap, Phase::Place, "m0");
+            s.field("cf", 1.5);
+            s.field("attempts", 3.0);
+        }
+        let spans = cap.0.lock().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].phase, Phase::Place);
+        assert_eq!(spans[0].name, "m0");
+        assert_eq!(spans[0].field("cf"), Some(1.5));
+        assert_eq!(spans[0].field("attempts"), Some(3.0));
+        assert_eq!(spans[0].field("nope"), None);
+    }
+
+    #[test]
+    fn noop_spans_record_nothing_and_stay_empty() {
+        let mut s = span(noop(), Phase::Synth, "quiet");
+        s.field("ignored", 1.0);
+        assert!(s.fields.is_empty(), "disabled spans must not allocate");
+        assert_eq!(s.fields.capacity(), 0);
+        s.finish();
+    }
+
+    #[test]
+    fn trace_events_serde_round_trip() {
+        let events = vec![
+            TraceEvent::Span(SpanRecord {
+                phase: Phase::Cache,
+                name: "lookup".into(),
+                start_us: 10,
+                duration_us: 20,
+                fields: vec![("hits".into(), 74.0)],
+            }),
+            TraceEvent::Count {
+                key: "cache.hit".into(),
+                delta: 74,
+            },
+            TraceEvent::Observe {
+                key: "flow.cf.placed".into(),
+                value: 1.18,
+            },
+        ];
+        for ev in events {
+            let line = serde_json::to_string(&ev).unwrap();
+            let back: TraceEvent = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+}

@@ -52,4 +52,7 @@ pub mod search;
 
 pub use generator::{PBlock, PBlockGenerator};
 pub use resolution::{resolution_study, ResolutionPoint, STANDARD_STEPS};
-pub use search::{guided_search, min_feasible_cf, CfResult, CfSearch, GuidedResult};
+pub use search::{
+    guided_search, guided_search_observed, min_feasible_cf, min_feasible_cf_observed, CfResult,
+    CfSearch, GuidedResult,
+};

@@ -2,6 +2,7 @@
 
 use crate::generator::{PBlock, PBlockGenerator};
 use tms_netlist::NetlistStats;
+use tms_obs::{noop, span, Phase, Recorder};
 use tms_place::{place_in_region, PlaceError, Placement, PlacementModel};
 use tms_synth::PackingReport;
 
@@ -52,7 +53,12 @@ pub struct CfResult {
     pub attempts: u32,
 }
 
-/// One place-and-route attempt at a given CF.
+/// One place-and-route attempt at a given CF. A placement failure is
+/// counted under its `place.fail.*` key on `obs` (a PBlock-generation
+/// failure under `pblock.generate.failed`) — during a linear search those
+/// failures are the interesting signal: they say *why* CFs below the
+/// minimum do not place.
+#[allow(clippy::too_many_arguments)]
 fn attempt(
     gen: &PBlockGenerator<'_>,
     stats: &NetlistStats,
@@ -61,13 +67,18 @@ fn attempt(
     model: &PlacementModel,
     cf: f64,
     seed: u64,
+    obs: &dyn Recorder,
 ) -> Result<(PBlock, Placement), Option<PlaceError>> {
     let Some(pblock) = gen.generate(shape, cf) else {
+        obs.count("pblock.generate.failed", 1);
         return Err(None);
     };
     match place_in_region(stats, packing, gen.device(), &pblock.rect, model, seed) {
         Ok(p) => Ok((pblock, p)),
-        Err(e) => Err(Some(e)),
+        Err(e) => {
+            obs.count(e.counter_key(), 1);
+            Err(Some(e))
+        }
     }
 }
 
@@ -83,18 +94,48 @@ pub fn min_feasible_cf(
     search: &CfSearch,
     seed: u64,
 ) -> Option<CfResult> {
+    min_feasible_cf_observed(gen, stats, packing, shape, model, search, seed, noop(), "")
+}
+
+/// [`min_feasible_cf`] with telemetry: wraps the search in a `place`-phase
+/// span named after the module, counts `pblock.search.tool_runs` (on
+/// success only, so per-module attempt sums reconcile exactly),
+/// `pblock.search.{feasible,infeasible,wasted_runs}` and per-attempt
+/// `place.fail.*` reasons, and observes `flow.cf.placed`.
+#[allow(clippy::too_many_arguments)]
+pub fn min_feasible_cf_observed(
+    gen: &PBlockGenerator<'_>,
+    stats: &NetlistStats,
+    packing: &PackingReport,
+    shape: &tms_place::ShapeReport,
+    model: &PlacementModel,
+    search: &CfSearch,
+    seed: u64,
+    obs: &dyn Recorder,
+    name: &str,
+) -> Option<CfResult> {
+    let mut sp = span(obs, Phase::Place, name);
     let steps = ((search.max - search.start) / search.step).round() as u32;
     for i in 0..=steps {
         let cf = search.start + f64::from(i) * search.step;
-        if let Ok((pblock, placement)) = attempt(gen, stats, packing, shape, model, cf, seed) {
+        if let Ok((pblock, placement)) = attempt(gen, stats, packing, shape, model, cf, seed, obs) {
+            let attempts = i + 1;
+            sp.field("cf", cf);
+            sp.field("attempts", f64::from(attempts));
+            obs.count("pblock.search.tool_runs", u64::from(attempts));
+            obs.count("pblock.search.feasible", 1);
+            obs.observe("flow.cf.placed", cf);
             return Some(CfResult {
                 cf,
                 pblock,
                 placement,
-                attempts: i + 1,
+                attempts,
             });
         }
     }
+    sp.field("attempts", f64::from(steps + 1));
+    obs.count("pblock.search.infeasible", 1);
+    obs.count("pblock.search.wasted_runs", u64::from(steps + 1));
     None
 }
 
@@ -128,18 +169,66 @@ pub fn guided_search(
     max_cf: f64,
     seed: u64,
 ) -> Option<GuidedResult> {
+    guided_search_observed(
+        gen,
+        stats,
+        packing,
+        shape,
+        model,
+        predicted_cf,
+        max_cf,
+        seed,
+        noop(),
+        "",
+    )
+}
+
+/// [`guided_search`] with telemetry: a `place`-phase span plus the same
+/// counters as [`min_feasible_cf_observed`], `pblock.search.first_try`
+/// when the predicted CF places directly, and the requested/placed CF
+/// observation pair whose gap is the estimator's bias.
+#[allow(clippy::too_many_arguments)]
+pub fn guided_search_observed(
+    gen: &PBlockGenerator<'_>,
+    stats: &NetlistStats,
+    packing: &PackingReport,
+    shape: &tms_place::ShapeReport,
+    model: &PlacementModel,
+    predicted_cf: f64,
+    max_cf: f64,
+    seed: u64,
+    obs: &dyn Recorder,
+    name: &str,
+) -> Option<GuidedResult> {
     const COARSE: f64 = 0.1;
     const FINE: f64 = 0.02;
+    let mut sp = span(obs, Phase::Place, name);
+    sp.field("cf_predicted", predicted_cf);
+    obs.observe("flow.cf.requested", predicted_cf);
+    let finish = |sp: &mut tms_obs::Span<'_>, r: &GuidedResult| {
+        sp.field("cf", r.cf);
+        sp.field("attempts", f64::from(r.attempts));
+        sp.field("first_try", f64::from(u8::from(r.first_try)));
+        obs.count("pblock.search.tool_runs", u64::from(r.attempts));
+        obs.count("pblock.search.feasible", 1);
+        if r.first_try {
+            obs.count("pblock.search.first_try", 1);
+        }
+        obs.observe("flow.cf.placed", r.cf);
+    };
     let mut attempts = 1;
-    if let Ok((pblock, placement)) = attempt(gen, stats, packing, shape, model, predicted_cf, seed)
+    if let Ok((pblock, placement)) =
+        attempt(gen, stats, packing, shape, model, predicted_cf, seed, obs)
     {
-        return Some(GuidedResult {
+        let r = GuidedResult {
             cf: predicted_cf,
             pblock,
             placement,
             attempts,
             first_try: true,
-        });
+        };
+        finish(&mut sp, &r);
+        return Some(r);
     }
     // Coarse ascent.
     let mut lo = predicted_cf;
@@ -147,20 +236,26 @@ pub fn guided_search(
     let mut cf = predicted_cf + COARSE;
     while cf <= max_cf + 1e-9 {
         attempts += 1;
-        if let Ok((pblock, placement)) = attempt(gen, stats, packing, shape, model, cf, seed) {
+        if let Ok((pblock, placement)) = attempt(gen, stats, packing, shape, model, cf, seed, obs) {
             found = Some((cf, pblock, placement));
             break;
         }
         lo = cf;
         cf += COARSE;
     }
-    let (coarse_cf, mut best_pblock, mut best_placement) = found?;
+    let Some((coarse_cf, mut best_pblock, mut best_placement)) = found else {
+        sp.field("attempts", f64::from(attempts));
+        obs.count("pblock.search.infeasible", 1);
+        obs.count("pblock.search.wasted_runs", u64::from(attempts));
+        return None;
+    };
     // Fine search of the last interval (lo, coarse_cf).
     let mut best_cf = coarse_cf;
     let mut fine = lo + FINE;
     while fine < coarse_cf - 1e-9 {
         attempts += 1;
-        if let Ok((pblock, placement)) = attempt(gen, stats, packing, shape, model, fine, seed) {
+        if let Ok((pblock, placement)) = attempt(gen, stats, packing, shape, model, fine, seed, obs)
+        {
             best_cf = fine;
             best_pblock = pblock;
             best_placement = placement;
@@ -168,13 +263,15 @@ pub fn guided_search(
         }
         fine += FINE;
     }
-    Some(GuidedResult {
+    let r = GuidedResult {
         cf: best_cf,
         pblock: best_pblock,
         placement: best_placement,
         attempts,
         first_try: false,
-    })
+    };
+    finish(&mut sp, &r);
+    Some(r)
 }
 
 #[cfg(test)]
@@ -332,6 +429,111 @@ mod tests {
         )
         .is_none());
         assert!(guided_search(&gen, &stats, &packing, &shape, &model, 1.0, 3.0, 1).is_none());
+    }
+
+    #[test]
+    fn observed_search_reconciles_counters_with_the_result() {
+        use tms_obs::AggregatingSink;
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let (stats, packing, shape) = prepared(|b| {
+            let cs = ControlSet::basic();
+            for _ in 0..600 {
+                b.lut(6);
+            }
+            for _ in 0..600 {
+                b.ff(cs);
+            }
+        });
+        let model = PlacementModel::deterministic();
+        let sink = AggregatingSink::new();
+        let r = min_feasible_cf_observed(
+            &gen,
+            &stats,
+            &packing,
+            &shape,
+            &model,
+            &CfSearch::default(),
+            1,
+            &sink,
+            "m0",
+        )
+        .expect("feasible");
+        assert_eq!(sink.phase_spans(tms_obs::Phase::Place), 1);
+        assert_eq!(
+            sink.counter("pblock.search.tool_runs"),
+            u64::from(r.attempts)
+        );
+        assert_eq!(sink.counter("pblock.search.feasible"), 1);
+        assert_eq!(sink.counter("pblock.search.infeasible"), 0);
+        // Every failed attempt before the minimum left a classified reason.
+        let fail_kinds = [
+            "place.fail.off-device",
+            "place.fail.slices",
+            "place.fail.m-slice",
+            "place.fail.bram-column",
+            "place.fail.dsp-column",
+            "place.fail.carry-chain",
+            "place.fail.congestion",
+            "pblock.generate.failed",
+        ];
+        let fails: u64 = fail_kinds.iter().map(|k| sink.counter(k)).sum();
+        assert_eq!(fails, u64::from(r.attempts) - 1);
+        let (n, sum) = sink.observation("flow.cf.placed").unwrap();
+        assert_eq!(n, 1);
+        assert!((sum - r.cf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_guided_search_counts_first_try_and_cf_gap() {
+        use tms_obs::AggregatingSink;
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let (stats, packing, shape) = prepared(|b| {
+            for _ in 0..400 {
+                b.lut(6);
+            }
+        });
+        let model = PlacementModel::deterministic();
+        let sink = AggregatingSink::new();
+        let r = guided_search_observed(
+            &gen, &stats, &packing, &shape, &model, 2.0, 3.0, 1, &sink, "m1",
+        )
+        .unwrap();
+        assert!(r.first_try);
+        assert_eq!(sink.counter("pblock.search.first_try"), 1);
+        assert_eq!(sink.counter("pblock.search.tool_runs"), 1);
+        assert_eq!(sink.observation("flow.cf.requested"), Some((1, 2.0)));
+        assert_eq!(sink.observation("flow.cf.placed"), Some((1, 2.0)));
+    }
+
+    #[test]
+    fn observed_infeasible_search_counts_wasted_runs() {
+        use tms_obs::AggregatingSink;
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let (stats, packing, shape) = prepared(|b| {
+            for _ in 0..500 {
+                b.bram();
+            }
+        });
+        let model = PlacementModel::deterministic();
+        let sink = AggregatingSink::new();
+        let search = CfSearch::default();
+        assert!(min_feasible_cf_observed(
+            &gen, &stats, &packing, &shape, &model, &search, 1, &sink, "hopeless",
+        )
+        .is_none());
+        let steps = ((search.max - search.start) / search.step).round() as u64 + 1;
+        assert_eq!(sink.counter("pblock.search.infeasible"), 1);
+        assert_eq!(sink.counter("pblock.search.wasted_runs"), steps);
+        assert_eq!(sink.counter("pblock.search.tool_runs"), 0);
+        // Every wasted run left a classified reason: either the generator
+        // could not produce a PBlock at that CF or placement failed.
+        assert_eq!(
+            sink.counter("place.fail.bram-column") + sink.counter("pblock.generate.failed"),
+            steps
+        );
     }
 
     #[test]

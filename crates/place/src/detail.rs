@@ -36,6 +36,45 @@ pub enum PlaceError {
     },
 }
 
+impl PlaceError {
+    /// Stable failure-kind label for telemetry. Resource shortfalls are
+    /// split by the scarcest class: BRAM/DSP column shortages and M-slice
+    /// shortages are distinct effects in the paper's analysis (a PBlock
+    /// can have plenty of plain slices yet still miss a BRAM column).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            PlaceError::RegionOffDevice => "off-device",
+            PlaceError::InsufficientResources { need, have } => {
+                if need.bram36 > have.bram36 {
+                    "bram-column"
+                } else if need.dsp48 > have.dsp48 {
+                    "dsp-column"
+                } else if need.m_slices > have.m_slices {
+                    "m-slice"
+                } else {
+                    "slices"
+                }
+            }
+            PlaceError::ChainTooTall { .. } | PlaceError::ChainPackingFailed => "carry-chain",
+            PlaceError::Congested { .. } => "congestion",
+        }
+    }
+
+    /// The `place.fail.*` counter key this failure increments.
+    pub fn counter_key(&self) -> &'static str {
+        match self.kind_label() {
+            "off-device" => "place.fail.off-device",
+            "bram-column" => "place.fail.bram-column",
+            "dsp-column" => "place.fail.dsp-column",
+            "m-slice" => "place.fail.m-slice",
+            "slices" => "place.fail.slices",
+            "carry-chain" => "place.fail.carry-chain",
+            "congestion" => "place.fail.congestion",
+            _ => unreachable!("kind_label is exhaustive"),
+        }
+    }
+}
+
 impl fmt::Display for PlaceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -396,5 +435,38 @@ mod tests {
         assert_ne!(module_key("a", 1), module_key("b", 1));
         assert_ne!(module_key("a", 1), module_key("a", 2));
         assert_eq!(module_key("a", 1), module_key("a", 1));
+    }
+
+    #[test]
+    fn failure_kinds_classify_the_scarce_resource() {
+        let mut need = SliceCapacity::default();
+        let have = SliceCapacity::default();
+        need.bram36 = have.bram36 + 1;
+        let bram = PlaceError::InsufficientResources { need, have };
+        assert_eq!(bram.kind_label(), "bram-column");
+        assert_eq!(bram.counter_key(), "place.fail.bram-column");
+
+        let mut need = SliceCapacity::default();
+        need.m_slices = 5;
+        let m = PlaceError::InsufficientResources {
+            need,
+            have: SliceCapacity::default(),
+        };
+        assert_eq!(m.kind_label(), "m-slice");
+
+        assert_eq!(PlaceError::ChainPackingFailed.kind_label(), "carry-chain");
+        assert_eq!(
+            PlaceError::ChainTooTall {
+                chain: 9,
+                height: 4
+            }
+            .counter_key(),
+            "place.fail.carry-chain"
+        );
+        assert_eq!(
+            PlaceError::Congested { congestion: 1.3 }.counter_key(),
+            "place.fail.congestion"
+        );
+        assert_eq!(PlaceError::RegionOffDevice.kind_label(), "off-device");
     }
 }

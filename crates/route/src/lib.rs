@@ -44,4 +44,4 @@ pub mod grid;
 pub mod router;
 
 pub use grid::{ChannelGrid, ChannelUsage};
-pub use router::{route_stitched, RouteReport, RouterConfig};
+pub use router::{route_stitched, route_stitched_observed, RouteReport, RouterConfig};

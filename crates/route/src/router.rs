@@ -171,6 +171,31 @@ fn route_connection(grid: &mut ChannelGrid, conn: &mut Connection, pressure: f64
     conn.path = path;
 }
 
+/// [`route_stitched`] with telemetry: wraps the negotiation in a
+/// `route`-phase span (connections, wirelength, iterations) and bumps the
+/// `route.{connections,overflowed,iterations}` counters. The plain
+/// [`route_stitched`] stays untouched for the many callers that record
+/// nothing.
+pub fn route_stitched_observed(
+    device: &Device,
+    problem: &StitchProblem,
+    placed: &StitchResult,
+    cfg: &RouterConfig,
+    obs: &dyn tms_obs::Recorder,
+) -> RouteReport {
+    let mut sp = tms_obs::span(obs, tms_obs::Phase::Route, "global");
+    let r = route_stitched(device, problem, placed, cfg);
+    sp.field("routed_connections", r.routed_connections as f64);
+    sp.field("wirelength", r.total_wirelength as f64);
+    sp.field("iterations", f64::from(r.iterations));
+    sp.field("fully_routed", f64::from(u8::from(r.fully_routed)));
+    obs.count("route.connections", r.routed_connections as u64);
+    obs.count("route.overflowed", r.overflowed_cells as u64);
+    obs.count("route.iterations", u64::from(r.iterations));
+    obs.observe("route.peak_utilization", r.peak_utilization);
+    r
+}
+
 /// Route the inter-block nets of a stitched design.
 pub fn route_stitched(
     device: &Device,
@@ -290,6 +315,25 @@ mod tests {
         assert!(report.total_wirelength > 0);
         assert!(report.peak_utilization <= 1.0);
         assert_eq!(report.skipped_nets, 0);
+    }
+
+    #[test]
+    fn observed_routing_matches_the_plain_call_and_records() {
+        use tms_obs::{AggregatingSink, Phase};
+        let (dev, p, r) = placed_chain(20, 4.0, 1);
+        let sink = AggregatingSink::new();
+        let observed = route_stitched_observed(&dev, &p, &r, &RouterConfig::default(), &sink);
+        let plain = route_stitched(&dev, &p, &r, &RouterConfig::default());
+        assert_eq!(observed.total_wirelength, plain.total_wirelength);
+        assert_eq!(sink.phase_spans(Phase::Route), 1);
+        assert_eq!(
+            sink.counter("route.connections"),
+            observed.routed_connections as u64
+        );
+        assert_eq!(
+            sink.counter("route.iterations"),
+            u64::from(observed.iterations)
+        );
     }
 
     #[test]

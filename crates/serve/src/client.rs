@@ -1,8 +1,8 @@
 //! A small blocking client for the JSON-lines service.
 
 use crate::protocol::{
-    EstimateRequest, EstimateResponse, FlowRequest, FlowResponse, ModuleSpec, PreimplRequest,
-    PreimplResponse, Request, Response, StatsReport,
+    EstimateRequest, EstimateResponse, FlowRequest, FlowResponse, MetricsResponse, ModuleSpec,
+    PreimplRequest, PreimplResponse, Request, Response, StatsReport,
 };
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, BufReader, Write};
@@ -156,5 +156,11 @@ impl Client {
     /// Fetch the server's request counters and cache statistics.
     pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
         self.typed("stats", Value::Null)
+    }
+
+    /// Fetch the Prometheus text-format metrics page.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let r: MetricsResponse = self.typed("metrics", Value::Null)?;
+        Ok(r.text)
     }
 }

@@ -16,8 +16,12 @@
 //!   place-and-route entirely;
 //! * `flow` — full cnvW1A1-style design → stitched-placement report via
 //!   the cached flow (warm runs implement only cache misses);
-//! * `stats` — per-endpoint request counts, latency histograms, and
-//!   cache hit/miss rates.
+//! * `stats` — per-endpoint request counts, latency histograms, cache
+//!   hit/miss rates, and the pipeline-phase telemetry of
+//!   [`tms_obs`](tms_obs);
+//! * `metrics` — the same state as a Prometheus text-format page. The
+//!   page is also served to a plain `GET /metrics` HTTP request on the
+//!   same port, so a stock Prometheus scraper needs no JSON shim.
 //!
 //! The server is plain threads — a TCP acceptor plus a crossbeam-channel
 //! worker pool, no async runtime; the cache sits behind a
@@ -51,6 +55,7 @@ pub use client::{Client, ClientError};
 pub use metrics::{EndpointMetrics, Metrics, LATENCY_BUCKETS_US};
 pub use protocol::{
     CacheStats, EndpointSnapshot, EstimateRequest, EstimateResponse, FlowRequest, FlowResponse,
-    ModuleSpec, PreimplRequest, PreimplResponse, Request, Response, StatsReport,
+    MetricsResponse, ModuleSpec, PreimplRequest, PreimplResponse, Request, Response, StatsReport,
 };
 pub use server::{serve, ServeConfig, ServerHandle};
+pub use tms_obs::prometheus;

@@ -1,52 +1,9 @@
-//! Lock-free request metrics: per-endpoint counters and latency
-//! histograms, all `AtomicU64` so workers record without coordination.
+//! Request metrics of the server, built on the lock-free counter and
+//! histogram primitives of [`tms_obs`]: per-endpoint request counters and
+//! latency histograms, all `AtomicU64` so workers record without
+//! coordination.
 
-use crate::protocol::EndpointSnapshot;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Upper bounds (inclusive, microseconds) of the latency histogram
-/// buckets: 100 µs, 1 ms, 10 ms, 100 ms, 1 s, 10 s, and everything above.
-pub const LATENCY_BUCKETS_US: [u64; 7] =
-    [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, u64::MAX];
-
-/// Counters for one endpoint.
-#[derive(Default)]
-pub struct EndpointMetrics {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    total_micros: AtomicU64,
-    buckets: [AtomicU64; LATENCY_BUCKETS_US.len()],
-}
-
-impl EndpointMetrics {
-    /// Record one handled request.
-    pub fn record(&self, micros: u64, ok: bool) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        if !ok {
-            self.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        self.total_micros.fetch_add(micros, Ordering::Relaxed);
-        let idx = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&bound| micros <= bound)
-            .unwrap_or(LATENCY_BUCKETS_US.len() - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// A consistent-enough snapshot for reporting.
-    pub fn snapshot(&self) -> EndpointSnapshot {
-        EndpointSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            total_micros: self.total_micros.load(Ordering::Relaxed),
-            buckets: self
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
-        }
-    }
-}
+pub use tms_obs::{EndpointMetrics, LATENCY_BUCKETS_US};
 
 /// All endpoint metrics of one server.
 #[derive(Default)]
@@ -59,6 +16,21 @@ pub struct Metrics {
     pub flow: EndpointMetrics,
     /// `stats` counters.
     pub stats: EndpointMetrics,
+    /// `metrics` (Prometheus exposition) counters.
+    pub metrics: EndpointMetrics,
+}
+
+impl Metrics {
+    /// The `(endpoint name, metrics)` pairs, in exposition order.
+    pub fn endpoints(&self) -> [(&'static str, &EndpointMetrics); 5] {
+        [
+            ("estimate", &self.estimate),
+            ("preimpl", &self.preimpl),
+            ("flow", &self.flow),
+            ("stats", &self.stats),
+            ("metrics", &self.metrics),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -79,21 +51,15 @@ mod tests {
         assert_eq!(s.buckets[1], 1);
         assert_eq!(s.buckets[5], 1);
         assert_eq!(s.buckets.iter().sum::<u64>(), 3);
+        assert_eq!(s.bucket_bounds_us, LATENCY_BUCKETS_US.to_vec());
     }
 
     #[test]
-    fn concurrent_records_are_all_counted() {
-        let m = EndpointMetrics::default();
-        std::thread::scope(|s| {
-            for _ in 0..8 {
-                s.spawn(|| {
-                    for _ in 0..100 {
-                        m.record(10, true);
-                    }
-                });
-            }
-        });
-        assert_eq!(m.snapshot().requests, 800);
-        assert_eq!(m.snapshot().buckets[0], 800);
+    fn endpoints_expose_every_family() {
+        let m = Metrics::default();
+        m.flow.record(10, true);
+        let names: Vec<&str> = m.endpoints().iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, ["estimate", "preimpl", "flow", "stats", "metrics"]);
+        assert_eq!(m.endpoints()[2].1.snapshot().requests, 1);
     }
 }

@@ -17,10 +17,17 @@
 //! | `preimpl`  | [`PreimplRequest`]   | [`PreimplResponse`]   |
 //! | `flow`     | [`FlowRequest`]      | [`FlowResponse`]      |
 //! | `stats`    | none (`null`)        | [`StatsReport`]       |
+//! | `metrics`  | none (`null`)        | [`MetricsResponse`]   |
+//!
+//! The `metrics` page is also reachable over plain HTTP on the same port:
+//! a connection whose first line starts with `GET ` gets the Prometheus
+//! text page back as an `HTTP/1.1 200` response and is then closed.
 
 use serde::Value;
 use tms_cnn::ModuleRole;
 use tms_netlist::NetlistStats;
+pub use tms_obs::EndpointSnapshot;
+use tms_obs::ObsSnapshot;
 
 /// Request envelope: a client-chosen id, the endpoint, and its payload.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -197,21 +204,8 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
-/// Per-endpoint request counters and latency histogram.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-pub struct EndpointSnapshot {
-    /// Requests handled (including failed ones).
-    pub requests: u64,
-    /// Requests answered with an error.
-    pub errors: u64,
-    /// Sum of handling times, microseconds.
-    pub total_micros: u64,
-    /// Latency histogram; bucket `i` counts requests that finished within
-    /// [`crate::metrics::LATENCY_BUCKETS_US`]`[i]` microseconds.
-    pub buckets: Vec<u64>,
-}
-
-/// `stats` reply: per-endpoint counters plus cache hit/miss rates.
+/// `stats` reply: per-endpoint counters plus cache hit/miss rates and the
+/// flow-phase telemetry of the pipeline work the server has done.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct StatsReport {
     /// Microseconds since the server started.
@@ -224,8 +218,20 @@ pub struct StatsReport {
     pub flow: EndpointSnapshot,
     /// `stats` endpoint counters (not counting the in-flight request).
     pub stats: EndpointSnapshot,
+    /// `metrics` endpoint counters (Prometheus exposition).
+    pub metrics: EndpointSnapshot,
     /// Shared implementation-cache statistics.
     pub cache: CacheStats,
+    /// Pipeline telemetry: per-phase span totals, flow counters and
+    /// observations accumulated across every request handled so far.
+    pub pipeline: ObsSnapshot,
+}
+
+/// `metrics` reply: the Prometheus text-format page.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MetricsResponse {
+    /// The rendered exposition page.
+    pub text: String,
 }
 
 #[cfg(test)]

@@ -21,8 +21,8 @@
 
 use crate::metrics::Metrics;
 use crate::protocol::{
-    CacheStats, EstimateRequest, EstimateResponse, FlowRequest, FlowResponse, PreimplRequest,
-    PreimplResponse, Request, Response, StatsReport,
+    CacheStats, EstimateRequest, EstimateResponse, FlowRequest, FlowResponse, MetricsResponse,
+    PreimplRequest, PreimplResponse, Request, Response, StatsReport,
 };
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -39,6 +39,8 @@ use tms_flow::{
     RwFlowConfig, DEFAULT_CACHE_CAPACITY,
 };
 use tms_netlist::NetlistStats;
+use tms_obs::prometheus::PromText;
+use tms_obs::{span, AggregatingSink, Phase, Recorder};
 use tms_pblock::CfSearch;
 use tms_place::{quick_place, PlacementModel};
 use tms_stitch::StitchConfig;
@@ -74,6 +76,7 @@ struct ServerState {
     features: FeatureSet,
     cache: parking_lot::RwLock<ImplementationCache>,
     metrics: Metrics,
+    sink: AggregatingSink,
     shutdown: AtomicBool,
     started: Instant,
 }
@@ -142,6 +145,7 @@ pub fn serve(
         features,
         cache: parking_lot::RwLock::new(ImplementationCache::with_capacity(config.cache_capacity)),
         metrics: Metrics::default(),
+        sink: AggregatingSink::new(),
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
     });
@@ -207,6 +211,13 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
             Ok(0) => break,
             Ok(_) => {
                 let trimmed = line.trim();
+                if trimmed.starts_with("GET ") {
+                    // A plain HTTP scrape on the JSON-lines port: answer
+                    // the Prometheus page and close the connection.
+                    let request_line = trimmed.to_string();
+                    handle_http(state, &mut reader, &mut writer, &request_line);
+                    break;
+                }
                 if !trimmed.is_empty() {
                     let resp = handle_request(state, trimmed);
                     let mut out = serde_json::to_string(&resp)
@@ -227,6 +238,49 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
     }
 }
 
+/// Serve one HTTP GET on the JSON-lines port: drain the request headers,
+/// answer `/metrics` with the Prometheus text page (anything else is 404),
+/// and let the caller close the connection.
+fn handle_http(
+    state: &ServerState,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request_line: &str,
+) {
+    let start = Instant::now();
+    // Drain headers until the blank line that ends the request.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header.trim().is_empty() => break,
+            Ok(_) => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue
+            }
+            Err(_) => return,
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+        ("200 OK", prometheus_text(state))
+    } else {
+        ("404 Not Found", "only /metrics lives here\n".to_string())
+    };
+    let ok = status.starts_with("200");
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = writer.write_all(response.as_bytes());
+    state
+        .metrics
+        .metrics
+        .record(start.elapsed().as_micros() as u64, ok);
+}
+
 /// Parse, dispatch, time, and record one request line.
 fn handle_request(state: &ServerState, line: &str) -> Response {
     let req: Request = match serde_json::from_str(line) {
@@ -238,6 +292,7 @@ fn handle_request(state: &ServerState, line: &str) -> Response {
         "preimpl" => &state.metrics.preimpl,
         "flow" => &state.metrics.flow,
         "stats" => &state.metrics.stats,
+        "metrics" => &state.metrics.metrics,
         other => return Response::failure(req.id, format!("unknown endpoint '{other}'")),
     };
     let start = Instant::now();
@@ -261,6 +316,10 @@ fn dispatch(
         "preimpl" => do_preimpl(state, parse(payload)?, start).map(|r| r.to_value()),
         "flow" => do_flow(state, parse(payload)?, start).map(|r| r.to_value()),
         "stats" => Ok(do_stats(state).to_value()),
+        "metrics" => Ok(MetricsResponse {
+            text: prometheus_text(state),
+        }
+        .to_value()),
         _ => unreachable!("checked by handle_request"),
     }
 }
@@ -282,8 +341,9 @@ fn device_by_name(name: &str) -> Result<Device, String> {
 
 /// The per-request flow configuration: constant CF when given, minimal-CF
 /// search otherwise. The stitcher runs its fast schedule — this is an
-/// interactive service, not the benchmark harness.
-fn flow_config(cf: Option<f64>, seed: u64) -> RwFlowConfig<'static> {
+/// interactive service, not the benchmark harness. Pipeline telemetry
+/// lands in `obs` (the server passes its shared sink).
+fn flow_config<'a>(cf: Option<f64>, seed: u64, obs: &'a dyn Recorder) -> RwFlowConfig<'a> {
     RwFlowConfig {
         policy: match cf {
             Some(cf) => CfPolicy::Constant(cf),
@@ -293,6 +353,7 @@ fn flow_config(cf: Option<f64>, seed: u64) -> RwFlowConfig<'static> {
         model: PlacementModel::default(),
         stitch: StitchConfig::fast(seed),
         seed,
+        obs,
     }
 }
 
@@ -317,6 +378,7 @@ fn do_estimate(
         }
         (None, None) => return Err("estimate needs either 'stats' or 'spec'".to_string()),
     };
+    let _estimate_span = span(&state.sink, Phase::Estimate, "serve");
     let cf = predict_cf(&state.estimator, state.features, &stats);
     Ok(EstimateResponse {
         cf,
@@ -338,9 +400,13 @@ fn do_preimpl(
     // Fast path: concurrent lookups share the read lock.
     let hit = state.cache.read().get(&key);
     let (module, cached) = match hit {
-        Some(m) => (m, true),
+        Some(m) => {
+            state.sink.count("cache.hit", 1);
+            (m, true)
+        }
         None => {
-            let cfg = flow_config(req.cf, spec.seed);
+            state.sink.count("cache.miss", 1);
+            let cfg = flow_config(req.cf, spec.seed, &state.sink);
             let m = implement_module(&spec.name, &netlist, &device, &cfg)?;
             state.cache.write().insert(key, m.clone());
             (m, false)
@@ -362,7 +428,7 @@ fn do_preimpl(
 fn do_flow(state: &ServerState, req: FlowRequest, start: &Instant) -> Result<FlowResponse, String> {
     let device = device_by_name(&req.device)?;
     let design = cnvw1a1(req.design_seed);
-    let cfg = flow_config(req.cf, req.design_seed);
+    let cfg = flow_config(req.cf, req.design_seed, &state.sink);
     // The whole cached run holds the write lock: it both reads and fills
     // the cache, and its parallel section uses rayon, not the pool.
     let mut cache = state.cache.write();
@@ -388,11 +454,74 @@ fn do_stats(state: &ServerState) -> StatsReport {
         preimpl: state.metrics.preimpl.snapshot(),
         flow: state.metrics.flow.snapshot(),
         stats: state.metrics.stats.snapshot(),
+        metrics: state.metrics.metrics.snapshot(),
         cache: CacheStats {
             len: cache.len(),
             capacity: cache.capacity(),
             hits: cache.hits(),
             misses: cache.misses(),
         },
+        pipeline: state.sink.snapshot(),
     }
+}
+
+/// Render the whole server state as one Prometheus text page: the request
+/// metrics of every endpoint, the cache gauges, and the pipeline-phase
+/// telemetry of the shared sink.
+fn prometheus_text(state: &ServerState) -> String {
+    let mut page = PromText::new();
+    page.header("tms_uptime_us", "Microseconds since server start", "gauge");
+    page.sample(
+        "tms_uptime_us",
+        &[],
+        state.started.elapsed().as_micros() as f64,
+    );
+    page.header("tms_requests_total", "Requests handled", "counter");
+    for (name, m) in state.metrics.endpoints() {
+        page.sample(
+            "tms_requests_total",
+            &[("endpoint", name)],
+            m.snapshot().requests as f64,
+        );
+    }
+    page.header(
+        "tms_request_errors_total",
+        "Requests answered with an error",
+        "counter",
+    );
+    for (name, m) in state.metrics.endpoints() {
+        page.sample(
+            "tms_request_errors_total",
+            &[("endpoint", name)],
+            m.snapshot().errors as f64,
+        );
+    }
+    page.header(
+        "tms_request_latency_us",
+        "Request handling latency, microseconds",
+        "histogram",
+    );
+    for (name, m) in state.metrics.endpoints() {
+        let snap = m.snapshot();
+        page.histogram(
+            "tms_request_latency_us",
+            &[("endpoint", name)],
+            &snap.bucket_bounds_us,
+            &snap.buckets,
+            snap.total_micros,
+        );
+    }
+    {
+        let cache = state.cache.read();
+        page.header("tms_cache_len", "Implementations cached", "gauge");
+        page.sample("tms_cache_len", &[], cache.len() as f64);
+        page.header("tms_cache_capacity", "Cache eviction bound", "gauge");
+        page.sample("tms_cache_capacity", &[], cache.capacity() as f64);
+        page.header("tms_cache_hits_total", "Cache lookup hits", "counter");
+        page.sample("tms_cache_hits_total", &[], cache.hits() as f64);
+        page.header("tms_cache_misses_total", "Cache lookup misses", "counter");
+        page.sample("tms_cache_misses_total", &[], cache.misses() as f64);
+    }
+    page.obs_snapshot(&state.sink.snapshot());
+    page.finish()
 }

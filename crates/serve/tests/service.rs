@@ -162,6 +162,109 @@ fn warm_flow_does_strictly_less_implementation_work() {
 }
 
 #[test]
+fn prometheus_page_agrees_with_the_stats_report() {
+    let handle = start_server(4);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let s = spec(ModuleRole::Mvau, 40, "prom_m");
+    client.estimate_spec(&s).expect("estimate");
+    let cold = client.preimpl(&s, "xc7z020", None).expect("cold preimpl");
+    assert!(!cold.cached);
+    let warm = client.preimpl(&s, "xc7z020", None).expect("warm preimpl");
+    assert!(warm.cached);
+
+    let text = client.metrics_text().expect("metrics");
+    let samples = tms_serve::prometheus::parse(&text).expect("prometheus page parses");
+    let stats = client.stats().expect("stats");
+
+    // The stats and metrics endpoints meter themselves only *after*
+    // answering, so their own counters drift by the in-flight request —
+    // compare the endpoints this sequence no longer touches.
+    for (name, snap) in [
+        ("estimate", &stats.estimate),
+        ("preimpl", &stats.preimpl),
+        ("flow", &stats.flow),
+    ] {
+        assert_eq!(
+            samples[&format!("tms_requests_total{{endpoint=\"{name}\"}}")] as u64,
+            snap.requests,
+            "{name} requests"
+        );
+        assert_eq!(
+            samples[&format!("tms_request_errors_total{{endpoint=\"{name}\"}}")] as u64,
+            snap.errors,
+            "{name} errors"
+        );
+        assert_eq!(
+            samples[&format!("tms_request_latency_us_count{{endpoint=\"{name}\"}}")] as u64,
+            snap.requests,
+            "{name} histogram covers every request"
+        );
+        assert_eq!(
+            samples[&format!("tms_request_latency_us_sum{{endpoint=\"{name}\"}}")] as u64,
+            snap.total_micros,
+            "{name} latency sum"
+        );
+    }
+    assert_eq!(samples["tms_cache_hits_total"] as u64, stats.cache.hits);
+    assert_eq!(samples["tms_cache_misses_total"] as u64, stats.cache.misses);
+    assert_eq!(samples["tms_cache_len"] as usize, stats.cache.len);
+
+    // The pipeline telemetry is present on both sides and agrees: one
+    // estimate span, one cache miss + one hit, and the cold preimpl's
+    // placement work.
+    assert_eq!(samples["tms_cache_hit_total"] as u64, 1);
+    assert_eq!(samples["tms_cache_miss_total"] as u64, 1);
+    assert!(samples["tms_phase_spans_total{phase=\"estimate\"}"] as u64 >= 1);
+    assert!(samples["tms_phase_spans_total{phase=\"place\"}"] as u64 >= 1);
+    assert_eq!(stats.pipeline.counter("cache.hit"), 1);
+    assert_eq!(stats.pipeline.counter("cache.miss"), 1);
+    assert_eq!(
+        stats.pipeline.counter("pblock.search.tool_runs"),
+        u64::from(cold.attempts),
+        "the sink's tool runs are the cold implementation's attempts"
+    );
+    handle.stop();
+}
+
+#[test]
+fn plain_http_get_scrapes_the_metrics_page() {
+    use std::io::{Read, Write};
+
+    let handle = start_server(2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let s = spec(ModuleRole::Activation, 30, "http_m");
+    client.preimpl(&s, "xc7z020", Some(1.6)).expect("preimpl");
+
+    // A stock HTTP scrape on the JSON-lines port.
+    let mut http = std::net::TcpStream::connect(handle.addr()).expect("connect http");
+    http.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n")
+        .expect("send request");
+    let mut raw = String::new();
+    http.read_to_string(&mut raw)
+        .expect("server closes after replying");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(head.contains("Content-Type: text/plain"));
+    let samples = tms_serve::prometheus::parse(body).expect("body is a Prometheus page");
+    assert_eq!(
+        samples["tms_requests_total{endpoint=\"preimpl\"}"] as u64,
+        1
+    );
+    assert_eq!(samples["tms_cache_misses_total"] as u64, 1);
+
+    // Unknown paths get a 404, and the JSON side still works afterwards.
+    let mut http = std::net::TcpStream::connect(handle.addr()).expect("connect http");
+    http.write_all(b"GET /nope HTTP/1.1\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    http.read_to_string(&mut raw).expect("read 404");
+    assert!(raw.starts_with("HTTP/1.1 404"), "{raw}");
+    let stats = client.stats().expect("stats still served");
+    assert_eq!(stats.metrics.requests, 2, "both scrapes were metered");
+    assert_eq!(stats.metrics.errors, 1, "the 404 counts as an error");
+    handle.stop();
+}
+
+#[test]
 fn errors_are_reported_and_the_connection_survives() {
     let handle = start_server(2);
     let mut client = Client::connect(handle.addr()).expect("connect");

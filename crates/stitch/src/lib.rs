@@ -42,4 +42,4 @@ mod proptests;
 pub mod sa;
 
 pub use problem::{InterNet, MacroBlock, StitchProblem};
-pub use sa::{stitch, StitchConfig, StitchResult};
+pub use sa::{stitch, stitch_observed, StitchConfig, StitchResult};

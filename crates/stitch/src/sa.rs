@@ -476,6 +476,30 @@ fn estimate_t0(state: &mut State<'_>, rng: &mut StdRng) -> f64 {
     }
 }
 
+/// [`stitch`] with telemetry: wraps the anneal in a `stitch`-phase span
+/// (placed/unplaced counts, final cost), bumps the
+/// `stitch.{placed,unplaced,moves,late_insertions}` counters and records
+/// the final wirelength cost as the `stitch.cost` observation. The plain
+/// [`stitch`] stays untouched — its many call sites record nothing.
+pub fn stitch_observed(
+    device: &Device,
+    problem: &StitchProblem,
+    config: &StitchConfig,
+    obs: &dyn tms_obs::Recorder,
+) -> StitchResult {
+    let mut sp = tms_obs::span(obs, tms_obs::Phase::Stitch, "sa");
+    let r = stitch(device, problem, config);
+    sp.field("placed", r.placed_count as f64);
+    sp.field("unplaced", r.unplaced_count as f64);
+    sp.field("final_cost", r.final_cost);
+    obs.count("stitch.placed", r.placed_count as u64);
+    obs.count("stitch.unplaced", r.unplaced_count as u64);
+    obs.count("stitch.moves", r.total_moves);
+    obs.count("stitch.late_insertions", r.late_insertions);
+    obs.observe("stitch.cost", r.final_cost);
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,6 +545,31 @@ mod tests {
                 assert!(!ra.overlaps(&rb), "{i} and {j} overlap");
             }
         }
+    }
+
+    #[test]
+    fn observed_stitch_matches_the_plain_call_and_records() {
+        use tms_obs::{AggregatingSink, Phase};
+        let dev = Device::xc7z020();
+        let p = chain_problem(&dev, 20, 3, 10);
+        let cfg = StitchConfig::fast(1);
+        let sink = AggregatingSink::new();
+        let observed = stitch_observed(&dev, &p, &cfg, &sink);
+        let plain = stitch(&dev, &p, &cfg);
+        assert_eq!(
+            observed.positions, plain.positions,
+            "telemetry must not perturb the anneal"
+        );
+        assert_eq!(sink.phase_spans(Phase::Stitch), 1);
+        assert_eq!(sink.counter("stitch.placed"), observed.placed_count as u64);
+        assert_eq!(
+            sink.counter("stitch.unplaced"),
+            observed.unplaced_count as u64
+        );
+        assert_eq!(sink.counter("stitch.moves"), observed.total_moves);
+        let (n, cost) = sink.observation("stitch.cost").unwrap();
+        assert_eq!(n, 1);
+        assert!((cost - observed.final_cost).abs() < 1e-9);
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn main() {
                     ..StitchConfig::standard(7)
                 },
                 seed: 7,
+                obs: tailored_macro_sizes::obs::noop(),
             },
         );
         let unplaced = rw.stitch.unplaced_count + rw.failed.len();

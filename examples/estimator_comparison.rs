@@ -86,6 +86,7 @@ fn main() {
                 model: PlacementModel::default(),
                 stitch: StitchConfig::fast(seed),
                 seed,
+                obs: tailored_macro_sizes::obs::noop(),
             },
         );
         println!(

@@ -146,6 +146,7 @@ fn main() {
                 ..StitchConfig::standard(31)
             },
             seed: 31,
+            obs: tailored_macro_sizes::obs::noop(),
         },
     );
     println!(

@@ -7,6 +7,7 @@
 //! tms experiments <targets> [opts]     regenerate paper tables/figures
 //! tms serve [opts]                     start the estimation/pre-impl service
 //! tms client <endpoint> [opts]         query a running service
+//! tms report --trace <path>            render a JSONL trace as a phase table
 //!
 //! options:
 //!   --device <xc7z010|xc7z020|xc7z030|xc7z045|xc7z100>   (default xc7z045)
@@ -17,6 +18,8 @@
 //!   --paper              experiments at full paper scale
 //!   --render             print the placed-fabric map after compile
 //!   --save <path>        train: write the trained model as JSON
+//!   --trace <path>       compile: write a JSONL telemetry trace of the
+//!                        whole run (render it with `tms report`)
 //!
 //! serve options:
 //!   --port <N>           listen port (default 7245; 0 = ephemeral)
@@ -25,7 +28,7 @@
 //!   --model <path>       load a model saved by `tms train --save`
 //!                        (skips training; pass the matching --features)
 //!
-//! client options (endpoint: estimate | preimpl | flow | stats):
+//! client options (endpoint: estimate | preimpl | flow | stats | metrics):
 //!   --addr <host:port>   server address (default 127.0.0.1:7245)
 //!   --port <N>           shorthand for --addr 127.0.0.1:<N>
 //!   --role <mvau|swu|act|pool|weights>   module recipe (default mvau)
@@ -40,7 +43,8 @@ use tailored_macro_sizes::device::Device;
 use tailored_macro_sizes::estimator::{CfEstimator, EstimatorKind, FeatureSet};
 use tailored_macro_sizes::flow::experiments::common::Scale;
 use tailored_macro_sizes::flow::{coverage_line, render_cost_trace, render_stitched};
-use tailored_macro_sizes::route::{route_stitched, RouterConfig};
+use tailored_macro_sizes::obs::{read_trace, JsonlSink, Recorder};
+use tailored_macro_sizes::route::{route_stitched_observed, RouterConfig};
 use tailored_macro_sizes::serve::{serve, Client, ModuleSpec, ServeConfig};
 use tailored_macro_sizes::MacroSizingFlow;
 
@@ -161,11 +165,25 @@ fn cmd_train(flags: &HashMap<String, String>) {
 fn cmd_compile(flags: &HashMap<String, String>) {
     let device = device_of(flags);
     let seed = num(flags, "seed", 2024);
-    let flow = MacroSizingFlow::new(device.clone())
+    let mut flow = MacroSizingFlow::new(device.clone())
         .with_estimator(estimator_of(flags))
         .with_feature_set(features_of(flags))
         .with_dataset_size(num(flags, "dataset", 600) as usize)
         .with_seed(seed);
+    let trace: Option<(std::sync::Arc<JsonlSink>, &String)> = match flags.get("trace") {
+        Some(path) => match JsonlSink::create(std::path::Path::new(path)) {
+            Ok(sink) => {
+                let sink = std::sync::Arc::new(sink);
+                flow = flow.with_recorder(sink.clone());
+                Some((sink, path))
+            }
+            Err(e) => {
+                eprintln!("could not create trace file {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
     println!("training estimator ...");
     let trained = flow.train();
     let design = cnvw1a1(seed);
@@ -192,11 +210,16 @@ fn cmd_compile(flags: &HashMap<String, String>) {
         result.stitch.final_cost,
         render_cost_trace(&result.stitch.cost_trace, 48)
     );
-    let route = route_stitched(
+    let route_obs: &dyn Recorder = match &trace {
+        Some((sink, _)) => sink.as_ref(),
+        None => tailored_macro_sizes::obs::noop(),
+    };
+    let route = route_stitched_observed(
         &device,
         &result.problem,
         &result.stitch,
         &RouterConfig::default(),
+        route_obs,
     );
     println!(
         "routing: {} connections, wirelength {}, fully routed: {}",
@@ -207,6 +230,27 @@ fn cmd_compile(flags: &HashMap<String, String>) {
             "{}",
             render_stitched(&device, &result.problem, &result.stitch, 110, 45)
         );
+    }
+    if let Some((sink, path)) = trace {
+        if let Err(e) = sink.flush() {
+            eprintln!("could not flush trace {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("telemetry trace written to {path} (render: tms report --trace {path})");
+    }
+}
+
+fn cmd_report(flags: &HashMap<String, String>) {
+    let Some(path) = flags.get("trace") else {
+        eprintln!("usage: tms report --trace <path>");
+        std::process::exit(2);
+    };
+    match read_trace(std::path::Path::new(path)) {
+        Ok(events) => print!("{}", tailored_macro_sizes::obs::report::render(&events)),
+        Err(e) => {
+            eprintln!("could not read {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -298,7 +342,8 @@ fn cmd_serve(flags: &HashMap<String, String>) {
                 features.label()
             );
             println!(
-                "endpoints: estimate | preimpl | flow | stats  (JSON lines; see `tms client`)"
+                "endpoints: estimate | preimpl | flow | stats | metrics  (JSON lines; \
+                 see `tms client`) — plain HTTP `GET /metrics` works too"
             );
             handle.serve_forever()
         }
@@ -344,8 +389,9 @@ fn cmd_client(args: &[String], flags: &HashMap<String, String>) {
             .flow(num(flags, "seed", 2024), &device, cf)
             .map(|r| to_pretty(&r)),
         Some("stats") => client.stats().map(|r| to_pretty(&r)),
+        Some("metrics") => client.metrics_text(),
         _ => {
-            eprintln!("usage: tms client <estimate|preimpl|flow|stats> [options]");
+            eprintln!("usage: tms client <estimate|preimpl|flow|stats|metrics> [options]");
             std::process::exit(2);
         }
     };
@@ -372,8 +418,11 @@ fn main() {
         Some("experiments") => cmd_experiments(&positional[1..], &flags),
         Some("serve") => cmd_serve(&flags),
         Some("client") => cmd_client(&positional[1..], &flags),
+        Some("report") => cmd_report(&flags),
         _ => {
-            eprintln!("usage: tms <devices|train|compile|experiments|serve|client> [options]");
+            eprintln!(
+                "usage: tms <devices|train|compile|experiments|serve|client|report> [options]"
+            );
             eprintln!("see the module docs in src/bin/tms.rs for the option list");
             std::process::exit(2);
         }

@@ -20,8 +20,11 @@
 //! * [`estimator`] — feature sets and the learned CF estimator;
 //! * [`cnn`] — the cnvW1A1 block design (175 instances, 74 uniques);
 //! * [`flow`] — end-to-end flows plus one driver per paper table/figure;
+//! * [`store`] — the crash-safe persistent macro library (WAL + snapshot
+//!   compaction) that keeps implementations across processes;
 //! * [`serve`] — the concurrent CF-estimation & pre-implementation
-//!   service with its shared warm cache.
+//!   service with its shared warm cache (optionally store-backed, so a
+//!   restarted server warm-starts with zero tool runs).
 //!
 //! The high-level entry point is [`MacroSizingFlow`]: train a correction-
 //! factor estimator once, then compile designs with estimator-tailored
@@ -56,6 +59,7 @@ pub use tms_route as route;
 pub use tms_rtlgen as rtlgen;
 pub use tms_serve as serve;
 pub use tms_stitch as stitch;
+pub use tms_store as store;
 pub use tms_synth as synth;
 pub use tms_timing as timing;
 

@@ -15,9 +15,15 @@ use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tms_cnn::CnvDesign;
 use tms_device::{Device, DeviceName};
 use tms_netlist::{Netlist, NetlistStats};
+use tms_store::{Store, StoreSnapshot};
+
+/// The persistent macro library: a crash-safe [`tms_store::Store`] keyed
+/// by module fingerprints. See [`ImplementationCache::with_store`].
+pub type MacroStore = Store<ModuleFingerprint, ImplementedModule>;
 
 /// A structural fingerprint of a module: device, name, and the statistics
 /// the implementation depends on. Two netlists with equal fingerprints get
@@ -93,12 +99,21 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 4_096;
 /// side). The entry count is bounded; inserting past capacity evicts the
 /// least-recently-used implementation.
 ///
-/// Persistable to disk with [`ImplementationCache::save`] /
-/// [`ImplementationCache::load`], so a design-space exploration can reuse
-/// implementations across *processes*, not just within one run — the same
-/// role RapidWright's cached pre-implemented blocks play on disk.
+/// Persistable to disk two ways:
+///
+/// * [`ImplementationCache::save`] / [`ImplementationCache::load`] write
+///   the whole library as one JSON blob (atomically, via temp-file +
+///   rename) — fine for batch explorations that persist once at exit;
+/// * [`ImplementationCache::with_store`] backs the cache with a
+///   [`MacroStore`]: every insert is WAL-appended **incrementally** and
+///   survives a crash, and a restarted process warm-starts from the same
+///   directory — the durable macro library the RapidWright-style reuse
+///   economics assume.
 pub struct ImplementationCache {
     entries: HashMap<ModuleFingerprint, CacheSlot>,
+    /// When set, the store is the single backend: `entries` stays empty
+    /// and every lookup/insert goes to the crash-safe library instead.
+    store: Option<Arc<MacroStore>>,
     capacity: usize,
     /// Logical clock, bumped on every lookup.
     clock: AtomicU64,
@@ -122,6 +137,7 @@ impl ImplementationCache {
     pub fn with_capacity(capacity: usize) -> Self {
         ImplementationCache {
             entries: HashMap::new(),
+            store: None,
             capacity: capacity.max(1),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -129,14 +145,42 @@ impl ImplementationCache {
         }
     }
 
+    /// A cache backed by a persistent [`MacroStore`]: lookups and inserts
+    /// go straight to the store (crash-safe WAL append per insert, LRU
+    /// *byte*-budget eviction instead of the in-memory entry bound), so
+    /// implementations accumulated by one process warm-start the next.
+    pub fn with_store(store: Arc<MacroStore>) -> Self {
+        ImplementationCache {
+            entries: HashMap::new(),
+            store: Some(store),
+            capacity: DEFAULT_CACHE_CAPACITY,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The persistent store behind this cache, if it runs in store mode.
+    pub fn store(&self) -> Option<&Arc<MacroStore>> {
+        self.store.as_ref()
+    }
+
+    /// Statistics of the backing store, if any.
+    pub fn store_stats(&self) -> Option<StoreSnapshot> {
+        self.store.as_ref().map(|s| s.stats())
+    }
+
     /// Cached implementations.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.store {
+            Some(store) => store.len(),
+            None => self.entries.len(),
+        }
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Maximum number of entries retained.
@@ -156,6 +200,14 @@ impl ImplementationCache {
 
     /// Look up a module implementation.
     pub fn get(&self, key: &ModuleFingerprint) -> Option<ImplementedModule> {
+        if let Some(store) = &self.store {
+            let hit = store.get(key);
+            match hit.is_some() {
+                true => self.hits.fetch_add(1, Ordering::Relaxed),
+                false => self.misses.fetch_add(1, Ordering::Relaxed),
+            };
+            return hit;
+        }
         let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         match self.entries.get(key) {
             Some(slot) => {
@@ -171,8 +223,15 @@ impl ImplementationCache {
     }
 
     /// Store a module implementation, evicting the least-recently-used
-    /// entry if the cache is at capacity.
+    /// entry if the cache is at capacity. In store mode the insert is
+    /// WAL-appended; a persistence error is swallowed here (the
+    /// implementation is still returned to the caller by the flow) but
+    /// counted in the store's `io_errors` statistic.
     pub fn insert(&mut self, key: ModuleFingerprint, module: ImplementedModule) {
+        if let Some(store) = &self.store {
+            let _ = store.put(key, module);
+            return;
+        }
         let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
             if let Some(lru) = self
@@ -195,15 +254,35 @@ impl ImplementationCache {
 
     /// Persist the cached implementations as JSON. Hit/miss counters and
     /// recency stamps are session statistics and are not stored.
+    ///
+    /// The write is atomic (temp file + rename via
+    /// [`tms_store::atomic_write`]): a crash mid-save leaves the previous
+    /// library intact instead of a truncated JSON blob. In store mode this
+    /// exports the persistent library as a plain JSON snapshot — useful
+    /// for moving a library off a store directory.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let entries: Vec<(&ModuleFingerprint, &ImplementedModule)> = self
-            .entries
-            .iter()
-            .map(|(k, slot)| (k, &slot.module))
-            .collect();
-        let json = serde_json::to_string(&entries)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, json)
+        let json = match &self.store {
+            Some(store) => serde_json::to_string(&store.export()),
+            None => {
+                let entries: Vec<(&ModuleFingerprint, &ImplementedModule)> = self
+                    .entries
+                    .iter()
+                    .map(|(k, slot)| (k, &slot.module))
+                    .collect();
+                serde_json::to_string(&entries)
+            }
+        }
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        tms_store::atomic_write(path, json.as_bytes())
+    }
+
+    /// Durability barrier: in store mode, block until every insert so far
+    /// is fsynced into the WAL. A no-op for purely in-memory caches.
+    pub fn flush(&self) -> io::Result<()> {
+        match &self.store {
+            Some(store) => store.flush(),
+            None => Ok(()),
+        }
     }
 
     /// Load a cache previously written by [`ImplementationCache::save`].
@@ -534,6 +613,46 @@ mod tests {
         });
         assert_eq!(cache.hits() - h0, 8 * 74);
         assert_eq!(cache.misses() - m0, 8);
+    }
+
+    #[test]
+    fn store_backed_cache_warm_starts_across_processes() {
+        use tms_store::{Store, StoreConfig};
+        let dir = std::env::temp_dir().join(format!(
+            "tms_flow_store_warm_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let design = cnvw1a1(5);
+        let dev = Device::xc7z045();
+
+        // "Process one": cold flow against an empty store directory, then a
+        // graceful checkpoint and drop.
+        {
+            let store: Arc<MacroStore> =
+                Arc::new(Store::open(StoreConfig::at(&dir)).expect("open store"));
+            let mut cache = ImplementationCache::with_store(Arc::clone(&store));
+            let cold = run_rw_flow_cached(&design, &dev, &cfg(5), &mut cache);
+            assert_eq!(cold.fresh, 74);
+            assert_eq!(cold.reused, 0);
+            assert_eq!(cache.len(), 74);
+            cache.flush().expect("flush");
+            store.checkpoint().expect("checkpoint");
+        }
+
+        // "Process two": reopen the same directory; every implementation is
+        // already in the library, so zero tool runs are spent.
+        let store: Arc<MacroStore> =
+            Arc::new(Store::open(StoreConfig::at(&dir)).expect("reopen store"));
+        assert_eq!(store.len(), 74, "library survived the restart");
+        let mut cache = ImplementationCache::with_store(store);
+        let warm = run_rw_flow_cached(&design, &dev, &cfg(5), &mut cache);
+        assert_eq!(warm.reused, 74);
+        assert_eq!(warm.fresh, 0);
+        assert_eq!(warm.tool_runs_spent, 0);
+        assert!(cache.hits() >= 74);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

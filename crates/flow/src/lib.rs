@@ -40,7 +40,7 @@ pub mod rwflow;
 pub use amd::{run_amd_flow, AmdFlowConfig, AmdFlowResult};
 pub use cache::{
     run_rw_flow_cached, run_rw_flow_cached_verified, CachedFlowResult, ImplementationCache,
-    ModuleFingerprint, DEFAULT_CACHE_CAPACITY,
+    MacroStore, ModuleFingerprint, DEFAULT_CACHE_CAPACITY,
 };
 pub use render::{coverage_line, render_cost_trace, render_stitched};
 pub use rwflow::{

@@ -6,8 +6,9 @@
 //! records that telemetry through, without committing anyone to a
 //! particular backend:
 //!
-//! * [`Phase`] — the seven pipeline phases (`synth`, `pack`, `place`,
-//!   `route`, `stitch`, `estimate`, `cache`) every span is labelled with;
+//! * [`Phase`] — the eight pipeline phases (`synth`, `pack`, `place`,
+//!   `route`, `stitch`, `estimate`, `cache`, `store`) every span is
+//!   labelled with;
 //! * [`Recorder`] — the pluggable sink trait: spans, named counters and
 //!   numeric observations. The default is [`NoopRecorder`] (via
 //!   [`noop()`]), which keeps the hot path allocation-free: a [`Span`]

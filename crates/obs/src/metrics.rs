@@ -191,10 +191,15 @@ mod tests {
         h.observe(u64::MAX);
         let b = h.buckets();
         assert_eq!(b[0], 1, "100 lands in the first bucket");
-        for i in 1..LATENCY_BUCKETS_US.len() - 1 {
+        for (i, &count) in b
+            .iter()
+            .enumerate()
+            .take(LATENCY_BUCKETS_US.len() - 1)
+            .skip(1)
+        {
             // Each middle bucket gets its own bound plus the previous
             // bound's +1 spill-over.
-            assert_eq!(b[i], 2, "bucket {i}");
+            assert_eq!(count, 2, "bucket {i}");
         }
         assert_eq!(b[LATENCY_BUCKETS_US.len() - 1], 2, "catch-all");
         assert_eq!(h.count(), 2 * LATENCY_BUCKETS_US.len() as u64 - 1);

@@ -1,6 +1,7 @@
 //! The pipeline phases every span is labelled with.
 
-/// One phase of the pre-implementation pipeline. Every [`crate::Span`]
+/// One phase of the pre-implementation pipeline (plus the persistence
+/// layer). Every [`crate::Span`]
 /// carries exactly one phase label, so per-phase time/attempt breakdowns
 /// (the `tms report` table, the serve `stats` response) never need to
 /// parse free-form span names.
@@ -20,11 +21,13 @@ pub enum Phase {
     Estimate,
     /// Implementation-cache lookups and splices.
     Cache,
+    /// Persistent macro-store appends, compactions and recovery.
+    Store,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; 8] = [
         Phase::Synth,
         Phase::Pack,
         Phase::Place,
@@ -32,6 +35,7 @@ impl Phase {
         Phase::Stitch,
         Phase::Estimate,
         Phase::Cache,
+        Phase::Store,
     ];
 
     /// Stable lowercase label (`synth`, `pack`, ...), used in traces,
@@ -45,6 +49,7 @@ impl Phase {
             Phase::Stitch => "stitch",
             Phase::Estimate => "estimate",
             Phase::Cache => "cache",
+            Phase::Store => "store",
         }
     }
 

@@ -446,8 +446,10 @@ mod tests {
         assert_eq!(bram.kind_label(), "bram-column");
         assert_eq!(bram.counter_key(), "place.fail.bram-column");
 
-        let mut need = SliceCapacity::default();
-        need.m_slices = 5;
+        let need = SliceCapacity {
+            m_slices: 5,
+            ..SliceCapacity::default()
+        };
         let m = PlaceError::InsufficientResources {
             need,
             have: SliceCapacity::default(),

@@ -2,7 +2,7 @@
 
 use crate::protocol::{
     EstimateRequest, EstimateResponse, FlowRequest, FlowResponse, MetricsResponse, ModuleSpec,
-    PreimplRequest, PreimplResponse, Request, Response, StatsReport,
+    PreimplRequest, PreimplResponse, Request, Response, ShutdownResponse, StatsReport,
 };
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, BufReader, Write};
@@ -162,5 +162,12 @@ impl Client {
     pub fn metrics_text(&mut self) -> Result<String, ClientError> {
         let r: MetricsResponse = self.typed("metrics", Value::Null)?;
         Ok(r.text)
+    }
+
+    /// Ask the server to stop gracefully. The reply arrives *after* the
+    /// persistent store (if any) has been fsynced; the server drains its
+    /// workers and checkpoints right after.
+    pub fn shutdown(&mut self) -> Result<ShutdownResponse, ClientError> {
+        self.typed("shutdown", Value::Null)
     }
 }

@@ -8,7 +8,7 @@
 //! [`ImplementationCache`](tms_flow::ImplementationCache)** that every
 //! connection shares.
 //!
-//! Four endpoints (see [`protocol`] for the wire format):
+//! Six endpoints (see [`protocol`] for the wire format):
 //!
 //! * `estimate` — netlist statistics (or a module spec) → predicted CF;
 //! * `preimpl` — module spec → PBlock + placement, through the shared
@@ -17,11 +17,20 @@
 //! * `flow` — full cnvW1A1-style design → stitched-placement report via
 //!   the cached flow (warm runs implement only cache misses);
 //! * `stats` — per-endpoint request counts, latency histograms, cache
-//!   hit/miss rates, and the pipeline-phase telemetry of
-//!   [`tms_obs`](tms_obs);
+//!   hit/miss rates, persistent-store statistics, and the pipeline-phase
+//!   telemetry of [`tms_obs`];
 //! * `metrics` — the same state as a Prometheus text-format page. The
 //!   page is also served to a plain `GET /metrics` HTTP request on the
-//!   same port, so a stock Prometheus scraper needs no JSON shim.
+//!   same port, so a stock Prometheus scraper needs no JSON shim;
+//! * `shutdown` — graceful stop: the store is fsynced before the reply,
+//!   workers drain, and the final checkpoint compacts the library.
+//!
+//! With [`ServeConfig::store`] set, the shared cache is backed by a
+//! crash-safe [`tms_store::Store`]: the process **warm-starts** from
+//! whatever an earlier run persisted in the same directory (a restarted
+//! server answers its first `flow` request entirely from the library —
+//! zero place-and-route tool runs), every insert is WAL-appended, and a
+//! graceful shutdown folds the log into a compact snapshot.
 //!
 //! The server is plain threads — a TCP acceptor plus a crossbeam-channel
 //! worker pool, no async runtime; the cache sits behind a
@@ -55,7 +64,9 @@ pub use client::{Client, ClientError};
 pub use metrics::{EndpointMetrics, Metrics, LATENCY_BUCKETS_US};
 pub use protocol::{
     CacheStats, EndpointSnapshot, EstimateRequest, EstimateResponse, FlowRequest, FlowResponse,
-    MetricsResponse, ModuleSpec, PreimplRequest, PreimplResponse, Request, Response, StatsReport,
+    MetricsResponse, ModuleSpec, PreimplRequest, PreimplResponse, Request, Response,
+    ShutdownResponse, StatsReport, StoreSnapshot,
 };
 pub use server::{serve, ServeConfig, ServerHandle};
 pub use tms_obs::prometheus;
+pub use tms_store::StoreConfig;

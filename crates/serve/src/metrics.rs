@@ -18,17 +18,20 @@ pub struct Metrics {
     pub stats: EndpointMetrics,
     /// `metrics` (Prometheus exposition) counters.
     pub metrics: EndpointMetrics,
+    /// `shutdown` (graceful stop) counters.
+    pub shutdown: EndpointMetrics,
 }
 
 impl Metrics {
     /// The `(endpoint name, metrics)` pairs, in exposition order.
-    pub fn endpoints(&self) -> [(&'static str, &EndpointMetrics); 5] {
+    pub fn endpoints(&self) -> [(&'static str, &EndpointMetrics); 6] {
         [
             ("estimate", &self.estimate),
             ("preimpl", &self.preimpl),
             ("flow", &self.flow),
             ("stats", &self.stats),
             ("metrics", &self.metrics),
+            ("shutdown", &self.shutdown),
         ]
     }
 }
@@ -59,7 +62,10 @@ mod tests {
         let m = Metrics::default();
         m.flow.record(10, true);
         let names: Vec<&str> = m.endpoints().iter().map(|&(n, _)| n).collect();
-        assert_eq!(names, ["estimate", "preimpl", "flow", "stats", "metrics"]);
+        assert_eq!(
+            names,
+            ["estimate", "preimpl", "flow", "stats", "metrics", "shutdown"]
+        );
         assert_eq!(m.endpoints()[2].1.snapshot().requests, 1);
     }
 }

@@ -18,6 +18,7 @@
 //! | `flow`     | [`FlowRequest`]      | [`FlowResponse`]      |
 //! | `stats`    | none (`null`)        | [`StatsReport`]       |
 //! | `metrics`  | none (`null`)        | [`MetricsResponse`]   |
+//! | `shutdown` | none (`null`)        | [`ShutdownResponse`]  |
 //!
 //! The `metrics` page is also reachable over plain HTTP on the same port:
 //! a connection whose first line starts with `GET ` gets the Prometheus
@@ -28,6 +29,7 @@ use tms_cnn::ModuleRole;
 use tms_netlist::NetlistStats;
 pub use tms_obs::EndpointSnapshot;
 use tms_obs::ObsSnapshot;
+pub use tms_store::StoreSnapshot;
 
 /// Request envelope: a client-chosen id, the endpoint, and its payload.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -220,11 +222,29 @@ pub struct StatsReport {
     pub stats: EndpointSnapshot,
     /// `metrics` endpoint counters (Prometheus exposition).
     pub metrics: EndpointSnapshot,
+    /// `shutdown` endpoint counters.
+    pub shutdown: EndpointSnapshot,
     /// Shared implementation-cache statistics.
     pub cache: CacheStats,
+    /// Persistent-store statistics, when the server runs in store mode
+    /// (`None` for a purely in-memory cache).
+    pub store: Option<StoreSnapshot>,
     /// Pipeline telemetry: per-phase span totals, flow counters and
     /// observations accumulated across every request handled so far.
     pub pipeline: ObsSnapshot,
+}
+
+/// `shutdown` reply: acknowledged *after* the persistent store (if any)
+/// has been fsynced, so receiving it implies every committed insert is
+/// durable. The server stops accepting work right after answering.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ShutdownResponse {
+    /// Always `true`: the flag is raised when this reply is sent.
+    pub stopping: bool,
+    /// Final persistent-store statistics (store mode only).
+    pub store: Option<StoreSnapshot>,
+    /// Server-side handling time in microseconds.
+    pub micros: u64,
 }
 
 /// `metrics` reply: the Prometheus text-format page.

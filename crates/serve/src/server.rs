@@ -18,11 +18,17 @@
 //! with a self-connection, drops the channel sender (so idle workers
 //! drain and exit) and joins every thread; workers poll the flag between
 //! read timeouts, so connections held open by clients terminate too.
+//! Only *after* the last worker exits — no in-flight insert can race it —
+//! the persistent store (if configured) is flushed and checkpointed, so a
+//! restart warm-starts from a compact snapshot. A client can trigger the
+//! same path remotely with the `shutdown` endpoint: the handler fsyncs
+//! the store before acknowledging, then raises the flag for
+//! [`ServerHandle::serve_forever`] to finish the job.
 
 use crate::metrics::Metrics;
 use crate::protocol::{
     CacheStats, EstimateRequest, EstimateResponse, FlowRequest, FlowResponse, MetricsResponse,
-    PreimplRequest, PreimplResponse, Request, Response, StatsReport,
+    PreimplRequest, PreimplResponse, Request, Response, ShutdownResponse, StatsReport,
 };
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -35,8 +41,8 @@ use tms_cnn::cnvw1a1;
 use tms_device::Device;
 use tms_estimator::{CfEstimator, FeatureSet, ModuleFeatures};
 use tms_flow::{
-    implement_module, run_rw_flow_cached, CfPolicy, ImplementationCache, ModuleFingerprint,
-    RwFlowConfig, DEFAULT_CACHE_CAPACITY,
+    implement_module, run_rw_flow_cached, CfPolicy, ImplementationCache, MacroStore,
+    ModuleFingerprint, RwFlowConfig, DEFAULT_CACHE_CAPACITY,
 };
 use tms_netlist::NetlistStats;
 use tms_obs::prometheus::PromText;
@@ -44,6 +50,7 @@ use tms_obs::{span, AggregatingSink, Phase, Recorder};
 use tms_pblock::CfSearch;
 use tms_place::{quick_place, PlacementModel};
 use tms_stitch::StitchConfig;
+use tms_store::{Store, StoreConfig};
 use tms_synth::pack;
 
 /// How long a worker waits on a quiet connection before re-checking the
@@ -56,8 +63,14 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads — the bound on concurrent connections.
     pub workers: usize,
-    /// Implementation-cache eviction bound.
+    /// Implementation-cache eviction bound (in-memory mode only).
     pub cache_capacity: usize,
+    /// When set, back the implementation cache with a persistent
+    /// [`MacroStore`] in this configuration's directory: the server
+    /// warm-starts from whatever a previous process left there, every
+    /// insert is WAL-appended, and a graceful shutdown checkpoints the
+    /// library (so a restart replays nothing).
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for ServeConfig {
@@ -66,7 +79,17 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 8,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            store: None,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Back the server's cache with a persistent store in `dir`
+    /// (default store budgets; see [`StoreConfig::at`]).
+    pub fn with_store_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.store = Some(StoreConfig::at(dir.into()));
+        self
     }
 }
 
@@ -76,9 +99,22 @@ struct ServerState {
     features: FeatureSet,
     cache: parking_lot::RwLock<ImplementationCache>,
     metrics: Metrics,
-    sink: AggregatingSink,
+    /// Shared by workers *and* (as an `Arc<dyn Recorder>`) by the
+    /// persistent store's telemetry, so `store.*` spans and counters land
+    /// on the same page as the pipeline phases.
+    sink: Arc<AggregatingSink>,
     shutdown: AtomicBool,
+    /// Ensures the final store checkpoint runs exactly once even though
+    /// `shutdown()` may run twice (`stop()` + `Drop`).
+    checkpointed: AtomicBool,
     started: Instant,
+}
+
+impl ServerState {
+    /// The persistent store behind the cache, when running in store mode.
+    fn store(&self) -> Option<Arc<MacroStore>> {
+        self.cache.read().store().cloned()
+    }
 }
 
 /// A running server; dropping it (or calling [`ServerHandle::stop`])
@@ -97,17 +133,22 @@ impl ServerHandle {
     }
 
     /// Stop the server: refuse new connections, finish in-flight
-    /// requests, join every thread.
+    /// requests, join every thread, and — in store mode — flush and
+    /// checkpoint the persistent library so the next process warm-starts
+    /// from a compact snapshot.
     pub fn stop(mut self) {
         self.shutdown();
     }
 
-    /// Serve until the process exits (for the CLI front end): parks the
-    /// calling thread and never returns.
-    pub fn serve_forever(self) -> ! {
-        loop {
-            std::thread::park();
+    /// Serve until the shutdown flag is raised — by a client's `shutdown`
+    /// request or another thread's signal handling — then run the full
+    /// graceful-stop path (join workers, checkpoint the store). This is
+    /// the CLI front end's main loop.
+    pub fn serve_forever(self) {
+        while !self.state.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(100));
         }
+        self.stop();
     }
 
     fn shutdown(&mut self) {
@@ -120,14 +161,25 @@ impl ServerHandle {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // Only after every worker has exited (no more in-flight inserts):
+        // make the library durable and fold the WAL into a snapshot.
+        if !self.state.checkpointed.swap(true, Ordering::SeqCst) {
+            if let Some(store) = self.state.store() {
+                let _ = store.flush();
+                let _ = store.checkpoint();
+            }
+        }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if !self.state.shutdown.load(Ordering::SeqCst) {
-            self.shutdown();
-        }
+        // `shutdown` is idempotent (acceptor/workers drain once, the
+        // checkpoint is guarded), so running it after an explicit `stop`
+        // or a client-initiated shutdown is harmless — and required when
+        // the flag was raised by the `shutdown` endpoint, where threads
+        // are still parked waiting to be joined.
+        self.shutdown();
     }
 }
 
@@ -140,13 +192,25 @@ pub fn serve(
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let sink = Arc::new(AggregatingSink::new());
+    // Store mode opens (and crash-recovers) the persistent library before
+    // accepting a single connection: the warm start is part of startup.
+    let cache = match &config.store {
+        Some(store_config) => {
+            let recorder: Arc<dyn Recorder> = Arc::clone(&sink) as Arc<dyn Recorder>;
+            let store: MacroStore = Store::open_with(store_config.clone(), recorder)?;
+            ImplementationCache::with_store(Arc::new(store))
+        }
+        None => ImplementationCache::with_capacity(config.cache_capacity),
+    };
     let state = Arc::new(ServerState {
         estimator,
         features,
-        cache: parking_lot::RwLock::new(ImplementationCache::with_capacity(config.cache_capacity)),
+        cache: parking_lot::RwLock::new(cache),
         metrics: Metrics::default(),
-        sink: AggregatingSink::new(),
+        sink,
         shutdown: AtomicBool::new(false),
+        checkpointed: AtomicBool::new(false),
         started: Instant::now(),
     });
 
@@ -293,6 +357,7 @@ fn handle_request(state: &ServerState, line: &str) -> Response {
         "flow" => &state.metrics.flow,
         "stats" => &state.metrics.stats,
         "metrics" => &state.metrics.metrics,
+        "shutdown" => &state.metrics.shutdown,
         other => return Response::failure(req.id, format!("unknown endpoint '{other}'")),
     };
     let start = Instant::now();
@@ -320,6 +385,7 @@ fn dispatch(
             text: prometheus_text(state),
         }
         .to_value()),
+        "shutdown" => do_shutdown(state, start).map(|r| r.to_value()),
         _ => unreachable!("checked by handle_request"),
     }
 }
@@ -378,7 +444,7 @@ fn do_estimate(
         }
         (None, None) => return Err("estimate needs either 'stats' or 'spec'".to_string()),
     };
-    let _estimate_span = span(&state.sink, Phase::Estimate, "serve");
+    let _estimate_span = span(&*state.sink, Phase::Estimate, "serve");
     let cf = predict_cf(&state.estimator, state.features, &stats);
     Ok(EstimateResponse {
         cf,
@@ -406,7 +472,7 @@ fn do_preimpl(
         }
         None => {
             state.sink.count("cache.miss", 1);
-            let cfg = flow_config(req.cf, spec.seed, &state.sink);
+            let cfg = flow_config(req.cf, spec.seed, &*state.sink);
             let m = implement_module(&spec.name, &netlist, &device, &cfg)?;
             state.cache.write().insert(key, m.clone());
             (m, false)
@@ -428,7 +494,7 @@ fn do_preimpl(
 fn do_flow(state: &ServerState, req: FlowRequest, start: &Instant) -> Result<FlowResponse, String> {
     let device = device_by_name(&req.device)?;
     let design = cnvw1a1(req.design_seed);
-    let cfg = flow_config(req.cf, req.design_seed, &state.sink);
+    let cfg = flow_config(req.cf, req.design_seed, &*state.sink);
     // The whole cached run holds the write lock: it both reads and fills
     // the cache, and its parallel section uses rayon, not the pool.
     let mut cache = state.cache.write();
@@ -446,6 +512,25 @@ fn do_flow(state: &ServerState, req: FlowRequest, start: &Instant) -> Result<Flo
     })
 }
 
+/// Gracefully stop the server from the wire: make the persistent library
+/// durable *first* (so the acknowledgement implies durability), then raise
+/// the shutdown flag. Workers drain after answering; the thread holding
+/// the [`ServerHandle`] (e.g. [`ServerHandle::serve_forever`]) observes
+/// the flag, joins everything and runs the final checkpoint.
+fn do_shutdown(state: &ServerState, start: &Instant) -> Result<ShutdownResponse, String> {
+    if let Some(store) = state.store() {
+        store
+            .flush()
+            .map_err(|e| format!("store flush failed: {e}"))?;
+    }
+    state.shutdown.store(true, Ordering::SeqCst);
+    Ok(ShutdownResponse {
+        stopping: true,
+        store: state.cache.read().store_stats(),
+        micros: start.elapsed().as_micros() as u64,
+    })
+}
+
 fn do_stats(state: &ServerState) -> StatsReport {
     let cache = state.cache.read();
     StatsReport {
@@ -455,12 +540,14 @@ fn do_stats(state: &ServerState) -> StatsReport {
         flow: state.metrics.flow.snapshot(),
         stats: state.metrics.stats.snapshot(),
         metrics: state.metrics.metrics.snapshot(),
+        shutdown: state.metrics.shutdown.snapshot(),
         cache: CacheStats {
             len: cache.len(),
             capacity: cache.capacity(),
             hits: cache.hits(),
             misses: cache.misses(),
         },
+        store: cache.store_stats(),
         pipeline: state.sink.snapshot(),
     }
 }
@@ -521,7 +608,74 @@ fn prometheus_text(state: &ServerState) -> String {
         page.sample("tms_cache_hits_total", &[], cache.hits() as f64);
         page.header("tms_cache_misses_total", "Cache lookup misses", "counter");
         page.sample("tms_cache_misses_total", &[], cache.misses() as f64);
+        if let Some(store) = cache.store_stats() {
+            store_prometheus(&mut page, &store);
+        }
     }
     page.obs_snapshot(&state.sink.snapshot());
     page.finish()
+}
+
+/// The persistent store's gauge/counter family on the Prometheus page.
+fn store_prometheus(page: &mut PromText, s: &tms_store::StoreSnapshot) {
+    let gauges: [(&str, &str, f64); 5] = [
+        ("tms_store_entries", "Live store entries", s.entries as f64),
+        (
+            "tms_store_bytes",
+            "Payload bytes of live entries",
+            s.bytes as f64,
+        ),
+        (
+            "tms_store_byte_budget",
+            "LRU eviction bound in bytes",
+            s.byte_budget as f64,
+        ),
+        (
+            "tms_store_generation",
+            "Snapshot compaction generation",
+            s.generation as f64,
+        ),
+        (
+            "tms_store_wal_bytes",
+            "WAL bytes since the last compaction",
+            s.wal_bytes as f64,
+        ),
+    ];
+    for (name, help, value) in gauges {
+        page.header(name, help, "gauge");
+        page.sample(name, &[], value);
+    }
+    let counters: [(&str, &str, u64); 7] = [
+        ("tms_store_hits_total", "Store lookup hits", s.hits),
+        ("tms_store_misses_total", "Store lookup misses", s.misses),
+        (
+            "tms_store_evicted_total",
+            "Entries evicted by the byte budget",
+            s.evicted,
+        ),
+        (
+            "tms_store_recovered_total",
+            "Records recovered from disk at open",
+            s.recovered,
+        ),
+        (
+            "tms_store_appended_total",
+            "Put records appended to the WAL",
+            s.appended,
+        ),
+        (
+            "tms_store_compactions_total",
+            "Snapshot compactions performed",
+            s.compactions,
+        ),
+        (
+            "tms_store_io_errors_total",
+            "Store append/decode failures",
+            s.io_errors,
+        ),
+    ];
+    for (name, help, value) in counters {
+        page.header(name, help, "counter");
+        page.sample(name, &[], value as f64);
+    }
 }

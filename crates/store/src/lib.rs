@@ -1,0 +1,61 @@
+//! # tms-store — the crash-safe persistent macro library
+//!
+//! The paper's economic argument is that pre-implemented macros are
+//! *reusable artifacts*: the 1.37× placement speedup of the RapidWright
+//! flow only materializes if the library of implemented modules survives
+//! between runs. This crate makes that library durable:
+//!
+//! * **Write-ahead log** — every [`Store::put`] appends one
+//!   length+CRC32-framed record ([`wal`]) before anything else depends on
+//!   it; a crash mid-append leaves a torn tail that the next open
+//!   truncates, so every *committed* write survives bit-identically.
+//! * **Snapshot compaction** — [`Store::compact`] folds the log into a
+//!   `snapshot.<generation>.tms` segment written via temp-file + atomic
+//!   rename, then empties the WAL and deletes older generations. A crash
+//!   between any two steps leaves a recoverable snapshot/WAL pair
+//!   (replaying a pre-snapshot WAL is idempotent).
+//! * **LRU byte budget** — entries past [`StoreConfig::byte_budget`] are
+//!   evicted least-recently-used first; evictions are logged as `del`
+//!   records so a reopen does not resurrect them.
+//! * **Concurrent readers, single writer** — lookups share a read lock;
+//!   appends serialize on the write lock and hand their records to a
+//!   background flush thread over a *bounded* channel (backpressure
+//!   instead of unbounded buffering). [`Store::flush`] is the fsync
+//!   barrier; [`Store::checkpoint`] is flush + compact (what a graceful
+//!   shutdown runs).
+//! * **Telemetry** — opened with [`Store::open_with`], the store records
+//!   `store.append`/`store.compact`/`store.recover` spans (phase `store`)
+//!   and `store.hit`/`store.miss`/`store.evict`/`store.recovered` counters
+//!   to any [`tms_obs::Recorder`].
+//!
+//! The store is generic over its key and value (anything that round-trips
+//! through the workspace's JSON data model); `tms-flow` instantiates it
+//! with module fingerprints and implemented modules as the persistent
+//! backend of its `ImplementationCache`.
+//!
+//! ```
+//! use tms_store::{Store, StoreConfig};
+//!
+//! let dir = std::env::temp_dir().join(format!("tms_store_doc_{}", std::process::id()));
+//! let config = StoreConfig::at(&dir);
+//! {
+//!     let store: Store<String, String> = Store::open(config.clone()).unwrap();
+//!     store.put("mvau_18".into(), "implemented".into()).unwrap();
+//!     store.flush().unwrap(); // durable from here on
+//! }
+//! let store: Store<String, String> = Store::open(config).unwrap();
+//! assert_eq!(store.get(&"mvau_18".to_string()), Some("implemented".to_string()));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod stats;
+pub mod store;
+pub mod verify;
+pub mod wal;
+
+pub use stats::{CompactReport, StoreCounters, StoreSnapshot, VerifyReport};
+pub use store::{Store, StoreConfig, StoreKey, StoreValue, SNAPSHOT_PREFIX, WAL_FILE};
+pub use verify::verify;
+pub use wal::{atomic_write, crc32};

@@ -1,0 +1,137 @@
+//! Store statistics: lock-free counters and their serializable snapshots
+//! (what the serve layer's `stats` endpoint and Prometheus page expose).
+
+use std::sync::atomic::AtomicU64;
+
+/// Lock-free lifetime counters of one store.
+#[derive(Debug, Default)]
+pub struct StoreCounters {
+    /// Lookup hits.
+    pub hits: AtomicU64,
+    /// Lookup misses.
+    pub misses: AtomicU64,
+    /// Entries evicted by the byte budget.
+    pub evicted: AtomicU64,
+    /// Records recovered from disk at open (snapshot entries + WAL
+    /// records applied).
+    pub recovered: AtomicU64,
+    /// `put` records appended to the WAL.
+    pub appended: AtomicU64,
+    /// Snapshot compactions performed.
+    pub compactions: AtomicU64,
+    /// Append/decode failures (undecodable-but-checksummed records at
+    /// recovery, or WAL write errors surfaced to a `put`).
+    pub io_errors: AtomicU64,
+}
+
+/// A point-in-time view of a store: sizes, generation, and counters.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StoreSnapshot {
+    /// Live entries.
+    pub entries: usize,
+    /// Summed payload bytes of live entries.
+    pub bytes: u64,
+    /// LRU eviction bound in bytes.
+    pub byte_budget: u64,
+    /// Snapshot generation (0 before the first compaction).
+    pub generation: u64,
+    /// Bytes in the WAL since the last compaction.
+    pub wal_bytes: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Entries evicted by the byte budget.
+    pub evicted: u64,
+    /// Records recovered from disk when the store was opened.
+    pub recovered: u64,
+    /// `put` records appended to the WAL.
+    pub appended: u64,
+    /// Snapshot compactions performed.
+    pub compactions: u64,
+    /// Append/decode failures.
+    pub io_errors: u64,
+}
+
+/// What one compaction folded.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CompactReport {
+    /// The new snapshot generation.
+    pub generation: u64,
+    /// Live entries captured by the snapshot.
+    pub entries: usize,
+    /// Summed payload bytes of those entries.
+    pub bytes: u64,
+    /// WAL bytes folded away (the log is empty afterwards).
+    pub wal_bytes_folded: u64,
+    /// On-disk size of the new snapshot segment.
+    pub snapshot_bytes: u64,
+}
+
+/// What a read-only [`crate::verify()`] audit found.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct VerifyReport {
+    /// Generation of the newest snapshot segment, if any exists.
+    pub generation: Option<u64>,
+    /// CRC-verified records in that snapshot.
+    pub snapshot_records: u64,
+    /// Bytes of the snapshot that fail framing/CRC (must be 0 — snapshots
+    /// are written atomically).
+    pub snapshot_torn_bytes: u64,
+    /// CRC-verified records in the WAL.
+    pub wal_records: u64,
+    /// Torn-tail bytes at the end of the WAL (benign: a crash mid-append;
+    /// truncated on the next open).
+    pub wal_torn_bytes: u64,
+    /// Records that passed their checksum but do not parse as store
+    /// records (version skew or corruption the CRC cannot see).
+    pub decode_errors: u64,
+    /// Older snapshot generations still on disk (left by an interrupted
+    /// compaction; removed by the next one).
+    pub stale_snapshots: u64,
+}
+
+impl VerifyReport {
+    /// Whether the on-disk state is fully intact: every record checksums
+    /// and parses, and no snapshot is torn. A torn WAL *tail* alone does
+    /// not fail verification — that is the crash case recovery handles.
+    pub fn clean(&self) -> bool {
+        self.snapshot_torn_bytes == 0 && self.decode_errors == 0
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "snapshot: generation {} ({} records, {} torn bytes)",
+            self.generation
+                .map_or_else(|| "none".to_string(), |g| g.to_string()),
+            self.snapshot_records,
+            self.snapshot_torn_bytes
+        )?;
+        writeln!(
+            f,
+            "wal:      {} records, {} torn-tail bytes",
+            self.wal_records, self.wal_torn_bytes
+        )?;
+        writeln!(
+            f,
+            "decode errors: {}   stale snapshots: {}",
+            self.decode_errors, self.stale_snapshots
+        )?;
+        write!(
+            f,
+            "verdict:  {}",
+            if self.clean() {
+                if self.wal_torn_bytes > 0 {
+                    "RECOVERABLE (torn WAL tail will be truncated on open)"
+                } else {
+                    "CLEAN"
+                }
+            } else {
+                "CORRUPT"
+            }
+        )
+    }
+}

@@ -1,0 +1,879 @@
+//! The content-addressed macro artifact store: an in-memory map with an
+//! append-only WAL behind it and periodic snapshot compaction.
+//!
+//! Concurrency model — concurrent readers, single writer:
+//!
+//! * [`Store::get`] takes the read side of a `parking_lot::RwLock`, so any
+//!   number of server workers look up concurrently; recency stamps and
+//!   hit/miss counters are atomics.
+//! * [`Store::put`] takes the write side and, still under the lock, hands
+//!   the framed WAL record to a **background flush thread** over a bounded
+//!   channel. Keeping the send under the lock makes the channel order equal
+//!   to the in-memory apply order (replay correctness); the bounded channel
+//!   is the backpressure valve — when the flush thread falls behind,
+//!   writers block instead of buffering unboundedly.
+//! * [`Store::compact`] stops the world (write lock), writes a new
+//!   snapshot generation via temp-file + atomic rename, resets the WAL,
+//!   and deletes older generations.
+
+use crate::stats::{CompactReport, StoreCounters, StoreSnapshot};
+use crate::wal::{self, WalFile};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use tms_obs::{span, NoopRecorder, Phase, Recorder};
+
+/// File name of the write-ahead log inside the store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Prefix/suffix of snapshot segment files (`snapshot.<generation>.tms`).
+pub const SNAPSHOT_PREFIX: &str = "snapshot.";
+/// Suffix of snapshot segment files.
+pub const SNAPSHOT_SUFFIX: &str = ".tms";
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding the WAL and snapshot segments.
+    pub dir: PathBuf,
+    /// LRU eviction bound on the summed payload bytes of live entries.
+    pub byte_budget: u64,
+    /// Auto-compact once the WAL exceeds this many bytes (0 = manual
+    /// compaction only).
+    pub compact_wal_bytes: u64,
+    /// Capacity of the bounded append channel to the flush thread — the
+    /// backpressure window, in records.
+    pub flush_queue: usize,
+}
+
+impl StoreConfig {
+    /// A config rooted at `dir` with the defaults: 256 MiB byte budget,
+    /// auto-compaction at 32 MiB of WAL, a 256-record flush queue.
+    pub fn at(dir: impl Into<PathBuf>) -> StoreConfig {
+        StoreConfig {
+            dir: dir.into(),
+            byte_budget: 256 << 20,
+            compact_wal_bytes: 32 << 20,
+            flush_queue: 256,
+        }
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        wal_path(&self.dir)
+    }
+
+    fn snapshot_path(&self, generation: u64) -> PathBuf {
+        snapshot_path(&self.dir, generation)
+    }
+}
+
+/// Path of the WAL inside a store directory.
+pub(crate) fn wal_path(dir: &Path) -> PathBuf {
+    dir.join(WAL_FILE)
+}
+
+/// Path of one snapshot generation inside a store directory.
+pub(crate) fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("{SNAPSHOT_PREFIX}{generation}{SNAPSHOT_SUFFIX}"))
+}
+
+/// Key bound: anything hashable that round-trips through the JSON data
+/// model (the module fingerprints of `tms-flow` qualify).
+pub trait StoreKey: Clone + Eq + Hash + Serialize + Deserialize + Send + Sync + 'static {}
+impl<T: Clone + Eq + Hash + Serialize + Deserialize + Send + Sync + 'static> StoreKey for T {}
+
+/// Value bound: cloneable and JSON round-trippable.
+pub trait StoreValue: Clone + Serialize + Deserialize + Send + Sync + 'static {}
+impl<T: Clone + Serialize + Deserialize + Send + Sync + 'static> StoreValue for T {}
+
+struct Entry<V> {
+    value: V,
+    /// Serialized payload size — the unit of the byte budget.
+    bytes: u64,
+    /// Logical recency stamp (atomic so `get` works under the read lock).
+    last_used: AtomicU64,
+}
+
+struct Inner<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    bytes: u64,
+}
+
+/// Messages to the background flush thread.
+enum WalMsg {
+    /// Append one framed record.
+    Append(Vec<u8>),
+    /// Flush buffers and fsync; ack with any accumulated write error.
+    Sync(Sender<io::Result<()>>),
+    /// Truncate the WAL to zero length (post-snapshot).
+    Reset(Sender<io::Result<()>>),
+}
+
+/// A crash-safe, content-addressed, LRU-bounded artifact store.
+///
+/// See the [module docs](self) for the concurrency and durability model.
+/// Dropping the store stops the flush thread after a final flush+fsync.
+pub struct Store<K: StoreKey, V: StoreValue> {
+    inner: RwLock<Inner<K, V>>,
+    config: StoreConfig,
+    obs: Arc<dyn Recorder>,
+    clock: AtomicU64,
+    generation: AtomicU64,
+    wal_bytes: AtomicU64,
+    counters: StoreCounters,
+    tx: Sender<WalMsg>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Encode a `put` record payload: `["put", key, value]`.
+fn encode_put<K: Serialize, V: Serialize>(key: &K, value: &V) -> io::Result<Vec<u8>> {
+    let doc = Value::Array(vec![
+        Value::Str("put".to_string()),
+        key.to_value(),
+        value.to_value(),
+    ]);
+    serde_json::to_vec(&doc).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Encode a `del` record payload: `["del", key]`.
+fn encode_del<K: Serialize>(key: &K) -> io::Result<Vec<u8>> {
+    let doc = Value::Array(vec![Value::Str("del".to_string()), key.to_value()]);
+    serde_json::to_vec(&doc).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Encode the snapshot meta record: `["meta", {...}]`.
+fn encode_meta(generation: u64, entries: usize) -> io::Result<Vec<u8>> {
+    let doc = Value::Array(vec![
+        Value::Str("meta".to_string()),
+        Value::Object(vec![
+            ("generation".to_string(), Value::UInt(generation)),
+            ("entries".to_string(), Value::UInt(entries as u64)),
+        ]),
+    ]);
+    serde_json::to_vec(&doc).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// A decoded store record.
+enum Decoded<K, V> {
+    Put(K, V),
+    Del(K),
+    Meta,
+}
+
+fn decode<K: Deserialize, V: Deserialize>(payload: &[u8]) -> Result<Decoded<K, V>, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| e.to_string())?;
+    let doc = serde_json::parse(text).map_err(|e| e.to_string())?;
+    let Value::Array(items) = &doc else {
+        return Err("record is not an array".to_string());
+    };
+    match items.first() {
+        Some(Value::Str(tag)) if tag == "put" && items.len() == 3 => Ok(Decoded::Put(
+            K::from_value(&items[1]).map_err(|e| e.to_string())?,
+            V::from_value(&items[2]).map_err(|e| e.to_string())?,
+        )),
+        Some(Value::Str(tag)) if tag == "del" && items.len() == 2 => Ok(Decoded::Del(
+            K::from_value(&items[1]).map_err(|e| e.to_string())?,
+        )),
+        Some(Value::Str(tag)) if tag == "meta" && items.len() == 2 => Ok(Decoded::Meta),
+        _ => Err("unknown record tag".to_string()),
+    }
+}
+
+/// Scan `dir` for snapshot segments, highest generation first.
+pub(crate) fn snapshot_generations(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut gens = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(rest) = name
+            .strip_prefix(SNAPSHOT_PREFIX)
+            .and_then(|r| r.strip_suffix(SNAPSHOT_SUFFIX))
+        {
+            if let Ok(gen) = rest.parse::<u64>() {
+                gens.push(gen);
+            }
+        }
+    }
+    gens.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(gens)
+}
+
+impl<K: StoreKey, V: StoreValue> Store<K, V> {
+    /// Open (or create) the store at `config.dir` with no telemetry.
+    pub fn open(config: StoreConfig) -> io::Result<Store<K, V>> {
+        Store::open_with(config, Arc::new(NoopRecorder))
+    }
+
+    /// Open (or create) the store, recording spans and counters to `obs`.
+    ///
+    /// Recovery: the highest intact snapshot generation is loaded, then
+    /// the WAL is replayed on top of it; a torn WAL tail (crash mid-append)
+    /// is truncated so subsequent appends continue from the last committed
+    /// record. Entries carried by either file count into the `recovered`
+    /// statistic.
+    pub fn open_with(config: StoreConfig, obs: Arc<dyn Recorder>) -> io::Result<Store<K, V>> {
+        std::fs::create_dir_all(&config.dir)?;
+        let mut sp = span(&*obs, Phase::Store, "recover");
+        let counters = StoreCounters::default();
+        let mut inner = Inner {
+            entries: HashMap::new(),
+            bytes: 0,
+        };
+        let mut clock = 0u64;
+
+        // Load the newest intact snapshot; fall back to older generations
+        // if (against the atomic-rename guarantee) one fails to scan.
+        let mut generation = 0u64;
+        for gen in snapshot_generations(&config.dir)? {
+            let scan = wal::scan_file(&config.snapshot_path(gen))?;
+            if scan.torn_bytes > 0 {
+                continue;
+            }
+            let mut ok = true;
+            let mut loaded: Vec<(K, V, u64)> = Vec::new();
+            for payload in &scan.records {
+                match decode::<K, V>(payload) {
+                    Ok(Decoded::Put(k, v)) => loaded.push((k, v, payload.len() as u64)),
+                    Ok(Decoded::Del(_)) | Ok(Decoded::Meta) => {}
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            for (k, v, bytes) in loaded {
+                clock += 1;
+                inner.bytes += bytes;
+                inner.entries.insert(
+                    k,
+                    Entry {
+                        value: v,
+                        bytes,
+                        last_used: AtomicU64::new(clock),
+                    },
+                );
+            }
+            generation = gen;
+            break;
+        }
+        let snapshot_entries = inner.entries.len() as u64;
+
+        // Replay the WAL on top, truncating any torn tail in place.
+        let wal_outcome = wal::recover_file(&config.wal_path())?;
+        let mut wal_applied = 0u64;
+        for payload in &wal_outcome.records {
+            match decode::<K, V>(payload) {
+                Ok(Decoded::Put(k, v)) => {
+                    clock += 1;
+                    wal_applied += 1;
+                    let bytes = payload.len() as u64;
+                    if let Some(old) = inner.entries.insert(
+                        k,
+                        Entry {
+                            value: v,
+                            bytes,
+                            last_used: AtomicU64::new(clock),
+                        },
+                    ) {
+                        inner.bytes -= old.bytes;
+                    }
+                    inner.bytes += bytes;
+                }
+                Ok(Decoded::Del(k)) => {
+                    wal_applied += 1;
+                    if let Some(old) = inner.entries.remove(&k) {
+                        inner.bytes -= old.bytes;
+                    }
+                }
+                Ok(Decoded::Meta) => {}
+                // The record passed its CRC but does not decode: written
+                // by an incompatible version. Skip it rather than lose the
+                // rest of the log.
+                Err(_) => {
+                    counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        counters
+            .recovered
+            .fetch_add(snapshot_entries + wal_applied, Ordering::Relaxed);
+        sp.field("snapshot_entries", snapshot_entries as f64);
+        sp.field("wal_records", wal_outcome.records.len() as f64);
+        sp.field("torn_bytes", wal_outcome.torn_bytes as f64);
+        obs.count("store.recovered", snapshot_entries + wal_applied);
+
+        // Start the flush thread on the cleaned log.
+        let wal_file = WalFile::open_append(&config.wal_path())?;
+        let (tx, rx) = bounded::<WalMsg>(config.flush_queue.max(1));
+        let flusher = std::thread::spawn(move || flush_loop(wal_file, rx));
+
+        let store = Store {
+            inner: RwLock::new(inner),
+            config,
+            obs: Arc::clone(&obs),
+            clock: AtomicU64::new(clock),
+            generation: AtomicU64::new(generation),
+            wal_bytes: AtomicU64::new(wal_outcome.good_bytes),
+            counters,
+            tx,
+            flusher: Mutex::new(Some(flusher)),
+        };
+        drop(sp);
+
+        // A shrunken byte budget takes effect immediately on reopen.
+        store.enforce_budget()?;
+        Ok(store)
+    }
+
+    /// Look up an entry; hits refresh its LRU stamp.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let inner = self.inner.read();
+        match inner.entries.get(key) {
+            Some(entry) => {
+                entry.last_used.store(now, Ordering::Relaxed);
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.count("store.hit", 1);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                self.obs.count("store.miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Whether `key` is present, without touching LRU or hit/miss state.
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.read().entries.contains_key(key)
+    }
+
+    /// Insert (or replace) an entry. The WAL record is handed to the flush
+    /// thread before the write lock is released, so log order matches
+    /// apply order; entries beyond the byte budget are evicted
+    /// least-recently-used first, each eviction logging a `del` record.
+    pub fn put(&self, key: K, value: V) -> io::Result<()> {
+        let mut sp = span(&*self.obs, Phase::Store, "append");
+        let payload = encode_put(&key, &value)?;
+        let framed = wal::frame(&payload);
+        let bytes = payload.len() as u64;
+        sp.field("bytes", bytes as f64);
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let result = {
+            let mut inner = self.inner.write();
+            if let Some(old) = inner.entries.insert(
+                key,
+                Entry {
+                    value,
+                    bytes,
+                    last_used: AtomicU64::new(now),
+                },
+            ) {
+                inner.bytes -= old.bytes;
+            }
+            inner.bytes += bytes;
+            self.append_locked(framed)
+                .and_then(|()| self.evict_locked(&mut inner))
+        };
+        if let Err(e) = result {
+            self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        self.counters.appended.fetch_add(1, Ordering::Relaxed);
+        self.obs.count("store.append", 1);
+        drop(sp);
+
+        if self.config.compact_wal_bytes > 0
+            && self.wal_bytes.load(Ordering::Relaxed) > self.config.compact_wal_bytes
+        {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Remove an entry, logging a `del` record. Returns whether it existed.
+    pub fn remove(&self, key: &K) -> io::Result<bool> {
+        let mut inner = self.inner.write();
+        let Some(old) = inner.entries.remove(key) else {
+            return Ok(false);
+        };
+        inner.bytes -= old.bytes;
+        let payload = encode_del(key)?;
+        self.append_locked(wal::frame(&payload))?;
+        Ok(true)
+    }
+
+    /// Hand one framed record to the flush thread (caller holds the write
+    /// lock — this is what serializes the log against the map).
+    fn append_locked(&self, framed: Vec<u8>) -> io::Result<()> {
+        let len = framed.len() as u64;
+        self.tx
+            .send(WalMsg::Append(framed))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "WAL flush thread gone"))?;
+        self.wal_bytes.fetch_add(len, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Evict least-recently-used entries until the byte budget holds,
+    /// logging a `del` per eviction. Caller holds the write lock.
+    fn evict_locked(&self, inner: &mut Inner<K, V>) -> io::Result<()> {
+        while inner.bytes > self.config.byte_budget && inner.entries.len() > 1 {
+            let Some(lru) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(old) = inner.entries.remove(&lru) {
+                inner.bytes -= old.bytes;
+            }
+            self.append_locked(wal::frame(&encode_del(&lru)?))?;
+            self.counters.evicted.fetch_add(1, Ordering::Relaxed);
+            self.obs.count("store.evict", 1);
+        }
+        Ok(())
+    }
+
+    /// Apply the byte budget to the current contents (used after open).
+    fn enforce_budget(&self) -> io::Result<()> {
+        let mut inner = self.inner.write();
+        self.evict_locked(&mut inner)
+    }
+
+    /// Block until every queued append is written and fsync'd; surfaces
+    /// any write error the flush thread hit since the last sync.
+    pub fn flush(&self) -> io::Result<()> {
+        let (ack_tx, ack_rx) = unbounded();
+        self.tx
+            .send(WalMsg::Sync(ack_tx))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "WAL flush thread gone"))?;
+        ack_rx
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "WAL flush thread gone"))?
+    }
+
+    /// Fold the WAL into a fresh snapshot generation: stop-the-world
+    /// (write lock), write `snapshot.<gen+1>.tms` with every live entry
+    /// via temp-file + atomic rename, truncate the WAL, delete older
+    /// generations. A crash at any point leaves a recoverable pair —
+    /// replaying a WAL that predates the new snapshot is idempotent.
+    pub fn compact(&self) -> io::Result<CompactReport> {
+        let mut sp = span(&*self.obs, Phase::Store, "compact");
+        let inner = self.inner.write();
+        let folded = self.wal_bytes.load(Ordering::Relaxed);
+        let gen = self.generation.load(Ordering::Relaxed) + 1;
+
+        // Serialize live entries in LRU order so a budget-shrunk reopen
+        // evicts the same entries this process would.
+        let mut ordered: Vec<(&K, &Entry<V>)> = inner.entries.iter().collect();
+        ordered.sort_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed));
+        let mut segment = wal::frame(&encode_meta(gen, ordered.len())?);
+        for (k, e) in &ordered {
+            segment.extend_from_slice(&wal::frame(&encode_put(k, &e.value)?));
+        }
+        wal::atomic_write(&self.config.snapshot_path(gen), &segment)?;
+
+        // The snapshot now owns the state; drop the log.
+        let (ack_tx, ack_rx) = unbounded();
+        self.tx
+            .send(WalMsg::Reset(ack_tx))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "WAL flush thread gone"))?;
+        ack_rx
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "WAL flush thread gone"))??;
+        self.wal_bytes.store(0, Ordering::Relaxed);
+        self.generation.store(gen, Ordering::Relaxed);
+
+        // Older generations are now garbage.
+        for old in snapshot_generations(&self.config.dir)? {
+            if old != gen {
+                let _ = std::fs::remove_file(self.config.snapshot_path(old));
+            }
+        }
+        self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+        self.obs.count("store.compact", 1);
+        let report = CompactReport {
+            generation: gen,
+            entries: inner.entries.len(),
+            bytes: inner.bytes,
+            wal_bytes_folded: folded,
+            snapshot_bytes: segment.len() as u64,
+        };
+        sp.field("entries", report.entries as f64);
+        sp.field("wal_bytes_folded", folded as f64);
+        Ok(report)
+    }
+
+    /// Flush and fsync, then fold everything into a fresh snapshot — the
+    /// graceful-shutdown checkpoint.
+    pub fn checkpoint(&self) -> io::Result<CompactReport> {
+        self.flush()?;
+        self.compact()
+    }
+
+    /// Clone out every live entry (for exports and inspection; not a hot
+    /// path).
+    pub fn export(&self) -> Vec<(K, V)> {
+        let inner = self.inner.read();
+        inner
+            .entries
+            .iter()
+            .map(|(k, e)| (k.clone(), e.value.clone()))
+            .collect()
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.inner.read().entries.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Summed payload bytes of live entries.
+    pub fn bytes(&self) -> u64 {
+        self.inner.read().bytes
+    }
+
+    /// Current snapshot generation (0 before the first compaction).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Bytes appended to the WAL since the last compaction.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> StoreSnapshot {
+        let inner = self.inner.read();
+        StoreSnapshot {
+            entries: inner.entries.len(),
+            bytes: inner.bytes,
+            byte_budget: self.config.byte_budget,
+            generation: self.generation.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            evicted: self.counters.evicted.load(Ordering::Relaxed),
+            recovered: self.counters.recovered.load(Ordering::Relaxed),
+            appended: self.counters.appended.load(Ordering::Relaxed),
+            compactions: self.counters.compactions.load(Ordering::Relaxed),
+            io_errors: self.counters.io_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<K: StoreKey, V: StoreValue> Drop for Store<K, V> {
+    fn drop(&mut self) {
+        // Final flush+fsync, then stop the thread by disconnecting.
+        let (ack_tx, ack_rx) = unbounded();
+        if self.tx.send(WalMsg::Sync(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+        let (dead_tx, _dead_rx) = bounded(1);
+        self.tx = dead_tx; // disconnect the flush thread's receiver
+        if let Some(h) = self.flusher.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The background flush loop: appends as they arrive, fsync on `Sync`,
+/// truncate on `Reset`, exit when every sender is gone. Append errors are
+/// remembered and surfaced at the next `Sync` ack.
+fn flush_loop(mut wal: WalFile, rx: Receiver<WalMsg>) {
+    let mut pending_err: Option<io::Error> = None;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WalMsg::Append(framed) => {
+                if let Err(e) = wal.append(&framed) {
+                    pending_err.get_or_insert(e);
+                }
+            }
+            WalMsg::Sync(ack) => {
+                let result = match pending_err.take() {
+                    Some(e) => Err(e),
+                    None => wal.sync(),
+                };
+                let _ = ack.send(result);
+            }
+            WalMsg::Reset(ack) => {
+                pending_err = None;
+                let _ = ack.send(wal.reset());
+            }
+        }
+    }
+    let _ = wal.sync();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tms_store_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn open(dir: &Path) -> Store<String, String> {
+        Store::open(StoreConfig::at(dir)).expect("open store")
+    }
+
+    #[test]
+    fn entries_survive_a_reopen() {
+        let dir = tmp_dir("reopen");
+        {
+            let store = open(&dir);
+            for i in 0..20 {
+                store.put(format!("k{i}"), format!("v{i}")).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        let store = open(&dir);
+        assert_eq!(store.len(), 20);
+        for i in 0..20 {
+            assert_eq!(store.get(&format!("k{i}")), Some(format!("v{i}")));
+        }
+        assert_eq!(store.stats().recovered, 20);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replacing_a_key_keeps_the_newest_value_across_reopen() {
+        let dir = tmp_dir("replace");
+        {
+            let store = open(&dir);
+            store.put("k".into(), "old".into()).unwrap();
+            store.put("k".into(), "new".into()).unwrap();
+            assert_eq!(store.len(), 1);
+        }
+        let store = open(&dir);
+        assert_eq!(store.get(&"k".to_string()), Some("new".to_string()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_folds_the_wal_and_drops_old_generations() {
+        let dir = tmp_dir("compact");
+        let store = open(&dir);
+        for i in 0..10 {
+            store.put(format!("k{i}"), "x".repeat(50)).unwrap();
+        }
+        assert!(store.wal_bytes() > 0);
+        let r1 = store.compact().unwrap();
+        assert_eq!(r1.generation, 1);
+        assert_eq!(r1.entries, 10);
+        assert_eq!(store.wal_bytes(), 0);
+        store.put("extra".into(), "y".into()).unwrap();
+        let r2 = store.compact().unwrap();
+        assert_eq!(r2.generation, 2);
+        assert_eq!(r2.entries, 11);
+        // Only the newest generation remains on disk.
+        let gens = snapshot_generations(&dir).unwrap();
+        assert_eq!(gens, vec![2]);
+        drop(store);
+
+        let store = open(&dir);
+        assert_eq!(store.len(), 11);
+        assert_eq!(store.generation(), 2);
+        assert_eq!(store.get(&"extra".to_string()), Some("y".to_string()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_and_reopen_agrees() {
+        let dir = tmp_dir("evict");
+        let mut config = StoreConfig::at(&dir);
+        // Each record payload is ["put","kN","<32 chars>"] ≈ 50 bytes;
+        // budget for roughly 4 of them.
+        config.byte_budget = 200;
+        let store: Store<String, String> = Store::open(config.clone()).unwrap();
+        for i in 0..8 {
+            store.put(format!("k{i}"), "v".repeat(32)).unwrap();
+        }
+        let survivors = store.len();
+        assert!(survivors < 8, "budget must evict");
+        assert!(store.bytes() <= 200);
+        assert!(store.stats().evicted >= (8 - survivors) as u64);
+        // Oldest entries went first.
+        assert_eq!(store.get(&"k0".to_string()), None);
+        assert_eq!(store.get(&"k7".to_string()), Some("v".repeat(32)));
+        store.flush().unwrap();
+        drop(store);
+
+        // Evictions were logged, so a reopen does not resurrect them.
+        let store: Store<String, String> = Store::open(config).unwrap();
+        assert_eq!(store.len(), survivors);
+        assert!(store.get(&"k0".to_string()).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn touched_entries_survive_eviction() {
+        let dir = tmp_dir("lru");
+        let mut config = StoreConfig::at(&dir);
+        config.byte_budget = 200;
+        let store: Store<String, String> = Store::open(config).unwrap();
+        for i in 0..4 {
+            store.put(format!("k{i}"), "v".repeat(32)).unwrap();
+        }
+        // Refresh k0 so the next insert evicts k1 instead.
+        assert!(store.get(&"k0".to_string()).is_some());
+        store.put("k4".into(), "v".repeat(32)).unwrap();
+        if store.len() < 5 {
+            assert!(
+                store.get(&"k0".to_string()).is_some(),
+                "refreshed entry survives"
+            );
+            assert!(store.get(&"k1".to_string()).is_none(), "LRU entry evicted");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_overflow_triggers_auto_compaction() {
+        let dir = tmp_dir("autocompact");
+        let mut config = StoreConfig::at(&dir);
+        config.compact_wal_bytes = 512;
+        let store: Store<String, String> = Store::open(config).unwrap();
+        for i in 0..40 {
+            store.put(format!("k{i}"), "v".repeat(32)).unwrap();
+        }
+        let stats = store.stats();
+        assert!(stats.compactions >= 1, "WAL growth must compact");
+        assert!(store.generation() >= 1);
+        assert_eq!(store.len(), 40, "compaction loses nothing");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_compaction_is_recoverable() {
+        // Simulate the crash window *between* snapshot rename and WAL
+        // reset: both the new snapshot and the full WAL exist. Replay
+        // must be idempotent.
+        let dir = tmp_dir("interrupted");
+        let wal_copy;
+        {
+            let store = open(&dir);
+            store.put("a".into(), "1".into()).unwrap();
+            store.put("b".into(), "2".into()).unwrap();
+            store.put("a".into(), "3".into()).unwrap();
+            store.flush().unwrap();
+            wal_copy = std::fs::read(wal_path(&dir)).unwrap();
+            store.compact().unwrap();
+        }
+        // Resurrect the pre-compaction WAL next to the new snapshot.
+        std::fs::write(wal_path(&dir), &wal_copy).unwrap();
+        let store = open(&dir);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(&"a".to_string()), Some("3".to_string()));
+        assert_eq!(store.get(&"b".to_string()), Some("2".to_string()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_store() {
+        let dir = tmp_dir("concurrent");
+        let store = open(&dir);
+        for i in 0..50 {
+            store.put(format!("k{i}"), format!("v{i}")).unwrap();
+        }
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..50 {
+                        assert_eq!(store.get(&format!("k{i}")), Some(format!("v{i}")));
+                    }
+                    assert!(store.get(&"absent".to_string()).is_none());
+                });
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.hits, 8 * 50);
+        assert_eq!(stats.misses, 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_is_durable() {
+        let dir = tmp_dir("remove");
+        {
+            let store = open(&dir);
+            store.put("keep".into(), "1".into()).unwrap();
+            store.put("drop".into(), "2".into()).unwrap();
+            assert!(store.remove(&"drop".to_string()).unwrap());
+            assert!(!store.remove(&"drop".to_string()).unwrap());
+            store.flush().unwrap();
+        }
+        let store = open(&dir);
+        assert_eq!(store.len(), 1);
+        assert!(store.get(&"drop".to_string()).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_counts_store_traffic() {
+        use tms_obs::AggregatingSink;
+        let dir = tmp_dir("obs");
+        let sink = Arc::new(AggregatingSink::new());
+        let store: Store<String, String> =
+            Store::open_with(StoreConfig::at(&dir), sink.clone()).unwrap();
+        store.put("k".into(), "v".into()).unwrap();
+        assert!(store.get(&"k".to_string()).is_some());
+        assert!(store.get(&"missing".to_string()).is_none());
+        store.compact().unwrap();
+        assert_eq!(sink.counter("store.append"), 1);
+        assert_eq!(sink.counter("store.hit"), 1);
+        assert_eq!(sink.counter("store.miss"), 1);
+        assert_eq!(sink.counter("store.compact"), 1);
+        assert!(
+            sink.phase_spans(Phase::Store) >= 3,
+            "recover+append+compact spans"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_then_verify_reports_clean() {
+        let dir = tmp_dir("verify");
+        let store = open(&dir);
+        for i in 0..5 {
+            store.put(format!("k{i}"), "v".into()).unwrap();
+        }
+        store.checkpoint().unwrap();
+        let report = crate::verify(&dir).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.generation, Some(1));
+        assert_eq!(report.snapshot_records, 6, "meta + 5 puts");
+        assert_eq!(report.wal_records, 0);
+        assert_eq!(report.wal_torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

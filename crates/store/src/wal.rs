@@ -1,0 +1,272 @@
+//! Record framing of the write-ahead log and of snapshot segments.
+//!
+//! Both files are a plain sequence of frames:
+//!
+//! ```text
+//! ┌────────────┬────────────┬─────────────────┐
+//! │ len  (u32) │ crc32(u32) │ payload (len B) │   little-endian header
+//! └────────────┴────────────┴─────────────────┘
+//! ```
+//!
+//! `crc32` is the IEEE checksum of the payload alone, so every record is
+//! independently verifiable. A crash mid-append leaves a *torn tail*: a
+//! frame whose header or body is incomplete, or whose checksum does not
+//! match. [`read_records`] stops at the first such frame and reports the
+//! byte offset of the last good record, which [`recover_file`] truncates
+//! the file back to — every fully committed record before the tear
+//! survives bit-identically, everything after it is discarded.
+
+use std::fs::OpenOptions;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Bytes of the per-record header (`len` + `crc32`).
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on one record's payload; a length field beyond this is
+/// treated as corruption, not as an instruction to allocate gigabytes.
+pub const MAX_RECORD: u32 = 1 << 30;
+
+const CRC_TABLE: [u32; 256] = make_crc_table();
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 of `bytes` (the checksum Ethernet, gzip and PNG use).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Frame one payload: length + checksum header, then the payload bytes.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The outcome of scanning a framed file.
+#[derive(Debug, Default)]
+pub struct ReadOutcome {
+    /// Every payload that passed its checksum, in file order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte offset one past the last good record — the truncation point.
+    pub good_bytes: u64,
+    /// Bytes after `good_bytes` (a torn tail or trailing corruption).
+    pub torn_bytes: u64,
+}
+
+/// Scan a byte buffer of frames, stopping at the first incomplete or
+/// checksum-failing record.
+pub fn read_records(bytes: &[u8]) -> ReadOutcome {
+    let mut out = ReadOutcome::default();
+    let mut off = 0usize;
+    while bytes.len() - off >= FRAME_HEADER {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+        if len > MAX_RECORD {
+            break;
+        }
+        let body_start = off + FRAME_HEADER;
+        let body_end = body_start + len as usize;
+        if body_end > bytes.len() {
+            break;
+        }
+        let payload = &bytes[body_start..body_end];
+        if crc32(payload) != crc {
+            break;
+        }
+        out.records.push(payload.to_vec());
+        off = body_end;
+    }
+    out.good_bytes = off as u64;
+    out.torn_bytes = (bytes.len() - off) as u64;
+    out
+}
+
+/// Read a framed file and truncate any torn tail in place, so the next
+/// append continues from the last committed record. Missing files read as
+/// empty (nothing to recover).
+pub fn recover_file(path: &Path) -> io::Result<ReadOutcome> {
+    let mut file = match OpenOptions::new().read(true).write(true).open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ReadOutcome::default()),
+        Err(e) => return Err(e),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let outcome = read_records(&bytes);
+    if outcome.torn_bytes > 0 {
+        file.set_len(outcome.good_bytes)?;
+        file.sync_all()?;
+    }
+    Ok(outcome)
+}
+
+/// Read a framed file without modifying it (for `verify`-style audits).
+pub fn scan_file(path: &Path) -> io::Result<ReadOutcome> {
+    let bytes = std::fs::read(path)?;
+    Ok(read_records(&bytes))
+}
+
+/// Write `bytes` to `path` atomically: a sibling temp file is written and
+/// fsync'd first, then renamed over the destination, so a crash at any
+/// point leaves either the old file or the new one — never a torn mix.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Append-side handle used by the flush thread: buffered writes with an
+/// explicit durability point.
+pub struct WalFile {
+    file: std::fs::File,
+}
+
+impl WalFile {
+    /// Open (creating if needed) the WAL for appending; the caller must
+    /// have run [`recover_file`] first so the tail is clean.
+    pub fn open_append(path: &Path) -> io::Result<WalFile> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalFile { file })
+    }
+
+    /// Append one pre-framed record.
+    pub fn append(&mut self, framed: &[u8]) -> io::Result<()> {
+        self.file.write_all(framed)
+    }
+
+    /// Force everything appended so far onto stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+
+    /// Drop every record: truncate to zero length (used after a snapshot
+    /// has captured the state the log was protecting).
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_matches_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        for payload in [&b"alpha"[..], b"", b"gamma-delta"] {
+            buf.extend_from_slice(&frame(payload));
+        }
+        let out = read_records(&buf);
+        assert_eq!(out.records.len(), 3);
+        assert_eq!(out.records[0], b"alpha");
+        assert_eq!(out.records[1], b"");
+        assert_eq!(out.records[2], b"gamma-delta");
+        assert_eq!(out.good_bytes, buf.len() as u64);
+        assert_eq!(out.torn_bytes, 0);
+    }
+
+    #[test]
+    fn every_truncation_point_keeps_committed_records() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&frame(b"first"));
+        buf.extend_from_slice(&frame(b"second"));
+        let first_len = frame(b"first").len();
+        for cut in 0..buf.len() {
+            let out = read_records(&buf[..cut]);
+            let expect = if cut >= first_len + frame(b"second").len() {
+                2
+            } else if cut >= first_len {
+                1
+            } else {
+                0
+            };
+            assert_eq!(out.records.len(), expect, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_stops_the_scan() {
+        let mut buf = frame(b"healthy");
+        let tail = frame(b"poisoned");
+        let mark = buf.len();
+        buf.extend_from_slice(&tail);
+        buf[mark + FRAME_HEADER + 2] ^= 0x40; // flip one payload bit
+        let out = read_records(&buf);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.good_bytes, mark as u64);
+        assert_eq!(out.torn_bytes, tail.len() as u64);
+    }
+
+    #[test]
+    fn absurd_length_field_is_corruption_not_allocation() {
+        let mut buf = frame(b"ok");
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0, 0, 0, 0]);
+        let out = read_records(&buf);
+        assert_eq!(out.records.len(), 1);
+        assert!(out.torn_bytes > 0);
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_files() {
+        let dir = std::env::temp_dir().join(format!("tms_wal_aw_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.bin");
+        atomic_write(&path, b"generation-1").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"generation-1");
+        atomic_write(&path, b"generation-2").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"generation-2");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

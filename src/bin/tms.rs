@@ -7,6 +7,7 @@
 //! tms experiments <targets> [opts]     regenerate paper tables/figures
 //! tms serve [opts]                     start the estimation/pre-impl service
 //! tms client <endpoint> [opts]         query a running service
+//! tms store <inspect|compact|verify>   manage a persistent macro library
 //! tms report --trace <path>            render a JSONL trace as a phase table
 //!
 //! options:
@@ -27,8 +28,19 @@
 //!   --cache <N>          implementation-cache capacity (default 4096)
 //!   --model <path>       load a model saved by `tms train --save`
 //!                        (skips training; pass the matching --features)
+//!   --store <dir>        back the cache with a persistent macro library:
+//!                        warm-start from <dir>, WAL-append every insert,
+//!                        checkpoint on graceful shutdown (`tms client
+//!                        shutdown`)
 //!
-//! client options (endpoint: estimate | preimpl | flow | stats | metrics):
+//! store options (all subcommands take --dir <path>):
+//!   inspect              print the library statistics as JSON
+//!   compact              fold the WAL into a fresh snapshot generation
+//!   verify               read-only integrity audit (checksums, torn
+//!                        tails, stale generations); exits 1 if corrupt
+//!
+//! client options (endpoint: estimate | preimpl | flow | stats | metrics
+//!                 | shutdown):
 //!   --addr <host:port>   server address (default 127.0.0.1:7245)
 //!   --port <N>           shorthand for --addr 127.0.0.1:<N>
 //!   --role <mvau|swu|act|pool|weights>   module recipe (default mvau)
@@ -328,10 +340,14 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         let (est, _) = flow.train().into_parts();
         est
     };
+    let store_dir = flags.get("store").cloned();
     let config = ServeConfig {
         addr: format!("127.0.0.1:{}", num(flags, "port", 7245)),
         workers: num(flags, "workers", 8) as usize,
         cache_capacity: num(flags, "cache", 4096) as usize,
+        store: store_dir
+            .as_ref()
+            .map(|dir| tailored_macro_sizes::store::StoreConfig::at(dir.as_str())),
     };
     let workers = config.workers;
     match serve(config, estimator, features) {
@@ -341,15 +357,69 @@ fn cmd_serve(flags: &HashMap<String, String>) {
                 handle.addr(),
                 features.label()
             );
+            if let Some(dir) = &store_dir {
+                println!("persistent macro library: {dir} (checkpointed on graceful shutdown)");
+            }
             println!(
-                "endpoints: estimate | preimpl | flow | stats | metrics  (JSON lines; \
-                 see `tms client`) — plain HTTP `GET /metrics` works too"
+                "endpoints: estimate | preimpl | flow | stats | metrics | shutdown  (JSON \
+                 lines; see `tms client`) — plain HTTP `GET /metrics` works too"
             );
-            handle.serve_forever()
+            handle.serve_forever();
+            println!("tms-serve stopped");
         }
         Err(e) => {
             eprintln!("could not start server: {e}");
             std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_store(args: &[String], flags: &HashMap<String, String>) {
+    use tailored_macro_sizes::flow::MacroStore;
+    use tailored_macro_sizes::store::{verify, Store, StoreConfig};
+    let Some(dir) = flags.get("dir") else {
+        eprintln!("usage: tms store <inspect|compact|verify> --dir <path>");
+        std::process::exit(2);
+    };
+    let path = std::path::Path::new(dir);
+    match args.first().map(String::as_str) {
+        Some("inspect") => {
+            // Opening replays the WAL (and truncates any torn tail), so
+            // the numbers reflect what a server would actually load.
+            let opened: std::io::Result<MacroStore> = Store::open(StoreConfig::at(path));
+            match opened {
+                Ok(store) => println!("{}", to_pretty(&store.stats())),
+                Err(e) => {
+                    eprintln!("could not open store at {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("compact") => {
+            let opened: std::io::Result<MacroStore> = Store::open(StoreConfig::at(path));
+            match opened.and_then(|store| store.compact()) {
+                Ok(report) => println!("{}", to_pretty(&report)),
+                Err(e) => {
+                    eprintln!("could not compact store at {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("verify") => match verify(path) {
+            Ok(report) => {
+                println!("{report}");
+                if !report.clean() {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("could not verify store at {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => {
+            eprintln!("usage: tms store <inspect|compact|verify> --dir <path>");
+            std::process::exit(2);
         }
     }
 }
@@ -390,8 +460,9 @@ fn cmd_client(args: &[String], flags: &HashMap<String, String>) {
             .map(|r| to_pretty(&r)),
         Some("stats") => client.stats().map(|r| to_pretty(&r)),
         Some("metrics") => client.metrics_text(),
+        Some("shutdown") => client.shutdown().map(|r| to_pretty(&r)),
         _ => {
-            eprintln!("usage: tms client <estimate|preimpl|flow|stats|metrics> [options]");
+            eprintln!("usage: tms client <estimate|preimpl|flow|stats|metrics|shutdown> [options]");
             std::process::exit(2);
         }
     };
@@ -418,10 +489,12 @@ fn main() {
         Some("experiments") => cmd_experiments(&positional[1..], &flags),
         Some("serve") => cmd_serve(&flags),
         Some("client") => cmd_client(&positional[1..], &flags),
+        Some("store") => cmd_store(&positional[1..], &flags),
         Some("report") => cmd_report(&flags),
         _ => {
             eprintln!(
-                "usage: tms <devices|train|compile|experiments|serve|client|report> [options]"
+                "usage: tms <devices|train|compile|experiments|serve|client|store|report> \
+                 [options]"
             );
             eprintln!("see the module docs in src/bin/tms.rs for the option list");
             std::process::exit(2);

@@ -49,6 +49,7 @@
 pub use tms_cnn as cnn;
 pub use tms_device as device;
 pub use tms_estimator as estimator;
+pub use tms_fault as fault;
 pub use tms_flow as flow;
 pub use tms_ml as ml;
 pub use tms_netlist as netlist;

@@ -7,6 +7,7 @@
 //! module's netlist, and [`run_rw_flow_cached`] which pre-implements only
 //! cache misses and re-stitches everything.
 
+use crate::resilient::Resilience;
 use crate::rwflow::{
     implement_module, stitch_implemented, CfPolicy, ImplementedModule, RwFlowConfig, RwFlowResult,
 };
@@ -14,10 +15,11 @@ use rayon::prelude::*;
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use tms_cnn::CnvDesign;
 use tms_device::{Device, DeviceName};
+use tms_fault::Retry;
 use tms_netlist::{Netlist, NetlistStats};
 use tms_store::{Store, StoreSnapshot};
 
@@ -119,6 +121,14 @@ pub struct ImplementationCache {
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Retry policy applied to store-mode writes.
+    retry: Retry,
+    /// Consecutive store-put failures (after retries); resets on the
+    /// first success. Services watch this to decide when the store is
+    /// persistently broken and the cache should degrade to memory-only.
+    store_fail_streak: AtomicU32,
+    /// Total store puts that failed even after retrying.
+    store_put_failures: AtomicU64,
 }
 
 impl Default for ImplementationCache {
@@ -142,6 +152,9 @@ impl ImplementationCache {
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            retry: Retry::default(),
+            store_fail_streak: AtomicU32::new(0),
+            store_put_failures: AtomicU64::new(0),
         }
     }
 
@@ -157,7 +170,17 @@ impl ImplementationCache {
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            retry: Retry::default(),
+            store_fail_streak: AtomicU32::new(0),
+            store_put_failures: AtomicU64::new(0),
         }
+    }
+
+    /// Replace the retry policy applied to store-mode writes (default:
+    /// [`Retry::default`] — three attempts with millisecond backoff).
+    pub fn with_retry(mut self, retry: Retry) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The persistent store behind this cache, if it runs in store mode.
@@ -226,12 +249,45 @@ impl ImplementationCache {
     /// entry if the cache is at capacity. In store mode the insert is
     /// WAL-appended; a persistence error is swallowed here (the
     /// implementation is still returned to the caller by the flow) but
-    /// counted in the store's `io_errors` statistic.
+    /// counted — see [`try_insert`](ImplementationCache::try_insert) for
+    /// the error-surfacing variant.
     pub fn insert(&mut self, key: ModuleFingerprint, module: ImplementedModule) {
+        let _ = self.try_insert(key, module);
+    }
+
+    /// [`insert`](ImplementationCache::insert) that surfaces store-mode
+    /// persistence failures. Store puts are retried under the cache's
+    /// [`Retry`] policy; a put that fails every attempt increments both
+    /// the consecutive-failure streak and the total failure counter and
+    /// returns the final error. Memory-mode inserts cannot fail.
+    pub fn try_insert(
+        &mut self,
+        key: ModuleFingerprint,
+        module: ImplementedModule,
+    ) -> io::Result<()> {
         if let Some(store) = &self.store {
-            let _ = store.put(key, module);
-            return;
+            let out = self.retry.run(
+                |_e: &io::Error| true,
+                |_| store.put(key.clone(), module.clone()),
+            );
+            return match out {
+                Ok(()) => {
+                    self.store_fail_streak.store(0, Ordering::Relaxed);
+                    Ok(())
+                }
+                Err(failed) => {
+                    self.store_fail_streak.fetch_add(1, Ordering::Relaxed);
+                    self.store_put_failures.fetch_add(1, Ordering::Relaxed);
+                    Err(failed.last)
+                }
+            };
         }
+        self.insert_memory(key, module);
+        Ok(())
+    }
+
+    /// The plain in-memory insert with LRU eviction at capacity.
+    fn insert_memory(&mut self, key: ModuleFingerprint, module: ImplementedModule) {
         let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
             if let Some(lru) = self
@@ -250,6 +306,41 @@ impl ImplementationCache {
                 last_used: AtomicU64::new(now),
             },
         );
+    }
+
+    /// Consecutive store-put failures since the last success (0 when the
+    /// store is healthy or absent).
+    pub fn store_fail_streak(&self) -> u32 {
+        self.store_fail_streak.load(Ordering::Relaxed)
+    }
+
+    /// Total store puts that failed even after retrying.
+    pub fn store_put_failures(&self) -> u64 {
+        self.store_put_failures.load(Ordering::Relaxed)
+    }
+
+    /// Demote a store-backed cache to memory-only: the store's live
+    /// entries move into the in-memory map (so warm state is not lost)
+    /// and the store handle is dropped — its final flush runs on drop if
+    /// the disk cooperates, and no further request depends on the broken
+    /// backend. Returns the number of entries carried over; a no-op
+    /// (returning 0) for caches already in memory mode.
+    ///
+    /// This is the graceful-degradation half of the store failure story:
+    /// `tms-serve` calls it once the failure streak crosses its
+    /// threshold, then reports degraded mode via `stats`/`/metrics`.
+    pub fn degrade_to_memory(&mut self) -> usize {
+        let Some(store) = self.store.take() else {
+            return 0;
+        };
+        let entries = store.export();
+        let carried = entries.len();
+        self.capacity = self.capacity.max(carried.max(1));
+        for (key, module) in entries {
+            self.insert_memory(key, module);
+        }
+        self.store_fail_streak.store(0, Ordering::Relaxed);
+        carried
     }
 
     /// Persist the cached implementations as JSON. Hit/miss counters and
@@ -327,7 +418,7 @@ pub fn run_rw_flow_cached(
     cfg: &RwFlowConfig<'_>,
     cache: &mut ImplementationCache,
 ) -> CachedFlowResult {
-    run_cached(design, device, cfg, cache, false)
+    run_cached(design, device, cfg, cache, false, &Resilience::default())
 }
 
 /// [`run_rw_flow_cached`] plus a coherence audit: every cache hit is *also*
@@ -340,15 +431,16 @@ pub fn run_rw_flow_cached_verified(
     cfg: &RwFlowConfig<'_>,
     cache: &mut ImplementationCache,
 ) -> CachedFlowResult {
-    run_cached(design, device, cfg, cache, true)
+    run_cached(design, device, cfg, cache, true, &Resilience::default())
 }
 
-fn run_cached(
+pub(crate) fn run_cached(
     design: &CnvDesign,
     device: &Device,
     cfg: &RwFlowConfig<'_>,
     cache: &mut ImplementationCache,
     verify: bool,
+    res: &Resilience<'_>,
 ) -> CachedFlowResult {
     debug_assert!(
         !matches!(cfg.policy, CfPolicy::Guided { .. }),
@@ -377,12 +469,16 @@ fn run_cached(
         sp.field("misses", missing.len() as f64);
     }
 
-    // Pre-implement only the misses, in parallel.
+    // Pre-implement only the misses, in parallel; under an armed
+    // resilience bundle each module gets its own retry loop.
     let fresh_results: Vec<(usize, Result<ImplementedModule, String>)> = missing
         .par_iter()
         .map(|&idx| {
             let m = &design.modules[idx];
-            (idx, implement_module(&m.name, &m.netlist, device, cfg))
+            (
+                idx,
+                crate::resilient::implement_module_resilient(&m.name, &m.netlist, device, cfg, res),
+            )
         })
         .collect();
 
@@ -411,7 +507,12 @@ fn run_cached(
                 fresh += 1;
                 tool_runs_spent += m.attempts;
                 let key = ModuleFingerprint::of(&design.modules[*idx].netlist, device);
-                cache.insert(key, m.clone());
+                if cache.try_insert(key, m.clone()).is_err() {
+                    // The implementation still flows into the stitch; only
+                    // its persistence failed (counted in the cache's
+                    // failure statistics for the degrade decision).
+                    obs.count("cache.store_error", 1);
+                }
             }
             Err(_) => tool_runs_spent += 1,
         }
@@ -424,6 +525,7 @@ fn run_cached(
         .chain(fresh_results)
         .collect();
     per_module.sort_by_key(|&(idx, _)| idx);
+    crate::resilient::absorb_route_faults(cfg, res);
     let result = stitch_implemented(design, device, cfg, per_module);
 
     CachedFlowResult {

@@ -35,6 +35,7 @@ pub mod amd;
 pub mod cache;
 pub mod experiments;
 pub mod render;
+pub mod resilient;
 pub mod rwflow;
 
 pub use amd::{run_amd_flow, AmdFlowConfig, AmdFlowResult};
@@ -43,6 +44,7 @@ pub use cache::{
     MacroStore, ModuleFingerprint, DEFAULT_CACHE_CAPACITY,
 };
 pub use render::{coverage_line, render_cost_trace, render_stitched};
+pub use resilient::{implement_module_resilient, run_rw_flow_cached_resilient, Resilience};
 pub use rwflow::{
     implement_module, run_rw_flow, stitch_implemented, CfPolicy, ImplementedModule, RwFlowConfig,
     RwFlowResult,

@@ -5,9 +5,38 @@ use crate::protocol::{
     PreimplRequest, PreimplResponse, Request, Response, ShutdownResponse, StatsReport,
 };
 use serde::{Deserialize, Serialize, Value};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use tms_netlist::NetlistStats;
+
+/// Client socket timeouts. The bare [`Client::connect`] used to issue a
+/// plain `TcpStream::connect` with no connect, read, or write timeout —
+/// a dead server (or a SYN black hole) hung the caller forever. Every
+/// connection now carries these bounds; [`Client::connect_with`] takes
+/// an explicit configuration, [`Client::connect`] uses the defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection (per resolved address).
+    pub connect_timeout: Duration,
+    /// Bound on waiting for a reply line. Generous by default — a cold
+    /// `flow` request really does place-and-route a whole design —
+    /// but finite, so a hung server surfaces as an error. `None`
+    /// blocks forever.
+    pub read_timeout: Option<Duration>,
+    /// Bound on writing a request line. `None` blocks forever.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Some(Duration::from_secs(120)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
 
 /// Client-side failure: transport, malformed reply, or a server-reported
 /// error.
@@ -48,9 +77,37 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to a server.
+    /// Connect to a server with the default timeouts
+    /// ([`ClientConfig::default`]).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect to a server under an explicit timeout configuration. Each
+    /// resolved address is tried in turn with the connect timeout; the
+    /// read and write timeouts are installed on the accepted socket.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> std::io::Result<Client> {
+        let mut last_err: Option<std::io::Error> = None;
+        let mut connected: Option<TcpStream> = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, config.connect_timeout) {
+                Ok(s) => {
+                    connected = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = match connected {
+            Some(s) => s,
+            None => {
+                return Err(last_err.unwrap_or_else(|| {
+                    std::io::Error::new(ErrorKind::InvalidInput, "no addresses to connect to")
+                }))
+            }
+        };
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),

@@ -39,6 +39,19 @@
 //! [`CfEstimator::save`](tms_estimator::CfEstimator::save), so the serving
 //! process never retrains.
 //!
+//! The service is built to *degrade, not crash*: a bounded accept queue
+//! sheds excess connections with an explicit `overloaded` reply, request
+//! lines are read through a byte-bounded reader (oversized, non-UTF-8,
+//! and unparseable input all get structured error replies), every request
+//! has a deadline, store writes retry under a [`tms_fault::Retry`]
+//! policy, and persistent store failure demotes the server to memory-only
+//! caching — flagged in `stats` and `/metrics` via
+//! [`protocol::RobustnessReport`]. A seeded [`tms_fault::FaultPlan`] can
+//! be armed through [`ServeConfig::with_fault`] to drive all of this
+//! deterministically (see the chaos test suite and `tms chaos`). Clients
+//! carry connect/read/write timeouts ([`ClientConfig`]) so a dead server
+//! never hangs the caller.
+//!
 //! ```no_run
 //! use tms_estimator::{CfEstimator, FeatureSet};
 //! use tms_serve::{serve, Client, ModuleSpec, ServeConfig};
@@ -60,12 +73,12 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError};
 pub use metrics::{EndpointMetrics, Metrics, LATENCY_BUCKETS_US};
 pub use protocol::{
     CacheStats, EndpointSnapshot, EstimateRequest, EstimateResponse, FlowRequest, FlowResponse,
     MetricsResponse, ModuleSpec, PreimplRequest, PreimplResponse, Request, Response,
-    ShutdownResponse, StatsReport, StoreSnapshot,
+    RobustnessReport, ShutdownResponse, StatsReport, StoreSnapshot,
 };
 pub use server::{serve, ServeConfig, ServerHandle};
 pub use tms_obs::prometheus;

@@ -206,6 +206,34 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+/// Robustness counters inside a [`StatsReport`]: how often the server
+/// shed, refused, degraded, or absorbed failure instead of crashing.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct RobustnessReport {
+    /// Whether the server demoted itself to memory-only caching after
+    /// persistent store failures (see the `degrade_after` threshold in
+    /// `ServeConfig`). Once degraded it stays degraded until restart.
+    pub degraded: bool,
+    /// Connections refused with an `overloaded` reply — either the
+    /// bounded accept queue was full, or the connection waited in the
+    /// queue longer than the request deadline.
+    pub shed: u64,
+    /// Requests whose handling outlived the per-request deadline; the
+    /// result was discarded and an error reply sent instead.
+    pub deadline_expired: u64,
+    /// Request lines rejected for exceeding the byte limit.
+    pub oversized: u64,
+    /// Lines that were not valid UTF-8 or not a valid request envelope;
+    /// each got a structured error reply (never a silent drop).
+    pub malformed: u64,
+    /// Store puts that failed even after retrying (the input to the
+    /// degrade decision).
+    pub store_put_failures: u64,
+    /// Faults injected by the server's `FaultPlan`, all points summed
+    /// (0 when no plan is armed).
+    pub faults_injected: u64,
+}
+
 /// `stats` reply: per-endpoint counters plus cache hit/miss rates and the
 /// flow-phase telemetry of the pipeline work the server has done.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -227,8 +255,11 @@ pub struct StatsReport {
     /// Shared implementation-cache statistics.
     pub cache: CacheStats,
     /// Persistent-store statistics, when the server runs in store mode
-    /// (`None` for a purely in-memory cache).
+    /// (`None` for a purely in-memory cache — including after a degrade
+    /// to memory-only; `robustness.degraded` tells the two apart).
     pub store: Option<StoreSnapshot>,
+    /// Shed/deadline/degrade/fault counters.
+    pub robustness: RobustnessReport,
     /// Pipeline telemetry: per-phase span totals, flow counters and
     /// observations accumulated across every request handled so far.
     pub pipeline: ObsSnapshot,

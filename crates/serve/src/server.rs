@@ -5,14 +5,31 @@
 //! Threading model (no async runtime — plain threads):
 //!
 //! * one **acceptor** thread blocks on `TcpListener::accept` and hands
-//!   each connection to the pool over an unbounded channel;
+//!   each connection to the pool over a **bounded** channel of
+//!   [`ServeConfig::queue_limit`] slots; when the queue is full the
+//!   connection is *shed* — answered with an explicit `overloaded`
+//!   error reply and closed — instead of queueing without bound;
 //! * `workers` **worker** threads each own one connection at a time and
 //!   serve its requests until the client disconnects — so the pool size
-//!   bounds the number of *concurrent connections*, and further
-//!   connections queue in the channel;
+//!   bounds the number of *concurrent connections*. A connection that
+//!   waited in the queue longer than the request deadline is shed at
+//!   dequeue rather than served stale;
 //! * the shared [`ImplementationCache`] sits behind a
 //!   `parking_lot::RwLock`: lookups (`preimpl` hits) take the read lock,
 //!   inserts and whole cached-flow runs take the write lock.
+//!
+//! Robustness posture (see also [`crate::protocol::RobustnessReport`]):
+//! request lines are read through a **bounded byte reader** — an
+//! oversized line gets an error reply and the connection closes, a
+//! non-UTF-8 or unparseable line gets a structured error reply (never a
+//! silent drop); each request has a **deadline** after which its result
+//! is discarded and an error returned; store writes retry under the
+//! configured [`Retry`] policy, and after [`ServeConfig::degrade_after`]
+//! consecutive store-put failures the server **degrades to memory-only
+//! caching** (flagged in `stats` and `/metrics`) instead of crashing.
+//! An optional seeded [`FaultPlan`] injects deterministic faults at the
+//! `serve.read`/`serve.write` points and (via the store and flow crates)
+//! at `store.*`/`flow.*` — the chaos suite and `tms chaos` drive it.
 //!
 //! Shutdown: [`ServerHandle::stop`] raises a flag, unblocks the acceptor
 //! with a self-connection, drops the channel sender (so idle workers
@@ -28,21 +45,24 @@
 use crate::metrics::Metrics;
 use crate::protocol::{
     CacheStats, EstimateRequest, EstimateResponse, FlowRequest, FlowResponse, MetricsResponse,
-    PreimplRequest, PreimplResponse, Request, Response, ShutdownResponse, StatsReport,
+    PreimplRequest, PreimplResponse, Request, Response, RobustnessReport, ShutdownResponse,
+    StatsReport,
 };
+use crossbeam::channel::TrySendError;
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tms_cnn::cnvw1a1;
 use tms_device::Device;
 use tms_estimator::{CfEstimator, FeatureSet, ModuleFeatures};
+use tms_fault::{FaultInjector, FaultPlan, FaultPoint, Retry};
 use tms_flow::{
-    implement_module, run_rw_flow_cached, CfPolicy, ImplementationCache, MacroStore,
-    ModuleFingerprint, RwFlowConfig, DEFAULT_CACHE_CAPACITY,
+    implement_module_resilient, run_rw_flow_cached_resilient, CfPolicy, ImplementationCache,
+    MacroStore, ModuleFingerprint, Resilience, RwFlowConfig, DEFAULT_CACHE_CAPACITY,
 };
 use tms_netlist::NetlistStats;
 use tms_obs::prometheus::PromText;
@@ -56,6 +76,12 @@ use tms_synth::pack;
 /// How long a worker waits on a quiet connection before re-checking the
 /// shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Byte bound on a single HTTP header line when draining a `GET` request.
+const MAX_HTTP_HEADER_LINE: usize = 8 * 1024;
+
+/// Byte bound on the whole HTTP header section of a `GET` request.
+const MAX_HTTP_HEADERS: usize = 64 * 1024;
 
 /// Server configuration.
 pub struct ServeConfig {
@@ -71,6 +97,29 @@ pub struct ServeConfig {
     /// insert is WAL-appended, and a graceful shutdown checkpoints the
     /// library (so a restart replays nothing).
     pub store: Option<StoreConfig>,
+    /// Bound on connections queued between acceptor and workers. When
+    /// the queue is full, further connections are *shed*: answered with
+    /// an `overloaded` error reply and closed, never queued unbounded.
+    pub queue_limit: usize,
+    /// Maximum bytes of one request line. An oversized line gets an
+    /// error reply and the connection closes — it is never buffered
+    /// whole (no OOM) and never dropped silently.
+    pub max_line_bytes: usize,
+    /// Per-request deadline. A request whose handling outlives it has
+    /// its result discarded and an error returned; a connection that
+    /// waited in the accept queue longer than this is shed at dequeue.
+    pub request_deadline: Duration,
+    /// Consecutive store-put failures (each already retried under
+    /// `retry`) after which the server degrades to memory-only caching.
+    /// `0` disables degradation.
+    pub degrade_after: u32,
+    /// Retry policy for store writes and (when a fault plan is armed)
+    /// per-module implementation attempts.
+    pub retry: Retry,
+    /// Deterministic fault plan consulted at the `serve.*` points and
+    /// handed to the store and flow layers. `None` (the default) serves
+    /// fault-free with near-zero overhead.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +129,12 @@ impl Default for ServeConfig {
             workers: 8,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             store: None,
+            queue_limit: 64,
+            max_line_bytes: 1024 * 1024,
+            request_deadline: Duration::from_secs(60),
+            degrade_after: 3,
+            retry: Retry::default(),
+            fault: None,
         }
     }
 }
@@ -91,6 +146,32 @@ impl ServeConfig {
         self.store = Some(StoreConfig::at(dir.into()));
         self
     }
+
+    /// Arm a deterministic fault plan: the server consults it at every
+    /// `serve.*`/`store.*`/`flow.*` fault point. Keep the `Arc` to steer
+    /// rates and read injection counters while the server runs.
+    pub fn with_fault(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+}
+
+/// Shed/deadline/degrade counters, all lock-free.
+#[derive(Default)]
+struct Robust {
+    degraded: AtomicBool,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    oversized: AtomicU64,
+    malformed: AtomicU64,
+}
+
+/// The limits a worker consults per request, copied out of [`ServeConfig`].
+struct Limits {
+    max_line_bytes: usize,
+    request_deadline: Duration,
+    degrade_after: u32,
+    retry: Retry,
 }
 
 /// Process-wide state shared by every worker.
@@ -108,6 +189,9 @@ struct ServerState {
     /// `shutdown()` may run twice (`stop()` + `Drop`).
     checkpointed: AtomicBool,
     started: Instant,
+    limits: Limits,
+    fault: Option<Arc<FaultPlan>>,
+    robust: Robust,
 }
 
 impl ServerState {
@@ -115,6 +199,47 @@ impl ServerState {
     fn store(&self) -> Option<Arc<MacroStore>> {
         self.cache.read().store().cloned()
     }
+
+    /// The fault injector to consult — the armed plan, or the no-op.
+    fn injector(&self) -> &dyn FaultInjector {
+        match &self.fault {
+            Some(plan) => plan.as_ref(),
+            None => tms_fault::noop(),
+        }
+    }
+
+    /// The resilience bundle handed to the flow layer.
+    fn resilience(&self) -> Resilience<'_> {
+        Resilience::new(self.injector(), self.limits.retry)
+    }
+
+    /// Consult the fault plan at a `serve.*` point (false when unarmed).
+    fn should_fail(&self, point: FaultPoint) -> bool {
+        match &self.fault {
+            Some(plan) => plan.should_fail(point),
+            None => false,
+        }
+    }
+
+    /// Snapshot the robustness counters for `stats` and `/metrics`.
+    fn robustness_report(&self, cache: &ImplementationCache) -> RobustnessReport {
+        RobustnessReport {
+            degraded: self.robust.degraded.load(Ordering::SeqCst),
+            shed: self.robust.shed.load(Ordering::Relaxed),
+            deadline_expired: self.robust.deadline_expired.load(Ordering::Relaxed),
+            oversized: self.robust.oversized.load(Ordering::Relaxed),
+            malformed: self.robust.malformed.load(Ordering::Relaxed),
+            store_put_failures: cache.store_put_failures(),
+            faults_injected: self.fault.as_ref().map(|p| p.injected_total()).unwrap_or(0),
+        }
+    }
+}
+
+/// A connection waiting between acceptor and worker, stamped with its
+/// accept time so stale queue entries can be shed at dequeue.
+struct Pending {
+    stream: TcpStream,
+    accepted: Instant,
 }
 
 /// A running server; dropping it (or calling [`ServerHandle::stop`])
@@ -195,14 +320,34 @@ pub fn serve(
     let sink = Arc::new(AggregatingSink::new());
     // Store mode opens (and crash-recovers) the persistent library before
     // accepting a single connection: the warm start is part of startup.
+    // If the open itself fails, the server comes up memory-only and
+    // flags itself degraded rather than refusing to start.
+    let mut degraded_at_open = false;
     let cache = match &config.store {
         Some(store_config) => {
             let recorder: Arc<dyn Recorder> = Arc::clone(&sink) as Arc<dyn Recorder>;
-            let store: MacroStore = Store::open_with(store_config.clone(), recorder)?;
-            ImplementationCache::with_store(Arc::new(store))
+            let opened = match &config.fault {
+                Some(plan) => {
+                    let inj: Arc<dyn FaultInjector> = Arc::clone(plan) as Arc<dyn FaultInjector>;
+                    Store::open_faulty(store_config.clone(), recorder, inj)
+                }
+                None => Store::open_with(store_config.clone(), recorder),
+            };
+            match opened {
+                Ok(store) => {
+                    let store: MacroStore = store;
+                    ImplementationCache::with_store(Arc::new(store))
+                }
+                Err(_) => {
+                    sink.count("serve.store_open_failed", 1);
+                    degraded_at_open = true;
+                    ImplementationCache::with_capacity(config.cache_capacity)
+                }
+            }
         }
         None => ImplementationCache::with_capacity(config.cache_capacity),
     };
+    let cache = cache.with_retry(config.retry);
     let state = Arc::new(ServerState {
         estimator,
         features,
@@ -212,9 +357,20 @@ pub fn serve(
         shutdown: AtomicBool::new(false),
         checkpointed: AtomicBool::new(false),
         started: Instant::now(),
+        limits: Limits {
+            max_line_bytes: config.max_line_bytes.max(1),
+            request_deadline: config.request_deadline,
+            degrade_after: config.degrade_after,
+            retry: config.retry,
+        },
+        fault: config.fault.clone(),
+        robust: Robust {
+            degraded: AtomicBool::new(degraded_at_open),
+            ..Robust::default()
+        },
     });
 
-    let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+    let (tx, rx) = crossbeam::channel::bounded::<Pending>(config.queue_limit.max(1));
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
         .map(|_| {
             let rx = rx.clone();
@@ -222,11 +378,15 @@ pub fn serve(
             std::thread::spawn(move || {
                 // Exits when the acceptor drops the sender and the queue
                 // drains, or the shutdown flag is raised.
-                while let Ok(stream) = rx.recv() {
+                while let Ok(pending) = rx.recv() {
                     if state.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    handle_connection(&state, stream);
+                    if pending.accepted.elapsed() > state.limits.request_deadline {
+                        refuse(&state, pending.stream, "queued past the request deadline");
+                        continue;
+                    }
+                    handle_connection(&state, pending.stream);
                 }
             })
         })
@@ -241,8 +401,15 @@ pub fn serve(
                 if state.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                if let Ok(stream) = stream {
-                    let _ = tx.send(stream);
+                let Ok(stream) = stream else { continue };
+                let pending = Pending {
+                    stream,
+                    accepted: Instant::now(),
+                };
+                match tx.try_send(pending) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(p)) => refuse(&state, p.stream, "accept queue full"),
+                    Err(TrySendError::Disconnected(_)) => break,
                 }
             }
         })
@@ -256,7 +423,92 @@ pub fn serve(
     })
 }
 
-/// Serve one connection until EOF, error, or shutdown.
+/// Shed a connection: count it, answer an explicit `overloaded` error
+/// reply (bounded write, best-effort), and close.
+fn refuse(state: &ServerState, mut stream: TcpStream, why: &str) {
+    state.robust.shed.fetch_add(1, Ordering::Relaxed);
+    state.sink.count("serve.shed", 1);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let resp = Response::failure(0, format!("overloaded: {why}"));
+    let mut out = serde_json::to_string(&resp).unwrap_or_default();
+    out.push('\n');
+    let _ = stream.write_all(out.as_bytes());
+}
+
+/// What one bounded line read produced.
+enum LineOutcome {
+    /// `buf` holds one complete line (newline stripped, `\r` kept).
+    Line,
+    /// Clean EOF with nothing buffered.
+    Eof,
+    /// Read timeout; any partial line stays in `buf` for the next poll.
+    Timeout,
+    /// The line exceeded `max` bytes before its newline arrived.
+    TooLong,
+    /// Hard I/O error.
+    Failed,
+}
+
+/// Read one `\n`-terminated line into `buf` without ever buffering more
+/// than `max` bytes — the bounded replacement for `read_line` that makes
+/// oversized input an explicit, answerable condition instead of
+/// unbounded memory growth. EOF with a non-empty partial buffer yields
+/// that partial as a final [`LineOutcome::Line`] so truncated requests
+/// still get a structured error reply.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> LineOutcome {
+    loop {
+        let (used, complete) = {
+            let available = match reader.fill_buf() {
+                Ok(a) => a,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return LineOutcome::Timeout;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return LineOutcome::Failed,
+            };
+            if available.is_empty() {
+                return if buf.is_empty() {
+                    LineOutcome::Eof
+                } else {
+                    LineOutcome::Line
+                };
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    buf.extend_from_slice(&available[..pos]);
+                    (pos + 1, true)
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    (available.len(), false)
+                }
+            }
+        };
+        reader.consume(used);
+        if buf.len() > max {
+            return LineOutcome::TooLong;
+        }
+        if complete {
+            return LineOutcome::Line;
+        }
+    }
+}
+
+/// Serialize and write one reply line.
+fn respond(writer: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut out =
+        serde_json::to_string(resp).unwrap_or_else(|_| "{\"id\":0,\"ok\":false}".to_string());
+    out.push('\n');
+    writer.write_all(out.as_bytes())
+}
+
+/// Serve one connection until EOF, error, or shutdown. Every malformed
+/// input — oversized, non-UTF-8, unparseable — is answered with a
+/// structured error reply before any close; nothing is dropped silently.
 fn handle_connection(state: &ServerState, stream: TcpStream) {
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
         return;
@@ -266,14 +518,48 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut buf: Vec<u8> = Vec::new();
     loop {
         if state.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
+        match read_line_bounded(&mut reader, &mut buf, state.limits.max_line_bytes) {
+            // Timeout: keep any partial line in `buf` and poll again.
+            LineOutcome::Timeout => continue,
+            LineOutcome::Eof | LineOutcome::Failed => break,
+            LineOutcome::TooLong => {
+                state.robust.oversized.fetch_add(1, Ordering::Relaxed);
+                state.sink.count("serve.oversized", 1);
+                let resp = Response::failure(
+                    0,
+                    format!(
+                        "request line exceeds the {}-byte limit",
+                        state.limits.max_line_bytes
+                    ),
+                );
+                let _ = respond(&mut writer, &resp);
+                break;
+            }
+            LineOutcome::Line => {
+                // Injected read fault: the connection dies mid-request,
+                // as if the peer vanished.
+                if state.should_fail(FaultPoint::ServeRead) {
+                    state.sink.count("serve.fault.read", 1);
+                    break;
+                }
+                let line = match String::from_utf8(std::mem::take(&mut buf)) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        state.robust.malformed.fetch_add(1, Ordering::Relaxed);
+                        state.sink.count("serve.malformed", 1);
+                        let resp =
+                            Response::failure(0, "request line is not valid UTF-8".to_string());
+                        if respond(&mut writer, &resp).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                };
                 let trimmed = line.trim();
                 if trimmed.starts_with("GET ") {
                     // A plain HTTP scrape on the JSON-lines port: answer
@@ -284,27 +570,24 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
                 }
                 if !trimmed.is_empty() {
                     let resp = handle_request(state, trimmed);
-                    let mut out = serde_json::to_string(&resp)
-                        .unwrap_or_else(|_| "{\"id\":0,\"ok\":false}".to_string());
-                    out.push('\n');
-                    if writer.write_all(out.as_bytes()).is_err() {
+                    // Injected write fault: the reply is lost on the wire.
+                    if state.should_fail(FaultPoint::ServeWrite) {
+                        state.sink.count("serve.fault.write", 1);
+                        break;
+                    }
+                    if respond(&mut writer, &resp).is_err() {
                         break;
                     }
                 }
-                line.clear();
             }
-            // Timeout: keep any partial line in `line` and poll again.
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                continue
-            }
-            Err(_) => break,
         }
     }
 }
 
-/// Serve one HTTP GET on the JSON-lines port: drain the request headers,
-/// answer `/metrics` with the Prometheus text page (anything else is 404),
-/// and let the caller close the connection.
+/// Serve one HTTP GET on the JSON-lines port: drain the request headers
+/// (bounded — an abusive header section closes the connection), answer
+/// `/metrics` with the Prometheus text page (anything else is 404), and
+/// let the caller close the connection.
 fn handle_http(
     state: &ServerState,
     reader: &mut BufReader<TcpStream>,
@@ -313,17 +596,26 @@ fn handle_http(
 ) {
     let start = Instant::now();
     // Drain headers until the blank line that ends the request.
-    let mut header = String::new();
+    let mut header: Vec<u8> = Vec::new();
+    let mut drained = 0usize;
     loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
         header.clear();
-        match reader.read_line(&mut header) {
-            Ok(0) => break,
-            Ok(_) if header.trim().is_empty() => break,
-            Ok(_) => continue,
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                continue
+        match read_line_bounded(reader, &mut header, MAX_HTTP_HEADER_LINE) {
+            LineOutcome::Line => {
+                if header.iter().all(|b| b.is_ascii_whitespace()) {
+                    break;
+                }
+                drained += header.len();
+                if drained > MAX_HTTP_HEADERS {
+                    return;
+                }
             }
-            Err(_) => return,
+            LineOutcome::Timeout => continue,
+            LineOutcome::Eof => break,
+            LineOutcome::TooLong | LineOutcome::Failed => return,
         }
     }
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
@@ -345,11 +637,15 @@ fn handle_http(
         .record(start.elapsed().as_micros() as u64, ok);
 }
 
-/// Parse, dispatch, time, and record one request line.
+/// Parse, dispatch, time, deadline-check, and record one request line.
 fn handle_request(state: &ServerState, line: &str) -> Response {
     let req: Request = match serde_json::from_str(line) {
         Ok(r) => r,
-        Err(e) => return Response::failure(0, format!("bad request envelope: {e}")),
+        Err(e) => {
+            state.robust.malformed.fetch_add(1, Ordering::Relaxed);
+            state.sink.count("serve.malformed", 1);
+            return Response::failure(0, format!("bad request envelope: {e}"));
+        }
     };
     let endpoint = match req.endpoint.as_str() {
         "estimate" => &state.metrics.estimate,
@@ -361,9 +657,24 @@ fn handle_request(state: &ServerState, line: &str) -> Response {
         other => return Response::failure(req.id, format!("unknown endpoint '{other}'")),
     };
     let start = Instant::now();
-    let outcome = dispatch(state, &req.endpoint, &req.payload, &start);
-    let micros = start.elapsed().as_micros() as u64;
-    endpoint.record(micros, outcome.is_ok());
+    let mut outcome = dispatch(state, &req.endpoint, &req.payload, &start);
+    let elapsed = start.elapsed();
+    // Deadline enforcement: a result that arrives too late is discarded
+    // (its side effects — cache fills — stand) and replaced with an
+    // explicit error, so slow handling is visible instead of ambiguous.
+    if outcome.is_ok() && elapsed > state.limits.request_deadline {
+        state
+            .robust
+            .deadline_expired
+            .fetch_add(1, Ordering::Relaxed);
+        state.sink.count("serve.deadline_expired", 1);
+        outcome = Err(format!(
+            "deadline exceeded: handled in {}ms, {}ms allowed; result discarded",
+            elapsed.as_millis(),
+            state.limits.request_deadline.as_millis()
+        ));
+    }
+    endpoint.record(elapsed.as_micros() as u64, outcome.is_ok());
     match outcome {
         Ok(payload) => Response::success(req.id, payload),
         Err(e) => Response::failure(req.id, e),
@@ -423,6 +734,32 @@ fn flow_config<'a>(cf: Option<f64>, seed: u64, obs: &'a dyn Recorder) -> RwFlowC
     }
 }
 
+/// Demote the server to memory-only caching once the store-put failure
+/// streak reaches the configured threshold: the cache's live entries are
+/// carried over, the store `Arc` is dropped (its final flush is
+/// best-effort), and the degraded flag turns on in `stats`/`/metrics`.
+/// Serving continues uninterrupted — only persistence is lost.
+fn maybe_degrade(state: &ServerState) {
+    let threshold = state.limits.degrade_after;
+    if threshold == 0 || state.robust.degraded.load(Ordering::SeqCst) {
+        return;
+    }
+    if state.cache.read().store_fail_streak() < threshold {
+        return;
+    }
+    let mut cache = state.cache.write();
+    // Re-check under the write lock: another worker may have raced here,
+    // or a put may have succeeded and reset the streak.
+    if cache.store().is_none() || cache.store_fail_streak() < threshold {
+        return;
+    }
+    let carried = cache.degrade_to_memory();
+    drop(cache);
+    state.robust.degraded.store(true, Ordering::SeqCst);
+    state.sink.count("serve.degraded", 1);
+    state.sink.count("serve.degraded.carried", carried as u64);
+}
+
 /// Predict a CF from statistics, mirroring the flow's prediction path
 /// (pack → quick-place → features → model, clamped to ≥ 0.5).
 fn predict_cf(est: &CfEstimator, set: FeatureSet, stats: &NetlistStats) -> f64 {
@@ -473,8 +810,15 @@ fn do_preimpl(
         None => {
             state.sink.count("cache.miss", 1);
             let cfg = flow_config(req.cf, spec.seed, &*state.sink);
-            let m = implement_module(&spec.name, &netlist, &device, &cfg)?;
-            state.cache.write().insert(key, m.clone());
+            let res = state.resilience();
+            let m = implement_module_resilient(&spec.name, &netlist, &device, &cfg, &res)?;
+            // A failed (already-retried) store put is not the client's
+            // problem: the implementation is still returned, the failure
+            // feeds the degrade decision.
+            if state.cache.write().try_insert(key, m.clone()).is_err() {
+                state.sink.count("serve.store_error", 1);
+            }
+            maybe_degrade(state);
             (m, false)
         }
     };
@@ -495,10 +839,13 @@ fn do_flow(state: &ServerState, req: FlowRequest, start: &Instant) -> Result<Flo
     let device = device_by_name(&req.device)?;
     let design = cnvw1a1(req.design_seed);
     let cfg = flow_config(req.cf, req.design_seed, &*state.sink);
+    let res = state.resilience();
     // The whole cached run holds the write lock: it both reads and fills
     // the cache, and its parallel section uses rayon, not the pool.
     let mut cache = state.cache.write();
-    let r = run_rw_flow_cached(&design, &device, &cfg, &mut cache);
+    let r = run_rw_flow_cached_resilient(&design, &device, &cfg, &mut cache, &res);
+    drop(cache);
+    maybe_degrade(state);
     Ok(FlowResponse {
         implemented: r.result.implemented.len(),
         failed: r.result.failed.len(),
@@ -548,13 +895,14 @@ fn do_stats(state: &ServerState) -> StatsReport {
             misses: cache.misses(),
         },
         store: cache.store_stats(),
+        robustness: state.robustness_report(&cache),
         pipeline: state.sink.snapshot(),
     }
 }
 
 /// Render the whole server state as one Prometheus text page: the request
-/// metrics of every endpoint, the cache gauges, and the pipeline-phase
-/// telemetry of the shared sink.
+/// metrics of every endpoint, the cache gauges, the robustness counters,
+/// and the pipeline-phase telemetry of the shared sink.
 fn prometheus_text(state: &ServerState) -> String {
     let mut page = PromText::new();
     page.header("tms_uptime_us", "Microseconds since server start", "gauge");
@@ -611,9 +959,56 @@ fn prometheus_text(state: &ServerState) -> String {
         if let Some(store) = cache.store_stats() {
             store_prometheus(&mut page, &store);
         }
+        robust_prometheus(&mut page, &state.robustness_report(&cache));
     }
     page.obs_snapshot(&state.sink.snapshot());
     page.finish()
+}
+
+/// The robustness gauge/counter family on the Prometheus page.
+fn robust_prometheus(page: &mut PromText, r: &RobustnessReport) {
+    page.header(
+        "tms_degraded",
+        "1 when the server fell back to memory-only caching",
+        "gauge",
+    );
+    page.sample("tms_degraded", &[], if r.degraded { 1.0 } else { 0.0 });
+    let counters: [(&str, &str, u64); 6] = [
+        (
+            "tms_shed_total",
+            "Connections shed with an overloaded reply",
+            r.shed,
+        ),
+        (
+            "tms_deadline_expired_total",
+            "Requests whose result missed the deadline",
+            r.deadline_expired,
+        ),
+        (
+            "tms_oversized_lines_total",
+            "Request lines rejected for exceeding the byte limit",
+            r.oversized,
+        ),
+        (
+            "tms_malformed_lines_total",
+            "Non-UTF-8 or unparseable request lines answered with an error",
+            r.malformed,
+        ),
+        (
+            "tms_store_put_failures_total",
+            "Store puts that failed after retrying",
+            r.store_put_failures,
+        ),
+        (
+            "tms_faults_injected_total",
+            "Faults injected by the armed fault plan, all points",
+            r.faults_injected,
+        ),
+    ];
+    for (name, help, value) in counters {
+        page.header(name, help, "counter");
+        page.sample(name, &[], value as f64);
+    }
 }
 
 /// The persistent store's gauge/counter family on the Prometheus page.

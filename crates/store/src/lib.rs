@@ -58,4 +58,4 @@ pub mod wal;
 pub use stats::{CompactReport, StoreCounters, StoreSnapshot, VerifyReport};
 pub use store::{Store, StoreConfig, StoreKey, StoreValue, SNAPSHOT_PREFIX, WAL_FILE};
 pub use verify::verify;
-pub use wal::{atomic_write, crc32};
+pub use wal::{atomic_write, atomic_write_faulty, crc32};

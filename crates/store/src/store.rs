@@ -28,6 +28,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use tms_fault::{check_io, FaultInjector, FaultPoint, NoopInjector};
 use tms_obs::{span, NoopRecorder, Phase, Recorder};
 
 /// File name of the write-ahead log inside the store directory.
@@ -124,6 +125,7 @@ pub struct Store<K: StoreKey, V: StoreValue> {
     inner: RwLock<Inner<K, V>>,
     config: StoreConfig,
     obs: Arc<dyn Recorder>,
+    fault: Arc<dyn FaultInjector>,
     clock: AtomicU64,
     generation: AtomicU64,
     wal_bytes: AtomicU64,
@@ -219,6 +221,21 @@ impl<K: StoreKey, V: StoreValue> Store<K, V> {
     /// record. Entries carried by either file count into the `recovered`
     /// statistic.
     pub fn open_with(config: StoreConfig, obs: Arc<dyn Recorder>) -> io::Result<Store<K, V>> {
+        Store::open_faulty(config, obs, Arc::new(NoopInjector))
+    }
+
+    /// [`Store::open_with`] plus a [`FaultInjector`] consulted at the
+    /// store's failure sites: `store.open` here, `store.append` on every
+    /// [`put`](Store::put), `store.fsync` at each flush-thread sync, and
+    /// `store.fsync`/`store.rename` inside the snapshot publication of
+    /// [`compact`](Store::compact). Injected failures count into the
+    /// `io_errors` statistic exactly like real ones.
+    pub fn open_faulty(
+        config: StoreConfig,
+        obs: Arc<dyn Recorder>,
+        fault: Arc<dyn FaultInjector>,
+    ) -> io::Result<Store<K, V>> {
+        check_io(&*fault, FaultPoint::StoreOpen)?;
         std::fs::create_dir_all(&config.dir)?;
         let mut sp = span(&*obs, Phase::Store, "recover");
         let counters = StoreCounters::default();
@@ -315,12 +332,14 @@ impl<K: StoreKey, V: StoreValue> Store<K, V> {
         // Start the flush thread on the cleaned log.
         let wal_file = WalFile::open_append(&config.wal_path())?;
         let (tx, rx) = bounded::<WalMsg>(config.flush_queue.max(1));
-        let flusher = std::thread::spawn(move || flush_loop(wal_file, rx));
+        let flush_fault = Arc::clone(&fault);
+        let flusher = std::thread::spawn(move || flush_loop(wal_file, rx, flush_fault));
 
         let store = Store {
             inner: RwLock::new(inner),
             config,
             obs: Arc::clone(&obs),
+            fault,
             clock: AtomicU64::new(clock),
             generation: AtomicU64::new(generation),
             wal_bytes: AtomicU64::new(wal_outcome.good_bytes),
@@ -365,6 +384,13 @@ impl<K: StoreKey, V: StoreValue> Store<K, V> {
     /// least-recently-used first, each eviction logging a `del` record.
     pub fn put(&self, key: K, value: V) -> io::Result<()> {
         let mut sp = span(&*self.obs, Phase::Store, "append");
+        if let Err(e) = check_io(&*self.fault, FaultPoint::StoreAppend) {
+            // Fail before touching the map: an injected append leaves the
+            // in-memory state exactly as it was, like a refused write.
+            self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+            self.obs.count("store.fault.append", 1);
+            return Err(e);
+        }
         let payload = encode_put(&key, &value)?;
         let framed = wal::frame(&payload);
         let bytes = payload.len() as u64;
@@ -460,9 +486,15 @@ impl<K: StoreKey, V: StoreValue> Store<K, V> {
         self.tx
             .send(WalMsg::Sync(ack_tx))
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "WAL flush thread gone"))?;
-        ack_rx
+        let result = ack_rx
             .recv()
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "WAL flush thread gone"))?
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "WAL flush thread gone"))?;
+        if let Err(e) = result {
+            self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+            self.obs.count("store.fault.fsync", 1);
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Fold the WAL into a fresh snapshot generation: stop-the-world
@@ -484,7 +516,16 @@ impl<K: StoreKey, V: StoreValue> Store<K, V> {
         for (k, e) in &ordered {
             segment.extend_from_slice(&wal::frame(&encode_put(k, &e.value)?));
         }
-        wal::atomic_write(&self.config.snapshot_path(gen), &segment)?;
+        if let Err(e) =
+            wal::atomic_write_faulty(&self.config.snapshot_path(gen), &segment, &*self.fault)
+        {
+            // The failed generation never got renamed into place: the
+            // previous snapshot and the full WAL still describe the store,
+            // so the caller can retry (or just keep appending).
+            self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+            self.obs.count("store.fault.compact", 1);
+            return Err(e);
+        }
 
         // The snapshot now owns the state; drop the log.
         let (ack_tx, ack_rx) = unbounded();
@@ -603,7 +644,7 @@ impl<K: StoreKey, V: StoreValue> Drop for Store<K, V> {
 /// The background flush loop: appends as they arrive, fsync on `Sync`,
 /// truncate on `Reset`, exit when every sender is gone. Append errors are
 /// remembered and surfaced at the next `Sync` ack.
-fn flush_loop(mut wal: WalFile, rx: Receiver<WalMsg>) {
+fn flush_loop(mut wal: WalFile, rx: Receiver<WalMsg>, fault: Arc<dyn FaultInjector>) {
     let mut pending_err: Option<io::Error> = None;
     while let Ok(msg) = rx.recv() {
         match msg {
@@ -615,7 +656,7 @@ fn flush_loop(mut wal: WalFile, rx: Receiver<WalMsg>) {
             WalMsg::Sync(ack) => {
                 let result = match pending_err.take() {
                     Some(e) => Err(e),
-                    None => wal.sync(),
+                    None => check_io(&*fault, FaultPoint::StoreFsync).and_then(|()| wal.sync()),
                 };
                 let _ = ack.send(result);
             }

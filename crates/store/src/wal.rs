@@ -19,6 +19,7 @@
 use std::fs::OpenOptions;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use tms_fault::{check_io, FaultInjector, FaultPoint};
 
 /// Bytes of the per-record header (`len` + `crc32`).
 pub const FRAME_HEADER: usize = 8;
@@ -135,13 +136,32 @@ pub fn scan_file(path: &Path) -> io::Result<ReadOutcome> {
 /// fsync'd first, then renamed over the destination, so a crash at any
 /// point leaves either the old file or the new one — never a torn mix.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    atomic_write_faulty(path, bytes, tms_fault::noop())
+}
+
+/// [`atomic_write`] with fault-injection hooks: the injector is consulted
+/// at the temp-file fsync ([`FaultPoint::StoreFsync`]) and at the
+/// publishing rename ([`FaultPoint::StoreRename`]). An injected failure
+/// removes the temp file and returns the canonical injected error — the
+/// destination is left exactly as it was, mirroring what a real crash at
+/// that step guarantees.
+pub fn atomic_write_faulty(path: &Path, bytes: &[u8], fault: &dyn FaultInjector) -> io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(".tmp.{}", std::process::id()));
     let tmp = std::path::PathBuf::from(tmp);
     let mut file = std::fs::File::create(&tmp)?;
     file.write_all(bytes)?;
+    if let Err(e) = check_io(fault, FaultPoint::StoreFsync) {
+        drop(file);
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
     file.sync_all()?;
     drop(file);
+    if let Err(e) = check_io(fault, FaultPoint::StoreRename) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
     match std::fs::rename(&tmp, path) {
         Ok(()) => Ok(()),
         Err(e) => {

@@ -210,3 +210,140 @@ proptest! {
         std::fs::remove_dir_all(&scratch).ok();
     }
 }
+
+/// Injected-failure variants of the crash suite: the compaction's
+/// `fsync` and `rename` are made to fail deterministically via the
+/// store's [`tms_fault::FaultInjector`] hook, and the previous
+/// generation (snapshot + WAL) must stay fully readable — exactly the
+/// guarantee the tear tests establish for power loss.
+mod injected_compaction_failures {
+    use super::*;
+    use std::sync::Arc;
+    use tms_fault::{FaultInjector, FaultPlan, FaultPoint};
+    use tms_obs::{NoopRecorder, Recorder};
+
+    fn open_with_plan(dir: &std::path::Path, plan: &Arc<FaultPlan>) -> TestStore {
+        let obs: Arc<dyn Recorder> = Arc::new(NoopRecorder);
+        let fault: Arc<dyn FaultInjector> = Arc::clone(plan) as Arc<dyn FaultInjector>;
+        Store::open_faulty(StoreConfig::at(dir), obs, fault).expect("open")
+    }
+
+    /// Copy every file of `dir` into a fresh `scratch` — the disk state
+    /// an independent process (or a post-crash restart) would see.
+    fn copy_dir(dir: &std::path::Path, scratch: &std::path::Path) {
+        std::fs::remove_dir_all(scratch).ok();
+        std::fs::create_dir_all(scratch).expect("scratch dir");
+        for entry in std::fs::read_dir(dir).expect("read dir") {
+            let entry = entry.expect("entry");
+            std::fs::copy(entry.path(), scratch.join(entry.file_name())).expect("copy");
+        }
+    }
+
+    /// Five entries — three folded into generation 1, two in the WAL —
+    /// then a compaction whose `point` is injected to fail. The failed
+    /// compaction must leave generation 1 plus the WAL describing all
+    /// five entries, and a retry after the fault clears must succeed.
+    fn failed_compaction_keeps_previous_generation(tag: &str, point: FaultPoint) {
+        let dir = unique_dir(tag);
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = Arc::new(FaultPlan::seeded(17));
+        let store = open_with_plan(&dir, &plan);
+        for i in 0..3 {
+            store.put(format!("module_{i}"), value_for(i)).expect("put");
+        }
+        store.checkpoint().expect("clean checkpoint");
+        assert_eq!(store.generation(), 1);
+        for i in 3..5 {
+            store.put(format!("module_{i}"), value_for(i)).expect("put");
+        }
+        store.flush().expect("flush");
+
+        plan.fail_next(point, 1);
+        let err = store
+            .compact()
+            .expect_err("the injected fault fails the compaction");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert_eq!(plan.injected(point), 1);
+        assert_eq!(
+            store.generation(),
+            1,
+            "the failed generation was never published"
+        );
+        assert_eq!(store.len(), 5, "in-memory state untouched");
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "no temp debris: {leftovers:?}");
+
+        // An independent open of the on-disk state right now — previous
+        // snapshot plus WAL — recovers every entry bit-identically.
+        let scratch = unique_dir(&format!("{tag}_copy"));
+        copy_dir(&dir, &scratch);
+        let reopened: TestStore = Store::open(StoreConfig::at(&scratch)).expect("reopen");
+        assert_eq!(reopened.len(), 5);
+        assert_eq!(reopened.generation(), 1);
+        for i in 0..5 {
+            assert_eq!(
+                reopened.get(&format!("module_{i}")).as_deref(),
+                Some(value_for(i).as_slice()),
+                "entry {i} must survive the failed compaction"
+            );
+        }
+
+        // The fault was transient: once it clears, the retry publishes.
+        plan.clear();
+        let report = store
+            .compact()
+            .expect("retry succeeds after the fault clears");
+        assert_eq!(report.generation, 2);
+        assert_eq!(store.len(), 5);
+
+        drop(store);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&scratch).ok();
+    }
+
+    #[test]
+    fn injected_fsync_failure_during_compaction() {
+        failed_compaction_keeps_previous_generation("compact_fsync", FaultPoint::StoreFsync);
+    }
+
+    #[test]
+    fn injected_rename_failure_during_compaction() {
+        failed_compaction_keeps_previous_generation("compact_rename", FaultPoint::StoreRename);
+    }
+
+    /// Rate-driven fsync faults on the flush thread: `flush` surfaces
+    /// the injected error, and once the plan clears the same store
+    /// fsyncs and persists everything.
+    #[test]
+    fn flush_surfaces_injected_fsync_failures_then_recovers() {
+        let dir = unique_dir("flush_fsync");
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = Arc::new(FaultPlan::seeded(9));
+        let store = open_with_plan(&dir, &plan);
+        store
+            .put("module_0".to_string(), value_for(0))
+            .expect("put");
+        store.flush().expect("healthy flush");
+
+        plan.set_rate(FaultPoint::StoreFsync, 1.0);
+        store
+            .put("module_1".to_string(), value_for(1))
+            .expect("append still works");
+        let err = store.flush().expect_err("every fsync is injected to fail");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+
+        plan.clear();
+        store.flush().expect("fsync works again");
+        drop(store);
+
+        let reopened: TestStore = Store::open(StoreConfig::at(&dir)).expect("reopen");
+        assert_eq!(reopened.len(), 2, "both entries made it to disk");
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

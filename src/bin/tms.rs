@@ -9,6 +9,8 @@
 //! tms client <endpoint> [opts]         query a running service
 //! tms store <inspect|compact|verify>   manage a persistent macro library
 //! tms report --trace <path>            render a JSONL trace as a phase table
+//! tms chaos [opts]                     fault-injection drill: serve under a
+//!                                      seeded fault plan, show recovery
 //!
 //! options:
 //!   --device <xc7z010|xc7z020|xc7z030|xc7z045|xc7z100>   (default xc7z045)
@@ -47,6 +49,19 @@
 //!   --target <N>         module size in slices (default 60)
 //!   --name <s>           module name (default the role label)
 //!   --cf <x>             constant CF; omit for minimal-CF search
+//!   --timeout <secs>     reply deadline (default 120); the connect
+//!                        timeout is 5 s — a dead server never hangs you
+//!
+//! chaos options (an in-process server is bombarded under a seeded
+//! fault plan, then the faults are lifted to demonstrate recovery):
+//!   --seed <N>           fault-plan seed — same seed, same faults
+//!   --requests <N>       requests to fire under faults (default 40)
+//!   --place-rate <x>     flow.place fault probability   (default 0.25)
+//!   --append-rate <x>    store.append fault probability (default 0)
+//!   --fsync-rate <x>     store.fsync fault probability  (default 0.1)
+//!   --read-rate <x>      serve.read fault probability   (default 0.05)
+//!   --attempts <N>       server retry budget            (default 6)
+//!   --store <dir>        run the drill against a persistent library
 //! ```
 
 use std::collections::HashMap;
@@ -57,7 +72,9 @@ use tailored_macro_sizes::flow::experiments::common::Scale;
 use tailored_macro_sizes::flow::{coverage_line, render_cost_trace, render_stitched};
 use tailored_macro_sizes::obs::{read_trace, JsonlSink, Recorder};
 use tailored_macro_sizes::route::{route_stitched_observed, RouterConfig};
-use tailored_macro_sizes::serve::{serve, Client, ModuleSpec, ServeConfig};
+use tailored_macro_sizes::serve::{
+    serve, Client, ClientConfig, ClientError, ModuleSpec, ServeConfig,
+};
 use tailored_macro_sizes::MacroSizingFlow;
 
 fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
@@ -348,6 +365,7 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         store: store_dir
             .as_ref()
             .map(|dir| tailored_macro_sizes::store::StoreConfig::at(dir.as_str())),
+        ..ServeConfig::default()
     };
     let workers = config.workers;
     match serve(config, estimator, features) {
@@ -427,7 +445,11 @@ fn cmd_store(args: &[String], flags: &HashMap<String, String>) {
 fn cmd_client(args: &[String], flags: &HashMap<String, String>) {
     let default_addr = format!("127.0.0.1:{}", num(flags, "port", 7245));
     let addr = flags.get("addr").unwrap_or(&default_addr);
-    let mut client = match Client::connect(addr.as_str()) {
+    let client_config = ClientConfig {
+        read_timeout: Some(std::time::Duration::from_secs(num(flags, "timeout", 120))),
+        ..ClientConfig::default()
+    };
+    let mut client = match Client::connect_with(addr.as_str(), client_config) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("could not connect to {addr}: {e}");
@@ -475,6 +497,133 @@ fn cmd_client(args: &[String], flags: &HashMap<String, String>) {
     }
 }
 
+/// A fault-injection drill against an in-process server: arm a seeded
+/// [`FaultPlan`](tailored_macro_sizes::fault::FaultPlan), fire a burst of
+/// requests (tolerating injected failures), print the plan's accounting
+/// and the server's robustness counters, then lift every fault and show
+/// the service recovering. The same seed reproduces the same faults.
+fn cmd_chaos(flags: &HashMap<String, String>) {
+    use std::sync::Arc;
+    use tailored_macro_sizes::fault::{FaultPlan, FaultPoint, Retry};
+
+    let rate = |key: &str, default: f64| -> f64 {
+        flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+            .clamp(0.0, 1.0)
+    };
+    let seed = num(flags, "seed", 2024);
+    let requests = num(flags, "requests", 40);
+    let features = features_of(flags);
+    let device = device_of(flags);
+    let device_name = device.name().to_string();
+
+    println!("training a quick estimator for the chaos run ...");
+    let flow = MacroSizingFlow::new(device.clone())
+        .with_estimator(estimator_of(flags))
+        .with_feature_set(features)
+        .with_dataset_size(num(flags, "dataset", 150) as usize)
+        .with_seed(seed);
+    let (estimator, _) = flow.train().into_parts();
+
+    let plan = Arc::new(FaultPlan::seeded(seed));
+    plan.set_rate(FaultPoint::FlowPlace, rate("place-rate", 0.25));
+    plan.set_rate(FaultPoint::StoreAppend, rate("append-rate", 0.0));
+    plan.set_rate(FaultPoint::StoreFsync, rate("fsync-rate", 0.1));
+    plan.set_rate(FaultPoint::ServeRead, rate("read-rate", 0.05));
+
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: num(flags, "workers", 4) as usize,
+        retry: Retry::attempts(num(flags, "attempts", 6) as u32),
+        ..ServeConfig::default()
+    };
+    if let Some(dir) = flags.get("store") {
+        config = config.with_store_dir(dir.as_str());
+    }
+    let config = config.with_fault(Arc::clone(&plan));
+    let handle = match serve(config, estimator, features) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("could not start the chaos target: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.addr();
+    println!("chaos target listening on {addr} (fault seed {seed})");
+
+    let roles = [
+        ModuleRole::Mvau,
+        ModuleRole::Activation,
+        ModuleRole::SlidingWindow,
+        ModuleRole::MaxPool,
+    ];
+    let spec_for = |i: u64| {
+        let role = roles[(i as usize) % roles.len()];
+        ModuleSpec {
+            role,
+            target_slices: 24 + ((i % 5) as u32) * 8,
+            name: format!("chaos_{}_{}", role.label(), i % 7),
+            seed,
+        }
+    };
+
+    let (mut ok, mut server_errors, mut dropped) = (0u64, 0u64, 0u64);
+    let mut client = Client::connect(addr).ok();
+    for i in 0..requests {
+        if client.is_none() {
+            client = Client::connect(addr).ok();
+        }
+        let Some(c) = client.as_mut() else {
+            dropped += 1;
+            continue;
+        };
+        match c.preimpl(&spec_for(i), &device_name, None) {
+            Ok(_) => ok += 1,
+            Err(ClientError::Remote(_)) => server_errors += 1,
+            Err(_) => {
+                // The connection died (e.g. an injected serve.read
+                // fault): reconnect on the next round.
+                dropped += 1;
+                client = None;
+            }
+        }
+    }
+    println!(
+        "under faults: {ok} ok, {server_errors} structured errors, {dropped} dropped \
+         connections (of {requests} requests — the server never crashed)"
+    );
+    println!("fault-plan accounting (point / consults / injected):");
+    for (point, hits, injected) in plan.report() {
+        if hits > 0 {
+            println!("  {:<13} {hits:>8} {injected:>8}", point.label());
+        }
+    }
+
+    // Lift every fault: the same server must serve cleanly again.
+    plan.clear();
+    let mut recovered = 0u64;
+    for i in 0..8 {
+        let healthy = Client::connect(addr)
+            .ok()
+            .and_then(|mut c| c.preimpl(&spec_for(i), &device_name, None).ok());
+        if healthy.is_some() {
+            recovered += 1;
+        }
+    }
+    println!("after clearing faults: {recovered}/8 requests succeeded");
+    match Client::connect(addr) {
+        Ok(mut c) => match c.stats() {
+            Ok(stats) => println!("robustness report:\n{}", to_pretty(&stats.robustness)),
+            Err(e) => eprintln!("stats failed: {e}"),
+        },
+        Err(e) => eprintln!("reconnect failed: {e}"),
+    }
+    handle.stop();
+    println!("chaos run complete");
+}
+
 fn to_pretty<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("unprintable reply: {e}"))
 }
@@ -491,9 +640,10 @@ fn main() {
         Some("client") => cmd_client(&positional[1..], &flags),
         Some("store") => cmd_store(&positional[1..], &flags),
         Some("report") => cmd_report(&flags),
+        Some("chaos") => cmd_chaos(&flags),
         _ => {
             eprintln!(
-                "usage: tms <devices|train|compile|experiments|serve|client|store|report> \
+                "usage: tms <devices|train|compile|experiments|serve|client|store|report|chaos> \
                  [options]"
             );
             eprintln!("see the module docs in src/bin/tms.rs for the option list");

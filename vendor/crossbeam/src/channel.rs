@@ -22,6 +22,25 @@ impl<T> fmt::Display for SendError<T> {
     }
 }
 
+/// Error returned by [`Sender::try_send`]. Carries the unsent message
+/// back to the caller in both variants.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity right now.
+    Full(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
 /// Error returned by [`Receiver::recv`] when the channel is empty and
 /// all senders are gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +147,25 @@ impl<T> Sender<T> {
                         .unwrap_or_else(|p| p.into_inner());
                 }
                 _ => break,
+            }
+        }
+        queue.push_back(msg);
+        drop(queue);
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Deliver a message without blocking: a full bounded channel returns
+    /// [`TrySendError::Full`] immediately instead of waiting for room.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let shared = &*self.shared;
+        let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        if shared.disconnected_rx() {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = shared.cap {
+            if queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
             }
         }
         queue.push_back(msg);
@@ -347,6 +385,17 @@ mod tests {
         assert_eq!(rx.recv(), Ok(2));
         assert_eq!(rx.recv(), Ok(3));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]

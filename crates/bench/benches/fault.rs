@@ -22,6 +22,7 @@ fn cfg() -> RwFlowConfig<'static> {
         use_shape_report: true,
         model: PlacementModel::default(),
         stitch: StitchConfig::fast(3),
+        portfolio: None,
         seed: 3,
         obs: tms_core::obs::noop(),
     }

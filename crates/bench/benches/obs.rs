@@ -19,6 +19,7 @@ fn cfg(obs: &dyn Recorder) -> RwFlowConfig<'_> {
         use_shape_report: true,
         model: PlacementModel::default(),
         stitch: StitchConfig::fast(3),
+        portfolio: None,
         seed: 3,
         obs,
     }

@@ -13,6 +13,8 @@
 //!   congestion model, and the flat vendor-style baseline;
 //! * [`timing`] — longest-path estimation;
 //! * [`pblock`] — the Figure-1 PBlock generator and CF searches;
+//! * [`search`] — the deterministic multi-lane search portfolio (SA +
+//!   evolutionary lanes with best-result exchange);
 //! * [`stitch`] — the simulated-annealing macro stitcher;
 //! * [`route`] — negotiated global routing of the stitched design;
 //! * [`ml`] — from-scratch linear regression, MLP, CART tree and random
@@ -58,6 +60,7 @@ pub use tms_pblock as pblock;
 pub use tms_place as place;
 pub use tms_route as route;
 pub use tms_rtlgen as rtlgen;
+pub use tms_search as search;
 pub use tms_serve as serve;
 pub use tms_stitch as stitch;
 pub use tms_store as store;
@@ -247,6 +250,7 @@ impl MacroSizingFlow {
                 max_moves: self.sa_moves,
                 ..StitchConfig::standard(self.seed)
             },
+            portfolio: None,
             seed: self.seed,
             obs: self.obs(),
         };

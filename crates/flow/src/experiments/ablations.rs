@@ -204,6 +204,7 @@ pub fn run(scale: &Scale) -> Ablations {
         use_shape_report: true,
         model,
         stitch: scale.stitch_config(scale.seed),
+        portfolio: None,
         obs: tms_obs::noop(),
         seed: scale.seed,
     };

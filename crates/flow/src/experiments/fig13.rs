@@ -95,6 +95,7 @@ pub fn run(scale: &Scale) -> Fig13 {
         use_shape_report: true,
         model: PlacementModel::default(),
         stitch: scale.stitch_config(scale.seed),
+        portfolio: None,
         obs: tms_obs::noop(),
         seed: scale.seed,
     };

@@ -63,6 +63,7 @@ pub fn run(scale: &Scale) -> Fig5 {
         use_shape_report: true,
         model: PlacementModel::default(),
         stitch: scale.stitch_config(scale.seed),
+        portfolio: None,
         obs: tms_obs::noop(),
         seed: scale.seed,
     };

@@ -37,6 +37,7 @@ pub mod experiments;
 pub mod render;
 pub mod resilient;
 pub mod rwflow;
+pub mod stitchbench;
 
 pub use amd::{run_amd_flow, AmdFlowConfig, AmdFlowResult};
 pub use cache::{
@@ -48,4 +49,8 @@ pub use resilient::{implement_module_resilient, run_rw_flow_cached_resilient, Re
 pub use rwflow::{
     implement_module, run_rw_flow, stitch_implemented, CfPolicy, ImplementedModule, RwFlowConfig,
     RwFlowResult,
+};
+pub use stitchbench::{
+    bench_problem, check_regression, run_stitch_bench, RunStats, StitchBenchConfig,
+    StitchBenchReport,
 };

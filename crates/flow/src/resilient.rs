@@ -146,6 +146,7 @@ mod tests {
             use_shape_report: true,
             model: PlacementModel::default(),
             stitch: StitchConfig::fast(seed),
+            portfolio: None,
             obs: tms_obs::noop(),
             seed,
         }

@@ -8,7 +8,11 @@ use tms_pblock::{
     guided_search_observed, min_feasible_cf_observed, CfSearch, PBlock, PBlockGenerator,
 };
 use tms_place::{detail::module_key, place_in_region, quick_place, Placement, PlacementModel};
-use tms_stitch::{stitch_observed, MacroBlock, StitchConfig, StitchProblem, StitchResult};
+use tms_search::PortfolioConfig;
+use tms_stitch::{
+    stitch_observed, stitch_portfolio_observed, MacroBlock, StitchConfig, StitchProblem,
+    StitchResult,
+};
 use tms_synth::pack;
 use tms_timing::{estimate, TimingModel, TimingReport};
 
@@ -36,8 +40,11 @@ pub struct RwFlowConfig<'a> {
     pub use_shape_report: bool,
     /// Placement-model constants.
     pub model: PlacementModel,
-    /// Stitcher schedule.
+    /// Stitcher schedule (single-run anneal).
     pub stitch: StitchConfig,
+    /// When set, stitch with the multi-lane search portfolio instead of
+    /// the single-run anneal. `stitch` is ignored for that phase.
+    pub portfolio: Option<PortfolioConfig>,
     /// Seed for placer jitter.
     pub seed: u64,
     /// Telemetry sink every stage records through. Defaults to
@@ -53,6 +60,7 @@ impl<'a> RwFlowConfig<'a> {
             use_shape_report: true,
             model: PlacementModel::default(),
             stitch: StitchConfig::standard(seed),
+            portfolio: None,
             seed,
             obs: noop(),
         }
@@ -61,6 +69,12 @@ impl<'a> RwFlowConfig<'a> {
     /// The same configuration recording through `obs`.
     pub fn with_recorder(mut self, obs: &'a dyn Recorder) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// The same configuration stitching with the search portfolio.
+    pub fn with_portfolio(mut self, portfolio: PortfolioConfig) -> Self {
+        self.portfolio = Some(portfolio);
         self
     }
 }
@@ -298,7 +312,10 @@ pub fn stitch_implemented(
     cfg.obs
         .count("flow.modules.implemented", implemented.len() as u64);
     cfg.obs.count("flow.modules.failed", failed.len() as u64);
-    let stitch_result = stitch_observed(device, &problem, &cfg.stitch, cfg.obs);
+    let stitch_result = match &cfg.portfolio {
+        Some(pcfg) => stitch_portfolio_observed(device, &problem, pcfg, cfg.obs).0,
+        None => stitch_observed(device, &problem, &cfg.stitch, cfg.obs),
+    };
     RwFlowResult {
         implemented,
         failed,
@@ -319,9 +336,34 @@ mod tests {
             use_shape_report: true,
             model: PlacementModel::deterministic(),
             stitch: StitchConfig::fast(seed),
+            portfolio: None,
             seed,
             obs: noop(),
         }
+    }
+
+    #[test]
+    fn portfolio_stitch_is_deterministic_across_thread_counts() {
+        let design = cnvw1a1(1);
+        let dev = Device::xc7z020();
+        let portfolio = |threads: usize| tms_search::PortfolioConfig {
+            rounds: 3,
+            moves_per_round: 1_500,
+            stall_stop: 0,
+            threads,
+            ..tms_search::PortfolioConfig::new(9)
+        };
+        let mut cfg = quick_cfg(CfPolicy::Constant(1.72), 1);
+        cfg.portfolio = Some(portfolio(1));
+        let a = run_rw_flow(&design, &dev, &cfg);
+        cfg.portfolio = Some(portfolio(8));
+        let b = run_rw_flow(&design, &dev, &cfg);
+        assert!(a.failed.is_empty());
+        assert_eq!(
+            a.stitch.positions, b.stitch.positions,
+            "thread count changed the stitched placement"
+        );
+        assert_eq!(a.stitch.final_cost, b.stitch.final_cost);
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! The evolutionary lane: crossover + mutation over whole solutions with
+//! elitist truncation selection, per RapidLayout's FPGA hard-block placer.
+
+use crate::derive_seed;
+use crate::problem::{Score, SearchProblem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Evolutionary-lane parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EaParams {
+    /// Population size.
+    pub population: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Probability an offspring is mutated after crossover.
+    pub mutation_rate: f64,
+    /// Mutation strength (approximate number of random moves applied).
+    pub mutation_strength: u32,
+    /// Move-budget cost charged per offspring (crossover + full
+    /// re-score), used to convert the portfolio's per-round move budget
+    /// into an offspring count so SA and EA lanes burn comparable time.
+    pub moves_per_offspring: u64,
+}
+
+impl Default for EaParams {
+    fn default() -> Self {
+        EaParams {
+            population: 8,
+            tournament: 3,
+            mutation_rate: 0.85,
+            mutation_strength: 24,
+            moves_per_offspring: 96,
+        }
+    }
+}
+
+/// One evolutionary lane of the portfolio.
+pub struct EaLane<'p, P: SearchProblem> {
+    problem: &'p P,
+    rng: StdRng,
+    params: EaParams,
+    /// Population, kept sorted best-first (deterministic tie-break on
+    /// insertion order).
+    population: Vec<(P::Solution, Score)>,
+    best_score: Score,
+    improved_this_round: bool,
+    pub(crate) offspring: u64,
+    pub(crate) moves: u64,
+}
+
+impl<'p, P: SearchProblem> EaLane<'p, P> {
+    /// Build a lane: seed a population of independent initial solutions.
+    pub fn new(problem: &'p P, seed: u64, params: EaParams) -> Self {
+        let pop_n = params.population.max(2);
+        let population: Vec<P::Solution> = (0..pop_n as u64)
+            .map(|i| problem.initial(derive_seed(seed, i)))
+            .collect();
+        Self::with_population(problem, seed, params, population)
+    }
+
+    /// Build a lane from a shared base solution: the population is the
+    /// base plus mutated clones. The portfolio uses this because for
+    /// placement-sized problems constructing a solution costs more than
+    /// an entire lane round.
+    pub fn with_base(problem: &'p P, seed: u64, params: EaParams, base: P::Solution) -> Self {
+        let pop_n = params.population.max(2);
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, u64::MAX));
+        let population: Vec<P::Solution> = (0..pop_n)
+            .map(|i| {
+                let mut s = base.clone();
+                if i > 0 {
+                    problem.mutate(&mut s, params.mutation_strength, &mut rng);
+                }
+                s
+            })
+            .collect();
+        Self::with_population(problem, seed, params, population)
+    }
+
+    fn with_population(
+        problem: &'p P,
+        seed: u64,
+        params: EaParams,
+        members: Vec<P::Solution>,
+    ) -> Self {
+        let rng = StdRng::seed_from_u64(seed);
+        let mut population: Vec<(P::Solution, Score)> = members
+            .into_iter()
+            .map(|s| {
+                let sc = problem.score(&s);
+                (s, sc)
+            })
+            .collect();
+        sort_population(&mut population);
+        let best_score = population[0].1;
+        EaLane {
+            problem,
+            rng,
+            params,
+            population,
+            best_score,
+            improved_this_round: false,
+            offspring: 0,
+            moves: 0,
+        }
+    }
+
+    fn tournament_pick(&mut self) -> usize {
+        let n = self.population.len();
+        let mut winner = self.rng.gen_range(0..n);
+        for _ in 1..self.params.tournament.max(1) {
+            let c = self.rng.gen_range(0..n);
+            // Population is sorted best-first: a smaller index wins.
+            winner = winner.min(c);
+        }
+        winner
+    }
+
+    /// Run one portfolio round worth of generations: `budget` is the
+    /// portfolio's per-lane move budget, converted to offspring via
+    /// [`EaParams::moves_per_offspring`].
+    pub fn run_round(&mut self, budget: u64) {
+        self.improved_this_round = false;
+        let children = (budget / self.params.moves_per_offspring.max(1)).max(1);
+        for _ in 0..children {
+            self.offspring += 1;
+            self.moves += self.params.moves_per_offspring;
+            let ia = self.tournament_pick();
+            let ib = self.tournament_pick();
+            let mut child = {
+                let (a, _) = &self.population[ia];
+                let (b, _) = &self.population[ib];
+                self.problem.crossover(a, b, &mut self.rng)
+            };
+            if self.rng.gen::<f64>() < self.params.mutation_rate {
+                self.problem
+                    .mutate(&mut child, self.params.mutation_strength, &mut self.rng);
+            }
+            let score = self.problem.score(&child);
+            // Elitist steady-state insert: replace the current worst if
+            // the child beats it.
+            let worst = self.population.len() - 1;
+            if score.better_than(&self.population[worst].1) {
+                self.population.pop();
+                let at = self
+                    .population
+                    .partition_point(|(_, s)| !score.better_than(s));
+                self.population.insert(at, (child, score));
+                if score.better_than(&self.best_score) {
+                    self.best_score = score;
+                    self.improved_this_round = true;
+                }
+            }
+        }
+    }
+
+    /// Best individual in the population.
+    pub fn best(&self) -> (&P::Solution, Score) {
+        let (s, sc) = &self.population[0];
+        (s, *sc)
+    }
+
+    /// Exchange step: inject the portfolio's global best into the
+    /// population (replacing the worst individual) when it is strictly
+    /// better than the lane's own best. Returns `true` on adoption.
+    pub fn on_exchange(&mut self, global_best: &P::Solution, global_score: Score) -> bool {
+        if !global_score.better_than(&self.best_score) {
+            return false;
+        }
+        self.population.pop();
+        self.population
+            .insert(0, (global_best.clone(), global_score));
+        self.best_score = global_score;
+        true
+    }
+}
+
+fn sort_population<S>(population: &mut [(S, Score)]) {
+    // Stable sort + strict `better_than` gives a deterministic order even
+    // among equal scores (insertion order breaks ties).
+    population.sort_by(|a, b| {
+        if a.1.better_than(&b.1) {
+            std::cmp::Ordering::Less
+        } else if b.1.better_than(&a.1) {
+            std::cmp::Ordering::Greater
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::ToyProblem;
+
+    #[test]
+    fn ea_lane_improves() {
+        let p = ToyProblem::new(32, 4);
+        let mut lane = EaLane::new(&p, 5, EaParams::default());
+        let before = lane.best().1;
+        for _ in 0..12 {
+            lane.run_round(4_000);
+        }
+        let after = lane.best().1;
+        assert!(after.cost <= before.cost);
+        assert!(lane.offspring > 0);
+    }
+
+    #[test]
+    fn population_stays_sorted_best_first() {
+        let p = ToyProblem::new(24, 6);
+        let mut lane = EaLane::new(&p, 9, EaParams::default());
+        for _ in 0..6 {
+            lane.run_round(1_000);
+            for w in lane.population.windows(2) {
+                assert!(!w[1].1.better_than(&w[0].1), "population out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_injects_strictly_better_solutions() {
+        let p = ToyProblem::new(24, 6);
+        let mut lane = EaLane::new(&p, 9, EaParams::default());
+        let perfect = p.perfect();
+        let score = p.score(&perfect);
+        assert!(lane.on_exchange(&perfect, score));
+        assert_eq!(lane.best().1.cost, 0.0);
+        // A second, equal-quality exchange is a no-op.
+        assert!(!lane.on_exchange(&perfect, score));
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let p = ToyProblem::new(24, 2);
+        let run = |seed| {
+            let mut lane = EaLane::new(&p, seed, EaParams::default());
+            for _ in 0..5 {
+                lane.run_round(2_000);
+            }
+            (lane.best().1.cost, lane.offspring)
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

@@ -1,0 +1,104 @@
+//! # tms-search — deadline-budgeted parallel metaheuristic portfolio
+//!
+//! The stitching step of the tailored-macro flow is a combinatorial
+//! search: find the lowest-wirelength legal placement of replicated
+//! macros. A single simulated-annealing run leaves two levers unused —
+//! wall-clock parallelism and algorithmic diversity. This crate provides
+//! both as a *portfolio*: N concurrent lanes (multi-seed simulated
+//! annealing plus an evolutionary lane) race on the same
+//! [`SearchProblem`], periodically exchanging their best results, and the
+//! portfolio returns the best solution any lane ever visited.
+//!
+//! The lanes implement the classic machinery from the job-shop SA
+//! literature and from RapidLayout's FPGA hard-block placer:
+//!
+//! * **Aarts/Van Laarhoven statistical initial temperature** — T₀ is
+//!   estimated from sampled uphill move costs so a configured start
+//!   acceptance ratio holds ([`SaParams::start_acceptance`]);
+//! * **equilibrium-sized inner loops** — moves per temperature step scale
+//!   with the problem's neighbourhood size
+//!   ([`SearchProblem::neighborhood`]), per Van Laarhoven/Aarts/Lenstra;
+//! * **Cruz-Chávez restart-on-stall** — a lane whose own best has not
+//!   improved for [`SaParams::stall_rounds`] exchange rounds restarts
+//!   from the portfolio's global best (the running upper bound) at a
+//!   reheated temperature;
+//! * **an evolutionary lane** — order-style crossover and mutation over
+//!   solutions, elitist truncation selection, per RapidLayout.
+//!
+//! ## Determinism contract
+//!
+//! The portfolio is organised in *rounds* separated by barriers. Within a
+//! round every lane runs independently on its own seeded RNG; all
+//! cross-lane data flow (best-result exchange, win accounting, restart
+//! decisions) happens sequentially at the barrier. Consequently the
+//! outcome is a pure function of `(problem, seed, lane plan, rounds
+//! actually run)` — **the same seed yields bit-identical results on 1
+//! thread and on 64**. The wall-clock deadline can only end the run at a
+//! round boundary, so a deadline-limited run equals a budget-limited run
+//! of however many rounds fit; see `DESIGN.md` § "Search portfolio".
+//!
+//! ```
+//! use tms_search::{run_portfolio, PortfolioConfig};
+//! use tms_search::toy::ToyProblem;
+//!
+//! let problem = ToyProblem::new(64, 9);
+//! let mut cfg = PortfolioConfig::new(7);
+//! cfg.rounds = 4;
+//! cfg.moves_per_round = 2_000;
+//! let a = run_portfolio(&problem, &cfg);
+//! cfg.threads = 8;
+//! let b = run_portfolio(&problem, &cfg);
+//! assert_eq!(a.best, b.best); // thread-count invariant
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ea;
+pub mod portfolio;
+pub mod problem;
+mod proptests;
+pub mod sa;
+pub mod toy;
+
+pub use ea::{EaLane, EaParams};
+pub use portfolio::{
+    run_portfolio, run_portfolio_observed, LaneKind, LaneReport, PortfolioConfig, PortfolioOutcome,
+};
+pub use problem::{Proposal, Score, SearchProblem};
+pub use sa::{SaLane, SaParams};
+
+/// SplitMix64 step — the standard 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive lane `index`'s RNG seed from the portfolio seed.
+///
+/// Lanes must be decorrelated (a shared or offset-by-one seed would make
+/// multi-seed SA pointless) yet reproducible from the single portfolio
+/// seed. SplitMix64 over `seed ⊕ golden·(index+1)` gives 64 independent
+/// streams per portfolio seed.
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    splitmix64(seed ^ index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..64).map(|i| derive_seed(42, i)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64, "lane seeds collide");
+        // Stable across calls (pure function).
+        assert_eq!(derive_seed(42, 3), seeds[3]);
+        // Different portfolio seeds give different lane seeds.
+        assert_ne!(derive_seed(42, 0), derive_seed(43, 0));
+    }
+}

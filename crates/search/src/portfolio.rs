@@ -1,0 +1,604 @@
+//! The portfolio driver: N lanes, round barriers, deterministic
+//! best-result exchange, deadline budgeting, telemetry.
+
+use crate::derive_seed;
+use crate::ea::{EaLane, EaParams};
+use crate::problem::{Score, SearchProblem};
+use crate::sa::{SaLane, SaParams};
+use std::time::{Duration, Instant};
+use tms_obs::{span, Phase, Recorder};
+
+/// Portfolio configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioConfig {
+    /// Portfolio seed. Lane seeds derive from it ([`derive_seed`]); the
+    /// outcome is a pure function of `(problem, seed, lane plan, rounds
+    /// run)` — identical for every thread count.
+    pub seed: u64,
+    /// Number of simulated-annealing lanes.
+    pub sa_lanes: usize,
+    /// Number of evolutionary lanes.
+    pub ea_lanes: usize,
+    /// Worker threads; `0` = one per available core. Affects wall-clock
+    /// only, never results.
+    pub threads: usize,
+    /// Maximum exchange rounds.
+    pub rounds: u32,
+    /// Per-lane move budget per round.
+    pub moves_per_round: u64,
+    /// Optional wall-clock budget. Checked only at round barriers by the
+    /// coordinator, so granularity (and overshoot tolerance) is one
+    /// round; at least one round always runs.
+    pub deadline: Option<Duration>,
+    /// Stop early once this many consecutive rounds pass without any
+    /// global-best improvement. `0` disables early stop.
+    pub stall_stop: u32,
+    /// SA lane parameters.
+    pub sa: SaParams,
+    /// EA lane parameters.
+    pub ea: EaParams,
+}
+
+impl PortfolioConfig {
+    /// Default portfolio: 3 SA lanes + 1 EA lane, 24 rounds of 4096
+    /// moves per lane, early stop after 3 idle rounds, no deadline.
+    pub fn new(seed: u64) -> Self {
+        PortfolioConfig {
+            seed,
+            sa_lanes: 3,
+            ea_lanes: 1,
+            threads: 0,
+            rounds: 24,
+            moves_per_round: 4_096,
+            deadline: None,
+            stall_stop: 3,
+            sa: SaParams::default(),
+            ea: EaParams::default(),
+        }
+    }
+
+    /// A single SA lane with no exchange — the ablation baseline.
+    pub fn single(seed: u64) -> Self {
+        PortfolioConfig {
+            sa_lanes: 1,
+            ea_lanes: 0,
+            ..PortfolioConfig::new(seed)
+        }
+    }
+
+    /// Set the wall-clock budget in milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline = Some(Duration::from_millis(ms));
+        self
+    }
+
+    fn lane_count(&self) -> usize {
+        (self.sa_lanes + self.ea_lanes).max(1)
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// What kind of search a lane ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneKind {
+    /// Simulated annealing.
+    Sa,
+    /// Evolutionary search.
+    Ea,
+}
+
+impl LaneKind {
+    /// Short label for reports and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LaneKind::Sa => "sa",
+            LaneKind::Ea => "ea",
+        }
+    }
+}
+
+/// Per-lane accounting, reported by [`PortfolioOutcome`].
+#[derive(Debug, Clone)]
+pub struct LaneReport {
+    /// SA or EA.
+    pub kind: LaneKind,
+    /// The lane's derived RNG seed.
+    pub seed: u64,
+    /// Cost of the lane's initial solution.
+    pub initial_cost: f64,
+    /// Best score the lane itself reached.
+    pub best_score: Score,
+    /// Rounds in which this lane held the portfolio-wide best.
+    pub wins: u32,
+    /// Cruz-Chávez restarts taken (SA lanes).
+    pub restarts: u64,
+    /// Times the lane adopted the exchanged global best.
+    pub adoptions: u64,
+    /// Accepted moves (SA) — 0 for EA lanes.
+    pub accepted: u64,
+    /// Rejected moves (SA) — 0 for EA lanes.
+    pub rejected: u64,
+    /// Illegal (occupied-target) proposals.
+    pub illegal: u64,
+    /// Total move budget the lane consumed.
+    pub moves: u64,
+    /// Offspring evaluated (EA lanes).
+    pub offspring: u64,
+    /// Per-round temperature trajectory (SA lanes; empty for EA).
+    pub temps: Vec<f64>,
+}
+
+/// Result of a portfolio run.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome<S> {
+    /// The best solution any lane visited.
+    pub best: S,
+    /// Its score.
+    pub best_score: Score,
+    /// Index of the lane that produced it.
+    pub winner: usize,
+    /// Exchange rounds actually run.
+    pub rounds_run: u32,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Whether the deadline ended the run before the round budget.
+    pub deadline_hit: bool,
+    /// Whether the stall-stop rule ended the run.
+    pub stalled_out: bool,
+    /// Sum of every lane's consumed move budget.
+    pub total_moves: u64,
+    /// Exchange barriers executed.
+    pub exchanges: u64,
+    /// Global-best adoptions across all lanes.
+    pub adoptions: u64,
+    /// Per-lane reports, in lane order (SA lanes first, then EA).
+    pub lanes: Vec<LaneReport>,
+    /// Global best cost after each round, as `(cumulative moves, cost)`.
+    pub trace: Vec<(u64, f64)>,
+}
+
+/// One lane: either kind, unified for the round driver.
+enum Lane<'p, P: SearchProblem> {
+    Sa(SaLane<'p, P>),
+    Ea(EaLane<'p, P>),
+}
+
+impl<'p, P: SearchProblem> Lane<'p, P> {
+    fn run_round(&mut self, budget: u64) {
+        match self {
+            Lane::Sa(l) => l.run_round(budget),
+            Lane::Ea(l) => l.run_round(budget),
+        }
+    }
+
+    fn best(&self) -> (&P::Solution, Score) {
+        match self {
+            Lane::Sa(l) => l.best(),
+            Lane::Ea(l) => l.best(),
+        }
+    }
+
+    fn on_exchange(&mut self, global: &P::Solution, score: Score) -> bool {
+        match self {
+            Lane::Sa(l) => l.on_exchange(global, score),
+            Lane::Ea(l) => l.on_exchange(global, score),
+        }
+    }
+
+    fn kind(&self) -> LaneKind {
+        match self {
+            Lane::Sa(_) => LaneKind::Sa,
+            Lane::Ea(_) => LaneKind::Ea,
+        }
+    }
+}
+
+/// Run the lanes' current round, fanning out across up to `threads`
+/// worker threads. Lanes never share mutable state, so any chunking
+/// yields the same per-lane results — parallelism is invisible to the
+/// outcome.
+fn run_lanes_round<P: SearchProblem>(lanes: &mut [Lane<'_, P>], threads: usize, budget: u64) {
+    if threads <= 1 || lanes.len() <= 1 {
+        for lane in lanes {
+            lane.run_round(budget);
+        }
+        return;
+    }
+    let chunk = lanes.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for lane_chunk in lanes.chunks_mut(chunk) {
+            scope.spawn(move || {
+                for lane in lane_chunk {
+                    lane.run_round(budget);
+                }
+            });
+        }
+    });
+}
+
+/// Run the portfolio on `problem` (no telemetry).
+pub fn run_portfolio<P: SearchProblem>(
+    problem: &P,
+    cfg: &PortfolioConfig,
+) -> PortfolioOutcome<P::Solution> {
+    run_portfolio_observed(problem, cfg, tms_obs::noop())
+}
+
+/// Run the portfolio, recording lane/exchange telemetry through `obs`:
+/// a `stitch`-phase span (`search.portfolio`) plus the `search.*`
+/// counters and observations (rounds, restarts, adoptions, per-kind lane
+/// wins, best cost, final temperatures).
+pub fn run_portfolio_observed<P: SearchProblem>(
+    problem: &P,
+    cfg: &PortfolioConfig,
+    obs: &dyn Recorder,
+) -> PortfolioOutcome<P::Solution> {
+    let started = Instant::now();
+    let mut sp = span(obs, Phase::Stitch, "search.portfolio");
+
+    // Build the lane plan: SA lanes first, then EA lanes; seeds derive
+    // from the portfolio seed by lane index.
+    let sa_lanes = if cfg.sa_lanes + cfg.ea_lanes == 0 {
+        1
+    } else {
+        cfg.sa_lanes
+    };
+    // Budget-aware equilibrium: when no explicit inner-loop length is
+    // configured, size it so the planned per-lane budget spans a full
+    // cooling trajectory (~60 temperature steps), never longer than the
+    // problem's own equilibrium. A neighbourhood-sized inner loop that
+    // exceeds the whole budget would otherwise leave the lane at T₀ for
+    // its entire run.
+    let mut sa_params = cfg.sa;
+    if sa_params.inner_moves == 0 {
+        let lane_budget = u64::from(cfg.rounds).saturating_mul(cfg.moves_per_round);
+        let equilibrium = problem.neighborhood().clamp(64, 16_384);
+        sa_params.inner_moves = (lane_budget / 60).clamp(32, equilibrium.max(32));
+    }
+    // One shared greedy base solution: for placement-sized problems,
+    // construction costs more than an entire lane round, so every lane
+    // starts from a clone and diverges through its own RNG stream (the
+    // EA additionally mutates its population members).
+    let base = problem.initial(cfg.seed);
+    let mut lanes: Vec<Lane<'_, P>> = Vec::with_capacity(cfg.lane_count());
+    for i in 0..sa_lanes {
+        lanes.push(Lane::Sa(SaLane::with_initial(
+            problem,
+            derive_seed(cfg.seed, i as u64),
+            sa_params,
+            base.clone(),
+        )));
+    }
+    for i in sa_lanes..sa_lanes + cfg.ea_lanes {
+        lanes.push(Lane::Ea(EaLane::with_base(
+            problem,
+            derive_seed(cfg.seed, i as u64),
+            cfg.ea,
+            base.clone(),
+        )));
+    }
+
+    let mut wins = vec![0u32; lanes.len()];
+    let mut adoptions_per_lane = vec![0u64; lanes.len()];
+    let initial_costs: Vec<f64> = lanes.iter().map(|l| l.best().1.cost).collect();
+
+    // Global best starts from the best initial solution (deterministic
+    // tie-break: lowest lane index).
+    let (mut winner, mut global_score) = best_lane(&lanes);
+    let mut global_best: P::Solution = lanes[winner].best().0.clone();
+
+    let threads = cfg.resolved_threads();
+    let mut trace: Vec<(u64, f64)> = vec![(0, global_score.cost)];
+    let mut rounds_run = 0u32;
+    let mut exchanges = 0u64;
+    let mut total_adoptions = 0u64;
+    let mut deadline_hit = false;
+    let mut stalled_out = false;
+    let mut idle_rounds = 0u32;
+    let mut last_round_wall = Duration::ZERO;
+
+    for _round in 0..cfg.rounds {
+        // Deadline check (coordinator only, at the barrier): stop when
+        // the budget is spent, or when another round like the last one
+        // would clearly overshoot it. At least one round always runs.
+        if let Some(deadline) = cfg.deadline {
+            let elapsed = started.elapsed();
+            if rounds_run > 0 && (elapsed >= deadline || elapsed + last_round_wall > deadline) {
+                deadline_hit = true;
+                break;
+            }
+        }
+        let round_started = Instant::now();
+        run_lanes_round(&mut lanes, threads, cfg.moves_per_round);
+        last_round_wall = round_started.elapsed();
+        rounds_run += 1;
+
+        // Barrier: merge lane bests into the global best, sequentially
+        // and deterministically.
+        let (round_winner, round_score) = best_lane(&lanes);
+        let improved = round_score.better_than(&global_score);
+        if improved {
+            global_score = round_score;
+            global_best = lanes[round_winner].best().0.clone();
+            winner = round_winner;
+        }
+        wins[winner] += 1;
+        trace.push((
+            rounds_run as u64 * cfg.moves_per_round * lanes.len() as u64,
+            global_score.cost,
+        ));
+
+        // Exchange: every lane sees the same global best.
+        exchanges += 1;
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            if lane.on_exchange(&global_best, global_score) {
+                adoptions_per_lane[i] += 1;
+                total_adoptions += 1;
+            }
+        }
+
+        idle_rounds = if improved { 0 } else { idle_rounds + 1 };
+        if cfg.stall_stop > 0 && idle_rounds >= cfg.stall_stop {
+            stalled_out = true;
+            break;
+        }
+    }
+
+    let reports: Vec<LaneReport> = lanes
+        .iter()
+        .enumerate()
+        .map(|(i, lane)| {
+            let (_, best_score) = lane.best();
+            let mut r = LaneReport {
+                kind: lane.kind(),
+                seed: derive_seed(cfg.seed, i as u64),
+                initial_cost: initial_costs[i],
+                best_score,
+                wins: wins[i],
+                restarts: 0,
+                adoptions: adoptions_per_lane[i],
+                accepted: 0,
+                rejected: 0,
+                illegal: 0,
+                moves: 0,
+                offspring: 0,
+                temps: Vec::new(),
+            };
+            match lane {
+                Lane::Sa(l) => {
+                    r.restarts = l.restarts;
+                    r.accepted = l.accepted;
+                    r.rejected = l.rejected;
+                    r.illegal = l.illegal;
+                    r.moves = l.moves;
+                    r.temps = l.temps.clone();
+                }
+                Lane::Ea(l) => {
+                    r.offspring = l.offspring;
+                    r.moves = l.moves;
+                }
+            }
+            r
+        })
+        .collect();
+
+    let total_moves: u64 = reports.iter().map(|r| r.moves).sum();
+    for r in &reports {
+        obs.count(
+            match r.kind {
+                LaneKind::Sa => "search.lane.sa",
+                LaneKind::Ea => "search.lane.ea",
+            },
+            1,
+        );
+        obs.count("search.restarts", r.restarts);
+        obs.count("search.sa.accepted", r.accepted);
+        obs.count("search.sa.rejected", r.rejected);
+        obs.count("search.illegal", r.illegal);
+        obs.count("search.ea.offspring", r.offspring);
+        if let Some(&t) = r.temps.last() {
+            obs.observe("search.lane.final_temp", t);
+        }
+    }
+    obs.count("search.rounds", u64::from(rounds_run));
+    obs.count("search.exchanges", exchanges);
+    obs.count("search.adoptions", total_adoptions);
+    obs.count("search.moves", total_moves);
+    obs.count(
+        match reports[winner].kind {
+            LaneKind::Sa => "search.win.sa",
+            LaneKind::Ea => "search.win.ea",
+        },
+        1,
+    );
+    if deadline_hit {
+        obs.count("search.deadline_hit", 1);
+    }
+    obs.observe("search.best_cost", global_score.cost);
+    sp.field("lanes", reports.len() as f64);
+    sp.field("rounds", f64::from(rounds_run));
+    sp.field("winner", winner as f64);
+    sp.field("best_cost", global_score.cost);
+
+    PortfolioOutcome {
+        best: global_best,
+        best_score: global_score,
+        winner,
+        rounds_run,
+        wall: started.elapsed(),
+        deadline_hit,
+        stalled_out,
+        total_moves,
+        exchanges,
+        adoptions: total_adoptions,
+        lanes: reports,
+        trace,
+    }
+}
+
+/// Index and score of the best lane (ties: lowest index).
+fn best_lane<P: SearchProblem>(lanes: &[Lane<'_, P>]) -> (usize, Score) {
+    let mut winner = 0;
+    let mut best = lanes[0].best().1;
+    for (i, lane) in lanes.iter().enumerate().skip(1) {
+        let s = lane.best().1;
+        if s.better_than(&best) {
+            best = s;
+            winner = i;
+        }
+    }
+    (winner, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::ToyProblem;
+    use std::time::Duration;
+
+    fn quick_cfg(seed: u64) -> PortfolioConfig {
+        PortfolioConfig {
+            rounds: 6,
+            moves_per_round: 2_000,
+            stall_stop: 0,
+            ..PortfolioConfig::new(seed)
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let p = ToyProblem::new(48, 9);
+        let mut cfg = quick_cfg(13);
+        cfg.threads = 1;
+        let a = run_portfolio(&p, &cfg);
+        cfg.threads = 8;
+        let b = run_portfolio(&p, &cfg);
+        assert_eq!(a.best, b.best, "thread count changed the best solution");
+        assert_eq!(a.best_score.cost, b.best_score.cost);
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(a.total_moves, b.total_moves);
+        for (la, lb) in a.lanes.iter().zip(&b.lanes) {
+            assert_eq!(la.accepted, lb.accepted);
+            assert_eq!(la.restarts, lb.restarts);
+            assert_eq!(la.temps, lb.temps);
+        }
+    }
+
+    #[test]
+    fn best_of_merge_is_no_worse_than_any_lane() {
+        let p = ToyProblem::new(48, 2);
+        let out = run_portfolio(&p, &quick_cfg(5));
+        for lane in &out.lanes {
+            assert!(
+                !lane.best_score.better_than(&out.best_score),
+                "portfolio best {:?} worse than a lane best {:?}",
+                out.best_score,
+                lane.best_score
+            );
+        }
+        // And the returned solution really has the reported score.
+        assert_eq!(p.score(&out.best).cost, out.best_score.cost);
+    }
+
+    #[test]
+    fn deadline_is_respected_within_a_round() {
+        let p = ToyProblem::new(64, 3);
+        let cfg = PortfolioConfig {
+            rounds: 10_000,
+            moves_per_round: 2_000,
+            stall_stop: 0,
+            deadline: Some(Duration::from_millis(150)),
+            ..PortfolioConfig::new(1)
+        };
+        let started = std::time::Instant::now();
+        let out = run_portfolio(&p, &cfg);
+        let wall = started.elapsed();
+        assert!(out.deadline_hit, "deadline never fired");
+        assert!(out.rounds_run >= 1);
+        // Tolerance: the budget plus a couple of round times.
+        assert!(
+            wall < Duration::from_millis(1_500),
+            "took {wall:?} against a 150ms budget"
+        );
+    }
+
+    #[test]
+    fn portfolio_beats_or_matches_single_lane() {
+        let p = ToyProblem::new(64, 11);
+        let single = run_portfolio(
+            &p,
+            &PortfolioConfig {
+                sa_lanes: 1,
+                ea_lanes: 0,
+                ..quick_cfg(21)
+            },
+        );
+        let full = run_portfolio(&p, &quick_cfg(21));
+        assert!(
+            full.best_score.cost <= single.best_score.cost + 1e-9,
+            "portfolio {} worse than single lane {}",
+            full.best_score.cost,
+            single.best_score.cost
+        );
+    }
+
+    #[test]
+    fn stall_stop_ends_the_run_early() {
+        let p = ToyProblem::new(8, 1);
+        let cfg = PortfolioConfig {
+            rounds: 500,
+            moves_per_round: 4_000,
+            stall_stop: 2,
+            ..PortfolioConfig::new(3)
+        };
+        let out = run_portfolio(&p, &cfg);
+        assert!(out.stalled_out, "tiny problem should converge and stall");
+        assert!(out.rounds_run < 500);
+    }
+
+    #[test]
+    fn telemetry_reconciles_with_the_outcome() {
+        use tms_obs::AggregatingSink;
+        let p = ToyProblem::new(32, 4);
+        let sink = AggregatingSink::new();
+        let out = run_portfolio_observed(&p, &quick_cfg(8), &sink);
+        assert_eq!(sink.phase_spans(Phase::Stitch), 1);
+        assert_eq!(sink.counter("search.rounds"), u64::from(out.rounds_run));
+        assert_eq!(sink.counter("search.moves"), out.total_moves);
+        assert_eq!(sink.counter("search.exchanges"), out.exchanges);
+        assert_eq!(sink.counter("search.adoptions"), out.adoptions);
+        assert_eq!(sink.counter("search.lane.sa"), 3);
+        assert_eq!(sink.counter("search.lane.ea"), 1);
+        assert_eq!(
+            sink.counter("search.win.sa") + sink.counter("search.win.ea"),
+            1
+        );
+        let (n, cost) = sink.observation("search.best_cost").unwrap();
+        assert_eq!(n, 1);
+        assert!((cost - out.best_score.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_lanes_still_runs_one_sa_lane() {
+        let p = ToyProblem::new(8, 2);
+        let cfg = PortfolioConfig {
+            sa_lanes: 0,
+            ea_lanes: 0,
+            rounds: 2,
+            moves_per_round: 500,
+            ..PortfolioConfig::new(1)
+        };
+        let out = run_portfolio(&p, &cfg);
+        assert_eq!(out.lanes.len(), 1);
+        assert_eq!(out.lanes[0].kind, LaneKind::Sa);
+    }
+}

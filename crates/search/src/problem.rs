@@ -1,0 +1,147 @@
+//! The [`SearchProblem`] trait the portfolio drives.
+
+use rand::rngs::StdRng;
+
+/// Lexicographic solution quality: `infeasible` dominates `cost`.
+///
+/// A placement that leaves blocks unplaced must never beat one that
+/// places everything, no matter the wirelength — so comparisons order by
+/// the infeasibility count first and only then by cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Score {
+    /// Count of unmet hard requirements (e.g. unplaced instances).
+    pub infeasible: u64,
+    /// Cost to minimise among equally-feasible solutions.
+    pub cost: f64,
+}
+
+impl Score {
+    /// A fully feasible score with the given cost.
+    pub fn feasible(cost: f64) -> Self {
+        Score {
+            infeasible: 0,
+            cost,
+        }
+    }
+
+    /// Strictly better: fewer infeasibilities, or equal infeasibilities
+    /// and lower cost (beyond float noise).
+    pub fn better_than(&self, other: &Score) -> bool {
+        self.infeasible < other.infeasible
+            || (self.infeasible == other.infeasible && self.cost < other.cost - 1e-12)
+    }
+}
+
+/// Outcome of one [`SearchProblem::propose`] call.
+pub enum Proposal<U> {
+    /// A move was applied in place. `delta` is the cost change; `undo`
+    /// reverts the move exactly if the caller rejects it.
+    Applied {
+        /// Cost change (negative = improvement).
+        delta: f64,
+        /// Token that [`SearchProblem::undo`] consumes to revert.
+        undo: U,
+    },
+    /// A repair move was applied that must **not** be undone — e.g. an
+    /// unplaced instance was legalised. Always accepted by the lanes:
+    /// reducing infeasibility outranks any cost change.
+    Committed {
+        /// Cost change of the repair.
+        delta: f64,
+        /// Change in the infeasibility count (usually negative).
+        infeasible_delta: i64,
+    },
+    /// The proposed target was illegal (e.g. occupied fabric); nothing
+    /// changed. Counted by the lanes — illegal-move pressure is a
+    /// convergence signal the paper's analysis leans on.
+    Illegal,
+    /// Nothing to propose (degenerate problem); nothing changed.
+    Skip,
+}
+
+/// A combinatorial minimisation problem the portfolio lanes can drive.
+///
+/// Implementations are shared read-only across lanes (`Sync`); all
+/// mutable search state lives in the `Solution`. Every method must be
+/// deterministic given its inputs and the RNG stream — the portfolio's
+/// thread-count-invariance contract rests on it.
+pub trait SearchProblem: Sync {
+    /// A complete candidate solution, owned by a lane.
+    type Solution: Clone + Send;
+    /// Token reverting one applied move.
+    type Undo;
+
+    /// Build a starting solution. Must be a pure function of `seed`.
+    fn initial(&self, seed: u64) -> Self::Solution;
+
+    /// Full quality of a solution. May recompute from scratch; lanes call
+    /// it at initialisation, after crossover, and at checkpoints — not
+    /// per move.
+    fn score(&self, s: &Self::Solution) -> Score;
+
+    /// Propose one neighbourhood move and apply it to `s`.
+    ///
+    /// `temp_ratio` ∈ (0, 1] is the lane's current temperature over its
+    /// starting temperature; implementations may use it to range-limit
+    /// move distance as the anneal cools (VPR-style).
+    fn propose(
+        &self,
+        s: &mut Self::Solution,
+        temp_ratio: f64,
+        rng: &mut StdRng,
+    ) -> Proposal<Self::Undo>;
+
+    /// Revert a move previously applied by [`propose`](Self::propose).
+    fn undo(&self, s: &mut Self::Solution, undo: Self::Undo);
+
+    /// Approximate neighbourhood size, used to size the equilibrium inner
+    /// loop (moves per temperature step), per Van Laarhoven/Aarts/Lenstra.
+    fn neighborhood(&self) -> u64;
+
+    /// Recombine two parents into an offspring (evolutionary lane).
+    fn crossover(&self, a: &Self::Solution, b: &Self::Solution, rng: &mut StdRng)
+        -> Self::Solution;
+
+    /// Perturb `s` with roughly `strength` random accepted moves
+    /// (evolutionary lane mutation). The default applies full-temperature
+    /// proposals, keeping whatever lands legally.
+    fn mutate(&self, s: &mut Self::Solution, strength: u32, rng: &mut StdRng) {
+        let mut applied = 0;
+        let mut attempts = 0;
+        while applied < strength && attempts < strength * 8 {
+            attempts += 1;
+            match self.propose(s, 1.0, rng) {
+                Proposal::Applied { .. } | Proposal::Committed { .. } => applied += 1,
+                Proposal::Illegal => {}
+                Proposal::Skip => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_ordering_is_lexicographic() {
+        let placed_bad = Score {
+            infeasible: 0,
+            cost: 1e9,
+        };
+        let unplaced_good = Score {
+            infeasible: 1,
+            cost: 0.0,
+        };
+        assert!(placed_bad.better_than(&unplaced_good));
+        assert!(!unplaced_good.better_than(&placed_bad));
+        let a = Score::feasible(10.0);
+        let b = Score::feasible(11.0);
+        assert!(a.better_than(&b));
+        assert!(!b.better_than(&a));
+        // Float noise does not flip the order.
+        let c = Score::feasible(10.0 + 1e-14);
+        assert!(!c.better_than(&a));
+        assert!(!a.better_than(&c));
+    }
+}

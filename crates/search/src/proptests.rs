@@ -1,0 +1,74 @@
+//! Property tests: portfolio invariants over arbitrary toy problems.
+
+#![cfg(test)]
+
+use crate::portfolio::{run_portfolio, PortfolioConfig};
+use crate::problem::SearchProblem;
+use crate::toy::ToyProblem;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The best-of merge never returns a result worse than any lane's
+    /// best, the returned solution's score is genuine (recomputing it
+    /// agrees), and the winner index is the lane that holds it.
+    #[test]
+    fn merge_never_worse_than_any_lane(
+        n in 4usize..48,
+        problem_seed in 0u64..1_000,
+        seed in 0u64..1_000,
+        sa_lanes in 1usize..4,
+        ea_lanes in 0usize..2,
+    ) {
+        let p = ToyProblem::new(n, problem_seed);
+        let cfg = PortfolioConfig {
+            sa_lanes,
+            ea_lanes,
+            rounds: 3,
+            moves_per_round: 600,
+            stall_stop: 0,
+            ..PortfolioConfig::new(seed)
+        };
+        let out = run_portfolio(&p, &cfg);
+        prop_assert_eq!(out.lanes.len(), sa_lanes + ea_lanes);
+        for (i, lane) in out.lanes.iter().enumerate() {
+            prop_assert!(
+                !lane.best_score.better_than(&out.best_score),
+                "lane {} best {:?} beats portfolio best {:?}",
+                i, lane.best_score, out.best_score
+            );
+        }
+        // Reported score is the solution's true score.
+        let rescored = p.score(&out.best);
+        prop_assert!((rescored.cost - out.best_score.cost).abs() < 1e-6);
+        prop_assert_eq!(rescored.infeasible, out.best_score.infeasible);
+        // The winner's own best equals the portfolio best (it produced it).
+        prop_assert!(!out.best_score.better_than(&out.lanes[out.winner].best_score));
+    }
+
+    /// Thread count never changes the outcome (the determinism contract),
+    /// for arbitrary lane plans.
+    #[test]
+    fn thread_invariance(
+        n in 4usize..32,
+        seed in 0u64..500,
+        threads in 2usize..9,
+    ) {
+        let p = ToyProblem::new(n, 7);
+        let mut cfg = PortfolioConfig {
+            rounds: 3,
+            moves_per_round: 400,
+            stall_stop: 0,
+            ..PortfolioConfig::new(seed)
+        };
+        cfg.threads = 1;
+        let a = run_portfolio(&p, &cfg);
+        cfg.threads = threads;
+        let b = run_portfolio(&p, &cfg);
+        prop_assert_eq!(&a.best, &b.best);
+        prop_assert_eq!(a.best_score.cost, b.best_score.cost);
+        prop_assert_eq!(a.winner, b.winner);
+        prop_assert_eq!(a.rounds_run, b.rounds_run);
+    }
+}

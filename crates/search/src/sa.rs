@@ -1,0 +1,360 @@
+//! The simulated-annealing lane: statistical cooling, equilibrium inner
+//! loops, restart-on-stall.
+
+use crate::problem::{Proposal, Score, SearchProblem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SA lane parameters (shared by every SA lane of a portfolio).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaParams {
+    /// Target acceptance ratio χ₀ at the starting temperature. The
+    /// Aarts/Van Laarhoven statistical rule sets T₀ = Δ̄⁺ / ln(1/χ₀)
+    /// from sampled uphill deltas, so early search accepts roughly this
+    /// fraction of worsening moves.
+    pub start_acceptance: f64,
+    /// Geometric cooling factor applied once per equilibrium inner loop.
+    pub cooling: f64,
+    /// Temperature floor, as a fraction of T₀.
+    pub min_temp_ratio: f64,
+    /// Exchange rounds without a lane-best improvement before the lane
+    /// restarts from the portfolio's global best (Cruz-Chávez restart
+    /// with the running upper bound). `0` disables restarts.
+    pub stall_rounds: u32,
+    /// Restart temperature, as a fraction of T₀.
+    pub reheat: f64,
+    /// Equilibrium inner-loop length: moves between cooling steps. `0`
+    /// (the default) sizes it from the problem neighbourhood per Van
+    /// Laarhoven/Aarts/Lenstra; set explicitly when the lane's total move
+    /// budget is small relative to the neighbourhood, so the schedule
+    /// still completes its cooling trajectory.
+    pub inner_moves: u64,
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        SaParams {
+            start_acceptance: 0.8,
+            cooling: 0.92,
+            min_temp_ratio: 1e-4,
+            stall_rounds: 2,
+            reheat: 0.35,
+            inner_moves: 0,
+        }
+    }
+}
+
+/// Minimum moves between best-so-far solution clones (see
+/// [`SaLane::run_round`]).
+const SNAP_INTERVAL: u64 = 64;
+
+/// One simulated-annealing lane of the portfolio.
+pub struct SaLane<'p, P: SearchProblem> {
+    problem: &'p P,
+    rng: StdRng,
+    params: SaParams,
+    t0: f64,
+    temp: f64,
+    /// Equilibrium inner-loop length: moves between cooling steps, sized
+    /// by the problem neighbourhood (Van Laarhoven/Aarts/Lenstra).
+    inner: u64,
+    step_in_temp: u64,
+    current: P::Solution,
+    current_score: Score,
+    best: P::Solution,
+    best_score: Score,
+    /// Moves since the best-so-far snapshot was last cloned: rate-limits
+    /// the (whole-solution) clone without missing rare late improvements.
+    since_snap: u64,
+    improved_this_round: bool,
+    stall: u32,
+    // Statistics the portfolio reports and exports through tms-obs.
+    pub(crate) accepted: u64,
+    pub(crate) rejected: u64,
+    pub(crate) illegal: u64,
+    pub(crate) moves: u64,
+    pub(crate) restarts: u64,
+    pub(crate) temps: Vec<f64>,
+}
+
+impl<'p, P: SearchProblem> SaLane<'p, P> {
+    /// Build a lane: construct the seed's initial solution and estimate
+    /// the starting temperature statistically.
+    pub fn new(problem: &'p P, seed: u64, params: SaParams) -> Self {
+        let current = problem.initial(seed);
+        Self::with_initial(problem, seed, params, current)
+    }
+
+    /// Build a lane from an existing initial solution — the portfolio
+    /// constructs one greedy solution and hands every lane a clone, since
+    /// for placement-sized problems construction costs more than an
+    /// entire lane round; lanes diverge through their seeded RNG streams.
+    pub fn with_initial(problem: &'p P, seed: u64, params: SaParams, initial: P::Solution) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut current = initial;
+        let current_score = problem.score(&current);
+        let t0 = estimate_t0(problem, &mut current, current_score, &mut rng, &params).max(1e-9);
+        // Re-score: T₀ sampling undoes every probe, but a Committed
+        // repair during probing would stick (none are expected from a
+        // fresh greedy initial solution; stay robust anyway).
+        let current_score = problem.score(&current);
+        let inner = if params.inner_moves > 0 {
+            params.inner_moves
+        } else {
+            problem.neighborhood().clamp(64, 16_384)
+        };
+        let best = current.clone();
+        SaLane {
+            problem,
+            rng,
+            params,
+            t0,
+            temp: t0,
+            inner,
+            step_in_temp: 0,
+            current,
+            best,
+            best_score: current_score,
+            current_score,
+            since_snap: 0,
+            improved_this_round: false,
+            stall: 0,
+            accepted: 0,
+            rejected: 0,
+            illegal: 0,
+            moves: 0,
+            restarts: 0,
+            temps: Vec::new(),
+        }
+    }
+
+    /// Run `budget` proposed moves (one portfolio round).
+    ///
+    /// Best-so-far snapshots are rate-limited: cloning the whole solution
+    /// on every improvement would dominate the lane's wall-clock for
+    /// placement-sized problems during the early descent, where nearly
+    /// every accepted move improves on the best. Instead the snapshot is
+    /// taken at most once per [`SNAP_INTERVAL`] moves, plus unconditionally
+    /// after every feasibility repair and at round end.
+    pub fn run_round(&mut self, budget: u64) {
+        self.improved_this_round = false;
+        for _ in 0..budget {
+            self.moves += 1;
+            self.since_snap += 1;
+            let ratio = (self.temp / self.t0).clamp(0.0, 1.0);
+            match self
+                .problem
+                .propose(&mut self.current, ratio, &mut self.rng)
+            {
+                Proposal::Applied { delta, undo } => {
+                    let accept = delta <= 0.0 || self.rng.gen::<f64>() < (-delta / self.temp).exp();
+                    if accept {
+                        self.accepted += 1;
+                        self.current_score.cost += delta;
+                        if self.since_snap >= SNAP_INTERVAL {
+                            self.checkpoint_best();
+                        }
+                    } else {
+                        self.rejected += 1;
+                        self.problem.undo(&mut self.current, undo);
+                    }
+                }
+                Proposal::Committed {
+                    delta,
+                    infeasible_delta,
+                } => {
+                    self.accepted += 1;
+                    self.current_score.cost += delta;
+                    self.current_score.infeasible = self
+                        .current_score
+                        .infeasible
+                        .saturating_add_signed(infeasible_delta);
+                    // Feasibility repairs are rare and decisive: snapshot
+                    // immediately so a repaired placement is never lost.
+                    self.checkpoint_best();
+                }
+                Proposal::Illegal => self.illegal += 1,
+                Proposal::Skip => break,
+            }
+            self.step_in_temp += 1;
+            if self.step_in_temp >= self.inner {
+                self.step_in_temp = 0;
+                self.temp =
+                    (self.temp * self.params.cooling).max(self.t0 * self.params.min_temp_ratio);
+            }
+        }
+        self.checkpoint_best();
+        self.temps.push(self.temp);
+    }
+
+    fn checkpoint_best(&mut self) {
+        if self.current_score.better_than(&self.best_score) {
+            self.best_score = self.current_score;
+            self.best = self.current.clone();
+            self.improved_this_round = true;
+            self.since_snap = 0;
+        }
+    }
+
+    /// Best solution this lane has visited.
+    pub fn best(&self) -> (&P::Solution, Score) {
+        (&self.best, self.best_score)
+    }
+
+    /// Exchange step, run at the round barrier: update the stall counter
+    /// and, when stalled, restart from the portfolio's global best at a
+    /// reheated temperature. Returns `true` if the lane adopted the
+    /// global best.
+    pub fn on_exchange(&mut self, global_best: &P::Solution, global_score: Score) -> bool {
+        if self.improved_this_round {
+            self.stall = 0;
+            return false;
+        }
+        self.stall += 1;
+        if self.params.stall_rounds == 0 || self.stall < self.params.stall_rounds {
+            return false;
+        }
+        self.stall = 0;
+        self.restarts += 1;
+        self.temp = (self.t0 * self.params.reheat).max(self.t0 * self.params.min_temp_ratio);
+        self.step_in_temp = 0;
+        if global_score.better_than(&self.current_score) {
+            self.current = global_best.clone();
+            self.current_score = global_score;
+            return true;
+        }
+        false
+    }
+
+    /// The lane's current temperature (for trajectories/reports).
+    pub fn temperature(&self) -> f64 {
+        self.temp
+    }
+
+    /// The statistically estimated starting temperature.
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+}
+
+/// Probes sampled for the statistical initial temperature. 96 uphill
+/// samples bound the estimate well enough; more probes measurably delay
+/// lane start-up on placement-sized problems.
+const T0_PROBES: u32 = 96;
+
+/// Aarts/Van Laarhoven statistical initial temperature: sample proposals
+/// from the initial solution, average the uphill deltas Δ̄⁺, and solve
+/// χ₀ = exp(−Δ̄⁺/T₀) for T₀. Every probe is undone.
+fn estimate_t0<P: SearchProblem>(
+    problem: &P,
+    s: &mut P::Solution,
+    score: Score,
+    rng: &mut StdRng,
+    params: &SaParams,
+) -> f64 {
+    let mut uphill_sum = 0.0;
+    let mut uphill_n = 0u32;
+    let mut any_sum = 0.0;
+    let mut any_n = 0u32;
+    let _ = score;
+    for _ in 0..T0_PROBES {
+        match problem.propose(s, 1.0, rng) {
+            Proposal::Applied { delta, undo } => {
+                problem.undo(s, undo);
+                any_sum += delta.abs();
+                any_n += 1;
+                if delta > 0.0 {
+                    uphill_sum += delta;
+                    uphill_n += 1;
+                }
+            }
+            Proposal::Committed { .. } | Proposal::Illegal => {}
+            Proposal::Skip => break,
+        }
+    }
+    let chi = params.start_acceptance.clamp(0.01, 0.99);
+    if uphill_n > 0 {
+        (uphill_sum / f64::from(uphill_n)) / (1.0 / chi).ln()
+    } else if any_n > 0 {
+        // Downhill-only samples (already near-optimal start): scale from
+        // the mean |Δ| instead.
+        (any_sum / f64::from(any_n)) / (1.0 / chi).ln()
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::ToyProblem;
+
+    #[test]
+    fn sa_lane_improves_and_tracks_best() {
+        let p = ToyProblem::new(48, 3);
+        let mut lane = SaLane::new(&p, 11, SaParams::default());
+        let before = lane.best().1;
+        for _ in 0..6 {
+            lane.run_round(4_000);
+        }
+        let after = lane.best().1;
+        assert!(
+            after.cost <= before.cost,
+            "SA worsened: {} -> {}",
+            before.cost,
+            after.cost
+        );
+        assert!(lane.accepted > 0);
+        assert_eq!(lane.moves, 24_000);
+        assert_eq!(lane.temps.len(), 6);
+        // Cooling is monotone non-increasing across rounds.
+        assert!(lane.temps.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    }
+
+    #[test]
+    fn statistical_t0_is_positive_and_scales() {
+        let p = ToyProblem::new(32, 5);
+        let lane = SaLane::new(&p, 1, SaParams::default());
+        assert!(lane.t0() > 0.0);
+    }
+
+    #[test]
+    fn stalled_lane_restarts_from_global_best() {
+        let p = ToyProblem::new(32, 5);
+        let params = SaParams {
+            stall_rounds: 1,
+            ..SaParams::default()
+        };
+        let mut lane = SaLane::new(&p, 3, params);
+        // Converge the lane hard so rounds stop improving.
+        for _ in 0..20 {
+            lane.run_round(2_000);
+        }
+        // Hand it a strictly better global best: must adopt + reheat.
+        let perfect = p.perfect();
+        let score = p.score(&perfect);
+        let t_before = lane.temperature();
+        let mut adopted = false;
+        for _ in 0..4 {
+            lane.run_round(16);
+            adopted |= lane.on_exchange(&perfect, score);
+        }
+        assert!(adopted, "stalled lane never adopted the global best");
+        assert!(lane.restarts >= 1);
+        assert!(lane.temperature() >= t_before, "restart did not reheat");
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let p = ToyProblem::new(40, 7);
+        let run = |seed| {
+            let mut lane = SaLane::new(&p, seed, SaParams::default());
+            for _ in 0..4 {
+                lane.run_round(2_000);
+            }
+            (lane.best().1.cost, lane.accepted, lane.illegal)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

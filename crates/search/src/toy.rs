@@ -1,0 +1,196 @@
+//! A tiny self-contained [`SearchProblem`] used by this crate's own unit
+//! and property tests (and handy as an implementation template).
+//!
+//! The problem: place `n` items on integer positions `0..range`,
+//! minimising Σᵢ |pos[i] − target[i]| under the hard constraint that no
+//! two items share a position (mirroring the stitcher's occupancy rule).
+//! The optimum is usually the target vector itself.
+
+use crate::problem::{Proposal, Score, SearchProblem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The toy placement problem (see module docs).
+pub struct ToyProblem {
+    n: usize,
+    range: i64,
+    targets: Vec<i64>,
+}
+
+/// Solution: one position per item, plus the occupancy set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ToySolution {
+    /// Item positions.
+    pub pos: Vec<i64>,
+}
+
+impl ToyProblem {
+    /// `n` items on `0..4n`, targets scattered by `seed`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let range = (n as i64) * 4;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Distinct targets so the optimum is conflict-free.
+        let mut targets: Vec<i64> = Vec::with_capacity(n);
+        while targets.len() < n {
+            let t = rng.gen_range(0..range);
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        ToyProblem { n, range, targets }
+    }
+
+    /// The conflict-free optimum (cost 0): items on their targets.
+    pub fn perfect(&self) -> ToySolution {
+        ToySolution {
+            pos: self.targets.clone(),
+        }
+    }
+
+    fn occupied(&self, s: &ToySolution, p: i64, ignore: usize) -> bool {
+        s.pos
+            .iter()
+            .enumerate()
+            .any(|(i, &q)| i != ignore && q == p)
+    }
+}
+
+impl SearchProblem for ToyProblem {
+    type Solution = ToySolution;
+    type Undo = (usize, i64);
+
+    fn initial(&self, seed: u64) -> ToySolution {
+        // Greedy scatter: each item takes the first free slot scanning
+        // from a seeded random start — same shape as the stitcher's
+        // greedy legalisation.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pos = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            let start = rng.gen_range(0..self.range);
+            let mut p = start;
+            loop {
+                if !pos.contains(&p) {
+                    break;
+                }
+                p = (p + 1) % self.range;
+            }
+            pos.push(p);
+        }
+        ToySolution { pos }
+    }
+
+    fn score(&self, s: &ToySolution) -> Score {
+        let cost = s
+            .pos
+            .iter()
+            .zip(&self.targets)
+            .map(|(&p, &t)| (p - t).abs() as f64)
+            .sum();
+        Score::feasible(cost)
+    }
+
+    fn propose(
+        &self,
+        s: &mut ToySolution,
+        temp_ratio: f64,
+        rng: &mut StdRng,
+    ) -> Proposal<Self::Undo> {
+        if self.n == 0 {
+            return Proposal::Skip;
+        }
+        let i = rng.gen_range(0..self.n);
+        // Range-limited step: hot = anywhere, cold = near the current
+        // position.
+        let window = ((temp_ratio * self.range as f64).max(2.0)) as i64;
+        let step = rng.gen_range(-window..=window);
+        let target = (s.pos[i] + step).rem_euclid(self.range);
+        if target == s.pos[i] {
+            return Proposal::Illegal;
+        }
+        if self.occupied(s, target, i) {
+            return Proposal::Illegal;
+        }
+        let old = s.pos[i];
+        let delta = ((target - self.targets[i]).abs() - (old - self.targets[i]).abs()) as f64;
+        s.pos[i] = target;
+        Proposal::Applied {
+            delta,
+            undo: (i, old),
+        }
+    }
+
+    fn undo(&self, s: &mut ToySolution, (i, old): Self::Undo) {
+        s.pos[i] = old;
+    }
+
+    fn neighborhood(&self) -> u64 {
+        (self.n as u64) * 8
+    }
+
+    fn crossover(&self, a: &ToySolution, b: &ToySolution, rng: &mut StdRng) -> ToySolution {
+        // Uniform crossover with conflict repair: take each gene from a
+        // random parent; a colliding gene falls back to the other parent,
+        // then to linear probing.
+        let mut pos: Vec<i64> = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let (first, second) = if rng.gen::<bool>() {
+                (a.pos[i], b.pos[i])
+            } else {
+                (b.pos[i], a.pos[i])
+            };
+            let mut p = if !pos.contains(&first) {
+                first
+            } else if !pos.contains(&second) {
+                second
+            } else {
+                first
+            };
+            while pos.contains(&p) {
+                p = (p + 1) % self.range;
+            }
+            pos.push(p);
+        }
+        ToySolution { pos }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_invariants() {
+        let p = ToyProblem::new(16, 1);
+        let s = p.initial(5);
+        let distinct: std::collections::HashSet<i64> = s.pos.iter().copied().collect();
+        assert_eq!(distinct.len(), 16, "initial solution has collisions");
+        assert_eq!(p.score(&p.perfect()).cost, 0.0);
+    }
+
+    #[test]
+    fn propose_undo_roundtrips() {
+        let p = ToyProblem::new(16, 2);
+        let mut s = p.initial(7);
+        let orig = s.clone();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            if let Proposal::Applied { undo, .. } = p.propose(&mut s, 1.0, &mut rng) {
+                p.undo(&mut s, undo);
+                assert_eq!(s, orig);
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_keeps_positions_distinct() {
+        let p = ToyProblem::new(24, 3);
+        let a = p.initial(1);
+        let b = p.initial(2);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let c = p.crossover(&a, &b, &mut rng);
+            let distinct: std::collections::HashSet<i64> = c.pos.iter().copied().collect();
+            assert_eq!(distinct.len(), 24);
+        }
+    }
+}

@@ -120,6 +120,12 @@ pub struct ServeConfig {
     /// handed to the store and flow layers. `None` (the default) serves
     /// fault-free with near-zero overhead.
     pub fault: Option<Arc<FaultPlan>>,
+    /// When set, flow requests stitch with the multi-lane search
+    /// portfolio instead of the single-run fast anneal; the portfolio's
+    /// `search.*` counters land in `/metrics` alongside the `stitch.*`
+    /// family. The per-request seed still wins: the configured portfolio
+    /// is re-seeded with each request's design seed.
+    pub stitch_portfolio: Option<tms_search::PortfolioConfig>,
 }
 
 impl Default for ServeConfig {
@@ -135,6 +141,7 @@ impl Default for ServeConfig {
             degrade_after: 3,
             retry: Retry::default(),
             fault: None,
+            stitch_portfolio: None,
         }
     }
 }
@@ -152,6 +159,12 @@ impl ServeConfig {
     /// rates and read injection counters while the server runs.
     pub fn with_fault(mut self, plan: Arc<FaultPlan>) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Stitch flow requests with the multi-lane search portfolio.
+    pub fn with_portfolio(mut self, portfolio: tms_search::PortfolioConfig) -> Self {
+        self.stitch_portfolio = Some(portfolio);
         self
     }
 }
@@ -191,6 +204,7 @@ struct ServerState {
     started: Instant,
     limits: Limits,
     fault: Option<Arc<FaultPlan>>,
+    portfolio: Option<tms_search::PortfolioConfig>,
     robust: Robust,
 }
 
@@ -364,6 +378,7 @@ pub fn serve(
             retry: config.retry,
         },
         fault: config.fault.clone(),
+        portfolio: config.stitch_portfolio.clone(),
         robust: Robust {
             degraded: AtomicBool::new(degraded_at_open),
             ..Robust::default()
@@ -718,9 +733,16 @@ fn device_by_name(name: &str) -> Result<Device, String> {
 
 /// The per-request flow configuration: constant CF when given, minimal-CF
 /// search otherwise. The stitcher runs its fast schedule — this is an
-/// interactive service, not the benchmark harness. Pipeline telemetry
-/// lands in `obs` (the server passes its shared sink).
-fn flow_config<'a>(cf: Option<f64>, seed: u64, obs: &'a dyn Recorder) -> RwFlowConfig<'a> {
+/// interactive service, not the benchmark harness — unless the server was
+/// configured with a search portfolio, which is then re-seeded with the
+/// request's seed so replies stay a pure function of the request. Pipeline
+/// telemetry lands in `obs` (the server passes its shared sink).
+fn flow_config<'a>(
+    cf: Option<f64>,
+    seed: u64,
+    portfolio: Option<&tms_search::PortfolioConfig>,
+    obs: &'a dyn Recorder,
+) -> RwFlowConfig<'a> {
     RwFlowConfig {
         policy: match cf {
             Some(cf) => CfPolicy::Constant(cf),
@@ -729,6 +751,7 @@ fn flow_config<'a>(cf: Option<f64>, seed: u64, obs: &'a dyn Recorder) -> RwFlowC
         use_shape_report: true,
         model: PlacementModel::default(),
         stitch: StitchConfig::fast(seed),
+        portfolio: portfolio.map(|p| tms_search::PortfolioConfig { seed, ..p.clone() }),
         seed,
         obs,
     }
@@ -809,7 +832,7 @@ fn do_preimpl(
         }
         None => {
             state.sink.count("cache.miss", 1);
-            let cfg = flow_config(req.cf, spec.seed, &*state.sink);
+            let cfg = flow_config(req.cf, spec.seed, state.portfolio.as_ref(), &*state.sink);
             let res = state.resilience();
             let m = implement_module_resilient(&spec.name, &netlist, &device, &cfg, &res)?;
             // A failed (already-retried) store put is not the client's
@@ -838,7 +861,12 @@ fn do_preimpl(
 fn do_flow(state: &ServerState, req: FlowRequest, start: &Instant) -> Result<FlowResponse, String> {
     let device = device_by_name(&req.device)?;
     let design = cnvw1a1(req.design_seed);
-    let cfg = flow_config(req.cf, req.design_seed, &*state.sink);
+    let cfg = flow_config(
+        req.cf,
+        req.design_seed,
+        state.portfolio.as_ref(),
+        &*state.sink,
+    );
     let res = state.resilience();
     // The whole cached run holds the write lock: it both reads and fills
     // the cache, and its parallel section uses rayon, not the pool.

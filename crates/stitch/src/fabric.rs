@@ -1,0 +1,171 @@
+//! Shared fabric machinery of the stitchers: legal-anchor candidate
+//! tables, the occupancy grid, and incremental wirelength accounting.
+//!
+//! Both the single-run annealer ([`crate::sa`]) and the portfolio search
+//! problem ([`crate::search`]) move macros over the same device model;
+//! this module holds the pieces they share so the two stay in exact
+//! agreement about legality and cost.
+
+use crate::problem::StitchProblem;
+use tms_device::Device;
+
+/// Per-module candidate anchor positions: the x columns whose signature
+/// matches, crossed with y rows at the module's vertical alignment.
+pub(crate) struct Candidates {
+    pub(crate) xs: Vec<u32>,
+    pub(crate) y_step: u32,
+    pub(crate) y_max: u32, // inclusive max anchor row
+}
+
+impl Candidates {
+    pub(crate) fn count(&self) -> u64 {
+        if self.xs.is_empty() {
+            return 0;
+        }
+        self.xs.len() as u64 * u64::from(self.y_max / self.y_step + 1)
+    }
+
+    pub(crate) fn nth(&self, idx: u64) -> (u32, u32) {
+        let ys = u64::from(self.y_max / self.y_step + 1);
+        let x = self.xs[(idx / ys) as usize];
+        let y = (idx % ys) as u32 * self.y_step;
+        (x, y)
+    }
+
+    /// Candidate index closest to a position (for range-limited moves).
+    pub(crate) fn index_near(&self, (x, y): (u32, u32)) -> u64 {
+        let ys = u64::from(self.y_max / self.y_step + 1);
+        let xi = self.xs.partition_point(|&c| c < x).min(self.xs.len() - 1) as u64;
+        let yi = u64::from((y / self.y_step).min(self.y_max / self.y_step));
+        xi * ys + yi
+    }
+}
+
+/// Build the candidate table for every unique module of `problem`.
+pub(crate) fn build_candidates(device: &Device, problem: &StitchProblem) -> Vec<Candidates> {
+    let rows = device.rows();
+    problem
+        .modules
+        .iter()
+        .map(|m| {
+            let xs = device.matching_anchors(&m.signature);
+            let y_step = m.signature.y_alignment();
+            let y_max = rows.saturating_sub(m.height);
+            Candidates { xs, y_step, y_max }
+        })
+        .collect()
+}
+
+/// Instance → indices of the nets it terminates.
+pub(crate) fn build_incident(problem: &StitchProblem) -> Vec<Vec<u32>> {
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); problem.instances.len()];
+    for (ni, net) in problem.nets.iter().enumerate() {
+        for &e in &net.endpoints {
+            incident[e as usize].push(ni as u32);
+        }
+    }
+    incident
+}
+
+/// Flat occupancy grid over the fabric (0 = free, else instance id + 1).
+///
+/// Cells are `u16`: the grid is cloned on every portfolio-lane snapshot
+/// and population operation, so halving it halves the dominant memcpy.
+/// Stitch problems are bounded far below 65k instances.
+#[derive(Clone)]
+pub(crate) struct Grid {
+    pub(crate) w: u32,
+    pub(crate) cells: Vec<u16>,
+}
+
+impl Grid {
+    pub(crate) fn new(w: u32, h: u32) -> Self {
+        Grid {
+            w,
+            cells: vec![0; (w * h) as usize],
+        }
+    }
+
+    pub(crate) fn is_free(&self, x: u32, y: u32, bw: u32, bh: u32, ignore: u32) -> bool {
+        let tag = (ignore + 1) as u16;
+        for yy in y..y + bh {
+            let row = (yy * self.w + x) as usize;
+            for c in &self.cells[row..row + bw as usize] {
+                if *c != 0 && *c != tag {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    pub(crate) fn set(&mut self, x: u32, y: u32, bw: u32, bh: u32, v: u32) {
+        let v = v as u16;
+        for yy in y..y + bh {
+            let row = (yy * self.w + x) as usize;
+            for c in &mut self.cells[row..row + bw as usize] {
+                *c = v;
+            }
+        }
+    }
+}
+
+/// Centre of instance `inst` when placed at `pos`.
+pub(crate) fn center(
+    problem: &StitchProblem,
+    inst: u32,
+    pos: Option<(u32, u32)>,
+) -> Option<(f64, f64)> {
+    pos.map(|(x, y)| {
+        let b = problem.block_of(inst);
+        (
+            f64::from(x) + f64::from(b.width) / 2.0,
+            f64::from(y) + f64::from(b.height) / 2.0,
+        )
+    })
+}
+
+/// Half-perimeter wirelength of net `net_idx` under `positions`.
+pub(crate) fn net_cost(
+    problem: &StitchProblem,
+    positions: &[Option<(u32, u32)>],
+    net_idx: u32,
+) -> f64 {
+    let net = &problem.nets[net_idx as usize];
+    let mut n = 0u32;
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &e in &net.endpoints {
+        if let Some((cx, cy)) = center(problem, e, positions[e as usize]) {
+            n += 1;
+            x0 = x0.min(cx);
+            x1 = x1.max(cx);
+            y0 = y0.min(cy);
+            y1 = y1.max(cy);
+        }
+    }
+    if n < 2 {
+        0.0
+    } else {
+        net.weight * ((x1 - x0) + (y1 - y0))
+    }
+}
+
+/// Total wirelength under `positions`.
+pub(crate) fn total_cost(problem: &StitchProblem, positions: &[Option<(u32, u32)>]) -> f64 {
+    (0..problem.nets.len() as u32)
+        .map(|i| net_cost(problem, positions, i))
+        .sum()
+}
+
+/// Sum of the costs of the nets incident to `inst`.
+pub(crate) fn incident_cost(
+    problem: &StitchProblem,
+    incident: &[Vec<u32>],
+    positions: &[Option<(u32, u32)>],
+    inst: u32,
+) -> f64 {
+    incident[inst as usize]
+        .iter()
+        .map(|&n| net_cost(problem, positions, n))
+        .sum()
+}

@@ -1,5 +1,8 @@
 //! The simulated-annealing stitcher.
 
+use crate::fabric::{
+    build_candidates, build_incident, incident_cost, total_cost, Candidates, Grid,
+};
 use crate::problem::StitchProblem;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -70,6 +73,12 @@ pub struct StitchResult {
     pub final_cost: f64,
     /// Moves rejected because the target fabric was occupied.
     pub illegal_moves: u64,
+    /// Legal moves accepted by the Metropolis criterion.
+    pub accepted_moves: u64,
+    /// Legal moves rejected (and undone) by the Metropolis criterion.
+    pub rejected_moves: u64,
+    /// Temperature when the anneal stopped.
+    pub final_temp: f64,
     /// Initially-unplaced instances successfully inserted during the
     /// anneal (each can raise the cost above `initial_cost`, since its
     /// nets gain endpoints).
@@ -110,141 +119,32 @@ impl StitchResult {
     }
 }
 
-/// Per-module candidate positions.
-struct Candidates {
-    xs: Vec<u32>,
-    y_step: u32,
-    y_max: u32, // inclusive max anchor row
-}
-
-impl Candidates {
-    fn count(&self) -> u64 {
-        if self.xs.is_empty() {
-            return 0;
-        }
-        self.xs.len() as u64 * u64::from(self.y_max / self.y_step + 1)
-    }
-
-    fn nth(&self, idx: u64) -> (u32, u32) {
-        let ys = u64::from(self.y_max / self.y_step + 1);
-        let x = self.xs[(idx / ys) as usize];
-        let y = (idx % ys) as u32 * self.y_step;
-        (x, y)
-    }
-
-    /// Candidate index closest to a position (for range-limited moves).
-    fn index_near(&self, (x, y): (u32, u32)) -> u64 {
-        let ys = u64::from(self.y_max / self.y_step + 1);
-        let xi = self.xs.partition_point(|&c| c < x).min(self.xs.len() - 1) as u64;
-        let yi = u64::from((y / self.y_step).min(self.y_max / self.y_step));
-        xi * ys + yi
-    }
-}
-
-struct Grid {
-    w: u32,
-    cells: Vec<u32>, // 0 = free, else instance id + 1
-}
-
-impl Grid {
-    fn new(w: u32, h: u32) -> Self {
-        Grid {
-            w,
-            cells: vec![0; (w * h) as usize],
-        }
-    }
-
-    fn is_free(&self, x: u32, y: u32, bw: u32, bh: u32, ignore: u32) -> bool {
-        for yy in y..y + bh {
-            let row = (yy * self.w + x) as usize;
-            for c in &self.cells[row..row + bw as usize] {
-                if *c != 0 && *c != ignore + 1 {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
-    fn set(&mut self, x: u32, y: u32, bw: u32, bh: u32, v: u32) {
-        for yy in y..y + bh {
-            let row = (yy * self.w + x) as usize;
-            for c in &mut self.cells[row..row + bw as usize] {
-                *c = v;
-            }
-        }
-    }
-}
-
-struct State<'p> {
-    problem: &'p StitchProblem,
-    candidates: Vec<Candidates>,
-    positions: Vec<Option<(u32, u32)>>,
-    grid: Grid,
-    incident: Vec<Vec<u32>>, // instance -> net indices
-    cost: f64,
+pub(crate) struct State<'p> {
+    pub(crate) problem: &'p StitchProblem,
+    pub(crate) candidates: Vec<Candidates>,
+    pub(crate) positions: Vec<Option<(u32, u32)>>,
+    pub(crate) grid: Grid,
+    pub(crate) incident: Vec<Vec<u32>>,
+    pub(crate) cost: f64,
 }
 
 impl<'p> State<'p> {
-    fn center(&self, inst: u32) -> Option<(f64, f64)> {
-        self.positions[inst as usize].map(|(x, y)| {
-            let b = self.problem.block_of(inst);
-            (
-                f64::from(x) + f64::from(b.width) / 2.0,
-                f64::from(y) + f64::from(b.height) / 2.0,
-            )
-        })
-    }
-
-    fn net_cost(&self, net_idx: u32) -> f64 {
-        let net = &self.problem.nets[net_idx as usize];
-        let mut n = 0u32;
-        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
-        for &e in &net.endpoints {
-            if let Some((cx, cy)) = self.center(e) {
-                n += 1;
-                x0 = x0.min(cx);
-                x1 = x1.max(cx);
-                y0 = y0.min(cy);
-                y1 = y1.max(cy);
-            }
-        }
-        if n < 2 {
-            0.0
-        } else {
-            net.weight * ((x1 - x0) + (y1 - y0))
-        }
-    }
-
-    fn total_cost(&self) -> f64 {
-        (0..self.problem.nets.len() as u32)
-            .map(|i| self.net_cost(i))
-            .sum()
-    }
-
-    fn incident_cost(&self, inst: u32) -> f64 {
-        self.incident[inst as usize]
-            .iter()
-            .map(|&n| self.net_cost(n))
-            .sum()
-    }
-
     /// Move `inst` to `(x, y)` (must be legal), returning the cost delta.
-    fn apply_move(&mut self, inst: u32, x: u32, y: u32) -> f64 {
+    pub(crate) fn apply_move(&mut self, inst: u32, x: u32, y: u32) -> f64 {
         let b = self.problem.block_of(inst);
         let (bw, bh) = (b.width, b.height);
-        let before = self.incident_cost(inst);
+        let before = incident_cost(self.problem, &self.incident, &self.positions, inst);
         if let Some((ox, oy)) = self.positions[inst as usize] {
             self.grid.set(ox, oy, bw, bh, 0);
         }
         self.grid.set(x, y, bw, bh, inst + 1);
         self.positions[inst as usize] = Some((x, y));
-        let after = self.incident_cost(inst);
+        let after = incident_cost(self.problem, &self.incident, &self.positions, inst);
         self.cost += after - before;
         after - before
     }
 
-    fn undo_move(&mut self, inst: u32, old: Option<(u32, u32)>, delta: f64) {
+    pub(crate) fn undo_move(&mut self, inst: u32, old: Option<(u32, u32)>, delta: f64) {
         let b = self.problem.block_of(inst);
         let (bw, bh) = (b.width, b.height);
         if let Some((x, y)) = self.positions[inst as usize] {
@@ -261,32 +161,13 @@ impl<'p> State<'p> {
 /// Run greedy legalisation followed by simulated annealing.
 pub fn stitch(device: &Device, problem: &StitchProblem, config: &StitchConfig) -> StitchResult {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let rows = device.rows();
-
-    let candidates: Vec<Candidates> = problem
-        .modules
-        .iter()
-        .map(|m| {
-            let xs = device.matching_anchors(&m.signature);
-            let y_step = m.signature.y_alignment();
-            let y_max = rows.saturating_sub(m.height);
-            Candidates { xs, y_step, y_max }
-        })
-        .collect();
-
-    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); problem.instances.len()];
-    for (ni, net) in problem.nets.iter().enumerate() {
-        for &e in &net.endpoints {
-            incident[e as usize].push(ni as u32);
-        }
-    }
 
     let mut state = State {
         problem,
-        candidates,
+        candidates: build_candidates(device, problem),
         positions: vec![None; problem.instances.len()],
-        grid: Grid::new(device.width(), rows),
-        incident,
+        grid: Grid::new(device.width(), device.rows()),
+        incident: build_incident(problem),
         cost: 0.0,
     };
 
@@ -296,7 +177,7 @@ pub fn stitch(device: &Device, problem: &StitchProblem, config: &StitchConfig) -
     for &inst in &order {
         try_insert(&mut state, inst, &mut rng);
     }
-    state.cost = state.total_cost();
+    state.cost = total_cost(problem, &state.positions);
     let initial_cost = state.cost;
 
     // Temperature from the scale of legal-move deltas.
@@ -304,6 +185,8 @@ pub fn stitch(device: &Device, problem: &StitchProblem, config: &StitchConfig) -
     let mut temp = t0;
 
     let mut illegal_moves = 0u64;
+    let mut accepted_moves = 0u64;
+    let mut rejected_moves = 0u64;
     let late_insertions = 0u64;
     let mut cost_trace: Vec<(u64, f64)> = vec![(0, initial_cost)];
     let n_inst = problem.instances.len() as u32;
@@ -359,11 +242,15 @@ pub fn stitch(device: &Device, problem: &StitchProblem, config: &StitchConfig) -
         let delta = state.apply_move(inst, x, y);
         let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
         if !accept {
+            rejected_moves += 1;
             state.undo_move(inst, old, delta);
-        } else if state.cost < best_cost - 1e-12 {
-            best_cost = state.cost;
-            best_positions = state.positions.clone();
-            best_move = mv;
+        } else {
+            accepted_moves += 1;
+            if state.cost < best_cost - 1e-12 {
+                best_cost = state.cost;
+                best_positions = state.positions.clone();
+                best_move = mv;
+            }
         }
         if mv.is_multiple_of(u64::from(config.moves_per_temp)) {
             temp = (temp * config.cooling).max(t0 * 1e-4);
@@ -377,7 +264,7 @@ pub fn stitch(device: &Device, problem: &StitchProblem, config: &StitchConfig) -
         state.positions = best_positions;
         state.cost = best_cost;
     }
-    let final_cost = state.total_cost();
+    let final_cost = total_cost(problem, &state.positions);
     cost_trace.push((mv, final_cost));
 
     let unplaced: Vec<u32> = state
@@ -408,6 +295,9 @@ pub fn stitch(device: &Device, problem: &StitchProblem, config: &StitchConfig) -
         initial_cost,
         final_cost,
         illegal_moves,
+        accepted_moves,
+        rejected_moves,
+        final_temp: temp,
         late_insertions,
         total_moves: mv,
         convergence_move,
@@ -417,7 +307,7 @@ pub fn stitch(device: &Device, problem: &StitchProblem, config: &StitchConfig) -
 }
 
 /// Try to insert an unplaced instance at a pseudo-random free candidate.
-fn try_insert(state: &mut State<'_>, inst: u32, rng: &mut StdRng) -> bool {
+pub(crate) fn try_insert(state: &mut State<'_>, inst: u32, rng: &mut StdRng) -> bool {
     if state.positions[inst as usize].is_some() {
         return true;
     }
@@ -478,9 +368,11 @@ fn estimate_t0(state: &mut State<'_>, rng: &mut StdRng) -> f64 {
 
 /// [`stitch`] with telemetry: wraps the anneal in a `stitch`-phase span
 /// (placed/unplaced counts, final cost), bumps the
-/// `stitch.{placed,unplaced,moves,late_insertions}` counters and records
-/// the final wirelength cost as the `stitch.cost` observation. The plain
-/// [`stitch`] stays untouched — its many call sites record nothing.
+/// `stitch.{placed,unplaced,moves,accepted,rejected,late_insertions}`
+/// counters and records the final wirelength cost and terminal
+/// temperature as the `stitch.cost` / `stitch.final_temp` observations.
+/// The plain [`stitch`] stays untouched — its many call sites record
+/// nothing.
 pub fn stitch_observed(
     device: &Device,
     problem: &StitchProblem,
@@ -495,8 +387,12 @@ pub fn stitch_observed(
     obs.count("stitch.placed", r.placed_count as u64);
     obs.count("stitch.unplaced", r.unplaced_count as u64);
     obs.count("stitch.moves", r.total_moves);
+    obs.count("stitch.accepted", r.accepted_moves);
+    obs.count("stitch.rejected", r.rejected_moves);
+    obs.count("stitch.illegal", r.illegal_moves);
     obs.count("stitch.late_insertions", r.late_insertions);
     obs.observe("stitch.cost", r.final_cost);
+    obs.observe("stitch.final_temp", r.final_temp);
     r
 }
 
@@ -567,9 +463,23 @@ mod tests {
             observed.unplaced_count as u64
         );
         assert_eq!(sink.counter("stitch.moves"), observed.total_moves);
+        // The SA decision stats are exported, and they reconcile: every
+        // proposed move is accepted, rejected, illegal, or skipped.
+        assert_eq!(sink.counter("stitch.accepted"), observed.accepted_moves);
+        assert_eq!(sink.counter("stitch.rejected"), observed.rejected_moves);
+        assert_eq!(sink.counter("stitch.illegal"), observed.illegal_moves);
+        assert!(observed.accepted_moves > 0);
+        assert!(
+            observed.accepted_moves + observed.rejected_moves + observed.illegal_moves
+                <= observed.total_moves
+        );
         let (n, cost) = sink.observation("stitch.cost").unwrap();
         assert_eq!(n, 1);
         assert!((cost - observed.final_cost).abs() < 1e-9);
+        let (n, temp) = sink.observation("stitch.final_temp").unwrap();
+        assert_eq!(n, 1);
+        assert!((temp - observed.final_temp).abs() < 1e-12);
+        assert!(observed.final_temp > 0.0);
     }
 
     #[test]
@@ -634,6 +544,8 @@ mod tests {
         assert_eq!(a.positions, b.positions);
         assert_eq!(a.final_cost, b.final_cost);
         assert_eq!(a.illegal_moves, b.illegal_moves);
+        assert_eq!(a.accepted_moves, b.accepted_moves);
+        assert_eq!(a.rejected_moves, b.rejected_moves);
     }
 
     #[test]

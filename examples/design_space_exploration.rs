@@ -119,6 +119,7 @@ fn main() {
         use_shape_report: true,
         model: PlacementModel::default(),
         stitch: StitchConfig::standard(seed),
+        portfolio: None,
         obs: tailored_macro_sizes::obs::noop(),
         seed,
     };

@@ -41,6 +41,7 @@ fn main() {
                     max_moves: 30_000,
                     ..StitchConfig::standard(7)
                 },
+                portfolio: None,
                 seed: 7,
                 obs: tailored_macro_sizes::obs::noop(),
             },

@@ -85,6 +85,7 @@ fn main() {
                 use_shape_report: true,
                 model: PlacementModel::default(),
                 stitch: StitchConfig::fast(seed),
+                portfolio: None,
                 seed,
                 obs: tailored_macro_sizes::obs::noop(),
             },

@@ -145,6 +145,7 @@ fn main() {
                 max_moves: 40_000,
                 ..StitchConfig::standard(31)
             },
+            portfolio: None,
             seed: 31,
             obs: tailored_macro_sizes::obs::noop(),
         },

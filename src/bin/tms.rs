@@ -9,6 +9,8 @@
 //! tms client <endpoint> [opts]         query a running service
 //! tms store <inspect|compact|verify>   manage a persistent macro library
 //! tms report --trace <path>            render a JSONL trace as a phase table
+//! tms stitch [opts]                    stitch the cnvW1A1 macros: single-run
+//!                                      SA, or the parallel search portfolio
 //! tms chaos [opts]                     fault-injection drill: serve under a
 //!                                      seeded fault plan, show recovery
 //!
@@ -51,6 +53,17 @@
 //!   --cf <x>             constant CF; omit for minimal-CF search
 //!   --timeout <secs>     reply deadline (default 120); the connect
 //!                        timeout is 5 s — a dead server never hangs you
+//!
+//! stitch options:
+//!   --portfolio          use the multi-lane search portfolio instead of
+//!                        the single-run annealer
+//!   --lanes <N>          total portfolio lanes: N−1 SA + 1 EA (default 3)
+//!   --threads <N>        worker threads; 0 = one per core (default 0).
+//!                        Affects wall-clock only — results are identical
+//!                        for every thread count
+//!   --deadline-ms <N>    wall-clock budget, checked at round barriers
+//!                        (default: none; the round budget bounds the run)
+//!   --seed <N>           portfolio seed; lane seeds derive from it
 //!
 //! chaos options (an in-process server is bombarded under a seeded
 //! fault plan, then the faults are lifted to demonstrate recovery):
@@ -624,6 +637,89 @@ fn cmd_chaos(flags: &HashMap<String, String>) {
     println!("chaos run complete");
 }
 
+/// Stitch the cnvW1A1 macro set (pre-implemented at a constant CF so the
+/// problem is a pure function of the seed): either with the seed-era
+/// single-run annealer, or — under `--portfolio` — with the multi-lane
+/// search portfolio tuned by the committed `BENCH_stitch.json` config.
+fn cmd_stitch(flags: &HashMap<String, String>) {
+    use tailored_macro_sizes::flow::{bench_problem, StitchBenchConfig};
+    use tailored_macro_sizes::stitch::{stitch, stitch_portfolio, StitchConfig};
+
+    let device = device_of(flags);
+    let seed = num(flags, "seed", 2024);
+    println!(
+        "building the cnvW1A1 stitch problem on {} (seed {seed}) ...",
+        device.name()
+    );
+    let problem = bench_problem(&device, seed);
+    println!(
+        "{} instances, {} nets",
+        problem.instances.len(),
+        problem.nets.len()
+    );
+
+    if flags.contains_key("portfolio") {
+        // Start from the canonical tuned parameters, then apply the
+        // lane/thread/deadline overrides.
+        let mut cfg = StitchBenchConfig::canonical(seed).portfolio;
+        let lanes = num(flags, "lanes", 3).max(1) as usize;
+        cfg.sa_lanes = lanes.saturating_sub(1).max(1);
+        cfg.ea_lanes = usize::from(lanes >= 2);
+        cfg.threads = num(flags, "threads", 0) as usize;
+        if let Some(ms) = flags.get("deadline-ms").and_then(|v| v.parse().ok()) {
+            cfg = cfg.with_deadline_ms(ms);
+        }
+        let started = std::time::Instant::now();
+        let (result, report) = stitch_portfolio(&device, &problem, &cfg);
+        let wall = started.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "portfolio: {} SA + {} EA lanes, {} rounds run ({}), {} moves in {wall:.1}ms",
+            cfg.sa_lanes,
+            cfg.ea_lanes,
+            report.rounds_run,
+            if report.stalled_out {
+                "stall stop"
+            } else if report.deadline_hit {
+                "deadline"
+            } else {
+                "full budget"
+            },
+            result.total_moves,
+        );
+        for lane in &report.lanes {
+            println!(
+                "  lane {:<3} seed {:>20}  best {:>10.0}  wins {:>2}  restarts {}",
+                lane.kind.label(),
+                lane.seed,
+                lane.best_score.cost,
+                lane.wins,
+                lane.restarts
+            );
+        }
+        println!(
+            "cost {:.0} -> {:.0}, placed {}/{}",
+            result.initial_cost,
+            result.final_cost,
+            result.placed_count,
+            result.placed_count + result.unplaced_count
+        );
+    } else {
+        let cfg = StitchConfig::standard(seed);
+        let started = std::time::Instant::now();
+        let result = stitch(&device, &problem, &cfg);
+        let wall = started.elapsed().as_secs_f64() * 1e3;
+        println!("single-run SA: {} moves in {wall:.1}ms", result.total_moves);
+        println!(
+            "cost {:.0} -> {:.0}, placed {}/{}   {}",
+            result.initial_cost,
+            result.final_cost,
+            result.placed_count,
+            result.placed_count + result.unplaced_count,
+            render_cost_trace(&result.cost_trace, 48)
+        );
+    }
+}
+
 fn to_pretty<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("unprintable reply: {e}"))
 }
@@ -640,11 +736,12 @@ fn main() {
         Some("client") => cmd_client(&positional[1..], &flags),
         Some("store") => cmd_store(&positional[1..], &flags),
         Some("report") => cmd_report(&flags),
+        Some("stitch") => cmd_stitch(&flags),
         Some("chaos") => cmd_chaos(&flags),
         _ => {
             eprintln!(
-                "usage: tms <devices|train|compile|experiments|serve|client|store|report|chaos> \
-                 [options]"
+                "usage: tms <devices|train|compile|experiments|serve|client|store|report|stitch\
+                 |chaos> [options]"
             );
             eprintln!("see the module docs in src/bin/tms.rs for the option list");
             std::process::exit(2);

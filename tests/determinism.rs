@@ -22,6 +22,7 @@ fn run_flow(seed: u64) -> (Vec<Option<(u32, u32)>>, f64, u32) {
             use_shape_report: true,
             model: PlacementModel::default(),
             stitch: StitchConfig::fast(seed),
+            portfolio: None,
             obs: tailored_macro_sizes::obs::noop(),
             seed,
         },

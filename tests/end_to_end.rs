@@ -21,6 +21,7 @@ fn quick_flow_cfg(policy: CfPolicy<'_>, seed: u64) -> RwFlowConfig<'_> {
         use_shape_report: true,
         model: PlacementModel::default(),
         stitch: StitchConfig::fast(seed),
+        portfolio: None,
         obs: tailored_macro_sizes::obs::noop(),
         seed,
     }

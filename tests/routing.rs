@@ -20,6 +20,7 @@ fn flow_cfg(seed: u64, policy: CfPolicy<'_>) -> RwFlowConfig<'_> {
             max_moves: 20_000,
             ..StitchConfig::standard(seed)
         },
+        portfolio: None,
         seed,
         obs: tailored_macro_sizes::obs::noop(),
     }

@@ -337,7 +337,7 @@ impl Device {
 
 /// Count of whole `span`-row sites, aligned at multiples of `span`, whose
 /// rows are fully inside `[y0, y1)`.
-fn aligned_sites(y0: u32, y1: u32, span: u32) -> u32 {
+pub(crate) fn aligned_sites(y0: u32, y1: u32, span: u32) -> u32 {
     let first = y0.div_ceil(span);
     let last = y1 / span;
     last.saturating_sub(first)

@@ -43,6 +43,7 @@ pub mod capacity;
 pub mod device;
 pub mod geom;
 pub mod kinds;
+pub mod prefix;
 mod proptests;
 
 pub use capacity::{
@@ -52,3 +53,4 @@ pub use capacity::{
 pub use device::{Column, ColumnSignature, Device, DeviceName};
 pub use geom::Rect;
 pub use kinds::ColumnKind;
+pub use prefix::CapacityPrefix;

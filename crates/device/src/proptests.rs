@@ -5,6 +5,7 @@
 use crate::capacity::SliceCapacity;
 use crate::device::Device;
 use crate::geom::Rect;
+use crate::prefix::CapacityPrefix;
 use proptest::prelude::*;
 
 fn arb_device() -> impl Strategy<Value = Device> {
@@ -73,6 +74,30 @@ proptest! {
         prop_assert_eq!(dev.capacity_in(&dev.bounds()), dev.full_capacity());
         let off = Rect::new(0, dev.rows() + y, 5, 5);
         prop_assert_eq!(dev.capacity_in(&off), SliceCapacity::default());
+    }
+
+    /// The O(1) prefix-sum capacity equals the scan-based `capacity_in`
+    /// for arbitrary rectangles — including off-fabric and clipped ones —
+    /// on the test fabric and both paper evaluation parts.
+    #[test]
+    fn prefix_capacity_matches_scan(
+        which in 0usize..3,
+        r in arb_rect(200, 400),
+    ) {
+        let dev = [Device::test_fabric(), Device::xc7z020(), Device::xc7z045()]
+            [which].clone();
+        let prefix = CapacityPrefix::build(&dev);
+        prop_assert_eq!(prefix.capacity_in(&r), dev.capacity_in(&r));
+    }
+
+    /// The count-prefiltered anchor search returns exactly the anchors of
+    /// the exact column-compare scan.
+    #[test]
+    fn prefix_anchors_match_scan(dev in arb_device(), x0 in 0u32..80, w in 1u32..12) {
+        prop_assume!(x0 + w <= dev.width());
+        let prefix = CapacityPrefix::build(&dev);
+        let sig = dev.signature(x0, w);
+        prop_assert_eq!(prefix.matching_anchors(&dev, &sig), dev.matching_anchors(&sig));
     }
 
     /// Clock-region arithmetic is consistent with the region height.

@@ -1,0 +1,479 @@
+//! The canonical flow benchmark: incremental minimal-CF search engine
+//! versus the pre-engine reference, with a machine-portable regression gate.
+//!
+//! [`run_flow_bench`] measures two things on cnvW1A1:
+//!
+//! 1. **The wide labelling sweep** — every unique module searched with
+//!    [`CfSearch::wide`], once through
+//!    [`tms_pblock::min_feasible_cf_reference_observed`] (regenerate the
+//!    PBlock and run the full placement on every attempt) and once through
+//!    the incremental engine behind
+//!    [`tms_pblock::min_feasible_cf_observed`]. Both sides see identical
+//!    module preparation (netlist stats, packing, shape report are built
+//!    outside the timed region), so the wall-clock ratio isolates the
+//!    search itself. The harness verifies the two sides bit-for-bit: same
+//!    CF, attempts, PBlock, placement per module and the same per-reason
+//!    failure counters.
+//! 2. **The end-to-end flow** — `run_rw_flow` under
+//!    [`CfPolicy::MinimalReference`] versus [`CfPolicy::Minimal`], fast
+//!    stitch on both sides.
+//!
+//! The [`FlowBenchReport`] serialises to the committed `BENCH_flow.json`
+//! snapshot. [`check_flow_regression`] gates CI on the machine-independent
+//! metrics — attempt counts, the prescreen ratio, labelled-module counts,
+//! and the bit-identity flag — never on absolute wall-clock or on the
+//! speedup ratios, which vary with hardware.
+
+use crate::rwflow::{run_rw_flow, CfPolicy, RwFlowConfig};
+use tms_cnn::cnvw1a1;
+use tms_device::Device;
+use tms_obs::AggregatingSink;
+use tms_pblock::{
+    min_feasible_cf_observed, min_feasible_cf_reference_observed, CfResult, CfSearch,
+    PBlockGenerator,
+};
+use tms_place::{detail::module_key, quick_place, PlacementModel, ShapeReport};
+use tms_stitch::StitchConfig;
+use tms_synth::{pack, PackingReport};
+
+/// The failure-reason counters both search implementations must agree on.
+const FAIL_KINDS: [&str; 8] = [
+    "place.fail.off-device",
+    "place.fail.slices",
+    "place.fail.m-slice",
+    "place.fail.bram-column",
+    "place.fail.dsp-column",
+    "place.fail.carry-chain",
+    "place.fail.congestion",
+    "pblock.generate.failed",
+];
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct FlowBenchConfig {
+    /// Seed for the design, module keys, and the flow.
+    pub seed: u64,
+    /// Timed repetitions per side; the median wall-clock is reported.
+    pub reps: u32,
+}
+
+impl FlowBenchConfig {
+    /// The canonical configuration behind the committed snapshot.
+    pub fn canonical(seed: u64) -> Self {
+        FlowBenchConfig { seed, reps: 3 }
+    }
+
+    /// Single-repetition CI smoke mode. Both search implementations are
+    /// deterministic, so every metric except wall-clock is identical to
+    /// [`Self::canonical`] and remains comparable against the snapshot.
+    pub fn quick(seed: u64) -> Self {
+        FlowBenchConfig { seed, reps: 1 }
+    }
+}
+
+/// Wall-clock and accounting of one side of the sweep comparison.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SweepSide {
+    /// Median wall-clock over the configured repetitions, in milliseconds.
+    pub wall_ms: f64,
+    /// Modules the sweep found a feasible CF for.
+    pub labelled: u64,
+    /// Successful-search attempts (`pblock.search.tool_runs`).
+    pub tool_runs: u64,
+    /// Attempts spent on infeasible modules (`pblock.search.wasted_runs`).
+    pub wasted_runs: u64,
+}
+
+/// Wall-clock and accounting of one side of the end-to-end comparison.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FlowSide {
+    /// Median wall-clock over the configured repetitions, in milliseconds.
+    pub wall_ms: f64,
+    /// Modules implemented.
+    pub implemented: u64,
+    /// Modules with no feasible CF.
+    pub failed: u64,
+    /// Total place-and-route tool runs.
+    pub tool_runs: u64,
+}
+
+/// The committed benchmark snapshot (`BENCH_flow.json`).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FlowBenchReport {
+    /// Snapshot schema version.
+    pub schema: u32,
+    /// Benchmarked design.
+    pub design: String,
+    /// Labelling device.
+    pub device: String,
+    /// Seed of the design, module keys, and flow.
+    pub seed: u64,
+    /// Unique modules in the sweep.
+    pub modules: u64,
+    /// The pre-engine reference sweep.
+    pub sweep_reference: SweepSide,
+    /// The incremental-engine sweep.
+    pub sweep_engine: SweepSide,
+    /// `sweep_reference.wall_ms / sweep_engine.wall_ms`.
+    pub sweep_speedup: f64,
+    /// Whether the engine reproduced the reference bit-for-bit: per-module
+    /// CF (by bits), attempts, PBlock, placement, and every per-reason
+    /// failure counter.
+    pub sweep_identical: bool,
+    /// Attempts the engine resolved without a full placement
+    /// (`pblock.search.prescreened`).
+    pub prescreened: u64,
+    /// `prescreened / (tool_runs + wasted_runs)` — the fraction of all
+    /// attempts the structural prescreen short-circuited.
+    pub prescreen_ratio: f64,
+    /// End-to-end flow on [`CfPolicy::MinimalReference`].
+    pub flow_reference: FlowSide,
+    /// End-to-end flow on [`CfPolicy::Minimal`].
+    pub flow_engine: FlowSide,
+    /// `flow_reference.wall_ms / flow_engine.wall_ms`.
+    pub flow_speedup: f64,
+}
+
+/// A module prepared for the sweep: everything upstream of the CF search.
+struct Prepped {
+    name: String,
+    key: u64,
+    stats: tms_netlist::NetlistStats,
+    packing: PackingReport,
+    shape: ShapeReport,
+}
+
+fn prep_modules(seed: u64) -> Vec<Prepped> {
+    cnvw1a1(seed)
+        .modules
+        .iter()
+        .map(|m| {
+            let stats = m.netlist.stats();
+            let packing = pack(&stats);
+            let shape = quick_place(&stats, &packing);
+            Prepped {
+                name: m.name.clone(),
+                key: module_key(&m.name, seed),
+                stats,
+                packing,
+                shape,
+            }
+        })
+        .collect()
+}
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+type SweepOutcome = (Vec<Option<CfResult>>, AggregatingSink, Vec<f64>);
+
+/// Run one side of the sweep `reps` times; returns the last repetition's
+/// results and sink (the searches are deterministic, so every repetition
+/// produces the same) plus the wall-clock samples.
+fn run_sweep(
+    prepped: &[Prepped],
+    gen: &PBlockGenerator<'_>,
+    model: &PlacementModel,
+    search: &CfSearch,
+    reps: u32,
+    reference: bool,
+) -> SweepOutcome {
+    let mut walls = Vec::new();
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let sink = AggregatingSink::new();
+        let started = std::time::Instant::now();
+        let results: Vec<Option<CfResult>> = prepped
+            .iter()
+            .map(|p| {
+                if reference {
+                    min_feasible_cf_reference_observed(
+                        gen, &p.stats, &p.packing, &p.shape, model, search, p.key, &sink, &p.name,
+                    )
+                } else {
+                    min_feasible_cf_observed(
+                        gen, &p.stats, &p.packing, &p.shape, model, search, p.key, &sink, &p.name,
+                    )
+                }
+            })
+            .collect();
+        walls.push(started.elapsed().as_secs_f64() * 1e3);
+        last = Some((results, sink));
+    }
+    let (results, sink) = last.expect("reps >= 1");
+    (results, sink, walls)
+}
+
+fn sweep_side(sink: &AggregatingSink, walls: Vec<f64>) -> SweepSide {
+    SweepSide {
+        wall_ms: median_ms(walls),
+        labelled: sink.counter("pblock.search.feasible"),
+        tool_runs: sink.counter("pblock.search.tool_runs"),
+        wasted_runs: sink.counter("pblock.search.wasted_runs"),
+    }
+}
+
+/// Whether the two sweep sides are bit-for-bit identical: results and
+/// per-reason counters (the engine's extra `pblock.search.prescreened`
+/// skip counter is the one permitted difference).
+fn sweeps_identical(
+    reference: &[Option<CfResult>],
+    engine: &[Option<CfResult>],
+    ref_sink: &AggregatingSink,
+    eng_sink: &AggregatingSink,
+) -> bool {
+    if reference.len() != engine.len() {
+        return false;
+    }
+    let results_match = reference.iter().zip(engine).all(|(a, b)| match (a, b) {
+        (Some(a), Some(b)) => {
+            a.cf.to_bits() == b.cf.to_bits()
+                && a.attempts == b.attempts
+                && a.pblock == b.pblock
+                && a.placement == b.placement
+        }
+        (None, None) => true,
+        _ => false,
+    });
+    results_match
+        && FAIL_KINDS
+            .iter()
+            .all(|k| ref_sink.counter(k) == eng_sink.counter(k))
+}
+
+fn run_flow_side(policy_engine: bool, seed: u64, reps: u32) -> (FlowSide, Vec<f64>) {
+    let device = Device::xc7z020();
+    let design = cnvw1a1(seed);
+    let mut walls = Vec::new();
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let cfg = RwFlowConfig {
+            policy: if policy_engine {
+                CfPolicy::Minimal(CfSearch::wide())
+            } else {
+                CfPolicy::MinimalReference(CfSearch::wide())
+            },
+            use_shape_report: true,
+            model: PlacementModel::default(),
+            stitch: StitchConfig::fast(seed),
+            portfolio: None,
+            seed,
+            obs: tms_obs::noop(),
+        };
+        let started = std::time::Instant::now();
+        let r = run_rw_flow(&design, &device, &cfg);
+        walls.push(started.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    let r = last.expect("reps >= 1");
+    (
+        FlowSide {
+            wall_ms: median_ms(walls.clone()),
+            implemented: r.implemented.len() as u64,
+            failed: r.failed.len() as u64,
+            tool_runs: u64::from(r.total_tool_runs),
+        },
+        walls,
+    )
+}
+
+/// Run both sides of both comparisons and build the report.
+pub fn run_flow_bench(cfg: &FlowBenchConfig) -> FlowBenchReport {
+    let device = Device::xc7z020();
+    let gen = PBlockGenerator::new(&device, true);
+    let model = PlacementModel::default();
+    let search = CfSearch::wide();
+    let prepped = prep_modules(cfg.seed);
+
+    let (ref_results, ref_sink, ref_walls) =
+        run_sweep(&prepped, &gen, &model, &search, cfg.reps, true);
+    let (eng_results, eng_sink, eng_walls) =
+        run_sweep(&prepped, &gen, &model, &search, cfg.reps, false);
+
+    let identical = sweeps_identical(&ref_results, &eng_results, &ref_sink, &eng_sink);
+    let prescreened = eng_sink.counter("pblock.search.prescreened");
+    let sweep_reference = sweep_side(&ref_sink, ref_walls);
+    let sweep_engine = sweep_side(&eng_sink, eng_walls);
+    let total_attempts = sweep_engine.tool_runs + sweep_engine.wasted_runs;
+    let sweep_speedup = sweep_reference.wall_ms / sweep_engine.wall_ms.max(1e-9);
+
+    let (flow_reference, _) = run_flow_side(false, cfg.seed, cfg.reps);
+    let (flow_engine, _) = run_flow_side(true, cfg.seed, cfg.reps);
+    let flow_speedup = flow_reference.wall_ms / flow_engine.wall_ms.max(1e-9);
+
+    FlowBenchReport {
+        schema: 1,
+        design: "cnvW1A1".to_string(),
+        device: "xc7z020".to_string(),
+        seed: cfg.seed,
+        modules: prepped.len() as u64,
+        sweep_reference,
+        sweep_engine,
+        sweep_speedup,
+        sweep_identical: identical,
+        prescreened,
+        prescreen_ratio: prescreened as f64 / (total_attempts as f64).max(1.0),
+        flow_reference,
+        flow_engine,
+        flow_speedup,
+    }
+}
+
+/// Compare a fresh report against the committed snapshot. Returns one
+/// violation message per tracked metric that regressed beyond `tolerance`
+/// (e.g. `0.2` = 20%). Only machine-independent metrics are gated:
+/// attempt counts, the prescreen ratio, labelled/implemented counts, and
+/// the bit-identity flag. Wall-clock and the speedup ratios are recorded
+/// but never compared — they vary with hardware.
+pub fn check_flow_regression(
+    old: &FlowBenchReport,
+    new: &FlowBenchReport,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if new.schema != old.schema {
+        violations.push(format!(
+            "schema changed: snapshot {} vs current {} — regenerate the snapshot",
+            old.schema, new.schema
+        ));
+        return violations;
+    }
+    let worse = 1.0 + tolerance;
+    if !new.sweep_identical {
+        violations.push("engine sweep diverged from the reference sweep".to_string());
+    }
+    if new.modules != old.modules {
+        violations.push(format!(
+            "module count changed: {} vs snapshot {}",
+            new.modules, old.modules
+        ));
+    }
+    if new.sweep_engine.labelled < old.sweep_engine.labelled {
+        violations.push(format!(
+            "sweep labelled fewer modules: {} vs snapshot {}",
+            new.sweep_engine.labelled, old.sweep_engine.labelled
+        ));
+    }
+    if (new.sweep_engine.tool_runs as f64) > old.sweep_engine.tool_runs as f64 * worse {
+        violations.push(format!(
+            "sweep attempt count regressed: {} vs snapshot {} (>{:.0}%)",
+            new.sweep_engine.tool_runs,
+            old.sweep_engine.tool_runs,
+            tolerance * 100.0
+        ));
+    }
+    if new.prescreen_ratio < old.prescreen_ratio / worse {
+        violations.push(format!(
+            "prescreen ratio regressed: {:.3} vs snapshot {:.3} (>{:.0}%)",
+            new.prescreen_ratio,
+            old.prescreen_ratio,
+            tolerance * 100.0
+        ));
+    }
+    if new.flow_engine.implemented < old.flow_engine.implemented {
+        violations.push(format!(
+            "flow implemented fewer modules: {} vs snapshot {}",
+            new.flow_engine.implemented, old.flow_engine.implemented
+        ));
+    }
+    if (new.flow_engine.tool_runs as f64) > old.flow_engine.tool_runs as f64 * worse {
+        violations.push(format!(
+            "flow tool-run count regressed: {} vs snapshot {} (>{:.0}%)",
+            new.flow_engine.tool_runs,
+            old.flow_engine.tool_runs,
+            tolerance * 100.0
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The satellite regression test: the prescreened engine sweep must
+    /// reproduce the reference sweep's exact per-module `CfResult`s and
+    /// per-reason failure counters on the full cnvW1A1 module set.
+    #[test]
+    fn engine_sweep_is_bit_identical_on_cnvw1a1() {
+        let device = Device::xc7z020();
+        let gen = PBlockGenerator::new(&device, true);
+        let model = PlacementModel::default();
+        let search = CfSearch::wide();
+        let prepped = prep_modules(1);
+        assert_eq!(prepped.len(), 74);
+        let (ref_results, ref_sink, _) = run_sweep(&prepped, &gen, &model, &search, 1, true);
+        let (eng_results, eng_sink, _) = run_sweep(&prepped, &gen, &model, &search, 1, false);
+        for ((a, b), p) in ref_results.iter().zip(&eng_results).zip(&prepped) {
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.cf.to_bits(), b.cf.to_bits(), "{}: cf diverged", p.name);
+                    assert_eq!(a.attempts, b.attempts, "{}: attempts diverged", p.name);
+                    assert_eq!(a.pblock, b.pblock, "{}: pblock diverged", p.name);
+                    assert_eq!(a.placement, b.placement, "{}: placement diverged", p.name);
+                }
+                (None, None) => {}
+                _ => panic!("{}: feasibility diverged", p.name),
+            }
+        }
+        for k in FAIL_KINDS {
+            assert_eq!(
+                ref_sink.counter(k),
+                eng_sink.counter(k),
+                "counter {k} diverged"
+            );
+        }
+        assert_eq!(
+            ref_sink.counter("pblock.search.tool_runs"),
+            eng_sink.counter("pblock.search.tool_runs")
+        );
+        assert_eq!(
+            ref_sink.counter("pblock.search.wasted_runs"),
+            eng_sink.counter("pblock.search.wasted_runs")
+        );
+        // The reference never prescreens; the engine does.
+        assert_eq!(ref_sink.counter("pblock.search.prescreened"), 0);
+        assert!(eng_sink.counter("pblock.search.prescreened") > 0);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json_and_passes_its_own_gate() {
+        let report = run_flow_bench(&FlowBenchConfig::quick(1));
+        assert_eq!(report.modules, 74);
+        assert!(report.sweep_identical);
+        assert!(report.sweep_reference.wall_ms > 0.0);
+        assert!(report.sweep_engine.wall_ms > 0.0);
+        assert!(report.prescreened > 0);
+        assert!(report.prescreen_ratio > 0.0 && report.prescreen_ratio <= 1.0);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: FlowBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seed, report.seed);
+        assert_eq!(back.sweep_engine.tool_runs, report.sweep_engine.tool_runs);
+        assert!((back.sweep_speedup - report.sweep_speedup).abs() < 1e-9);
+        assert!(check_flow_regression(&report, &report, 0.2).is_empty());
+
+        // Regressions are flagged; wall-clock alone is never gated.
+        let mut bad = report.clone();
+        bad.sweep_identical = false;
+        bad.sweep_engine.tool_runs = report.sweep_engine.tool_runs * 2;
+        bad.prescreen_ratio = report.prescreen_ratio / 2.0;
+        bad.flow_engine.implemented = report.flow_engine.implemented.saturating_sub(1);
+        let violations = check_flow_regression(&report, &bad, 0.2);
+        assert_eq!(violations.len(), 4, "{violations:?}");
+        let mut slow = report.clone();
+        slow.sweep_reference.wall_ms *= 10.0;
+        slow.sweep_engine.wall_ms *= 10.0;
+        slow.sweep_speedup *= 7.0;
+        slow.flow_speedup /= 7.0;
+        assert!(check_flow_regression(&report, &slow, 0.2).is_empty());
+
+        // Schema bumps short-circuit.
+        let mut newer = report.clone();
+        newer.schema += 1;
+        let violations = check_flow_regression(&report, &newer, 0.2);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("schema"));
+    }
+}

@@ -34,6 +34,7 @@
 pub mod amd;
 pub mod cache;
 pub mod experiments;
+pub mod flowbench;
 pub mod render;
 pub mod resilient;
 pub mod rwflow;
@@ -43,6 +44,9 @@ pub use amd::{run_amd_flow, AmdFlowConfig, AmdFlowResult};
 pub use cache::{
     run_rw_flow_cached, run_rw_flow_cached_verified, CachedFlowResult, ImplementationCache,
     MacroStore, ModuleFingerprint, DEFAULT_CACHE_CAPACITY,
+};
+pub use flowbench::{
+    check_flow_regression, run_flow_bench, FlowBenchConfig, FlowBenchReport, FlowSide, SweepSide,
 };
 pub use render::{coverage_line, render_cost_trace, render_stitched};
 pub use resilient::{implement_module_resilient, run_rw_flow_cached_resilient, Resilience};

@@ -1,7 +1,7 @@
 //! The Figure-1 PBlock generator.
 
 use tms_device::{
-    ColumnKind, ColumnSignature, Device, Rect, SliceCapacity, DSP48_ROWS, RAMB36_ROWS,
+    CapacityPrefix, ColumnSignature, Device, Rect, SliceCapacity, DSP48_ROWS, RAMB36_ROWS,
 };
 use tms_place::ShapeReport;
 
@@ -28,56 +28,25 @@ impl PBlock {
     }
 }
 
-/// Per-column prefix sums for O(1) window-capacity queries.
-struct Prefix {
-    l: Vec<u32>,
-    m: Vec<u32>,
-    bram_cols: Vec<u32>,
-    dsp_cols: Vec<u32>,
-    clock_cols: Vec<u32>,
-}
-
-impl Prefix {
-    fn build(device: &Device) -> Prefix {
-        let w = device.width() as usize;
-        let mut l = vec![0u32; w + 1];
-        let mut m = vec![0u32; w + 1];
-        let mut bram_cols = vec![0u32; w + 1];
-        let mut dsp_cols = vec![0u32; w + 1];
-        let mut clock_cols = vec![0u32; w + 1];
-        for (i, col) in device.columns().iter().enumerate() {
-            l[i + 1] = l[i] + u32::from(col.kind == ColumnKind::ClbL);
-            m[i + 1] = m[i] + u32::from(col.kind == ColumnKind::ClbM);
-            bram_cols[i + 1] = bram_cols[i] + u32::from(col.kind == ColumnKind::Bram);
-            dsp_cols[i + 1] = dsp_cols[i] + u32::from(col.kind == ColumnKind::Dsp);
-            clock_cols[i + 1] = clock_cols[i] + u32::from(col.kind == ColumnKind::Clock);
-        }
-        Prefix {
-            l,
-            m,
-            bram_cols,
-            dsp_cols,
-            clock_cols,
-        }
-    }
-
-    /// Capacity of the window `[x0, x0+w) × [0, h)`.
-    fn window(&self, x0: u32, w: u32, h: u32) -> SliceCapacity {
-        let (a, b) = (x0 as usize, (x0 + w) as usize);
-        SliceCapacity {
-            l_slices: (self.l[b] - self.l[a]) * h,
-            m_slices: (self.m[b] - self.m[a]) * h,
-            bram36: (self.bram_cols[b] - self.bram_cols[a]) * (h / RAMB36_ROWS),
-            dsp48: (self.dsp_cols[b] - self.dsp_cols[a]) * (h / DSP48_ROWS),
-            clock_columns: self.clock_cols[b] - self.clock_cols[a],
-        }
-    }
+/// A hint carried between [`PBlockGenerator::plan_target_resumed`] calls
+/// of one module's CF search: the previous (no-larger) target, the initial
+/// height its growth sequence started from, and the rectangle it settled
+/// on (or `None` when the device was exhausted).
+pub(crate) struct PlanResume {
+    pub(crate) target: u32,
+    pub(crate) h_init: u32,
+    pub(crate) result: Option<Rect>,
+    /// `⌈target / result.h⌉` — the CLB-column threshold of the settled
+    /// window sweep (0 when `result` is `None`). When the next target
+    /// rounds to the same threshold at that height, the sweep would make
+    /// identical decisions, so its result can be reused outright.
+    pub(crate) need_clb: u32,
 }
 
 /// Generates PBlocks on a fixed device per Figure 1.
 pub struct PBlockGenerator<'d> {
     device: &'d Device,
-    prefix: Prefix,
+    prefix: CapacityPrefix,
     /// Whether the carry-chain shape report constrains the height.
     /// Disabling this reproduces the Section V-C failure mode.
     pub use_shape_report: bool,
@@ -88,7 +57,7 @@ impl<'d> PBlockGenerator<'d> {
     pub fn new(device: &'d Device, use_shape_report: bool) -> Self {
         PBlockGenerator {
             device,
-            prefix: Prefix::build(device),
+            prefix: CapacityPrefix::build(device),
             use_shape_report,
         }
     }
@@ -98,18 +67,67 @@ impl<'d> PBlockGenerator<'d> {
         self.device
     }
 
+    /// The per-column capacity prefix tables of the device — shared with
+    /// the search engine so legality checks stay O(1).
+    pub fn prefix(&self) -> &CapacityPrefix {
+        &self.prefix
+    }
+
+    /// The slice target `⌈estimate · max(cf, 0)⌉` the generator aims for.
+    pub fn slice_target(&self, shape: &ShapeReport, cf: f64) -> u32 {
+        (f64::from(shape.est_slices) * cf.max(0.0)).ceil() as u32
+    }
+
     /// Generate the PBlock for `shape` at correction factor `cf`.
     ///
     /// Returns `None` when no rectangle on the device can satisfy the slice
     /// target and hard demand (module too large for the part).
     pub fn generate(&self, shape: &ShapeReport, cf: f64) -> Option<PBlock> {
         let cf = cf.max(0.0);
-        let target = (f64::from(shape.est_slices) * cf).ceil() as u32;
+        let target = self.slice_target(shape, cf);
+        let rect = self.plan_target(shape, target)?;
+        Some(self.freeze(rect, cf, target))
+    }
+
+    /// The window-search half of [`Self::generate`]: find the rectangle the
+    /// PBlock would occupy at `cf`, without materialising the (signature +
+    /// capacity) PBlock. The search engine uses this to screen a candidate
+    /// rectangle before paying for the freeze.
+    pub fn plan(&self, shape: &ShapeReport, cf: f64) -> Option<Rect> {
+        self.plan_target(shape, self.slice_target(shape, cf))
+    }
+
+    /// [`Self::plan`] keyed directly by the slice target. The planned
+    /// rectangle depends on `cf` only through the target, so callers that
+    /// step CF can reuse the previous plan whenever the target is unchanged.
+    pub(crate) fn plan_target(&self, shape: &ShapeReport, target: u32) -> Option<Rect> {
+        self.plan_target_resumed(shape, target, None).0
+    }
+
+    /// [`Self::plan_target`] with an optional resumption hint from an
+    /// earlier, no-larger target of the *same shape*. Also returns the
+    /// initial height of the growth sequence so callers can build the next
+    /// hint. The deductions are exact, so the returned rectangle is
+    /// identical to a from-scratch plan:
+    ///
+    /// * window feasibility is antitone in the target, so a smaller
+    ///   target's `None` stays `None` (the growth loop always ends at the
+    ///   full device height, where that smaller target already failed);
+    /// * the height-growth sequence is a pure function of its initial
+    ///   height, so when that matches, every height the earlier plan
+    ///   rejected before settling is rejected again — the loop can start
+    ///   directly at the earlier plan's height.
+    pub(crate) fn plan_target_resumed(
+        &self,
+        shape: &ShapeReport,
+        target: u32,
+        resume: Option<&PlanResume>,
+    ) -> (Option<Rect>, u32) {
         let demand = shape.demand;
 
         if target == 0 && demand == SliceCapacity::default() {
             // Degenerate one-tile PBlock.
-            return self.freeze(Rect::new(0, 0, 1, 1), cf, 0);
+            return (Some(Rect::new(0, 0, 1, 1)), 0);
         }
 
         let rows = self.device.rows();
@@ -126,13 +144,32 @@ impl<'d> PBlockGenerator<'d> {
             h = h.max(DSP48_ROWS);
         }
         h = h.min(rows);
+        let h_init = h;
+        if let Some(prev) = resume {
+            if prev.target <= target {
+                match prev.result {
+                    None => return (None, h_init),
+                    Some(rect) if prev.h_init == h_init => {
+                        // The demand thresholds depend only on the height,
+                        // so when the CLB threshold also matches, the sweep
+                        // at `rect.h` sees the identical threshold vector
+                        // and returns the identical window.
+                        if target.div_ceil(rect.h) == prev.need_clb {
+                            return (Some(rect), h_init);
+                        }
+                        h = rect.h;
+                    }
+                    _ => {}
+                }
+            }
+        }
 
         loop {
             if let Some((x0, w)) = self.best_window(target, &demand, h) {
-                return self.freeze(Rect::new(x0, 0, w, h), cf, target);
+                return (Some(Rect::new(x0, 0, w, h)), h_init);
             }
             if h >= rows {
-                return None;
+                return (None, h_init);
             }
             // Full width was insufficient at this height: grow the height.
             h = (h + (h / 4).max(1)).min(rows);
@@ -142,15 +179,49 @@ impl<'d> PBlockGenerator<'d> {
     /// Minimal-width window at height `h` covering target and demand;
     /// ties broken towards the leftmost x. Monotonicity of coverage in `w`
     /// admits a two-pointer sweep.
+    ///
+    /// A window of height `h ≤ rows` anchored at row 0 provides
+    /// `columns-of-kind × per-column-sites`, so each capacity test reduces
+    /// to a per-kind column-count threshold — the sweep compares four
+    /// prefix differences per candidate instead of materialising a
+    /// [`SliceCapacity`]. The thresholds are exact (`cols · per ≥ need ⟺
+    /// cols ≥ ⌈need / per⌉` for integer `per > 0`), so the chosen window
+    /// is identical to the capacity-based sweep; a unit test pins the two
+    /// against each other.
     fn best_window(&self, target: u32, demand: &SliceCapacity, h: u32) -> Option<(u32, u32)> {
         let width = self.device.width();
-        let ok = |x0: u32, w: u32| {
-            let cap = self.prefix.window(x0, w, h);
-            cap.slices() >= target
-                && cap.m_slices >= demand.m_slices
-                && cap.bram36 >= demand.bram36
-                && cap.dsp48 >= demand.dsp48
+        let need_clb = target.div_ceil(h);
+        let need_m = demand.m_slices.div_ceil(h);
+        let bram_per_col = self.prefix.bram36_sites_in_height(h);
+        let need_bram = if demand.bram36 == 0 {
+            0
+        } else if bram_per_col == 0 {
+            return None; // no window at this height holds a whole BRAM span
+        } else {
+            demand.bram36.div_ceil(bram_per_col)
         };
+        let dsp_per_col = self.prefix.dsp48_sites_in_height(h);
+        let need_dsp = if demand.dsp48 == 0 {
+            0
+        } else if dsp_per_col == 0 {
+            return None;
+        } else {
+            demand.dsp48.div_ceil(dsp_per_col)
+        };
+        let (l, m, bram, dsp) = self.prefix.kind_prefix_tables();
+        let ok = |x0: u32, w: u32| {
+            let (a, b) = (x0 as usize, (x0 + w) as usize);
+            let m_cols = m[b] - m[a];
+            (l[b] - l[a]) + m_cols >= need_clb
+                && m_cols >= need_m
+                && bram[b] - bram[a] >= need_bram
+                && dsp[b] - dsp[a] >= need_dsp
+        };
+        // The full-width window dominates every other: if it fails, this
+        // height is infeasible and the sweep can be skipped outright.
+        if !ok(0, width) {
+            return None;
+        }
         let mut best: Option<(u32, u32)> = None;
         let mut w = 1u32;
         for x0 in 0..width {
@@ -177,16 +248,18 @@ impl<'d> PBlockGenerator<'d> {
         best
     }
 
-    fn freeze(&self, rect: Rect, cf: f64, target: u32) -> Option<PBlock> {
-        let capacity = self.device.capacity_in(&rect);
+    /// Materialise the PBlock for a planned rectangle: capacity via the
+    /// O(1) prefix tables, signature from the device columns.
+    pub(crate) fn freeze(&self, rect: Rect, cf: f64, target: u32) -> PBlock {
+        let capacity = self.prefix.capacity_in(&rect);
         let signature = self.device.signature(rect.x, rect.w);
-        Some(PBlock {
+        PBlock {
             rect,
             signature,
             capacity,
             cf,
             target_slices: target,
-        })
+        }
     }
 }
 
@@ -290,9 +363,145 @@ mod tests {
         let dev = Device::xc7z020();
         let gen = PBlockGenerator::new(&dev, true);
         for (x0, w, h) in [(0u32, 5u32, 10u32), (10, 8, 25), (30, 20, 50), (0, 89, 150)] {
-            let fast = gen.prefix.window(x0, w, h);
+            let fast = gen.prefix().capacity_in(&Rect::new(x0, 0, w, h));
             let slow = dev.capacity_in(&Rect::new(x0, 0, w, h));
             assert_eq!(fast, slow, "window ({x0},{w},{h})");
+        }
+    }
+
+    #[test]
+    fn plan_and_freeze_compose_to_generate() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let s = shape(|b| {
+            for _ in 0..500 {
+                b.lut(6);
+            }
+            b.bram();
+            b.carry_chain(40);
+        });
+        for cf10 in [0u32, 5, 9, 12, 20, 30] {
+            let cf = f64::from(cf10) / 10.0;
+            let planned = gen.plan(&s, cf);
+            let generated = gen.generate(&s, cf);
+            match (planned, generated) {
+                (Some(rect), Some(p)) => {
+                    assert_eq!(rect, p.rect, "cf {cf}");
+                    assert_eq!(p.target_slices, gen.slice_target(&s, cf));
+                }
+                (None, None) => {}
+                (a, b) => panic!("plan {a:?} vs generate {b:?} at cf {cf}"),
+            }
+        }
+    }
+
+    /// The threshold-based window sweep must choose the same window as a
+    /// sweep that materialises the full capacity per candidate (the
+    /// original formulation).
+    #[test]
+    fn threshold_sweep_matches_capacity_sweep() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let width = dev.width();
+        let shapes = [
+            shape(|b| {
+                for _ in 0..400 {
+                    b.lut(6);
+                }
+                for _ in 0..30 {
+                    b.lutram(ControlSet::basic());
+                }
+                b.bram();
+            }),
+            shape(|b| {
+                for _ in 0..12 {
+                    b.bram();
+                }
+                b.dsp();
+                for _ in 0..20 {
+                    b.lut(4);
+                }
+            }),
+            shape(|b| {
+                b.carry_chain(120);
+            }),
+        ];
+        for s in &shapes {
+            for target in [0u32, 1, 7, 50, 200, 800, 3000] {
+                for h in [1u32, 3, 9, 10, 20, 50, 150] {
+                    let demand = s.demand;
+                    let ok = |x0: u32, w: u32| {
+                        let cap = dev.capacity_in(&Rect::new(x0, 0, w, h));
+                        cap.slices() >= target
+                            && cap.m_slices >= demand.m_slices
+                            && cap.bram36 >= demand.bram36
+                            && cap.dsp48 >= demand.dsp48
+                    };
+                    let mut slow: Option<(u32, u32)> = None;
+                    let mut w = 1u32;
+                    for x0 in 0..width {
+                        if x0 + w > width {
+                            break;
+                        }
+                        while x0 + w <= width && !ok(x0, w) {
+                            w += 1;
+                        }
+                        if x0 + w > width {
+                            break;
+                        }
+                        match slow {
+                            Some((_, bw)) if bw <= w => {}
+                            _ => slow = Some((x0, w)),
+                        }
+                        if w > 1 {
+                            w -= 1;
+                        }
+                    }
+                    assert_eq!(
+                        gen.best_window(target, &demand, h),
+                        slow,
+                        "target {target} h {h}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Chained resumed planning over a nondecreasing target sequence must
+    /// settle on the same rectangles as planning each target from scratch.
+    #[test]
+    fn resumed_planning_matches_from_scratch() {
+        let dev = Device::xc7z020();
+        let gen = PBlockGenerator::new(&dev, true);
+        let shapes = [
+            shape(|b| {
+                for _ in 0..500 {
+                    b.lut(6);
+                }
+                b.bram();
+                b.carry_chain(40);
+            }),
+            shape(|b| {
+                for _ in 0..60 {
+                    b.lutram(ControlSet::basic());
+                }
+                b.dsp();
+            }),
+            shape(|_| {}),
+        ];
+        for s in &shapes {
+            let mut resume: Option<PlanResume> = None;
+            for target in (0..3000).step_by(37) {
+                let fresh = gen.plan_target(s, target);
+                let (resumed, h_init) = gen.plan_target_resumed(s, target, resume.as_ref());
+                assert_eq!(resumed, fresh, "target {target}");
+                resume = Some(PlanResume {
+                    target,
+                    h_init,
+                    result: resumed,
+                    need_clb: resumed.map_or(0, |r| target.div_ceil(r.h)),
+                });
+            }
         }
     }
 

@@ -1,0 +1,350 @@
+//! Reusable per-module placement context for the CF-search hot path.
+//!
+//! [`crate::place_in_region`] recomputes, on every attempt, quantities that
+//! depend only on the module: the weighted fanout-histogram sum, the packing
+//! density multiplier, the sorted carry-chain list, the seed-keyed jitter.
+//! During a correction-factor search the module is fixed and only the
+//! candidate region varies, so a [`PlaceContext`] hoists all of that out of
+//! the loop and evaluates each region with O(1) arithmetic (plus a memoised
+//! carry-chain repack).
+//!
+//! The context is *bit-exact* with respect to `place_in_region`: the hoisted
+//! expressions preserve the original association order of every floating-
+//! point product, so `PlaceContext::place` returns the identical
+//! `Result<Placement, PlaceError>` for any `(module, model, seed, region)`
+//! tuple. The `context_matches_place_in_region` test sweeps both engines
+//! over a region grid to pin that equivalence.
+
+use crate::detail::{bucket_fanout, PlaceError, Placement};
+use crate::model::PlacementModel;
+use tms_device::{CapacityPrefix, Rect, SliceCapacity};
+use tms_netlist::NetlistStats;
+use tms_synth::PackingReport;
+
+/// Everything about one `(module, model, seed)` tuple that is invariant
+/// across placement attempts, plus scratch state reused between attempts.
+pub struct PlaceContext {
+    demand: SliceCapacity,
+    required: u32,
+    chains: Vec<u32>,
+    model: PlacementModel,
+    jitter: f64,
+    /// `f64::from(required)`, the `s_occ` of the congestion model.
+    s_occ: f64,
+    /// `((lambda_f * mean_len) * dens_mult)` — the region-independent part
+    /// of the routing-demand product (0 when `required == 0`).
+    demand_base: f64,
+    /// `(clb_cols, height, fits)` outcomes of previous carry-chain repacks.
+    pack_memo: Vec<(u32, u32, bool)>,
+    /// Scratch column-fill vector reused across repacks.
+    free: Vec<u32>,
+}
+
+impl PlaceContext {
+    /// Hoist the module-invariant parts of the placement model. One
+    /// O(histogram + chains) pass; every later attempt is O(1) plus the
+    /// (memoised) carry-chain repack.
+    pub fn new(
+        stats: &NetlistStats,
+        packing: &PackingReport,
+        model: &PlacementModel,
+        seed: u64,
+    ) -> PlaceContext {
+        let required = packing.required_slices;
+        let mut s_occ = 0.0;
+        let mut demand_base = 0.0;
+        if required > 0 {
+            s_occ = f64::from(required);
+            let mut weighted_nets = 0.0;
+            for (b, &count) in stats.fanout_histogram.iter().enumerate() {
+                if count > 0 {
+                    let f = bucket_fanout(b).min(s_occ * 8.0);
+                    weighted_nets += f64::from(count) * f.powf(model.fanout_exp);
+                }
+            }
+            let lambda_f = weighted_nets / s_occ;
+            let mean_len = model.base_span * s_occ.powf(model.rent_exp);
+            let excess = (packing.density - 1.0 / 3.0).max(0.0) * 1.5;
+            let dens_mult = 1.0 + model.density_gamma * excess * excess;
+            // Same association order as place_in_region's
+            // `lambda_f * mean_len * dens_mult * detour(u)`: the detour
+            // factor is applied last, per region, in `place`.
+            demand_base = lambda_f * mean_len * dens_mult;
+        }
+        PlaceContext {
+            demand: packing.demand,
+            required,
+            chains: packing.chain_slices.clone(),
+            model: *model,
+            jitter: model.jitter(seed),
+            s_occ,
+            demand_base,
+            pack_memo: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// The structural (congestion-free) part of the placement check:
+    /// bounds, resource coverage, carry-chain height and packing — in the
+    /// exact order `place_in_region` evaluates them. Returns the region
+    /// capacity on success so `place` can finish without re-querying.
+    pub fn screen(
+        &mut self,
+        prefix: &CapacityPrefix,
+        region: &Rect,
+    ) -> Result<SliceCapacity, PlaceError> {
+        if !prefix.bounds().contains(region) {
+            return Err(PlaceError::RegionOffDevice);
+        }
+        let capacity = prefix.capacity_in(region);
+        if !capacity.covers(&self.demand) {
+            return Err(PlaceError::InsufficientResources {
+                need: self.demand,
+                have: capacity,
+            });
+        }
+        if let Some(&tallest) = self.chains.first() {
+            if tallest > region.h {
+                return Err(PlaceError::ChainTooTall {
+                    chain: tallest,
+                    height: region.h,
+                });
+            }
+            let clb_cols = prefix.clb_columns_in(region.x, region.right());
+            if !self.chains_fit(clb_cols, region.h) {
+                return Err(PlaceError::ChainPackingFailed);
+            }
+        }
+        Ok(capacity)
+    }
+
+    /// Whether the module's carry chains first-fit (decreasing) into
+    /// `cols` CLB columns of `height` free slices each.
+    ///
+    /// Memoised with two deductions that are *provably identical* to
+    /// re-running the first-fit pass:
+    ///
+    /// * success with `c ≤ cols` columns at the same height implies
+    ///   success — appended empty columns are never reached, because every
+    ///   chain already fit in the first `c`;
+    /// * failure with `c ≥ cols` columns at the same height implies
+    ///   failure — the `cols`-column run is identical to the `c`-column
+    ///   run restricted to its prefix until the first chain the larger run
+    ///   put beyond column `cols`, at which point the smaller run has no
+    ///   slot either.
+    ///
+    /// No deduction is made across *heights*: first-fit-decreasing is not
+    /// monotone in bin capacity (growing every column can reorder which
+    /// column each chain lands in), so height reuse could diverge from
+    /// `place_in_region`. A proptest pins the memoised answer against a
+    /// fresh first-fit pass.
+    fn chains_fit(&mut self, cols: u32, height: u32) -> bool {
+        for &(c, h, fits) in &self.pack_memo {
+            if h == height && ((fits && c <= cols) || (!fits && c >= cols)) {
+                return fits;
+            }
+        }
+        self.free.clear();
+        self.free.resize(cols as usize, height);
+        let mut fits = true;
+        for &chain in &self.chains {
+            match self.free.iter_mut().find(|f| **f >= chain) {
+                Some(slot) => *slot -= chain,
+                None => {
+                    fits = false;
+                    break;
+                }
+            }
+        }
+        self.pack_memo.push((cols, height, fits));
+        fits
+    }
+
+    /// Attempt the full placement of the module into `region` — identical
+    /// outcome to [`crate::place_in_region`] for the `(stats, packing,
+    /// model, seed)` this context was built from, at O(1) per call.
+    pub fn place(
+        &mut self,
+        prefix: &CapacityPrefix,
+        region: &Rect,
+    ) -> Result<Placement, PlaceError> {
+        let capacity = self.screen(prefix, region)?;
+        let required = self.required;
+        if required == 0 {
+            return Ok(Placement {
+                region: *region,
+                capacity,
+                required_slices: 0,
+                used_slices: 0,
+                utilization: 0.0,
+                congestion: 0.0,
+                irregularity: 0.0,
+            });
+        }
+        let total = f64::from(capacity.slices());
+        let u = f64::from(required) / total;
+        let demand = self.demand_base * self.model.detour(u);
+        let cap_per_occ = self.model.tracks_per_slice / u * self.jitter;
+        let congestion = demand / cap_per_occ;
+        if congestion > 1.0 {
+            return Err(PlaceError::Congested { congestion });
+        }
+        let used = ((self.s_occ * (1.0 + self.model.spread_alpha * (1.0 - u))).ceil() as u32)
+            .min(capacity.slices());
+        Ok(Placement {
+            region: *region,
+            capacity,
+            required_slices: required,
+            used_slices: used,
+            utilization: u,
+            congestion,
+            irregularity: 1.0 - f64::from(required) / total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detail::place_in_region;
+    use tms_device::Device;
+    use tms_netlist::{ControlSet, NetlistBuilder};
+    use tms_synth::pack;
+
+    fn module(build: impl FnOnce(&mut NetlistBuilder)) -> (NetlistStats, PackingReport) {
+        let mut b = NetlistBuilder::new("m");
+        build(&mut b);
+        let stats = b.finish().stats();
+        let packing = pack(&stats);
+        (stats, packing)
+    }
+
+    /// Exhaustively compare the context against `place_in_region` over a
+    /// region grid that hits every error branch: off-device, short on
+    /// slices/M/BRAM/DSP, chain-too-tall, chain-packing, congestion, and
+    /// clean successes — with both the noisy and deterministic models.
+    #[test]
+    fn context_matches_place_in_region() {
+        let dev = Device::xc7z020();
+        let prefix = CapacityPrefix::build(&dev);
+        let modules = [
+            module(|b| {
+                let cs = ControlSet::basic();
+                for _ in 0..600 {
+                    b.lut(6);
+                }
+                for _ in 0..600 {
+                    b.ff(cs);
+                }
+            }),
+            module(|b| {
+                for _ in 0..12 {
+                    b.carry_chain(36);
+                }
+                for _ in 0..10 {
+                    b.lutram(ControlSet::basic());
+                }
+                b.bram();
+                b.dsp();
+            }),
+            module(|_| {}),
+            module(|b| {
+                let cs = ControlSet::basic();
+                let driver = b.lut(1);
+                let mut sinks = Vec::new();
+                for _ in 0..2000 {
+                    b.lut(6);
+                }
+                for _ in 0..4000 {
+                    sinks.push(b.ff(cs));
+                }
+                b.connect(driver, &sinks);
+            }),
+        ];
+        for model in [PlacementModel::default(), PlacementModel::deterministic()] {
+            for seed in [1u64, 7, 99] {
+                for (stats, packing) in &modules {
+                    let mut ctx = PlaceContext::new(stats, packing, &model, seed);
+                    for x in [0u32, 5, 40, 100, 104] {
+                        for y in [0u32, 10, 140, 150] {
+                            for w in [1u32, 3, 10, 25, 60] {
+                                for h in [1u32, 4, 9, 20, 50, 150] {
+                                    let r = Rect::new(x, y, w, h);
+                                    let slow =
+                                        place_in_region(stats, packing, &dev, &r, &model, seed);
+                                    let fast = ctx.place(&prefix, &r);
+                                    assert_eq!(fast, slow, "region {r:?} seed {seed}");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// The memoised `chains_fit` (cols-monotone deductions + scratch
+        /// reuse) answers exactly like a fresh first-fit-decreasing pass,
+        /// for any chain set and any interleaving of queries.
+        #[test]
+        fn memoised_chain_packing_matches_direct_first_fit(
+            raw_chains in proptest::collection::vec(1u32..20, 0..12),
+            queries in proptest::collection::vec((0u32..12, 1u32..40), 1..40),
+        ) {
+            let mut chains = raw_chains;
+            chains.sort_unstable_by(|a, b| b.cmp(a));
+            let mut ctx = PlaceContext {
+                demand: SliceCapacity::default(),
+                required: 0,
+                chains: chains.clone(),
+                model: PlacementModel::deterministic(),
+                jitter: 1.0,
+                s_occ: 0.0,
+                demand_base: 0.0,
+                pack_memo: Vec::new(),
+                free: Vec::new(),
+            };
+            for (cols, h) in queries {
+                let mut free = vec![h; cols as usize];
+                let mut direct = true;
+                for &chain in &chains {
+                    match free.iter_mut().find(|f| **f >= chain) {
+                        Some(slot) => *slot -= chain,
+                        None => {
+                            direct = false;
+                            break;
+                        }
+                    }
+                }
+                proptest::prop_assert_eq!(ctx.chains_fit(cols, h), direct, "cols {} h {}", cols, h);
+            }
+        }
+    }
+
+    #[test]
+    fn screen_failures_carry_the_same_error_as_place() {
+        let dev = Device::xc7z020();
+        let prefix = CapacityPrefix::build(&dev);
+        let (stats, packing) = module(|b| {
+            b.carry_chain(40); // 10 slices tall
+            for _ in 0..200 {
+                b.lut(6);
+            }
+        });
+        let model = PlacementModel::deterministic();
+        let mut ctx = PlaceContext::new(&stats, &packing, &model, 3);
+        let short = Rect::new(0, 0, 12, 8);
+        let err = ctx.screen(&prefix, &short).unwrap_err();
+        assert_eq!(
+            err,
+            place_in_region(&stats, &packing, &dev, &short, &model, 3).unwrap_err()
+        );
+        // A structural pass means the full attempt can only fail on
+        // congestion.
+        let ok = Rect::new(0, 0, 12, 12);
+        assert!(ctx.screen(&prefix, &ok).is_ok());
+    }
+}

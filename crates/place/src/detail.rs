@@ -120,7 +120,7 @@ pub struct Placement {
 /// Geometric-mid representative fanout of histogram bucket `b`
 /// (`[2^b, 2^(b+1))`).
 #[inline]
-fn bucket_fanout(b: usize) -> f64 {
+pub(crate) fn bucket_fanout(b: usize) -> f64 {
     (1u64 << b) as f64 * 1.5
 }
 

@@ -44,11 +44,13 @@
 
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod detail;
 pub mod flat;
 pub mod model;
 pub mod quick;
 
+pub use context::PlaceContext;
 pub use detail::{place_in_region, PlaceError, Placement};
 pub use flat::{flat_place, FlatModule, FlatPlacement};
 pub use model::PlacementModel;

@@ -273,6 +273,49 @@ fn portfolio_server_exposes_search_metrics() {
 }
 
 #[test]
+fn minimal_cf_flow_surfaces_the_prescreen_counter() {
+    // A flow request without a CF runs the minimal-CF search per module;
+    // the incremental engine's `pblock.search.prescreened` skip counter
+    // must surface in `stats` and on the Prometheus page like any other
+    // pipeline counter.
+    let handle = start_server(4);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let r = client.flow(1, "xc7z045", None).expect("minimal-CF flow");
+    assert_eq!(r.failed, 0);
+
+    let stats = client.stats().expect("stats");
+    let prescreened = stats.pipeline.counter("pblock.search.prescreened");
+    assert!(prescreened > 0, "wide search must prescreen some attempts");
+    // Prescreens never outnumber the classified attempt failures they
+    // short-circuit.
+    let fails: u64 = [
+        "place.fail.off-device",
+        "place.fail.slices",
+        "place.fail.m-slice",
+        "place.fail.bram-column",
+        "place.fail.dsp-column",
+        "place.fail.carry-chain",
+        "place.fail.congestion",
+        "pblock.generate.failed",
+    ]
+    .iter()
+    .map(|k| stats.pipeline.counter(k))
+    .sum();
+    assert!(
+        prescreened <= fails,
+        "prescreened {prescreened} > fails {fails}"
+    );
+
+    let text = client.metrics_text().expect("metrics");
+    let samples = tms_serve::prometheus::parse(&text).expect("prometheus page parses");
+    assert_eq!(
+        samples["tms_pblock_search_prescreened_total"] as u64,
+        prescreened
+    );
+    handle.stop();
+}
+
+#[test]
 fn plain_http_get_scrapes_the_metrics_page() {
     use std::io::{Read, Write};
 

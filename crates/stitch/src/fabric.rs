@@ -7,7 +7,7 @@
 //! agreement about legality and cost.
 
 use crate::problem::StitchProblem;
-use tms_device::Device;
+use tms_device::{CapacityPrefix, Device};
 
 /// Per-module candidate anchor positions: the x columns whose signature
 /// matches, crossed with y rows at the module's vertical alignment.
@@ -44,11 +44,14 @@ impl Candidates {
 /// Build the candidate table for every unique module of `problem`.
 pub(crate) fn build_candidates(device: &Device, problem: &StitchProblem) -> Vec<Candidates> {
     let rows = device.rows();
+    // One prefix build serves every module: the count-prefiltered anchor
+    // search skips origins whose column-kind counts already mismatch.
+    let prefix = CapacityPrefix::build(device);
     problem
         .modules
         .iter()
         .map(|m| {
-            let xs = device.matching_anchors(&m.signature);
+            let xs = prefix.matching_anchors(device, &m.signature);
             let y_step = m.signature.y_alignment();
             let y_max = rows.saturating_sub(m.height);
             Candidates { xs, y_step, y_max }

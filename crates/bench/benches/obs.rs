@@ -1,14 +1,19 @@
 //! Recorder overhead: the same flow run against the no-op recorder, the
-//! in-memory aggregating sink, and the JSONL file sink, plus microbenches
-//! of the span/counter primitives. The acceptance bar is that the no-op
-//! recorder costs the flow nothing measurable (< 2%).
+//! in-memory aggregating sink, the JSONL file sink, and the per-request
+//! tracing wrapper the serving layer threads through every request, plus
+//! microbenches of the span/counter primitives. The acceptance bar is
+//! that the no-op recorder costs the flow nothing measurable (< 2%), and
+//! that request-scoped tracing (`request_recorder` vs `aggregating`)
+//! stays inside the same 2% budget.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tms_core::cnn::cnvw1a1;
 use tms_core::device::Device;
 use tms_core::flow::{run_rw_flow, CfPolicy, RwFlowConfig};
-use tms_core::obs::{noop, span, AggregatingSink, JsonlSink, Phase, Recorder};
+use tms_core::obs::{
+    noop, span, AggregatingSink, JsonlSink, Phase, Recorder, RequestCtx, RequestRecorder,
+};
 use tms_core::pblock::CfSearch;
 use tms_core::place::PlacementModel;
 use tms_core::stitch::StitchConfig;
@@ -42,6 +47,18 @@ fn bench_flow_recorders(c: &mut Criterion) {
         let sink = JsonlSink::create(&path).expect("trace file in temp dir");
         b.iter(|| black_box(run_rw_flow(&design, &dev, &cfg(&sink))));
     });
+    group.bench_function("request_recorder", |b| {
+        // The serving layer's per-request path: tag every event with the
+        // request's trace id, forward to the shared sink, and buffer the
+        // span tree for the tail-sampling slowlog. Compare against
+        // `aggregating` — the delta is the cost of request-scoped
+        // tracing, and it must stay inside the 2% budget.
+        let sink = AggregatingSink::new();
+        b.iter(|| {
+            let rec = RequestRecorder::new(&sink, RequestCtx::new(7, "flow"));
+            black_box(run_rw_flow(&design, &dev, &cfg(&rec)))
+        });
+    });
     group.finish();
 }
 
@@ -58,6 +75,11 @@ fn bench_primitives(c: &mut Criterion) {
     });
     group.bench_function("count_aggregating", |b| {
         b.iter(|| agg.count(black_box("cache.hit"), 1));
+    });
+    group.bench_function("span_request_recorder", |b| {
+        let rec = RequestRecorder::new(&agg, RequestCtx::new(7, "bench"));
+        let obs: &dyn Recorder = &rec;
+        b.iter(|| span(black_box(obs), Phase::Place, "m"));
     });
     group.finish();
 }

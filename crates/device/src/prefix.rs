@@ -7,7 +7,7 @@
 //!
 //! The equivalence with the column scan is exact, not approximate: within
 //! one rectangle every column of a kind contributes the same count (plain
-//! rows for CLB columns, [`aligned_sites`] for BRAM/DSP, one per clock
+//! rows for CLB columns, `aligned_sites` for BRAM/DSP, one per clock
 //! column), so summing per column equals multiplying the per-column count by
 //! the number of columns of that kind — which is what the prefix difference
 //! yields. A property test in `proptests` pins the two implementations

@@ -22,7 +22,14 @@
 //!   Prometheus endpoints and of the experiment drivers' accounting;
 //! * [`metrics`] — dependency-free counter/histogram primitives (plain
 //!   `AtomicU64`), including the endpoint metrics the serving layer uses;
-//! * [`prometheus`] — text exposition (and a small parser for tests).
+//! * [`prometheus`] — text exposition (and a small parser for tests);
+//! * [`slowlog`] — request-scoped tracing: [`RequestCtx`] trace contexts
+//!   minted per request, the [`RequestRecorder`] that tags every event
+//!   with its owning request's trace id, and the tail-sampling
+//!   [`Slowlog`] ring that retains full span trees only for slow,
+//!   errored, shed or degraded requests;
+//! * [`slo`] — per-endpoint SLO definitions ([`SloSpec`]) with
+//!   multi-window (5 min / 1 h) burn-rate tracking ([`SloTracker`]).
 //!
 //! ```
 //! use tms_obs::{span, AggregatingSink, Phase, Recorder};
@@ -45,10 +52,19 @@ pub mod prometheus;
 pub mod record;
 pub mod report;
 pub mod sinks;
+pub mod slo;
+pub mod slowlog;
 
-pub use metrics::{Counter, EndpointMetrics, EndpointSnapshot, Histogram, LATENCY_BUCKETS_US};
+pub use metrics::{
+    quantile_from_buckets, Counter, EndpointMetrics, EndpointSnapshot, Histogram,
+    FINE_LATENCY_BUCKETS_US, LATENCY_BUCKETS_US,
+};
 pub use phase::Phase;
 pub use record::{noop, now_us, span, NoopRecorder, Recorder, Span, SpanRecord, TraceEvent};
 pub use sinks::{
     read_trace, replay, AggregatingSink, JsonlSink, ObsSnapshot, ObservationSnapshot, PhaseSnapshot,
+};
+pub use slo::{BurnRateSample, SloSpec, SloTracker, BURN_WINDOWS};
+pub use slowlog::{
+    PhaseBudget, RequestCtx, RequestOutcome, RequestRecorder, Slowlog, SlowlogEntry, TraceIdGen,
 };

@@ -9,6 +9,35 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const LATENCY_BUCKETS_US: [u64; 7] =
     [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, u64::MAX];
 
+/// Fine-grained latency bounds (inclusive, microseconds) for quantile
+/// estimation: a 1-2-5 ladder from 10 µs to 1 minute. The decade buckets
+/// of [`LATENCY_BUCKETS_US`] are too coarse for interpolated p99/p999 —
+/// the loadgen harness and the per-phase report quantiles use these.
+pub const FINE_LATENCY_BUCKETS_US: [u64; 22] = [
+    10,
+    20,
+    50,
+    100,
+    200,
+    500,
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    30_000_000,
+    60_000_000,
+    u64::MAX,
+];
+
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
@@ -97,6 +126,46 @@ impl<const N: usize> Histogram<N> {
     pub fn buckets(&self) -> [u64; N] {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
+
+    /// Bucket-interpolated quantile estimate (see [`quantile_from_buckets`]).
+    /// `None` until at least one value was recorded.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        quantile_from_buckets(&self.bounds, &self.buckets(), q)
+    }
+}
+
+/// Estimate the `q`-quantile (`0.0 ..= 1.0`) of a bucketed histogram by
+/// linear interpolation inside the bucket holding the target rank, the
+/// same estimate Prometheus' `histogram_quantile` computes. The lower
+/// edge of bucket `i` is `bounds[i - 1]` (0 for the first); values in the
+/// catch-all bucket (`u64::MAX` bound) are clamped to its lower edge, so
+/// the estimate never invents an upper bound. Returns `None` for an empty
+/// histogram.
+pub fn quantile_from_buckets(bounds: &[u64], buckets: &[u64], q: f64) -> Option<u64> {
+    debug_assert_eq!(bounds.len(), buckets.len());
+    let count: u64 = buckets.iter().sum();
+    if count == 0 || bounds.len() != buckets.len() {
+        return None;
+    }
+    let target = q.clamp(0.0, 1.0) * count as f64;
+    let mut cum = 0u64;
+    for (i, &in_bucket) in buckets.iter().enumerate() {
+        let before = cum;
+        cum += in_bucket;
+        if (cum as f64) < target || in_bucket == 0 {
+            continue;
+        }
+        let lo = if i == 0 { 0 } else { bounds[i - 1] };
+        if bounds[i] == u64::MAX {
+            return Some(lo);
+        }
+        let fraction = ((target - before as f64) / in_bucket as f64).clamp(0.0, 1.0);
+        return Some(lo + ((bounds[i] - lo) as f64 * fraction).round() as u64);
+    }
+    // q == 0.0 with all mass above, or rounding: fall back to the lower
+    // edge of the first non-empty bucket.
+    let i = buckets.iter().position(|&b| b > 0)?;
+    Some(if i == 0 { 0 } else { bounds[i - 1] })
 }
 
 /// Counters for one serving endpoint: request/error totals and a latency
@@ -133,6 +202,9 @@ impl EndpointMetrics {
             requests: self.requests.get(),
             errors: self.errors.get(),
             total_micros: self.latency.sum(),
+            p50_us: self.latency.quantile(0.50).unwrap_or(0),
+            p99_us: self.latency.quantile(0.99).unwrap_or(0),
+            p999_us: self.latency.quantile(0.999).unwrap_or(0),
             bucket_bounds_us: LATENCY_BUCKETS_US.to_vec(),
             buckets: self.latency.buckets().to_vec(),
         }
@@ -149,6 +221,12 @@ pub struct EndpointSnapshot {
     pub errors: u64,
     /// Sum of handling times, microseconds.
     pub total_micros: u64,
+    /// Bucket-interpolated median latency, microseconds (0 when empty).
+    pub p50_us: u64,
+    /// Bucket-interpolated 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Bucket-interpolated 99.9th-percentile latency, microseconds.
+    pub p999_us: u64,
     /// Inclusive upper bounds of the latency buckets, microseconds
     /// (`u64::MAX` for the catch-all); same length as `buckets`, so the
     /// histogram is self-describing.
@@ -231,6 +309,47 @@ mod tests {
         });
         assert_eq!(m.snapshot().requests, 800);
         assert_eq!(m.snapshot().buckets[0], 800);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 100 values spread uniformly across the first bucket's range
+        // (bounds 0..=100): the interpolated median sits mid-bucket.
+        let h = Histogram::new([100, 1_000, u64::MAX]);
+        for _ in 0..100 {
+            h.observe(50);
+        }
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(1.0), Some(100));
+        // Mass split 90/10 across two buckets: p99 lands 90% of the way
+        // through the second bucket: 100 + 0.9 * 900 = 910.
+        let h = Histogram::new([100, 1_000, u64::MAX]);
+        for _ in 0..90 {
+            h.observe(10);
+        }
+        for _ in 0..10 {
+            h.observe(500);
+        }
+        assert_eq!(h.quantile(0.99), Some(910));
+        // Catch-all mass clamps to the last finite bound.
+        let h = Histogram::new([100, u64::MAX]);
+        h.observe(u64::MAX - 1);
+        assert_eq!(h.quantile(0.99), Some(100));
+        // Empty histogram has no quantiles.
+        let h = Histogram::new([100, u64::MAX]);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn snapshot_carries_interpolated_quantiles() {
+        let m = EndpointMetrics::default();
+        for _ in 0..100 {
+            m.record(50, true);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.p50_us, 50);
+        assert!(s.p99_us >= s.p50_us);
+        assert!(s.p999_us >= s.p99_us);
     }
 
     #[test]

@@ -23,6 +23,48 @@ pub fn sanitize(key: &str) -> String {
         .collect()
 }
 
+/// Escape a label value per the text-format rules: backslash, double
+/// quote and newline become `\\`, `\"` and `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Append one sample line — the single formatting path shared by
+/// [`PromText::sample`] and [`PromPage::render`], so a parsed page
+/// re-renders bit-identically.
+fn write_sample(buf: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    buf.push_str(name);
+    if !labels.is_empty() {
+        buf.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            buf.push_str(k);
+            buf.push_str("=\"");
+            buf.push_str(&escape_label_value(v));
+            buf.push('"');
+        }
+        buf.push('}');
+    }
+    buf.push(' ');
+    if value.fract() == 0.0 && value.abs() < 9.0e15 {
+        buf.push_str(&format!("{}", value as i64));
+    } else {
+        buf.push_str(&format!("{value}"));
+    }
+    buf.push('\n');
+}
+
 impl PromText {
     /// An empty page.
     pub fn new() -> PromText {
@@ -42,29 +84,10 @@ impl PromText {
         self.buf.push('\n');
     }
 
-    /// Emit one sample line with optional labels.
+    /// Emit one sample line with optional labels (label values are
+    /// escaped via [`escape_label_value`]).
     pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
-        self.buf.push_str(name);
-        if !labels.is_empty() {
-            self.buf.push('{');
-            for (i, (k, v)) in labels.iter().enumerate() {
-                if i > 0 {
-                    self.buf.push(',');
-                }
-                self.buf.push_str(k);
-                self.buf.push_str("=\"");
-                self.buf.push_str(v);
-                self.buf.push('"');
-            }
-            self.buf.push('}');
-        }
-        self.buf.push(' ');
-        if value.fract() == 0.0 && value.abs() < 9.0e15 {
-            self.buf.push_str(&format!("{}", value as i64));
-        } else {
-            self.buf.push_str(&format!("{value}"));
-        }
-        self.buf.push('\n');
+        write_sample(&mut self.buf, name, labels, value);
     }
 
     /// Emit a full histogram family under `name`: cumulative
@@ -166,6 +189,200 @@ impl PromText {
     pub fn finish(self) -> String {
         self.buf
     }
+}
+
+/// One line of a structurally parsed Prometheus page (see [`parse_page`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PromLine {
+    /// A `# HELP <name> <help>` comment.
+    Help {
+        /// Metric family name.
+        name: String,
+        /// Help text (may contain spaces).
+        help: String,
+    },
+    /// A `# TYPE <name> <kind>` comment.
+    Type {
+        /// Metric family name.
+        name: String,
+        /// Metric kind (`counter`, `gauge`, `histogram`, `summary`).
+        kind: String,
+    },
+    /// A sample line: name, decoded labels, value.
+    Sample {
+        /// Sample name (including `_bucket`/`_sum`/`_count` suffixes).
+        name: String,
+        /// Label pairs with escape sequences decoded.
+        labels: Vec<(String, String)>,
+        /// Sample value.
+        value: f64,
+    },
+}
+
+/// A structurally parsed Prometheus text page that re-renders
+/// bit-identically: [`parse_page`] followed by [`PromPage::render`] is
+/// the identity on everything [`PromText`] emits (the round trip the
+/// parser tests pin down).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromPage {
+    /// The page's lines in exposition order.
+    pub lines: Vec<PromLine>,
+}
+
+impl PromPage {
+    /// Samples only, in page order.
+    pub fn samples(&self) -> impl Iterator<Item = (&str, &[(String, String)], f64)> {
+        self.lines.iter().filter_map(|l| match l {
+            PromLine::Sample {
+                name,
+                labels,
+                value,
+            } => Some((name.as_str(), labels.as_slice(), *value)),
+            _ => None,
+        })
+    }
+
+    /// Re-render the page through the same formatting path as
+    /// [`PromText`].
+    pub fn render(&self) -> String {
+        let mut buf = String::new();
+        for line in &self.lines {
+            match line {
+                PromLine::Help { name, help } => {
+                    buf.push_str("# HELP ");
+                    buf.push_str(name);
+                    buf.push(' ');
+                    buf.push_str(help);
+                    buf.push('\n');
+                }
+                PromLine::Type { name, kind } => {
+                    buf.push_str("# TYPE ");
+                    buf.push_str(name);
+                    buf.push(' ');
+                    buf.push_str(kind);
+                    buf.push('\n');
+                }
+                PromLine::Sample {
+                    name,
+                    labels,
+                    value,
+                } => {
+                    let borrowed: Vec<(&str, &str)> = labels
+                        .iter()
+                        .map(|(k, v)| (k.as_str(), v.as_str()))
+                        .collect();
+                    write_sample(&mut buf, name, &borrowed, *value);
+                }
+            }
+        }
+        buf
+    }
+}
+
+/// Decoded label pairs plus the unparsed remainder of the sample line.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parse the label block of a sample line. `s` starts just after `{`;
+/// returns the decoded pairs and the rest of the line after `}`.
+fn parse_labels(s: &str) -> Result<ParsedLabels<'_>, String> {
+    let mut labels = Vec::new();
+    let mut chars = s.char_indices();
+    'pairs: loop {
+        // Key runs until '='.
+        let mut key = String::new();
+        for (_, c) in chars.by_ref() {
+            match c {
+                '=' => break,
+                '}' if key.is_empty() && labels.is_empty() => {
+                    // "{}" — empty label set.
+                    let rest = chars.as_str();
+                    return Ok((labels, rest));
+                }
+                c => key.push(c),
+            }
+        }
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("label {key:?}: expected opening quote")),
+        }
+        // Value runs until the closing quote, decoding escapes.
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in label {key:?}")),
+                },
+                Some((_, '"')) => break,
+                Some((_, c)) => value.push(c),
+                None => return Err(format!("unterminated value for label {key:?}")),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some((_, ',')) => continue 'pairs,
+            Some((_, '}')) => return Ok((labels, chars.as_str())),
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+/// Parse a Prometheus text page structurally: `# HELP`/`# TYPE` comments
+/// and samples with decoded label values, preserving order, so
+/// [`PromPage::render`] reproduces the input byte for byte. Unknown
+/// comment lines are rejected (the exposition never emits them); so are
+/// malformed samples.
+pub fn parse_page(text: &str) -> Result<PromPage, String> {
+    let mut lines = Vec::new();
+    for raw in text.lines() {
+        if raw.is_empty() {
+            continue;
+        }
+        if let Some(rest) = raw.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed HELP line {raw:?}"))?;
+            lines.push(PromLine::Help {
+                name: name.to_string(),
+                help: help.to_string(),
+            });
+        } else if let Some(rest) = raw.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed TYPE line {raw:?}"))?;
+            lines.push(PromLine::Type {
+                name: name.to_string(),
+                kind: kind.to_string(),
+            });
+        } else if raw.starts_with('#') {
+            return Err(format!("unexpected comment line {raw:?}"));
+        } else {
+            // name[{labels}] value
+            let brace = raw.find('{');
+            let space = raw
+                .find(' ')
+                .ok_or_else(|| format!("no value in {raw:?}"))?;
+            let (name, labels, rest) = match brace {
+                Some(b) if b < space => {
+                    let (labels, rest) = parse_labels(&raw[b + 1..])?;
+                    (&raw[..b], labels, rest)
+                }
+                _ => (&raw[..space], Vec::new(), &raw[space..]),
+            };
+            let value: f64 = rest
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad value in {raw:?}: {e}"))?;
+            lines.push(PromLine::Sample {
+                name: name.to_string(),
+                labels,
+                value,
+            });
+        }
+    }
+    Ok(PromPage { lines })
 }
 
 /// Parse a Prometheus text page into `full-sample-name → value`, where the
@@ -271,5 +488,82 @@ mod tests {
         assert!(parse("just_a_name_no_value").is_err());
         assert!(parse("name not_a_number").is_err());
         assert!(parse("# HELP x y\n# TYPE x counter\nx 1\n").is_ok());
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_decoded() {
+        let mut text = PromText::new();
+        text.sample(
+            "tms_build_info",
+            &[("version", "weird\"quote\\slash\nnewline")],
+            1.0,
+        );
+        let page = text.finish();
+        assert!(
+            page.contains(r#"version="weird\"quote\\slash\nnewline""#),
+            "{page}"
+        );
+        let parsed = parse_page(&page).unwrap();
+        let (_, labels, value) = parsed.samples().next().unwrap();
+        assert_eq!(labels[0].1, "weird\"quote\\slash\nnewline");
+        assert_eq!(value, 1.0);
+        assert_eq!(parsed.render(), page, "escaped page must round-trip");
+    }
+
+    #[test]
+    fn full_page_round_trips_bit_identically() {
+        // A page exercising every emission path: headers, plain and
+        // labelled samples, a histogram family with its cumulative
+        // buckets / _sum / _count, summaries, and non-integer values.
+        let m = EndpointMetrics::default();
+        m.record(50, true);
+        m.record(60, true);
+        m.record(700, false);
+        m.record(2_000_000, true);
+        let sink = AggregatingSink::new();
+        span(&sink, Phase::Place, "m").finish();
+        sink.count("place.fail.congestion", 4);
+        sink.observe("flow.cf.placed", 1.5);
+        sink.observe("flow.cf.placed", 2.0);
+
+        let mut text = PromText::new();
+        text.header("tms_requests_total", "Requests per endpoint", "counter");
+        text.header(
+            "tms_request_latency_us",
+            "Request latency, microseconds",
+            "histogram",
+        );
+        text.endpoint("estimate", &m.snapshot());
+        text.obs_snapshot(&sink.snapshot());
+        text.sample("tms_build_info", &[("version", "0.1.0")], 1.0);
+        text.sample("tms_uptime_seconds", &[], 12.25);
+        let page = text.finish();
+
+        let parsed = parse_page(&page).expect("page must parse structurally");
+        assert_eq!(parsed.render(), page, "render(parse(page)) != page");
+        // And again: the round trip is a fixed point.
+        let reparsed = parse_page(&parsed.render()).unwrap();
+        assert_eq!(reparsed, parsed);
+
+        // The structural parse agrees with the flat sample map.
+        let flat = parse(&page).unwrap();
+        assert_eq!(flat.len(), parsed.samples().count());
+        // Histogram series survive with their cumulative structure.
+        let buckets: Vec<f64> = parsed
+            .samples()
+            .filter(|(n, ..)| *n == "tms_request_latency_us_bucket")
+            .map(|(.., v)| v)
+            .collect();
+        assert_eq!(buckets.len(), m.snapshot().buckets.len());
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "cumulative");
+        assert_eq!(*buckets.last().unwrap() as u64, 4, "+Inf sees all");
+    }
+
+    #[test]
+    fn parse_page_rejects_malformed_lines() {
+        assert!(parse_page("tms_x{le=\"unterminated 1").is_err());
+        assert!(parse_page("tms_x{le=nodquote} 1").is_err());
+        assert!(parse_page("# WEIRD comment").is_err());
+        assert!(parse_page("tms_x{a=\"b\"} nan_value_x").is_err());
     }
 }

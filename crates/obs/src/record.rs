@@ -9,6 +9,8 @@ use std::time::Instant;
 /// key/value fields (CF values, attempt counts, ...).
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SpanRecord {
+    /// Owning request's trace id; `0` means untraced (background work).
+    pub trace_id: u64,
     /// Pipeline phase.
     pub phase: Phase,
     /// Free-form name (usually the module or stage name).
@@ -36,6 +38,8 @@ pub enum TraceEvent {
     Span(SpanRecord),
     /// A counter increment.
     Count {
+        /// Owning request's trace id (`0` = untraced).
+        trace_id: u64,
         /// Counter key (e.g. `cache.hit`).
         key: String,
         /// Increment.
@@ -43,11 +47,23 @@ pub enum TraceEvent {
     },
     /// A numeric observation (e.g. a CF value).
     Observe {
+        /// Owning request's trace id (`0` = untraced).
+        trace_id: u64,
         /// Observation key (e.g. `flow.cf.placed`).
         key: String,
         /// Observed value.
         value: f64,
     },
+}
+
+impl TraceEvent {
+    /// The owning request's trace id (`0` = untraced).
+    pub fn trace_id(&self) -> u64 {
+        match self {
+            TraceEvent::Span(s) => s.trace_id,
+            TraceEvent::Count { trace_id, .. } | TraceEvent::Observe { trace_id, .. } => *trace_id,
+        }
+    }
 }
 
 /// A pluggable telemetry sink. Implementations must be thread-safe: the
@@ -158,6 +174,7 @@ impl Drop for Span<'_> {
             return;
         }
         let record = SpanRecord {
+            trace_id: 0,
             phase: self.phase,
             name: self.name.to_string(),
             start_us: self.start_us,
@@ -211,6 +228,7 @@ mod tests {
     fn trace_events_serde_round_trip() {
         let events = vec![
             TraceEvent::Span(SpanRecord {
+                trace_id: 42,
                 phase: Phase::Cache,
                 name: "lookup".into(),
                 start_us: 10,
@@ -218,10 +236,12 @@ mod tests {
                 fields: vec![("hits".into(), 74.0)],
             }),
             TraceEvent::Count {
+                trace_id: 0,
                 key: "cache.hit".into(),
                 delta: 74,
             },
             TraceEvent::Observe {
+                trace_id: 42,
                 key: "flow.cf.placed".into(),
                 value: 1.18,
             },

@@ -1,6 +1,7 @@
 //! The `tms report` renderer: a per-phase flame-style table (plus counter
 //! and observation listings) from a JSONL trace.
 
+use crate::metrics::{Histogram, FINE_LATENCY_BUCKETS_US};
 use crate::record::TraceEvent;
 use crate::sinks::{replay, AggregatingSink};
 use crate::Phase;
@@ -25,6 +26,17 @@ pub fn render(events: &[TraceEvent]) -> String {
     replay(events, &sink);
     let total_us = sink.total_us().max(1);
 
+    // Per-phase duration histograms for interpolated quantiles.
+    let durations: Vec<Histogram<{ FINE_LATENCY_BUCKETS_US.len() }>> = Phase::ALL
+        .iter()
+        .map(|_| Histogram::new(FINE_LATENCY_BUCKETS_US))
+        .collect();
+    for event in events {
+        if let TraceEvent::Span(s) = event {
+            durations[s.phase.index()].observe(s.duration_us);
+        }
+    }
+
     let mut out = String::new();
     out.push_str(&format!(
         "trace: {} events ({} spans)\n\n",
@@ -35,8 +47,8 @@ pub fn render(events: &[TraceEvent]) -> String {
             .count()
     ));
     out.push_str(&format!(
-        "{:<10} {:>8} {:>10} {:>7}  {}\n",
-        "phase", "spans", "total", "share", "flame"
+        "{:<10} {:>8} {:>10} {:>7} {:>9} {:>9} {:>9}  {}\n",
+        "phase", "spans", "total", "share", "p50", "p99", "p999", "flame"
     ));
     for phase in Phase::ALL {
         let spans = sink.phase_spans(phase);
@@ -46,12 +58,17 @@ pub fn render(events: &[TraceEvent]) -> String {
         let us = sink.phase_total_us(phase);
         let share = us as f64 / total_us as f64;
         let filled = ((share * BAR_WIDTH as f64).round() as usize).min(BAR_WIDTH);
+        let h = &durations[phase.index()];
+        let q = |q: f64| fmt_us(h.quantile(q).unwrap_or(0));
         out.push_str(&format!(
-            "{:<10} {:>8} {:>10} {:>6.1}%  {}{}\n",
+            "{:<10} {:>8} {:>10} {:>6.1}% {:>9} {:>9} {:>9}  {}{}\n",
             phase.label(),
             spans,
             fmt_us(us),
             share * 100.0,
+            q(0.50),
+            q(0.99),
+            q(0.999),
             "#".repeat(filled),
             ".".repeat(BAR_WIDTH - filled),
         ));
@@ -84,6 +101,7 @@ mod tests {
 
     fn span_event(phase: Phase, us: u64) -> TraceEvent {
         TraceEvent::Span(SpanRecord {
+            trace_id: 0,
             phase,
             name: "m".into(),
             start_us: 0,
@@ -99,10 +117,12 @@ mod tests {
             span_event(Phase::Place, 1_000_000),
             span_event(Phase::Stitch, 500),
             TraceEvent::Count {
+                trace_id: 0,
                 key: "cache.hit".into(),
                 delta: 7,
             },
             TraceEvent::Observe {
+                trace_id: 0,
                 key: "flow.cf.placed".into(),
                 value: 1.5,
             },

@@ -50,6 +50,7 @@ impl Recorder for JsonlSink {
 
     fn count(&self, key: &str, delta: u64) {
         self.write_event(&TraceEvent::Count {
+            trace_id: 0,
             key: key.to_string(),
             delta,
         });
@@ -57,6 +58,7 @@ impl Recorder for JsonlSink {
 
     fn observe(&self, key: &str, value: f64) {
         self.write_event(&TraceEvent::Observe {
+            trace_id: 0,
             key: key.to_string(),
             value,
         });
@@ -90,8 +92,8 @@ pub fn replay(events: &[TraceEvent], recorder: &dyn Recorder) {
     for event in events {
         match event {
             TraceEvent::Span(s) => recorder.record_span(s),
-            TraceEvent::Count { key, delta } => recorder.count(key, *delta),
-            TraceEvent::Observe { key, value } => recorder.observe(key, *value),
+            TraceEvent::Count { key, delta, .. } => recorder.count(key, *delta),
+            TraceEvent::Observe { key, value, .. } => recorder.observe(key, *value),
         }
     }
 }

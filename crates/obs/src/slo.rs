@@ -1,0 +1,270 @@
+//! SLO definitions and multi-window burn-rate tracking.
+//!
+//! An SLO ([`SloSpec`]) gives an endpoint an availability target (at
+//! most `1 - availability` of requests may error) and a latency target
+//! (at least `latency_goal` of requests must finish within
+//! `latency_target_us`). The *burn rate* over a window is the observed
+//! bad fraction divided by the budgeted bad fraction: `1.0` means the
+//! error budget is being consumed exactly as provisioned; `10.0` means
+//! ten times too fast. Following the multi-window alerting practice,
+//! [`SloTracker`] reports the burn over both a short (5 min) and a long
+//! (1 h) window from one ring of 10-second buckets, so a short spike and
+//! a sustained leak are distinguishable on `/metrics`.
+
+use crate::record::now_us;
+use std::sync::Mutex;
+
+/// The burn-rate windows every tracker reports: label and width in
+/// seconds.
+pub const BURN_WINDOWS: [(&str, u64); 2] = [("5m", 300), ("1h", 3600)];
+
+/// Seconds covered by one ring bucket.
+const BUCKET_S: u64 = 10;
+
+/// Ring length: enough 10-second buckets to cover the longest window.
+const RING: usize = (BURN_WINDOWS[1].1 / BUCKET_S) as usize;
+
+/// An endpoint's service-level objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// The endpoint the objective covers.
+    pub endpoint: &'static str,
+    /// Availability target in `(0, 1)`, e.g. `0.999`: at most 0.1% of
+    /// requests may error.
+    pub availability: f64,
+    /// Latency target: a request slower than this (µs) is "slow".
+    pub latency_target_us: u64,
+    /// Fraction of requests that must meet the latency target, e.g.
+    /// `0.99`.
+    pub latency_goal: f64,
+}
+
+impl SloSpec {
+    /// A sensible default objective: 99.9% availability, 99% of requests
+    /// within `latency_target_us`.
+    pub fn new(endpoint: &'static str, latency_target_us: u64) -> SloSpec {
+        SloSpec {
+            endpoint,
+            availability: 0.999,
+            latency_target_us,
+            latency_goal: 0.99,
+        }
+    }
+}
+
+/// One window's burn-rate reading, as exported on `/metrics` and in the
+/// `stats` reply.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BurnRateSample {
+    /// Window label (`5m`, `1h`).
+    pub window: String,
+    /// Requests observed in the window.
+    pub requests: u64,
+    /// Errored requests in the window.
+    pub errors: u64,
+    /// Requests slower than the latency target in the window.
+    pub slow: u64,
+    /// Error-rate burn: observed error fraction over the availability
+    /// error budget (`0.0` when the window is empty).
+    pub availability_burn: f64,
+    /// Latency burn: observed slow fraction over the latency error
+    /// budget (`0.0` when the window is empty).
+    pub latency_burn: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    /// Bucket index (`second / BUCKET_S`) the counts belong to; stale
+    /// buckets are reset on first touch of a new epoch.
+    tag: u64,
+    requests: u64,
+    errors: u64,
+    slow: u64,
+}
+
+/// Tracks one endpoint's SLO compliance in a ring of 10-second buckets
+/// wide enough for the longest window in [`BURN_WINDOWS`]. Recording
+/// takes one short mutex hold; reading sums at most `RING` buckets.
+#[derive(Debug)]
+pub struct SloTracker {
+    spec: SloSpec,
+    ring: Mutex<[Bucket; RING]>,
+}
+
+impl SloTracker {
+    /// A tracker for `spec` with an empty history.
+    pub fn new(spec: SloSpec) -> SloTracker {
+        SloTracker {
+            spec,
+            ring: Mutex::new([Bucket::default(); RING]),
+        }
+    }
+
+    /// The objective being tracked.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// Record one finished request at the current process time.
+    pub fn record(&self, latency_us: u64, ok: bool) {
+        self.record_at(now_us() / 1_000_000, latency_us, ok);
+    }
+
+    /// Record one finished request at an explicit second — the
+    /// deterministic entry point tests drive directly.
+    pub fn record_at(&self, now_s: u64, latency_us: u64, ok: bool) {
+        let tag = now_s / BUCKET_S;
+        let mut ring = self.ring.lock().expect("slo ring poisoned");
+        let bucket = &mut ring[(tag as usize) % RING];
+        if bucket.tag != tag {
+            *bucket = Bucket {
+                tag,
+                ..Bucket::default()
+            };
+        }
+        bucket.requests += 1;
+        if !ok {
+            bucket.errors += 1;
+        }
+        if latency_us > self.spec.latency_target_us {
+            bucket.slow += 1;
+        }
+    }
+
+    /// Burn rates over every window in [`BURN_WINDOWS`] at the current
+    /// process time.
+    pub fn burn_rates(&self) -> Vec<BurnRateSample> {
+        self.burn_rates_at(now_us() / 1_000_000)
+    }
+
+    /// Burn rates at an explicit second (deterministic for tests). A
+    /// window covers the half-open span `(now_s - window, now_s]` in
+    /// bucket granularity.
+    pub fn burn_rates_at(&self, now_s: u64) -> Vec<BurnRateSample> {
+        let now_tag = now_s / BUCKET_S;
+        let ring = self.ring.lock().expect("slo ring poisoned");
+        BURN_WINDOWS
+            .iter()
+            .map(|&(label, window_s)| {
+                let window_buckets = (window_s / BUCKET_S).max(1);
+                let oldest_tag = (now_tag + 1).saturating_sub(window_buckets);
+                let (mut requests, mut errors, mut slow) = (0u64, 0u64, 0u64);
+                for b in ring.iter() {
+                    if b.requests > 0 && b.tag >= oldest_tag && b.tag <= now_tag {
+                        requests += b.requests;
+                        errors += b.errors;
+                        slow += b.slow;
+                    }
+                }
+                let burn = |bad: u64, budget: f64| {
+                    if requests == 0 || budget <= 0.0 {
+                        0.0
+                    } else {
+                        (bad as f64 / requests as f64) / budget
+                    }
+                };
+                BurnRateSample {
+                    window: label.to_string(),
+                    requests,
+                    errors,
+                    slow,
+                    availability_burn: burn(errors, 1.0 - self.spec.availability),
+                    latency_burn: burn(slow, 1.0 - self.spec.latency_goal),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burn_is_one_when_budget_is_spent_exactly() {
+        let t = SloTracker::new(SloSpec {
+            endpoint: "estimate",
+            availability: 0.999,
+            latency_target_us: 1_000,
+            latency_goal: 0.99,
+        });
+        // 1000 requests, 1 error: error rate 0.1% == the 99.9% budget.
+        for i in 0..1000 {
+            t.record_at(100, 10, i != 0);
+        }
+        let rates = t.burn_rates_at(100);
+        assert_eq!(rates.len(), BURN_WINDOWS.len());
+        let five = &rates[0];
+        assert_eq!(five.window, "5m");
+        assert_eq!(five.requests, 1000);
+        assert_eq!(five.errors, 1);
+        assert!((five.availability_burn - 1.0).abs() < 1e-9);
+        assert!((five.latency_burn - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_burn_counts_requests_over_target() {
+        let t = SloTracker::new(SloSpec {
+            endpoint: "flow",
+            availability: 0.999,
+            latency_target_us: 1_000,
+            latency_goal: 0.99,
+        });
+        // 100 requests, 2 slower than 1 ms: 2% slow over a 1% budget.
+        for i in 0..100 {
+            let latency = if i < 2 { 5_000 } else { 10 };
+            t.record_at(50, latency, true);
+        }
+        let rates = t.burn_rates_at(50);
+        assert!((rates[0].latency_burn - 2.0).abs() < 1e-9);
+        assert_eq!(rates[0].slow, 2);
+    }
+
+    #[test]
+    fn short_window_forgets_what_the_long_window_remembers() {
+        let t = SloTracker::new(SloSpec::new("flow", 1_000));
+        // Errors at t=0, then quiet; read at t=600 (10 min later).
+        for _ in 0..10 {
+            t.record_at(0, 10, false);
+        }
+        for _ in 0..10 {
+            t.record_at(590, 10, true);
+        }
+        let rates = t.burn_rates_at(599);
+        let five = &rates[0];
+        let hour = &rates[1];
+        assert_eq!(five.window, "5m");
+        assert_eq!(
+            five.requests, 10,
+            "5m window sees only the recent ok traffic"
+        );
+        assert_eq!(five.errors, 0);
+        assert!(five.availability_burn == 0.0);
+        assert_eq!(hour.requests, 20, "1h window still sees the error burst");
+        assert_eq!(hour.errors, 10);
+        assert!(hour.availability_burn > 0.0);
+    }
+
+    #[test]
+    fn stale_buckets_are_reset_when_the_ring_wraps() {
+        let t = SloTracker::new(SloSpec::new("estimate", 1_000));
+        t.record_at(0, 10, false);
+        // Exactly one ring revolution later the same slot is reused; the
+        // old error must not leak into the new epoch.
+        let wrap_s = BURN_WINDOWS[1].1;
+        t.record_at(wrap_s, 10, true);
+        let rates = t.burn_rates_at(wrap_s);
+        assert_eq!(rates[1].requests, 1);
+        assert_eq!(rates[1].errors, 0);
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero_burn() {
+        let t = SloTracker::new(SloSpec::new("stats", 1_000));
+        for r in t.burn_rates_at(1_000) {
+            assert_eq!(r.requests, 0);
+            assert_eq!(r.availability_burn, 0.0);
+            assert_eq!(r.latency_burn, 0.0);
+        }
+    }
+}

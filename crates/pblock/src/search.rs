@@ -1,6 +1,6 @@
 //! Correction-factor searches: dataset labelling and the estimator loop.
 //!
-//! Both searches run on an incremental [`Engine`] that reuses everything
+//! Both searches run on an incremental engine that reuses everything
 //! invariant across CF attempts — the device capacity prefix tables, a
 //! [`PlaceContext`] holding the module's hoisted congestion constants, the
 //! previous attempt's planned rectangle — and prescreens provably-doomed

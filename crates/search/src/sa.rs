@@ -134,7 +134,7 @@ impl<'p, P: SearchProblem> SaLane<'p, P> {
     /// on every improvement would dominate the lane's wall-clock for
     /// placement-sized problems during the early descent, where nearly
     /// every accepted move improves on the best. Instead the snapshot is
-    /// taken at most once per [`SNAP_INTERVAL`] moves, plus unconditionally
+    /// taken at most once per `SNAP_INTERVAL` moves, plus unconditionally
     /// after every feasibility repair and at round end.
     pub fn run_round(&mut self, budget: u64) {
         self.improved_this_round = false;

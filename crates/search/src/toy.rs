@@ -2,7 +2,7 @@
 //! and property tests (and handy as an implementation template).
 //!
 //! The problem: place `n` items on integer positions `0..range`,
-//! minimising Σᵢ |pos[i] − target[i]| under the hard constraint that no
+//! minimising Σᵢ |pos\[i\] − target\[i\]| under the hard constraint that no
 //! two items share a position (mirroring the stitcher's occupancy rule).
 //! The optimum is usually the target vector itself.
 

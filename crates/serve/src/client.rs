@@ -2,7 +2,8 @@
 
 use crate::protocol::{
     EstimateRequest, EstimateResponse, FlowRequest, FlowResponse, MetricsResponse, ModuleSpec,
-    PreimplRequest, PreimplResponse, Request, Response, ShutdownResponse, StatsReport,
+    PreimplRequest, PreimplResponse, Request, Response, ShutdownResponse, SlowlogReport,
+    SlowlogRequest, StatsReport,
 };
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -219,6 +220,12 @@ impl Client {
     pub fn metrics_text(&mut self) -> Result<String, ClientError> {
         let r: MetricsResponse = self.typed("metrics", Value::Null)?;
         Ok(r.text)
+    }
+
+    /// Fetch the tail-sampled slowlog: the most recent `limit` retained
+    /// request traces (`0` = all), newest first.
+    pub fn slowlog(&mut self, limit: u64) -> Result<SlowlogReport, ClientError> {
+        self.typed("slowlog", SlowlogRequest { limit }.to_value())
     }
 
     /// Ask the server to stop gracefully. The reply arrives *after* the

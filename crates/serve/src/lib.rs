@@ -69,17 +69,23 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientConfig, ClientError};
+pub use loadgen::{
+    check_serve_regression, run_loadgen, EndpointLoadStats, LoadMode, LoadgenConfig, RequestMix,
+    ServeBenchReport, ServerTotals,
+};
 pub use metrics::{EndpointMetrics, Metrics, LATENCY_BUCKETS_US};
 pub use protocol::{
     CacheStats, EndpointSnapshot, EstimateRequest, EstimateResponse, FlowRequest, FlowResponse,
     MetricsResponse, ModuleSpec, PreimplRequest, PreimplResponse, Request, Response,
-    RobustnessReport, ShutdownResponse, StatsReport, StoreSnapshot,
+    RobustnessReport, ShutdownResponse, SloReport, SlowlogReport, SlowlogRequest, StatsReport,
+    StoreSnapshot,
 };
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use server::{default_slos, serve, ServeConfig, ServerHandle};
 pub use tms_obs::prometheus;
 pub use tms_store::StoreConfig;

@@ -20,11 +20,13 @@ pub struct Metrics {
     pub metrics: EndpointMetrics,
     /// `shutdown` (graceful stop) counters.
     pub shutdown: EndpointMetrics,
+    /// `slowlog` (tail-sampled trace retrieval) counters.
+    pub slowlog: EndpointMetrics,
 }
 
 impl Metrics {
     /// The `(endpoint name, metrics)` pairs, in exposition order.
-    pub fn endpoints(&self) -> [(&'static str, &EndpointMetrics); 6] {
+    pub fn endpoints(&self) -> [(&'static str, &EndpointMetrics); 7] {
         [
             ("estimate", &self.estimate),
             ("preimpl", &self.preimpl),
@@ -32,6 +34,7 @@ impl Metrics {
             ("stats", &self.stats),
             ("metrics", &self.metrics),
             ("shutdown", &self.shutdown),
+            ("slowlog", &self.slowlog),
         ]
     }
 }
@@ -64,7 +67,7 @@ mod tests {
         let names: Vec<&str> = m.endpoints().iter().map(|&(n, _)| n).collect();
         assert_eq!(
             names,
-            ["estimate", "preimpl", "flow", "stats", "metrics", "shutdown"]
+            ["estimate", "preimpl", "flow", "stats", "metrics", "shutdown", "slowlog"]
         );
         assert_eq!(m.endpoints()[2].1.snapshot().requests, 1);
     }

@@ -19,6 +19,7 @@
 //! | `stats`    | none (`null`)        | [`StatsReport`]       |
 //! | `metrics`  | none (`null`)        | [`MetricsResponse`]   |
 //! | `shutdown` | none (`null`)        | [`ShutdownResponse`]  |
+//! | `slowlog`  | [`SlowlogRequest`] or `null` | [`SlowlogReport`] |
 //!
 //! The `metrics` page is also reachable over plain HTTP on the same port:
 //! a connection whose first line starts with `GET ` gets the Prometheus
@@ -27,8 +28,8 @@
 use serde::Value;
 use tms_cnn::ModuleRole;
 use tms_netlist::NetlistStats;
-pub use tms_obs::EndpointSnapshot;
 use tms_obs::ObsSnapshot;
+pub use tms_obs::{BurnRateSample, EndpointSnapshot, SlowlogEntry};
 pub use tms_store::StoreSnapshot;
 
 /// Request envelope: a client-chosen id, the endpoint, and its payload.
@@ -234,6 +235,23 @@ pub struct RobustnessReport {
     pub faults_injected: u64,
 }
 
+/// One endpoint's SLO posture inside a [`StatsReport`]: the objective
+/// plus its multi-window burn-rate readings.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SloReport {
+    /// The endpoint the objective covers.
+    pub endpoint: String,
+    /// Availability target, e.g. `0.999`.
+    pub availability: f64,
+    /// Latency target in microseconds; slower requests burn the latency
+    /// budget.
+    pub latency_target_us: u64,
+    /// Fraction of requests that must meet the latency target.
+    pub latency_goal: f64,
+    /// Burn-rate readings, one per window (`5m`, `1h`).
+    pub windows: Vec<BurnRateSample>,
+}
+
 /// `stats` reply: per-endpoint counters plus cache hit/miss rates and the
 /// flow-phase telemetry of the pipeline work the server has done.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -252,6 +270,10 @@ pub struct StatsReport {
     pub metrics: EndpointSnapshot,
     /// `shutdown` endpoint counters.
     pub shutdown: EndpointSnapshot,
+    /// `slowlog` endpoint counters.
+    pub slowlog: EndpointSnapshot,
+    /// Per-endpoint SLO burn rates.
+    pub slo: Vec<SloReport>,
     /// Shared implementation-cache statistics.
     pub cache: CacheStats,
     /// Persistent-store statistics, when the server runs in store mode
@@ -283,6 +305,32 @@ pub struct ShutdownResponse {
 pub struct MetricsResponse {
     /// The rendered exposition page.
     pub text: String,
+}
+
+/// `slowlog` payload (optional — `null` means all retained entries).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SlowlogRequest {
+    /// Maximum entries to return, newest first (`0` = all).
+    pub limit: u64,
+}
+
+/// `slowlog` reply: the tail-sampling state plus the retained span trees.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SlowlogReport {
+    /// Latency threshold (µs) above which a healthy request is retained.
+    pub threshold_us: u64,
+    /// Ring capacity.
+    pub capacity: u64,
+    /// Requests considered for retention so far.
+    pub considered: u64,
+    /// Requests retained so far (including since-evicted ones).
+    pub retained: u64,
+    /// Retained entries evicted to make room.
+    pub evicted: u64,
+    /// The retained entries, newest first.
+    pub entries: Vec<SlowlogEntry>,
+    /// Server-side handling time in microseconds.
+    pub micros: u64,
 }
 
 #[cfg(test)]

@@ -46,7 +46,7 @@ use crate::metrics::Metrics;
 use crate::protocol::{
     CacheStats, EstimateRequest, EstimateResponse, FlowRequest, FlowResponse, MetricsResponse,
     PreimplRequest, PreimplResponse, Request, Response, RobustnessReport, ShutdownResponse,
-    StatsReport,
+    SloReport, SlowlogReport, SlowlogRequest, StatsReport,
 };
 use crossbeam::channel::TrySendError;
 use serde::{Deserialize, Serialize, Value};
@@ -66,7 +66,10 @@ use tms_flow::{
 };
 use tms_netlist::NetlistStats;
 use tms_obs::prometheus::PromText;
-use tms_obs::{span, AggregatingSink, Phase, Recorder};
+use tms_obs::{
+    span, AggregatingSink, Phase, Recorder, RequestCtx, RequestOutcome, RequestRecorder, SloSpec,
+    SloTracker, Slowlog, SlowlogEntry, TraceIdGen,
+};
 use tms_pblock::CfSearch;
 use tms_place::{quick_place, PlacementModel};
 use tms_stitch::StitchConfig;
@@ -126,6 +129,17 @@ pub struct ServeConfig {
     /// family. The per-request seed still wins: the configured portfolio
     /// is re-seeded with each request's design seed.
     pub stitch_portfolio: Option<tms_search::PortfolioConfig>,
+    /// Ring capacity of the tail-sampling slowlog: how many full request
+    /// span trees are retained for the `slowlog` endpoint.
+    pub slowlog_capacity: usize,
+    /// A healthy request slower than this is retained in the slowlog
+    /// (errored/shed/degraded/deadline-expired requests are retained
+    /// regardless of latency).
+    pub slow_threshold: Duration,
+    /// Per-endpoint service-level objectives; each gets multi-window
+    /// burn-rate gauges on `/metrics` and in `stats`. Defaults to
+    /// [`default_slos`].
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for ServeConfig {
@@ -142,8 +156,28 @@ impl Default for ServeConfig {
             retry: Retry::default(),
             fault: None,
             stitch_portfolio: None,
+            slowlog_capacity: 64,
+            slow_threshold: Duration::from_secs(1),
+            slos: default_slos(),
         }
     }
+}
+
+/// The default per-endpoint service-level objectives: 99.9% availability
+/// everywhere, with latency targets scaled to what each endpoint does —
+/// cheap lookups answer within 50 ms, a `preimpl` may place-and-route one
+/// module (10 s), a `flow` may compile a whole design (60 s). 99% of
+/// requests must meet the latency target.
+pub fn default_slos() -> Vec<SloSpec> {
+    vec![
+        SloSpec::new("estimate", 50_000),
+        SloSpec::new("preimpl", 10_000_000),
+        SloSpec::new("flow", 60_000_000),
+        SloSpec::new("stats", 50_000),
+        SloSpec::new("metrics", 50_000),
+        SloSpec::new("shutdown", 5_000_000),
+        SloSpec::new("slowlog", 50_000),
+    ]
 }
 
 impl ServeConfig {
@@ -206,6 +240,12 @@ struct ServerState {
     fault: Option<Arc<FaultPlan>>,
     portfolio: Option<tms_search::PortfolioConfig>,
     robust: Robust,
+    /// Trace-id source for per-request [`RequestCtx`]s.
+    traces: TraceIdGen,
+    /// The tail-sampling slowlog behind the `slowlog` endpoint.
+    slowlog: Slowlog,
+    /// Per-endpoint SLO burn-rate trackers.
+    slo: Vec<SloTracker>,
 }
 
 impl ServerState {
@@ -225,6 +265,11 @@ impl ServerState {
     /// The resilience bundle handed to the flow layer.
     fn resilience(&self) -> Resilience<'_> {
         Resilience::new(self.injector(), self.limits.retry)
+    }
+
+    /// The SLO tracker covering `endpoint`, if one was configured.
+    fn slo_tracker(&self, endpoint: &str) -> Option<&SloTracker> {
+        self.slo.iter().find(|t| t.spec().endpoint == endpoint)
     }
 
     /// Consult the fault plan at a `serve.*` point (false when unarmed).
@@ -383,6 +428,12 @@ pub fn serve(
             degraded: AtomicBool::new(degraded_at_open),
             ..Robust::default()
         },
+        traces: TraceIdGen::new(),
+        slowlog: Slowlog::new(
+            config.slowlog_capacity,
+            config.slow_threshold.as_micros() as u64,
+        ),
+        slo: config.slos.iter().map(|&s| SloTracker::new(s)).collect(),
     });
 
     let (tx, rx) = crossbeam::channel::bounded::<Pending>(config.queue_limit.max(1));
@@ -443,6 +494,16 @@ pub fn serve(
 fn refuse(state: &ServerState, mut stream: TcpStream, why: &str) {
     state.robust.shed.fetch_add(1, Ordering::Relaxed);
     state.sink.count("serve.shed", 1);
+    // A shed connection never reaches an endpoint, but it is exactly the
+    // kind of request the tail-sampler exists for: retain it.
+    state.slowlog.offer(SlowlogEntry {
+        trace_id: state.traces.mint(),
+        endpoint: "accept".to_string(),
+        latency_us: 0,
+        outcome: RequestOutcome::Shed,
+        over_budget_phases: Vec::new(),
+        events: Vec::new(),
+    });
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let resp = Response::failure(0, format!("overloaded: {why}"));
     let mut out = serde_json::to_string(&resp).unwrap_or_default();
@@ -653,6 +714,11 @@ fn handle_http(
 }
 
 /// Parse, dispatch, time, deadline-check, and record one request line.
+/// Mints the request's [`RequestCtx`] (trace id + per-phase budget) and
+/// threads a [`RequestRecorder`] through the pipeline, so every span the
+/// request causes is tagged with its trace id; the finished span tree is
+/// offered to the tail-sampling slowlog, and the request's latency and
+/// outcome feed the endpoint's SLO burn-rate tracker.
 fn handle_request(state: &ServerState, line: &str) -> Response {
     let req: Request = match serde_json::from_str(line) {
         Ok(r) => r,
@@ -662,22 +728,30 @@ fn handle_request(state: &ServerState, line: &str) -> Response {
             return Response::failure(0, format!("bad request envelope: {e}"));
         }
     };
-    let endpoint = match req.endpoint.as_str() {
-        "estimate" => &state.metrics.estimate,
-        "preimpl" => &state.metrics.preimpl,
-        "flow" => &state.metrics.flow,
-        "stats" => &state.metrics.stats,
-        "metrics" => &state.metrics.metrics,
-        "shutdown" => &state.metrics.shutdown,
+    let (name, endpoint): (&'static str, _) = match req.endpoint.as_str() {
+        "estimate" => ("estimate", &state.metrics.estimate),
+        "preimpl" => ("preimpl", &state.metrics.preimpl),
+        "flow" => ("flow", &state.metrics.flow),
+        "stats" => ("stats", &state.metrics.stats),
+        "metrics" => ("metrics", &state.metrics.metrics),
+        "shutdown" => ("shutdown", &state.metrics.shutdown),
+        "slowlog" => ("slowlog", &state.metrics.slowlog),
         other => return Response::failure(req.id, format!("unknown endpoint '{other}'")),
     };
+    // Per-phase budget: no single phase may spend more than half the
+    // request deadline without being flagged in the slowlog entry.
+    let deadline_us = state.limits.request_deadline.as_micros() as u64;
+    let ctx = RequestCtx::with_uniform_budget(state.traces.mint(), name, deadline_us / 2);
+    let rec = RequestRecorder::new(&*state.sink, ctx);
     let start = Instant::now();
-    let mut outcome = dispatch(state, &req.endpoint, &req.payload, &start);
+    let mut outcome = dispatch(state, &req.endpoint, &req.payload, &start, &rec);
     let elapsed = start.elapsed();
     // Deadline enforcement: a result that arrives too late is discarded
     // (its side effects — cache fills — stand) and replaced with an
     // explicit error, so slow handling is visible instead of ambiguous.
+    let mut deadline_hit = false;
     if outcome.is_ok() && elapsed > state.limits.request_deadline {
+        deadline_hit = true;
         state
             .robust
             .deadline_expired
@@ -689,7 +763,23 @@ fn handle_request(state: &ServerState, line: &str) -> Response {
             state.limits.request_deadline.as_millis()
         ));
     }
-    endpoint.record(elapsed.as_micros() as u64, outcome.is_ok());
+    let elapsed_us = elapsed.as_micros() as u64;
+    endpoint.record(elapsed_us, outcome.is_ok());
+    if let Some(tracker) = state.slo_tracker(name) {
+        tracker.record(elapsed_us, outcome.is_ok());
+    }
+    let request_outcome = if deadline_hit {
+        RequestOutcome::DeadlineExpired
+    } else if outcome.is_err() {
+        RequestOutcome::Error
+    } else if rec.counter_total("serve.store_error") > 0 {
+        // The reply succeeded, but persistence failed along the way: the
+        // request ran degraded and its trace explains what happened.
+        RequestOutcome::Degraded
+    } else {
+        RequestOutcome::Ok
+    };
+    state.slowlog.offer(rec.finish(elapsed_us, request_outcome));
     match outcome {
         Ok(payload) => Response::success(req.id, payload),
         Err(e) => Response::failure(req.id, e),
@@ -701,17 +791,19 @@ fn dispatch(
     endpoint: &str,
     payload: &Value,
     start: &Instant,
+    obs: &RequestRecorder<'_>,
 ) -> Result<Value, String> {
     match endpoint {
-        "estimate" => do_estimate(state, parse(payload)?, start).map(|r| r.to_value()),
-        "preimpl" => do_preimpl(state, parse(payload)?, start).map(|r| r.to_value()),
-        "flow" => do_flow(state, parse(payload)?, start).map(|r| r.to_value()),
+        "estimate" => do_estimate(state, parse(payload)?, start, obs).map(|r| r.to_value()),
+        "preimpl" => do_preimpl(state, parse(payload)?, start, obs).map(|r| r.to_value()),
+        "flow" => do_flow(state, parse(payload)?, start, obs).map(|r| r.to_value()),
         "stats" => Ok(do_stats(state).to_value()),
         "metrics" => Ok(MetricsResponse {
             text: prometheus_text(state),
         }
         .to_value()),
         "shutdown" => do_shutdown(state, start).map(|r| r.to_value()),
+        "slowlog" => do_slowlog(state, payload, start).map(|r| r.to_value()),
         _ => unreachable!("checked by handle_request"),
     }
 }
@@ -796,6 +888,7 @@ fn do_estimate(
     state: &ServerState,
     req: EstimateRequest,
     start: &Instant,
+    obs: &RequestRecorder<'_>,
 ) -> Result<EstimateResponse, String> {
     let stats = match (req.stats, req.spec) {
         (Some(stats), _) => stats,
@@ -804,7 +897,7 @@ fn do_estimate(
         }
         (None, None) => return Err("estimate needs either 'stats' or 'spec'".to_string()),
     };
-    let _estimate_span = span(&*state.sink, Phase::Estimate, "serve");
+    let _estimate_span = span(obs, Phase::Estimate, "serve");
     let cf = predict_cf(&state.estimator, state.features, &stats);
     Ok(EstimateResponse {
         cf,
@@ -818,6 +911,7 @@ fn do_preimpl(
     state: &ServerState,
     req: PreimplRequest,
     start: &Instant,
+    obs: &RequestRecorder<'_>,
 ) -> Result<PreimplResponse, String> {
     let device = device_by_name(&req.device)?;
     let spec = req.spec;
@@ -827,19 +921,25 @@ fn do_preimpl(
     let hit = state.cache.read().get(&key);
     let (module, cached) = match hit {
         Some(m) => {
-            state.sink.count("cache.hit", 1);
+            obs.count("cache.hit", 1);
             (m, true)
         }
         None => {
-            state.sink.count("cache.miss", 1);
-            let cfg = flow_config(req.cf, spec.seed, state.portfolio.as_ref(), &*state.sink);
+            obs.count("cache.miss", 1);
+            let cfg = flow_config(req.cf, spec.seed, state.portfolio.as_ref(), obs);
             let res = state.resilience();
             let m = implement_module_resilient(&spec.name, &netlist, &device, &cfg, &res)?;
             // A failed (already-retried) store put is not the client's
             // problem: the implementation is still returned, the failure
-            // feeds the degrade decision.
-            if state.cache.write().try_insert(key, m.clone()).is_err() {
-                state.sink.count("serve.store_error", 1);
+            // feeds the degrade decision. The insert runs under a Store
+            // span on the request's recorder, so persistence time shows
+            // up in the request's trace.
+            let inserted = {
+                let _store_span = span(obs, Phase::Store, &spec.name);
+                state.cache.write().try_insert(key, m.clone())
+            };
+            if inserted.is_err() {
+                obs.count("serve.store_error", 1);
             }
             maybe_degrade(state);
             (m, false)
@@ -858,21 +958,28 @@ fn do_preimpl(
     })
 }
 
-fn do_flow(state: &ServerState, req: FlowRequest, start: &Instant) -> Result<FlowResponse, String> {
+fn do_flow(
+    state: &ServerState,
+    req: FlowRequest,
+    start: &Instant,
+    obs: &RequestRecorder<'_>,
+) -> Result<FlowResponse, String> {
     let device = device_by_name(&req.device)?;
     let design = cnvw1a1(req.design_seed);
-    let cfg = flow_config(
-        req.cf,
-        req.design_seed,
-        state.portfolio.as_ref(),
-        &*state.sink,
-    );
+    let cfg = flow_config(req.cf, req.design_seed, state.portfolio.as_ref(), obs);
     let res = state.resilience();
     // The whole cached run holds the write lock: it both reads and fills
     // the cache, and its parallel section uses rayon, not the pool.
     let mut cache = state.cache.write();
+    let failures_before = cache.store_put_failures();
     let r = run_rw_flow_cached_resilient(&design, &device, &cfg, &mut cache, &res);
+    // The write lock was held across the run, so any new put failures
+    // belong to this request: book them on its trace for classification.
+    let failures_during = cache.store_put_failures().saturating_sub(failures_before);
     drop(cache);
+    if failures_during > 0 {
+        obs.count("serve.store_error", failures_during);
+    }
     maybe_degrade(state);
     Ok(FlowResponse {
         implemented: r.result.implemented.len(),
@@ -906,6 +1013,49 @@ fn do_shutdown(state: &ServerState, start: &Instant) -> Result<ShutdownResponse,
     })
 }
 
+/// Answer a `slowlog` request: snapshot the tail-sampled ring (newest
+/// first) together with its retention counters. A `null` payload means
+/// "everything retained"; otherwise the payload's `limit` bounds the
+/// entry count (`0` = all).
+fn do_slowlog(
+    state: &ServerState,
+    payload: &Value,
+    start: &Instant,
+) -> Result<SlowlogReport, String> {
+    let limit = match payload {
+        Value::Null => 0,
+        v => parse::<SlowlogRequest>(v)?.limit,
+    };
+    Ok(SlowlogReport {
+        threshold_us: state.slowlog.threshold_us(),
+        capacity: state.slowlog.capacity() as u64,
+        considered: state.slowlog.considered(),
+        retained: state.slowlog.retained(),
+        evicted: state.slowlog.evicted(),
+        entries: state.slowlog.snapshot(limit as usize),
+        micros: start.elapsed().as_micros() as u64,
+    })
+}
+
+/// The per-endpoint SLO reports for `stats`: each configured objective
+/// with its current multi-window burn rates.
+fn slo_reports(state: &ServerState) -> Vec<SloReport> {
+    state
+        .slo
+        .iter()
+        .map(|t| {
+            let spec = t.spec();
+            SloReport {
+                endpoint: spec.endpoint.to_string(),
+                availability: spec.availability,
+                latency_target_us: spec.latency_target_us,
+                latency_goal: spec.latency_goal,
+                windows: t.burn_rates(),
+            }
+        })
+        .collect()
+}
+
 fn do_stats(state: &ServerState) -> StatsReport {
     let cache = state.cache.read();
     StatsReport {
@@ -916,6 +1066,8 @@ fn do_stats(state: &ServerState) -> StatsReport {
         stats: state.metrics.stats.snapshot(),
         metrics: state.metrics.metrics.snapshot(),
         shutdown: state.metrics.shutdown.snapshot(),
+        slowlog: state.metrics.slowlog.snapshot(),
+        slo: slo_reports(state),
         cache: CacheStats {
             len: cache.len(),
             capacity: cache.capacity(),
@@ -933,11 +1085,27 @@ fn do_stats(state: &ServerState) -> StatsReport {
 /// and the pipeline-phase telemetry of the shared sink.
 fn prometheus_text(state: &ServerState) -> String {
     let mut page = PromText::new();
+    page.header(
+        "tms_build_info",
+        "Build metadata; the version label carries the crate version",
+        "gauge",
+    );
+    page.sample(
+        "tms_build_info",
+        &[("version", env!("CARGO_PKG_VERSION"))],
+        1.0,
+    );
     page.header("tms_uptime_us", "Microseconds since server start", "gauge");
     page.sample(
         "tms_uptime_us",
         &[],
         state.started.elapsed().as_micros() as f64,
+    );
+    page.header("tms_uptime_seconds", "Seconds since server start", "gauge");
+    page.sample(
+        "tms_uptime_seconds",
+        &[],
+        state.started.elapsed().as_secs_f64(),
     );
     page.header("tms_requests_total", "Requests handled", "counter");
     for (name, m) in state.metrics.endpoints() {
@@ -989,8 +1157,81 @@ fn prometheus_text(state: &ServerState) -> String {
         }
         robust_prometheus(&mut page, &state.robustness_report(&cache));
     }
+    slo_prometheus(&mut page, state);
+    slowlog_prometheus(&mut page, state);
     page.obs_snapshot(&state.sink.snapshot());
     page.finish()
+}
+
+/// The SLO burn-rate gauge family: one sample per (endpoint, window,
+/// objective). A burn rate of 1.0 consumes the error budget exactly at
+/// the sustainable pace; above it the budget drains early.
+fn slo_prometheus(page: &mut PromText, state: &ServerState) {
+    page.header(
+        "tms_slo_burn_rate",
+        "Error-budget burn rate per endpoint, window, and objective",
+        "gauge",
+    );
+    for tracker in &state.slo {
+        let endpoint = tracker.spec().endpoint;
+        for w in tracker.burn_rates() {
+            page.sample(
+                "tms_slo_burn_rate",
+                &[
+                    ("endpoint", endpoint),
+                    ("window", &w.window),
+                    ("slo", "availability"),
+                ],
+                w.availability_burn,
+            );
+            page.sample(
+                "tms_slo_burn_rate",
+                &[
+                    ("endpoint", endpoint),
+                    ("window", &w.window),
+                    ("slo", "latency"),
+                ],
+                w.latency_burn,
+            );
+        }
+    }
+}
+
+/// The tail-sampling slowlog's retention counters and gauges.
+fn slowlog_prometheus(page: &mut PromText, state: &ServerState) {
+    let counters: [(&str, &str, u64); 3] = [
+        (
+            "tms_slowlog_considered_total",
+            "Finished requests offered to the tail sampler",
+            state.slowlog.considered(),
+        ),
+        (
+            "tms_slowlog_retained_total",
+            "Requests whose full span tree was retained",
+            state.slowlog.retained(),
+        ),
+        (
+            "tms_slowlog_evicted_total",
+            "Retained entries evicted by the ring bound",
+            state.slowlog.evicted(),
+        ),
+    ];
+    for (name, help, value) in counters {
+        page.header(name, help, "counter");
+        page.sample(name, &[], value as f64);
+    }
+    page.header("tms_slowlog_len", "Entries currently retained", "gauge");
+    page.sample("tms_slowlog_len", &[], state.slowlog.len() as f64);
+    page.header(
+        "tms_slowlog_threshold_us",
+        "Latency above which a healthy request is retained",
+        "gauge",
+    );
+    page.sample(
+        "tms_slowlog_threshold_us",
+        &[],
+        state.slowlog.threshold_us() as f64,
+    );
 }
 
 /// The robustness gauge/counter family on the Prometheus page.

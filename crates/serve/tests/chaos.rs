@@ -357,6 +357,27 @@ fn store_failure_degrades_to_memory_only_and_recovers_on_restart() {
     let page = client.metrics_text().expect("metrics");
     assert!(page.contains("tms_degraded 1"), "degraded flag on /metrics");
 
+    // The tail sampler caught the casualties: the requests whose store
+    // puts failed ran *degraded*, and the slowlog retained their full
+    // span trees even though they answered fast and successfully.
+    let log = client.slowlog(0).expect("slowlog");
+    let degraded: Vec<_> = log
+        .entries
+        .iter()
+        .filter(|e| e.outcome == tms_obs::RequestOutcome::Degraded)
+        .collect();
+    assert!(
+        degraded.len() >= 2,
+        "both degraded preimpls are retained: {:?}",
+        log.entries
+            .iter()
+            .map(|e| (e.endpoint.as_str(), e.outcome.label()))
+            .collect::<Vec<_>>()
+    );
+    assert!(degraded
+        .iter()
+        .all(|e| e.endpoint == "preimpl" && e.trace_id > 0));
+
     // Memory-only serving continues: the store's entries were carried
     // into the memory cache, and new work caches there too.
     assert!(

@@ -333,7 +333,10 @@ fn plain_http_get_scrapes_the_metrics_page() {
         .expect("server closes after replying");
     let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
     assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
-    assert!(head.contains("Content-Type: text/plain"));
+    assert!(
+        head.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+        "scrapers key on the exposition-format version: {head}"
+    );
     let samples = tms_serve::prometheus::parse(body).expect("body is a Prometheus page");
     assert_eq!(
         samples["tms_requests_total{endpoint=\"preimpl\"}"] as u64,
@@ -384,5 +387,156 @@ fn errors_are_reported_and_the_connection_survives() {
     let stats = client.stats().expect("stats");
     assert_eq!(stats.estimate.errors, 1);
     assert_eq!(stats.preimpl.errors, 1);
+    handle.stop();
+}
+
+/// Tail sampling is *exact*: with an unreachable slow threshold, the
+/// slowlog retains precisely the requests that errored — healthy fast
+/// requests cost only atomic bumps and leave no trace behind.
+#[test]
+fn slowlog_retains_exactly_errors_under_a_high_threshold() {
+    let config = ServeConfig {
+        workers: 2,
+        slow_threshold: std::time::Duration::from_secs(3600),
+        ..ServeConfig::default()
+    };
+    let handle = serve(config, tiny_estimator(), FeatureSet::Additional).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let s = spec(ModuleRole::Mvau, 30, "slowlog_m");
+    for _ in 0..3 {
+        client.estimate_spec(&s).expect("estimate");
+    }
+    for _ in 0..2 {
+        client
+            .preimpl(&s, "no-such-device", None)
+            .expect_err("unknown device must fail");
+    }
+
+    let log = client.slowlog(0).expect("slowlog");
+    assert_eq!(log.retained, 2, "exactly the two errored requests");
+    assert_eq!(log.entries.len(), 2);
+    assert!(log.considered >= 5, "every finished request was offered");
+    assert_eq!(log.evicted, 0);
+    for entry in &log.entries {
+        assert_eq!(entry.endpoint, "preimpl");
+        assert_eq!(entry.outcome, tms_obs::RequestOutcome::Error);
+        assert!(entry.trace_id > 0, "every request gets a real trace id");
+        assert!(
+            entry.events.iter().all(|e| e.trace_id() == entry.trace_id),
+            "every buffered event carries the owning request's trace id"
+        );
+    }
+    let (a, b) = (log.entries[0].trace_id, log.entries[1].trace_id);
+    assert_ne!(a, b, "trace ids are unique per request");
+    assert!(a > b, "snapshot is newest-first");
+    handle.stop();
+}
+
+/// With a zero threshold every request is "slow": the slowlog retains all
+/// of them, span trees included, and the healthy ones carry `Ok`.
+#[test]
+fn zero_threshold_retains_every_request_with_its_span_tree() {
+    let config = ServeConfig {
+        workers: 2,
+        slow_threshold: std::time::Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let handle = serve(config, tiny_estimator(), FeatureSet::Additional).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let s = spec(ModuleRole::Activation, 24, "retain_m");
+    client.estimate_spec(&s).expect("estimate");
+    let cold = client.preimpl(&s, "xc7z020", Some(1.6)).expect("preimpl");
+    assert!(!cold.cached);
+
+    let log = client.slowlog(0).expect("slowlog");
+    assert_eq!(log.retained, 2);
+    let preimpl = log
+        .entries
+        .iter()
+        .find(|e| e.endpoint == "preimpl")
+        .expect("preimpl trace retained");
+    assert_eq!(preimpl.outcome, tms_obs::RequestOutcome::Ok);
+    assert!(
+        preimpl.span_count() > 0,
+        "a cold preimpl leaves real pipeline spans in its trace"
+    );
+    assert!(
+        preimpl
+            .events
+            .iter()
+            .any(|e| matches!(e, tms_obs::TraceEvent::Count { key, .. } if key == "cache.miss")),
+        "the cache miss is booked on the request's own trace"
+    );
+    // The limit parameter bounds the reply without touching retention —
+    // and under a zero threshold the *previous* slowlog request was
+    // itself retained, so the count has grown to three.
+    let limited = client.slowlog(1).expect("slowlog limit 1");
+    assert_eq!(limited.entries.len(), 1);
+    assert_eq!(limited.retained, 3);
+    assert_eq!(limited.entries[0].endpoint, "slowlog", "newest first");
+    handle.stop();
+}
+
+/// `/metrics` carries the new observability families: build info with the
+/// crate version, uptime in seconds, multi-window SLO burn-rate gauges,
+/// and the slowlog retention counters.
+#[test]
+fn metrics_page_carries_burn_rates_build_info_and_slowlog_gauges() {
+    let handle = start_server(2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let s = spec(ModuleRole::Mvau, 30, "slo_m");
+    client.estimate_spec(&s).expect("estimate");
+    client
+        .preimpl(&s, "no-such-device", None)
+        .expect_err("unknown device must fail");
+
+    let text = client.metrics_text().expect("metrics");
+    let samples = tms_serve::prometheus::parse(&text).expect("page parses");
+
+    let version = env!("CARGO_PKG_VERSION");
+    assert_eq!(
+        samples[&format!("tms_build_info{{version=\"{version}\"}}")],
+        1.0
+    );
+    assert!(samples["tms_uptime_seconds"] >= 0.0);
+
+    // One failed preimpl burns the 99.9%-availability budget hard in
+    // every window; the healthy estimate endpoint burns nothing.
+    for window in ["5m", "1h"] {
+        let burn = samples[&format!(
+            "tms_slo_burn_rate{{endpoint=\"preimpl\",window=\"{window}\",slo=\"availability\"}}"
+        )];
+        assert!(
+            burn > 1.0,
+            "one error in two requests must over-burn: {burn}"
+        );
+        let healthy = samples[&format!(
+            "tms_slo_burn_rate{{endpoint=\"estimate\",window=\"{window}\",slo=\"availability\"}}"
+        )];
+        assert_eq!(healthy, 0.0);
+    }
+
+    assert_eq!(samples["tms_slowlog_retained_total"], 1.0);
+    assert!(samples["tms_slowlog_considered_total"] >= 2.0);
+    assert_eq!(samples["tms_slowlog_len"], 1.0);
+    assert!(samples["tms_slowlog_threshold_us"] > 0.0);
+
+    // The stats reply mirrors the SLO state in structured form.
+    let stats = client.stats().expect("stats");
+    assert!(!stats.slo.is_empty());
+    let preimpl_slo = stats
+        .slo
+        .iter()
+        .find(|s| s.endpoint == "preimpl")
+        .expect("preimpl has an SLO");
+    assert_eq!(preimpl_slo.windows.len(), 2);
+    assert!(preimpl_slo
+        .windows
+        .iter()
+        .all(|w| w.availability_burn > 1.0));
+    assert!(stats.estimate.p50_us > 0, "quantiles populated");
+    assert!(stats.estimate.p999_us >= stats.estimate.p50_us);
     handle.stop();
 }

@@ -6,7 +6,7 @@
 //! [`tms_search::SearchProblem`] trait,
 //! so the multi-lane portfolio in [`tms_search`] can drive it. It shares
 //! the candidate tables, occupancy grid and incremental wirelength
-//! accounting of [`crate::fabric`] with the single-run annealer, keeping
+//! accounting of the private `fabric` module with the single-run annealer, keeping
 //! both in exact agreement about legality and cost.
 
 use crate::fabric::{

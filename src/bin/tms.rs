@@ -13,6 +13,12 @@
 //!                                      SA, or the parallel search portfolio
 //! tms chaos [opts]                     fault-injection drill: serve under a
 //!                                      seeded fault plan, show recovery
+//! tms loadgen [opts]                   drive a running server with the
+//!                                      deterministic request mix, print
+//!                                      per-endpoint latency quantiles
+//! tms slowlog [opts]                   fetch a server's tail-sampled
+//!                                      slowlog (slow/errored request
+//!                                      traces) and summarise it
 //!
 //! options:
 //!   --device <xc7z010|xc7z020|xc7z030|xc7z045|xc7z100>   (default xc7z045)
@@ -75,6 +81,18 @@
 //!   --read-rate <x>      serve.read fault probability   (default 0.05)
 //!   --attempts <N>       server retry budget            (default 6)
 //!   --store <dir>        run the drill against a persistent library
+//!
+//! loadgen options (plus --addr/--port as for `tms client`):
+//!   --clients <N>        concurrent client connections  (default 4)
+//!   --requests <N>       requests per client            (default 25)
+//!   --seed <N>           request-mix seed               (default 2024)
+//!   --rate <hz>          open-loop aggregate arrival rate; omit for
+//!                        closed-loop (back-to-back) pacing
+//!   --out <path>         also write the full JSON report
+//!
+//! slowlog options (plus --addr/--port as for `tms client`):
+//!   --limit <N>          newest entries to fetch (default 16; 0 = all)
+//!   --json               print the raw JSON report instead of the table
 //! ```
 
 use std::collections::HashMap;
@@ -392,8 +410,8 @@ fn cmd_serve(flags: &HashMap<String, String>) {
                 println!("persistent macro library: {dir} (checkpointed on graceful shutdown)");
             }
             println!(
-                "endpoints: estimate | preimpl | flow | stats | metrics | shutdown  (JSON \
-                 lines; see `tms client`) — plain HTTP `GET /metrics` works too"
+                "endpoints: estimate | preimpl | flow | stats | metrics | slowlog | shutdown  \
+                 (JSON lines; see `tms client`) — plain HTTP `GET /metrics` works too"
             );
             handle.serve_forever();
             println!("tms-serve stopped");
@@ -495,9 +513,15 @@ fn cmd_client(args: &[String], flags: &HashMap<String, String>) {
             .map(|r| to_pretty(&r)),
         Some("stats") => client.stats().map(|r| to_pretty(&r)),
         Some("metrics") => client.metrics_text(),
+        Some("slowlog") => client
+            .slowlog(num(flags, "limit", 0))
+            .map(|r| to_pretty(&r)),
         Some("shutdown") => client.shutdown().map(|r| to_pretty(&r)),
         _ => {
-            eprintln!("usage: tms client <estimate|preimpl|flow|stats|metrics|shutdown> [options]");
+            eprintln!(
+                "usage: tms client <estimate|preimpl|flow|stats|metrics|slowlog|shutdown> \
+                 [options]"
+            );
             std::process::exit(2);
         }
     };
@@ -627,14 +651,203 @@ fn cmd_chaos(flags: &HashMap<String, String>) {
     }
     println!("after clearing faults: {recovered}/8 requests succeeded");
     match Client::connect(addr) {
-        Ok(mut c) => match c.stats() {
-            Ok(stats) => println!("robustness report:\n{}", to_pretty(&stats.robustness)),
-            Err(e) => eprintln!("stats failed: {e}"),
-        },
+        Ok(mut c) => {
+            match c.stats() {
+                Ok(stats) => {
+                    println!("robustness report:\n{}", to_pretty(&stats.robustness));
+                    println!("per-endpoint latency quantiles (interpolated, microseconds):");
+                    println!(
+                        "  {:<9} {:>8} {:>6} {:>10} {:>10} {:>10}",
+                        "endpoint", "requests", "errors", "p50", "p99", "p999"
+                    );
+                    let endpoints = [
+                        ("estimate", &stats.estimate),
+                        ("preimpl", &stats.preimpl),
+                        ("flow", &stats.flow),
+                        ("stats", &stats.stats),
+                    ];
+                    for (name, snap) in endpoints {
+                        if snap.requests == 0 {
+                            continue;
+                        }
+                        println!(
+                            "  {:<9} {:>8} {:>6} {:>10} {:>10} {:>10}",
+                            name,
+                            snap.requests,
+                            snap.errors,
+                            snap.p50_us,
+                            snap.p99_us,
+                            snap.p999_us
+                        );
+                    }
+                }
+                Err(e) => eprintln!("stats failed: {e}"),
+            }
+            // The tail sampler must have caught the drill's casualties:
+            // every errored/degraded request keeps its full span tree.
+            match c.slowlog(0) {
+                Ok(log) => {
+                    let mut by_outcome: std::collections::BTreeMap<&str, u64> =
+                        std::collections::BTreeMap::new();
+                    for entry in &log.entries {
+                        *by_outcome.entry(entry.outcome.label()).or_default() += 1;
+                    }
+                    println!(
+                        "slowlog captures: {} retained of {} considered ({} evicted by the \
+                         ring bound):",
+                        log.retained, log.considered, log.evicted
+                    );
+                    for (outcome, count) in &by_outcome {
+                        println!("  {count:>4} x {outcome}");
+                    }
+                    for entry in log.entries.iter().take(5) {
+                        println!(
+                            "  trace {:>4}  {:<9} {:>8}us  {:<9} {} spans",
+                            entry.trace_id,
+                            entry.endpoint,
+                            entry.latency_us,
+                            entry.outcome.label(),
+                            entry.span_count()
+                        );
+                    }
+                }
+                Err(e) => eprintln!("slowlog failed: {e}"),
+            }
+        }
         Err(e) => eprintln!("reconnect failed: {e}"),
     }
     handle.stop();
     println!("chaos run complete");
+}
+
+/// Drive a *running* server with the deterministic loadgen mix and print
+/// the per-endpoint latency quantiles (see `bench_serve` for the
+/// self-contained benchmark variant that boots its own server and gates
+/// CI). Closed-loop by default; `--rate <hz>` switches to open-loop
+/// pacing where latency includes queueing delay.
+fn cmd_loadgen(flags: &HashMap<String, String>) {
+    use tailored_macro_sizes::serve::loadgen::{run_loadgen, LoadMode, LoadgenConfig};
+    let default_addr = format!("127.0.0.1:{}", num(flags, "port", 7245));
+    let addr_str = flags.get("addr").unwrap_or(&default_addr);
+    let addr: std::net::SocketAddr = match addr_str.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bad --addr '{addr_str}': {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut config = LoadgenConfig::closed(
+        addr,
+        num(flags, "clients", 4) as usize,
+        num(flags, "requests", 25) as usize,
+        num(flags, "seed", 2024),
+    );
+    if let Some(rate) = flags.get("rate").and_then(|v| v.parse::<f64>().ok()) {
+        config.mode = LoadMode::Open { rate_hz: rate };
+    }
+    println!(
+        "loadgen: {} mode, {} clients x {} requests against {addr} (seed {})",
+        config.mode.label(),
+        config.clients,
+        config.requests_per_client,
+        config.seed
+    );
+    let report = match run_loadgen(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{} requests, {} errors in {:.0}ms | server: {} shed, {} deadline-expired, slowlog \
+         retained {}/{}",
+        report.requests_total,
+        report.errors_total,
+        report.wall_ms,
+        report.server.shed,
+        report.server.deadline_expired,
+        report.server.slowlog_retained,
+        report.server.slowlog_considered,
+    );
+    println!(
+        "  {:<9} {:>8} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "endpoint", "requests", "errors", "p50us", "p99us", "p999us", "meanus"
+    );
+    for e in &report.endpoints {
+        println!(
+            "  {:<9} {:>8} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            e.endpoint, e.requests, e.errors, e.p50_us, e.p99_us, e.p999_us, e.mean_us
+        );
+    }
+    if let Some(path) = flags.get("out") {
+        match std::fs::write(path, format!("{}\n", to_pretty(&report))) {
+            Ok(()) => println!("report written to {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Fetch and summarise a running server's tail-sampled slowlog: retention
+/// counters, a per-outcome breakdown, and one line per retained trace
+/// (newest first) with its over-budget phases.
+fn cmd_slowlog(flags: &HashMap<String, String>) {
+    let default_addr = format!("127.0.0.1:{}", num(flags, "port", 7245));
+    let addr = flags.get("addr").unwrap_or(&default_addr);
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("could not connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let log = match client.slowlog(num(flags, "limit", 16)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("slowlog request failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if flags.contains_key("json") {
+        println!("{}", to_pretty(&log));
+        return;
+    }
+    println!(
+        "slowlog: {} retained of {} considered, {} evicted (ring capacity {}, slow \
+         threshold {}us)",
+        log.retained, log.considered, log.evicted, log.capacity, log.threshold_us
+    );
+    if log.entries.is_empty() {
+        println!("no retained traces — nothing has been slow or unhealthy");
+        return;
+    }
+    println!(
+        "  {:<6} {:<9} {:>10} {:<9} {:>6}  over-budget phases",
+        "trace", "endpoint", "latency_us", "outcome", "spans"
+    );
+    for entry in &log.entries {
+        let phases = if entry.over_budget_phases.is_empty() {
+            "-".to_string()
+        } else {
+            entry
+                .over_budget_phases
+                .iter()
+                .map(|p| p.label())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        println!(
+            "  {:<6} {:<9} {:>10} {:<9} {:>6}  {phases}",
+            entry.trace_id,
+            entry.endpoint,
+            entry.latency_us,
+            entry.outcome.label(),
+            entry.span_count()
+        );
+    }
 }
 
 /// Stitch the cnvW1A1 macro set (pre-implemented at a constant CF so the
@@ -738,10 +951,12 @@ fn main() {
         Some("report") => cmd_report(&flags),
         Some("stitch") => cmd_stitch(&flags),
         Some("chaos") => cmd_chaos(&flags),
+        Some("loadgen") => cmd_loadgen(&flags),
+        Some("slowlog") => cmd_slowlog(&flags),
         _ => {
             eprintln!(
                 "usage: tms <devices|train|compile|experiments|serve|client|store|report|stitch\
-                 |chaos> [options]"
+                 |chaos|loadgen|slowlog> [options]"
             );
             eprintln!("see the module docs in src/bin/tms.rs for the option list");
             std::process::exit(2);

@@ -1,6 +1,6 @@
 //! Offline stand-in for `proptest`.
 //!
-//! Implements the subset of the API the workspace uses: the [`Strategy`]
+//! Implements the subset of the API the workspace uses: the `Strategy`
 //! trait with `prop_map`, range/tuple/`Just`/`any` strategies,
 //! `collection::vec`, `prop_oneof!`, and the `proptest!` test macro with
 //! `ProptestConfig::with_cases`. Unlike real proptest there is no

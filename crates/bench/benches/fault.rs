@@ -23,6 +23,7 @@ fn cfg() -> RwFlowConfig<'static> {
         model: PlacementModel::default(),
         stitch: StitchConfig::fast(3),
         portfolio: None,
+        mem_pack: tms_core::pack::MemPackConfig::off(),
         seed: 3,
         obs: tms_core::obs::noop(),
     }

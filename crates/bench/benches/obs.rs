@@ -25,6 +25,7 @@ fn cfg(obs: &dyn Recorder) -> RwFlowConfig<'_> {
         model: PlacementModel::default(),
         stitch: StitchConfig::fast(3),
         portfolio: None,
+        mem_pack: tms_core::pack::MemPackConfig::off(),
         seed: 3,
         obs,
     }

@@ -1,5 +1,6 @@
 //! Assembly of the cnvW1A1 block design: 175 instances, 74 unique modules.
 
+use crate::mem::WeightSpec;
 use crate::role::{synth_module, ModuleRole};
 use tms_netlist::Netlist;
 
@@ -17,6 +18,10 @@ pub struct CnvModule {
     pub netlist: Netlist,
     /// How many instances the design replicates.
     pub instances: u32,
+    /// Weight-store geometry, for `Weights` modules. Metadata only: the
+    /// seed netlist is unchanged by it, but `tms-pack` reads it to decide
+    /// BRAM36 / BRAM18-half / LUTRAM bin assignments.
+    pub mem: Option<WeightSpec>,
 }
 
 /// The full block design.
@@ -66,7 +71,7 @@ impl CnvDesign {
 }
 
 /// Deterministic size jitter in `[1 - amp, 1 + amp]`.
-fn jitter(k: u64, amp: f64) -> f64 {
+pub(crate) fn jitter(k: u64, amp: f64) -> f64 {
     let mut z = k
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(0x51_7c_c1);
@@ -77,16 +82,25 @@ fn jitter(k: u64, amp: f64) -> f64 {
     1.0 + amp * (2.0 * unit - 1.0)
 }
 
-struct Builder {
-    modules: Vec<CnvModule>,
-    instances: Vec<(usize, String)>,
-    nets: Vec<(Vec<u32>, f64)>,
-    seed: u64,
+pub(crate) struct Builder {
+    pub(crate) modules: Vec<CnvModule>,
+    pub(crate) instances: Vec<(usize, String)>,
+    pub(crate) nets: Vec<(Vec<u32>, f64)>,
+    pub(crate) seed: u64,
 }
 
 impl Builder {
+    pub(crate) fn new(seed: u64) -> Builder {
+        Builder {
+            modules: Vec::new(),
+            instances: Vec::new(),
+            nets: Vec::new(),
+            seed,
+        }
+    }
+
     /// Create a unique module with `count` instances; returns instance ids.
-    fn module(
+    pub(crate) fn module(
         &mut self,
         name: &str,
         role: ModuleRole,
@@ -102,6 +116,7 @@ impl Builder {
             layer,
             netlist,
             instances: count,
+            mem: None,
         });
         (0..count)
             .map(|i| {
@@ -112,10 +127,36 @@ impl Builder {
             .collect()
     }
 
-    fn net(&mut self, endpoints: &[u32], weight: f64) {
+    /// Attach a weight-store geometry to the most recently created module.
+    pub(crate) fn set_mem(&mut self, spec: WeightSpec) {
+        self.modules
+            .last_mut()
+            .expect("set_mem called before any module")
+            .mem = Some(spec);
+    }
+
+    pub(crate) fn net(&mut self, endpoints: &[u32], weight: f64) {
         if endpoints.len() >= 2 {
             self.nets.push((endpoints.to_vec(), weight));
         }
+    }
+
+    pub(crate) fn finish(self) -> CnvDesign {
+        CnvDesign {
+            modules: self.modules,
+            instances: self.instances,
+            nets: self.nets,
+        }
+    }
+}
+
+/// PE/SIMD folding for a weight store on layer `l` of a FINN-style BNN:
+/// conv layers (≤ 6) fold wider (SIMD 32), fully-connected layers narrower.
+pub(crate) fn weight_fold(layer: u32) -> (u32, u32) {
+    if layer <= 6 {
+        (2, 32)
+    } else {
+        (2, 16)
     }
 }
 
@@ -126,12 +167,7 @@ impl Builder {
 /// 1–2, 20 shared by layers 3–4, four instances of `mvau_18`, and the large
 /// `weights_14` weight store. Per-module sizes are deterministic in `seed`.
 pub fn cnvw1a1(seed: u64) -> CnvDesign {
-    let mut b = Builder {
-        modules: Vec::new(),
-        instances: Vec::new(),
-        nets: Vec::new(),
-        seed,
-    };
+    let mut b = Builder::new(seed);
 
     // ---- MVAUs ------------------------------------------------------
     // Layers 1-2 share one configuration (48 instances), 3-4 another (20).
@@ -202,6 +238,11 @@ pub fn cnvw1a1(seed: u64) -> CnvDesign {
                     .max(15)
             };
             let ids = b.module(&name, ModuleRole::Weights, l as u32, target, count);
+            // Weight-store geometry for the packing phase: the LUT-ROM
+            // recipe stores 256 bits per target slice (4 LUT-ROMs × 64
+            // bits), folded by the layer's PE/SIMD configuration.
+            let (pe, simd) = weight_fold(l as u32);
+            b.set_mem(WeightSpec::folded(u64::from(target) * 256, pe, simd, 1));
             weights_by_layer[l].extend(ids);
             k += 1;
         }
@@ -259,11 +300,7 @@ pub fn cnvw1a1(seed: u64) -> CnvDesign {
         });
     }
 
-    CnvDesign {
-        modules: b.modules,
-        instances: b.instances,
-        nets: b.nets,
-    }
+    b.finish()
 }
 
 #[cfg(test)]
@@ -362,6 +399,25 @@ mod tests {
                 .sum()
         };
         assert_ne!(size(&a), size(&c), "different seeds should vary sizes");
+    }
+
+    #[test]
+    fn weights_modules_carry_memory_specs() {
+        let d = cnvw1a1(1);
+        for m in &d.modules {
+            if m.role == ModuleRole::Weights {
+                let spec = m.mem.expect("weights module without a WeightSpec");
+                assert_eq!(spec.banks(), 2, "{}", m.name);
+                assert!(spec.bank_depth() >= 1);
+                // The spec covers the LUT-ROM capacity the recipe implies.
+                assert!(spec.total_bits() > 0);
+            } else {
+                assert!(m.mem.is_none(), "{} should carry no mem spec", m.name);
+            }
+        }
+        // weights_14 is deep enough that LUTRAM (depth ≤ 1024) is illegal.
+        let w14 = d.find_module("weights_14").unwrap().mem.unwrap();
+        assert!(w14.bank_depth() > 1024, "w14 depth = {}", w14.bank_depth());
     }
 
     #[test]

@@ -35,7 +35,11 @@
 #![warn(missing_docs)]
 
 pub mod design;
+pub mod mem;
 pub mod role;
+pub mod zoo;
 
 pub use design::{cnvw1a1, CnvDesign, CnvModule};
+pub use mem::WeightSpec;
 pub use role::{synth_module, ModuleRole};
+pub use zoo::{zoo, zoo_design, zoo_names};

@@ -1,0 +1,131 @@
+//! Weight-memory geometry: the folded weight store behind a `Weights`
+//! module.
+//!
+//! A FINN-style MVAU streams a `rows × cols` weight matrix out of on-chip
+//! memory, folded by its parallelism: `pe` processing elements each read
+//! one **bank** per cycle, and every bank word carries `simd` weights of
+//! `bits` bits. The physical memory demand per bank is therefore
+//!
+//! ```text
+//! depth = ⌈rows / pe⌉ · ⌈cols / simd⌉      width = simd · bits
+//! ```
+//!
+//! and the module instantiates `pe` such banks. What *kind* of memory
+//! each bank lands in — a full RAMB36, half of one (RAMB18), or
+//! distributed LUTRAM — is exactly the packing decision `tms-pack`
+//! searches over; this type only records the geometry the decision is
+//! made against.
+
+/// The folded weight store of one `Weights` module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct WeightSpec {
+    /// Weight-matrix rows (output channels).
+    pub rows: u32,
+    /// Weight-matrix columns (input synapses per output).
+    pub cols: u32,
+    /// Processing elements — the row fold, and the number of banks.
+    pub pe: u32,
+    /// SIMD lanes — the column fold; each bank word carries `simd` weights.
+    pub simd: u32,
+    /// Weight precision in bits (1 for the binarised cnvW1A1).
+    pub bits: u32,
+}
+
+impl WeightSpec {
+    /// Build a spec holding at least `total_bits` of weights at the given
+    /// folding. The matrix is shaped as `pe·4` rows by however many
+    /// `simd`-aligned columns are needed, so every bank has depth
+    /// `4 · cols / simd` — a multiple of four read bursts per row group.
+    pub fn folded(total_bits: u64, pe: u32, simd: u32, bits: u32) -> WeightSpec {
+        let pe = pe.max(1);
+        let simd = simd.max(1);
+        let bits = bits.max(1);
+        let rows = pe * 4;
+        let per_row = u64::from(rows) * u64::from(bits);
+        let cols_raw = total_bits.div_ceil(per_row).max(1);
+        let cols = u64::from(simd) * cols_raw.div_ceil(u64::from(simd));
+        WeightSpec {
+            rows,
+            cols: cols as u32,
+            pe,
+            simd,
+            bits,
+        }
+    }
+
+    /// Number of independent banks (one per PE).
+    pub fn banks(&self) -> u32 {
+        self.pe.max(1)
+    }
+
+    /// Words per bank after folding.
+    pub fn bank_depth(&self) -> u32 {
+        let pe = self.pe.max(1);
+        let simd = self.simd.max(1);
+        self.rows.div_ceil(pe) * self.cols.div_ceil(simd)
+    }
+
+    /// Bits per bank word.
+    pub fn bank_width(&self) -> u32 {
+        self.simd.max(1) * self.bits.max(1)
+    }
+
+    /// Total stored weight bits across all banks.
+    pub fn total_bits(&self) -> u64 {
+        u64::from(self.banks()) * u64::from(self.bank_depth()) * u64::from(self.bank_width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folded_covers_the_requested_bits() {
+        for (bits, pe, simd) in [
+            (256 * 55u64, 2u32, 32u32),
+            (256 * 1_300, 2, 32),
+            (1000, 4, 16),
+        ] {
+            let s = WeightSpec::folded(bits, pe, simd, 1);
+            assert!(
+                s.total_bits() >= bits,
+                "{s:?} holds {} < {bits}",
+                s.total_bits()
+            );
+            // Never more than one extra row-group + simd column of slack.
+            assert!(s.total_bits() < bits + u64::from(s.rows) * u64::from(s.simd) + bits / 2);
+            assert_eq!(s.banks(), pe);
+            assert_eq!(s.bank_width(), simd);
+        }
+    }
+
+    #[test]
+    fn folding_is_exact_for_aligned_shapes() {
+        let s = WeightSpec {
+            rows: 8,
+            cols: 64,
+            pe: 2,
+            simd: 32,
+            bits: 1,
+        };
+        assert_eq!(s.banks(), 2);
+        assert_eq!(s.bank_depth(), 4 * 2); // 8/2 row groups × 64/32 col groups
+        assert_eq!(s.bank_width(), 32);
+        assert_eq!(s.total_bits(), 2 * 8 * 32);
+    }
+
+    #[test]
+    fn degenerate_folds_are_clamped() {
+        let s = WeightSpec {
+            rows: 4,
+            cols: 16,
+            pe: 0,
+            simd: 0,
+            bits: 0,
+        };
+        assert_eq!(s.banks(), 1);
+        assert!(s.bank_depth() >= 1);
+        assert!(s.bank_width() >= 1);
+    }
+}

@@ -56,6 +56,7 @@ pub use tms_flow as flow;
 pub use tms_ml as ml;
 pub use tms_netlist as netlist;
 pub use tms_obs as obs;
+pub use tms_pack as pack;
 pub use tms_pblock as pblock;
 pub use tms_place as place;
 pub use tms_route as route;
@@ -80,7 +81,7 @@ use tms_obs::Recorder;
 use tms_place::{quick_place, PlacementModel};
 use tms_rtlgen::{standard_sweep, SweepConfig};
 use tms_stitch::StitchConfig;
-use tms_synth::pack;
+use tms_synth::pack as synth_pack;
 
 /// A trained correction-factor estimator bound to its feature set.
 pub struct TrainedEstimator {
@@ -92,7 +93,7 @@ impl TrainedEstimator {
     /// Predict the correction factor for a module netlist.
     pub fn predict(&self, netlist: &tms_netlist::Netlist) -> f64 {
         let stats = netlist.stats();
-        let packing = pack(&stats);
+        let packing = synth_pack(&stats);
         let shape = quick_place(&stats, &packing);
         let feats = ModuleFeatures::extract(&stats, &packing, &shape);
         self.est.predict(&feats.select(self.set)).max(0.5)
@@ -251,6 +252,7 @@ impl MacroSizingFlow {
                 ..StitchConfig::standard(self.seed)
             },
             portfolio: None,
+            mem_pack: tms_pack::MemPackConfig::off(),
             seed: self.seed,
             obs: self.obs(),
         };

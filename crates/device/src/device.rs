@@ -21,6 +21,9 @@ pub enum DeviceName {
     Xc7z045,
     /// Zynq-7000 xc7z100: the largest part of the family (≈69k slices).
     Xc7z100,
+    /// A synthetic UltraScale-like fabric: denser M-slice mix, more BRAM
+    /// columns per slice column, a heavier DSP ratio.
+    UltraScaleLike,
     /// A small synthetic fabric for unit tests.
     TestFabric,
 }
@@ -33,6 +36,7 @@ impl fmt::Display for DeviceName {
             DeviceName::Xc7z030 => "xc7z030",
             DeviceName::Xc7z045 => "xc7z045",
             DeviceName::Xc7z100 => "xc7z100",
+            DeviceName::UltraScaleLike => "ultrascale-like",
             DeviceName::TestFabric => "test-fabric",
         };
         f.write_str(s)
@@ -127,20 +131,21 @@ impl Device {
         }
     }
 
-    /// Procedurally construct a Zynq-style fabric: `slice_cols` CLB columns
-    /// with every third column M-type, with `bram_cols` / `dsp_cols` /
-    /// `clock_cols` special columns evenly interspersed.
-    fn zynq_like(
+    /// Procedurally construct a columnar fabric: `slice_cols` CLB columns
+    /// with every `m_period`-th column M-type, with `bram_cols` /
+    /// `dsp_cols` / `clock_cols` special columns evenly interspersed.
+    fn columnar(
         name: DeviceName,
         slice_cols: u32,
         rows: u32,
+        m_period: u32,
         bram_cols: u32,
         dsp_cols: u32,
         clock_cols: u32,
     ) -> Self {
         let mut pattern: Vec<ColumnKind> = (0..slice_cols)
             .map(|i| {
-                if i % 3 == 2 {
+                if i % m_period == m_period - 1 {
                     ColumnKind::ClbM
                 } else {
                     ColumnKind::ClbL
@@ -166,6 +171,18 @@ impl Device {
         Device::from_pattern(name, &pattern, rows)
     }
 
+    /// A Zynq-7000-style fabric: every third CLB column is M-type.
+    fn zynq_like(
+        name: DeviceName,
+        slice_cols: u32,
+        rows: u32,
+        bram_cols: u32,
+        dsp_cols: u32,
+        clock_cols: u32,
+    ) -> Self {
+        Device::columnar(name, slice_cols, rows, 3, bram_cols, dsp_cols, clock_cols)
+    }
+
     /// The xc7z010 model: ≈4.4k slices, 100 rows (2 clock regions).
     pub fn xc7z010() -> Self {
         Device::zynq_like(DeviceName::Xc7z010, 44, 100, 3, 2, 1)
@@ -189,6 +206,17 @@ impl Device {
     /// The xc7z100 model: ≈69k slices, 350 rows (7 clock regions).
     pub fn xc7z100() -> Self {
         Device::zynq_like(DeviceName::Xc7z100, 198, 350, 11, 12, 4)
+    }
+
+    /// An UltraScale-like fabric of the xc7z045 scale but a different
+    /// column mix: every *second* CLB column is M-type (UltraScale spreads
+    /// LUTRAM capability much more densely than 7-series), BRAM columns
+    /// appear at a higher ratio per slice column, and DSP columns are
+    /// heavier too. Deliberately *not* relocatable against the Zynq parts
+    /// — its signatures differ — so it exercises device-sensitivity in the
+    /// packing and sizing phases.
+    pub fn ultrascale_like() -> Self {
+        Device::columnar(DeviceName::UltraScaleLike, 110, 250, 2, 10, 10, 2)
     }
 
     /// Every modelled production part, smallest to largest — the ladder a
@@ -404,6 +432,28 @@ mod tests {
         let big = Device::xc7z045().slice_count() as f64;
         let ratio = big / small;
         assert!((3.5..5.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn ultrascale_like_has_a_distinct_column_mix() {
+        let us = Device::ultrascale_like();
+        assert_eq!(format!("{}", us.name()), "ultrascale-like");
+        // Half the CLB columns are M-type (vs a third on Zynq parts).
+        let cap = us.full_capacity();
+        assert_eq!(cap.m_slices, cap.l_slices, "M/L mix should be 1:1");
+        let z45 = Device::xc7z045();
+        let bram_ratio = |d: &Device| f64::from(d.bram_count()) / f64::from(d.slice_count());
+        assert!(
+            bram_ratio(&us) > 1.5 * bram_ratio(&z45),
+            "BRAM per slice should be materially higher: {} vs {}",
+            bram_ratio(&us),
+            bram_ratio(&z45)
+        );
+        // Not relocatable against the Zynq family: a full-width signature
+        // from the z045 never matches on the UltraScale-like fabric.
+        let sig = z45.signature(0, 12);
+        assert!(us.matching_anchors(&sig).is_empty());
+        assert_eq!(us.rows() % CLOCK_REGION_ROWS, 0);
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! Two devices are provided, mirroring the paper's evaluation targets:
 //! [`Device::xc7z020`] (the board the cnvW1A1 network almost fills) and
 //! [`Device::xc7z045`] (used for the full-flow estimator-impact experiment).
+//! [`Device::ultrascale_like`] adds a synthetic fabric with a different
+//! column mix (1:1 M/L slices, denser BRAM and DSP columns) so phases that
+//! depend on the memory-resource ratio — packing in particular — can be
+//! exercised on more than one geometry.
 //!
 //! Everything downstream — packing, PBlock construction, relocation legality
 //! in the stitcher — consumes this geometry. In particular the stitcher's

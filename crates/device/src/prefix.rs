@@ -178,7 +178,12 @@ mod tests {
 
     #[test]
     fn capacity_matches_scan_on_edge_rects() {
-        for dev in [Device::test_fabric(), Device::xc7z020(), Device::xc7z045()] {
+        for dev in [
+            Device::test_fabric(),
+            Device::xc7z020(),
+            Device::xc7z045(),
+            Device::ultrascale_like(),
+        ] {
             let p = CapacityPrefix::build(&dev);
             assert_eq!(p.bounds(), dev.bounds());
             let w = dev.width();

@@ -14,6 +14,7 @@ fn arb_device() -> impl Strategy<Value = Device> {
         Just(Device::xc7z020()),
         Just(Device::xc7z030()),
         Just(Device::xc7z045()),
+        Just(Device::ultrascale_like()),
         Just(Device::test_fabric()),
     ]
 }
@@ -78,14 +79,19 @@ proptest! {
 
     /// The O(1) prefix-sum capacity equals the scan-based `capacity_in`
     /// for arbitrary rectangles — including off-fabric and clipped ones —
-    /// on the test fabric and both paper evaluation parts.
+    /// on the test fabric, both paper evaluation parts, and the
+    /// UltraScale-like column mix.
     #[test]
     fn prefix_capacity_matches_scan(
-        which in 0usize..3,
+        which in 0usize..4,
         r in arb_rect(200, 400),
     ) {
-        let dev = [Device::test_fabric(), Device::xc7z020(), Device::xc7z045()]
-            [which].clone();
+        let dev = [
+            Device::test_fabric(),
+            Device::xc7z020(),
+            Device::xc7z045(),
+            Device::ultrascale_like(),
+        ][which].clone();
         let prefix = CapacityPrefix::build(&dev);
         prop_assert_eq!(prefix.capacity_in(&r), dev.capacity_in(&r));
     }

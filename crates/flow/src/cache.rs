@@ -446,6 +446,14 @@ pub(crate) fn run_cached(
         !matches!(cfg.policy, CfPolicy::Guided { .. }),
         "guided CF predictions are not stable across estimator retraining"
     );
+    // Packing phase first: fingerprints are taken against the packed
+    // netlists, so a different packing policy is automatically a cache
+    // miss — no risk of serving an unpacked macro to a packed request.
+    let packed = tms_pack::pack_design(design, device, &cfg.mem_pack, cfg.obs);
+    let (design, pack_report) = match &packed {
+        Some((d, r)) => (d, Some(r.clone())),
+        None => (design, None),
+    };
     // Look up every module; record hits and the indices still to implement.
     let obs = cfg.obs;
     let mut hits: HashMap<usize, ImplementedModule> = HashMap::new();
@@ -526,7 +534,8 @@ pub(crate) fn run_cached(
         .collect();
     per_module.sort_by_key(|&(idx, _)| idx);
     crate::resilient::absorb_route_faults(cfg, res);
-    let result = stitch_implemented(design, device, cfg, per_module);
+    let mut result = stitch_implemented(design, device, cfg, per_module);
+    result.pack = pack_report;
 
     CachedFlowResult {
         result,
@@ -551,6 +560,7 @@ mod tests {
             model: PlacementModel::default(),
             stitch: StitchConfig::fast(seed),
             portfolio: None,
+            mem_pack: tms_pack::MemPackConfig::off(),
             obs: tms_obs::noop(),
             seed,
         }

@@ -205,6 +205,7 @@ pub fn run(scale: &Scale) -> Ablations {
         model,
         stitch: scale.stitch_config(scale.seed),
         portfolio: None,
+        mem_pack: tms_pack::MemPackConfig::off(),
         obs: tms_obs::noop(),
         seed: scale.seed,
     };

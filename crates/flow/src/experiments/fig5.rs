@@ -64,6 +64,7 @@ pub fn run(scale: &Scale) -> Fig5 {
         model: PlacementModel::default(),
         stitch: scale.stitch_config(scale.seed),
         portfolio: None,
+        mem_pack: tms_pack::MemPackConfig::off(),
         obs: tms_obs::noop(),
         seed: scale.seed,
     };

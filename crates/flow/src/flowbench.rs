@@ -259,6 +259,7 @@ fn run_flow_side(policy_engine: bool, seed: u64, reps: u32) -> (FlowSide, Vec<f6
             model: PlacementModel::default(),
             stitch: StitchConfig::fast(seed),
             portfolio: None,
+            mem_pack: tms_pack::MemPackConfig::off(),
             seed,
             obs: tms_obs::noop(),
         };

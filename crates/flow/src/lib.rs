@@ -35,6 +35,7 @@ pub mod amd;
 pub mod cache;
 pub mod experiments;
 pub mod flowbench;
+pub mod packbench;
 pub mod render;
 pub mod resilient;
 pub mod rwflow;
@@ -48,6 +49,10 @@ pub use cache::{
 pub use flowbench::{
     check_flow_regression, run_flow_bench, FlowBenchConfig, FlowBenchReport, FlowSide, SweepSide,
 };
+pub use packbench::{
+    check_pack_regression, run_pack_bench, PackBenchConfig, PackBenchReport, PackBenchRow,
+    PackFlowAb,
+};
 pub use render::{coverage_line, render_cost_trace, render_stitched};
 pub use resilient::{implement_module_resilient, run_rw_flow_cached_resilient, Resilience};
 pub use rwflow::{
@@ -58,3 +63,4 @@ pub use stitchbench::{
     bench_problem, check_regression, run_stitch_bench, RunStats, StitchBenchConfig,
     StitchBenchReport,
 };
+pub use tms_pack::{MemPackConfig, MemPackPolicy, PackReport};

@@ -147,6 +147,7 @@ mod tests {
             model: PlacementModel::default(),
             stitch: StitchConfig::fast(seed),
             portfolio: None,
+            mem_pack: tms_pack::MemPackConfig::off(),
             obs: tms_obs::noop(),
             seed,
         }

@@ -4,6 +4,7 @@ use rayon::prelude::*;
 use tms_cnn::CnvDesign;
 use tms_device::Device;
 use tms_obs::{noop, span, Phase, Recorder};
+use tms_pack::{pack_design, MemPackConfig, PackReport};
 use tms_pblock::{
     guided_search_observed, min_feasible_cf_observed, min_feasible_cf_reference_observed, CfSearch,
     PBlock, PBlockGenerator,
@@ -51,6 +52,13 @@ pub struct RwFlowConfig<'a> {
     /// When set, stitch with the multi-lane search portfolio instead of
     /// the single-run anneal. `stitch` is ignored for that phase.
     pub portfolio: Option<PortfolioConfig>,
+    /// Memory-aware weight packing, run *before* PBlock sizing. Under the
+    /// default ([`MemPackConfig::off`]) the seed netlists pass through
+    /// untouched; the `naive` / `packed` policies regenerate weight-store
+    /// netlists to their bin assignments first, so every downstream stage
+    /// (minimal-CF search, stitch, cache fingerprints) sees the packed
+    /// memory demand.
+    pub mem_pack: MemPackConfig,
     /// Seed for placer jitter.
     pub seed: u64,
     /// Telemetry sink every stage records through. Defaults to
@@ -67,6 +75,7 @@ impl<'a> RwFlowConfig<'a> {
             model: PlacementModel::default(),
             stitch: StitchConfig::standard(seed),
             portfolio: None,
+            mem_pack: MemPackConfig::off(),
             seed,
             obs: noop(),
         }
@@ -81,6 +90,12 @@ impl<'a> RwFlowConfig<'a> {
     /// The same configuration stitching with the search portfolio.
     pub fn with_portfolio(mut self, portfolio: PortfolioConfig) -> Self {
         self.portfolio = Some(portfolio);
+        self
+    }
+
+    /// The same configuration with a memory-packing phase.
+    pub fn with_mem_pack(mut self, mem_pack: MemPackConfig) -> Self {
+        self.mem_pack = mem_pack;
         self
     }
 }
@@ -116,6 +131,8 @@ pub struct RwFlowResult {
     pub problem: StitchProblem,
     /// Total place-and-route tool runs across all modules.
     pub total_tool_runs: u32,
+    /// Report of the memory-packing phase (`None` when packing is off).
+    pub pack: Option<PackReport>,
 }
 
 impl RwFlowResult {
@@ -245,6 +262,12 @@ fn implement_with(
 /// Run the flow: pre-implement every unique module under the CF policy,
 /// then replicate and stitch.
 pub fn run_rw_flow(design: &CnvDesign, device: &Device, cfg: &RwFlowConfig<'_>) -> RwFlowResult {
+    // Packing phase: regenerate weight-store netlists before any sizing.
+    let packed = pack_design(design, device, &cfg.mem_pack, cfg.obs);
+    let (design, pack_report) = match &packed {
+        Some((d, r)) => (d, Some(r.clone())),
+        None => (design, None),
+    };
     let gen = PBlockGenerator::new(device, cfg.use_shape_report);
     let timing_model = TimingModel::default();
 
@@ -261,7 +284,9 @@ pub fn run_rw_flow(design: &CnvDesign, device: &Device, cfg: &RwFlowConfig<'_>) 
         })
         .collect();
 
-    stitch_implemented(design, device, cfg, per_module)
+    let mut result = stitch_implemented(design, device, cfg, per_module);
+    result.pack = pack_report;
+    result
 }
 
 /// Replicate per-module outcomes across the design's instances and stitch.
@@ -333,6 +358,7 @@ pub fn stitch_implemented(
         stitch: stitch_result,
         problem,
         total_tool_runs,
+        pack: None,
     }
 }
 
@@ -348,6 +374,7 @@ mod tests {
             model: PlacementModel::deterministic(),
             stitch: StitchConfig::fast(seed),
             portfolio: None,
+            mem_pack: MemPackConfig::off(),
             seed,
             obs: noop(),
         }
@@ -475,6 +502,81 @@ mod tests {
         // Requested vs placed CF agree under a feasible constant policy.
         assert_eq!(sink.observation("flow.cf.requested").unwrap().0, n);
         assert_eq!(sink.observation("flow.cf.placed").unwrap().0, n);
+    }
+
+    fn quick_pack(policy: tms_pack::MemPackPolicy, seed: u64, threads: usize) -> MemPackConfig {
+        MemPackConfig {
+            rounds: 6,
+            moves_per_round: 1_024,
+            threads,
+            ..MemPackConfig::new(policy, seed)
+        }
+    }
+
+    #[test]
+    fn packed_weights_beat_naive_on_minimal_footprint_and_placement() {
+        // The paper's tailored-macro effect, applied to memory. Under the
+        // naive all-BRAM36 assignment every shallow weight store drags a
+        // BRAM column span into its PBlock (the minimal-CF search bottoms
+        // out at the floor with an 18-wide, 5-tall macro); packing moves
+        // those stores to BRAM18 halves / LUTRAM, so the minimal feasible
+        // PBlock of at least one weights class shrinks strictly. Naive
+        // BRAM36 demand also exceeds the xc7z020 budget (142 > 140), so
+        // the packed stitch places strictly more block instances.
+        let design = cnvw1a1(1);
+        let dev = Device::xc7z020();
+        let run = |policy| {
+            let mut cfg = quick_cfg(CfPolicy::Minimal(CfSearch::wide()), 1);
+            cfg.mem_pack = quick_pack(policy, 1, 1);
+            run_rw_flow(&design, &dev, &cfg)
+        };
+        let naive = run(tms_pack::MemPackPolicy::Naive);
+        let packed = run(tms_pack::MemPackPolicy::Packed);
+        assert!(packed.failed.is_empty(), "failed: {:?}", packed.failed);
+        let report = packed.pack.as_ref().expect("packed flow carries a report");
+        assert!(report.feasible);
+        assert!(
+            report.bram36_saved > 0,
+            "packing saved no BRAM36 on cnvW1A1/xc7z020"
+        );
+        let strictly_smaller = naive
+            .implemented
+            .iter()
+            .filter(|m| m.name.starts_with("weights"))
+            .filter_map(|m| packed.module(&m.name).map(|p| (m, p)))
+            .filter(|(n, p)| p.pblock.rect.w * p.pblock.rect.h < n.pblock.rect.w * n.pblock.rect.h)
+            .count();
+        assert!(
+            strictly_smaller > 0,
+            "no weights class reached a smaller minimal PBlock under packing"
+        );
+        assert!(
+            packed.stitch.placed_count > naive.stitch.placed_count,
+            "packed placed {} !> naive {}",
+            packed.stitch.placed_count,
+            naive.stitch.placed_count
+        );
+    }
+
+    #[test]
+    fn packed_flow_is_deterministic_across_thread_counts() {
+        // Thread invariance must survive the full pipeline, not just the
+        // packing phase: same stitched placement and same pack report with
+        // 1 and 8 portfolio workers.
+        let design = cnvw1a1(1);
+        let dev = Device::xc7z020();
+        let run = |threads| {
+            let mut cfg = quick_cfg(CfPolicy::Minimal(CfSearch::wide()), 1);
+            cfg.mem_pack = quick_pack(tms_pack::MemPackPolicy::Packed, 1, threads);
+            run_rw_flow(&design, &dev, &cfg)
+        };
+        let a = run(1);
+        let b = run(8);
+        let (ra, rb) = (a.pack.as_ref().unwrap(), b.pack.as_ref().unwrap());
+        assert_eq!(ra.bram36_total, rb.bram36_total);
+        assert_eq!(ra.cost, rb.cost);
+        assert_eq!(a.stitch.positions, b.stitch.positions);
+        assert_eq!(a.stitch.final_cost, b.stitch.final_cost);
     }
 
     #[test]

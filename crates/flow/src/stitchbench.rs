@@ -135,6 +135,7 @@ pub fn bench_problem(device: &Device, seed: u64) -> StitchProblem {
         // keeps problem construction cheap; the contenders re-stitch.
         stitch: StitchConfig::fast(seed),
         portfolio: None,
+        mem_pack: tms_pack::MemPackConfig::off(),
         seed,
         obs: tms_obs::noop(),
     };

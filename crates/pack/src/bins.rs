@@ -1,0 +1,140 @@
+//! Bin geometry: how many physical memory primitives one weight bank
+//! needs, per bin kind.
+//!
+//! A 7-series RAMB36 holds 36 Kb configurable over fixed depth×width
+//! aspects; each site splits into two independent RAMB18 halves with the
+//! same aspect menu at half capacity. Distributed LUTRAM stores 64 bits
+//! per LUT in an M-slice but is only sensible for shallow memories — the
+//! read multiplexer past 1 K deep erases the density advantage, so the
+//! model rules it out there (the same cut-off Kroes et al. use for their
+//! evolutionary buffer packing).
+
+/// Which bin a weight bank is assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum BinKind {
+    /// A full RAMB36 primitive (or several, cascaded).
+    Bram36,
+    /// RAMB18 halves; two halves of one module share a RAMB36 site.
+    Bram18Half,
+    /// Distributed RAM in M-slice LUTs.
+    Lutram,
+}
+
+impl BinKind {
+    /// Short label used in reports and metrics keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BinKind::Bram36 => "bram36",
+            BinKind::Bram18Half => "bram18_half",
+            BinKind::Lutram => "lutram",
+        }
+    }
+}
+
+/// RAMB36 aspect menu: `(depth, width)` pairs, 32 Kb of data bits each
+/// (parity bits excluded from the model).
+const BRAM36_ASPECTS: [(u32, u32); 7] = [
+    (512, 72),
+    (1_024, 36),
+    (2_048, 18),
+    (4_096, 9),
+    (8_192, 4),
+    (16_384, 2),
+    (32_768, 1),
+];
+
+/// RAMB18 aspect menu: half the capacity at every depth.
+const BRAM18_ASPECTS: [(u32, u32); 6] = [
+    (512, 36),
+    (1_024, 18),
+    (2_048, 9),
+    (4_096, 4),
+    (8_192, 2),
+    (16_384, 1),
+];
+
+/// Bits stored per LUT used as distributed RAM.
+pub const LUTRAM_BITS_PER_LUT: u32 = 64;
+
+/// Deepest memory the LUTRAM model accepts (beyond this the read-mux
+/// tree dominates and the assignment is modelled as illegal).
+pub const LUTRAM_MAX_DEPTH: u32 = 1_024;
+
+fn sites_over(aspects: &[(u32, u32)], depth: u32, width: u32) -> u32 {
+    let depth = depth.max(1);
+    let width = width.max(1);
+    aspects
+        .iter()
+        .map(|&(d, w)| depth.div_ceil(d) * width.div_ceil(w))
+        .min()
+        .expect("aspect menu is non-empty")
+}
+
+/// RAMB36 sites one `depth × width` bank needs, choosing the best aspect.
+pub fn bram36_sites(depth: u32, width: u32) -> u32 {
+    sites_over(&BRAM36_ASPECTS, depth, width)
+}
+
+/// RAMB18 halves one `depth × width` bank needs, choosing the best aspect.
+pub fn bram18_halves(depth: u32, width: u32) -> u32 {
+    sites_over(&BRAM18_ASPECTS, depth, width)
+}
+
+/// Whether a bank of this depth may go to LUTRAM at all.
+pub fn lutram_legal(depth: u32) -> bool {
+    depth.max(1) <= LUTRAM_MAX_DEPTH
+}
+
+/// M-slice LUTs one `depth × width` bank occupies as distributed RAM:
+/// `⌈depth/64⌉` 64-bit segments per data bit, plus a read-mux overhead of
+/// one LUT per 8 segment outputs when more than one segment is stacked.
+/// Callers must check [`lutram_legal`] first; the count is still defined
+/// (and large) for deeper banks so cost deltas stay total.
+pub fn lutram_luts(depth: u32, width: u32) -> u32 {
+    let depth = depth.max(1);
+    let width = width.max(1);
+    let segments = depth.div_ceil(LUTRAM_BITS_PER_LUT);
+    let storage = segments * width;
+    let mux = if segments > 1 { storage.div_ceil(8) } else { 0 };
+    storage + mux
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aspect_selection_minimises_sites() {
+        // 5200 × 32: the 1K×36 aspect wins with 6 cascaded sites.
+        assert_eq!(bram36_sites(5_200, 32), 6);
+        // A shallow wide bank fits one site via 512×72.
+        assert_eq!(bram36_sites(220, 32), 1);
+        assert_eq!(bram36_sites(512, 72), 1);
+        // Degenerate inputs are clamped, not zero.
+        assert!(bram36_sites(0, 0) >= 1);
+    }
+
+    #[test]
+    fn half_sites_track_the_full_menu() {
+        // One 220×32 bank fits a single 512×36 half — half the BRAM36
+        // cost once two halves share a site.
+        assert_eq!(bram18_halves(220, 32), 1);
+        // A full-site bank needs at least two halves.
+        assert!(bram18_halves(512, 72) >= 2);
+        // Halves never beat twice the full-site count.
+        for (d, w) in [(100u32, 8u32), (1_024, 36), (5_200, 32), (300, 64)] {
+            assert!(bram18_halves(d, w) <= 2 * bram36_sites(d, w), "{d}x{w}");
+        }
+    }
+
+    #[test]
+    fn lutram_model_matches_the_64_bit_rule() {
+        assert!(lutram_legal(64));
+        assert!(lutram_legal(1_024));
+        assert!(!lutram_legal(1_025));
+        // Single segment: no mux overhead.
+        assert_eq!(lutram_luts(64, 32), 32);
+        // 220 deep = 4 segments of 32 bits + ⌈128/8⌉ mux LUTs.
+        assert_eq!(lutram_luts(220, 32), 4 * 32 + 16);
+    }
+}

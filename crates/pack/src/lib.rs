@@ -1,0 +1,48 @@
+//! `tms-pack`: memory-aware weight packing across BRAM36 / BRAM18-half /
+//! LUTRAM bins.
+//!
+//! Every weight store of a FINN-style dataflow design has to live in *some*
+//! physical memory, and the seed flow's answer — full RAMB36 sites for
+//! everything — inherits avoidably fat macros: a PBlock that contains even
+//! one block RAM must cover a BRAM column and grow to the RAMB36 row
+//! alignment, which is exactly the capacity-vector pressure the minimal-CF
+//! search then has to absorb. Kroes et al. (*Evolutionary Bin Packing for
+//! Memory-Efficient Dataflow Inference Acceleration on FPGA*) showed that
+//! packing dataflow weight buffers across BRAM and LUTRAM shrinks the
+//! memory footprint enough to change what fits; this crate reproduces that
+//! phase for the macro-sizing flow.
+//!
+//! The pieces:
+//!
+//! - [`bins`] — the bin geometry: RAMB36/RAMB18 aspect menus and the
+//!   64-bit-per-LUT distributed-RAM model with its depth cut-off.
+//! - [`problem`] — packing as a [`tms_search::SearchProblem`]: one
+//!   [`BankSplit`] per weights module, O(1) move deltas, a budget penalty
+//!   that keeps SA delta-tracking exact.
+//! - [`phase`] — the flow phase: [`MemPackPolicy`] (`Off` / `Naive` /
+//!   `Packed`), the portfolio-driven [`pack_design`] entry point,
+//!   netlist regeneration via [`apply_packing`], and `pack.*` telemetry.
+//!
+//! The search runs on the `tms-search` portfolio (SA + EA lanes,
+//! deterministic per-lane seeds), so packing results are bit-identical
+//! across thread counts — the same invariance contract the stitch phase
+//! already keeps.
+
+pub mod bins;
+pub mod phase;
+pub mod problem;
+#[cfg(test)]
+mod proptests;
+
+pub use bins::{
+    bram18_halves, bram36_sites, lutram_legal, lutram_luts, BinKind, LUTRAM_BITS_PER_LUT,
+    LUTRAM_MAX_DEPTH,
+};
+pub use phase::{
+    apply_packing, observe_pack, pack_design, MemPackConfig, MemPackPolicy, ModuleAssignment,
+    PackReport, PackSearchStats,
+};
+pub use problem::{
+    design_memories, module_lutram, module_sites36, BankSplit, MemBudget, ModuleMem, PackProblem,
+    PackSolution,
+};

@@ -1,0 +1,99 @@
+//! Property tests: every packing solution is feasible and the portfolio
+//! is bit-identical across thread counts — the same invariance contract
+//! `tms-search` pins for the stitch phase.
+
+#![cfg(test)]
+
+use crate::phase::{pack_design, MemPackConfig, MemPackPolicy};
+use crate::problem::{MemBudget, PackProblem};
+use proptest::prelude::*;
+use tms_cnn::{cnvw1a1, zoo_design, zoo_names, CnvDesign};
+use tms_device::Device;
+use tms_search::run_portfolio;
+
+fn arb_design() -> impl Strategy<Value = CnvDesign> {
+    (0usize..=4, 1u64..6).prop_map(|(which, seed)| {
+        if which == 0 {
+            cnvw1a1(seed)
+        } else {
+            zoo_design(zoo_names()[which - 1], seed).unwrap()
+        }
+    })
+}
+
+fn arb_device() -> impl Strategy<Value = Device> {
+    prop_oneof![
+        Just(Device::xc7z020()),
+        Just(Device::xc7z045()),
+        Just(Device::ultrascale_like()),
+    ]
+}
+
+fn quick(seed: u64, threads: usize) -> MemPackConfig {
+    MemPackConfig {
+        rounds: 4,
+        moves_per_round: 512,
+        threads,
+        ..MemPackConfig::new(MemPackPolicy::Packed, seed)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every packed solution respects the hard constraints: the device
+    /// budget (no bin overflow), bank conservation (every bank assigned to
+    /// exactly one kind), and the LUTRAM depth alignment rule.
+    #[test]
+    fn packed_solutions_are_feasible(design in arb_design(), dev in arb_device(), seed in 0u64..1_000) {
+        let problem = PackProblem::new(&design, MemBudget::for_device(&dev));
+        let out = run_portfolio(&problem, &quick(seed, 1).portfolio());
+        let best = &out.best;
+        prop_assert!(problem.fits_budget(best),
+            "bram {}/{} lutram {}/{}",
+            best.bram36_total(), problem.budget().bram36,
+            best.lutram_total(), problem.budget().lutram_luts);
+        for (m, split) in problem.memories().iter().zip(&best.splits) {
+            prop_assert_eq!(split.banks(), m.banks, "{}: bank count drifted", &m.name);
+            prop_assert!(split.lutram == 0 || m.lutram_ok,
+                "{}: LUTRAM at depth {} (limit {})",
+                &m.name, m.depth, crate::bins::LUTRAM_MAX_DEPTH);
+        }
+        // The cached totals the feasibility check ran against are honest.
+        let rebuilt = problem.solution_from(|m| {
+            let i = problem.memories().iter()
+                .position(|mm| mm.module_idx == m.module_idx).unwrap();
+            best.splits[i]
+        });
+        prop_assert_eq!(rebuilt.bram36_total(), best.bram36_total());
+        prop_assert_eq!(rebuilt.lutram_total(), best.lutram_total());
+    }
+
+    /// The full phase — search plus netlist regeneration — is a pure
+    /// function of `(design, device, config)`: running with 1 worker
+    /// thread and 8 yields bit-identical assignments and netlists.
+    #[test]
+    fn packing_is_thread_invariant(design in arb_design(), dev in arb_device(), seed in 0u64..1_000) {
+        let (da, ra) = pack_design(&design, &dev, &quick(seed, 1), tms_obs::noop()).unwrap();
+        let (db, rb) = pack_design(&design, &dev, &quick(seed, 8), tms_obs::noop()).unwrap();
+        prop_assert_eq!(ra.bram36_total, rb.bram36_total);
+        prop_assert_eq!(ra.lutram_luts, rb.lutram_luts);
+        prop_assert_eq!(ra.cost, rb.cost);
+        for (ma, mb) in ra.modules.iter().zip(&rb.modules) {
+            prop_assert_eq!(ma.split, mb.split, "{} split diverged", &ma.name);
+        }
+        for (ma, mb) in da.modules.iter().zip(&db.modules) {
+            prop_assert_eq!(ma.netlist.stats(), mb.netlist.stats(), "{} netlist diverged", &ma.name);
+        }
+    }
+
+    /// Packed never demands more BRAM36 than the naive all-BRAM36
+    /// baseline, on any design/device/seed combination.
+    #[test]
+    fn packed_never_exceeds_naive(design in arb_design(), dev in arb_device(), seed in 0u64..1_000) {
+        let (_, report) = pack_design(&design, &dev, &quick(seed, 1), tms_obs::noop()).unwrap();
+        prop_assert!(report.bram36_total <= report.naive_bram36,
+            "packed {} > naive {}", report.bram36_total, report.naive_bram36);
+        prop_assert_eq!(report.bram36_saved, report.naive_bram36 - report.bram36_total);
+    }
+}

@@ -203,10 +203,23 @@ impl Client {
         device: &str,
         cf: Option<f64>,
     ) -> Result<FlowResponse, ClientError> {
+        self.flow_packed(design_seed, device, cf, None)
+    }
+
+    /// Compile a full design through the cached flow with an explicit
+    /// memory-packing policy (`"off"` / `"naive"` / `"packed"`).
+    pub fn flow_packed(
+        &mut self,
+        design_seed: u64,
+        device: &str,
+        cf: Option<f64>,
+        mem_pack: Option<&str>,
+    ) -> Result<FlowResponse, ClientError> {
         let req = FlowRequest {
             design_seed,
             device: device.to_string(),
             cf,
+            mem_pack: mem_pack.map(str::to_string),
         };
         self.typed("flow", req.to_value())
     }

@@ -169,6 +169,10 @@ pub struct FlowRequest {
     pub device: String,
     /// `Some(cf)` for a constant-CF policy, `None` for minimal-CF search.
     pub cf: Option<f64>,
+    /// Memory-packing policy for weight stores: `"off"` (default when
+    /// absent), `"naive"` (all-BRAM36 baseline), or `"packed"` (portfolio
+    /// search over BRAM36 / BRAM18-half / LUTRAM bins).
+    pub mem_pack: Option<String>,
 }
 
 /// `flow` reply: the stitched-placement report.
@@ -190,6 +194,9 @@ pub struct FlowResponse {
     pub tool_runs_spent: u32,
     /// Tool runs the full implementation records (cached + fresh).
     pub total_tool_runs: u32,
+    /// BRAM36 sites the memory-packing phase saved versus the naive
+    /// all-BRAM36 baseline; `None` when the request ran with packing off.
+    pub pack_bram36_saved: Option<u64>,
     /// Server-side handling time in microseconds.
     pub micros: u64,
 }

@@ -819,6 +819,7 @@ fn device_by_name(name: &str) -> Result<Device, String> {
         "xc7z030" => Ok(Device::xc7z030()),
         "xc7z045" => Ok(Device::xc7z045()),
         "xc7z100" => Ok(Device::xc7z100()),
+        "ultrascale-like" => Ok(Device::ultrascale_like()),
         other => Err(format!("unknown device '{other}'")),
     }
 }
@@ -833,6 +834,7 @@ fn flow_config<'a>(
     cf: Option<f64>,
     seed: u64,
     portfolio: Option<&tms_search::PortfolioConfig>,
+    mem_pack: tms_flow::MemPackConfig,
     obs: &'a dyn Recorder,
 ) -> RwFlowConfig<'a> {
     RwFlowConfig {
@@ -844,8 +846,25 @@ fn flow_config<'a>(
         model: PlacementModel::default(),
         stitch: StitchConfig::fast(seed),
         portfolio: portfolio.map(|p| tms_search::PortfolioConfig { seed, ..p.clone() }),
+        mem_pack,
         seed,
         obs,
+    }
+}
+
+/// Parse a request's `mem_pack` field into a packing configuration: the
+/// policy names are the wire contract (`off` / `naive` / `packed`), the
+/// search budget is the library default, and the seed is the request's so
+/// replies stay a pure function of the request.
+fn mem_pack_config(mem_pack: Option<&str>, seed: u64) -> Result<tms_flow::MemPackConfig, String> {
+    match mem_pack {
+        None => Ok(tms_flow::MemPackConfig::off()),
+        Some(s) => match tms_flow::MemPackPolicy::parse(s) {
+            Some(policy) => Ok(tms_flow::MemPackConfig::new(policy, seed)),
+            None => Err(format!(
+                "unknown mem_pack policy '{s}' (expected off|naive|packed)"
+            )),
+        },
     }
 }
 
@@ -926,7 +945,13 @@ fn do_preimpl(
         }
         None => {
             obs.count("cache.miss", 1);
-            let cfg = flow_config(req.cf, spec.seed, state.portfolio.as_ref(), obs);
+            let cfg = flow_config(
+                req.cf,
+                spec.seed,
+                state.portfolio.as_ref(),
+                tms_flow::MemPackConfig::off(),
+                obs,
+            );
             let res = state.resilience();
             let m = implement_module_resilient(&spec.name, &netlist, &device, &cfg, &res)?;
             // A failed (already-retried) store put is not the client's
@@ -966,7 +991,14 @@ fn do_flow(
 ) -> Result<FlowResponse, String> {
     let device = device_by_name(&req.device)?;
     let design = cnvw1a1(req.design_seed);
-    let cfg = flow_config(req.cf, req.design_seed, state.portfolio.as_ref(), obs);
+    let mem_pack = mem_pack_config(req.mem_pack.as_deref(), req.design_seed)?;
+    let cfg = flow_config(
+        req.cf,
+        req.design_seed,
+        state.portfolio.as_ref(),
+        mem_pack,
+        obs,
+    );
     let res = state.resilience();
     // The whole cached run holds the write lock: it both reads and fills
     // the cache, and its parallel section uses rayon, not the pool.
@@ -990,6 +1022,7 @@ fn do_flow(
         fresh: r.fresh,
         tool_runs_spent: r.tool_runs_spent,
         total_tool_runs: r.result.total_tool_runs,
+        pack_bram36_saved: r.result.pack.as_ref().map(|p| p.bram36_saved),
         micros: start.elapsed().as_micros() as u64,
     })
 }

@@ -273,6 +273,49 @@ fn portfolio_server_exposes_search_metrics() {
 }
 
 #[test]
+fn packed_flow_round_trips_pack_telemetry() {
+    // A `flow` request with `mem_pack: "packed"` must report its BRAM36
+    // savings on the wire AND land the `pack.*` family in both `stats`
+    // and the Prometheus page.
+    let handle = start_server(2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let r = client
+        .flow_packed(1, "xc7z020", Some(1.72), Some("packed"))
+        .expect("packed flow");
+    let saved = r.pack_bram36_saved.expect("packed flow reports savings");
+    assert!(saved > 0, "packing saved no BRAM36");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.pipeline.counter("pack.runs"), 1);
+    assert_eq!(stats.pipeline.counter("pack.bram36_saved"), saved);
+    assert!(stats.pipeline.counter("pack.modules") > 0);
+
+    let text = client.metrics_text().expect("metrics");
+    let samples = tms_serve::prometheus::parse(&text).expect("prometheus page parses");
+    assert_eq!(samples["tms_pack_runs_total"] as u64, 1);
+    assert_eq!(samples["tms_pack_bram36_saved_total"] as u64, saved);
+
+    // The packing policy is per-request: a plain flow on the UltraScale-
+    // like preset runs with packing off and reports no savings.
+    let off = client
+        .flow_packed(2, "ultrascale-like", Some(1.72), None)
+        .expect("flow without packing");
+    assert!(off.pack_bram36_saved.is_none());
+    assert_eq!(
+        client.stats().expect("stats").pipeline.counter("pack.runs"),
+        1
+    );
+
+    // Unknown policies are rejected without killing the connection.
+    assert!(client
+        .flow_packed(1, "xc7z020", Some(1.72), Some("bogus"))
+        .is_err());
+    assert!(client.stats().is_ok());
+    handle.stop();
+}
+
+#[test]
 fn minimal_cf_flow_surfaces_the_prescreen_counter() {
     // A flow request without a CF runs the minimal-CF search per module;
     // the incremental engine's `pblock.search.prescreened` skip counter

@@ -40,6 +40,7 @@ fn toy_network(l2_pe: u32, seed: u64) -> CnvDesign {
             layer,
             netlist: synth_module(role, target, name, seed ^ idx as u64),
             instances: count,
+            mem: None,
         });
         (0..count)
             .map(|i| {
@@ -120,6 +121,7 @@ fn main() {
         model: PlacementModel::default(),
         stitch: StitchConfig::standard(seed),
         portfolio: None,
+        mem_pack: tailored_macro_sizes::pack::MemPackConfig::off(),
         obs: tailored_macro_sizes::obs::noop(),
         seed,
     };

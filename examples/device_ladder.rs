@@ -42,6 +42,7 @@ fn main() {
                     ..StitchConfig::standard(7)
                 },
                 portfolio: None,
+                mem_pack: tailored_macro_sizes::pack::MemPackConfig::off(),
                 seed: 7,
                 obs: tailored_macro_sizes::obs::noop(),
             },

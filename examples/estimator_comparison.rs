@@ -86,6 +86,7 @@ fn main() {
                 model: PlacementModel::default(),
                 stitch: StitchConfig::fast(seed),
                 portfolio: None,
+                mem_pack: tailored_macro_sizes::pack::MemPackConfig::off(),
                 seed,
                 obs: tailored_macro_sizes::obs::noop(),
             },

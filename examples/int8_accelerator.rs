@@ -41,6 +41,7 @@ fn int8_network(layers: u32, lanes_per_layer: u32, seed: u64) -> CnvDesign {
             layer,
             netlist,
             instances: count,
+            mem: None,
         });
         (0..count)
             .map(|i| {
@@ -146,6 +147,7 @@ fn main() {
                 ..StitchConfig::standard(31)
             },
             portfolio: None,
+            mem_pack: tailored_macro_sizes::pack::MemPackConfig::off(),
             seed: 31,
             obs: tailored_macro_sizes::obs::noop(),
         },

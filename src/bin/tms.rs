@@ -11,6 +11,10 @@
 //! tms report --trace <path>            render a JSONL trace as a phase table
 //! tms stitch [opts]                    stitch the cnvW1A1 macros: single-run
 //!                                      SA, or the parallel search portfolio
+//! tms pack [opts]                      memory-aware weight packing: assign
+//!                                      each module's weight banks to
+//!                                      BRAM36 / BRAM18-half / LUTRAM bins,
+//!                                      print the per-module table
 //! tms chaos [opts]                     fault-injection drill: serve under a
 //!                                      seeded fault plan, show recovery
 //! tms loadgen [opts]                   drive a running server with the
@@ -21,7 +25,8 @@
 //!                                      traces) and summarise it
 //!
 //! options:
-//!   --device <xc7z010|xc7z020|xc7z030|xc7z045|xc7z100>   (default xc7z045)
+//!   --device <xc7z010|xc7z020|xc7z030|xc7z045|xc7z100|ultrascale-like>
+//!                                                        (default xc7z045)
 //!   --estimator <rf|dt|nn|lin>                           (default rf)
 //!   --features <classical|classical+|additional|all>     (default additional)
 //!   --dataset <N>        training sweep size              (default 600)
@@ -70,6 +75,19 @@
 //!   --deadline-ms <N>    wall-clock budget, checked at round barriers
 //!                        (default: none; the round budget bounds the run)
 //!   --seed <N>           portfolio seed; lane seeds derive from it
+//!
+//! pack options:
+//!   --design <name>      cnvw1a1 (default) or a zoo member
+//!                        (bnn-wide | bnn-deep | bnn-fc | bnn-slim)
+//!   --mode <naive|packed>  all-BRAM36 baseline or portfolio search
+//!                        (default packed)
+//!   --device <name>      as above, plus ultrascale-like
+//!   --seed <N>           design + search seed (default 2024)
+//!   --rounds <N>         portfolio exchange rounds (default 12)
+//!   --moves <N>          per-lane moves per round (default 2048)
+//!   --threads <N>        worker threads; 0 = one per core (default 0).
+//!                        Wall-clock only — results are bit-identical
+//!   --modules            also print the per-module assignment table
 //!
 //! chaos options (an in-process server is bombarded under a seeded
 //! fault plan, then the faults are lifted to demonstrate recovery):
@@ -132,6 +150,7 @@ fn device_of(flags: &HashMap<String, String>) -> Device {
         Some("xc7z020") => Device::xc7z020(),
         Some("xc7z030") => Device::xc7z030(),
         Some("xc7z100") => Device::xc7z100(),
+        Some("ultrascale-like") => Device::ultrascale_like(),
         Some("xc7z045") | None => Device::xc7z045(),
         Some(other) => {
             eprintln!("unknown device '{other}', using xc7z045");
@@ -854,6 +873,97 @@ fn cmd_slowlog(flags: &HashMap<String, String>) {
 /// problem is a pure function of the seed): either with the seed-era
 /// single-run annealer, or — under `--portfolio` — with the multi-lane
 /// search portfolio tuned by the committed `BENCH_stitch.json` config.
+fn cmd_pack(flags: &HashMap<String, String>) {
+    use tailored_macro_sizes::cnn::{zoo_design, zoo_names};
+    use tailored_macro_sizes::obs::noop;
+    use tailored_macro_sizes::pack::{pack_design, MemPackConfig, MemPackPolicy};
+
+    let device = device_of(flags);
+    let seed = num(flags, "seed", 2024);
+    let design_name = flags.get("design").map_or("cnvw1a1", String::as_str);
+    let design = if design_name == "cnvw1a1" {
+        cnvw1a1(seed)
+    } else {
+        match zoo_design(design_name, seed) {
+            Some(d) => d,
+            None => {
+                eprintln!(
+                    "unknown design '{design_name}' (expected cnvw1a1 or one of: {})",
+                    zoo_names().join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    };
+    let policy = match flags.get("mode").map(String::as_str) {
+        Some("naive") => MemPackPolicy::Naive,
+        Some("packed") | None => MemPackPolicy::Packed,
+        Some(other) => {
+            eprintln!("unknown mode '{other}' (expected naive|packed)");
+            std::process::exit(2);
+        }
+    };
+    let cfg = MemPackConfig {
+        rounds: num(flags, "rounds", 12) as u32,
+        moves_per_round: num(flags, "moves", 2_048),
+        threads: num(flags, "threads", 0) as usize,
+        ..MemPackConfig::new(policy, seed)
+    };
+    println!(
+        "packing {design_name} (seed {seed}) for {}: {} policy ...",
+        device.name(),
+        policy.label()
+    );
+    let Some((_, report)) = pack_design(&design, &device, &cfg, noop()) else {
+        println!("nothing to pack: the design carries no weight memories");
+        return;
+    };
+    println!(
+        "BRAM36 demand {} -> {} of {} budgeted ({} saved), {}",
+        report.naive_bram36,
+        report.bram36_total,
+        report.budget_bram36,
+        report.bram36_saved,
+        if report.feasible {
+            "fits the device"
+        } else {
+            "OVER BUDGET"
+        },
+    );
+    println!(
+        "banks: {} on BRAM36, {} on BRAM18 halves, {} in LUTRAM ({} LUTs); model cost {:.1}",
+        report.banks_bram36,
+        report.banks_bram18,
+        report.banks_lutram,
+        report.lutram_luts,
+        report.cost
+    );
+    if let Some(s) = &report.search {
+        println!(
+            "portfolio: {} rounds, {} moves, {} adoptions, winner {} (SA {} / EA {} wins) in {:.1}ms",
+            s.rounds, s.moves, s.adoptions, s.winner, s.sa_wins, s.ea_wins, s.wall_ms
+        );
+    }
+    if flags.contains_key("modules") {
+        println!(
+            "  {:<14} {:>4}  {:>6} {:>6} {:>6}  {:>7} {:>7}",
+            "module", "inst", "b36", "b18h", "lutram", "sites36", "luts"
+        );
+        for m in &report.modules {
+            println!(
+                "  {:<14} {:>4}  {:>6} {:>6} {:>6}  {:>7} {:>7}",
+                m.name,
+                m.instances,
+                m.split.full36,
+                m.split.halves,
+                m.split.lutram,
+                m.sites36,
+                m.lutram_luts
+            );
+        }
+    }
+}
+
 fn cmd_stitch(flags: &HashMap<String, String>) {
     use tailored_macro_sizes::flow::{bench_problem, StitchBenchConfig};
     use tailored_macro_sizes::stitch::{stitch, stitch_portfolio, StitchConfig};
@@ -950,13 +1060,14 @@ fn main() {
         Some("store") => cmd_store(&positional[1..], &flags),
         Some("report") => cmd_report(&flags),
         Some("stitch") => cmd_stitch(&flags),
+        Some("pack") => cmd_pack(&flags),
         Some("chaos") => cmd_chaos(&flags),
         Some("loadgen") => cmd_loadgen(&flags),
         Some("slowlog") => cmd_slowlog(&flags),
         _ => {
             eprintln!(
                 "usage: tms <devices|train|compile|experiments|serve|client|store|report|stitch\
-                 |chaos|loadgen|slowlog> [options]"
+                 |pack|chaos|loadgen|slowlog> [options]"
             );
             eprintln!("see the module docs in src/bin/tms.rs for the option list");
             std::process::exit(2);

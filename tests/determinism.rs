@@ -23,6 +23,7 @@ fn run_flow(seed: u64) -> (Vec<Option<(u32, u32)>>, f64, u32) {
             model: PlacementModel::default(),
             stitch: StitchConfig::fast(seed),
             portfolio: None,
+            mem_pack: tailored_macro_sizes::pack::MemPackConfig::off(),
             obs: tailored_macro_sizes::obs::noop(),
             seed,
         },

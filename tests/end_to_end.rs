@@ -22,6 +22,7 @@ fn quick_flow_cfg(policy: CfPolicy<'_>, seed: u64) -> RwFlowConfig<'_> {
         model: PlacementModel::default(),
         stitch: StitchConfig::fast(seed),
         portfolio: None,
+        mem_pack: tailored_macro_sizes::pack::MemPackConfig::off(),
         obs: tailored_macro_sizes::obs::noop(),
         seed,
     }

@@ -21,6 +21,7 @@ fn flow_cfg(seed: u64, policy: CfPolicy<'_>) -> RwFlowConfig<'_> {
             ..StitchConfig::standard(seed)
         },
         portfolio: None,
+        mem_pack: tailored_macro_sizes::pack::MemPackConfig::off(),
         seed,
         obs: tailored_macro_sizes::obs::noop(),
     }

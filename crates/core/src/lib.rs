@@ -67,6 +67,7 @@ pub use tms_stitch as stitch;
 pub use tms_store as store;
 pub use tms_synth as synth;
 pub use tms_timing as timing;
+pub use tms_verify as verify;
 
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -236,6 +236,23 @@ impl Device {
         Device::zynq_like(DeviceName::TestFabric, 24, 50, 2, 1, 1)
     }
 
+    /// Reconstruct the device model a [`DeviceName`] identifies. Every
+    /// constructor is deterministic, so the returned fabric is identical
+    /// to the one an original caller built — what lets an independent
+    /// auditor re-derive legality from a persisted record that only
+    /// carries the device *name*.
+    pub fn from_name(name: DeviceName) -> Device {
+        match name {
+            DeviceName::Xc7z010 => Device::xc7z010(),
+            DeviceName::Xc7z020 => Device::xc7z020(),
+            DeviceName::Xc7z030 => Device::xc7z030(),
+            DeviceName::Xc7z045 => Device::xc7z045(),
+            DeviceName::Xc7z100 => Device::xc7z100(),
+            DeviceName::UltraScaleLike => Device::ultrascale_like(),
+            DeviceName::TestFabric => Device::test_fabric(),
+        }
+    }
+
     /// Device identifier.
     pub fn name(&self) -> DeviceName {
         self.name
@@ -383,6 +400,25 @@ mod tests {
         assert_eq!(aligned_sites(0, 9, 5), 1); // second site clipped
         assert_eq!(aligned_sites(3, 4, 5), 0);
         assert_eq!(aligned_sites(5, 5, 5), 0);
+    }
+
+    #[test]
+    fn from_name_round_trips_every_device() {
+        for d in Device::zynq_family()
+            .into_iter()
+            .chain([Device::ultrascale_like(), Device::test_fabric()])
+        {
+            let rebuilt = Device::from_name(d.name());
+            assert_eq!(rebuilt.name(), d.name());
+            assert_eq!(rebuilt.width(), d.width());
+            assert_eq!(rebuilt.rows(), d.rows());
+            assert_eq!(
+                rebuilt.signature(0, d.width()),
+                d.signature(0, d.width()),
+                "{}: column pattern diverged",
+                d.name()
+            );
+        }
     }
 
     #[test]

@@ -28,12 +28,22 @@ pub enum FaultPoint {
     ServeRead,
     /// Writing a response line back to a client socket.
     ServeWrite,
+    /// Silent corruption of a framed WAL record on its way to disk
+    /// (models media rot / firmware bugs). Unlike the fail-stop points
+    /// above, a hit does not error the operation — the written record is
+    /// bit-flipped and the corruption must be *detected* later by the
+    /// CRC / checksum / audit layers.
+    StoreCorruptRecord,
+    /// Silent corruption of a macro served from the implementation cache
+    /// (models an in-memory flip or a decode bug). A hit mutates the
+    /// returned module; the read-verification digest must catch it.
+    CacheCorruptMacro,
 }
 
 impl FaultPoint {
     /// Every fault point, in stable declaration order — `index` indexes
     /// into this array.
-    pub const ALL: [FaultPoint; 8] = [
+    pub const ALL: [FaultPoint; 10] = [
         FaultPoint::StoreAppend,
         FaultPoint::StoreFsync,
         FaultPoint::StoreOpen,
@@ -42,6 +52,8 @@ impl FaultPoint {
         FaultPoint::FlowRoute,
         FaultPoint::ServeRead,
         FaultPoint::ServeWrite,
+        FaultPoint::StoreCorruptRecord,
+        FaultPoint::CacheCorruptMacro,
     ];
 
     /// Stable dotted label, used in CLI flags, counters and error text.
@@ -55,7 +67,19 @@ impl FaultPoint {
             FaultPoint::FlowRoute => "flow.route",
             FaultPoint::ServeRead => "serve.read",
             FaultPoint::ServeWrite => "serve.write",
+            FaultPoint::StoreCorruptRecord => "store.corrupt_record",
+            FaultPoint::CacheCorruptMacro => "cache.corrupt_macro",
         }
+    }
+
+    /// Whether a hit at this point *corrupts data silently* instead of
+    /// failing the operation. Call sites consult corruption points via
+    /// [`FaultInjector::corrupt`], never via [`check_io`].
+    pub fn is_corruption(self) -> bool {
+        matches!(
+            self,
+            FaultPoint::StoreCorruptRecord | FaultPoint::CacheCorruptMacro
+        )
     }
 
     /// Parse a dotted label back into a point (inverse of [`label`]).
@@ -99,6 +123,17 @@ pub trait FaultInjector: Send + Sync {
     /// one injected fault.
     fn should_fail(&self, point: FaultPoint) -> bool {
         let _ = point;
+        false
+    }
+
+    /// Consult a *corruption* point: when the point decides to fire, flip
+    /// one deterministically chosen bit of `buf` in place and return
+    /// `true` (counted as one injected fault). The default never
+    /// corrupts. Implementations must derive the flipped position from
+    /// their seed and per-point hit count, so a corruption campaign is
+    /// exactly reproducible.
+    fn corrupt(&self, point: FaultPoint, buf: &mut [u8]) -> bool {
+        let _ = (point, buf);
         false
     }
 }

@@ -158,6 +158,23 @@ impl FaultInjector for FaultPlan {
         }
         false
     }
+
+    fn corrupt(&self, point: FaultPoint, buf: &mut [u8]) -> bool {
+        debug_assert!(point.is_corruption(), "{point} is a fail-stop point");
+        // `should_fail` bumps the hit counter and applies the same
+        // schedule/rate machinery; the *position* of the flipped bit then
+        // derives from the per-point injection count, so the k-th
+        // corruption of a run is a pure function of (seed, point, k).
+        if buf.is_empty() || !self.should_fail(point) {
+            return false;
+        }
+        let k = self.injected(point);
+        let x =
+            splitmix64(self.seed ^ (point.index() as u64).wrapping_mul(0xD1B5_4A32_D192_ED03) ^ k);
+        let bit = x % (buf.len() as u64 * 8);
+        buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+        true
+    }
 }
 
 /// SplitMix64 finalizer: a bijective avalanche over `u64`.
@@ -242,5 +259,36 @@ mod tests {
         let plan = FaultPlan::seeded(5).with_rate(FaultPoint::ServeWrite, 1.0);
         assert!(!plan.should_fail(FaultPoint::ServeRead));
         assert!(plan.should_fail(FaultPoint::ServeWrite));
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit_deterministically() {
+        let flips = |seed: u64| -> Vec<Vec<u8>> {
+            let plan = FaultPlan::seeded(seed).with_rate(FaultPoint::StoreCorruptRecord, 1.0);
+            (0..8)
+                .map(|_| {
+                    let mut buf = vec![0u8; 64];
+                    assert!(plan.corrupt(FaultPoint::StoreCorruptRecord, &mut buf));
+                    assert_eq!(
+                        buf.iter().map(|b| b.count_ones()).sum::<u32>(),
+                        1,
+                        "exactly one bit flipped"
+                    );
+                    buf
+                })
+                .collect()
+        };
+        assert_eq!(flips(9), flips(9), "same seed replays the same positions");
+        assert_ne!(flips(9), flips(10), "different seeds flip elsewhere");
+    }
+
+    #[test]
+    fn unarmed_corruption_leaves_data_untouched() {
+        let plan = FaultPlan::seeded(6);
+        let mut buf = vec![0xA5u8; 32];
+        assert!(!plan.corrupt(FaultPoint::CacheCorruptMacro, &mut buf));
+        assert!(buf.iter().all(|&b| b == 0xA5));
+        assert_eq!(plan.hits(FaultPoint::CacheCorruptMacro), 1);
+        assert_eq!(plan.injected_total(), 0);
     }
 }

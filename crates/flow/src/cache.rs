@@ -7,25 +7,28 @@
 //! module's netlist, and [`run_rw_flow_cached`] which pre-implements only
 //! cache misses and re-stitches everything.
 
+use crate::integrity::{audit_module, verify_sealed, SealedModule};
 use crate::resilient::Resilience;
 use crate::rwflow::{
     implement_module, stitch_implemented, CfPolicy, ImplementedModule, RwFlowConfig, RwFlowResult,
 };
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use tms_cnn::CnvDesign;
 use tms_device::{Device, DeviceName};
-use tms_fault::Retry;
+use tms_fault::{FaultInjector, FaultPoint, NoopInjector, Retry};
 use tms_netlist::{Netlist, NetlistStats};
 use tms_store::{Store, StoreSnapshot};
+use tms_verify::Auditor;
 
 /// The persistent macro library: a crash-safe [`tms_store::Store`] keyed
-/// by module fingerprints. See [`ImplementationCache::with_store`].
-pub type MacroStore = Store<ModuleFingerprint, ImplementedModule>;
+/// by module fingerprints, holding digest-sealed implementations (see
+/// [`SealedModule`]). See [`ImplementationCache::with_store`].
+pub type MacroStore = Store<ModuleFingerprint, SealedModule>;
 
 /// A structural fingerprint of a module: device, name, and the statistics
 /// the implementation depends on. Two netlists with equal fingerprints get
@@ -46,6 +49,18 @@ impl ModuleFingerprint {
             name: netlist.name().to_string(),
             stats_digest: digest(&netlist.stats()),
         }
+    }
+
+    /// The device this fingerprint is keyed to. [`Device::from_name`]
+    /// reconstructs the full fabric from it, which is how auditors
+    /// re-derive legality from a stored record alone.
+    pub fn device(&self) -> DeviceName {
+        self.device
+    }
+
+    /// The module name this fingerprint is keyed to.
+    pub fn module_name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -83,6 +98,9 @@ fn digest(stats: &NetlistStats) -> u64 {
 
 /// A cached implementation plus its last-recently-used stamp.
 struct CacheSlot {
+    /// Content digest sealed at insert (see [`SealedModule`]); verified
+    /// reads recompute and compare.
+    digest: u64,
     module: ImplementedModule,
     /// Logical timestamp of the last lookup (drives LRU eviction).
     last_used: AtomicU64,
@@ -129,6 +147,25 @@ pub struct ImplementationCache {
     store_fail_streak: AtomicU32,
     /// Total store puts that failed even after retrying.
     store_put_failures: AtomicU64,
+    /// Fault injector consulted on verified reads (the
+    /// `cache.corrupt_macro` silent-corruption point).
+    fault: Arc<dyn FaultInjector>,
+    /// Verified reads that failed (digest mismatch, audit violation, or
+    /// injected corruption that broke the encoding).
+    verify_failures: AtomicU64,
+    /// Entries quarantined by verified reads (store mode evicts them
+    /// durably; memory mode treats them as misses until overwritten).
+    quarantined: AtomicU64,
+    /// Inserts rejected by the pre-insert audit.
+    insert_rejected: AtomicU64,
+    /// Content digests that already passed a full verification in this
+    /// process (sealed by the pre-insert audit, or fully checked on the
+    /// first verified read after materializing from disk). The record
+    /// behind a memoized digest lives in immutable process memory, so
+    /// later hits skip the digest recompute and legality audit — that is
+    /// what keeps read verification inside its 2% hot-path budget.
+    /// Fault-armed caches bypass the memo entirely.
+    verified: Mutex<HashSet<u64>>,
 }
 
 impl Default for ImplementationCache {
@@ -155,6 +192,11 @@ impl ImplementationCache {
             retry: Retry::default(),
             store_fail_streak: AtomicU32::new(0),
             store_put_failures: AtomicU64::new(0),
+            fault: Arc::new(NoopInjector),
+            verify_failures: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            insert_rejected: AtomicU64::new(0),
+            verified: Mutex::new(HashSet::new()),
         }
     }
 
@@ -164,15 +206,8 @@ impl ImplementationCache {
     /// implementations accumulated by one process warm-start the next.
     pub fn with_store(store: Arc<MacroStore>) -> Self {
         ImplementationCache {
-            entries: HashMap::new(),
             store: Some(store),
-            capacity: DEFAULT_CACHE_CAPACITY,
-            clock: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            retry: Retry::default(),
-            store_fail_streak: AtomicU32::new(0),
-            store_put_failures: AtomicU64::new(0),
+            ..Self::with_capacity(DEFAULT_CACHE_CAPACITY)
         }
     }
 
@@ -180,6 +215,16 @@ impl ImplementationCache {
     /// [`Retry::default`] — three attempts with millisecond backoff).
     pub fn with_retry(mut self, retry: Retry) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Arm the `cache.corrupt_macro` fault point: verified reads consult
+    /// `fault` and, when it fires, the served module is bit-flipped on its
+    /// way out — the read-verification layer must catch it. Unverified
+    /// [`get`](ImplementationCache::get) is deliberately not instrumented:
+    /// the point exists to prove detection, not to break plain lookups.
+    pub fn with_fault(mut self, fault: Arc<dyn FaultInjector>) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -221,10 +266,12 @@ impl ImplementationCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Look up a module implementation.
+    /// Look up a module implementation without integrity checks. The
+    /// batch flows use [`get_verified`](ImplementationCache::get_verified)
+    /// instead; this stays for statistics probes and tests.
     pub fn get(&self, key: &ModuleFingerprint) -> Option<ImplementedModule> {
         if let Some(store) = &self.store {
-            let hit = store.get(key);
+            let hit = store.get(key).map(|sealed| sealed.module);
             match hit.is_some() {
                 true => self.hits.fetch_add(1, Ordering::Relaxed),
                 false => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -245,6 +292,117 @@ impl ImplementationCache {
         }
     }
 
+    /// Look up a module implementation and verify it before serving:
+    /// content digest first, then the full legality audit against
+    /// `auditor`. A record failing either check is **quarantined** — in
+    /// store mode it is durably evicted into the store's `quarantine/`
+    /// directory, in memory mode it is served as a miss until the flow's
+    /// recompute overwrites it — and reported as
+    /// [`VerifiedLookup::Corrupt`] so the caller recomputes transparently.
+    ///
+    /// The full check runs once per *materialization*: a record loaded
+    /// from disk (warm start, store read) or computed fresh is fully
+    /// verified the first time it is served, then its digest is memoized
+    /// and later hits of the same immutable in-process record pass on a
+    /// set lookup. This is the same trust model as block-storage
+    /// checksumming — verify what crossed the persistence boundary, not
+    /// every page-cache hit — and it is what keeps the verified hot path
+    /// inside the `verifybench` 2% overhead budget.
+    ///
+    /// When a [`FaultInjector`](ImplementationCache::with_fault) is armed,
+    /// the `cache.corrupt_macro` point bit-flips the record on its way out
+    /// (before verification), which is how the chaos suite proves the
+    /// detection rate is 100%.
+    pub fn get_verified(&self, key: &ModuleFingerprint, auditor: &Auditor<'_>) -> VerifiedLookup {
+        let sealed = match &self.store {
+            Some(store) => store.get(key),
+            None => {
+                let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+                self.entries.get(key).map(|slot| {
+                    slot.last_used.store(now, Ordering::Relaxed);
+                    SealedModule {
+                        digest: slot.digest,
+                        module: slot.module.clone(),
+                    }
+                })
+            }
+        };
+        let Some(mut sealed) = sealed else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return VerifiedLookup::Miss;
+        };
+        // Injected silent corruption: flip one bit of the serialized record
+        // and re-decode, exactly what a bad DIMM or decoder bug produces. A
+        // flip that breaks the encoding outright counts as detected too.
+        if self.fault.armed() {
+            match serde_json::to_vec(&sealed) {
+                Ok(mut bytes) => {
+                    if self
+                        .fault
+                        .corrupt(FaultPoint::CacheCorruptMacro, &mut bytes)
+                    {
+                        match serde_json::from_slice::<SealedModule>(&bytes) {
+                            Ok(reparsed) => sealed = reparsed,
+                            Err(e) => {
+                                return self.quarantine_read(key, format!("undecodable: {e}"))
+                            }
+                        }
+                    }
+                }
+                Err(e) => return self.quarantine_read(key, format!("unencodable: {e}")),
+            }
+        }
+        // A memoized digest refers to a record already fully verified in
+        // this process; the copy we just fetched comes from immutable
+        // process memory, so re-auditing it would only burn the hot path.
+        // Armed caches never take this shortcut: the chaos suite must see
+        // every read fully checked.
+        if !self.fault.armed() && self.is_verified(sealed.digest) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return VerifiedLookup::Hit(sealed.module);
+        }
+        match verify_sealed(auditor, &sealed) {
+            Ok(()) => {
+                self.mark_verified(sealed.digest);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                VerifiedLookup::Hit(sealed.module)
+            }
+            Err(reason) => self.quarantine_read(key, reason),
+        }
+    }
+
+    /// Whether `digest` already passed a full verification this process.
+    fn is_verified(&self, digest: u64) -> bool {
+        self.verified.lock().is_ok_and(|set| set.contains(&digest))
+    }
+
+    /// Memoize a digest whose record just passed the full check (or was
+    /// sealed by the pre-insert audit). The set is bounded: long-lived
+    /// services accumulating many libraries drop the memo wholesale and
+    /// re-verify, rather than growing without limit.
+    fn mark_verified(&self, digest: u64) {
+        if let Ok(mut set) = self.verified.lock() {
+            if set.len() >= 65_536 {
+                set.clear();
+            }
+            set.insert(digest);
+        }
+    }
+
+    /// Bookkeeping for a verified read that failed: count it, evict the
+    /// offender where `&self` allows, and report the reason.
+    fn quarantine_read(&self, key: &ModuleFingerprint, reason: String) -> VerifiedLookup {
+        self.verify_failures.fetch_add(1, Ordering::Relaxed);
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            // Durable eviction; a quarantine I/O error must not break the
+            // read path (the caller recomputes either way).
+            let _ = store.quarantine(key);
+        }
+        VerifiedLookup::Corrupt(reason)
+    }
+
     /// Store a module implementation, evicting the least-recently-used
     /// entry if the cache is at capacity. In store mode the insert is
     /// WAL-appended; a persistence error is swallowed here (the
@@ -255,20 +413,47 @@ impl ImplementationCache {
         let _ = self.try_insert(key, module);
     }
 
-    /// [`insert`](ImplementationCache::insert) that surfaces store-mode
-    /// persistence failures. Store puts are retried under the cache's
-    /// [`Retry`] policy; a put that fails every attempt increments both
-    /// the consecutive-failure streak and the total failure counter and
-    /// returns the final error. Memory-mode inserts cannot fail.
+    /// [`insert`](ImplementationCache::insert) that surfaces failures.
+    ///
+    /// Every insert is audited before it is accepted: the module's
+    /// placement is re-checked from first principles against a device
+    /// rebuilt from the fingerprint, so an illegal artifact is rejected
+    /// (`InvalidData`, counted in
+    /// [`insert_rejected`](ImplementationCache::insert_rejected)) instead
+    /// of poisoning the library. Accepted modules are sealed with their
+    /// content digest before storage.
+    ///
+    /// Store puts are retried under the cache's [`Retry`] policy; a put
+    /// that fails every attempt increments both the consecutive-failure
+    /// streak and the total failure counter and returns the final error.
     pub fn try_insert(
         &mut self,
         key: ModuleFingerprint,
         module: ImplementedModule,
     ) -> io::Result<()> {
+        let device = Device::from_name(key.device());
+        let auditor = Auditor::new(&device);
+        let violations = audit_module(&auditor, &module);
+        if let Some(first) = violations.first() {
+            self.insert_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "insert rejected: {} fails audit ({} violations): {first}",
+                    module.name,
+                    violations.len()
+                ),
+            ));
+        }
+        let sealed = SealedModule::seal(module);
+        // The audit above just proved this exact content legal; sealing
+        // memoizes it so the first verified read is already on the fast
+        // path.
+        self.mark_verified(sealed.digest);
         if let Some(store) = &self.store {
             let out = self.retry.run(
                 |_e: &io::Error| true,
-                |_| store.put(key.clone(), module.clone()),
+                |_| store.put(key.clone(), sealed.clone()),
             );
             return match out {
                 Ok(()) => {
@@ -282,12 +467,12 @@ impl ImplementationCache {
                 }
             };
         }
-        self.insert_memory(key, module);
+        self.insert_memory(key, sealed);
         Ok(())
     }
 
     /// The plain in-memory insert with LRU eviction at capacity.
-    fn insert_memory(&mut self, key: ModuleFingerprint, module: ImplementedModule) {
+    fn insert_memory(&mut self, key: ModuleFingerprint, sealed: SealedModule) {
         let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
             if let Some(lru) = self
@@ -302,10 +487,27 @@ impl ImplementationCache {
         self.entries.insert(
             key,
             CacheSlot {
-                module,
+                digest: sealed.digest,
+                module: sealed.module,
                 last_used: AtomicU64::new(now),
             },
         );
+    }
+
+    /// Verified reads that failed (digest mismatch, audit violation, or
+    /// injected corruption that broke the encoding).
+    pub fn verify_failures(&self) -> u64 {
+        self.verify_failures.load(Ordering::Relaxed)
+    }
+
+    /// Entries quarantined by verified reads.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Inserts rejected by the pre-insert audit.
+    pub fn insert_rejected(&self) -> u64 {
+        self.insert_rejected.load(Ordering::Relaxed)
     }
 
     /// Consecutive store-put failures since the last success (0 when the
@@ -336,8 +538,8 @@ impl ImplementationCache {
         let entries = store.export();
         let carried = entries.len();
         self.capacity = self.capacity.max(carried.max(1));
-        for (key, module) in entries {
-            self.insert_memory(key, module);
+        for (key, sealed) in entries {
+            self.insert_memory(key, sealed);
         }
         self.store_fail_streak.store(0, Ordering::Relaxed);
         carried
@@ -355,10 +557,18 @@ impl ImplementationCache {
         let json = match &self.store {
             Some(store) => serde_json::to_string(&store.export()),
             None => {
-                let entries: Vec<(&ModuleFingerprint, &ImplementedModule)> = self
+                let entries: Vec<(&ModuleFingerprint, SealedModule)> = self
                     .entries
                     .iter()
-                    .map(|(k, slot)| (k, &slot.module))
+                    .map(|(k, slot)| {
+                        (
+                            k,
+                            SealedModule {
+                                digest: slot.digest,
+                                module: slot.module.clone(),
+                            },
+                        )
+                    })
                     .collect();
                 serde_json::to_string(&entries)
             }
@@ -377,17 +587,40 @@ impl ImplementationCache {
     }
 
     /// Load a cache previously written by [`ImplementationCache::save`].
+    /// Entries whose sealed digest no longer matches their content — a
+    /// blob edited or damaged at rest — are skipped (counted in
+    /// [`quarantined`](ImplementationCache::quarantined)) rather than
+    /// trusted.
     pub fn load(path: &Path) -> io::Result<ImplementationCache> {
         let json = std::fs::read_to_string(path)?;
-        let entries: Vec<(ModuleFingerprint, ImplementedModule)> = serde_json::from_str(&json)
+        let entries: Vec<(ModuleFingerprint, SealedModule)> = serde_json::from_str(&json)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let mut cache =
             ImplementationCache::with_capacity(DEFAULT_CACHE_CAPACITY.max(entries.len()));
-        for (key, module) in entries {
-            cache.insert(key, module);
+        for (key, sealed) in entries {
+            if !sealed.is_intact() {
+                cache.verify_failures.fetch_add(1, Ordering::Relaxed);
+                cache.quarantined.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            cache.insert_memory(key, sealed);
         }
         Ok(cache)
     }
+}
+
+/// Outcome of a verified cache lookup
+/// ([`ImplementationCache::get_verified`]).
+#[derive(Debug)]
+pub enum VerifiedLookup {
+    /// The record passed the digest check and the legality audit.
+    Hit(ImplementedModule),
+    /// The record failed verification and was quarantined; the reason
+    /// names the first failed check. Callers recompute, exactly as for a
+    /// miss.
+    Corrupt(String),
+    /// No record under that fingerprint.
+    Miss,
 }
 
 /// Result of a cached flow run.
@@ -412,13 +645,46 @@ pub struct CachedFlowResult {
 /// (the guided policy's predictions may change as the estimator is
 /// retrained); the stitching is always re-run, since block positions
 /// depend on the whole design.
+/// Every cache hit is read-verified (digest + legality audit; see
+/// [`ImplementationCache::get_verified`]); a record failing verification
+/// is quarantined and transparently recomputed — the flow result is
+/// correct either way, corruption only costs the reuse.
 pub fn run_rw_flow_cached(
     design: &CnvDesign,
     device: &Device,
     cfg: &RwFlowConfig<'_>,
     cache: &mut ImplementationCache,
 ) -> CachedFlowResult {
-    run_cached(design, device, cfg, cache, false, &Resilience::default())
+    run_cached(
+        design,
+        device,
+        cfg,
+        cache,
+        true,
+        false,
+        &Resilience::default(),
+    )
+}
+
+/// [`run_rw_flow_cached`] without read verification: hits are served
+/// as-decoded. This is the overhead baseline the `verifybench` gate
+/// measures the verified flow against; production paths use the verified
+/// variant.
+pub fn run_rw_flow_cached_unverified(
+    design: &CnvDesign,
+    device: &Device,
+    cfg: &RwFlowConfig<'_>,
+    cache: &mut ImplementationCache,
+) -> CachedFlowResult {
+    run_cached(
+        design,
+        device,
+        cfg,
+        cache,
+        false,
+        false,
+        &Resilience::default(),
+    )
 }
 
 /// [`run_rw_flow_cached`] plus a coherence audit: every cache hit is *also*
@@ -431,7 +697,15 @@ pub fn run_rw_flow_cached_verified(
     cfg: &RwFlowConfig<'_>,
     cache: &mut ImplementationCache,
 ) -> CachedFlowResult {
-    run_cached(design, device, cfg, cache, true, &Resilience::default())
+    run_cached(
+        design,
+        device,
+        cfg,
+        cache,
+        true,
+        true,
+        &Resilience::default(),
+    )
 }
 
 pub(crate) fn run_cached(
@@ -439,7 +713,8 @@ pub(crate) fn run_cached(
     device: &Device,
     cfg: &RwFlowConfig<'_>,
     cache: &mut ImplementationCache,
-    verify: bool,
+    read_verify: bool,
+    recompute_audit: bool,
     res: &Resilience<'_>,
 ) -> CachedFlowResult {
     debug_assert!(
@@ -456,25 +731,50 @@ pub(crate) fn run_cached(
     };
     // Look up every module; record hits and the indices still to implement.
     let obs = cfg.obs;
+    let auditor = Auditor::new(device);
     let mut hits: HashMap<usize, ImplementedModule> = HashMap::new();
     let mut missing: Vec<usize> = Vec::new();
+    let mut quarantined = 0u64;
     {
         let mut sp = tms_obs::span(obs, tms_obs::Phase::Cache, "lookup");
         for (idx, m) in design.modules.iter().enumerate() {
             let key = ModuleFingerprint::of(&m.netlist, device);
-            match cache.get(&key) {
-                Some(hit) => {
-                    obs.count("cache.hit", 1);
-                    hits.insert(idx, hit);
+            if read_verify {
+                match cache.get_verified(&key, &auditor) {
+                    VerifiedLookup::Hit(hit) => {
+                        obs.count("cache.hit", 1);
+                        hits.insert(idx, hit);
+                    }
+                    VerifiedLookup::Corrupt(_) => {
+                        // Detected corruption heals by recompute: the
+                        // module joins the miss set and its fresh result
+                        // overwrites the quarantined record below.
+                        obs.count("cache.quarantined", 1);
+                        obs.count("cache.miss", 1);
+                        quarantined += 1;
+                        missing.push(idx);
+                    }
+                    VerifiedLookup::Miss => {
+                        obs.count("cache.miss", 1);
+                        missing.push(idx);
+                    }
                 }
-                None => {
-                    obs.count("cache.miss", 1);
-                    missing.push(idx);
+            } else {
+                match cache.get(&key) {
+                    Some(hit) => {
+                        obs.count("cache.hit", 1);
+                        hits.insert(idx, hit);
+                    }
+                    None => {
+                        obs.count("cache.miss", 1);
+                        missing.push(idx);
+                    }
                 }
             }
         }
         sp.field("hits", hits.len() as f64);
         sp.field("misses", missing.len() as f64);
+        sp.field("quarantined", quarantined as f64);
     }
 
     // Pre-implement only the misses, in parallel; under an armed
@@ -490,7 +790,7 @@ pub(crate) fn run_cached(
         })
         .collect();
 
-    if verify {
+    if recompute_audit {
         // Audit mode: recompute every hit and check the cache told the truth.
         for (&idx, hit) in &hits {
             let m = &design.modules[idx];

@@ -127,7 +127,7 @@ pub fn run_rw_flow_cached_resilient(
     cache: &mut ImplementationCache,
     res: &Resilience<'_>,
 ) -> CachedFlowResult {
-    crate::cache::run_cached(design, device, cfg, cache, false, res)
+    crate::cache::run_cached(design, device, cfg, cache, true, false, res)
 }
 
 #[cfg(test)]

@@ -23,11 +23,13 @@ pub enum Phase {
     Cache,
     /// Persistent macro-store appends, compactions and recovery.
     Store,
+    /// Integrity verification: checksum checks, legality audits, scrubs.
+    Verify,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::Synth,
         Phase::Pack,
         Phase::Place,
@@ -36,6 +38,7 @@ impl Phase {
         Phase::Estimate,
         Phase::Cache,
         Phase::Store,
+        Phase::Verify,
     ];
 
     /// Stable lowercase label (`synth`, `pack`, ...), used in traces,
@@ -50,6 +53,7 @@ impl Phase {
             Phase::Estimate => "estimate",
             Phase::Cache => "cache",
             Phase::Store => "store",
+            Phase::Verify => "verify",
         }
     }
 

@@ -30,7 +30,7 @@ use tms_cnn::ModuleRole;
 use tms_netlist::NetlistStats;
 use tms_obs::ObsSnapshot;
 pub use tms_obs::{BurnRateSample, EndpointSnapshot, SlowlogEntry};
-pub use tms_store::StoreSnapshot;
+pub use tms_store::{ScrubReport, StoreSnapshot};
 
 /// Request envelope: a client-chosen id, the endpoint, and its payload.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -242,6 +242,26 @@ pub struct RobustnessReport {
     pub faults_injected: u64,
 }
 
+/// Integrity counters inside a [`StatsReport`]: what the verified read
+/// path and the background scrubber caught, and what the last scrub pass
+/// covered.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct IntegrityReport {
+    /// Verified cache reads that failed (digest mismatch, legality-audit
+    /// violation, or corruption that broke the record's encoding). Each
+    /// was answered by a transparent recompute, never an error.
+    pub verify_failures: u64,
+    /// Cache entries quarantined by verified reads.
+    pub quarantined: u64,
+    /// Inserts rejected by the pre-insert legality audit.
+    pub insert_rejected: u64,
+    /// Background scrub passes completed so far.
+    pub scrub_passes: u64,
+    /// What the most recent scrub pass covered (`None` before the first
+    /// pass, or when the server runs without a store).
+    pub last_scrub: Option<ScrubReport>,
+}
+
 /// One endpoint's SLO posture inside a [`StatsReport`]: the objective
 /// plus its multi-window burn-rate readings.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -289,6 +309,8 @@ pub struct StatsReport {
     pub store: Option<StoreSnapshot>,
     /// Shed/deadline/degrade/fault counters.
     pub robustness: RobustnessReport,
+    /// Verified-read, quarantine, and scrubber counters.
+    pub integrity: IntegrityReport,
     /// Pipeline telemetry: per-phase span totals, flow counters and
     /// observations accumulated across every request handled so far.
     pub pipeline: ObsSnapshot,

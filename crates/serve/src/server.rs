@@ -44,9 +44,9 @@
 
 use crate::metrics::Metrics;
 use crate::protocol::{
-    CacheStats, EstimateRequest, EstimateResponse, FlowRequest, FlowResponse, MetricsResponse,
-    PreimplRequest, PreimplResponse, Request, Response, RobustnessReport, ShutdownResponse,
-    SloReport, SlowlogReport, SlowlogRequest, StatsReport,
+    CacheStats, EstimateRequest, EstimateResponse, FlowRequest, FlowResponse, IntegrityReport,
+    MetricsResponse, PreimplRequest, PreimplResponse, Request, Response, RobustnessReport,
+    ShutdownResponse, SloReport, SlowlogReport, SlowlogRequest, StatsReport,
 };
 use crossbeam::channel::TrySendError;
 use serde::{Deserialize, Serialize, Value};
@@ -62,7 +62,8 @@ use tms_estimator::{CfEstimator, FeatureSet, ModuleFeatures};
 use tms_fault::{FaultInjector, FaultPlan, FaultPoint, Retry};
 use tms_flow::{
     implement_module_resilient, run_rw_flow_cached_resilient, CfPolicy, ImplementationCache,
-    MacroStore, ModuleFingerprint, Resilience, RwFlowConfig, DEFAULT_CACHE_CAPACITY,
+    MacroStore, ModuleFingerprint, Resilience, RwFlowConfig, StoreAuditor, VerifiedLookup,
+    DEFAULT_CACHE_CAPACITY,
 };
 use tms_netlist::NetlistStats;
 use tms_obs::prometheus::PromText;
@@ -75,6 +76,7 @@ use tms_place::{quick_place, PlacementModel};
 use tms_stitch::StitchConfig;
 use tms_store::{Store, StoreConfig};
 use tms_synth::pack;
+use tms_verify::Auditor;
 
 /// How long a worker waits on a quiet connection before re-checking the
 /// shutdown flag.
@@ -140,6 +142,16 @@ pub struct ServeConfig {
     /// burn-rate gauges on `/metrics` and in `stats`. Defaults to
     /// [`default_slos`].
     pub slos: Vec<SloSpec>,
+    /// Interval between background scrub passes over the persistent
+    /// library (store mode only). Each pass re-audits every stored entry
+    /// at the configured byte/s budget and quarantines violators; repair
+    /// is recompute-on-next-request. `None` (the default) disables the
+    /// scrubber.
+    pub scrub_interval: Option<Duration>,
+    /// Byte/s pacing budget of one scrub pass (`0` = unthrottled). The
+    /// default 8 MiB/s keeps a pass's read-lock pressure negligible next
+    /// to request traffic.
+    pub scrub_bytes_per_sec: u64,
 }
 
 impl Default for ServeConfig {
@@ -159,6 +171,8 @@ impl Default for ServeConfig {
             slowlog_capacity: 64,
             slow_threshold: Duration::from_secs(1),
             slos: default_slos(),
+            scrub_interval: None,
+            scrub_bytes_per_sec: 8 * 1024 * 1024,
         }
     }
 }
@@ -199,6 +213,14 @@ impl ServeConfig {
     /// Stitch flow requests with the multi-lane search portfolio.
     pub fn with_portfolio(mut self, portfolio: tms_search::PortfolioConfig) -> Self {
         self.stitch_portfolio = Some(portfolio);
+        self
+    }
+
+    /// Run a background scrub pass over the persistent library every
+    /// `interval`, paced at `bytes_per_sec` (`0` = unthrottled).
+    pub fn with_scrub(mut self, interval: Duration, bytes_per_sec: u64) -> Self {
+        self.scrub_interval = Some(interval);
+        self.scrub_bytes_per_sec = bytes_per_sec;
         self
     }
 }
@@ -246,6 +268,8 @@ struct ServerState {
     slowlog: Slowlog,
     /// Per-endpoint SLO burn-rate trackers.
     slo: Vec<SloTracker>,
+    /// Background scrub passes completed by the scrubber thread.
+    scrub_passes: AtomicU64,
 }
 
 impl ServerState {
@@ -292,6 +316,17 @@ impl ServerState {
             faults_injected: self.fault.as_ref().map(|p| p.injected_total()).unwrap_or(0),
         }
     }
+
+    /// Snapshot the integrity counters for `stats` and `/metrics`.
+    fn integrity_report(&self, cache: &ImplementationCache) -> IntegrityReport {
+        IntegrityReport {
+            verify_failures: cache.verify_failures(),
+            quarantined: cache.quarantined(),
+            insert_rejected: cache.insert_rejected(),
+            scrub_passes: self.scrub_passes.load(Ordering::Relaxed),
+            last_scrub: cache.store().and_then(|s| s.last_scrub()),
+        }
+    }
 }
 
 /// A connection waiting between acceptor and worker, stamped with its
@@ -308,6 +343,7 @@ pub struct ServerHandle {
     state: Arc<ServerState>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    scrubber: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -343,6 +379,9 @@ impl ServerHandle {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scrubber.take() {
             let _ = h.join();
         }
         // Only after every worker has exited (no more in-flight inserts):
@@ -406,7 +445,12 @@ pub fn serve(
         }
         None => ImplementationCache::with_capacity(config.cache_capacity),
     };
-    let cache = cache.with_retry(config.retry);
+    let mut cache = cache.with_retry(config.retry);
+    if let Some(plan) = &config.fault {
+        // Arm the `cache.corrupt_macro` point: verified reads consult the
+        // plan and must catch whatever it flips.
+        cache = cache.with_fault(Arc::clone(plan) as Arc<dyn FaultInjector>);
+    }
     let state = Arc::new(ServerState {
         estimator,
         features,
@@ -434,6 +478,7 @@ pub fn serve(
             config.slow_threshold.as_micros() as u64,
         ),
         slo: config.slos.iter().map(|&s| SloTracker::new(s)).collect(),
+        scrub_passes: AtomicU64::new(0),
     });
 
     let (tx, rx) = crossbeam::channel::bounded::<Pending>(config.queue_limit.max(1));
@@ -481,11 +526,51 @@ pub fn serve(
         })
     };
 
+    // Background scrubber: periodically re-audit the persistent library
+    // at the configured byte/s budget, quarantining violators. Runs only
+    // in store mode; exits on shutdown or once the server degrades to
+    // memory-only (the store handle disappears).
+    let scrubber = config.scrub_interval.map(|interval| {
+        let state = Arc::clone(&state);
+        let bytes_per_sec = config.scrub_bytes_per_sec;
+        std::thread::spawn(move || {
+            let mut auditor = StoreAuditor::new();
+            'passes: loop {
+                let mut waited = Duration::ZERO;
+                while waited < interval {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        break 'passes;
+                    }
+                    std::thread::sleep(READ_POLL);
+                    waited += READ_POLL;
+                }
+                let Some(store) = state.store() else {
+                    break;
+                };
+                match store.scrub_with(bytes_per_sec, |k, v| auditor.audit(k, v)) {
+                    Ok(report) => {
+                        state.scrub_passes.fetch_add(1, Ordering::Relaxed);
+                        state.sink.count("serve.scrub.pass", 1);
+                        if report.quarantined > 0 {
+                            state
+                                .sink
+                                .count("serve.scrub.quarantined", report.quarantined);
+                        }
+                    }
+                    Err(_) => {
+                        state.sink.count("serve.scrub.failed", 1);
+                    }
+                }
+            }
+        })
+    });
+
     Ok(ServerHandle {
         addr,
         state,
         acceptor: Some(acceptor),
         workers,
+        scrubber,
     })
 }
 
@@ -936,14 +1021,20 @@ fn do_preimpl(
     let spec = req.spec;
     let netlist = tms_cnn::synth_module(spec.role, spec.target_slices, &spec.name, spec.seed);
     let key = ModuleFingerprint::of(&netlist, &device);
-    // Fast path: concurrent lookups share the read lock.
-    let hit = state.cache.read().get(&key);
+    // Fast path: concurrent lookups share the read lock. Every hit is
+    // read-verified (digest + legality audit); a corrupt record is
+    // quarantined and transparently recomputed below, exactly like a miss.
+    let auditor = Auditor::new(&device);
+    let hit = state.cache.read().get_verified(&key, &auditor);
     let (module, cached) = match hit {
-        Some(m) => {
+        VerifiedLookup::Hit(m) => {
             obs.count("cache.hit", 1);
             (m, true)
         }
-        None => {
+        corrupt_or_miss => {
+            if matches!(corrupt_or_miss, VerifiedLookup::Corrupt(_)) {
+                obs.count("cache.quarantined", 1);
+            }
             obs.count("cache.miss", 1);
             let cfg = flow_config(
                 req.cf,
@@ -1109,6 +1200,7 @@ fn do_stats(state: &ServerState) -> StatsReport {
         },
         store: cache.store_stats(),
         robustness: state.robustness_report(&cache),
+        integrity: state.integrity_report(&cache),
         pipeline: state.sink.snapshot(),
     }
 }
@@ -1189,6 +1281,7 @@ fn prometheus_text(state: &ServerState) -> String {
             store_prometheus(&mut page, &store);
         }
         robust_prometheus(&mut page, &state.robustness_report(&cache));
+        integrity_prometheus(&mut page, &state.integrity_report(&cache));
     }
     slo_prometheus(&mut page, state);
     slowlog_prometheus(&mut page, state);
@@ -1313,6 +1406,61 @@ fn robust_prometheus(page: &mut PromText, r: &RobustnessReport) {
     }
 }
 
+/// The integrity gauge/counter family on the Prometheus page: what the
+/// verified read path caught, what the pre-insert audit refused, and what
+/// the background scrubber covered.
+fn integrity_prometheus(page: &mut PromText, r: &IntegrityReport) {
+    let counters: [(&str, &str, u64); 4] = [
+        (
+            "tms_verify_failures_total",
+            "Verified cache reads that failed and were healed by recompute",
+            r.verify_failures,
+        ),
+        (
+            "tms_quarantine_total",
+            "Cache entries quarantined by verified reads",
+            r.quarantined,
+        ),
+        (
+            "tms_verify_insert_rejected_total",
+            "Inserts rejected by the pre-insert legality audit",
+            r.insert_rejected,
+        ),
+        (
+            "tms_scrub_passes_total",
+            "Background scrub passes completed",
+            r.scrub_passes,
+        ),
+    ];
+    for (name, help, value) in counters {
+        page.header(name, help, "counter");
+        page.sample(name, &[], value as f64);
+    }
+    if let Some(scrub) = &r.last_scrub {
+        let gauges: [(&str, &str, f64); 3] = [
+            (
+                "tms_scrub_last_entries",
+                "Entries audited by the most recent scrub pass",
+                scrub.entries as f64,
+            ),
+            (
+                "tms_scrub_last_quarantined",
+                "Entries quarantined by the most recent scrub pass",
+                scrub.quarantined as f64,
+            ),
+            (
+                "tms_scrub_last_bytes",
+                "Payload bytes covered by the most recent scrub pass",
+                scrub.bytes as f64,
+            ),
+        ];
+        for (name, help, value) in gauges {
+            page.header(name, help, "gauge");
+            page.sample(name, &[], value);
+        }
+    }
+}
+
 /// The persistent store's gauge/counter family on the Prometheus page.
 fn store_prometheus(page: &mut PromText, s: &tms_store::StoreSnapshot) {
     let gauges: [(&str, &str, f64); 5] = [
@@ -1342,9 +1490,19 @@ fn store_prometheus(page: &mut PromText, s: &tms_store::StoreSnapshot) {
         page.header(name, help, "gauge");
         page.sample(name, &[], value);
     }
-    let counters: [(&str, &str, u64); 7] = [
+    let counters: [(&str, &str, u64); 9] = [
         ("tms_store_hits_total", "Store lookup hits", s.hits),
         ("tms_store_misses_total", "Store lookup misses", s.misses),
+        (
+            "tms_store_quarantined_total",
+            "Store entries or WAL regions quarantined",
+            s.quarantined,
+        ),
+        (
+            "tms_store_scrubbed_total",
+            "Store entries audited by scrub passes",
+            s.scrubbed,
+        ),
         (
             "tms_store_evicted_total",
             "Entries evicted by the byte budget",

@@ -55,7 +55,9 @@ pub mod store;
 pub mod verify;
 pub mod wal;
 
-pub use stats::{CompactReport, StoreCounters, StoreSnapshot, VerifyReport};
-pub use store::{Store, StoreConfig, StoreKey, StoreValue, SNAPSHOT_PREFIX, WAL_FILE};
+pub use stats::{CompactReport, ScrubReport, StoreCounters, StoreSnapshot, VerifyReport};
+pub use store::{
+    Store, StoreConfig, StoreKey, StoreValue, QUARANTINE_DIR, SNAPSHOT_PREFIX, WAL_FILE,
+};
 pub use verify::verify;
 pub use wal::{atomic_write, atomic_write_faulty, crc32};

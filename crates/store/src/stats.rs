@@ -22,6 +22,12 @@ pub struct StoreCounters {
     /// Append/decode failures (undecodable-but-checksummed records at
     /// recovery, or WAL write errors surfaced to a `put`).
     pub io_errors: AtomicU64,
+    /// Entries (or WAL regions) moved to the `quarantine/` directory:
+    /// checksum-failing records cut out at recovery, plus entries an
+    /// audit rejected during a scrub or a verified read.
+    pub quarantined: AtomicU64,
+    /// Entries audited by [`crate::Store::scrub_with`].
+    pub scrubbed: AtomicU64,
 }
 
 /// A point-in-time view of a store: sizes, generation, and counters.
@@ -51,6 +57,26 @@ pub struct StoreSnapshot {
     pub compactions: u64,
     /// Append/decode failures.
     pub io_errors: u64,
+    /// Entries or WAL regions quarantined (corruption cut out and parked
+    /// under `quarantine/` for post-mortems).
+    pub quarantined: u64,
+    /// Entries audited by the scrubber.
+    pub scrubbed: u64,
+}
+
+/// What one [`crate::Store::scrub_with`] pass covered.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ScrubReport {
+    /// Entries audited this pass.
+    pub entries: u64,
+    /// Summed payload bytes of those entries.
+    pub bytes: u64,
+    /// Entries the audit rejected and quarantined.
+    pub quarantined: u64,
+    /// Wall-clock duration of the pass, in microseconds.
+    pub wall_micros: u64,
+    /// The byte/s pacing budget the pass ran under (0 = unthrottled).
+    pub bytes_per_sec: u64,
 }
 
 /// What one compaction folded.

@@ -16,7 +16,7 @@
 //!   snapshot generation via temp-file + atomic rename, resets the WAL,
 //!   and deletes older generations.
 
-use crate::stats::{CompactReport, StoreCounters, StoreSnapshot};
+use crate::stats::{CompactReport, ScrubReport, StoreCounters, StoreSnapshot};
 use crate::wal::{self, WalFile};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -38,6 +38,12 @@ pub const WAL_FILE: &str = "wal.log";
 pub const SNAPSHOT_PREFIX: &str = "snapshot.";
 /// Suffix of snapshot segment files.
 pub const SNAPSHOT_SUFFIX: &str = ".tms";
+
+/// Subdirectory corrupt records and audit-rejected entries are parked in.
+/// Nothing in the quarantine is ever read back by the store — the files
+/// exist for post-mortems, and the live state simply no longer contains
+/// the damage (the next request for a quarantined artifact recomputes it).
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Store configuration.
 #[derive(Debug, Clone)]
@@ -85,6 +91,15 @@ pub(crate) fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
     dir.join(format!("{SNAPSHOT_PREFIX}{generation}{SNAPSHOT_SUFFIX}"))
 }
 
+/// Park `bytes` in the quarantine directory under a unique name.
+fn quarantine_write(dir: &Path, tag: &str, seq: u64, bytes: &[u8]) -> io::Result<PathBuf> {
+    let qdir = dir.join(QUARANTINE_DIR);
+    std::fs::create_dir_all(&qdir)?;
+    let path = qdir.join(format!("{tag}-{}-{seq}.bin", std::process::id()));
+    std::fs::write(&path, bytes)?;
+    Ok(path)
+}
+
 /// Key bound: anything hashable that round-trips through the JSON data
 /// model (the module fingerprints of `tms-flow` qualify).
 pub trait StoreKey: Clone + Eq + Hash + Serialize + Deserialize + Send + Sync + 'static {}
@@ -130,6 +145,10 @@ pub struct Store<K: StoreKey, V: StoreValue> {
     generation: AtomicU64,
     wal_bytes: AtomicU64,
     counters: StoreCounters,
+    /// Sequence for unique quarantine file names within this process.
+    qseq: AtomicU64,
+    /// The most recent scrub pass, if any ran on this handle.
+    last_scrub: Mutex<Option<ScrubReport>>,
     tx: Sender<WalMsg>,
     flusher: Mutex<Option<JoinHandle<()>>>,
 }
@@ -285,8 +304,22 @@ impl<K: StoreKey, V: StoreValue> Store<K, V> {
         }
         let snapshot_entries = inner.entries.len() as u64;
 
-        // Replay the WAL on top, truncating any torn tail in place.
-        let wal_outcome = wal::recover_file(&config.wal_path())?;
+        // Replay the WAL on top. Recovery *resynchronizes*: a torn tail
+        // (crash mid-append) is truncated as before, while mid-stream
+        // checksum failures — in-place corruption — are cut out of the
+        // log, parked in `quarantine/`, and every committed record after
+        // them still replays.
+        let wal_outcome = wal::recover_file_resync(&config.wal_path())?;
+        for (i, region) in wal_outcome.corrupt_regions.iter().enumerate() {
+            quarantine_write(
+                &config.dir,
+                &format!("wal-{}", region.offset),
+                i as u64,
+                &region.bytes,
+            )?;
+            counters.quarantined.fetch_add(1, Ordering::Relaxed);
+            obs.count("store.quarantine", 1);
+        }
         let mut wal_applied = 0u64;
         for payload in &wal_outcome.records {
             match decode::<K, V>(payload) {
@@ -327,7 +360,13 @@ impl<K: StoreKey, V: StoreValue> Store<K, V> {
         sp.field("snapshot_entries", snapshot_entries as f64);
         sp.field("wal_records", wal_outcome.records.len() as f64);
         sp.field("torn_bytes", wal_outcome.torn_bytes as f64);
+        sp.field("corrupt_regions", wal_outcome.corrupt_regions.len() as f64);
         obs.count("store.recovered", snapshot_entries + wal_applied);
+
+        // Post-recovery WAL length: when corruption was cut out the file
+        // was rewritten from the surviving frames, so the original
+        // `good_bytes` offset overcounts by the quarantined bytes.
+        let wal_len = wal_outcome.good_bytes - wal_outcome.corrupt_bytes();
 
         // Start the flush thread on the cleaned log.
         let wal_file = WalFile::open_append(&config.wal_path())?;
@@ -342,8 +381,10 @@ impl<K: StoreKey, V: StoreValue> Store<K, V> {
             fault,
             clock: AtomicU64::new(clock),
             generation: AtomicU64::new(generation),
-            wal_bytes: AtomicU64::new(wal_outcome.good_bytes),
+            wal_bytes: AtomicU64::new(wal_len),
             counters,
+            qseq: AtomicU64::new(0),
+            last_scrub: Mutex::new(None),
             tx,
             flusher: Mutex::new(Some(flusher)),
         };
@@ -565,6 +606,103 @@ impl<K: StoreKey, V: StoreValue> Store<K, V> {
         self.compact()
     }
 
+    /// Quarantine one entry: park its serialized record under
+    /// `quarantine/`, then remove it from the live map (logging a durable
+    /// `del` so no replay resurrects it). Returns whether it existed.
+    ///
+    /// This is the *repair* half of self-healing: the store does not try
+    /// to fix a bad artifact, it evicts it so the next request recomputes
+    /// a fresh one.
+    pub fn quarantine(&self, key: &K) -> io::Result<bool> {
+        let payload = {
+            let inner = self.inner.read();
+            match inner.entries.get(key) {
+                Some(e) => encode_put(key, &e.value)?,
+                None => return Ok(false),
+            }
+        };
+        quarantine_write(
+            &self.config.dir,
+            "entry",
+            self.qseq.fetch_add(1, Ordering::Relaxed),
+            &wal::frame(&payload),
+        )?;
+        let existed = self.remove(key)?;
+        if existed {
+            self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+            self.obs.count("store.quarantine", 1);
+        }
+        Ok(existed)
+    }
+
+    /// Scrub the live entries through an audit closure, quarantining every
+    /// entry the audit rejects. `audit` returns `true` for a clean entry.
+    ///
+    /// `bytes_per_sec` paces the pass (0 = unthrottled): after each entry
+    /// the scrubber sleeps as needed so that `scanned bytes / elapsed`
+    /// stays at or below the budget — a background scrub on a serving
+    /// store deliberately crawls instead of monopolizing the read lock.
+    /// The lock is taken per entry, never across the whole pass, so
+    /// concurrent gets and puts proceed between entries.
+    pub fn scrub_with<F>(&self, bytes_per_sec: u64, mut audit: F) -> io::Result<ScrubReport>
+    where
+        F: FnMut(&K, &V) -> bool,
+    {
+        let mut sp = span(&*self.obs, Phase::Verify, "scrub");
+        let start = std::time::Instant::now();
+        let keys: Vec<K> = self.inner.read().entries.keys().cloned().collect();
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        let mut quarantined = 0u64;
+        for key in keys {
+            let snapshot = {
+                let inner = self.inner.read();
+                inner.entries.get(&key).map(|e| (e.value.clone(), e.bytes))
+            };
+            // Deleted (or evicted) since the key list was taken: skip.
+            let Some((value, entry_bytes)) = snapshot else {
+                continue;
+            };
+            entries += 1;
+            bytes += entry_bytes;
+            self.counters.scrubbed.fetch_add(1, Ordering::Relaxed);
+            if !audit(&key, &value) && self.quarantine(&key)? {
+                quarantined += 1;
+            }
+            if bytes_per_sec > 0 {
+                let target =
+                    std::time::Duration::from_secs_f64(bytes as f64 / bytes_per_sec as f64);
+                let elapsed = start.elapsed();
+                if target > elapsed {
+                    std::thread::sleep(target - elapsed);
+                }
+            }
+        }
+        let report = ScrubReport {
+            entries,
+            bytes,
+            quarantined,
+            wall_micros: start.elapsed().as_micros() as u64,
+            bytes_per_sec,
+        };
+        sp.field("entries", entries as f64);
+        sp.field("quarantined", quarantined as f64);
+        self.obs.count("store.scrub", 1);
+        *self.last_scrub.lock() = Some(report.clone());
+        Ok(report)
+    }
+
+    /// The most recent [`scrub_with`](Store::scrub_with) pass on this
+    /// handle, if any ran.
+    pub fn last_scrub(&self) -> Option<ScrubReport> {
+        self.last_scrub.lock().clone()
+    }
+
+    /// Path of the quarantine directory (which may not exist yet).
+    pub fn quarantine_path(&self) -> PathBuf {
+        self.config.dir.join(QUARANTINE_DIR)
+    }
+
     /// Clone out every live entry (for exports and inspection; not a hot
     /// path).
     pub fn export(&self) -> Vec<(K, V)> {
@@ -622,6 +760,8 @@ impl<K: StoreKey, V: StoreValue> Store<K, V> {
             appended: self.counters.appended.load(Ordering::Relaxed),
             compactions: self.counters.compactions.load(Ordering::Relaxed),
             io_errors: self.counters.io_errors.load(Ordering::Relaxed),
+            quarantined: self.counters.quarantined.load(Ordering::Relaxed),
+            scrubbed: self.counters.scrubbed.load(Ordering::Relaxed),
         }
     }
 }
@@ -649,7 +789,11 @@ fn flush_loop(mut wal: WalFile, rx: Receiver<WalMsg>, fault: Arc<dyn FaultInject
     while let Ok(msg) = rx.recv() {
         match msg {
             WalMsg::Append(framed) => {
-                if let Err(e) = wal.append(&framed) {
+                // `append_faulty` is the silent-corruption consult: when
+                // `store.corrupt_record` fires, the record reaches disk
+                // with a flipped bit and this append still "succeeds" —
+                // detection is the recovery scan's job.
+                if let Err(e) = wal.append_faulty(&framed, &*fault) {
                     pending_err.get_or_insert(e);
                 }
             }
@@ -897,6 +1041,148 @@ mod tests {
         assert!(
             sink.phase_spans(Phase::Store) >= 3,
             "recover+append+compact spans"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_wal_corruption_quarantines_and_keeps_later_records() {
+        let dir = tmp_dir("resync");
+        {
+            let store = open(&dir);
+            for i in 0..10 {
+                store.put(format!("k{i}"), format!("v{i}")).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        // Flip one bit inside the SECOND record's payload — mid-stream,
+        // with eight committed records after it.
+        let path = wal_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_frame_len = wal::read_records(&bytes).records[0].len() + wal::FRAME_HEADER;
+        bytes[first_frame_len + wal::FRAME_HEADER + 4] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let store = open(&dir);
+        assert_eq!(store.len(), 9, "exactly the damaged record is lost");
+        assert_eq!(store.get(&"k1".to_string()), None, "damaged entry gone");
+        for i in [0usize, 2, 3, 4, 5, 6, 7, 8, 9] {
+            assert_eq!(
+                store.get(&format!("k{i}")),
+                Some(format!("v{i}")),
+                "k{i} survives"
+            );
+        }
+        let stats = store.stats();
+        assert_eq!(stats.quarantined, 1);
+        let quarantined: Vec<_> = std::fs::read_dir(dir.join(QUARANTINE_DIR))
+            .unwrap()
+            .collect();
+        assert_eq!(quarantined.len(), 1, "damage parked for post-mortem");
+
+        // The rewritten log is clean: a further reopen sees no damage.
+        store.put("k1".into(), "recomputed".into()).unwrap();
+        store.flush().unwrap();
+        drop(store);
+        let store = open(&dir);
+        assert_eq!(store.len(), 10);
+        assert_eq!(store.stats().quarantined, 0, "no damage left to find");
+        assert_eq!(store.get(&"k1".to_string()), Some("recomputed".to_string()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_append_corruption_is_caught_on_reopen() {
+        use tms_fault::FaultPlan;
+        let dir = tmp_dir("inject_corrupt");
+        let plan = Arc::new(FaultPlan::seeded(17));
+        {
+            let store: Store<String, String> = Store::open_faulty(
+                StoreConfig::at(&dir),
+                Arc::new(NoopRecorder),
+                Arc::clone(&plan) as Arc<dyn FaultInjector>,
+            )
+            .unwrap();
+            store.put("a".into(), "1".into()).unwrap();
+            store.flush().unwrap();
+            // Arm one silent corruption: the next record written reaches
+            // disk bit-flipped while the put itself reports success.
+            plan.fail_next(FaultPoint::StoreCorruptRecord, 1);
+            store.put("b".into(), "2".into()).unwrap();
+            store.put("c".into(), "3".into()).unwrap();
+            store.flush().unwrap();
+            assert_eq!(plan.injected(FaultPoint::StoreCorruptRecord), 1);
+        }
+        let store = open(&dir);
+        assert_eq!(store.len(), 2, "the corrupted record is detected and cut");
+        assert_eq!(store.get(&"b".to_string()), None);
+        assert_eq!(store.get(&"a".to_string()), Some("1".to_string()));
+        assert_eq!(store.get(&"c".to_string()), Some("3".to_string()));
+        assert_eq!(store.stats().quarantined, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scrub_quarantines_audit_failures_durably() {
+        let dir = tmp_dir("scrub");
+        {
+            let store = open(&dir);
+            for i in 0..6 {
+                store.put(format!("k{i}"), format!("v{i}")).unwrap();
+            }
+            let report = store
+                .scrub_with(0, |k, _v| k != "k3")
+                .expect("scrub succeeds");
+            assert_eq!(report.entries, 6);
+            assert_eq!(report.quarantined, 1);
+            assert!(report.bytes > 0);
+            assert_eq!(store.last_scrub(), Some(report));
+            let stats = store.stats();
+            assert_eq!(stats.scrubbed, 6);
+            assert_eq!(stats.quarantined, 1);
+            assert_eq!(store.len(), 5);
+            assert!(store.quarantine_path().exists());
+            store.flush().unwrap();
+        }
+        // The quarantine logged a durable `del`: no replay resurrects it.
+        let store = open(&dir);
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.get(&"k3".to_string()), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_scrub_quarantines_nothing() {
+        let dir = tmp_dir("scrub_clean");
+        let store = open(&dir);
+        for i in 0..5 {
+            store.put(format!("k{i}"), format!("v{i}")).unwrap();
+        }
+        let report = store.scrub_with(0, |_, _| true).unwrap();
+        assert_eq!(report.entries, 5);
+        assert_eq!(report.quarantined, 0, "zero false positives");
+        assert_eq!(store.len(), 5);
+        assert!(!store.quarantine_path().exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scrub_budget_paces_the_pass() {
+        let dir = tmp_dir("scrub_pace");
+        let store = open(&dir);
+        for i in 0..4 {
+            store.put(format!("k{i}"), "v".repeat(100)).unwrap();
+        }
+        let bytes = store.bytes();
+        // Budget the pass to ~4x the payload per second: the full scan
+        // must take at least ~250ms of wall clock.
+        let report = store.scrub_with(bytes * 4, |_, _| true).unwrap();
+        assert_eq!(report.entries, 4);
+        assert!(
+            report.wall_micros >= 200_000,
+            "a {bytes}-byte scan at {}B/s finished in {}us",
+            bytes * 4,
+            report.wall_micros
         );
         std::fs::remove_dir_all(&dir).ok();
     }

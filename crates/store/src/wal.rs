@@ -107,6 +107,103 @@ pub fn read_records(bytes: &[u8]) -> ReadOutcome {
     out
 }
 
+/// The outcome of a *resynchronizing* scan: like [`ReadOutcome`], plus the
+/// mid-stream byte regions the scan had to skip to reach later records.
+#[derive(Debug, Default)]
+pub struct ResyncOutcome {
+    /// Every payload that passed its checksum, in file order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte offset one past the last good record.
+    pub good_bytes: u64,
+    /// Trailing bytes after the last good record that never resynced —
+    /// the classic torn tail (a crash mid-append; benign).
+    pub torn_bytes: u64,
+    /// Mid-stream regions whose frame failed its checksum but were
+    /// followed by further valid records — evidence of *in-place
+    /// corruption* (a bit flip, not a crash). These regions are what a
+    /// recovery quarantines.
+    pub corrupt_regions: Vec<CorruptRegion>,
+}
+
+/// One skipped byte region from a resynchronizing scan, raw bytes
+/// included so the damage can be quarantined for post-mortems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptRegion {
+    /// Byte offset of the region in the original file.
+    pub offset: u64,
+    /// The skipped bytes, verbatim.
+    pub bytes: Vec<u8>,
+}
+
+impl ResyncOutcome {
+    /// Total bytes inside mid-stream corrupt regions.
+    pub fn corrupt_bytes(&self) -> u64 {
+        self.corrupt_regions
+            .iter()
+            .map(|r| r.bytes.len() as u64)
+            .sum()
+    }
+}
+
+/// Whether a valid frame (plausible length, intact checksum) starts at
+/// `off`. Cheap for random offsets: almost all are rejected on the length
+/// field alone, so the CRC only runs over plausible candidates.
+fn frame_at(bytes: &[u8], off: usize) -> Option<usize> {
+    if bytes.len() - off < FRAME_HEADER {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+    if len > MAX_RECORD {
+        return None;
+    }
+    let body_start = off + FRAME_HEADER;
+    let body_end = body_start.checked_add(len as usize)?;
+    if body_end > bytes.len() {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+    (crc32(&bytes[body_start..body_end]) == crc).then_some(body_end)
+}
+
+/// Scan a framed buffer like [`read_records`], but instead of stopping at
+/// the first bad frame, *resynchronize*: scan forward byte by byte for the
+/// next offset where a checksum-valid frame begins and continue reading
+/// from there. A single flipped bit inside one record therefore costs
+/// exactly that record — every subsequent committed record survives —
+/// where the plain scan would discard the whole rest of the log.
+///
+/// Corruption at the very end of the file (nothing valid after it) is
+/// still classified as a torn tail, so crash-recovery semantics are
+/// unchanged; only *mid-stream* damage lands in `corrupt_regions`. A
+/// false resync would need a 32-bit checksum collision at a random
+/// offset (probability 2⁻³² per candidate byte).
+pub fn read_records_resync(bytes: &[u8]) -> ResyncOutcome {
+    let mut out = ResyncOutcome::default();
+    let mut off = 0usize;
+    while bytes.len() - off >= FRAME_HEADER {
+        if let Some(body_end) = frame_at(bytes, off) {
+            out.records
+                .push(bytes[off + FRAME_HEADER..body_end].to_vec());
+            off = body_end;
+            continue;
+        }
+        // Bad frame at `off`: hunt for the next valid one.
+        match (off + 1..bytes.len()).find(|&cand| frame_at(bytes, cand).is_some()) {
+            Some(resync) => {
+                out.corrupt_regions.push(CorruptRegion {
+                    offset: off as u64,
+                    bytes: bytes[off..resync].to_vec(),
+                });
+                off = resync;
+            }
+            None => break, // torn tail from `off` to EOF
+        }
+    }
+    out.good_bytes = off as u64;
+    out.torn_bytes = (bytes.len() - off) as u64;
+    out
+}
+
 /// Read a framed file and truncate any torn tail in place, so the next
 /// append continues from the last committed record. Missing files read as
 /// empty (nothing to recover).
@@ -130,6 +227,40 @@ pub fn recover_file(path: &Path) -> io::Result<ReadOutcome> {
 pub fn scan_file(path: &Path) -> io::Result<ReadOutcome> {
     let bytes = std::fs::read(path)?;
     Ok(read_records(&bytes))
+}
+
+/// [`recover_file`] with resynchronization: mid-stream corrupt records
+/// are cut out (the file is atomically rewritten from the surviving good
+/// frames) and returned in `corrupt_regions` for the caller to
+/// quarantine; a plain torn tail is truncated exactly as before. Missing
+/// files read as empty.
+pub fn recover_file_resync(path: &Path) -> io::Result<ResyncOutcome> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ResyncOutcome::default()),
+        Err(e) => return Err(e),
+    };
+    let outcome = read_records_resync(&bytes);
+    if !outcome.corrupt_regions.is_empty() {
+        // Rewrite the log from the surviving records so the damage
+        // cannot be re-read (or re-replayed) on the next open.
+        let mut clean = Vec::with_capacity(outcome.good_bytes as usize);
+        for r in &outcome.records {
+            clean.extend_from_slice(&frame(r));
+        }
+        atomic_write(path, &clean)?;
+    } else if outcome.torn_bytes > 0 {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(outcome.good_bytes)?;
+        file.sync_all()?;
+    }
+    Ok(outcome)
+}
+
+/// Resynchronizing scan of a framed file without modifying it.
+pub fn scan_file_resync(path: &Path) -> io::Result<ResyncOutcome> {
+    let bytes = std::fs::read(path)?;
+    Ok(read_records_resync(&bytes))
 }
 
 /// Write `bytes` to `path` atomically: a sibling temp file is written and
@@ -193,6 +324,22 @@ impl WalFile {
 
     /// Append one pre-framed record.
     pub fn append(&mut self, framed: &[u8]) -> io::Result<()> {
+        self.file.write_all(framed)
+    }
+
+    /// [`append`](WalFile::append) with a silent-corruption consult: when
+    /// [`FaultPoint::StoreCorruptRecord`] fires, the record reaches disk
+    /// with one deterministically chosen bit flipped — exactly the damage
+    /// pattern the resynchronizing recovery and the read-side checksums
+    /// exist to catch. The operation itself still reports success, as
+    /// real media rot would.
+    pub fn append_faulty(&mut self, framed: &[u8], fault: &dyn FaultInjector) -> io::Result<()> {
+        if fault.armed() {
+            let mut buf = framed.to_vec();
+            if fault.corrupt(FaultPoint::StoreCorruptRecord, &mut buf) {
+                return self.file.write_all(&buf);
+            }
+        }
         self.file.write_all(framed)
     }
 
@@ -276,6 +423,149 @@ mod tests {
         let out = read_records(&buf);
         assert_eq!(out.records.len(), 1);
         assert!(out.torn_bytes > 0);
+    }
+
+    /// Frame a fixed set of payloads and return `(buffer, frame spans)`.
+    fn framed_fixture(payloads: &[&[u8]]) -> (Vec<u8>, Vec<std::ops::Range<usize>>) {
+        let mut buf = Vec::new();
+        let mut spans = Vec::new();
+        for p in payloads {
+            let start = buf.len();
+            buf.extend_from_slice(&frame(p));
+            spans.push(start..buf.len());
+        }
+        (buf, spans)
+    }
+
+    const FIXTURE: [&[u8]; 5] = [
+        b"alpha-record",
+        b"beta",
+        b"gamma-gamma-gamma",
+        b"delta-4",
+        b"epsilon-the-last",
+    ];
+
+    #[test]
+    fn mid_stream_bit_flip_loses_only_that_record() {
+        let (mut buf, spans) = framed_fixture(&FIXTURE);
+        buf[spans[2].start + FRAME_HEADER + 3] ^= 0x10; // payload of record 2
+
+        // The plain scan throws away everything from the flip onward…
+        assert_eq!(read_records(&buf).records.len(), 2);
+
+        // …the resynchronizing scan loses exactly the damaged record.
+        let out = read_records_resync(&buf);
+        let got: Vec<&[u8]> = out.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(got, [FIXTURE[0], FIXTURE[1], FIXTURE[3], FIXTURE[4]]);
+        assert_eq!(out.torn_bytes, 0);
+        assert_eq!(out.corrupt_regions.len(), 1);
+        assert_eq!(out.corrupt_regions[0].offset, spans[2].start as u64);
+        assert_eq!(out.corrupt_bytes(), spans[2].len() as u64);
+    }
+
+    #[test]
+    fn flip_in_length_field_still_resyncs() {
+        let (mut buf, spans) = framed_fixture(&FIXTURE);
+        buf[spans[1].start] ^= 0x04; // length field of record 1
+        let out = read_records_resync(&buf);
+        let got: Vec<&[u8]> = out.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(got, [FIXTURE[0], FIXTURE[2], FIXTURE[3], FIXTURE[4]]);
+        assert_eq!(out.corrupt_regions.len(), 1);
+    }
+
+    #[test]
+    fn trailing_corruption_is_still_a_torn_tail() {
+        let (mut buf, spans) = framed_fixture(&FIXTURE);
+        let last = spans.last().unwrap().clone();
+        buf[last.start + FRAME_HEADER + 1] ^= 0x01;
+        let out = read_records_resync(&buf);
+        assert_eq!(out.records.len(), FIXTURE.len() - 1);
+        assert!(out.corrupt_regions.is_empty(), "no mid-stream damage");
+        assert_eq!(out.good_bytes, last.start as u64);
+        assert_eq!(out.torn_bytes, last.len() as u64);
+    }
+
+    #[test]
+    fn clean_buffer_resyncs_to_the_plain_scan() {
+        let (buf, _) = framed_fixture(&FIXTURE);
+        let plain = read_records(&buf);
+        let resync = read_records_resync(&buf);
+        assert_eq!(plain.records, resync.records);
+        assert_eq!(plain.good_bytes, resync.good_bytes);
+        assert_eq!(resync.torn_bytes, 0);
+        assert!(resync.corrupt_regions.is_empty());
+    }
+
+    proptest::proptest! {
+        /// Any single-bit flip anywhere in the log costs at most the one
+        /// record whose frame the flipped byte lies in; every other
+        /// record survives bit-identically and in order.
+        #[test]
+        fn any_single_bit_flip_keeps_all_other_records(bit in 0usize..1000) {
+            let (mut buf, spans) = framed_fixture(&FIXTURE);
+            let bit = bit % (buf.len() * 8);
+            buf[bit / 8] ^= 1 << (bit % 8);
+            let hit = spans.iter().position(|s| s.contains(&(bit / 8))).unwrap();
+            let expect: Vec<&[u8]> = FIXTURE
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != hit)
+                .map(|(_, p)| *p)
+                .collect();
+            let out = read_records_resync(&buf);
+            let got: Vec<&[u8]> = out.records.iter().map(|r| r.as_slice()).collect();
+            proptest::prop_assert_eq!(got, expect);
+            // The lost frame is fully accounted for: either quarantined
+            // (mid-stream) or torn (trailing).
+            proptest::prop_assert_eq!(
+                out.corrupt_bytes() + out.torn_bytes,
+                spans[hit].len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn recover_file_resync_rewrites_a_clean_log() {
+        let dir = std::env::temp_dir().join(format!("tms_wal_rs_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let (mut buf, spans) = framed_fixture(&FIXTURE);
+        buf[spans[1].start + FRAME_HEADER] ^= 0x80;
+        std::fs::write(&path, &buf).unwrap();
+
+        let out = recover_file_resync(&path).unwrap();
+        assert_eq!(out.records.len(), FIXTURE.len() - 1);
+        assert_eq!(out.corrupt_regions.len(), 1);
+
+        // The rewritten file is pristine: a plain scan reads all four
+        // survivors with no torn bytes.
+        let rescan = scan_file(&path).unwrap();
+        assert_eq!(rescan.records, out.records);
+        assert_eq!(rescan.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_faulty_writes_detectably_corrupt_records() {
+        use tms_fault::FaultPlan;
+        let dir = std::env::temp_dir().join(format!("tms_wal_af_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let plan = FaultPlan::seeded(42);
+        {
+            let mut wal = WalFile::open_append(&path).unwrap();
+            wal.append_faulty(&frame(b"one"), &plan).unwrap();
+            plan.fail_next(FaultPoint::StoreCorruptRecord, 1);
+            wal.append_faulty(&frame(b"two"), &plan).unwrap();
+            wal.append_faulty(&frame(b"three"), &plan).unwrap();
+            wal.sync().unwrap();
+        }
+        assert_eq!(plan.injected(FaultPoint::StoreCorruptRecord), 1);
+        let out = scan_file_resync(&path).unwrap();
+        let got: Vec<&[u8]> = out.records.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(got, [&b"one"[..], b"three"], "flip detected, rest kept");
+        assert_eq!(out.corrupt_regions.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,571 @@
+//! # tms-verify — the independent legality auditor
+//!
+//! Everything downstream of the flow — the implementation cache, the
+//! persistent macro store, the serving layer — replays implementations it
+//! did not just compute. This crate is the trust anchor for that replay:
+//! a dependency-light auditor that re-derives the *legality* of an
+//! implemented module from first principles, using only the substrate
+//! crates (device model, packer, quick placer) and none of the flow
+//! machinery that produced the artifact in the first place.
+//!
+//! The auditor never answers with a bool. Every check that fails becomes
+//! one structured [`Violation`] with a stable dotted code, so callers can
+//! count, classify, and surface failures (`tms verify`, Prometheus
+//! `tms_verify_*` series, quarantine decisions) without parsing prose.
+//!
+//! Three audit surfaces, all on [`Auditor`]:
+//!
+//! * [`Auditor::audit_macro`] — a PBlock + detailed placement pair:
+//!   rectangle inside the device, honest relocation signature, honest
+//!   per-kind capacity (via the [`CapacityPrefix`] oracle), slice budgets,
+//!   utilization/irregularity arithmetic, congestion range.
+//! * [`Auditor::audit_netlist`] — the netlist ↔ macro shape agreement:
+//!   re-packs the netlist and checks the recorded placement against the
+//!   re-derived demand, carry-chain shapes (first-fit-decreasing replay)
+//!   and the CF slice target.
+//! * [`Auditor::audit_stitch`] — a stitched placement: every anchored
+//!   instance on a signature-matching, alignment-respecting, in-bounds
+//!   position, and zero footprint overlap across the whole design.
+//!
+//! The checks are *sound* against the real flow: any module produced by
+//! `implement_module` and any placement produced by the stitcher audits
+//! clean (the workspace's zero-false-positive sweep test pins this), so a
+//! non-empty audit means the artifact was corrupted or forged after it
+//! was built.
+
+#![warn(missing_docs)]
+
+use tms_device::{CapacityPrefix, Device, Rect};
+use tms_netlist::Netlist;
+use tms_pblock::PBlock;
+use tms_place::{quick_place, Placement};
+use tms_stitch::StitchProblem;
+use tms_synth::pack;
+
+/// One failed legality check.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Violation {
+    /// Stable dotted code of the check that failed (e.g. `macro.capacity`,
+    /// `stitch.overlap`) — the classification key for counters and
+    /// quarantine decisions.
+    pub code: String,
+    /// The module or instance the violation is about.
+    pub subject: String,
+    /// Human-readable evidence: what was recorded versus what the auditor
+    /// re-derived.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(code: &str, subject: &str, detail: String) -> Violation {
+        Violation {
+            code: code.to_string(),
+            subject: subject.to_string(),
+            detail,
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.code, self.subject, self.detail)
+    }
+}
+
+/// The legality auditor for one device. Construction builds the
+/// [`CapacityPrefix`] oracle once; audits over many macros of the same
+/// device share it.
+pub struct Auditor<'d> {
+    device: &'d Device,
+    prefix: CapacityPrefix,
+}
+
+impl<'d> Auditor<'d> {
+    /// An auditor for `device`.
+    pub fn new(device: &'d Device) -> Auditor<'d> {
+        Auditor {
+            device,
+            prefix: CapacityPrefix::build(device),
+        }
+    }
+
+    /// The audited device.
+    pub fn device(&self) -> &Device {
+        self.device
+    }
+
+    /// The per-column capacity oracle.
+    pub fn prefix(&self) -> &CapacityPrefix {
+        &self.prefix
+    }
+
+    /// Audit one implemented macro: the PBlock it claims and the detailed
+    /// placement inside it. Returns every violated invariant (empty =
+    /// legal).
+    pub fn audit_macro(
+        &self,
+        name: &str,
+        cf: f64,
+        pblock: &PBlock,
+        placement: &Placement,
+    ) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let rect = &pblock.rect;
+
+        // The rectangle must lie on the device and be non-degenerate.
+        let bounds = self.prefix.bounds();
+        if rect.w == 0 || rect.h == 0 || !bounds.contains(rect) {
+            v.push(Violation::new(
+                "macro.bounds",
+                name,
+                format!("pblock {rect:?} outside device bounds {bounds:?}"),
+            ));
+            // Everything below indexes columns under the rectangle.
+            return v;
+        }
+
+        // The recorded relocation signature and capacity must equal what
+        // the device actually provides under the rectangle — a forged
+        // capacity is how an oversubscribed macro sneaks past `covers`.
+        let signature = self.device.signature(rect.x, rect.w);
+        if signature != pblock.signature {
+            v.push(Violation::new(
+                "macro.signature",
+                name,
+                format!(
+                    "recorded signature {:?} != device columns {:?} at x={}",
+                    pblock.signature, signature, rect.x
+                ),
+            ));
+        }
+        let capacity = self.prefix.capacity_in(rect);
+        if capacity != pblock.capacity {
+            v.push(Violation::new(
+                "macro.capacity",
+                name,
+                format!(
+                    "recorded capacity {:?} != device capacity {:?}",
+                    pblock.capacity, capacity
+                ),
+            ));
+        }
+
+        // The placement must be *of this PBlock*: same region, same
+        // capacity view.
+        if placement.region != *rect {
+            v.push(Violation::new(
+                "macro.region",
+                name,
+                format!(
+                    "placement region {:?} != pblock rect {rect:?}",
+                    placement.region
+                ),
+            ));
+        }
+        if placement.capacity != capacity {
+            v.push(Violation::new(
+                "macro.placement_capacity",
+                name,
+                format!(
+                    "placement capacity {:?} != device capacity {capacity:?}",
+                    placement.capacity
+                ),
+            ));
+        }
+
+        // Slice budgets: demand within capacity, spread within capacity,
+        // and the spread can never undercut the demand.
+        let total = capacity.slices();
+        if placement.required_slices > total
+            || placement.used_slices > total
+            || placement.used_slices < placement.required_slices
+        {
+            v.push(Violation::new(
+                "macro.slices",
+                name,
+                format!(
+                    "required {} / used {} vs capacity {total}",
+                    placement.required_slices, placement.used_slices
+                ),
+            ));
+        }
+
+        // Derived arithmetic: utilization and irregularity are pure
+        // functions of (required, capacity); re-derive and compare.
+        let (want_u, want_irr) = if placement.required_slices == 0 {
+            (0.0, 0.0)
+        } else {
+            let r = f64::from(placement.required_slices) / f64::from(total.max(1));
+            (r, 1.0 - r)
+        };
+        if placement.utilization != want_u || !placement.utilization.is_finite() {
+            v.push(Violation::new(
+                "macro.utilization",
+                name,
+                format!("recorded {} != derived {want_u}", placement.utilization),
+            ));
+        }
+        if placement.irregularity != want_irr || !placement.irregularity.is_finite() {
+            v.push(Violation::new(
+                "macro.irregularity",
+                name,
+                format!("recorded {} != derived {want_irr}", placement.irregularity),
+            ));
+        }
+
+        // Congestion is seed-jittered, so it cannot be re-derived exactly;
+        // but a legal placement is only ever emitted at congestion ≤ 1.
+        if !placement.congestion.is_finite() || !(0.0..=1.0).contains(&placement.congestion) {
+            v.push(Violation::new(
+                "macro.congestion",
+                name,
+                format!("congestion {} outside [0, 1]", placement.congestion),
+            ));
+        }
+
+        // CF sanity: finite, non-negative, and the PBlock must have been
+        // frozen at the macro's CF.
+        if !cf.is_finite() || cf < 0.0 || pblock.cf.to_bits() != cf.to_bits() {
+            v.push(Violation::new(
+                "macro.cf",
+                name,
+                format!("macro cf {cf} vs pblock cf {}", pblock.cf),
+            ));
+        }
+
+        v
+    }
+
+    /// Audit the netlist ↔ macro agreement: re-derive the packed demand,
+    /// carry-chain shapes and CF slice target from `netlist` and check the
+    /// recorded macro against them. Catches entries whose payload decodes
+    /// fine but no longer describes the module it is keyed by.
+    pub fn audit_netlist(
+        &self,
+        name: &str,
+        cf: f64,
+        pblock: &PBlock,
+        placement: &Placement,
+        netlist: &Netlist,
+    ) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let stats = netlist.stats();
+        let packing = pack(&stats);
+
+        if !pblock.capacity.covers(&packing.demand) {
+            v.push(Violation::new(
+                "netlist.demand",
+                name,
+                format!(
+                    "packed demand {:?} not covered by pblock capacity {:?}",
+                    packing.demand, pblock.capacity
+                ),
+            ));
+        }
+        if placement.required_slices != packing.required_slices {
+            v.push(Violation::new(
+                "netlist.required",
+                name,
+                format!(
+                    "placement records {} required slices, packer derives {}",
+                    placement.required_slices, packing.required_slices
+                ),
+            ));
+        }
+
+        // Carry chains: replay the placer's first-fit-decreasing fit into
+        // the rectangle's CLB columns (each `rect.h` contiguous slices).
+        if let Some(&tallest) = packing.chain_slices.first() {
+            let rect = &pblock.rect;
+            if tallest > rect.h {
+                v.push(Violation::new(
+                    "netlist.chains",
+                    name,
+                    format!("tallest chain {tallest} > pblock height {}", rect.h),
+                ));
+            } else {
+                let end = rect.right().min(self.device.width());
+                let mut free: Vec<u32> = (rect.x..end)
+                    .filter(|&x| self.device.column(x).kind.is_clb())
+                    .map(|_| rect.h)
+                    .collect();
+                for &chain in &packing.chain_slices {
+                    match free.iter_mut().find(|f| **f >= chain) {
+                        Some(slot) => *slot -= chain,
+                        None => {
+                            v.push(Violation::new(
+                                "netlist.chains",
+                                name,
+                                format!(
+                                    "chain shapes {:?} do not fit the pblock's CLB columns",
+                                    packing.chain_slices
+                                ),
+                            ));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // The slice target the generator satisfied is `⌈est · cf⌉` of the
+        // re-derived quick-placement shape.
+        let shape = quick_place(&stats, &packing);
+        let want_target = (f64::from(shape.est_slices) * cf.max(0.0)).ceil() as u32;
+        if pblock.target_slices != want_target {
+            v.push(Violation::new(
+                "netlist.target",
+                name,
+                format!(
+                    "pblock target {} != ⌈{} · {cf}⌉ = {want_target}",
+                    pblock.target_slices, shape.est_slices
+                ),
+            ));
+        }
+
+        v
+    }
+
+    /// Audit a stitched placement: per-instance anchor legality (matching
+    /// column signature, vertical alignment, in bounds) plus zero overlap
+    /// between any two placed footprints.
+    pub fn audit_stitch(
+        &self,
+        problem: &StitchProblem,
+        positions: &[Option<(u32, u32)>],
+    ) -> Vec<Violation> {
+        let mut v = Vec::new();
+        if positions.len() != problem.instances.len() {
+            v.push(Violation::new(
+                "stitch.instances",
+                "design",
+                format!(
+                    "{} positions for {} instances",
+                    positions.len(),
+                    problem.instances.len()
+                ),
+            ));
+            return v;
+        }
+        let rows = self.device.rows();
+        let width = self.device.width();
+        let mut placed: Vec<(usize, Rect)> = Vec::new();
+        for (i, pos) in positions.iter().enumerate() {
+            let Some((x, y)) = *pos else { continue };
+            let Some(&module) = problem.instances.get(i) else {
+                continue;
+            };
+            let Some(m) = problem.modules.get(module) else {
+                v.push(Violation::new(
+                    "stitch.instances",
+                    &format!("instance {i}"),
+                    format!("module index {module} out of range"),
+                ));
+                continue;
+            };
+            let subject = format!("{}#{i}", m.name);
+            if x + m.width > width || y + m.height > rows {
+                v.push(Violation::new(
+                    "stitch.bounds",
+                    &subject,
+                    format!("anchor ({x},{y}) + {}x{} exceeds device", m.width, m.height),
+                ));
+                continue;
+            }
+            if self.device.signature(x, m.width) != m.signature {
+                v.push(Violation::new(
+                    "stitch.signature",
+                    &subject,
+                    format!("columns at x={x} do not match the macro's signature"),
+                ));
+            }
+            let step = m.signature.y_alignment();
+            if step > 1 && y % step != 0 {
+                v.push(Violation::new(
+                    "stitch.alignment",
+                    &subject,
+                    format!("anchor row {y} not a multiple of the alignment {step}"),
+                ));
+            }
+            placed.push((i, Rect::new(x, y, m.width, m.height)));
+        }
+        for (a, (i, ra)) in placed.iter().enumerate() {
+            for (j, rb) in placed.iter().skip(a + 1) {
+                if ra.overlaps(rb) {
+                    v.push(Violation::new(
+                        "stitch.overlap",
+                        &format!("instances {i}/{j}"),
+                        format!("{ra:?} overlaps {rb:?}"),
+                    ));
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_device::SliceCapacity;
+    use tms_pblock::PBlockGenerator;
+    use tms_place::{place_in_region, PlacementModel};
+
+    /// Implement one real module the way the flow does (generator +
+    /// detailed placement), so the tests audit genuine artifacts.
+    fn implement(device: &Device, netlist: &Netlist, cf: f64) -> (PBlock, Placement) {
+        let stats = netlist.stats();
+        let packing = pack(&stats);
+        let shape = quick_place(&stats, &packing);
+        let gen = PBlockGenerator::new(device, true);
+        let pblock = gen.generate(&shape, cf).expect("feasible at this cf");
+        let placement = place_in_region(
+            &stats,
+            &packing,
+            device,
+            &pblock.rect,
+            &PlacementModel::default(),
+            7,
+        )
+        .expect("placeable at this cf");
+        (pblock, placement)
+    }
+
+    fn sample() -> (Device, Netlist) {
+        let device = Device::xc7z045();
+        let netlist = tms_cnn::synth_module(tms_cnn::ModuleRole::Mvau, 60, "mvau_t", 3);
+        (device, netlist)
+    }
+
+    #[test]
+    fn genuine_macro_audits_clean() {
+        let (device, netlist) = sample();
+        let (pblock, placement) = implement(&device, &netlist, 1.5);
+        let auditor = Auditor::new(&device);
+        assert_eq!(
+            auditor.audit_macro("mvau_t", 1.5, &pblock, &placement),
+            vec![]
+        );
+        assert_eq!(
+            auditor.audit_netlist("mvau_t", 1.5, &pblock, &placement, &netlist),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn forged_capacity_is_caught() {
+        let (device, netlist) = sample();
+        let (mut pblock, placement) = implement(&device, &netlist, 1.5);
+        pblock.capacity = SliceCapacity {
+            l_slices: pblock.capacity.l_slices + 100,
+            ..pblock.capacity
+        };
+        let auditor = Auditor::new(&device);
+        let v = auditor.audit_macro("mvau_t", 1.5, &pblock, &placement);
+        assert!(
+            v.iter().any(|x| x.code == "macro.capacity"),
+            "violations: {v:?}"
+        );
+    }
+
+    #[test]
+    fn moved_rect_breaks_signature_or_capacity() {
+        let (device, netlist) = sample();
+        let (mut pblock, mut placement) = implement(&device, &netlist, 1.5);
+        pblock.rect.x += 1; // shift under different columns
+        placement.region = pblock.rect;
+        let auditor = Auditor::new(&device);
+        let v = auditor.audit_macro("mvau_t", 1.5, &pblock, &placement);
+        assert!(
+            v.iter()
+                .any(|x| x.code == "macro.signature" || x.code == "macro.capacity"),
+            "violations: {v:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_rect_is_caught() {
+        let (device, netlist) = sample();
+        let (mut pblock, placement) = implement(&device, &netlist, 1.5);
+        pblock.rect.y = device.rows(); // degenerate: off the fabric
+        let auditor = Auditor::new(&device);
+        let v = auditor.audit_macro("mvau_t", 1.5, &pblock, &placement);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].code, "macro.bounds");
+    }
+
+    #[test]
+    fn inflated_slice_accounting_is_caught() {
+        let (device, netlist) = sample();
+        let (pblock, mut placement) = implement(&device, &netlist, 1.5);
+        placement.used_slices = placement.capacity.slices() + 1;
+        let auditor = Auditor::new(&device);
+        let v = auditor.audit_macro("mvau_t", 1.5, &pblock, &placement);
+        assert!(v.iter().any(|x| x.code == "macro.slices"), "{v:?}");
+    }
+
+    #[test]
+    fn tampered_utilization_is_caught() {
+        let (device, netlist) = sample();
+        let (pblock, mut placement) = implement(&device, &netlist, 1.5);
+        placement.utilization *= 0.5;
+        let auditor = Auditor::new(&device);
+        let v = auditor.audit_macro("mvau_t", 1.5, &pblock, &placement);
+        assert!(v.iter().any(|x| x.code == "macro.utilization"), "{v:?}");
+    }
+
+    #[test]
+    fn wrong_netlist_disagrees_with_macro() {
+        let (device, netlist) = sample();
+        let (pblock, placement) = implement(&device, &netlist, 1.5);
+        // Audit the macro against a *different* module's netlist.
+        let other = tms_cnn::synth_module(tms_cnn::ModuleRole::Weights, 80, "w_t", 9);
+        let auditor = Auditor::new(&device);
+        let v = auditor.audit_netlist("mvau_t", 1.5, &pblock, &placement, &other);
+        assert!(!v.is_empty(), "a swapped netlist must not audit clean");
+    }
+
+    #[test]
+    fn cf_mismatch_is_caught() {
+        let (device, netlist) = sample();
+        let (pblock, placement) = implement(&device, &netlist, 1.5);
+        let auditor = Auditor::new(&device);
+        let v = auditor.audit_macro("mvau_t", 1.7, &pblock, &placement);
+        assert!(v.iter().any(|x| x.code == "macro.cf"), "{v:?}");
+    }
+
+    #[test]
+    fn stitch_overlap_and_misalignment_are_caught() {
+        let (device, netlist) = sample();
+        let (pblock, placement) = implement(&device, &netlist, 1.5);
+        let m = tms_stitch::MacroBlock {
+            name: "mvau_t".into(),
+            signature: pblock.signature.clone(),
+            width: pblock.rect.w,
+            height: pblock.rect.h,
+            used_slices: placement.used_slices,
+            irregularity: placement.irregularity,
+        };
+        let mut problem = StitchProblem::new(vec![m]);
+        problem.instances = vec![0, 0];
+        let auditor = Auditor::new(&device);
+        let x = pblock.rect.x;
+
+        // Two instances on the same anchor: overlap.
+        let v = auditor.audit_stitch(&problem, &[Some((x, 0)), Some((x, 0))]);
+        assert!(v.iter().any(|x| x.code == "stitch.overlap"), "{v:?}");
+
+        // Mismatched columns: the anchor one column over has a different
+        // signature (or runs off the device).
+        let v = auditor.audit_stitch(&problem, &[Some((x + 1, 0)), None]);
+        assert!(
+            v.iter()
+                .any(|x| x.code == "stitch.signature" || x.code == "stitch.bounds"),
+            "{v:?}"
+        );
+
+        // A clean single placement audits clean.
+        let v = auditor.audit_stitch(&problem, &[Some((x, 0)), None]);
+        assert_eq!(v, vec![]);
+    }
+}

@@ -23,6 +23,17 @@
 //! tms slowlog [opts]                   fetch a server's tail-sampled
 //!                                      slowlog (slow/errored request
 //!                                      traces) and summarise it
+//! tms verify <module|--all> [opts]     independent integrity audit: re-derive
+//!                                      the legality of implemented modules
+//!                                      from first principles (tms-verify) and
+//!                                      check sealed content digests; pass
+//!                                      --dir to audit a persistent macro
+//!                                      library read-only instead of
+//!                                      implementing fresh
+//! tms scrub [opts]                     one scrub pass over a persistent
+//!                                      macro library: audit every sealed
+//!                                      record, quarantine violators into
+//!                                      quarantine/, print the report
 //!
 //! options:
 //!   --device <xc7z010|xc7z020|xc7z030|xc7z045|xc7z100|ultrascale-like>
@@ -47,6 +58,11 @@
 //!                        warm-start from <dir>, WAL-append every insert,
 //!                        checkpoint on graceful shutdown (`tms client
 //!                        shutdown`)
+//!   --scrub-secs <N>     background-scrub the library every N seconds
+//!                        (requires --store; quarantined records are
+//!                        recomputed on the next request)
+//!   --scrub-bps <N>      scrub byte/s budget (default 8 MiB/s; 0 =
+//!                        unthrottled)
 //!
 //! store options (all subcommands take --dir <path>):
 //!   inspect              print the library statistics as JSON
@@ -111,6 +127,21 @@
 //! slowlog options (plus --addr/--port as for `tms client`):
 //!   --limit <N>          newest entries to fetch (default 16; 0 = all)
 //!   --json               print the raw JSON report instead of the table
+//!
+//! verify options:
+//!   --all                audit every unique cnvW1A1 module (or, with
+//!                        --dir, every stored record)
+//!   --dir <path>         audit a persistent macro library in place
+//!                        (read-only; `tms scrub` is the destructive
+//!                        variant that quarantines)
+//!   --cf <x>             constant CF for fresh implementation; omit for
+//!                        minimal-CF search
+//!   --device/--seed      as above
+//!
+//! scrub options:
+//!   --dir <path>         the persistent macro library (required)
+//!   --bps <N>            byte/s budget for the pass (0 = unthrottled,
+//!                        the default here; servers default to 8 MiB/s)
 //! ```
 
 use std::collections::HashMap;
@@ -408,7 +439,7 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         est
     };
     let store_dir = flags.get("store").cloned();
-    let config = ServeConfig {
+    let mut config = ServeConfig {
         addr: format!("127.0.0.1:{}", num(flags, "port", 7245)),
         workers: num(flags, "workers", 8) as usize,
         cache_capacity: num(flags, "cache", 4096) as usize,
@@ -417,6 +448,12 @@ fn cmd_serve(flags: &HashMap<String, String>) {
             .map(|dir| tailored_macro_sizes::store::StoreConfig::at(dir.as_str())),
         ..ServeConfig::default()
     };
+    if let Some(secs) = flags.get("scrub-secs").and_then(|v| v.parse::<u64>().ok()) {
+        config = config.with_scrub(
+            std::time::Duration::from_secs(secs.max(1)),
+            num(flags, "scrub-bps", 8 * 1024 * 1024),
+        );
+    }
     let workers = config.workers;
     match serve(config, estimator, features) {
         Ok(handle) => {
@@ -488,6 +525,183 @@ fn cmd_store(args: &[String], flags: &HashMap<String, String>) {
         _ => {
             eprintln!("usage: tms store <inspect|compact|verify> --dir <path>");
             std::process::exit(2);
+        }
+    }
+}
+
+/// Independent end-to-end integrity audit. With `--dir` the persistent
+/// macro library is audited in place and read-only: every sealed record's
+/// content digest is recomputed and its placement legality re-derived
+/// from first principles by the dependency-light `tms-verify` auditor —
+/// nothing is quarantined (that is `tms scrub`). Without `--dir` the
+/// named cnvW1A1 module (or all of them under `--all`) is implemented
+/// fresh and the flow's own output is audited, proving the toolchain
+/// produces artifacts that pass its own verifier.
+fn cmd_verify(args: &[String], flags: &HashMap<String, String>) {
+    use tailored_macro_sizes::flow::{
+        audit_module, implement_module, module_digest, verify_sealed, CfPolicy, MacroStore,
+        RwFlowConfig,
+    };
+    use tailored_macro_sizes::store::{Store, StoreConfig};
+    use tailored_macro_sizes::verify::Auditor;
+
+    let all = flags.contains_key("all");
+    let wanted = args.first().cloned();
+    if !all && wanted.is_none() && !flags.contains_key("dir") {
+        eprintln!("usage: tms verify <module|--all> [--dir <store>] [options]");
+        std::process::exit(2);
+    }
+
+    let (mut checked, mut violations) = (0u64, 0u64);
+    if let Some(dir) = flags.get("dir") {
+        let opened: std::io::Result<MacroStore> =
+            Store::open(StoreConfig::at(std::path::Path::new(dir)));
+        let store = match opened {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("could not open store at {dir}: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "auditing {} stored records in {dir} (read-only) ...",
+            store.len()
+        );
+        let mut devices = HashMap::new();
+        for (key, sealed) in store.export() {
+            if let Some(name) = &wanted {
+                if &sealed.module.name != name {
+                    continue;
+                }
+            }
+            checked += 1;
+            let device = devices
+                .entry(key.device())
+                .or_insert_with(|| Device::from_name(key.device()));
+            let auditor = Auditor::new(device);
+            match verify_sealed(&auditor, &sealed) {
+                Ok(()) => println!(
+                    "  ok       {:<20} digest {:#018x}",
+                    sealed.module.name, sealed.digest
+                ),
+                Err(reason) => {
+                    violations += 1;
+                    println!("  CORRUPT  {:<20} {reason}", sealed.module.name);
+                }
+            }
+        }
+    } else {
+        let device = device_of(flags);
+        let seed = num(flags, "seed", 2024);
+        let design = cnvw1a1(seed);
+        let mut cfg = RwFlowConfig::rapidwright_default(seed);
+        // Minimal-CF search is the policy the cached flows implement
+        // under, so it is what fresh verification should reproduce; a
+        // constant CF is opt-in and may legitimately fail to route.
+        cfg.policy = match flags.get("cf").and_then(|v| v.parse::<f64>().ok()) {
+            Some(cf) => CfPolicy::Constant(cf),
+            None => CfPolicy::Minimal(tailored_macro_sizes::pblock::CfSearch::wide()),
+        };
+        println!(
+            "implementing + auditing cnvW1A1 modules on {} (seed {seed}) ...",
+            device.name()
+        );
+        let auditor = Auditor::new(&device);
+        for m in &design.modules {
+            if let Some(name) = &wanted {
+                if &m.name != name {
+                    continue;
+                }
+            }
+            checked += 1;
+            match implement_module(&m.name, &m.netlist, &device, &cfg) {
+                Ok(module) => {
+                    let found = audit_module(&auditor, &module);
+                    if found.is_empty() {
+                        println!(
+                            "  ok       {:<20} cf {:>5.2}  digest {:#018x}",
+                            module.name,
+                            module.cf,
+                            module_digest(&module)
+                        );
+                    } else {
+                        violations += 1;
+                        println!(
+                            "  ILLEGAL  {:<20} {} violations; first: {}",
+                            module.name,
+                            found.len(),
+                            found[0]
+                        );
+                    }
+                }
+                Err(e) => {
+                    violations += 1;
+                    println!("  FAILED   {:<20} {e}", m.name);
+                }
+            }
+        }
+        if checked == 0 {
+            eprintln!(
+                "no module named '{}' in cnvW1A1",
+                wanted.unwrap_or_default()
+            );
+            std::process::exit(2);
+        }
+    }
+    println!("verified {checked} artifacts: {violations} violations");
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// One scrub pass over a persistent macro library: walk every stored
+/// record under the byte/s budget, audit each (sealed digest + legality),
+/// and quarantine violators into `quarantine/` — they are recomputed on
+/// the next request that needs them. Exits 1 if anything was quarantined
+/// so scripted health checks can alarm.
+fn cmd_scrub(flags: &HashMap<String, String>) {
+    use tailored_macro_sizes::flow::{MacroStore, StoreAuditor};
+    use tailored_macro_sizes::store::{Store, StoreConfig};
+
+    let Some(dir) = flags.get("dir") else {
+        eprintln!("usage: tms scrub --dir <path> [--bps <N>]");
+        std::process::exit(2);
+    };
+    let opened: std::io::Result<MacroStore> =
+        Store::open(StoreConfig::at(std::path::Path::new(dir)));
+    let store = match opened {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("could not open store at {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bps = num(flags, "bps", 0);
+    println!(
+        "scrubbing {} records in {dir} ({}) ...",
+        store.len(),
+        if bps == 0 {
+            "unthrottled".to_string()
+        } else {
+            format!("{bps} byte/s budget")
+        }
+    );
+    let mut auditor = StoreAuditor::new();
+    match store.scrub_with(bps, |key, sealed| auditor.audit(key, sealed)) {
+        Ok(report) => {
+            println!("{}", to_pretty(&report));
+            if report.quarantined > 0 {
+                println!(
+                    "{} record(s) quarantined into {} — they will be recomputed on demand",
+                    report.quarantined,
+                    store.quarantine_path().display()
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("scrub failed: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -1064,10 +1278,12 @@ fn main() {
         Some("chaos") => cmd_chaos(&flags),
         Some("loadgen") => cmd_loadgen(&flags),
         Some("slowlog") => cmd_slowlog(&flags),
+        Some("verify") => cmd_verify(&positional[1..], &flags),
+        Some("scrub") => cmd_scrub(&flags),
         _ => {
             eprintln!(
                 "usage: tms <devices|train|compile|experiments|serve|client|store|report|stitch\
-                 |pack|chaos|loadgen|slowlog> [options]"
+                 |pack|chaos|loadgen|slowlog|verify|scrub> [options]"
             );
             eprintln!("see the module docs in src/bin/tms.rs for the option list");
             std::process::exit(2);
